@@ -1,0 +1,25 @@
+//! Criterion micro-benchmarks: compiler pass pipeline cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use turnpike_compiler::{compile, CompilerConfig};
+use turnpike_workloads::{kernel_by_name, Scale, Suite};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    let kernel =
+        kernel_by_name(Suite::Cpu2006, "gemsfdtd", Scale::Smoke).expect("kernel exists");
+    for (label, cfg) in [
+        ("baseline", CompilerConfig::baseline()),
+        ("turnstile", CompilerConfig::turnstile(4)),
+        ("turnpike", CompilerConfig::turnpike(4)),
+    ] {
+        group.bench_with_input(BenchmarkId::new(label, "gemsfdtd"), &kernel, |b, k| {
+            b.iter(|| compile(&k.program, &cfg).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

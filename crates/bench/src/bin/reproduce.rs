@@ -1,0 +1,97 @@
+//! `reproduce` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! reproduce <target> [--smoke] [--json]
+//!
+//! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
+//!          fig24 fig25 fig26 table1 ablation clq colors summary all
+//! ```
+//!
+//! `--smoke` runs the reduced-size kernels (fast; used by CI); the default
+//! is full evaluation scale. `--json` prints machine-readable output.
+
+use std::process::ExitCode;
+use turnpike_bench::{
+    ablation, clq_designs, colors, fig14, fig15, fig18, fig19, fig20, fig21, fig22, fig23, fig24,
+    fig25, fig26, fig4, summary, table1, Table,
+};
+use turnpike_workloads::Scale;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: reproduce <target> [--smoke] [--json]\n\
+         targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23 \
+         fig24 fig25 fig26 table1 ablation clq colors summary all"
+    );
+    ExitCode::from(2)
+}
+
+fn generate(target: &str, scale: Scale) -> Option<Vec<Table>> {
+    let one = |t: Table| Some(vec![t]);
+    match target {
+        "fig4" => one(fig4(scale)),
+        "fig14" => one(fig14(scale)),
+        "fig15" => one(fig15(scale)),
+        "fig18" => one(fig18()),
+        "fig19" => one(fig19(scale)),
+        "fig20" => one(fig20(scale)),
+        "fig21" => one(fig21(scale)),
+        "fig22" => one(fig22(scale)),
+        "fig23" => one(fig23(scale)),
+        "fig24" => one(fig24(scale)),
+        "fig25" => one(fig25(scale)),
+        "fig26" => one(fig26(scale)),
+        "table1" => one(table1()),
+        "ablation" => one(ablation(scale)),
+        "colors" => one(colors(scale)),
+        "clq" => one(clq_designs(scale)),
+        "summary" => one(summary(scale)),
+        "all" => Some(vec![
+            ablation(scale),
+            fig4(scale),
+            fig14(scale),
+            fig15(scale),
+            fig18(),
+            fig19(scale),
+            fig20(scale),
+            fig21(scale),
+            fig22(scale),
+            fig23(scale),
+            fig24(scale),
+            fig25(scale),
+            fig26(scale),
+            table1(),
+        ]),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut target: Option<String> = None;
+    let mut scale = Scale::Full;
+    let mut json = false;
+    for a in &args {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--json" => json = true,
+            t if target.is_none() && !t.starts_with('-') => target = Some(t.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(target) = target else {
+        return usage();
+    };
+    let Some(tables) = generate(&target, scale) else {
+        return usage();
+    };
+    for t in &tables {
+        if json {
+            println!("{}", t.to_json());
+        } else {
+            println!("{t}");
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,656 @@
+//! One generator per table/figure of the paper's evaluation.
+
+use crate::table::Table;
+use turnpike_model::Table1;
+use turnpike_resilience::{geomean, run_kernel, RunSpec, Scheme};
+use turnpike_sensor::SensorGrid;
+use turnpike_sim::ClqKind;
+use turnpike_workloads::{all_kernels, Kernel, Scale, Suite};
+
+/// The WCDL sweep used by Figures 19/20.
+pub const WCDLS: [u64; 5] = [10, 20, 30, 40, 50];
+
+fn kernels(scale: Scale) -> Vec<Kernel> {
+    all_kernels(scale)
+}
+
+fn suite_tag(s: Suite) -> &'static str {
+    match s {
+        Suite::Cpu2006 => "06",
+        Suite::Cpu2017 => "17",
+        Suite::Splash3 => "s3",
+    }
+}
+
+fn label(k: &Kernel) -> String {
+    format!("{}.{}", suite_tag(k.suite), k.name)
+}
+
+/// Per-suite + overall geomean rows appended to a per-benchmark table.
+fn append_geomeans(table: &mut Table, kernels: &[Kernel], per_kernel: &[Vec<f64>]) {
+    let cols = table.columns.len();
+    for suite in [Suite::Cpu2006, Suite::Cpu2017, Suite::Splash3] {
+        let mut row = Vec::with_capacity(cols);
+        for c in 0..cols {
+            let xs: Vec<f64> = kernels
+                .iter()
+                .zip(per_kernel)
+                .filter(|(k, _)| k.suite == suite)
+                .map(|(_, v)| v[c])
+                .collect();
+            row.push(geomean(&xs));
+        }
+        table.push(format!("geomean.{}", suite_tag(suite)), row);
+    }
+    let mut row = Vec::with_capacity(cols);
+    for c in 0..cols {
+        let xs: Vec<f64> = per_kernel.iter().map(|v| v[c]).collect();
+        row.push(geomean(&xs));
+    }
+    table.push("geomean.all", row);
+}
+
+/// Run one scheme/platform over all kernels; returns normalized times.
+fn normalized_over_kernels(kernels: &[Kernel], specs: &[RunSpec]) -> Vec<Vec<f64>> {
+    kernels
+        .iter()
+        .map(|k| {
+            let base = run_kernel(
+                &k.program,
+                &RunSpec::new(Scheme::Baseline).with_sb(specs[0].sb_size),
+            )
+            .unwrap_or_else(|e| panic!("{}: baseline: {e}", k.name));
+            let base_cycles = base.outcome.stats.cycles as f64;
+            specs
+                .iter()
+                .map(|spec| {
+                    let r = run_kernel(&k.program, spec)
+                        .unwrap_or_else(|e| panic!("{}: {:?}: {e}", k.name, spec.scheme));
+                    r.outcome.stats.cycles as f64 / base_cycles
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Figure 4: ratio of checkpoint instructions to all dynamic instructions,
+/// for a 40-entry vs a 4-entry store buffer (Turnstile compilation).
+pub fn fig4(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig4",
+        "Checkpoint ratio of dynamic instructions: SB-40 vs SB-4 (Turnstile)",
+        &["40-Entries", "4-Entries"],
+    );
+    let ks: Vec<Kernel> = kernels(scale)
+        .into_iter()
+        .filter(|k| k.suite != Suite::Splash3) // the paper plots SPEC only
+        .collect();
+    let mut per = Vec::new();
+    for k in &ks {
+        let mut row = Vec::new();
+        for sb in [40u32, 4] {
+            let r = run_kernel(
+                &k.program,
+                &RunSpec::new(Scheme::Turnstile).with_sb(sb),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            row.push(r.outcome.stats.ckpt_ratio());
+        }
+        per.push(row.clone());
+        t.push(label(k), row);
+    }
+    // Arithmetic means, as the paper reports percentages.
+    let n = per.len() as f64;
+    let mean: Vec<f64> = (0..2)
+        .map(|c| per.iter().map(|v| v[c]).sum::<f64>() / n)
+        .collect();
+    t.push("mean.all", mean);
+    t
+}
+
+/// Figures 14: runtime overhead of the ideal vs compact CLQ, with only
+/// WAR-free checking and coloring enabled (no compiler optimizations).
+pub fn fig14(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig14",
+        "Normalized time: ideal CLQ vs compact 2-entry CLQ (fast release only, WCDL 10)",
+        &["Ideal CLQ", "Compact CLQ"],
+    );
+    let ks = kernels(scale);
+    let specs = [
+        RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
+        RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Compact(2)),
+    ];
+    let per = normalized_over_kernels(&ks, &specs);
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
+    }
+    append_geomeans(&mut t, &ks, &per);
+    t
+}
+
+/// Figure 15: fraction of all stores detected WAR-free, ideal vs compact.
+pub fn fig15(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig15",
+        "WAR-free stores / all stores: ideal vs compact CLQ (WCDL 10)",
+        &["Ideal CLQ", "Compact CLQ"],
+    );
+    let ks = kernels(scale);
+    let mut per = Vec::new();
+    for k in &ks {
+        let mut row = Vec::new();
+        for clq in [ClqKind::Ideal, ClqKind::Compact(2)] {
+            let r = run_kernel(
+                &k.program,
+                &RunSpec::new(Scheme::FastRelease).with_clq(clq),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let s = &r.outcome.stats;
+            let all = s.all_stores().max(1) as f64;
+            row.push((s.war_free_released + s.colored_released) as f64 / all);
+        }
+        per.push(row.clone());
+        t.push(label(k), row);
+    }
+    let n = per.len() as f64;
+    let mean: Vec<f64> = (0..2)
+        .map(|c| per.iter().map(|v| v[c]).sum::<f64>() / n)
+        .collect();
+    t.push("mean.all", mean);
+    t
+}
+
+/// Figure 18: detection latency versus deployed sensors for three clocks.
+pub fn fig18() -> Table {
+    let mut t = Table::new(
+        "fig18",
+        "Worst-case detection latency (cycles) vs number of sensors",
+        &["2.0GHz", "2.5GHz", "3.0GHz"],
+    );
+    for sensors in [30u32, 50, 100, 200, 300] {
+        let row: Vec<f64> = [2.0, 2.5, 3.0]
+            .iter()
+            .map(|&ghz| {
+                SensorGrid {
+                    sensors,
+                    die_area_mm2: 1.0,
+                    clock_ghz: ghz,
+                }
+                .wcdl_cycles() as f64
+            })
+            .collect();
+        t.push(format!("{sensors} sensors"), row);
+    }
+    t
+}
+
+/// Figure 19: Turnpike normalized time across WCDL 10..50.
+pub fn fig19(scale: Scale) -> Table {
+    wcdl_sweep("fig19", "Turnpike normalized time vs WCDL", Scheme::Turnpike, scale)
+}
+
+/// Figure 20: Turnstile normalized time across WCDL 10..50.
+pub fn fig20(scale: Scale) -> Table {
+    wcdl_sweep("fig20", "Turnstile normalized time vs WCDL", Scheme::Turnstile, scale)
+}
+
+fn wcdl_sweep(id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
+    let columns: Vec<String> = WCDLS.iter().map(|w| format!("DL{w}")).collect();
+    let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
+    let mut t = Table::new(id, title, &col_refs);
+    let ks = kernels(scale);
+    let specs: Vec<RunSpec> = WCDLS
+        .iter()
+        .map(|&w| RunSpec::new(scheme).with_wcdl(w))
+        .collect();
+    let per = normalized_over_kernels(&ks, &specs);
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
+    }
+    append_geomeans(&mut t, &ks, &per);
+    t
+}
+
+/// Figure 21: the eight-configuration optimization ladder at WCDL 10.
+pub fn fig21(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig21",
+        "Optimization ladder, normalized time at WCDL 10",
+        &[
+            "Turnstile",
+            "WAR-free",
+            "FastRel",
+            "+Prune",
+            "+LICM",
+            "+Sched",
+            "+RA",
+            "Turnpike",
+        ],
+    );
+    let ks = kernels(scale);
+    let specs: Vec<RunSpec> = Scheme::LADDER.iter().map(|&s| RunSpec::new(s)).collect();
+    let per = normalized_over_kernels(&ks, &specs);
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
+    }
+    append_geomeans(&mut t, &ks, &per);
+    t
+}
+
+/// Figure 22: SB-size sensitivity at WCDL 10 (Turnpike on 4/8/10;
+/// Turnstile on 8/10/20/30/40).
+pub fn fig22(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig22",
+        "Normalized time vs store buffer size (WCDL 10)",
+        &[
+            "Turnpike",
+            "Turnpike SB-8",
+            "Turnpike SB-10",
+            "Turnstile SB-8",
+            "Turnstile SB-10",
+            "Turnstile SB-20",
+            "Turnstile SB-30",
+            "Turnstile SB-40",
+        ],
+    );
+    let ks = kernels(scale);
+    let mut per = Vec::new();
+    for k in &ks {
+        let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let base_cycles = base.outcome.stats.cycles as f64;
+        let mut row = Vec::new();
+        for (scheme, sb) in [
+            (Scheme::Turnpike, 4u32),
+            (Scheme::Turnpike, 8),
+            (Scheme::Turnpike, 10),
+            (Scheme::Turnstile, 8),
+            (Scheme::Turnstile, 10),
+            (Scheme::Turnstile, 20),
+            (Scheme::Turnstile, 30),
+            (Scheme::Turnstile, 40),
+        ] {
+            let r = run_kernel(&k.program, &RunSpec::new(scheme).with_sb(sb))
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            row.push(r.outcome.stats.cycles as f64 / base_cycles);
+        }
+        per.push(row.clone());
+        t.push(label(k), row);
+    }
+    append_geomeans(&mut t, &ks, &per);
+    t
+}
+
+/// Figure 23: breakdown of all stores into the paper's categories, under
+/// full Turnpike at WCDL 10. Removal categories (pruned / LICM / RA / LIVM)
+/// are estimated against a Turnstile compile of the same kernel.
+pub fn fig23(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig23",
+        "Store breakdown under Turnpike (fractions of the Turnstile store count)",
+        &[
+            "Pruned",
+            "LICM-elim",
+            "Colored",
+            "WAR-free",
+            "RA-elim",
+            "IVM-elim",
+            "Others",
+        ],
+    );
+    let ks = kernels(scale);
+    let mut sums = [0.0; 7];
+    for k in &ks {
+        // Reference: dynamic stores under Turnstile (checkpoints included).
+        let ts = run_kernel(&k.program, &RunSpec::new(Scheme::Turnstile))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let total = ts.outcome.stats.all_stores().max(1) as f64;
+        // Turnpike run for the dynamic release categories.
+        let tp = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let s = &tp.outcome.stats;
+        // Eliminated = Turnstile stores that no longer exist under Turnpike.
+        let eliminated = (total - s.all_stores() as f64).max(0.0);
+        // Static attribution of the eliminated mass.
+        let cs = &tp.compile_stats;
+        let static_removed =
+            (cs.ckpts_pruned + cs.ckpts_licm_removed).max(1) as f64;
+        let pruned = eliminated * cs.ckpts_pruned as f64 / static_removed;
+        let licm = eliminated * cs.ckpts_licm_removed as f64 / static_removed;
+        // RA and LIVM savings measured directly against ablations.
+        let no_ra = {
+            let mut cc = Scheme::Turnpike.compiler_config(4);
+            cc.store_aware_ra = false;
+            turnpike_compiler::compile(&k.program, &cc).expect("compiles")
+        };
+        let ra_saved = no_ra
+            .stats
+            .spill_stores
+            .saturating_sub(tp.compile_stats.spill_stores) as f64;
+        let livm_saved = tp.compile_stats.ivs_merged as f64; // one ckpt per merged IV per iteration
+        let colored = s.colored_released as f64;
+        let warfree = s.war_free_released as f64;
+        let others = (total - pruned - licm - colored - warfree).max(0.0);
+        let row = [
+            pruned / total,
+            licm / total,
+            colored / total,
+            warfree / total,
+            (ra_saved / total).min(1.0),
+            (livm_saved / total).min(1.0),
+            others / total,
+        ];
+        for (acc, v) in sums.iter_mut().zip(row.iter()) {
+            *acc += v;
+        }
+        t.push(label(k), row.to_vec());
+    }
+    let n = ks.len() as f64;
+    t.push("mean.all", sums.iter().map(|v| v / n).collect());
+    t
+}
+
+/// Figure 24: average and maximum dynamic CLQ entries populated (ideal CLQ,
+/// which reveals true per-region demand), WCDL 10.
+pub fn fig24(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig24",
+        "Dynamic CLQ entries populated (WCDL 10)",
+        &["Average", "Maximum"],
+    );
+    let ks = kernels(scale);
+    for k in &ks {
+        let r = run_kernel(
+            &k.program,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let c = r.outcome.stats.clq;
+        t.push(label(k), vec![c.avg_entries(), c.peak_entries as f64]);
+    }
+    t
+}
+
+/// Figure 25: 2-entry vs 4-entry compact CLQ, normalized time at WCDL 10.
+pub fn fig25(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig25",
+        "Compact CLQ sizing: 2 vs 4 entries (WCDL 10)",
+        &["CLQ-2", "CLQ-4"],
+    );
+    let ks = kernels(scale);
+    let specs = [
+        RunSpec::new(Scheme::Turnpike).with_clq(ClqKind::Compact(2)),
+        RunSpec::new(Scheme::Turnpike).with_clq(ClqKind::Compact(4)),
+    ];
+    let per = normalized_over_kernels(&ks, &specs);
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
+    }
+    append_geomeans(&mut t, &ks, &per);
+    t
+}
+
+/// Figure 26: average dynamic region size (instructions) and code-size
+/// increase over the baseline binary.
+pub fn fig26(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "fig26",
+        "Region size (insts) and code size increase (%) under Turnpike",
+        &["Region size", "Code size +%"],
+    );
+    let ks = kernels(scale);
+    let mut sizes = Vec::new();
+    let mut growth = Vec::new();
+    for k in &ks {
+        let r = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let rs = r.outcome.stats.avg_region_insts;
+        let cg = r.compile_stats.code_size_increase() * 100.0;
+        sizes.push(rs);
+        growth.push(cg);
+        t.push(label(k), vec![rs, cg]);
+    }
+    t.push(
+        "geomean.all",
+        vec![geomean(&sizes), growth.iter().sum::<f64>() / growth.len() as f64],
+    );
+    t
+}
+
+/// Table 1: hardware cost comparison (area / dynamic energy at 22 nm).
+pub fn table1() -> Table {
+    let model = Table1::build();
+    let mut t = Table::new(
+        "table1",
+        "Hardware cost: Turnpike structures vs store-buffer CAMs (22nm)",
+        &["Area (um^2)", "Dyn access (pJ)"],
+    );
+    for row in &model.rows {
+        t.push(row.name.clone(), vec![row.cost.area_um2, row.cost.energy_pj]);
+    }
+    t.push(
+        "Turnpike total / 4-entry SB (%)",
+        vec![
+            model.turnpike_vs_sb4.0 * 100.0,
+            model.turnpike_vs_sb4.1 * 100.0,
+        ],
+    );
+    t.push(
+        "40-entry SB / 4-entry SB (%)",
+        vec![model.sb40_vs_sb4.0 * 100.0, model.sb40_vs_sb4.1 * 100.0],
+    );
+    t
+}
+
+/// Ablation study: full Turnpike minus one technique at a time, at WCDL 10
+/// and 50. Quantifies what each of the paper's six mechanisms contributes
+/// to the final configuration (complementing Figure 21, which *adds* them
+/// cumulatively).
+pub fn ablation(scale: Scale) -> Table {
+    use turnpike_resilience::run_custom;
+    let mut t = Table::new(
+        "ablation",
+        "Turnpike minus one technique (geomean normalized time)",
+        &["WCDL 10", "WCDL 50"],
+    );
+    let ks = kernels(scale);
+
+    #[derive(Clone, Copy)]
+    enum Knob {
+        None,
+        Livm,
+        Prune,
+        Licm,
+        Sched,
+        Ra,
+        WarFree,
+        Coloring,
+    }
+    let variants: [(&str, Knob); 8] = [
+        ("Turnpike (full)", Knob::None),
+        ("- LIVM", Knob::Livm),
+        ("- Pruning", Knob::Prune),
+        ("- LICM", Knob::Licm),
+        ("- Inst Sched", Knob::Sched),
+        ("- Store-aware RA", Knob::Ra),
+        ("- WAR-free release", Knob::WarFree),
+        ("- HW coloring", Knob::Coloring),
+    ];
+    for (label, knob) in variants {
+        let mut row = Vec::new();
+        for wcdl in [10u64, 50] {
+            let mut xs = Vec::new();
+            for k in &ks {
+                let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
+                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                let mut cc = Scheme::Turnpike.compiler_config(4);
+                let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
+                match knob {
+                    Knob::None => {}
+                    Knob::Livm => cc.livm = false,
+                    Knob::Prune => cc.prune = false,
+                    Knob::Licm => cc.licm = false,
+                    Knob::Sched => cc.sched = false,
+                    Knob::Ra => cc.store_aware_ra = false,
+                    Knob::WarFree => {
+                        sc.war_free = false;
+                        sc.clq = ClqKind::Off;
+                    }
+                    Knob::Coloring => sc.coloring = false,
+                }
+                let r = run_custom(&k.program, &cc, &sc)
+                    .unwrap_or_else(|e| panic!("{}: {label}: {e}", k.name));
+                xs.push(r.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64);
+            }
+            row.push(geomean(&xs));
+        }
+        t.push(label, row);
+    }
+    t
+}
+
+
+/// Extension experiment: checkpoint color-pool sizing. The paper fixes the
+/// pool at 4 colors per register; this sweep shows why — fewer colors force
+/// checkpoint fallbacks into the gated SB once several regions are in
+/// flight, and the effect compounds with WCDL.
+pub fn colors(scale: Scale) -> Table {
+    use turnpike_resilience::run_custom;
+    let mut t = Table::new(
+        "colors",
+        "Checkpoint color-pool sizing (geomean normalized time)",
+        &["WCDL 10", "WCDL 30", "WCDL 50"],
+    );
+    let ks = kernels(scale);
+    for pool in [1u8, 2, 4, 8] {
+        let mut row = Vec::new();
+        for wcdl in [10u64, 30, 50] {
+            let mut xs = Vec::new();
+            for k in &ks {
+                let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
+                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+                let cc = Scheme::Turnpike.compiler_config(4);
+                let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
+                sc.colors = pool;
+                let r = run_custom(&k.program, &cc, &sc)
+                    .unwrap_or_else(|e| panic!("{}: {pool} colors: {e}", k.name));
+                xs.push(r.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64);
+            }
+            row.push(geomean(&xs));
+        }
+        t.push(format!("{pool} colors"), row);
+    }
+    t
+}
+
+/// One-screen digest of the headline comparison (geomeans only).
+pub fn summary(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "summary",
+        "Headline geomeans: normalized time vs WCDL",
+        &["DL10", "DL30", "DL50"],
+    );
+    let ks = kernels(scale);
+    for scheme in [Scheme::Turnstile, Scheme::Turnpike] {
+        let specs: Vec<RunSpec> = [10u64, 30, 50]
+            .iter()
+            .map(|&w| RunSpec::new(scheme).with_wcdl(w))
+            .collect();
+        let per = normalized_over_kernels(&ks, &specs);
+        let mut row = Vec::new();
+        for c in 0..3 {
+            let xs: Vec<f64> = per.iter().map(|v| v[c]).collect();
+            row.push(geomean(&xs));
+        }
+        t.push(scheme.label(), row);
+    }
+    t
+}
+
+/// Extension experiment: the three CLQ designs side by side — unbounded
+/// ideal matching, a bounded 4-entry CAM (the costly design §4.3.1 argues
+/// against), and the paper's 2-entry compact range design — as runtime and
+/// WAR-free detection ratio.
+pub fn clq_designs(scale: Scale) -> Table {
+    let mut t = Table::new(
+        "clq_designs",
+        "CLQ designs (WCDL 10): normalized time and WAR-free detection ratio",
+        &["Ideal time", "CAM-4 time", "Compact-2 time", "Ideal WAR%", "CAM-4 WAR%", "Compact-2 WAR%"],
+    );
+    let ks = kernels(scale);
+    let designs = [ClqKind::Ideal, ClqKind::Cam(4), ClqKind::Compact(2)];
+    let mut sums = [0.0f64; 6];
+    for k in &ks {
+        let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let base_cycles = base.outcome.stats.cycles as f64;
+        let mut row = vec![0.0; 6];
+        for (i, &clq) in designs.iter().enumerate() {
+            let r = run_kernel(
+                &k.program,
+                &RunSpec::new(Scheme::FastRelease).with_clq(clq),
+            )
+            .unwrap_or_else(|e| panic!("{}: {clq:?}: {e}", k.name));
+            row[i] = r.outcome.stats.cycles as f64 / base_cycles;
+            row[3 + i] = r.outcome.stats.clq.war_free_ratio();
+        }
+        for (acc, v) in sums.iter_mut().zip(row.iter()) {
+            *acc += v;
+        }
+        t.push(label(k), row);
+    }
+    let n = ks.len() as f64;
+    t.push("mean.all", sums.iter().map(|v| v / n).collect());
+    t
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig18_shape() {
+        let t = fig18();
+        assert_eq!(t.rows.len(), 5);
+        // More sensors -> lower latency; faster clock -> higher latency.
+        let r30 = t.row("30 sensors").unwrap().to_vec();
+        let r300 = t.row("300 sensors").unwrap().to_vec();
+        assert!(r30[1] > r300[1]);
+        assert!(r30[2] > r30[0]);
+        // The paper's anchor: 300 sensors @2.5GHz = 10 cycles.
+        assert_eq!(r300[1], 10.0);
+    }
+
+    #[test]
+    fn table1_shape() {
+        let t = table1();
+        assert_eq!(t.rows.len(), 7);
+        let ratio = t.row("Turnpike total / 4-entry SB (%)").unwrap();
+        assert!(ratio[0] < 12.0 && ratio[0] > 8.0);
+    }
+
+    #[test]
+    fn fig4_small_smoke() {
+        let t = fig4(Scale::Smoke);
+        let mean = t.row("mean.all").unwrap();
+        // 4-entry SB needs at least as many checkpoints as 40-entry.
+        assert!(mean[1] >= mean[0], "{mean:?}");
+        assert!(mean[1] > 0.0);
+    }
+
+    #[test]
+    fn fig21_ladder_improves_smoke() {
+        let t = fig21(Scale::Smoke);
+        let g = t.row("geomean.all").unwrap();
+        let (turnstile, turnpike) = (g[0], g[7]);
+        assert!(
+            turnpike <= turnstile,
+            "turnpike {turnpike:.3} vs turnstile {turnstile:.3}"
+        );
+        assert!(turnstile >= 1.0);
+    }
+}

@@ -1,0 +1,16 @@
+//! Evaluation harness: regenerates every table and figure of the paper.
+//!
+//! Each `figN`/`table1` function produces a [`Table`] whose rows mirror the
+//! series the paper plots; the `reproduce` binary prints them (optionally as
+//! JSON). The numbers are produced by the same public APIs a downstream user
+//! would call — nothing here bypasses the library.
+//!
+//! Shapes, not absolutes: our substrate is a from-scratch simulator and the
+//! workloads are synthetic stand-ins, so the claims to check are orderings,
+//! trends, and rough factors (see `EXPERIMENTS.md` for paper-vs-measured).
+
+pub mod figures;
+pub mod table;
+
+pub use figures::*;
+pub use table::Table;

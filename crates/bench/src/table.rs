@@ -1,0 +1,116 @@
+//! Tabular result container shared by all figure generators.
+
+use serde::Serialize;
+
+/// A named table of labeled numeric rows (one row per benchmark or series
+/// point, one column per configuration).
+#[derive(Debug, Clone, Serialize)]
+pub struct Table {
+    /// Figure/table identifier, e.g. `"fig19"`.
+    pub id: String,
+    /// Human-readable caption.
+    pub title: String,
+    /// Column headers (excluding the leading label column).
+    pub columns: Vec<String>,
+    /// Rows: `(label, values)`, one value per column.
+    pub rows: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// An empty table with headers.
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Table {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(values.len(), self.columns.len(), "row width mismatch");
+        self.rows.push((label.into(), values));
+    }
+
+    /// Look up a row by label.
+    pub fn row(&self, label: &str) -> Option<&[f64]> {
+        self.rows
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, v)| v.as_slice())
+    }
+
+    /// The values in one column across all rows.
+    pub fn column(&self, name: &str) -> Option<Vec<f64>> {
+        let idx = self.columns.iter().position(|c| c == name)?;
+        Some(self.rows.iter().map(|(_, v)| v[idx]).collect())
+    }
+
+    /// Serialize as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("tables serialize")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "== {} — {}", self.id, self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|(l, _)| l.len())
+            .chain([9])
+            .max()
+            .unwrap_or(9);
+        write!(f, "{:<label_w$}", "benchmark")?;
+        for c in &self.columns {
+            write!(f, " {c:>14}")?;
+        }
+        writeln!(f)?;
+        for (label, values) in &self.rows {
+            write!(f, "{label:<label_w$}")?;
+            for v in values {
+                if v.abs() >= 1000.0 {
+                    write!(f, " {v:>14.1}")?;
+                } else {
+                    write!(f, " {v:>14.4}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut t = Table::new("figX", "demo", &["a", "b"]);
+        t.push("k1", vec![1.0, 2.0]);
+        t.push("k2", vec![3.0, 4.0]);
+        assert_eq!(t.row("k1"), Some(&[1.0, 2.0][..]));
+        assert_eq!(t.row("nope"), None);
+        assert_eq!(t.column("b"), Some(vec![2.0, 4.0]));
+        assert_eq!(t.column("c"), None);
+        let s = t.to_string();
+        assert!(s.contains("figX"));
+        assert!(s.contains("k2"));
+        let j = t.to_json();
+        assert!(j.contains("\"columns\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn width_checked() {
+        let mut t = Table::new("f", "t", &["a"]);
+        t.push("x", vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,106 @@
+//! Shape regression tests: the qualitative claims recorded in
+//! EXPERIMENTS.md must keep holding as the code evolves. All at smoke scale
+//! so the suite stays fast.
+
+use turnpike_bench::{ablation, fig15, fig19, fig20, fig21, fig22, fig24};
+use turnpike_workloads::Scale;
+
+#[test]
+fn turnpike_beats_turnstile_at_every_wcdl() {
+    let tp = fig19(Scale::Smoke);
+    let ts = fig20(Scale::Smoke);
+    let tp_g = tp.row("geomean.all").unwrap().to_vec();
+    let ts_g = ts.row("geomean.all").unwrap().to_vec();
+    for (i, (a, b)) in tp_g.iter().zip(&ts_g).enumerate() {
+        assert!(a < b, "WCDL column {i}: turnpike {a:.3} vs turnstile {b:.3}");
+    }
+    // Turnstile grows steeply with WCDL; Turnpike stays within ~25%.
+    assert!(ts_g.last().unwrap() / ts_g.first().unwrap() > 1.4);
+    assert!(*tp_g.last().unwrap() < 1.30, "{tp_g:?}");
+}
+
+#[test]
+fn wcdl_growth_is_monotone_for_both_schemes() {
+    for table in [fig19(Scale::Smoke), fig20(Scale::Smoke)] {
+        let g = table.row("geomean.all").unwrap();
+        for w in g.windows(2) {
+            assert!(
+                w[1] >= w[0] - 1e-9,
+                "{}: geomean not monotone in WCDL: {g:?}",
+                table.id
+            );
+        }
+    }
+}
+
+#[test]
+fn ladder_first_and_last_rungs_bracket_the_middle() {
+    let t = fig21(Scale::Smoke);
+    let g = t.row("geomean.all").unwrap();
+    let turnstile = g[0];
+    for (i, v) in g.iter().enumerate().skip(1) {
+        assert!(
+            *v <= turnstile + 1e-9,
+            "rung {i} ({v:.3}) worse than turnstile ({turnstile:.3})"
+        );
+    }
+    // The fast-release rung (index 2) captures a large share of the win.
+    assert!(g[2] < turnstile - 0.05, "{g:?}");
+}
+
+#[test]
+fn sb_scaling_directions() {
+    let t = fig22(Scale::Smoke);
+    let g = t.row("geomean.all").unwrap();
+    // Columns: TP-4, TP-8, TP-10, TS-8, TS-10, TS-20, TS-30, TS-40.
+    assert!(g[1] <= g[0] + 1e-9, "bigger SB must not hurt Turnpike");
+    assert!(g[7] <= g[3] + 1e-9, "bigger SB must not hurt Turnstile");
+    // Turnpike on the tiny SB is competitive with Turnstile on any size.
+    assert!(g[0] < g[3] + 0.15, "{g:?}");
+}
+
+#[test]
+fn ideal_clq_detects_at_least_as_much() {
+    let t = fig15(Scale::Smoke);
+    for (label, row) in &t.rows {
+        assert!(
+            row[0] >= row[1] - 1e-9,
+            "{label}: ideal {:.3} < compact {:.3}",
+            row[0],
+            row[1]
+        );
+    }
+    // The gap kernels create a real aggregate difference.
+    let mean = t.row("mean.all").unwrap();
+    assert!(mean[0] > mean[1], "{mean:?}");
+}
+
+#[test]
+fn clq_demand_fits_small_queues() {
+    let t = fig24(Scale::Smoke);
+    for (label, row) in &t.rows {
+        assert!(row[0] <= 4.0, "{label}: average {:.2} entries", row[0]);
+        assert!(row[1] <= 8.0, "{label}: peak {:.0} entries", row[1]);
+    }
+}
+
+#[test]
+fn ablation_identifies_coloring_as_the_long_wcdl_lever() {
+    let t = ablation(Scale::Smoke);
+    let full = t.row("Turnpike (full)").unwrap().to_vec();
+    let no_coloring = t.row("- HW coloring").unwrap().to_vec();
+    let no_warfree = t.row("- WAR-free release").unwrap().to_vec();
+    // At WCDL 50 (column 1) the hardware bypasses dominate.
+    assert!(no_coloring[1] > full[1] + 0.1, "{no_coloring:?} vs {full:?}");
+    assert!(no_warfree[1] > full[1] + 0.02);
+    // Removing any single compiler pass costs less than removing coloring.
+    for label in ["- Pruning", "- LICM", "- Inst Sched", "- Store-aware RA"] {
+        let row = t.row(label).unwrap();
+        assert!(
+            row[1] < no_coloring[1],
+            "{label} ({:.3}) should cost less than dropping coloring ({:.3})",
+            row[1],
+            no_coloring[1]
+        );
+    }
+}

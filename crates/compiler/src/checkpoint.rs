@@ -1,0 +1,271 @@
+//! Eager checkpointing (paper §2.2).
+//!
+//! Turnstile saves every updated live-out register to memory with a
+//! checkpoint store inserted *right after* the register-update instruction.
+//! "Live-out" here means live at a region boundary: a register whose value
+//! never crosses a boundary is recomputed by the region restart and needs no
+//! checkpoint.
+//!
+//! The analysis computes, backward, the set `LB` of registers whose current
+//! value is live at some reachable region boundary before being redefined:
+//!
+//! * at a boundary, `LB` becomes the live set at that point (every live
+//!   register crosses the boundary here);
+//! * a definition of `r` removes `r` (the older value no longer crosses).
+//!
+//! A checkpoint is inserted after each definition whose target is in `LB` at
+//! that point. Program parameters are not checkpointed by code: their
+//! checkpoint slots are pre-initialized (and pre-verified) by the loader,
+//! exactly as a real system finds its inputs in ECC-protected memory.
+
+use turnpike_ir::{BlockId, Cfg, Function, Inst, Liveness, RegSet};
+
+/// Remove every checkpoint instruction. Returns the number removed.
+pub fn strip_ckpts(f: &mut Function) -> u32 {
+    let mut n = 0;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|i| !i.is_ckpt());
+        n += (before - b.insts.len()) as u32;
+    }
+    n
+}
+
+/// Insert eager checkpoints. Returns the number inserted.
+///
+/// Must be called on checkpoint-free code (call [`strip_ckpts`] first when
+/// re-running after boundary changes).
+pub fn insert_checkpoints(f: &mut Function) -> u32 {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let n = f.blocks.len();
+    let cap = f.num_regs;
+
+    // Fixpoint for LB_in/LB_out.
+    let mut lb_in = vec![RegSet::new(cap); n];
+    let mut lb_out = vec![RegSet::new(cap); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo().iter().rev() {
+            let bi = b.index();
+            let mut out = RegSet::new(cap);
+            for &s in cfg.succs(b) {
+                out.union_with(&lb_in[s.index()]);
+            }
+            let inp = transfer_block(f, &live, b, &out, None);
+            if out != lb_out[bi] {
+                lb_out[bi] = out;
+                changed = true;
+            }
+            if inp != lb_in[bi] {
+                lb_in[bi] = inp;
+                changed = true;
+            }
+        }
+    }
+
+    // Decision pass: record, per block, the instruction indices needing a
+    // trailing checkpoint.
+    let mut inserted = 0;
+    for (b, lb) in lb_out.iter().enumerate() {
+        let id = BlockId(b as u32);
+        let mut need: Vec<(usize, turnpike_ir::Reg)> = Vec::new();
+        transfer_block(f, &live, id, lb, Some(&mut need));
+        // Insert from the back so indices stay valid.
+        for &(i, r) in need.iter() {
+            f.blocks[b].insts.insert(i + 1, Inst::Ckpt { reg: r });
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Backward transfer of the LB set through one block. When `record` is
+/// given, definitions whose register is in `LB` after them are pushed
+/// (in decreasing index order, ready for back-to-front insertion).
+fn transfer_block(
+    f: &Function,
+    live: &Liveness,
+    b: BlockId,
+    lb_out: &RegSet,
+    mut record: Option<&mut Vec<(usize, turnpike_ir::Reg)>>,
+) -> RegSet {
+    let blk = f.block(b);
+    let mut lb = lb_out.clone();
+    let mut live_now = live.live_out(b).clone();
+    for u in blk.term.uses() {
+        live_now.insert(u);
+    }
+    for i in (0..blk.insts.len()).rev() {
+        let inst = blk.insts[i];
+        if let Some(d) = inst.def() {
+            if lb.contains(d) {
+                if let Some(rec) = record.as_deref_mut() {
+                    rec.push((i, d));
+                }
+            }
+        }
+        if inst.is_boundary() {
+            lb = live_now.clone();
+        } else if let Some(d) = inst.def() {
+            lb.remove(d);
+        }
+        if let Some(d) = inst.def() {
+            live_now.remove(d);
+        }
+        for u in inst.uses() {
+            live_now.insert(u);
+        }
+    }
+    lb
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{FunctionBuilder, Operand, Reg};
+
+    #[test]
+    fn def_crossing_boundary_is_checkpointed() {
+        let mut b = FunctionBuilder::new("x");
+        let v = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(v, 3i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, v, 1i64); // v used after the boundary
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        assert_eq!(insert_checkpoints(&mut f), 1);
+        assert_eq!(f.blocks[0].insts[1], Inst::Ckpt { reg: v });
+        // w never crosses a boundary: no checkpoint for it.
+        assert_eq!(f.ckpt_count(), 1);
+    }
+
+    #[test]
+    fn dead_past_boundary_is_not_checkpointed() {
+        let mut b = FunctionBuilder::new("d");
+        let v = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(v, 3i64);
+        b.add(w, v, 1i64); // v consumed before the boundary
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        // Only w crosses.
+        assert_eq!(f.ckpt_count(), 1);
+        assert_eq!(f.blocks[0].insts[2], Inst::Ckpt { reg: w });
+    }
+
+    #[test]
+    fn only_last_def_in_region_is_checkpointed() {
+        // Figure 3(b): redefinition before the boundary kills the first
+        // definition's checkpoint.
+        let mut b = FunctionBuilder::new("last");
+        let v = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(v, 1i64);
+        b.add(v, v, 1i64); // redefines v
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, v, 0i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        assert_eq!(insert_checkpoints(&mut f), 1);
+        // The checkpoint follows the second definition (index 1).
+        assert_eq!(f.blocks[0].insts[2], Inst::Ckpt { reg: v });
+    }
+
+    #[test]
+    fn short_regions_checkpoint_more_figure3() {
+        // Figure 3(a) vs (b): the same code with a boundary between two
+        // defs of v checkpoints v twice; without it, once.
+        let build = |split: bool| {
+            let mut b = FunctionBuilder::new("f3");
+            let v = b.fresh_reg();
+            let w = b.fresh_reg();
+            b.add(v, v, 4i64);
+            if split {
+                b.inst(Inst::RegionBoundary { id: 1 });
+            }
+            b.add(v, v, 8i64); // models the reload in Fig 3
+            b.inst(Inst::RegionBoundary { id: 2 });
+            b.add(w, v, 0i64);
+            b.ret(Some(Operand::Reg(w)));
+            b.finish().unwrap()
+        };
+        let mut long = build(false);
+        let mut short = build(true);
+        insert_checkpoints(&mut long);
+        insert_checkpoints(&mut short);
+        assert_eq!(long.ckpt_count(), 1);
+        assert_eq!(short.ckpt_count(), 2);
+    }
+
+    #[test]
+    fn loop_carried_value_checkpointed_each_iteration() {
+        let mut b = FunctionBuilder::new("lc");
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.inst(Inst::RegionBoundary { id: 1 }); // header boundary
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        // i crosses the header boundary every iteration -> in-loop ckpt.
+        let in_loop: Vec<_> = f.blocks[1]
+            .insts
+            .iter()
+            .filter(|x| x.is_ckpt())
+            .collect();
+        assert_eq!(in_loop.len(), 1);
+        // c is consumed by the terminator before any boundary: no ckpt for
+        // it. The entry block's `mov i, 0` also crosses the header boundary,
+        // so the total is 2 (entry + in-loop).
+        assert_eq!(f.ckpt_count(), 2);
+    }
+
+    #[test]
+    fn strip_is_inverse_of_insert() {
+        let mut b = FunctionBuilder::new("s");
+        let v = b.fresh_reg();
+        b.mov(v, 3i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.store_abs(v, 0x1000);
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        let orig = f.clone();
+        let n = insert_checkpoints(&mut f);
+        assert_eq!(strip_ckpts(&mut f), n);
+        assert_eq!(f, orig);
+    }
+
+    #[test]
+    fn params_are_not_checkpointed_by_code() {
+        let mut b = FunctionBuilder::new("p");
+        let p = b.param();
+        let w = b.fresh_reg();
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, p, 1i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        assert_eq!(
+            f.blocks[0]
+                .insts
+                .iter()
+                .filter(|i| matches!(i, Inst::Ckpt { reg } if *reg == Reg(0)))
+                .count(),
+            0,
+            "params rely on pre-verified loader checkpoints"
+        );
+    }
+}

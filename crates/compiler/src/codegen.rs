@@ -1,0 +1,452 @@
+//! Code generation: allocated IR → flat machine program.
+//!
+//! By this point the function uses only physical register indices (`< 32`),
+//! every `Bin`/`Cmp` has a register left operand, and region boundaries carry
+//! stable ids. Codegen:
+//!
+//! 1. lays blocks out in index order and resolves branch targets;
+//! 2. renumbers region boundaries sequentially by PC (the ISA invariant);
+//! 3. generates one recovery block per static region: loads of the region's
+//!    live-in registers from their checkpoint slots, plus reconstruction
+//!    code for checkpoints pruned at that boundary;
+//! 4. emits the initial register image (program parameters).
+
+use crate::prune::PruneRecipes;
+use std::collections::{BTreeMap, HashMap};
+use turnpike_ir::{BlockId, Cfg, Inst, Liveness, Operand, Program, Reg, Terminator};
+use turnpike_isa::{
+    MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId,
+};
+
+/// Codegen failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CodegenError {
+    /// A register index exceeds the physical register file (the function was
+    /// not register-allocated).
+    UnallocatedReg(Reg),
+    /// A `Bin`/`Cmp` still has an immediate left operand (not legalized).
+    UnlegalizedImm,
+    /// An absolute address is negative.
+    NegativeAddress(i64),
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::UnallocatedReg(r) => write!(f, "register {r} is not physical"),
+            CodegenError::UnlegalizedImm => write!(f, "immediate left operand survived legalization"),
+            CodegenError::NegativeAddress(a) => write!(f, "negative absolute address {a}"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+fn phys(r: Reg) -> Result<PhysReg, CodegenError> {
+    u8::try_from(r.0)
+        .ok()
+        .and_then(|i| PhysReg::new(i).ok())
+        .ok_or(CodegenError::UnallocatedReg(r))
+}
+
+fn moperand(o: Operand) -> Result<MOperand, CodegenError> {
+    Ok(match o {
+        Operand::Reg(r) => MOperand::Reg(phys(r)?),
+        Operand::Imm(v) => MOperand::Imm(v),
+    })
+}
+
+fn maddr(a: turnpike_ir::Addr) -> Result<MachAddr, CodegenError> {
+    Ok(match a.base {
+        Some(b) => MachAddr::RegOffset(phys(b)?, a.offset),
+        None => {
+            if a.offset < 0 {
+                return Err(CodegenError::NegativeAddress(a.offset));
+            }
+            MachAddr::Abs(a.offset as u64)
+        }
+    })
+}
+
+fn lower_inst(inst: &Inst) -> Result<Option<MachInst>, CodegenError> {
+    Ok(Some(match *inst {
+        Inst::Bin { op, dst, lhs, rhs } => {
+            let Operand::Reg(l) = lhs else {
+                return Err(CodegenError::UnlegalizedImm);
+            };
+            MachInst::Bin {
+                op,
+                dst: phys(dst)?,
+                lhs: phys(l)?,
+                rhs: moperand(rhs)?,
+            }
+        }
+        Inst::Cmp { op, dst, lhs, rhs } => {
+            let Operand::Reg(l) = lhs else {
+                return Err(CodegenError::UnlegalizedImm);
+            };
+            MachInst::Cmp {
+                op,
+                dst: phys(dst)?,
+                lhs: phys(l)?,
+                rhs: moperand(rhs)?,
+            }
+        }
+        Inst::Mov { dst, src } => MachInst::Mov {
+            dst: phys(dst)?,
+            src: moperand(src)?,
+        },
+        Inst::Load { dst, addr } => MachInst::Load {
+            dst: phys(dst)?,
+            addr: maddr(addr)?,
+        },
+        Inst::Store { src, addr } => MachInst::Store {
+            src: moperand(src)?,
+            addr: maddr(addr)?,
+        },
+        Inst::Ckpt { reg } => MachInst::Ckpt { reg: phys(reg)? },
+        // Placeholder id; renumbered below.
+        Inst::RegionBoundary { .. } => MachInst::RegionBoundary { id: RegionId(0) },
+        Inst::Nop => return Ok(None),
+    }))
+}
+
+/// Lower a function to a machine program.
+///
+/// `recipes` carries pruning reconstruction code (empty when pruning is
+/// disabled or the function has no regions).
+///
+/// # Errors
+///
+/// See [`CodegenError`]; all variants indicate pipeline bugs rather than
+/// user-facing conditions.
+pub fn codegen(
+    program: &Program,
+    recipes: &PruneRecipes,
+) -> Result<MachProgram, CodegenError> {
+    let f = &program.func;
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+
+    // Pass 1: per-block machine instruction counts (for target resolution).
+    let mut lowered: Vec<Vec<MachInst>> = Vec::with_capacity(f.blocks.len());
+    // Remember which lowered positions are boundaries, with their stable id
+    // and their (block, index) for liveness queries.
+    struct BoundaryInfo {
+        stable_id: u32,
+        block: BlockId,
+        inst_idx: usize,
+        local_pc: usize,
+    }
+    let mut boundaries: Vec<BoundaryInfo> = Vec::new();
+    for (bid, blk) in f.iter_blocks() {
+        let mut insts = Vec::with_capacity(blk.insts.len());
+        for (ii, inst) in blk.insts.iter().enumerate() {
+            if let Some(m) = lower_inst(inst)? {
+                if let Inst::RegionBoundary { id } = *inst {
+                    boundaries.push(BoundaryInfo {
+                        stable_id: id,
+                        block: bid,
+                        inst_idx: ii,
+                        local_pc: insts.len(),
+                    });
+                }
+                insts.push(m);
+            }
+        }
+        lowered.push(insts);
+    }
+
+    // Terminator sizes: computed per block given fall-through elision.
+    let n = f.blocks.len();
+    let mut term_size = vec![0usize; n];
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        let next = bi + 1;
+        term_size[bi] = match blk.term {
+            Terminator::Jump(t) => usize::from(t.index() != next),
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if then_bb == else_bb {
+                    usize::from(then_bb.index() != next)
+                } else {
+                    1 + usize::from(else_bb.index() != next)
+                }
+            }
+            Terminator::Ret { .. } => 1,
+        };
+    }
+    let mut block_start = vec![0u32; n];
+    let mut pc = 0u32;
+    for bi in 0..n {
+        block_start[bi] = pc;
+        pc += (lowered[bi].len() + term_size[bi]) as u32;
+    }
+
+    // Pass 2: emit with resolved targets.
+    let mut insts: Vec<MachInst> = Vec::with_capacity(pc as usize);
+    for (bi, blk) in f.blocks.iter().enumerate() {
+        insts.extend(lowered[bi].iter().copied());
+        let next = bi + 1;
+        match blk.term {
+            Terminator::Jump(t) => {
+                if t.index() != next {
+                    insts.push(MachInst::Jump {
+                        target: block_start[t.index()],
+                    });
+                }
+            }
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                if then_bb == else_bb {
+                    if then_bb.index() != next {
+                        insts.push(MachInst::Jump {
+                            target: block_start[then_bb.index()],
+                        });
+                    }
+                } else {
+                    insts.push(MachInst::BranchNz {
+                        cond: phys(cond)?,
+                        target: block_start[then_bb.index()],
+                    });
+                    if else_bb.index() != next {
+                        insts.push(MachInst::Jump {
+                            target: block_start[else_bb.index()],
+                        });
+                    }
+                }
+            }
+            Terminator::Ret { value } => {
+                let value = value.map(moperand).transpose()?;
+                insts.push(MachInst::Ret { value });
+            }
+        }
+    }
+
+    // Renumber boundaries sequentially by PC; map stable id → RegionId.
+    let mut stable_to_region: HashMap<u32, RegionId> = HashMap::new();
+    {
+        let mut k = 1u32;
+        for inst in insts.iter_mut() {
+            if let MachInst::RegionBoundary { id } = inst {
+                *id = RegionId(k);
+                k += 1;
+            }
+        }
+        // Recover the association via flat PC order of the recorded
+        // boundaries (same order as emission: block index, then local pc).
+        let mut order: Vec<&BoundaryInfo> = boundaries.iter().collect();
+        order.sort_by_key(|b| block_start[b.block.index()] + b.local_pc as u32);
+        for (idx, b) in order.iter().enumerate() {
+            stable_to_region.insert(b.stable_id, RegionId(idx as u32 + 1));
+        }
+    }
+
+    // Recovery blocks.
+    let mut recovery: BTreeMap<RegionId, RecoveryBlock> = BTreeMap::new();
+    // Region 0: restore parameters from their (pre-verified) slots.
+    let mut r0 = RecoveryBlock::new();
+    for &p in &f.params {
+        let pr = phys(p)?;
+        r0.insts.push(MachInst::Load {
+            dst: pr,
+            addr: MachAddr::CkptSlot(pr),
+        });
+    }
+    recovery.insert(RegionId(0), r0);
+    for b in &boundaries {
+        let region = stable_to_region[&b.stable_id];
+        let live_here = live.live_before(f, b.block, b.inst_idx);
+        let pruned: Vec<Reg> = recipes.pruned_at(b.stable_id).collect();
+        let mut blk = RecoveryBlock::new();
+        for r in live_here.iter() {
+            if pruned.contains(&r) {
+                continue;
+            }
+            let pr = phys(r)?;
+            blk.insts.push(MachInst::Load {
+                dst: pr,
+                addr: MachAddr::CkptSlot(pr),
+            });
+        }
+        if let Some(list) = recipes.by_boundary.get(&b.stable_id) {
+            for (_, def) in list {
+                if let Some(m) = lower_inst(def)? {
+                    blk.insts.push(m);
+                }
+            }
+        }
+        recovery.insert(region, blk);
+    }
+
+    let reg_init: Vec<(PhysReg, i64)> = f
+        .params
+        .iter()
+        .zip(&program.param_values)
+        .map(|(&p, &v)| Ok((phys(p)?, v)))
+        .collect::<Result<_, CodegenError>>()?;
+
+    let out = MachProgram {
+        name: f.name.clone(),
+        insts,
+        data: program.data.clone(),
+        reg_init,
+        recovery,
+    };
+    debug_assert_eq!(out.validate(), Ok(()));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{DataSegment, FunctionBuilder};
+    use turnpike_isa::interp as misa;
+
+    fn small_prog() -> Program {
+        let mut b = FunctionBuilder::new("cg");
+        let base = b.param();
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store(i, base, 0);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 5i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        Program::with_params(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1), vec![0x1000])
+    }
+
+    #[test]
+    fn lowered_program_matches_ir_interpreter() {
+        let p = small_prog();
+        let golden = turnpike_ir::interp::golden(&p).unwrap();
+        let m = codegen(&p, &PruneRecipes::default()).unwrap();
+        m.validate().unwrap();
+        let out = misa::run(&m, &misa::MachInterpConfig::default()).unwrap();
+        assert_eq!(out.ret, golden.0);
+        assert_eq!(out.memory, golden.1);
+    }
+
+    #[test]
+    fn boundary_renumbering_is_sequential() {
+        let mut b = FunctionBuilder::new("rb");
+        let x = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.inst(Inst::RegionBoundary { id: 41 });
+        b.store_abs(x, 0x1000);
+        b.inst(Inst::RegionBoundary { id: 7 });
+        b.ret(None);
+        let f = b.finish().unwrap();
+        let p = Program::new(f, DataSegment::zeroed(0, 0));
+        let m = codegen(&p, &PruneRecipes::default()).unwrap();
+        let ids: Vec<u32> = m
+            .insts
+            .iter()
+            .filter_map(|i| match i {
+                MachInst::RegionBoundary { id } => Some(id.0),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(m.num_regions(), 3);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn recovery_blocks_cover_live_ins() {
+        let mut b = FunctionBuilder::new("rec");
+        let v = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(v, 3i64);
+        b.inst(Inst::Ckpt { reg: v });
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, v, 1i64);
+        b.ret(Some(Operand::Reg(w)));
+        let f = b.finish().unwrap();
+        let p = Program::new(f, DataSegment::zeroed(0, 0));
+        let m = codegen(&p, &PruneRecipes::default()).unwrap();
+        let r1 = &m.recovery[&RegionId(1)];
+        // v is live into region 1 -> restored from its slot.
+        assert!(r1.insts.iter().any(|i| matches!(
+            i,
+            MachInst::Load { addr: MachAddr::CkptSlot(r), .. } if r.index() == 0
+        )));
+        // Region 0 exists with an (empty) recovery block: no params.
+        assert!(m.recovery[&RegionId(0)].insts.is_empty());
+    }
+
+    #[test]
+    fn pruned_registers_use_recipes_not_loads() {
+        let mut b = FunctionBuilder::new("pr");
+        let a = b.fresh_reg();
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(a, 5i64);
+        b.inst(Inst::Ckpt { reg: a });
+        b.bin(turnpike_ir::BinOp::Add, r, a, 9i64);
+        b.inst(Inst::RegionBoundary { id: 3 });
+        b.add(w, r, Operand::Reg(a));
+        b.ret(Some(Operand::Reg(w)));
+        let f = b.finish().unwrap();
+        let p = Program::new(f, DataSegment::zeroed(0, 0));
+        let mut recipes = PruneRecipes::default();
+        recipes.by_boundary.insert(
+            3,
+            vec![(
+                r,
+                Inst::Bin {
+                    op: turnpike_ir::BinOp::Add,
+                    dst: r,
+                    lhs: Operand::Reg(a),
+                    rhs: Operand::Imm(9),
+                },
+            )],
+        );
+        let m = codegen(&p, &recipes).unwrap();
+        let blk = &m.recovery[&RegionId(1)];
+        // No slot load for r, but an add reconstructing it.
+        assert!(!blk.insts.iter().any(|i| matches!(
+            i,
+            MachInst::Load { addr: MachAddr::CkptSlot(x), .. } if x.index() == 1
+        )));
+        assert!(blk.insts.iter().any(|i| matches!(
+            i,
+            MachInst::Bin { dst, .. } if dst.index() == 1
+        )));
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn params_initialize_registers_and_region0_recovery() {
+        let p = small_prog();
+        let m = codegen(&p, &PruneRecipes::default()).unwrap();
+        assert_eq!(m.reg_init.len(), 1);
+        assert_eq!(m.reg_init[0].1, 0x1000);
+        let r0 = &m.recovery[&RegionId(0)];
+        assert_eq!(r0.insts.len(), 1);
+    }
+
+    #[test]
+    fn fallthrough_jumps_are_elided() {
+        let mut b = FunctionBuilder::new("ft");
+        let x = b.fresh_reg();
+        let nextb = b.create_block();
+        b.mov(x, 1i64);
+        b.jump(nextb);
+        b.switch_to(nextb);
+        b.ret(Some(Operand::Reg(x)));
+        let f = b.finish().unwrap();
+        let p = Program::new(f, DataSegment::zeroed(0, 0));
+        let m = codegen(&p, &PruneRecipes::default()).unwrap();
+        assert!(!m.insts.iter().any(|i| matches!(i, MachInst::Jump { .. })));
+    }
+}

@@ -1,0 +1,180 @@
+//! Compiler configuration and per-pass statistics.
+
+use std::fmt;
+
+/// Which passes the compiler runs.
+///
+/// The eight evaluation configurations of the paper's Figure 21 are sweeps
+/// over this struct: `baseline()` (no resilience), `turnstile(sb)` (regions +
+/// eager checkpointing only), and `turnpike(sb)` (everything on); the
+/// intermediate rungs toggle individual fields.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompilerConfig {
+    /// Insert verifiable regions and eager checkpoints (Turnstile base).
+    /// When `false`, the program compiles without any resilience support.
+    pub resilient: bool,
+    /// Store buffer size of the target core; the region partitioner keeps
+    /// each region at or below `max(1, sb_size / 2)` stores so one region's
+    /// verification can overlap the next region's execution (paper §4.3.1).
+    pub sb_size: u32,
+    /// Loop induction variable merging (paper §4.1.2).
+    pub livm: bool,
+    /// Optimal checkpoint pruning (paper §4.1.3).
+    pub prune: bool,
+    /// Checkpoint sinking / loop-invariant code motion (paper §4.1.4).
+    pub licm: bool,
+    /// Checkpoint-aware instruction scheduling (paper §4.2).
+    pub sched: bool,
+    /// Store-aware register allocation: weight spill-cost writes higher so
+    /// frequently-written variables stay in registers (paper §4.1.1).
+    pub store_aware_ra: bool,
+}
+
+impl CompilerConfig {
+    /// No resilience support at all (the paper's normalization baseline).
+    pub fn baseline() -> Self {
+        CompilerConfig {
+            resilient: false,
+            sb_size: 4,
+            livm: false,
+            prune: false,
+            licm: false,
+            sched: false,
+            store_aware_ra: false,
+        }
+    }
+
+    /// Turnstile: regions + eager checkpointing, no Turnpike optimizations.
+    pub fn turnstile(sb_size: u32) -> Self {
+        CompilerConfig {
+            resilient: true,
+            sb_size,
+            livm: false,
+            prune: false,
+            licm: false,
+            sched: false,
+            store_aware_ra: false,
+        }
+    }
+
+    /// Full Turnpike: all compiler optimizations enabled.
+    pub fn turnpike(sb_size: u32) -> Self {
+        CompilerConfig {
+            resilient: true,
+            sb_size,
+            livm: true,
+            prune: true,
+            licm: true,
+            sched: true,
+            store_aware_ra: true,
+        }
+    }
+
+    /// The region store budget derived from the SB size.
+    pub fn region_budget(&self) -> u32 {
+        (self.sb_size / 2).max(1)
+    }
+}
+
+impl Default for CompilerConfig {
+    /// Defaults to full Turnpike on a 4-entry store buffer (the paper's
+    /// Cortex-A53 configuration).
+    fn default() -> Self {
+        CompilerConfig::turnpike(4)
+    }
+}
+
+/// Statistics collected while compiling; feeds the store-breakdown and
+/// code-size analyses (paper Figures 4, 23, 26).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// Checkpoints present after eager insertion (before pruning/LICM).
+    pub ckpts_inserted: u32,
+    /// Checkpoints removed by optimal pruning.
+    pub ckpts_pruned: u32,
+    /// Net checkpoints removed by LICM loop-exit sinking.
+    pub ckpts_licm_removed: u32,
+    /// Spill stores emitted by register allocation.
+    pub spill_stores: u32,
+    /// Spill reload loads emitted by register allocation.
+    pub spill_loads: u32,
+    /// Virtual registers spilled.
+    pub spilled_vregs: u32,
+    /// Loop induction variables merged away by LIVM.
+    pub ivs_merged: u32,
+    /// Region boundaries in the final code.
+    pub boundaries: u32,
+    /// Extra boundary-splitting fixpoint iterations taken.
+    pub split_iterations: u32,
+    /// Machine instructions in the final program.
+    pub final_insts: u32,
+    /// Machine instructions a baseline (resilience-free) compile of the same
+    /// function would contain; set by the pipeline for code-size accounting.
+    pub baseline_insts: u32,
+}
+
+impl PassStats {
+    /// Code-size increase of the resilient binary over the baseline,
+    /// as a fraction (e.g. `0.05` = 5%). Zero when baseline size is unknown.
+    pub fn code_size_increase(&self) -> f64 {
+        if self.baseline_insts == 0 {
+            0.0
+        } else {
+            self.final_insts as f64 / self.baseline_insts as f64 - 1.0
+        }
+    }
+}
+
+impl fmt::Display for PassStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "ckpts: {} inserted, {} pruned, {} licm-removed; spills: {} stores/{} loads ({} vregs); \
+             {} IVs merged; {} boundaries; insts {} vs baseline {} ({:+.1}%)",
+            self.ckpts_inserted,
+            self.ckpts_pruned,
+            self.ckpts_licm_removed,
+            self.spill_stores,
+            self.spill_loads,
+            self.spilled_vregs,
+            self.ivs_merged,
+            self.boundaries,
+            self.final_insts,
+            self.baseline_insts,
+            self.code_size_increase() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets() {
+        let b = CompilerConfig::baseline();
+        assert!(!b.resilient && !b.prune);
+        let t = CompilerConfig::turnstile(4);
+        assert!(t.resilient && !t.prune && !t.licm && !t.sched && !t.livm && !t.store_aware_ra);
+        let p = CompilerConfig::turnpike(4);
+        assert!(p.resilient && p.prune && p.licm && p.sched && p.livm && p.store_aware_ra);
+        assert_eq!(CompilerConfig::default(), p);
+    }
+
+    #[test]
+    fn region_budget_floors_at_one() {
+        assert_eq!(CompilerConfig::turnstile(4).region_budget(), 2);
+        assert_eq!(CompilerConfig::turnstile(1).region_budget(), 1);
+        assert_eq!(CompilerConfig::turnstile(40).region_budget(), 20);
+    }
+
+    #[test]
+    fn code_size_increase() {
+        let mut s = PassStats::default();
+        assert_eq!(s.code_size_increase(), 0.0);
+        s.baseline_insts = 100;
+        s.final_insts = 105;
+        assert!((s.code_size_increase() - 0.05).abs() < 1e-12);
+        assert!(s.to_string().contains("+5.0%"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Dead code elimination.
+//!
+//! Removes pure instructions whose results are never used. Run after LIVM to
+//! sweep the merged induction variable's now-dead initialization and
+//! increment.
+
+use turnpike_ir::{Cfg, Function, Inst, Liveness};
+
+/// Remove dead pure instructions. Returns the number removed.
+///
+/// An instruction is dead when it defines a register that is not live
+/// immediately after it and it has no side effects (loads are treated as
+/// pure: the memory model has no volatile locations).
+pub fn dce(f: &mut Function) -> u32 {
+    let mut removed = 0;
+    loop {
+        let cfg = Cfg::compute(f);
+        let live = Liveness::compute(f, &cfg);
+        let mut changed = false;
+        for b in 0..f.blocks.len() {
+            let id = turnpike_ir::BlockId(b as u32);
+            // Walk backward keeping a running live set.
+            let mut live_now = live.live_out(id).clone();
+            for u in f.blocks[b].term.uses() {
+                live_now.insert(u);
+            }
+            for i in (0..f.blocks[b].insts.len()).rev() {
+                let inst = f.blocks[b].insts[i];
+                let dead = match inst {
+                    Inst::Bin { dst, .. }
+                    | Inst::Cmp { dst, .. }
+                    | Inst::Mov { dst, .. }
+                    | Inst::Load { dst, .. } => !live_now.contains(dst),
+                    _ => false,
+                };
+                if dead {
+                    f.blocks[b].insts[i] = Inst::Nop;
+                    removed += 1;
+                    changed = true;
+                    continue;
+                }
+                if let Some(d) = inst.def() {
+                    live_now.remove(d);
+                }
+                for u in inst.uses() {
+                    live_now.insert(u);
+                }
+            }
+        }
+        f.sweep_nops();
+        if !changed {
+            break;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn removes_unused_chain() {
+        let mut b = FunctionBuilder::new("d");
+        let x = b.fresh_reg();
+        let y = b.fresh_reg();
+        let z = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.add(y, x, 2i64); // dead (z dead, y only feeds z)
+        b.add(z, y, 3i64); // dead
+        b.mov(x, 5i64);
+        b.ret(Some(Operand::Reg(x)));
+        let mut f = b.finish().unwrap();
+        let n = dce(&mut f);
+        assert_eq!(n, 3); // first mov x, add y, add z all dead
+        assert_eq!(f.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn keeps_stores_and_ckpts() {
+        let mut b = FunctionBuilder::new("k");
+        let x = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.store_abs(x, 0x1000);
+        b.inst(turnpike_ir::Inst::Ckpt { reg: x });
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        assert_eq!(dce(&mut f), 0);
+        assert_eq!(f.blocks[0].insts.len(), 3);
+    }
+
+    #[test]
+    fn keeps_loop_carried_values() {
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        let mut f = b.finish().unwrap();
+        assert_eq!(dce(&mut f), 0);
+    }
+}

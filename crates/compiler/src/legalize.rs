@@ -1,0 +1,250 @@
+//! Legalization: rewrite IR forms the machine cannot encode.
+//!
+//! The target machine requires the left operand of `Bin`/`Cmp` to be a
+//! register and limits immediate-operand stores to 8-bit values, so this pass
+//! (1) constant-folds all-immediate operations, (2) swaps commutative (or
+//! mirrors comparison) operands, (3) materializes remaining immediates into
+//! fresh registers, and (4) widens store immediates through a register.
+
+use turnpike_ir::{BinOp, CmpOp, Function, Inst, Operand, Reg};
+
+/// Whether a binary operation commutes.
+fn commutative(op: BinOp) -> bool {
+    matches!(
+        op,
+        BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor
+    )
+}
+
+/// The comparison with operands swapped (`a op b` == `b mirror(op) a`).
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+    }
+}
+
+/// Run legalization in place.
+pub fn legalize(f: &mut Function) {
+    for b in 0..f.blocks.len() {
+        let old = std::mem::take(&mut f.blocks[b].insts);
+        let mut new = Vec::with_capacity(old.len());
+        for inst in old {
+            match inst {
+                Inst::Bin { op, dst, lhs, rhs } => match (lhs, rhs) {
+                    (Operand::Imm(a), Operand::Imm(bv)) => {
+                        new.push(Inst::Mov {
+                            dst,
+                            src: Operand::Imm(op.eval(a, bv)),
+                        });
+                    }
+                    (Operand::Imm(_), Operand::Reg(_)) if commutative(op) => {
+                        new.push(Inst::Bin {
+                            op,
+                            dst,
+                            lhs: rhs,
+                            rhs: lhs,
+                        });
+                    }
+                    (Operand::Imm(a), Operand::Reg(_)) => {
+                        let t = fresh(f_regs(&mut f.num_regs));
+                        new.push(Inst::Mov {
+                            dst: t,
+                            src: Operand::Imm(a),
+                        });
+                        new.push(Inst::Bin {
+                            op,
+                            dst,
+                            lhs: Operand::Reg(t),
+                            rhs,
+                        });
+                    }
+                    _ => new.push(inst),
+                },
+                Inst::Cmp { op, dst, lhs, rhs } => match (lhs, rhs) {
+                    (Operand::Imm(a), Operand::Imm(bv)) => {
+                        new.push(Inst::Mov {
+                            dst,
+                            src: Operand::Imm(op.eval(a, bv)),
+                        });
+                    }
+                    (Operand::Imm(_), Operand::Reg(_)) => {
+                        new.push(Inst::Cmp {
+                            op: mirror(op),
+                            dst,
+                            lhs: rhs,
+                            rhs: lhs,
+                        });
+                    }
+                    _ => new.push(inst),
+                },
+                Inst::Store { src, addr } => match src {
+                    Operand::Imm(v) if i8::try_from(v).is_err() => {
+                        let t = fresh(f_regs(&mut f.num_regs));
+                        new.push(Inst::Mov {
+                            dst: t,
+                            src: Operand::Imm(v),
+                        });
+                        new.push(Inst::Store {
+                            src: Operand::Reg(t),
+                            addr,
+                        });
+                    }
+                    _ => new.push(inst),
+                },
+                other => new.push(other),
+            }
+        }
+        f.blocks[b].insts = new;
+    }
+}
+
+fn f_regs(num_regs: &mut u32) -> &mut u32 {
+    num_regs
+}
+
+fn fresh(num_regs: &mut u32) -> Reg {
+    let r = Reg(*num_regs);
+    *num_regs += 1;
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{verify_function, BasicBlock, Terminator};
+
+    fn wrap(insts: Vec<Inst>, num_regs: u32) -> Function {
+        let mut f = Function::empty("t");
+        f.num_regs = num_regs;
+        f.blocks = vec![BasicBlock {
+            insts,
+            term: Terminator::Ret { value: None },
+        }];
+        f
+    }
+
+    #[test]
+    fn folds_constant_ops() {
+        let mut f = wrap(
+            vec![Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg(0),
+                lhs: Operand::Imm(2),
+                rhs: Operand::Imm(3),
+            }],
+            1,
+        );
+        legalize(&mut f);
+        assert_eq!(
+            f.blocks[0].insts,
+            vec![Inst::Mov {
+                dst: Reg(0),
+                src: Operand::Imm(5)
+            }]
+        );
+    }
+
+    #[test]
+    fn swaps_commutative_imm_lhs() {
+        let mut f = wrap(
+            vec![Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg(0),
+                lhs: Operand::Imm(7),
+                rhs: Operand::Reg(Reg(1)),
+            }],
+            2,
+        );
+        legalize(&mut f);
+        assert_eq!(
+            f.blocks[0].insts,
+            vec![Inst::Bin {
+                op: BinOp::Add,
+                dst: Reg(0),
+                lhs: Operand::Reg(Reg(1)),
+                rhs: Operand::Imm(7)
+            }]
+        );
+    }
+
+    #[test]
+    fn materializes_noncommutative_imm_lhs() {
+        let mut f = wrap(
+            vec![Inst::Bin {
+                op: BinOp::Sub,
+                dst: Reg(0),
+                lhs: Operand::Imm(7),
+                rhs: Operand::Reg(Reg(1)),
+            }],
+            2,
+        );
+        legalize(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+        assert_eq!(f.num_regs, 3);
+        assert!(matches!(f.blocks[0].insts[0], Inst::Mov { dst: Reg(2), .. }));
+        verify_function(&f).unwrap();
+    }
+
+    #[test]
+    fn mirrors_comparison() {
+        let mut f = wrap(
+            vec![Inst::Cmp {
+                op: CmpOp::Lt,
+                dst: Reg(0),
+                lhs: Operand::Imm(5),
+                rhs: Operand::Reg(Reg(1)),
+            }],
+            2,
+        );
+        legalize(&mut f);
+        // 5 < r1  ==  r1 > 5
+        assert_eq!(
+            f.blocks[0].insts,
+            vec![Inst::Cmp {
+                op: CmpOp::Gt,
+                dst: Reg(0),
+                lhs: Operand::Reg(Reg(1)),
+                rhs: Operand::Imm(5)
+            }]
+        );
+    }
+
+    #[test]
+    fn widens_large_store_immediates() {
+        let mut f = wrap(
+            vec![Inst::Store {
+                src: Operand::Imm(1000),
+                addr: turnpike_ir::Addr::abs(0x1000),
+            }],
+            0,
+        );
+        legalize(&mut f);
+        assert_eq!(f.blocks[0].insts.len(), 2);
+        // Small immediates stay.
+        let mut g = wrap(
+            vec![Inst::Store {
+                src: Operand::Imm(-5),
+                addr: turnpike_ir::Addr::abs(0x1000),
+            }],
+            0,
+        );
+        legalize(&mut g);
+        assert_eq!(g.blocks[0].insts.len(), 1);
+    }
+
+    #[test]
+    fn mirror_semantics_match() {
+        for op in CmpOp::ALL {
+            for a in [-3i64, 0, 5] {
+                for b in [-2i64, 0, 5] {
+                    assert_eq!(op.eval(a, b), mirror(op).eval(b, a), "{op:?} {a} {b}");
+                }
+            }
+        }
+    }
+}

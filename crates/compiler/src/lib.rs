@@ -1,0 +1,39 @@
+//! The Turnstile/Turnpike compiler for the MICRO'21 reproduction.
+//!
+//! Lowers `turnpike-ir` programs to `turnpike-isa` machine code while
+//! instrumenting them for acoustic-sensor-based soft error resilience:
+//!
+//! * **Region partitioning** ([`partition`]) keeps every verifiable region
+//!   within the store-buffer budget.
+//! * **Eager checkpointing** ([`checkpoint`]) saves updated live-out
+//!   registers right after their definitions (Turnstile, the baseline).
+//! * **Turnpike optimizations**: store-aware register allocation
+//!   ([`regalloc`]), loop induction variable merging ([`livm`]), optimal
+//!   checkpoint pruning ([`prune`]), checkpoint sinking/LICM ([`licm`]), and
+//!   checkpoint-aware instruction scheduling ([`sched`]).
+//!
+//! Entry point: [`compile`] with a [`CompilerConfig`]; see the function-level
+//! example there. The eight configurations evaluated in the paper's Figure 21
+//! are sweeps over [`CompilerConfig`] plus the hardware toggles in
+//! `turnpike-sim`.
+
+pub mod checkpoint;
+pub mod codegen;
+pub mod config;
+pub mod dce;
+pub mod legalize;
+pub mod licm;
+pub mod livm;
+pub mod partition;
+pub mod pipeline;
+pub mod prune;
+pub mod regalloc;
+pub mod sched;
+pub mod snapshots;
+
+pub use codegen::{codegen, CodegenError};
+pub use config::{CompilerConfig, PassStats};
+pub use pipeline::{compile, CompileError, CompileOutput};
+pub use prune::PruneRecipes;
+pub use regalloc::{AllocError, SPILL_BASE};
+pub use snapshots::{compile_with_snapshots, Snapshot};

@@ -1,0 +1,278 @@
+//! Checkpoint sinking and loop-exit motion (paper §4.1.4).
+//!
+//! Eager checkpointing places the checkpoint right after the defining
+//! instruction, but correctness only requires it *somewhere before the
+//! region boundary* the value crosses. This pass exploits that slack twice:
+//!
+//! * **In-segment sinking** — every checkpoint moves to the end of its
+//!   segment (just before the boundary or block end). This widens the gap
+//!   between a definition and its dependent checkpoint store, attacking the
+//!   same data hazard the scheduler targets.
+//! * **Loop-exit motion** — in a loop whose body contains *no* region
+//!   boundary, nothing inside the loop ever crosses a boundary, so the
+//!   per-iteration checkpoints of a register are all redundant except for
+//!   the final value; they are replaced by a single checkpoint at each loop
+//!   exit. (These boundary-free loops exist because the partitioner only
+//!   forces header boundaries on loops that contain stores.)
+//!
+//! Loop-exit motion is rejected when it would push any region past the
+//! hard store-buffer bound (which would risk a structural deadlock).
+
+use crate::partition::max_region_stores;
+use turnpike_ir::{BlockId, Cfg, DomTree, Function, Inst, LoopForest, Reg};
+
+/// Result counters for the pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LicmOutcome {
+    /// Checkpoints removed from loop bodies.
+    pub removed: u32,
+    /// Checkpoints inserted at loop exits.
+    pub inserted: u32,
+}
+
+impl LicmOutcome {
+    /// Net static checkpoints eliminated.
+    pub fn net_removed(&self) -> u32 {
+        self.removed.saturating_sub(self.inserted)
+    }
+}
+
+/// Run both sinking flavours. `sb_size` is the hard per-region store bound
+/// used to gate loop-exit motion.
+pub fn licm_sink(f: &mut Function, sb_size: u32) -> LicmOutcome {
+    sink_in_segments(f);
+    let out = hoist_out_of_loops(f, sb_size);
+    sink_in_segments(f);
+    out
+}
+
+/// Move each checkpoint to the end of its segment. Safe because between an
+/// eager checkpoint and its segment end the register is never redefined
+/// (verified defensively per move).
+pub fn sink_in_segments(f: &mut Function) {
+    for b in &mut f.blocks {
+        let old = std::mem::take(&mut b.insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(old.len());
+        let mut pending: Vec<Reg> = Vec::new();
+        for inst in old {
+            match inst {
+                Inst::Ckpt { reg } => {
+                    if !pending.contains(&reg) {
+                        pending.push(reg);
+                    }
+                }
+                Inst::RegionBoundary { .. } => {
+                    for r in pending.drain(..) {
+                        new.push(Inst::Ckpt { reg: r });
+                    }
+                    new.push(inst);
+                }
+                _ => {
+                    // A redefinition of a pending register forces its
+                    // checkpoint to stay ahead of the new value.
+                    if let Some(d) = inst.def() {
+                        if let Some(pos) = pending.iter().position(|&r| r == d) {
+                            pending.remove(pos);
+                            new.push(Inst::Ckpt { reg: d });
+                        }
+                    }
+                    new.push(inst);
+                }
+            }
+        }
+        for r in pending {
+            new.push(Inst::Ckpt { reg: r });
+        }
+        b.insts = new;
+    }
+}
+
+/// Replace per-iteration checkpoints in boundary-free loops with a single
+/// checkpoint per register at each loop exit.
+fn hoist_out_of_loops(f: &mut Function, sb_size: u32) -> LicmOutcome {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let forest = LoopForest::compute(&cfg, &dom);
+    let mut out = LicmOutcome::default();
+
+    // Innermost first so nested motion composes.
+    let mut loops: Vec<&turnpike_ir::Loop> = forest.loops().iter().collect();
+    loops.sort_by_key(|l| l.body.len());
+
+    for l in loops {
+        let has_boundary = l
+            .body
+            .iter()
+            .any(|&b| f.block(b).insts.iter().any(|i| i.is_boundary()));
+        if has_boundary {
+            continue;
+        }
+        // Registers checkpointed inside the body.
+        let mut regs: Vec<Reg> = Vec::new();
+        let mut count = 0u32;
+        for &b in &l.body {
+            for inst in &f.block(b).insts {
+                if let Inst::Ckpt { reg } = *inst {
+                    count += 1;
+                    if !regs.contains(&reg) {
+                        regs.push(reg);
+                    }
+                }
+            }
+        }
+        if regs.is_empty() {
+            continue;
+        }
+        // Exit targets: out-of-loop successors of exiting blocks.
+        let mut exits: Vec<BlockId> = Vec::new();
+        for &e in &l.exiting {
+            for &s in cfg.succs(e) {
+                if !l.contains(s) && !exits.contains(&s) {
+                    exits.push(s);
+                }
+            }
+        }
+        if exits.is_empty() {
+            continue; // infinite loop shape; leave untouched
+        }
+        // Tentatively transform, then verify the store bound.
+        let snapshot: Vec<(usize, Vec<Inst>)> = l
+            .body
+            .iter()
+            .chain(exits.iter())
+            .map(|&b| (b.index(), f.block(b).insts.clone()))
+            .collect();
+        let mut removed = 0;
+        for &b in &l.body {
+            let blk = f.block_mut(b);
+            let before = blk.insts.len();
+            blk.insts.retain(|i| !i.is_ckpt());
+            removed += (before - blk.insts.len()) as u32;
+        }
+        let mut inserted = 0;
+        for &e in &exits {
+            let blk = f.block_mut(e);
+            for (k, &r) in regs.iter().enumerate() {
+                blk.insts.insert(k, Inst::Ckpt { reg: r });
+                inserted += 1;
+            }
+        }
+        if max_region_stores(f, sb_size) > sb_size {
+            // Revert: would risk a store-buffer deadlock.
+            for (bi, insts) in snapshot {
+                f.blocks[bi].insts = insts;
+            }
+            continue;
+        }
+        debug_assert_eq!(removed, count);
+        out.removed += removed;
+        out.inserted += inserted;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::insert_checkpoints;
+    use turnpike_ir::{FunctionBuilder, Operand};
+
+    #[test]
+    fn sinking_moves_ckpt_to_boundary() {
+        let mut b = FunctionBuilder::new("s");
+        let v = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(v, 1i64);
+        b.inst(Inst::Ckpt { reg: v });
+        b.mov(w, 2i64);
+        b.inst(Inst::Ckpt { reg: w });
+        b.add(w, w, 0i64); // redefines w: its ckpt must stay before this
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.ret(Some(Operand::Reg(v)));
+        let mut f = b.finish().unwrap();
+        sink_in_segments(&mut f);
+        let insts = &f.blocks[0].insts;
+        // v's ckpt sank to just before the boundary; w's pinned before redef.
+        let vpos = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Ckpt { reg } if reg.0 == 0))
+            .unwrap();
+        let bpos = insts.iter().position(|i| i.is_boundary()).unwrap();
+        assert_eq!(vpos + 1, bpos);
+        let wpos = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Ckpt { reg } if reg.0 == 1))
+            .unwrap();
+        let redef = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Bin { dst, .. } if dst.0 == 1))
+            .unwrap();
+        assert!(wpos < redef);
+    }
+
+    /// Reduction loop with no stores: per-iteration ckpt of the accumulator
+    /// collapses to a single exit checkpoint (the paper's Figure 10 effect).
+    #[test]
+    fn loop_exit_motion_removes_per_iteration_ckpts() {
+        let mut b = FunctionBuilder::new("red");
+        let acc = b.fresh_reg();
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let w = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(acc, 0i64);
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(acc, acc, 3i64);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 100i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, acc, 0i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let in_loop_before = f.blocks[1].insts.iter().filter(|i| i.is_ckpt()).count();
+        assert!(in_loop_before >= 1, "acc and i are checkpointed in-loop");
+        let out = licm_sink(&mut f, 4);
+        assert!(out.removed >= 1);
+        let in_loop_after = f.blocks[1].insts.iter().filter(|i| i.is_ckpt()).count();
+        assert_eq!(in_loop_after, 0);
+        // Exit block now checkpoints before its boundary.
+        let exit = &f.blocks[2].insts;
+        assert!(exit.iter().any(|i| i.is_ckpt()));
+        let last_ckpt = exit.iter().rposition(|i| i.is_ckpt()).unwrap();
+        let boundary = exit.iter().position(|i| i.is_boundary()).unwrap();
+        assert!(last_ckpt < boundary);
+        assert!(out.net_removed() <= out.removed);
+    }
+
+    #[test]
+    fn loops_with_boundaries_are_left_alone() {
+        let mut b = FunctionBuilder::new("wb");
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(i, i, 1i64);
+        b.store_abs(i, 0x1000);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let before = f.blocks[1].insts.iter().filter(|i| i.is_ckpt()).count();
+        let out = licm_sink(&mut f, 4);
+        assert_eq!(out.removed, 0);
+        let after = f.blocks[1].insts.iter().filter(|i| i.is_ckpt()).count();
+        assert_eq!(before, after);
+    }
+}

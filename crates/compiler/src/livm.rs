@@ -1,0 +1,417 @@
+//! Loop induction variable merging (LIVM, paper §4.1.2).
+//!
+//! Strength-reduced code (as produced by `-O3` compilers and by our workload
+//! generator) keeps a separate *basic* induction variable for each array
+//! address expression, e.g. `p = p + 8` next to `i = i + 1`. Each extra basic
+//! IV is loop-carried, hence live-out of every per-iteration region, hence
+//! checkpointed every iteration. LIVM rewrites such an IV as an *induced*
+//! function of another basic IV (`p = base + 8*i`), eliminating the
+//! loop-carried dependence and therefore the per-iteration checkpoint.
+//!
+//! This implementation targets single-block self-loops (the shape our hot
+//! kernels take, and the shape of the paper's Figure 8): two basic IVs
+//! `r1 += k1`, `r2 += k2` with constant preheader initializations `C1`, `C2`
+//! and `k1 | k2` are merged by rewriting every use of `r2` as
+//! `m*r1 + (C2 - m*C1)` adjusted for increment position, then deleting `r2`'s
+//! increment (DCE sweeps the dead initialization).
+
+use std::collections::HashMap;
+use turnpike_ir::{BasicBlock, BinOp, BlockId, Cfg, Function, Inst, Liveness, Operand, Reg};
+
+/// A detected basic induction variable in a self-loop block.
+#[derive(Debug, Clone, Copy)]
+struct BasicIv {
+    reg: Reg,
+    step: i64,
+    /// Index of the increment instruction within the block.
+    inc_idx: usize,
+    /// Constant initial value found in the preheader.
+    init: i64,
+}
+
+/// Run LIVM over every self-loop block. Returns the number of merged IVs.
+pub fn livm(f: &mut Function) -> u32 {
+    let mut merged = 0;
+    loop {
+        let cfg = Cfg::compute(f);
+        let live = Liveness::compute(f, &cfg);
+        let mut did = false;
+        for b in 0..f.blocks.len() {
+            let id = BlockId(b as u32);
+            if !cfg.succs(id).contains(&id) {
+                continue; // not a self-loop
+            }
+            if let Some(n) = try_merge_in_block(f, &cfg, &live, id) {
+                merged += n;
+                did = true;
+                break; // analyses are stale; restart
+            }
+        }
+        if !did {
+            break;
+        }
+    }
+    merged
+}
+
+fn try_merge_in_block(
+    f: &mut Function,
+    cfg: &Cfg,
+    live: &Liveness,
+    b: BlockId,
+) -> Option<u32> {
+    // Unique out-of-loop predecessor (preheader) and unique exit successor.
+    let preds: Vec<BlockId> = cfg.preds(b).iter().copied().filter(|&p| p != b).collect();
+    let succs: Vec<BlockId> = cfg.succs(b).iter().copied().filter(|&s| s != b).collect();
+    if preds.len() != 1 || succs.len() != 1 {
+        return None;
+    }
+    let (preheader, exit) = (preds[0], succs[0]);
+
+    let ivs = find_basic_ivs(f, preheader, b);
+    if ivs.len() < 2 {
+        return None;
+    }
+
+    // Pick a keeper (the IV with the smallest |step| that divides others) and
+    // merge every other IV expressible in terms of it.
+    let mut done = 0;
+    for keep in &ivs {
+        if keep.step == 0 {
+            continue;
+        }
+        for victim in &ivs {
+            if victim.reg == keep.reg || victim.step == 0 {
+                continue;
+            }
+            if victim.step % keep.step != 0 {
+                continue;
+            }
+            // The victim must not escape the loop.
+            if live.live_in(exit).contains(victim.reg) {
+                continue;
+            }
+            // The victim must not be read by the loop terminator.
+            if f.block(b).term.uses().contains(&victim.reg) {
+                continue;
+            }
+            if merge(f, b, *keep, *victim) {
+                done += 1;
+                // Indices are now stale; caller restarts.
+                return Some(done);
+            }
+        }
+    }
+    None
+}
+
+/// Find basic IVs: registers with exactly one in-block def of the form
+/// `r = add r, #k`, initialized by a constant `mov` in the preheader.
+fn find_basic_ivs(f: &Function, preheader: BlockId, b: BlockId) -> Vec<BasicIv> {
+    let blk = f.block(b);
+    let mut candidates: HashMap<Reg, (i64, usize)> = HashMap::new();
+    let mut def_counts: HashMap<Reg, u32> = HashMap::new();
+    for (i, inst) in blk.insts.iter().enumerate() {
+        if let Some(d) = inst.def() {
+            *def_counts.entry(d).or_insert(0) += 1;
+        }
+        if let Inst::Bin {
+            op: BinOp::Add,
+            dst,
+            lhs: Operand::Reg(l),
+            rhs: Operand::Imm(k),
+        } = *inst
+        {
+            if dst == l {
+                candidates.insert(dst, (k, i));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (reg, (step, inc_idx)) in candidates {
+        if def_counts.get(&reg) != Some(&1) {
+            continue;
+        }
+        if let Some(init) = const_init(f.block(preheader), reg) {
+            out.push(BasicIv {
+                reg,
+                step,
+                inc_idx,
+                init,
+            });
+        }
+    }
+    out.sort_by_key(|iv| iv.reg);
+    out
+}
+
+/// The constant initial value of `r` at the end of `pre`, if its last def
+/// there is `mov r, #c`.
+fn const_init(pre: &BasicBlock, r: Reg) -> Option<i64> {
+    for inst in pre.insts.iter().rev() {
+        if inst.def() == Some(r) {
+            return match *inst {
+                Inst::Mov {
+                    src: Operand::Imm(c),
+                    ..
+                } => Some(c),
+                _ => None,
+            };
+        }
+    }
+    None
+}
+
+/// Rewrite uses of `victim` in block `b` as affine functions of `keep`, then
+/// delete the victim's increment. Returns `false` if a use cannot be
+/// rewritten (in which case nothing is changed).
+fn merge(f: &mut Function, b: BlockId, keep: BasicIv, victim: BasicIv) -> bool {
+    let m = victim.step / keep.step;
+    let blk = f.block(b).clone();
+
+    // Verify every use of the victim (other than its increment) is
+    // rewritable: it must appear as a plain operand or address base.
+    // (All our instruction forms qualify, so this always holds; kept for
+    // clarity and future instruction kinds.)
+
+    let mut new_insts: Vec<Inst> = Vec::with_capacity(blk.insts.len() + 4);
+    let mut passed_keep_inc = false;
+    let mut passed_victim_inc = false;
+    // Cache of materialized replacements per (passed_keep, passed_victim).
+    let mut cache: HashMap<(bool, bool), Reg> = HashMap::new();
+    let mut num_regs = f.num_regs;
+
+    for (i, inst) in blk.insts.iter().enumerate() {
+        if i == victim.inc_idx {
+            passed_victim_inc = true;
+            continue; // delete the increment
+        }
+        let mut inst = *inst;
+        if inst.uses().into_iter().any(|u| u == victim.reg) {
+            let key = (passed_keep_inc, passed_victim_inc);
+            let repl = match cache.get(&key) {
+                Some(&r) => r,
+                None => {
+                    // victim_now = m*keep_now + K, with
+                    // K = (C2 + d2) - m*(C1 + d1) where d* are the increments
+                    // already applied this iteration.
+                    let d1 = if passed_keep_inc { keep.step } else { 0 };
+                    let d2 = if passed_victim_inc { victim.step } else { 0 };
+                    let k = (victim.init + d2) - m * (keep.init + d1);
+                    let scaled = if m == 1 {
+                        keep.reg
+                    } else {
+                        let t = Reg(num_regs);
+                        num_regs += 1;
+                        let op = if m > 0 && (m as u64).is_power_of_two() {
+                            Inst::Bin {
+                                op: BinOp::Shl,
+                                dst: t,
+                                lhs: Operand::Reg(keep.reg),
+                                rhs: Operand::Imm(m.trailing_zeros() as i64),
+                            }
+                        } else {
+                            Inst::Bin {
+                                op: BinOp::Mul,
+                                dst: t,
+                                lhs: Operand::Reg(keep.reg),
+                                rhs: Operand::Imm(m),
+                            }
+                        };
+                        new_insts.push(op);
+                        t
+                    };
+                    let final_reg = if k == 0 {
+                        scaled
+                    } else {
+                        let t2 = Reg(num_regs);
+                        num_regs += 1;
+                        new_insts.push(Inst::Bin {
+                            op: BinOp::Add,
+                            dst: t2,
+                            lhs: Operand::Reg(scaled),
+                            rhs: Operand::Imm(k),
+                        });
+                        t2
+                    };
+                    cache.insert(key, final_reg);
+                    final_reg
+                }
+            };
+            substitute(&mut inst, victim.reg, repl);
+        }
+        if i == keep.inc_idx {
+            passed_keep_inc = true;
+            cache.clear(); // offsets change after the keeper's increment
+        }
+        // A write to the replacement cache's source invalidates nothing else:
+        // keep.reg has a single def (its increment), handled above.
+        new_insts.push(inst);
+    }
+
+    f.num_regs = num_regs;
+    f.block_mut(b).insts = new_insts;
+    true
+}
+
+/// Replace reads of `from` with `to` in one instruction.
+fn substitute(inst: &mut Inst, from: Reg, to: Reg) {
+    let fix_op = |o: &mut Operand| {
+        if *o == Operand::Reg(from) {
+            *o = Operand::Reg(to);
+        }
+    };
+    let fix_addr = |a: &mut turnpike_ir::Addr| {
+        if a.base == Some(from) {
+            a.base = Some(to);
+        }
+    };
+    match inst {
+        Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+            fix_op(lhs);
+            fix_op(rhs);
+        }
+        Inst::Mov { src, .. } => fix_op(src),
+        Inst::Load { addr, .. } => fix_addr(addr),
+        Inst::Store { src, addr } => {
+            fix_op(src);
+            fix_addr(addr);
+        }
+        Inst::Ckpt { reg } => {
+            if *reg == from {
+                *reg = to;
+            }
+        }
+        Inst::RegionBoundary { .. } | Inst::Nop => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dce::dce;
+    use turnpike_ir::{interp, DataSegment, FunctionBuilder, Program};
+
+    /// The paper's Figure 8 shape: i counts 0..100, p walks an array.
+    fn fig8_program() -> Program {
+        let mut b = FunctionBuilder::new("fig8");
+        let i = b.fresh_reg();
+        let p = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.mov(p, 0x1000i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store(i, p, 0); // A[i] = i
+        b.add(p, p, 8i64);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 100i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 100))
+    }
+
+    #[test]
+    fn merges_fig8_and_preserves_semantics() {
+        let mut p = fig8_program();
+        let golden = interp::golden(&p).unwrap();
+        let n = livm(&mut p.func);
+        assert_eq!(n, 1);
+        dce(&mut p.func);
+        turnpike_ir::verify_function(&p.func).unwrap();
+        let after = interp::golden(&p).unwrap();
+        assert_eq!(golden, after);
+        // The pointer IV's increment is gone: no `add p, p, 8` remains.
+        let has_ptr_inc = p.func.blocks[1].insts.iter().any(|i| {
+            matches!(
+                i,
+                Inst::Bin {
+                    op: BinOp::Add,
+                    rhs: Operand::Imm(8),
+                    ..
+                }
+            )
+        });
+        assert!(!has_ptr_inc);
+    }
+
+    #[test]
+    fn victim_live_after_loop_blocks_merge() {
+        let mut b = FunctionBuilder::new("esc");
+        let i = b.fresh_reg();
+        let p = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.mov(p, 0x1000i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store(i, p, 0);
+        b.add(p, p, 8i64);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(p))); // p escapes
+        let mut f = b.finish().unwrap();
+        assert_eq!(livm(&mut f), 0);
+    }
+
+    #[test]
+    fn non_divisible_steps_block_merge() {
+        let mut b = FunctionBuilder::new("nd");
+        let i = b.fresh_reg();
+        let j = b.fresh_reg();
+        let c = b.fresh_reg();
+        let s = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.mov(j, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(s, i, Operand::Reg(j));
+        b.store_abs(s, 0x1000);
+        b.add(i, i, 2i64);
+        b.add(j, j, 3i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(s)));
+        let mut f = b.finish().unwrap();
+        // 2 does not divide 3 and 3 does not divide 2: no merge.
+        assert_eq!(livm(&mut f), 0);
+    }
+
+    #[test]
+    fn use_after_increment_gets_adjusted_offset() {
+        // Use p AFTER p's and i's increments; merged expression must add the
+        // step adjustment. Differential check against the interpreter.
+        let mut b = FunctionBuilder::new("adj");
+        let i = b.fresh_reg();
+        let p = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.mov(p, 0x1000i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(i, i, 1i64);
+        b.add(p, p, 8i64);
+        b.store(i, p, -8); // uses p after increment
+        b.cmp_lt(c, i, 50i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        let mut prog = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 50));
+        let golden = interp::golden(&prog).unwrap();
+        assert_eq!(livm(&mut prog.func), 1);
+        dce(&mut prog.func);
+        assert_eq!(interp::golden(&prog).unwrap(), golden);
+    }
+}

@@ -1,0 +1,395 @@
+//! Store-buffer-aware region partitioning (paper §2.1, §4.3.1).
+//!
+//! Verifiable regions are delimited by [`Inst::RegionBoundary`] markers. The
+//! partitioner enforces two invariants:
+//!
+//! 1. **Loop rule** — every loop whose body contains a regular store gets a
+//!    boundary at the top of its header (as in Turnstile), so a dynamic
+//!    region can never accumulate stores across iterations.
+//! 2. **Budget rule** — along every path between consecutive boundaries there
+//!    are at most `budget` stores, where `budget = max(1, SB/2)` so that one
+//!    region's verification can overlap the next region's execution.
+//!
+//! The budget rule is enforced by [`split_overfull`], a path-insensitive
+//! dataflow (`max` at joins) over "stores since the last boundary", which the
+//! compile pipeline re-runs after checkpoint insertion until a fixed point.
+
+use turnpike_ir::{BlockId, Cfg, DomTree, Function, Inst, LoopForest};
+
+/// Blocks inside a loop that currently contains no region boundary. The
+/// checkpoint stores in such blocks re-write the same slots every iteration
+/// and coalesce into one SB entry per register, so the budget dataflow
+/// weights them zero; [`ensure_ckpt_loops`] separately bounds the number of
+/// distinct registers such a loop may checkpoint.
+fn coalescing_blocks(f: &Function) -> Vec<bool> {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopForest::compute(&cfg, &dom);
+    let mut out = vec![false; f.blocks.len()];
+    for l in loops.loops() {
+        let has_boundary = l
+            .body
+            .iter()
+            .any(|&b| f.block(b).insts.iter().any(|i| i.is_boundary()));
+        if !has_boundary {
+            for &b in &l.body {
+                out[b.index()] = true;
+            }
+        }
+    }
+    out
+}
+
+/// The next unused boundary id in `f`.
+pub fn next_boundary_id(f: &Function) -> u32 {
+    f.iter_insts()
+        .filter_map(|(_, _, i)| match i {
+            Inst::RegionBoundary { id } => Some(*id + 1),
+            _ => None,
+        })
+        .max()
+        .unwrap_or(1)
+}
+
+/// Initial partitioning: loop rule + budget rule (counting regular stores;
+/// checkpoints do not exist yet). Returns the number of boundaries inserted.
+pub fn partition(f: &mut Function, budget: u32) -> u32 {
+    let mut inserted = insert_loop_header_boundaries(f, |inst| {
+        matches!(inst, Inst::Store { .. })
+    });
+    inserted += split_overfull(f, budget);
+    inserted
+}
+
+/// Insert a boundary at the top of every loop header whose body contains an
+/// instruction matching `needs_boundary`, unless the header already starts
+/// with a boundary. Returns the number inserted.
+pub fn insert_loop_header_boundaries<P>(f: &mut Function, needs_boundary: P) -> u32
+where
+    P: Fn(&Inst) -> bool,
+{
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopForest::compute(&cfg, &dom);
+    let mut id = next_boundary_id(f);
+    let mut inserted = 0;
+    let mut headers: Vec<BlockId> = Vec::new();
+    for l in loops.loops() {
+        let has = l
+            .body
+            .iter()
+            .any(|&b| f.block(b).insts.iter().any(&needs_boundary));
+        if has && !headers.contains(&l.header) {
+            headers.push(l.header);
+        }
+    }
+    for h in headers {
+        let blk = f.block_mut(h);
+        if !matches!(blk.insts.first(), Some(Inst::RegionBoundary { .. })) {
+            blk.insts.insert(0, Inst::RegionBoundary { id });
+            id += 1;
+            inserted += 1;
+        }
+    }
+    inserted
+}
+
+/// Enforce the budget rule, counting *all* stores (regular and checkpoint).
+/// Returns the number of boundaries inserted (0 means the function already
+/// satisfies the budget).
+///
+/// A boundary is never placed between an instruction and the checkpoint of
+/// the register it defines (the pair must stay in one region so the eager
+/// checkpoint saves the value before it can cross a boundary).
+pub fn split_overfull(f: &mut Function, budget: u32) -> u32 {
+    let budget = budget.max(1);
+    let mut total = 0;
+    // Each pass computes entry counts, then splits every overfull block;
+    // repeat until the analysis is clean.
+    for _ in 0..64 {
+        let s_in = stores_since_boundary(f, budget);
+        let coalescing = coalescing_blocks(f);
+        let mut id = next_boundary_id(f);
+        let mut inserted = 0;
+        for bi in 0..f.blocks.len() {
+            let mut cnt = s_in[bi];
+            let old = std::mem::take(&mut f.blocks[bi].insts);
+            let mut new: Vec<Inst> = Vec::with_capacity(old.len() + 4);
+            for inst in old {
+                if inst.is_boundary() {
+                    cnt = 0;
+                } else if inst.is_ckpt() && coalescing[bi] {
+                    // Coalescing in-loop checkpoint: weight zero.
+                } else if inst.is_store() {
+                    if cnt >= budget {
+                        // Keep def+ckpt pairs atomic.
+                        let pair = match inst {
+                            Inst::Ckpt { reg } => {
+                                matches!(new.last(), Some(prev) if prev.def() == Some(reg))
+                            }
+                            _ => false,
+                        };
+                        let boundary = Inst::RegionBoundary { id };
+                        id += 1;
+                        inserted += 1;
+                        if pair {
+                            let def = new.pop().expect("pair head exists");
+                            new.push(boundary);
+                            new.push(def);
+                        } else {
+                            new.push(boundary);
+                        }
+                        cnt = 0;
+                    }
+                    cnt += 1;
+                }
+                new.push(inst);
+            }
+            f.blocks[bi].insts = new;
+        }
+        total += inserted;
+        if inserted == 0 {
+            break;
+        }
+    }
+    total
+}
+
+/// Maximum static stores between consecutive boundaries anywhere in `f`,
+/// capped at `cap + 1` (values above the cap are reported as `cap + 1`).
+pub fn max_region_stores(f: &Function, cap: u32) -> u32 {
+    let s_in = stores_since_boundary(f, cap);
+    let coalescing = coalescing_blocks(f);
+    let mut max = 0;
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let mut cnt = s_in[bi];
+        for inst in &b.insts {
+            if inst.is_boundary() {
+                cnt = 0;
+            } else if inst.is_ckpt() && coalescing[bi] {
+                // Coalesces into its register's existing SB entry.
+            } else if inst.is_store() {
+                cnt = (cnt + 1).min(cap + 1);
+                max = max.max(cnt);
+            }
+        }
+    }
+    max
+}
+
+/// For each block, the maximum number of stores on any path from the last
+/// boundary to the block's entry, saturated at `cap + 1`.
+fn stores_since_boundary(f: &Function, cap: u32) -> Vec<u32> {
+    let cfg = Cfg::compute(f);
+    let coalescing = coalescing_blocks(f);
+    let n = f.blocks.len();
+    let sat = cap + 1;
+    let mut s_in = vec![0u32; n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in cfg.rpo() {
+            let mut cnt = s_in[b.index()];
+            for inst in &f.block(b).insts {
+                if inst.is_boundary() {
+                    cnt = 0;
+                } else if inst.is_ckpt() && coalescing[b.index()] {
+                    // Weight zero: coalesces per register.
+                } else if inst.is_store() {
+                    cnt = (cnt + 1).min(sat);
+                }
+            }
+            for &s in cfg.succs(b) {
+                if cnt > s_in[s.index()] {
+                    s_in[s.index()] = cnt;
+                    changed = true;
+                }
+            }
+        }
+    }
+    s_in
+}
+
+/// After checkpoint insertion: any loop with no boundary in its body whose
+/// body checkpoints more than `budget` distinct registers gets a header
+/// boundary (its same-address checkpoint stores coalesce in the SB, so up to
+/// `budget` distinct registers are safe without one). Returns insertions.
+pub fn ensure_ckpt_loops(f: &mut Function, budget: u32) -> u32 {
+    let cfg = Cfg::compute(f);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopForest::compute(&cfg, &dom);
+    let mut offending: Vec<BlockId> = Vec::new();
+    for l in loops.loops() {
+        let has_boundary = l
+            .body
+            .iter()
+            .any(|&b| f.block(b).insts.iter().any(|i| i.is_boundary()));
+        if has_boundary {
+            continue;
+        }
+        let mut regs: Vec<turnpike_ir::Reg> = Vec::new();
+        for &b in &l.body {
+            for inst in &f.block(b).insts {
+                if let Inst::Ckpt { reg } = *inst {
+                    if !regs.contains(&reg) {
+                        regs.push(reg);
+                    }
+                }
+            }
+        }
+        if regs.len() as u32 > budget && !offending.contains(&l.header) {
+            offending.push(l.header);
+        }
+    }
+    let base_id = next_boundary_id(f);
+    let count = offending.len() as u32;
+    for (k, h) in offending.into_iter().enumerate() {
+        f.block_mut(h)
+            .insts
+            .insert(0, Inst::RegionBoundary { id: base_id + k as u32 });
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{FunctionBuilder, Operand, Reg};
+
+    /// Straight-line function with `n` stores.
+    fn stores(n: usize) -> Function {
+        let mut b = FunctionBuilder::new("s");
+        let x = b.fresh_reg();
+        b.mov(x, 1i64);
+        for i in 0..n {
+            b.store_abs(x, 0x1000 + 8 * i as i64);
+        }
+        b.ret(None);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn budget_splits_straight_line() {
+        let mut f = stores(7);
+        let n = partition(&mut f, 2);
+        // 7 stores, budget 2 -> boundaries before stores 3,5,7 = 3 inserted.
+        assert_eq!(n, 3);
+        assert_eq!(max_region_stores(&f, 10), 2);
+    }
+
+    #[test]
+    fn budget_one_isolates_every_store() {
+        let mut f = stores(4);
+        partition(&mut f, 1);
+        assert_eq!(max_region_stores(&f, 10), 1);
+        assert_eq!(f.boundary_count(), 3);
+    }
+
+    #[test]
+    fn loop_with_store_gets_header_boundary() {
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store_abs(i, 0x1000);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        partition(&mut f, 2);
+        assert!(matches!(
+            f.blocks[1].insts[0],
+            Inst::RegionBoundary { .. }
+        ));
+        // Dynamic regions are bounded even though the loop iterates.
+        assert!(max_region_stores(&f, 10) <= 2);
+    }
+
+    #[test]
+    fn storeless_loop_stays_boundary_free() {
+        let mut b = FunctionBuilder::new("nl");
+        let i = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        partition(&mut f, 2);
+        assert_eq!(f.boundary_count(), 0);
+    }
+
+    #[test]
+    fn pairs_stay_atomic() {
+        let mut b = FunctionBuilder::new("pair");
+        let x = b.fresh_reg();
+        let y = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.store_abs(x, 0x1000);
+        b.store_abs(x, 0x1008);
+        b.mov(y, 2i64);
+        b.inst(Inst::Ckpt { reg: y }); // pair: mov y / ckpt y
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        let n = split_overfull(&mut f, 2);
+        assert_eq!(n, 1);
+        // The boundary must sit before `mov y`, not between mov and ckpt.
+        let insts = &f.blocks[0].insts;
+        let b_idx = insts.iter().position(|i| i.is_boundary()).unwrap();
+        assert!(matches!(insts[b_idx + 1], Inst::Mov { dst: Reg(1), .. }));
+        assert!(matches!(insts[b_idx + 2], Inst::Ckpt { reg: Reg(1) }));
+    }
+
+    #[test]
+    fn ensure_ckpt_loops_fires_only_above_budget() {
+        let mut b = FunctionBuilder::new("ck");
+        let regs: Vec<Reg> = (0..4).map(|_| b.fresh_reg()).collect();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        for &r in &regs {
+            b.mov(r, 0i64);
+        }
+        b.jump(body);
+        b.switch_to(body);
+        for &r in &regs {
+            b.add(r, r, 1i64);
+            b.inst(Inst::Ckpt { reg: r });
+        }
+        b.cmp_lt(c, regs[0], 10i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(regs[0])));
+        let mut f = b.finish().unwrap();
+        // 4 distinct checkpointed regs, budget 2 -> boundary inserted.
+        assert_eq!(ensure_ckpt_loops(&mut f, 2), 1);
+        // Re-running is idempotent (loop now has a boundary).
+        assert_eq!(ensure_ckpt_loops(&mut f, 2), 0);
+        // With a generous budget nothing happens.
+        let mut g = stores(0);
+        assert_eq!(ensure_ckpt_loops(&mut g, 8), 0);
+    }
+
+    #[test]
+    fn next_boundary_id_monotone() {
+        let mut f = stores(5);
+        assert_eq!(next_boundary_id(&f), 1);
+        partition(&mut f, 1);
+        let id1 = next_boundary_id(&f);
+        assert!(id1 > 1);
+        split_overfull(&mut f, 1);
+        assert_eq!(next_boundary_id(&f), id1); // no new splits needed
+    }
+}

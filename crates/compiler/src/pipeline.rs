@@ -1,0 +1,328 @@
+//! The compile pipeline: IR program → machine program.
+//!
+//! Pass order (paper §4, Figure 7):
+//!
+//! 1. legalization (machine-form canonicalization);
+//! 2. loop induction variable merging + DCE (§4.1.2, optional);
+//! 3. store-aware register allocation (§4.1.1, weighting optional);
+//! 4. region partitioning (§2.1) and eager checkpointing (§2.2), iterated
+//!    with budget splitting until every region fits the store budget;
+//! 5. optimal checkpoint pruning (§4.1.3, optional);
+//! 6. checkpoint sinking / loop-exit motion (§4.1.4, optional);
+//! 7. checkpoint-aware instruction scheduling (§4.2, optional);
+//! 8. codegen with per-region recovery blocks.
+
+use crate::checkpoint::{insert_checkpoints, strip_ckpts};
+use crate::codegen::{codegen, CodegenError};
+use crate::config::{CompilerConfig, PassStats};
+use crate::dce::dce;
+use crate::legalize::legalize;
+use crate::licm::licm_sink;
+use crate::livm::livm;
+use crate::partition::{ensure_ckpt_loops, max_region_stores, partition, split_overfull};
+use crate::prune::{prune_checkpoints, PruneRecipes};
+use crate::regalloc::{regalloc, AllocError};
+use crate::sched::schedule;
+use turnpike_ir::Program;
+use turnpike_isa::MachProgram;
+
+/// Result of compilation.
+#[derive(Debug, Clone)]
+pub struct CompileOutput {
+    /// The executable machine program.
+    pub program: MachProgram,
+    /// Per-pass statistics (store breakdown, code size, spills, ...).
+    pub stats: PassStats,
+}
+
+/// Compilation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// Register allocation could not satisfy parameter pressure.
+    Alloc(AllocError),
+    /// Lowering detected an internal inconsistency.
+    Codegen(CodegenError),
+    /// The partition/checkpoint fixpoint could not bound a region under the
+    /// store buffer size (would deadlock the gated SB).
+    RegionOverflow {
+        /// Observed static store bound.
+        stores: u32,
+        /// Hard limit (the SB size).
+        limit: u32,
+    },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::Alloc(e) => write!(f, "{e}"),
+            CompileError::Codegen(e) => write!(f, "{e}"),
+            CompileError::RegionOverflow { stores, limit } => {
+                write!(f, "a region holds {stores} stores, exceeding the {limit}-entry SB")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<AllocError> for CompileError {
+    fn from(e: AllocError) -> Self {
+        CompileError::Alloc(e)
+    }
+}
+
+impl From<CodegenError> for CompileError {
+    fn from(e: CodegenError) -> Self {
+        CompileError::Codegen(e)
+    }
+}
+
+/// Compile an IR program under the given configuration.
+///
+/// # Errors
+///
+/// See [`CompileError`].
+///
+/// # Example
+///
+/// ```
+/// use turnpike_compiler::{compile, CompilerConfig};
+/// use turnpike_ir::{DataSegment, FunctionBuilder, Operand, Program};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = FunctionBuilder::new("demo");
+/// let x = b.fresh_reg();
+/// b.mov(x, 21i64);
+/// b.add(x, x, 21i64);
+/// b.store_abs(x, 0x1000);
+/// b.ret(Some(Operand::Reg(x)));
+/// let prog = Program::new(b.finish()?, DataSegment::zeroed(0x1000, 1));
+///
+/// let out = compile(&prog, &CompilerConfig::turnpike(4))?;
+/// assert!(out.program.num_regions() >= 1);
+/// # Ok(())
+/// # }
+/// ```
+pub fn compile(program: &Program, config: &CompilerConfig) -> Result<CompileOutput, CompileError> {
+    let mut stats = PassStats::default();
+    let mut prog = program.clone();
+
+    legalize(&mut prog.func);
+    if config.livm {
+        stats.ivs_merged = livm(&mut prog.func);
+        dce(&mut prog.func);
+    }
+    regalloc(&mut prog.func, config.store_aware_ra, &mut stats)?;
+
+    // Baseline instruction count for the code-size metric: the allocated
+    // function lowered without any resilience instrumentation.
+    {
+        let base = codegen(&prog, &PruneRecipes::default())?;
+        stats.baseline_insts = base.insts.len() as u32;
+    }
+
+    let mut recipes = PruneRecipes::default();
+    if config.resilient {
+        let budget = config.region_budget();
+        partition(&mut prog.func, budget);
+        // Checkpoint/split fixpoint.
+        for _ in 0..32 {
+            strip_ckpts(&mut prog.func);
+            stats.ckpts_inserted = insert_checkpoints(&mut prog.func);
+            // Boundary-free loops keep their per-iteration checkpoints out
+            // of the budget dataflow (same-slot stores coalesce into one SB
+            // entry per register); in exchange the number of distinct
+            // registers such a loop checkpoints is capped so that, together
+            // with the enclosing region's budgeted stores, the SB can never
+            // be exceeded by one region's own entries.
+            let loop_ckpt_cap = (config.sb_size - budget).max(1);
+            let extra = split_overfull(&mut prog.func, budget)
+                + ensure_ckpt_loops(&mut prog.func, loop_ckpt_cap);
+            stats.split_iterations += 1;
+            if extra == 0 {
+                break;
+            }
+        }
+        let bound = max_region_stores(&prog.func, config.sb_size);
+        if bound > config.sb_size {
+            return Err(CompileError::RegionOverflow {
+                stores: bound,
+                limit: config.sb_size,
+            });
+        }
+        if config.prune {
+            recipes = prune_checkpoints(&mut prog.func);
+            stats.ckpts_pruned = recipes.len() as u32;
+        }
+        if config.licm {
+            let out = licm_sink(&mut prog.func, config.sb_size);
+            // Gross removals: the dynamic win is per-iteration, so the
+            // static exit checkpoints that replace them do not offset it.
+            stats.ckpts_licm_removed = out.removed;
+        }
+        if config.sched {
+            schedule(&mut prog.func);
+        }
+        stats.boundaries = prog.func.boundary_count() as u32;
+    }
+
+    let machine = codegen(&prog, &recipes)?;
+    stats.final_insts = machine.insts.len() as u32;
+    Ok(CompileOutput {
+        program: machine,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{interp, DataSegment, FunctionBuilder, Operand};
+    use turnpike_isa::interp as misa;
+
+    /// A kernel with a store loop, a reduction loop, and register pressure.
+    fn kernel() -> Program {
+        let mut b = FunctionBuilder::new("kern");
+        let base = b.param();
+        let i = b.fresh_reg();
+        let p = b.fresh_reg();
+        let acc = b.fresh_reg();
+        let c = b.fresh_reg();
+        let sloop = b.create_block();
+        let mid = b.create_block();
+        let rloop = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.mov(p, 0x1000i64);
+        b.jump(sloop);
+        b.switch_to(sloop);
+        b.store(i, p, 0);
+        b.add(p, p, 8i64);
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 32i64);
+        b.branch(c, sloop, mid);
+        b.switch_to(mid);
+        b.mov(i, 0i64);
+        b.mov(acc, 0i64);
+        b.jump(rloop);
+        b.switch_to(rloop);
+        let t = b.fresh_reg();
+        b.shl(t, i, 3i64);
+        b.add(t, t, Operand::Reg(base));
+        let v = b.fresh_reg();
+        b.load(v, t, 0);
+        b.add(acc, acc, Operand::Reg(v));
+        b.add(i, i, 1i64);
+        b.cmp_lt(c, i, 32i64);
+        b.branch(c, rloop, done);
+        b.switch_to(done);
+        b.store_abs(acc, 0x2000);
+        b.ret(Some(Operand::Reg(acc)));
+        Program::with_params(
+            b.finish().unwrap(),
+            DataSegment::zeroed(0x1000, 33),
+            vec![0x1000],
+        )
+    }
+
+    fn check_equiv(config: &CompilerConfig) {
+        let p = kernel();
+        let golden = interp::golden(&p).unwrap();
+        let out = compile(&p, config).unwrap();
+        out.program.validate().unwrap();
+        let m = misa::run(&out.program, &misa::MachInterpConfig::default()).unwrap();
+        assert_eq!(m.ret, golden.0, "{config:?}");
+        // Compare data memory, ignoring spill slots (an implementation
+        // detail of the allocated program).
+        let data: std::collections::BTreeMap<u64, i64> = m
+            .memory
+            .iter()
+            .filter(|(a, _)| **a < crate::regalloc::SPILL_BASE)
+            .map(|(a, v)| (*a, *v))
+            .collect();
+        assert_eq!(data, golden.1, "{config:?}");
+    }
+
+    #[test]
+    fn baseline_compile_is_equivalent() {
+        check_equiv(&CompilerConfig::baseline());
+    }
+
+    #[test]
+    fn turnstile_compile_is_equivalent_and_bounded() {
+        let p = kernel();
+        let cfg = CompilerConfig::turnstile(4);
+        let out = compile(&p, &cfg).unwrap();
+        assert!(out.stats.ckpts_inserted > 0);
+        assert!(out.stats.boundaries > 0);
+        check_equiv(&cfg);
+    }
+
+    #[test]
+    fn turnpike_compile_is_equivalent() {
+        check_equiv(&CompilerConfig::turnpike(4));
+    }
+
+    #[test]
+    fn every_opt_combination_is_equivalent() {
+        for bits in 0..32u32 {
+            let cfg = CompilerConfig {
+                resilient: true,
+                sb_size: 4,
+                livm: bits & 1 != 0,
+                prune: bits & 2 != 0,
+                licm: bits & 4 != 0,
+                sched: bits & 8 != 0,
+                store_aware_ra: bits & 16 != 0,
+            };
+            check_equiv(&cfg);
+        }
+    }
+
+    #[test]
+    fn larger_sb_means_fewer_checkpoints_figure4() {
+        let p = kernel();
+        let small = compile(&p, &CompilerConfig::turnstile(4)).unwrap();
+        let large = compile(&p, &CompilerConfig::turnstile(40)).unwrap();
+        assert!(
+            large.stats.ckpts_inserted <= small.stats.ckpts_inserted,
+            "large SB should not need more checkpoints ({} vs {})",
+            large.stats.ckpts_inserted,
+            small.stats.ckpts_inserted
+        );
+        assert!(large.stats.boundaries <= small.stats.boundaries);
+    }
+
+    #[test]
+    fn turnpike_reduces_static_checkpoints() {
+        let p = kernel();
+        let ts = compile(&p, &CompilerConfig::turnstile(4)).unwrap();
+        let tp = compile(&p, &CompilerConfig::turnpike(4)).unwrap();
+        let ts_final = ts.program.insts.iter().filter(|i| i.is_ckpt()).count();
+        let tp_final = tp.program.insts.iter().filter(|i| i.is_ckpt()).count();
+        assert!(
+            tp_final <= ts_final,
+            "turnpike should not add checkpoints ({tp_final} vs {ts_final})"
+        );
+    }
+
+    #[test]
+    fn code_size_overhead_is_recorded() {
+        let p = kernel();
+        let out = compile(&p, &CompilerConfig::turnstile(4)).unwrap();
+        assert!(out.stats.baseline_insts > 0);
+        assert!(out.stats.final_insts > out.stats.baseline_insts);
+        assert!(out.stats.code_size_increase() > 0.0);
+    }
+
+    #[test]
+    fn region_budget_is_respected() {
+        let p = kernel();
+        for sb in [2, 4, 8, 40] {
+            let cfg = CompilerConfig::turnstile(sb);
+            let out = compile(&p, &cfg);
+            assert!(out.is_ok(), "sb={sb}");
+        }
+    }
+}

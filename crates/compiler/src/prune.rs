@@ -1,0 +1,275 @@
+//! Optimal checkpoint pruning (paper §4.1.3, after Penny).
+//!
+//! A checkpoint can be removed when the value it would save is
+//! *reconstructible at recovery time* from constants and from registers the
+//! recovery block restores anyway. The recovery block of the affected region
+//! then re-executes the defining instruction (its backward slice of depth
+//! one) instead of loading the pruned slot.
+//!
+//! This implementation prunes block-local candidates, which is the common
+//! case produced by eager checkpointing (the checkpoint sits right after the
+//! definition, in the same block as the region boundaries it feeds):
+//!
+//! * the checkpointed register `r` may cross any number of boundaries
+//!   *within its block* (each gets the reconstruction recipe), but must be
+//!   dead at block exit so no out-of-block region depends on the slot;
+//! * the defining instruction must be a pure `mov`/`bin`/`cmp`;
+//! * each register operand must survive unredefined up to the last crossed
+//!   boundary, be live at every crossed boundary (so the recovery restores
+//!   it first), not itself be pruned at any of them, and not be the
+//!   checkpointed register (its pre-definition value would be lost).
+//!
+//! Anything that fails these tests keeps its checkpoint — pruning is purely
+//! an optimization and must never weaken recoverability.
+
+use std::collections::HashMap;
+use turnpike_ir::{BlockId, Cfg, Function, Inst, Liveness, Reg};
+
+/// Reconstruction recipes keyed by *boundary id*: the region starting at that
+/// boundary reconstructs each `(reg, defining-inst)` pair in its recovery
+/// block instead of loading the register's checkpoint slot.
+#[derive(Debug, Clone, Default)]
+pub struct PruneRecipes {
+    /// boundary id → ordered reconstruction list.
+    pub by_boundary: HashMap<u32, Vec<(Reg, Inst)>>,
+}
+
+impl PruneRecipes {
+    /// Total number of pruned checkpoints.
+    pub fn len(&self) -> usize {
+        self.by_boundary.values().map(Vec::len).sum()
+    }
+
+    /// Whether no checkpoint was pruned.
+    pub fn is_empty(&self) -> bool {
+        self.by_boundary.is_empty()
+    }
+
+    /// Registers pruned at a given boundary.
+    pub fn pruned_at(&self, boundary: u32) -> impl Iterator<Item = Reg> + '_ {
+        self.by_boundary
+            .get(&boundary)
+            .into_iter()
+            .flatten()
+            .map(|(r, _)| *r)
+    }
+}
+
+/// Run pruning; removes prunable checkpoints in place and returns the
+/// recipes for recovery-block generation.
+pub fn prune_checkpoints(f: &mut Function) -> PruneRecipes {
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let mut recipes = PruneRecipes::default();
+    // Operands already referenced by an accepted recipe, per boundary:
+    // those registers must not be pruned later at the same boundary.
+    let mut recipe_operands: HashMap<u32, Vec<Reg>> = HashMap::new();
+
+    for bi in 0..f.blocks.len() {
+        let b = BlockId(bi as u32);
+        let insts = f.blocks[bi].insts.clone();
+        for i in 0..insts.len() {
+            // Pattern: def at i, its eager checkpoint at i+1.
+            let Some(r) = insts[i].def() else { continue };
+            let Some(Inst::Ckpt { reg }) = insts.get(i + 1).copied() else {
+                continue;
+            };
+            if reg != r {
+                continue;
+            }
+            let def = insts[i];
+            if !matches!(def, Inst::Mov { .. } | Inst::Bin { .. } | Inst::Cmp { .. }) {
+                continue;
+            }
+            // The value must not escape the block through its exit.
+            if live.live_out(b).contains(r) {
+                continue;
+            }
+            // Boundaries this value crosses: every boundary after the
+            // checkpoint up to r's next redefinition (or block end).
+            let next_redef = (i + 2..insts.len())
+                .find(|&k| insts[k].def() == Some(r))
+                .unwrap_or(insts.len());
+            // Only boundaries where the value is live matter: dead-in
+            // regions never restore r, so they need no recipe.
+            let crossed: Vec<(usize, u32)> = (i + 2..next_redef)
+                .filter_map(|k| match insts[k] {
+                    Inst::RegionBoundary { id }
+                        if live.live_before(f, b, k).contains(r) =>
+                    {
+                        Some((k, id))
+                    }
+                    _ => None,
+                })
+                .collect();
+            if crossed.is_empty() {
+                continue;
+            }
+            let last_j = crossed.last().expect("nonempty").0;
+            // Operand checks, against every crossed boundary.
+            let ops: Vec<Reg> = def.uses().into_iter().collect();
+            let ok = ops.iter().all(|&x| {
+                x != r
+                    && !(i + 1..last_j).any(|k| insts[k].def() == Some(x))
+                    && crossed.iter().all(|&(j, id)| {
+                        live.live_before(f, b, j).contains(x)
+                            && !recipes.pruned_at(id).any(|p| p == x)
+                    })
+            });
+            if !ok {
+                continue;
+            }
+            // r must not already serve as a recipe operand at any crossed
+            // boundary.
+            if crossed.iter().any(|&(_, id)| {
+                recipe_operands.get(&id).is_some_and(|v| v.contains(&r))
+            }) {
+                continue;
+            }
+            // Accept: drop the checkpoint, record the recipe everywhere.
+            f.blocks[bi].insts[i + 1] = Inst::Nop;
+            for &(_, id) in &crossed {
+                recipes.by_boundary.entry(id).or_default().push((r, def));
+                recipe_operands.entry(id).or_default().extend(ops.iter().copied());
+            }
+        }
+    }
+    f.sweep_nops();
+    recipes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::insert_checkpoints;
+    use turnpike_ir::{BinOp, FunctionBuilder, Operand};
+
+    /// def a; ckpt a; def r = a+9; ckpt r; boundary; use r, a.
+    fn candidate() -> Function {
+        let mut b = FunctionBuilder::new("c");
+        let a = b.fresh_reg();
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(a, 5i64);
+        b.bin(BinOp::Add, r, a, 9i64);
+        b.inst(Inst::RegionBoundary { id: 7 });
+        b.add(w, r, Operand::Reg(a));
+        b.inst(Inst::RegionBoundary { id: 8 });
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        f
+    }
+
+    #[test]
+    fn prunes_reconstructible_checkpoint() {
+        let mut f = candidate();
+        let before = f.ckpt_count();
+        let recipes = prune_checkpoints(&mut f);
+        // a = mov 5 is a constant: pruned first. r = a + 9 then keeps its
+        // checkpoint because its operand a was pruned at the same boundary
+        // (greedy, order-dependent — still one checkpoint saved).
+        assert_eq!(recipes.len(), 1);
+        assert_eq!(f.ckpt_count(), before - 1);
+        let list = recipes.by_boundary.get(&7).unwrap();
+        assert_eq!(list[0].0, turnpike_ir::Reg(0));
+        assert!(!recipes.is_empty());
+    }
+
+    #[test]
+    fn constant_mov_is_prunable() {
+        let mut b = FunctionBuilder::new("k");
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(r, 42i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, r, 1i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        assert_eq!(f.ckpt_count(), 1);
+        let recipes = prune_checkpoints(&mut f);
+        assert_eq!(recipes.len(), 1);
+        assert_eq!(f.ckpt_count(), 0);
+    }
+
+    #[test]
+    fn load_definitions_are_never_pruned() {
+        let mut b = FunctionBuilder::new("ld");
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.load_abs(r, 0x1000);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, r, 1i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let n = f.ckpt_count();
+        let recipes = prune_checkpoints(&mut f);
+        assert!(recipes.is_empty());
+        assert_eq!(f.ckpt_count(), n);
+    }
+
+    #[test]
+    fn self_referential_def_is_not_pruned() {
+        // r = r + 1: the pre-definition value is unavailable at recovery.
+        let mut b = FunctionBuilder::new("self");
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(r, 0i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(r, r, 1i64);
+        b.inst(Inst::RegionBoundary { id: 2 });
+        b.add(w, r, 0i64);
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let recipes = prune_checkpoints(&mut f);
+        assert!(recipes.pruned_at(2).next().is_none());
+    }
+
+    #[test]
+    fn operand_redefined_before_boundary_blocks_pruning() {
+        let mut b = FunctionBuilder::new("redef");
+        let a = b.fresh_reg();
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(a, 5i64);
+        b.bin(BinOp::Add, r, a, 9i64);
+        b.mov(a, 6i64); // a changes between def and boundary
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.add(w, r, Operand::Reg(a));
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let recipes = prune_checkpoints(&mut f);
+        // r's recipe would read the *new* a: must not prune r.
+        assert!(recipes
+            .by_boundary
+            .values()
+            .flatten()
+            .all(|(reg, _)| *reg != r));
+    }
+
+    #[test]
+    fn value_live_past_next_boundary_blocks_pruning() {
+        let mut b = FunctionBuilder::new("far");
+        let a = b.fresh_reg();
+        let r = b.fresh_reg();
+        let w = b.fresh_reg();
+        b.mov(a, 5i64);
+        b.bin(BinOp::Add, r, a, 9i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.inst(Inst::RegionBoundary { id: 2 });
+        b.add(w, r, 0i64); // r live across two boundaries
+        b.ret(Some(Operand::Reg(w)));
+        let mut f = b.finish().unwrap();
+        insert_checkpoints(&mut f);
+        let recipes = prune_checkpoints(&mut f);
+        assert!(recipes
+            .by_boundary
+            .values()
+            .flatten()
+            .all(|(reg, _)| *reg != r));
+    }
+}

@@ -1,0 +1,488 @@
+//! Store-aware linear-scan register allocation (paper §4.1.1).
+//!
+//! Maps virtual registers onto the 32-register machine file. Registers
+//! `r0..r28` are allocatable; `r29..r31` are reserved as scratch for spill
+//! reloads. Spill slots are absolute addresses in a dedicated stack range, so
+//! spill code needs no base register.
+//!
+//! The paper's "RA trick": a traditional spill-cost model weighs reads and
+//! writes equally, which can spill frequently-*written* variables; every
+//! spilled write becomes a store that lands in the gated store buffer and
+//! (on an in-order core with sensor-based verification) stalls the pipeline.
+//! With `store_aware` enabled the write term of the spill cost is multiplied
+//! by [`WRITE_WEIGHT`], keeping write-hot variables in registers while
+//! spilling read-mostly ones instead — same number of spilled variables,
+//! far fewer spill *stores*.
+
+use crate::config::PassStats;
+use std::collections::HashMap;
+use turnpike_ir::{Addr, BlockId, Cfg, DomTree, Function, Inst, Liveness, LoopForest, Operand, Reg};
+
+/// Number of allocatable registers (`r0..r28`).
+pub const ALLOCATABLE: u32 = 29;
+/// Scratch registers used by spill code.
+pub const SCRATCH: [u32; 3] = [29, 30, 31];
+/// Base address of spill slots.
+pub const SPILL_BASE: u64 = 0x7000_0000;
+/// Spill-cost multiplier for writes in store-aware mode.
+pub const WRITE_WEIGHT: f64 = 4.0;
+
+/// Result of allocation: the rewritten function uses only registers
+/// `0..32`, and `assignment` records where each original virtual register
+/// ended up.
+#[derive(Debug, Clone)]
+pub struct AllocResult {
+    /// Physical register index or spill slot for each original virtual reg.
+    pub assignment: HashMap<Reg, Location>,
+    /// Number of spill slots used.
+    pub slots_used: u32,
+}
+
+/// Where a virtual register lives after allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Location {
+    /// A physical register index.
+    Phys(u32),
+    /// A spill slot (absolute address `SPILL_BASE + 8*slot`).
+    Slot(u32),
+}
+
+#[derive(Debug, Clone)]
+struct Interval {
+    reg: Reg,
+    start: u32,
+    end: u32,
+    cost: f64,
+    is_param: bool,
+}
+
+/// Allocation failure: more simultaneously-live unspillable values than
+/// physical registers (cannot happen for compiler-generated kernels; guards
+/// against pathological inputs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllocError(pub String);
+
+impl std::fmt::Display for AllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "register allocation failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// Allocate registers in place, rewriting `f` to use physical indices.
+///
+/// # Errors
+///
+/// Returns [`AllocError`] if the parameter registers alone exceed the
+/// allocatable register file.
+pub fn regalloc(
+    f: &mut Function,
+    store_aware: bool,
+    stats: &mut PassStats,
+) -> Result<AllocResult, AllocError> {
+    if f.params.len() as u32 > ALLOCATABLE {
+        return Err(AllocError(format!(
+            "{} parameters exceed {} allocatable registers",
+            f.params.len(),
+            ALLOCATABLE
+        )));
+    }
+    let cfg = Cfg::compute(f);
+    let live = Liveness::compute(f, &cfg);
+    let dom = DomTree::compute(&cfg);
+    let loops = LoopForest::compute(&cfg, &dom);
+
+    // Linear numbering of program points: block starts at block_base[b].
+    let mut block_base = vec![0u32; f.blocks.len()];
+    let mut next = 0u32;
+    for (i, b) in f.blocks.iter().enumerate() {
+        block_base[i] = next;
+        next += b.insts.len() as u32 + 1;
+    }
+
+    // Build conservative single intervals plus frequency-weighted costs.
+    let mut start = vec![u32::MAX; f.num_regs as usize];
+    let mut end = vec![0u32; f.num_regs as usize];
+    let mut cost = vec![0f64; f.num_regs as usize];
+    let mut touch = |r: Reg, p: u32| {
+        let i = r.index();
+        if p < start[i] {
+            start[i] = p;
+        }
+        if p > end[i] {
+            end[i] = p;
+        }
+    };
+    for &p in &f.params {
+        touch(p, 0);
+    }
+    for (bi, b) in f.blocks.iter().enumerate() {
+        let id = BlockId(bi as u32);
+        let base = block_base[bi];
+        let bend = base + b.insts.len() as u32;
+        let freq = 10f64.powi(loops.depth(id).min(3) as i32);
+        for r in live.live_in(id).iter() {
+            touch(r, base);
+        }
+        for r in live.live_out(id).iter() {
+            touch(r, bend);
+        }
+        for (ii, inst) in b.insts.iter().enumerate() {
+            let p = base + ii as u32;
+            if let Some(d) = inst.def() {
+                touch(d, p);
+                let w = if store_aware { WRITE_WEIGHT } else { 1.0 };
+                cost[d.index()] += w * freq;
+            }
+            for u in inst.uses() {
+                touch(u, p);
+                cost[u.index()] += freq;
+            }
+        }
+        for u in b.term.uses() {
+            touch(u, bend);
+            cost[u.index()] += freq;
+        }
+    }
+
+    let mut intervals: Vec<Interval> = (0..f.num_regs)
+        .filter(|&r| start[r as usize] != u32::MAX)
+        .map(|r| Interval {
+            reg: Reg(r),
+            start: start[r as usize],
+            end: end[r as usize],
+            cost: cost[r as usize],
+            is_param: f.params.contains(&Reg(r)),
+        })
+        .collect();
+    intervals.sort_by_key(|iv| (iv.start, iv.reg.0));
+
+    // Linear scan with weighted spilling.
+    let mut free: Vec<u32> = (0..ALLOCATABLE).rev().collect();
+    let mut active: Vec<(Interval, u32)> = Vec::new(); // (interval, phys)
+    let mut assignment: HashMap<Reg, Location> = HashMap::new();
+    let mut next_slot = 0u32;
+    for iv in intervals {
+        active.retain(|(a, phys)| {
+            if a.end < iv.start {
+                free.push(*phys);
+                false
+            } else {
+                true
+            }
+        });
+        if let Some(phys) = free.pop() {
+            assignment.insert(iv.reg, Location::Phys(phys));
+            active.push((iv, phys));
+        } else {
+            // Spill the cheapest among active ∪ {current}; params never spill.
+            let cheapest_active = active
+                .iter()
+                .enumerate()
+                .filter(|(_, (a, _))| !a.is_param)
+                .min_by(|(_, (a, _)), (_, (b, _))| a.cost.total_cmp(&b.cost))
+                .map(|(i, (a, _))| (i, a.cost));
+            match cheapest_active {
+                Some((idx, c)) if c < iv.cost || iv.is_param => {
+                    let (victim, phys) = active.remove(idx);
+                    assignment.insert(victim.reg, Location::Slot(next_slot));
+                    next_slot += 1;
+                    assignment.insert(iv.reg, Location::Phys(phys));
+                    active.push((iv, phys));
+                }
+                _ if !iv.is_param => {
+                    assignment.insert(iv.reg, Location::Slot(next_slot));
+                    next_slot += 1;
+                }
+                _ => {
+                    return Err(AllocError(
+                        "unspillable parameter pressure exceeds register file".into(),
+                    ))
+                }
+            }
+        }
+    }
+
+    stats.spilled_vregs = next_slot;
+    rewrite(f, &assignment, stats);
+    Ok(AllocResult {
+        assignment,
+        slots_used: next_slot,
+    })
+}
+
+fn slot_addr(slot: u32) -> Addr {
+    Addr::abs((SPILL_BASE + slot as u64 * 8) as i64)
+}
+
+/// Rewrite the function: rename allocated registers, insert spill code.
+fn rewrite(f: &mut Function, assignment: &HashMap<Reg, Location>, stats: &mut PassStats) {
+    let map_reg = |r: Reg| -> Location {
+        assignment
+            .get(&r)
+            .copied()
+            // Dead registers (never live) can keep any name; use scratch.
+            .unwrap_or(Location::Phys(SCRATCH[2]))
+    };
+
+    for b in &mut f.blocks {
+        let old = std::mem::take(&mut b.insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(old.len() * 2);
+        for mut inst in old {
+            // Reload spilled uses into scratch registers.
+            let mut scratch_i = 0;
+            let mut reload = |r: Reg, new: &mut Vec<Inst>, stats: &mut PassStats| -> Reg {
+                match map_reg(r) {
+                    Location::Phys(p) => Reg(p),
+                    Location::Slot(s) => {
+                        let sc = Reg(SCRATCH[scratch_i]);
+                        scratch_i += 1;
+                        new.push(Inst::Load {
+                            dst: sc,
+                            addr: slot_addr(s),
+                        });
+                        stats.spill_loads += 1;
+                        sc
+                    }
+                }
+            };
+            let mut fix_operand = |o: &mut Operand, new: &mut Vec<Inst>, stats: &mut PassStats| {
+                if let Operand::Reg(r) = *o {
+                    *o = Operand::Reg(reload(r, new, stats));
+                }
+            };
+            match &mut inst {
+                Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                    fix_operand(lhs, &mut new, stats);
+                    fix_operand(rhs, &mut new, stats);
+                }
+                Inst::Mov { src, .. } => fix_operand(src, &mut new, stats),
+                Inst::Load { addr, .. } => {
+                    if let Some(base) = addr.base {
+                        addr.base = Some(reload(base, &mut new, stats));
+                    }
+                }
+                Inst::Store { src, addr } => {
+                    fix_operand(src, &mut new, stats);
+                    if let Some(base) = addr.base {
+                        addr.base = Some(reload(base, &mut new, stats));
+                    }
+                }
+                Inst::Ckpt { reg } => {
+                    *reg = reload(*reg, &mut new, stats);
+                }
+                Inst::RegionBoundary { .. } | Inst::Nop => {}
+            }
+            // Rewrite the def; spilled defs write scratch then store.
+            let spill_after = match inst.def() {
+                Some(d) => match map_reg(d) {
+                    Location::Phys(p) => {
+                        set_def(&mut inst, Reg(p));
+                        None
+                    }
+                    Location::Slot(s) => {
+                        let sc = Reg(SCRATCH[2]);
+                        set_def(&mut inst, sc);
+                        Some((sc, s))
+                    }
+                },
+                None => None,
+            };
+            new.push(inst);
+            if let Some((sc, s)) = spill_after {
+                new.push(Inst::Store {
+                    src: Operand::Reg(sc),
+                    addr: slot_addr(s),
+                });
+                stats.spill_stores += 1;
+            }
+        }
+        // Terminator uses.
+        let mut pre_term: Vec<Inst> = Vec::new();
+        let fix_term_reg = |r: &mut Reg, pre: &mut Vec<Inst>, stats: &mut PassStats| {
+            match map_reg(*r) {
+                Location::Phys(p) => *r = Reg(p),
+                Location::Slot(s) => {
+                    let sc = Reg(SCRATCH[0]);
+                    pre.push(Inst::Load {
+                        dst: sc,
+                        addr: slot_addr(s),
+                    });
+                    stats.spill_loads += 1;
+                    *r = sc;
+                }
+            }
+        };
+        match &mut b.term {
+            turnpike_ir::Terminator::Branch { cond, .. } => {
+                fix_term_reg(cond, &mut pre_term, stats)
+            }
+            turnpike_ir::Terminator::Ret {
+                value: Some(Operand::Reg(r)),
+            } => fix_term_reg(r, &mut pre_term, stats),
+            _ => {}
+        }
+        new.extend(pre_term);
+        b.insts = new;
+    }
+    // Params now refer to their physical homes.
+    f.params = f
+        .params
+        .iter()
+        .map(|&p| match assignment.get(&p) {
+            Some(Location::Phys(phys)) => Reg(*phys),
+            _ => unreachable!("parameters never spill"),
+        })
+        .collect();
+    f.num_regs = 32;
+}
+
+fn set_def(inst: &mut Inst, to: Reg) {
+    match inst {
+        Inst::Bin { dst, .. }
+        | Inst::Cmp { dst, .. }
+        | Inst::Mov { dst, .. }
+        | Inst::Load { dst, .. } => *dst = to,
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{interp, DataSegment, FunctionBuilder, Program};
+
+    /// Golden compare ignoring spill-slot addresses (an implementation
+    /// detail of the allocated program).
+    fn data_golden(p: &Program) -> (Option<i64>, std::collections::BTreeMap<u64, i64>) {
+        let (ret, mem) = interp::golden(p).unwrap();
+        (ret, mem.into_iter().filter(|(a, _)| *a < SPILL_BASE).collect())
+    }
+
+    /// A function with `n` simultaneously-live values summed at the end.
+    fn high_pressure(n: u32) -> Program {
+        let mut b = FunctionBuilder::new("hp");
+        let regs: Vec<Reg> = (0..n).map(|_| b.fresh_reg()).collect();
+        for (i, &r) in regs.iter().enumerate() {
+            b.mov(r, (i as i64 + 1) * 3);
+        }
+        let acc = b.fresh_reg();
+        b.mov(acc, 0i64);
+        for &r in &regs {
+            b.add(acc, acc, r);
+        }
+        b.ret(Some(Operand::Reg(acc)));
+        Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 0))
+    }
+
+    #[test]
+    fn low_pressure_never_spills() {
+        let mut p = high_pressure(10);
+        let golden = interp::golden(&p).unwrap();
+        let mut stats = PassStats::default();
+        let res = regalloc(&mut p.func, false, &mut stats).unwrap();
+        assert_eq!(res.slots_used, 0);
+        assert_eq!(stats.spill_stores, 0);
+        assert!(p.func.num_regs == 32);
+        turnpike_ir::verify_function(&p.func).unwrap();
+        assert_eq!(interp::golden(&p).unwrap(), golden);
+    }
+
+    #[test]
+    fn high_pressure_spills_and_preserves_semantics() {
+        let mut p = high_pressure(40);
+        let golden = data_golden(&p);
+        let mut stats = PassStats::default();
+        let res = regalloc(&mut p.func, false, &mut stats).unwrap();
+        assert!(res.slots_used > 0);
+        assert!(stats.spill_stores > 0);
+        assert_eq!(data_golden(&p), golden);
+        // All registers in the rewritten function are physical.
+        for (_, _, inst) in p.func.iter_insts() {
+            if let Some(d) = inst.def() {
+                assert!(d.0 < 32);
+            }
+            for u in inst.uses() {
+                assert!(u.0 < 32);
+            }
+        }
+    }
+
+    /// Store-aware mode must produce fewer spill stores on a kernel whose
+    /// hot loop writes one set of registers and only reads another.
+    #[test]
+    fn store_aware_reduces_spill_stores() {
+        let mut bld = FunctionBuilder::new("wr");
+        // 27 read-only values defined once (low write frequency)...
+        let ro: Vec<Reg> = (0..27).map(|_| bld.fresh_reg()).collect();
+        for (i, &r) in ro.iter().enumerate() {
+            bld.mov(r, i as i64);
+        }
+        // ...and 6 write-hot accumulators updated every iteration.
+        let hot: Vec<Reg> = (0..6).map(|_| bld.fresh_reg()).collect();
+        for &h in &hot {
+            bld.mov(h, 0i64);
+        }
+        let i = bld.fresh_reg();
+        let c = bld.fresh_reg();
+        bld.mov(i, 0i64);
+        let body = bld.create_block();
+        let done = bld.create_block();
+        bld.jump(body);
+        bld.switch_to(body);
+        for (k, &h) in hot.iter().enumerate() {
+            bld.add(h, h, ro[k * 4]);
+        }
+        bld.add(i, i, 1i64);
+        bld.cmp_lt(c, i, 100i64);
+        bld.branch(c, body, done);
+        bld.switch_to(done);
+        let acc = bld.fresh_reg();
+        bld.mov(acc, 0i64);
+        for &h in &hot {
+            bld.add(acc, acc, h);
+        }
+        for &r in &ro {
+            bld.add(acc, acc, r);
+        }
+        bld.ret(Some(Operand::Reg(acc)));
+        let f = bld.finish().unwrap();
+        let prog = Program::new(f, DataSegment::zeroed(0x1000, 0));
+        let golden = data_golden(&prog);
+
+        let mut s_plain = PassStats::default();
+        let mut p1 = prog.clone();
+        regalloc(&mut p1.func, false, &mut s_plain).unwrap();
+        assert_eq!(data_golden(&p1), golden);
+
+        let mut s_aware = PassStats::default();
+        let mut p2 = prog.clone();
+        regalloc(&mut p2.func, true, &mut s_aware).unwrap();
+        assert_eq!(data_golden(&p2), golden);
+
+        assert!(
+            s_aware.spill_stores <= s_plain.spill_stores,
+            "store-aware RA should not create more spill stores \
+             ({} vs {})",
+            s_aware.spill_stores,
+            s_plain.spill_stores
+        );
+    }
+
+    #[test]
+    fn params_keep_physical_homes() {
+        let mut b = FunctionBuilder::new("p");
+        let x = b.param();
+        let y = b.fresh_reg();
+        b.add(y, x, 1i64);
+        b.ret(Some(Operand::Reg(y)));
+        let f = b.finish().unwrap();
+        let mut prog = Program::with_params(f, DataSegment::zeroed(0, 0), vec![41]);
+        let mut stats = PassStats::default();
+        regalloc(&mut prog.func, false, &mut stats).unwrap();
+        assert_eq!(prog.func.params.len(), 1);
+        assert!(prog.func.params[0].0 < ALLOCATABLE);
+        assert_eq!(interp::golden(&prog).unwrap().0, Some(42));
+    }
+}

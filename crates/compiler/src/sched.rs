@@ -1,0 +1,333 @@
+//! Checkpoint-aware list scheduling (paper §4.2).
+//!
+//! Eager checkpointing creates read-after-write pairs — a register update
+//! immediately followed by its checkpoint store — that stall an in-order
+//! pipeline for the update's full latency (worst for loads). Out-of-order
+//! cores hide this; in-order cores need the compiler to hoist independent
+//! instructions into the gap.
+//!
+//! The scheduler works per *segment* (the run of instructions between region
+//! boundaries inside a block — boundaries are scheduling barriers so region
+//! store counts are preserved). It builds a dependence DAG (register
+//! RAW/WAR/WAW; conservative memory ordering with no alias analysis:
+//! store–store, load–store, and store–load edges; checkpoint stores only
+//! order against checkpoints of the same register since the checkpoint
+//! address space is disjoint from data memory), then emits greedily by
+//! earliest-start time with critical-path priority.
+
+use turnpike_ir::{Function, Inst, Reg};
+
+/// Latency used for dependence edges, mirroring the simulator's L1-hit path.
+fn latency(inst: &Inst) -> u32 {
+    match inst {
+        Inst::Bin { op, .. } => op.latency(),
+        Inst::Load { .. } => 2,
+        _ => 1,
+    }
+}
+
+/// Schedule every segment of every block in place. Returns the number of
+/// instructions that changed position (a cheap effectiveness metric).
+pub fn schedule(f: &mut Function) -> u32 {
+    let mut moved = 0;
+    for b in &mut f.blocks {
+        let insts = std::mem::take(&mut b.insts);
+        let mut new: Vec<Inst> = Vec::with_capacity(insts.len());
+        let mut seg: Vec<Inst> = Vec::new();
+        for inst in insts {
+            if inst.is_boundary() {
+                moved += schedule_segment(&mut seg, &mut new);
+                new.push(inst);
+            } else {
+                seg.push(inst);
+            }
+        }
+        moved += schedule_segment(&mut seg, &mut new);
+        b.insts = new;
+    }
+    moved
+}
+
+/// Schedule one segment, appending the new order to `out`.
+fn schedule_segment(seg: &mut Vec<Inst>, out: &mut Vec<Inst>) -> u32 {
+    let n = seg.len();
+    if n < 3 {
+        out.append(seg);
+        return 0;
+    }
+    // Build dependence edges: preds[i] = list of (dep index, edge latency).
+    let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let add_edge = |from: usize, to: usize, lat: u32, preds: &mut Vec<Vec<(usize, u32)>>, succs: &mut Vec<Vec<usize>>| {
+        preds[to].push((from, lat));
+        succs[from].push(to);
+    };
+    let mut last_def: Vec<Option<usize>> = vec![None; 64];
+    let mut last_uses: Vec<Vec<usize>> = vec![Vec::new(); 64];
+    let reg_slot = |r: Reg| (r.0 as usize).min(63);
+    let mut last_data_store: Option<usize> = None;
+    let mut data_loads_since_store: Vec<usize> = Vec::new();
+    let mut last_ckpt_of: Vec<Option<usize>> = vec![None; 64];
+
+    for (i, inst) in seg.iter().enumerate() {
+        // Register dependences.
+        for u in inst.uses() {
+            if let Some(d) = last_def[reg_slot(u)] {
+                add_edge(d, i, latency(&seg[d]), &mut preds, &mut succs);
+            }
+        }
+        if let Some(d) = inst.def() {
+            let s = reg_slot(d);
+            if let Some(prev) = last_def[s] {
+                add_edge(prev, i, 1, &mut preds, &mut succs); // WAW
+            }
+            for &u in &last_uses[s] {
+                if u != i {
+                    add_edge(u, i, 1, &mut preds, &mut succs); // WAR
+                }
+            }
+            last_uses[s].clear();
+            last_def[s] = Some(i);
+        }
+        for u in inst.uses() {
+            last_uses[reg_slot(u)].push(i);
+        }
+        // Memory ordering.
+        match inst {
+            Inst::Load { .. } => {
+                if let Some(s) = last_data_store {
+                    add_edge(s, i, 1, &mut preds, &mut succs);
+                }
+                data_loads_since_store.push(i);
+            }
+            Inst::Store { .. } => {
+                if let Some(s) = last_data_store {
+                    add_edge(s, i, 1, &mut preds, &mut succs);
+                }
+                for &l in &data_loads_since_store {
+                    add_edge(l, i, 1, &mut preds, &mut succs);
+                }
+                data_loads_since_store.clear();
+                last_data_store = Some(i);
+            }
+            Inst::Ckpt { reg } => {
+                let s = reg_slot(*reg);
+                if let Some(c) = last_ckpt_of[s] {
+                    add_edge(c, i, 1, &mut preds, &mut succs);
+                }
+                last_ckpt_of[s] = Some(i);
+            }
+            _ => {}
+        }
+    }
+
+    // Critical-path heights.
+    let mut height = vec![1u32; n];
+    for i in (0..n).rev() {
+        for &s in &succs[i] {
+            height[i] = height[i].max(1 + height[s]);
+        }
+    }
+
+    // Greedy emission by earliest start time.
+    let mut pred_left: Vec<usize> = preds.iter().map(Vec::len).collect();
+    let mut finish = vec![0u32; n]; // finish cycle of emitted insts
+    let mut emitted = vec![false; n];
+    let mut order: Vec<usize> = Vec::with_capacity(n);
+    let mut t: u32 = 0;
+    while order.len() < n {
+        // Earliest start of each ready instruction.
+        let mut best: Option<(usize, u32)> = None; // (idx, est)
+        let mut min_est = u32::MAX;
+        for i in 0..n {
+            if emitted[i] || pred_left[i] != 0 {
+                continue;
+            }
+            let est = preds[i]
+                .iter()
+                .map(|&(p, lat)| finish[p].saturating_add(lat).saturating_sub(1))
+                .max()
+                .unwrap_or(0);
+            min_est = min_est.min(est);
+            let startable = est <= t;
+            match best {
+                _ if !startable => {}
+                None => best = Some((i, est)),
+                Some((bi, _)) => {
+                    if (height[i], std::cmp::Reverse(i)) > (height[bi], std::cmp::Reverse(bi)) {
+                        best = Some((i, est));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((i, _)) => {
+                emitted[i] = true;
+                finish[i] = t + latency(&seg[i]);
+                for &s in &succs[i] {
+                    pred_left[s] -= 1;
+                }
+                order.push(i);
+                t += 1;
+            }
+            None => {
+                t = t.max(min_est);
+            }
+        }
+    }
+
+    let moved = order
+        .iter()
+        .enumerate()
+        .filter(|&(pos, &i)| pos != i)
+        .count() as u32;
+    for &i in &order {
+        out.push(seg[i]);
+    }
+    seg.clear();
+    moved
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{interp, DataSegment, FunctionBuilder, Operand, Program};
+
+    /// The paper's Figure 6/11 shape: load; ckpt(load); two independent ALU
+    /// ops. Scheduling must hoist the ALU ops between the load and the ckpt.
+    #[test]
+    fn separates_load_from_checkpoint() {
+        let mut b = FunctionBuilder::new("fig11");
+        let r6 = b.fresh_reg();
+        let r5 = b.fresh_reg();
+        let r4 = b.fresh_reg();
+        b.mov(r5, 1i64);
+        b.mov(r4, 2i64);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.load_abs(r6, 0x1000);
+        b.inst(Inst::Ckpt { reg: r6 });
+        b.add(r5, r5, 1i64);
+        b.shl(r4, r4, 2i64);
+        b.inst(Inst::RegionBoundary { id: 2 });
+        b.ret(Some(Operand::Reg(r6)));
+        let mut f = b.finish().unwrap();
+        schedule(&mut f);
+        let insts = &f.blocks[0].insts;
+        let load = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Load { .. }))
+            .unwrap();
+        let ckpt = insts
+            .iter()
+            .position(|i| matches!(i, Inst::Ckpt { reg } if reg.0 == 0))
+            .unwrap();
+        assert!(
+            ckpt > load + 1,
+            "independent work should fill the load-to-ckpt gap: {insts:?}"
+        );
+    }
+
+    #[test]
+    fn preserves_semantics_on_memory_heavy_code() {
+        let mut b = FunctionBuilder::new("mem");
+        let base = b.param();
+        let x = b.fresh_reg();
+        let y = b.fresh_reg();
+        let z = b.fresh_reg();
+        b.store(7i64, base, 0);
+        b.load(x, base, 0);
+        b.store(9i64, base, 0); // overwrites
+        b.load(y, base, 0);
+        b.add(z, x, Operand::Reg(y));
+        b.ret(Some(Operand::Reg(z)));
+        let f = b.finish().unwrap();
+        let p = Program::with_params(f, DataSegment::zeroed(0x1000, 1), vec![0x1000]);
+        let golden = interp::golden(&p).unwrap();
+        let mut q = p.clone();
+        schedule(&mut q.func);
+        assert_eq!(interp::golden(&q).unwrap(), golden);
+        assert_eq!(golden.0, Some(16));
+    }
+
+    #[test]
+    fn boundaries_are_barriers() {
+        let mut b = FunctionBuilder::new("bar");
+        let x = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.store_abs(x, 0x1000);
+        b.inst(Inst::RegionBoundary { id: 1 });
+        b.store_abs(x, 0x1008);
+        b.ret(None);
+        let mut f = b.finish().unwrap();
+        schedule(&mut f);
+        let insts = &f.blocks[0].insts;
+        let bpos = insts.iter().position(|i| i.is_boundary()).unwrap();
+        let stores: Vec<usize> = insts
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.is_store())
+            .map(|(k, _)| k)
+            .collect();
+        assert!(stores[0] < bpos && stores[1] > bpos);
+    }
+
+    #[test]
+    fn short_segments_untouched() {
+        let mut b = FunctionBuilder::new("short");
+        let x = b.fresh_reg();
+        b.mov(x, 1i64);
+        b.ret(Some(Operand::Reg(x)));
+        let mut f = b.finish().unwrap();
+        assert_eq!(schedule(&mut f), 0);
+    }
+
+    /// Randomized differential test: scheduling never changes results.
+    #[test]
+    fn random_programs_schedule_equivalently() {
+        use rand::{rngs::StdRng, Rng, SeedableRng};
+        for seed in 0..20 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut b = FunctionBuilder::new("rnd");
+            let base = b.param();
+            let regs: Vec<_> = (0..6).map(|_| b.fresh_reg()).collect();
+            for &r in &regs {
+                b.mov(r, rng.gen_range(-8i64..8));
+            }
+            for _ in 0..30 {
+                match rng.gen_range(0..5) {
+                    0 => {
+                        let d = regs[rng.gen_range(0..regs.len())];
+                        let a = regs[rng.gen_range(0..regs.len())];
+                        b.add(d, a, rng.gen_range(-4i64..4));
+                    }
+                    1 => {
+                        let d = regs[rng.gen_range(0..regs.len())];
+                        b.load(d, base, rng.gen_range(0..8) * 8);
+                    }
+                    2 => {
+                        let s = regs[rng.gen_range(0..regs.len())];
+                        b.store(s, base, rng.gen_range(0..8) * 8);
+                    }
+                    3 => {
+                        let r = regs[rng.gen_range(0..regs.len())];
+                        b.inst(Inst::Ckpt { reg: r });
+                    }
+                    _ => {
+                        let d = regs[rng.gen_range(0..regs.len())];
+                        let a = regs[rng.gen_range(0..regs.len())];
+                        b.mul(d, a, rng.gen_range(1i64..4));
+                    }
+                }
+            }
+            b.ret(Some(Operand::Reg(regs[0])));
+            let f = b.finish().unwrap();
+            let p = Program::with_params(f, DataSegment::zeroed(0x1000, 8), vec![0x1000]);
+            let golden = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+            let mut q = p.clone();
+            schedule(&mut q.func);
+            let after = interp::run(&q, &interp::InterpConfig::default()).unwrap();
+            assert_eq!(golden.memory, after.memory, "seed {seed}");
+            assert_eq!(golden.ret, after.ret, "seed {seed}");
+        }
+    }
+}

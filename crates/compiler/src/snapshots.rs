@@ -1,0 +1,181 @@
+//! Pass-by-pass snapshots: compile while recording the IR after every
+//! pipeline stage. Powers debugging sessions and the `compiler_pipeline`
+//! example; not used on the hot path.
+
+use crate::checkpoint::{insert_checkpoints, strip_ckpts};
+use crate::codegen::codegen;
+use crate::config::{CompilerConfig, PassStats};
+use crate::dce::dce;
+use crate::legalize::legalize;
+use crate::licm::licm_sink;
+use crate::livm::livm;
+use crate::partition::{ensure_ckpt_loops, partition, split_overfull};
+use crate::pipeline::{CompileError, CompileOutput};
+use crate::prune::{prune_checkpoints, PruneRecipes};
+use crate::regalloc::regalloc;
+use crate::sched::schedule;
+use turnpike_ir::Program;
+
+/// The IR text after one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// Stage name (`"legalize"`, `"regalloc"`, ...).
+    pub stage: &'static str,
+    /// Pretty-printed function after the stage.
+    pub ir: String,
+    /// Checkpoint count after the stage.
+    pub ckpts: usize,
+    /// Boundary count after the stage.
+    pub boundaries: usize,
+}
+
+/// Compile like [`crate::compile`] but record a [`Snapshot`] after each
+/// stage that ran.
+///
+/// # Errors
+///
+/// Same failure modes as [`crate::compile`].
+pub fn compile_with_snapshots(
+    program: &Program,
+    config: &CompilerConfig,
+) -> Result<(CompileOutput, Vec<Snapshot>), CompileError> {
+    let mut stats = PassStats::default();
+    let mut prog = program.clone();
+    let mut snaps = Vec::new();
+    let snap = |stage: &'static str, f: &turnpike_ir::Function| Snapshot {
+        stage,
+        ir: f.to_string(),
+        ckpts: f.ckpt_count(),
+        boundaries: f.boundary_count(),
+    };
+
+    legalize(&mut prog.func);
+    snaps.push(snap("legalize", &prog.func));
+    if config.livm {
+        stats.ivs_merged = livm(&mut prog.func);
+        dce(&mut prog.func);
+        snaps.push(snap("livm+dce", &prog.func));
+    }
+    regalloc(&mut prog.func, config.store_aware_ra, &mut stats)?;
+    snaps.push(snap("regalloc", &prog.func));
+
+    {
+        let base = codegen(&prog, &PruneRecipes::default())?;
+        stats.baseline_insts = base.insts.len() as u32;
+    }
+
+    let mut recipes = PruneRecipes::default();
+    if config.resilient {
+        let budget = config.region_budget();
+        partition(&mut prog.func, budget);
+        snaps.push(snap("partition", &prog.func));
+        for _ in 0..32 {
+            strip_ckpts(&mut prog.func);
+            stats.ckpts_inserted = insert_checkpoints(&mut prog.func);
+            let loop_ckpt_cap = (config.sb_size - budget).max(1);
+            let extra = split_overfull(&mut prog.func, budget)
+                + ensure_ckpt_loops(&mut prog.func, loop_ckpt_cap);
+            stats.split_iterations += 1;
+            if extra == 0 {
+                break;
+            }
+        }
+        snaps.push(snap("checkpoint", &prog.func));
+        if config.prune {
+            recipes = prune_checkpoints(&mut prog.func);
+            stats.ckpts_pruned = recipes.len() as u32;
+            snaps.push(snap("prune", &prog.func));
+        }
+        if config.licm {
+            let out = licm_sink(&mut prog.func, config.sb_size);
+            stats.ckpts_licm_removed = out.removed;
+            snaps.push(snap("licm", &prog.func));
+        }
+        if config.sched {
+            schedule(&mut prog.func);
+            snaps.push(snap("sched", &prog.func));
+        }
+        stats.boundaries = prog.func.boundary_count() as u32;
+    }
+
+    let machine = codegen(&prog, &recipes)?;
+    stats.final_insts = machine.insts.len() as u32;
+    Ok((
+        CompileOutput {
+            program: machine,
+            stats,
+        },
+        snaps,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{DataSegment, FunctionBuilder, Operand};
+
+    fn sample() -> Program {
+        let mut b = FunctionBuilder::new("snap");
+        let x = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(x, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store_abs(x, 0x1000);
+        b.add(x, x, 1i64);
+        b.cmp_lt(c, x, 8i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(x)));
+        Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1))
+    }
+
+    #[test]
+    fn snapshots_cover_enabled_stages() {
+        let p = sample();
+        let (_, snaps) =
+            compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
+        let stages: Vec<&str> = snaps.iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            vec![
+                "legalize",
+                "livm+dce",
+                "regalloc",
+                "partition",
+                "checkpoint",
+                "prune",
+                "licm",
+                "sched"
+            ]
+        );
+        // Checkpoints appear at the checkpoint stage.
+        let idx = stages.iter().position(|s| *s == "checkpoint").unwrap();
+        assert!(snaps[idx].ckpts > 0);
+        assert!(snaps[idx].boundaries > 0);
+        assert!(snaps[idx].ir.contains("ckpt"));
+        // Earlier stages have none.
+        assert_eq!(snaps[0].ckpts, 0);
+    }
+
+    #[test]
+    fn disabled_stages_leave_no_snapshot() {
+        let p = sample();
+        let (_, snaps) =
+            compile_with_snapshots(&p, &CompilerConfig::turnstile(4)).unwrap();
+        let stages: Vec<&str> = snaps.iter().map(|s| s.stage).collect();
+        assert_eq!(stages, vec!["legalize", "regalloc", "partition", "checkpoint"]);
+    }
+
+    #[test]
+    fn snapshot_compile_agrees_with_plain_compile() {
+        let p = sample();
+        let plain = crate::compile(&p, &CompilerConfig::turnpike(4)).unwrap();
+        let (snapped, _) =
+            compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
+        assert_eq!(plain.program, snapped.program);
+        assert_eq!(plain.stats, snapped.stats);
+    }
+}

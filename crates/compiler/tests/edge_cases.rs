@@ -1,0 +1,253 @@
+//! Edge-case integration tests for the compiler pipeline: shapes that
+//! stress pass interactions rather than any single pass.
+
+use turnpike_compiler::{compile, CompilerConfig};
+use turnpike_ir::{
+    interp, BinOp, CmpOp, DataSegment, FunctionBuilder, Inst, Operand, Program, Reg,
+};
+use turnpike_isa::interp as misa;
+
+fn golden_matches(p: &Program, cfg: &CompilerConfig) {
+    let golden = interp::golden(p).expect("interprets");
+    let out = compile(p, cfg).expect("compiles");
+    out.program.validate().expect("validates");
+    let m = misa::run(&out.program, &Default::default()).expect("executes");
+    assert_eq!(m.ret, golden.0);
+    let data: std::collections::BTreeMap<u64, i64> = m
+        .memory
+        .into_iter()
+        .filter(|(a, _)| *a < turnpike_compiler::SPILL_BASE)
+        .collect();
+    assert_eq!(data, golden.1);
+}
+
+/// Triple-nested loops with stores at every depth.
+#[test]
+fn nested_loops_partition_soundly() {
+    let mut b = FunctionBuilder::new("nest");
+    let base = b.param();
+    let (i, j, k, t, c) = (
+        b.fresh_reg(),
+        b.fresh_reg(),
+        b.fresh_reg(),
+        b.fresh_reg(),
+        b.fresh_reg(),
+    );
+    let li = b.create_block();
+    let lj = b.create_block();
+    let lk = b.create_block();
+    let ek = b.create_block();
+    let ej = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.jump(li);
+    b.switch_to(li);
+    b.mov(j, 0i64);
+    b.jump(lj);
+    b.switch_to(lj);
+    b.mov(k, 0i64);
+    b.jump(lk);
+    b.switch_to(lk);
+    b.mul(t, i, 9i64);
+    b.add(t, t, Operand::Reg(j));
+    b.add(t, t, Operand::Reg(k));
+    b.shl(t, t, 3i64);
+    b.bin(BinOp::Rem, t, t, 64i64 * 8);
+    b.add(t, t, Operand::Reg(base));
+    b.store(k, t, 0);
+    b.add(k, k, 1i64);
+    b.cmp(CmpOp::Lt, c, k, 3i64);
+    b.branch(c, lk, ek);
+    b.switch_to(ek);
+    b.add(j, j, 1i64);
+    b.cmp(CmpOp::Lt, c, j, 3i64);
+    b.branch(c, lj, ej);
+    b.switch_to(ej);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, 3i64);
+    b.branch(c, li, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(t)));
+    let p = Program::with_params(
+        b.finish().unwrap(),
+        DataSegment::zeroed(0x1_0000, 64),
+        vec![0x1_0000],
+    );
+    for sb in [2u32, 4, 8] {
+        golden_matches(&p, &CompilerConfig::turnstile(sb));
+        golden_matches(&p, &CompilerConfig::turnpike(sb));
+    }
+}
+
+/// A loop whose body is split across several blocks (if/else inside).
+#[test]
+fn multi_block_loop_bodies() {
+    let mut b = FunctionBuilder::new("mb");
+    let base = b.param();
+    let (i, v, t, c) = (b.fresh_reg(), b.fresh_reg(), b.fresh_reg(), b.fresh_reg());
+    let head = b.create_block();
+    let odd = b.create_block();
+    let even = b.create_block();
+    let latch = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.mov(v, 0i64);
+    b.jump(head);
+    b.switch_to(head);
+    b.bin(BinOp::And, c, i, 1i64);
+    b.branch(c, odd, even);
+    b.switch_to(odd);
+    b.add(v, v, Operand::Reg(i));
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.store(v, t, 0);
+    b.jump(latch);
+    b.switch_to(even);
+    b.xor(v, v, Operand::Reg(i));
+    b.jump(latch);
+    b.switch_to(latch);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, 20i64);
+    b.branch(c, head, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(v)));
+    let p = Program::with_params(
+        b.finish().unwrap(),
+        DataSegment::zeroed(0x1_0000, 20),
+        vec![0x1_0000],
+    );
+    golden_matches(&p, &CompilerConfig::turnpike(4));
+    golden_matches(&p, &CompilerConfig::turnstile(2));
+}
+
+/// Branch whose both arms are the same target, plus a jump to the next
+/// block (fall-through elision paths in codegen).
+#[test]
+fn degenerate_control_flow() {
+    let mut b = FunctionBuilder::new("deg");
+    let (x, c) = (b.fresh_reg(), b.fresh_reg());
+    let merged = b.create_block();
+    let next = b.create_block();
+    b.mov(x, 3i64);
+    b.cmp(CmpOp::Gt, c, x, 0i64);
+    b.branch(c, merged, merged); // same target both ways
+    b.switch_to(merged);
+    b.add(x, x, 1i64);
+    b.jump(next); // jump to physically next block: elided
+    b.switch_to(next);
+    b.ret(Some(Operand::Reg(x)));
+    let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0, 0));
+    golden_matches(&p, &CompilerConfig::baseline());
+    golden_matches(&p, &CompilerConfig::turnpike(4));
+}
+
+/// Checkpointed value consumed only by the terminator of a later block.
+#[test]
+fn terminator_only_uses_cross_regions() {
+    let mut b = FunctionBuilder::new("term");
+    let (x, y) = (b.fresh_reg(), b.fresh_reg());
+    let t1 = b.create_block();
+    let t2 = b.create_block();
+    b.mov(x, 1i64);
+    b.store_abs(x, 0x1000);
+    b.store_abs(x, 0x1008);
+    b.store_abs(x, 0x1010); // forces a split boundary before here (budget 2)
+    b.jump(t1);
+    b.switch_to(t1);
+    b.branch(x, t2, t2);
+    b.switch_to(t2);
+    b.mov(y, 9i64);
+    b.ret(Some(Operand::Reg(y)));
+    let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 3));
+    golden_matches(&p, &CompilerConfig::turnstile(4));
+}
+
+/// Immediates at the encoding boundaries survive the full pipeline.
+#[test]
+fn extreme_immediates() {
+    let mut b = FunctionBuilder::new("imm");
+    let (x, y) = (b.fresh_reg(), b.fresh_reg());
+    b.mov(x, i32::MAX as i64);
+    b.add(y, x, i32::MIN as i64 + 1);
+    b.store_abs(y, 0x1000);
+    b.mov(x, -128i64); // i8 store-immediate limit
+    b.store_abs(-128i64, 0x1008);
+    b.store_abs(127i64, 0x1010);
+    b.ret(Some(Operand::Reg(y)));
+    let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 3));
+    golden_matches(&p, &CompilerConfig::turnpike(4));
+    // The encoded program round-trips.
+    let out = compile(&p, &CompilerConfig::turnpike(4)).unwrap();
+    let bytes = turnpike_isa::encode_program(&out.program.insts).unwrap();
+    assert_eq!(
+        turnpike_isa::decode_program(&bytes).unwrap(),
+        out.program.insts
+    );
+}
+
+/// An empty-body function and a single-store function (minimal regions).
+#[test]
+fn minimal_programs() {
+    let mut b = FunctionBuilder::new("empty");
+    b.ret(None);
+    let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0, 0));
+    golden_matches(&p, &CompilerConfig::turnpike(4));
+
+    let mut b = FunctionBuilder::new("one_store");
+    b.store_abs(7i64, 0x1000);
+    b.ret(None);
+    let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1));
+    golden_matches(&p, &CompilerConfig::turnstile(2));
+    golden_matches(&p, &CompilerConfig::turnpike(2));
+}
+
+/// LICM's store-bound revert path: a boundary-free loop checkpointing
+/// enough registers that hoisting them all to the exit would blow the SB
+/// bound; the transformation must be (partially or fully) declined while
+/// semantics hold.
+#[test]
+fn licm_revert_keeps_semantics() {
+    let mut b = FunctionBuilder::new("revert");
+    let base = b.param();
+    let accs: Vec<Reg> = (0..3).map(|_| b.fresh_reg()).collect();
+    let (i, t, v, c) = (b.fresh_reg(), b.fresh_reg(), b.fresh_reg(), b.fresh_reg());
+    let body = b.create_block();
+    let after = b.create_block();
+    let done = b.create_block();
+    for &a in &accs {
+        b.mov(a, 0i64);
+    }
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.bin(BinOp::And, t, i, 7i64);
+    b.shl(t, t, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(v, t, 0);
+    for &a in &accs {
+        b.add(a, a, Operand::Reg(v));
+    }
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, 12i64);
+    b.branch(c, body, after);
+    b.switch_to(after);
+    // Two stores right at the loop exit: hoisted ckpts + these would
+    // exceed a 4-entry SB, forcing the revert logic to engage.
+    b.store(accs[0], base, 64);
+    b.store(accs[1], base, 72);
+    b.inst(Inst::RegionBoundary { id: 99 });
+    b.jump(done);
+    b.switch_to(done);
+    let out = b.fresh_reg();
+    b.mov(out, 0i64);
+    for &a in &accs {
+        b.add(out, out, a);
+    }
+    b.ret(Some(Operand::Reg(out)));
+    let p = Program::with_params(
+        b.finish().unwrap(),
+        DataSegment::with_words(0x1_0000, (0..16).collect()),
+        vec![0x1_0000],
+    );
+    golden_matches(&p, &CompilerConfig::turnpike(4));
+}

@@ -1,0 +1,185 @@
+//! Basic blocks and terminators.
+
+use crate::inst::Inst;
+use crate::reg::{Operand, Reg};
+use std::fmt;
+
+/// Identifier of a basic block within a [`Function`](crate::Function).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Numeric index of the block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Control-flow terminator of a basic block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on `cond != 0`.
+    Branch {
+        /// Condition register (nonzero = taken).
+        cond: Reg,
+        /// Successor when the condition is nonzero.
+        then_bb: BlockId,
+        /// Successor when the condition is zero.
+        else_bb: BlockId,
+    },
+    /// Function return with an optional value.
+    Ret {
+        /// Returned value, if any.
+        value: Option<Operand>,
+    },
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match *self {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => {
+                if then_bb == else_bb {
+                    vec![then_bb]
+                } else {
+                    vec![then_bb, else_bb]
+                }
+            }
+            Terminator::Ret { .. } => vec![],
+        }
+    }
+
+    /// Registers read by the terminator.
+    pub fn uses(&self) -> Vec<Reg> {
+        match *self {
+            Terminator::Jump(_) => vec![],
+            Terminator::Branch { cond, .. } => vec![cond],
+            Terminator::Ret { value } => value.and_then(Operand::reg).into_iter().collect(),
+        }
+    }
+
+    /// Whether this terminator leaves the function.
+    pub fn is_ret(&self) -> bool {
+        matches!(self, Terminator::Ret { .. })
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(t) => write!(f, "jmp {t}"),
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => write!(f, "br {cond}, {then_bb}, {else_bb}"),
+            Terminator::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            Terminator::Ret { value: None } => write!(f, "ret"),
+        }
+    }
+}
+
+/// A straight-line sequence of instructions ending in a [`Terminator`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Instructions in program order (terminator excluded).
+    pub insts: Vec<Inst>,
+    /// Block terminator.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// An empty block ending in the given terminator.
+    pub fn new(term: Terminator) -> Self {
+        BasicBlock {
+            insts: Vec::new(),
+            term,
+        }
+    }
+
+    /// Number of instructions, including the terminator.
+    pub fn len_with_term(&self) -> usize {
+        self.insts.len() + 1
+    }
+
+    /// Number of store instructions (regular stores plus checkpoints).
+    pub fn store_count(&self) -> usize {
+        self.insts.iter().filter(|i| i.is_store()).count()
+    }
+
+    /// Remove `Nop` placeholders left behind by passes.
+    pub fn sweep_nops(&mut self) {
+        self.insts.retain(|i| !matches!(i, Inst::Nop));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Addr;
+
+    #[test]
+    fn successors_dedupe_same_target() {
+        let t = Terminator::Branch {
+            cond: Reg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(1),
+        };
+        assert_eq!(t.successors(), vec![BlockId(1)]);
+        assert_eq!(t.uses(), vec![Reg(0)]);
+    }
+
+    #[test]
+    fn ret_has_no_successors() {
+        let t = Terminator::Ret {
+            value: Some(Operand::Reg(Reg(2))),
+        };
+        assert!(t.successors().is_empty());
+        assert_eq!(t.uses(), vec![Reg(2)]);
+        assert!(t.is_ret());
+        assert!(!Terminator::Jump(BlockId(0)).is_ret());
+    }
+
+    #[test]
+    fn block_store_count_and_sweep() {
+        let mut bb = BasicBlock::new(Terminator::Ret { value: None });
+        bb.insts.push(Inst::Store {
+            src: Operand::Imm(0),
+            addr: Addr::abs(0x1000),
+        });
+        bb.insts.push(Inst::Nop);
+        bb.insts.push(Inst::Ckpt { reg: Reg(1) });
+        assert_eq!(bb.store_count(), 2);
+        assert_eq!(bb.len_with_term(), 4);
+        bb.sweep_nops();
+        assert_eq!(bb.insts.len(), 2);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Terminator::Jump(BlockId(3)).to_string(), "jmp bb3");
+        assert_eq!(
+            Terminator::Branch {
+                cond: Reg(1),
+                then_bb: BlockId(0),
+                else_bb: BlockId(2)
+            }
+            .to_string(),
+            "br v1, bb0, bb2"
+        );
+        assert_eq!(Terminator::Ret { value: None }.to_string(), "ret");
+        assert_eq!(BlockId(4).to_string(), "bb4");
+        assert_eq!(BlockId(4).index(), 4);
+    }
+}

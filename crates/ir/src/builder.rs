@@ -1,0 +1,296 @@
+//! Ergonomic function construction.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::function::Function;
+use crate::inst::{Addr, BinOp, CmpOp, Inst};
+use crate::reg::{Operand, Reg};
+use crate::verify::{verify_function, VerifyError};
+
+/// Incremental builder for a [`Function`].
+///
+/// Blocks created with [`create_block`](Self::create_block) start without a
+/// terminator; emitting a `jump`/`branch`/`ret` seals the current block.
+/// [`finish`](Self::finish) runs the verifier so malformed functions are
+/// rejected at construction time.
+///
+/// See the crate-level docs for a complete example.
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    blocks: Vec<Option<BasicBlock>>,
+    pending: Vec<Vec<Inst>>,
+    current: BlockId,
+    next_reg: u32,
+    params: Vec<Reg>,
+}
+
+impl FunctionBuilder {
+    /// Start building a function; an entry block is created and selected.
+    pub fn new(name: &str) -> Self {
+        FunctionBuilder {
+            name: name.to_string(),
+            blocks: vec![None],
+            pending: vec![Vec::new()],
+            current: BlockId(0),
+            next_reg: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Allocate a fresh virtual register.
+    pub fn fresh_reg(&mut self) -> Reg {
+        let r = Reg(self.next_reg);
+        self.next_reg += 1;
+        r
+    }
+
+    /// Declare a register as a program input (live-in at entry).
+    pub fn param(&mut self) -> Reg {
+        let r = self.fresh_reg();
+        self.params.push(r);
+        r
+    }
+
+    /// Create a new, empty, unterminated block.
+    pub fn create_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(None);
+        self.pending.push(Vec::new());
+        id
+    }
+
+    /// Select the block that subsequent instructions are appended to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block is already terminated.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.blocks[b.index()].is_none(),
+            "block {b} is already terminated"
+        );
+        self.current = b;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Append a raw instruction.
+    pub fn inst(&mut self, i: Inst) {
+        self.pending[self.current.index()].push(i);
+    }
+
+    /// `dst = lhs op rhs`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.inst(Inst::Bin {
+            op,
+            dst,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+    }
+
+    /// `dst = lhs + rhs`.
+    pub fn add(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(BinOp::Add, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs - rhs`.
+    pub fn sub(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(BinOp::Sub, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs * rhs`.
+    pub fn mul(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(BinOp::Mul, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs ^ rhs`.
+    pub fn xor(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(BinOp::Xor, dst, lhs, rhs);
+    }
+
+    /// `dst = lhs << rhs`.
+    pub fn shl(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.bin(BinOp::Shl, dst, lhs, rhs);
+    }
+
+    /// `dst = (lhs op rhs) ? 1 : 0`.
+    pub fn cmp(&mut self, op: CmpOp, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.inst(Inst::Cmp {
+            op,
+            dst,
+            lhs: lhs.into(),
+            rhs: rhs.into(),
+        });
+    }
+
+    /// `dst = (lhs < rhs) ? 1 : 0`.
+    pub fn cmp_lt(&mut self, dst: Reg, lhs: impl Into<Operand>, rhs: impl Into<Operand>) {
+        self.cmp(CmpOp::Lt, dst, lhs, rhs);
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.inst(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `dst = memory[base + offset]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, offset: i64) {
+        self.inst(Inst::Load {
+            dst,
+            addr: Addr::reg_offset(base, offset),
+        });
+    }
+
+    /// `dst = memory[abs]`.
+    pub fn load_abs(&mut self, dst: Reg, abs: i64) {
+        self.inst(Inst::Load {
+            dst,
+            addr: Addr::abs(abs),
+        });
+    }
+
+    /// `memory[base + offset] = src`.
+    pub fn store(&mut self, src: impl Into<Operand>, base: Reg, offset: i64) {
+        self.inst(Inst::Store {
+            src: src.into(),
+            addr: Addr::reg_offset(base, offset),
+        });
+    }
+
+    /// `memory[abs] = src`.
+    pub fn store_abs(&mut self, src: impl Into<Operand>, abs: i64) {
+        self.inst(Inst::Store {
+            src: src.into(),
+            addr: Addr::abs(abs),
+        });
+    }
+
+    /// Terminate the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Terminate the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Reg, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        });
+    }
+
+    /// Terminate the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.seal(Terminator::Ret { value });
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let idx = self.current.index();
+        assert!(
+            self.blocks[idx].is_none(),
+            "block {} terminated twice",
+            self.current
+        );
+        let insts = std::mem::take(&mut self.pending[idx]);
+        self.blocks[idx] = Some(BasicBlock { insts, term });
+    }
+
+    /// Finish and verify the function.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VerifyError`] if any block is unterminated, a branch
+    /// target is out of range, or a register index is out of range.
+    pub fn finish(self) -> Result<Function, VerifyError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, b) in self.blocks.into_iter().enumerate() {
+            match b {
+                Some(b) => blocks.push(b),
+                None => return Err(VerifyError::UnterminatedBlock(BlockId(i as u32))),
+            }
+        }
+        let f = Function {
+            name: self.name,
+            blocks,
+            entry: BlockId(0),
+            num_regs: self.next_reg,
+            params: self.params,
+        };
+        verify_function(&f)?;
+        Ok(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_loop() {
+        let mut b = FunctionBuilder::new("f");
+        let i = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.add(i, i, 1i64);
+        let c = b.fresh_reg();
+        b.cmp_lt(c, i, 4i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(i)));
+        let f = b.finish().unwrap();
+        assert_eq!(f.blocks.len(), 3);
+        assert_eq!(f.num_regs, 2);
+    }
+
+    #[test]
+    fn unterminated_block_is_rejected() {
+        let mut b = FunctionBuilder::new("g");
+        let dangling = b.create_block();
+        b.ret(None);
+        let _ = dangling;
+        let err = b.finish().unwrap_err();
+        assert!(matches!(err, VerifyError::UnterminatedBlock(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated twice")]
+    fn double_termination_panics() {
+        let mut b = FunctionBuilder::new("h");
+        b.ret(None);
+        b.ret(None);
+    }
+
+    #[test]
+    fn params_are_recorded() {
+        let mut b = FunctionBuilder::new("p");
+        let p0 = b.param();
+        let p1 = b.param();
+        b.ret(Some(Operand::Reg(p0)));
+        let f = b.finish().unwrap();
+        assert_eq!(f.params, vec![p0, p1]);
+    }
+
+    #[test]
+    fn store_load_helpers() {
+        let mut b = FunctionBuilder::new("m");
+        let base = b.param();
+        let v = b.fresh_reg();
+        b.store(7i64, base, 8);
+        b.load(v, base, 8);
+        b.store_abs(v, 0x2000);
+        b.load_abs(v, 0x2000);
+        b.ret(None);
+        let f = b.finish().unwrap();
+        assert_eq!(f.store_count(), 2);
+    }
+}

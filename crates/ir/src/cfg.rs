@@ -1,0 +1,160 @@
+//! Control-flow graph utilities: predecessor lists and orderings.
+
+use crate::block::BlockId;
+use crate::function::Function;
+
+/// Predecessor/successor information plus a reverse postorder for a function.
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    succs: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_index: Vec<Option<u32>>,
+}
+
+impl Cfg {
+    /// Compute the CFG for a function.
+    pub fn compute(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        for (id, b) in f.iter_blocks() {
+            for s in b.term.successors() {
+                succs[id.index()].push(s);
+                preds[s.index()].push(id);
+            }
+        }
+        // Reverse postorder via iterative DFS from entry.
+        let mut visited = vec![false; n];
+        let mut postorder = Vec::with_capacity(n);
+        // Stack of (block, next-successor-index).
+        let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+        visited[f.entry.index()] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let ss = &succs[b.index()];
+            if *next < ss.len() {
+                let s = ss[*next];
+                *next += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                postorder.push(b);
+                stack.pop();
+            }
+        }
+        postorder.reverse();
+        let mut rpo_index = vec![None; n];
+        for (i, b) in postorder.iter().enumerate() {
+            rpo_index[b.index()] = Some(i as u32);
+        }
+        Cfg {
+            preds,
+            succs,
+            rpo: postorder,
+            rpo_index,
+        }
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Blocks in reverse postorder (entry first). Unreachable blocks are
+    /// excluded.
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in the reverse postorder, or `None` if unreachable.
+    pub fn rpo_index(&self, b: BlockId) -> Option<u32> {
+        self.rpo_index[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry block.
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.rpo_index(b).is_some()
+    }
+
+    /// Number of blocks in the underlying function.
+    pub fn num_blocks(&self) -> usize {
+        self.preds.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, Terminator};
+    use crate::reg::Reg;
+
+    /// Build a diamond: bb0 -> {bb1, bb2} -> bb3, plus unreachable bb4.
+    fn diamond() -> Function {
+        let mut f = Function::empty("d");
+        f.num_regs = 1;
+        f.blocks = vec![
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            }),
+            BasicBlock::new(Terminator::Jump(BlockId(3))),
+            BasicBlock::new(Terminator::Jump(BlockId(3))),
+            BasicBlock::new(Terminator::Ret { value: None }),
+            BasicBlock::new(Terminator::Ret { value: None }),
+        ];
+        f
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.succs(BlockId(0)), &[BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.preds(BlockId(3)), &[BlockId(1), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+        assert_eq!(cfg.num_blocks(), 5);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_skips_unreachable() {
+        let f = diamond();
+        let cfg = Cfg::compute(&f);
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(!cfg.is_reachable(BlockId(4)));
+        assert!(cfg.is_reachable(BlockId(3)));
+        // Entry has RPO index 0; join comes after both branches.
+        assert_eq!(cfg.rpo_index(BlockId(0)), Some(0));
+        let j = cfg.rpo_index(BlockId(3)).unwrap();
+        assert!(j > cfg.rpo_index(BlockId(1)).unwrap());
+        assert!(j > cfg.rpo_index(BlockId(2)).unwrap());
+    }
+
+    #[test]
+    fn loop_rpo_places_header_before_body() {
+        // bb0 -> bb1 (header) -> bb2 (body) -> bb1; bb1 -> bb3 exit.
+        let mut f = Function::empty("l");
+        f.num_regs = 1;
+        f.blocks = vec![
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(3),
+            }),
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Ret { value: None }),
+        ];
+        let cfg = Cfg::compute(&f);
+        assert!(cfg.rpo_index(BlockId(1)).unwrap() < cfg.rpo_index(BlockId(2)).unwrap());
+        assert_eq!(cfg.preds(BlockId(1)), &[BlockId(0), BlockId(2)]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Human-readable printing of functions.
+
+use crate::function::Function;
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "fn {} (regs: {}) {{", self.name, self.num_regs)?;
+        if !self.params.is_empty() {
+            write!(f, "  params:")?;
+            for p in &self.params {
+                write!(f, " {p}")?;
+            }
+            writeln!(f)?;
+        }
+        for (id, b) in self.iter_blocks() {
+            let marker = if id == self.entry { " (entry)" } else { "" };
+            writeln!(f, "{id}:{marker}")?;
+            for inst in &b.insts {
+                writeln!(f, "  {inst}")?;
+            }
+            writeln!(f, "  {}", b.term)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::FunctionBuilder;
+    use crate::reg::Operand;
+
+    #[test]
+    fn prints_blocks_in_order() {
+        let mut b = FunctionBuilder::new("show");
+        let p = b.param();
+        let x = b.fresh_reg();
+        let next = b.create_block();
+        b.add(x, p, 1i64);
+        b.jump(next);
+        b.switch_to(next);
+        b.ret(Some(Operand::Reg(x)));
+        let f = b.finish().unwrap();
+        let s = f.to_string();
+        assert!(s.contains("fn show"));
+        assert!(s.contains("bb0: (entry)"));
+        assert!(s.contains("v1 = add v0, 1"));
+        assert!(s.contains("jmp bb1"));
+        assert!(s.contains("ret v1"));
+        assert!(s.contains("params: v0"));
+    }
+}

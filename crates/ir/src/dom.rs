@@ -1,0 +1,157 @@
+//! Dominator tree computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+
+/// Immediate-dominator tree for the reachable part of a CFG.
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    /// `idom[b]` = immediate dominator of `b`; entry maps to itself;
+    /// unreachable blocks map to `None`.
+    idom: Vec<Option<BlockId>>,
+    entry: BlockId,
+}
+
+impl DomTree {
+    /// Compute dominators using the iterative RPO algorithm of
+    /// Cooper, Harvey, and Kennedy ("A Simple, Fast Dominance Algorithm").
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let rpo = cfg.rpo();
+        let entry = rpo[0];
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                // Pick the first processed predecessor.
+                let mut new_idom: Option<BlockId> = None;
+                for &p in cfg.preds(b) {
+                    if idom[p.index()].is_none() {
+                        continue;
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, cfg, p, cur),
+                    });
+                }
+                let new_idom = new_idom.expect("reachable block has a processed predecessor");
+                if idom[b.index()] != Some(new_idom) {
+                    idom[b.index()] = Some(new_idom);
+                    changed = true;
+                }
+            }
+        }
+        DomTree { idom, entry }
+    }
+
+    /// Immediate dominator of `b` (the entry dominates itself);
+    /// `None` for unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // unreachable blocks are dominated by nothing
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            if cur == self.entry {
+                return false;
+            }
+            cur = self.idom[cur.index()].expect("walked into unreachable block");
+        }
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+}
+
+fn intersect(idom: &[Option<BlockId>], cfg: &Cfg, mut a: BlockId, mut b: BlockId) -> BlockId {
+    let key = |x: BlockId| cfg.rpo_index(x).expect("processed blocks are reachable");
+    while a != b {
+        while key(a) > key(b) {
+            a = idom[a.index()].expect("processed");
+        }
+        while key(b) > key(a) {
+            b = idom[b.index()].expect("processed");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, Terminator};
+    use crate::function::Function;
+    use crate::reg::Reg;
+
+    fn diamond_with_loop() -> Function {
+        // bb0 -> bb1 -> {bb2, bb3} -> bb4 -> bb1 (backedge); bb1 -> bb5 exit
+        let mut f = Function::empty("g");
+        f.num_regs = 1;
+        f.blocks = vec![
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(5),
+            }),
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(3),
+                else_bb: BlockId(4),
+            }),
+            BasicBlock::new(Terminator::Jump(BlockId(4))),
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Ret { value: None }),
+        ];
+        f
+    }
+
+    #[test]
+    fn idoms_of_loop_diamond() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&cfg);
+        assert_eq!(dt.idom(BlockId(0)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dt.idom(BlockId(2)), Some(BlockId(1)));
+        assert_eq!(dt.idom(BlockId(3)), Some(BlockId(2)));
+        assert_eq!(dt.idom(BlockId(4)), Some(BlockId(2)));
+        assert_eq!(dt.idom(BlockId(5)), Some(BlockId(1)));
+        assert_eq!(dt.entry(), BlockId(0));
+    }
+
+    #[test]
+    fn dominates_is_reflexive_and_transitive() {
+        let f = diamond_with_loop();
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&cfg);
+        assert!(dt.dominates(BlockId(0), BlockId(0)));
+        assert!(dt.dominates(BlockId(0), BlockId(5)));
+        assert!(dt.dominates(BlockId(1), BlockId(4)));
+        assert!(dt.dominates(BlockId(2), BlockId(4)));
+        assert!(!dt.dominates(BlockId(3), BlockId(4)));
+        assert!(!dt.dominates(BlockId(5), BlockId(1)));
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let mut f = Function::empty("u");
+        f.blocks.push(BasicBlock::new(Terminator::Ret { value: None }));
+        let cfg = Cfg::compute(&f);
+        let dt = DomTree::compute(&cfg);
+        assert_eq!(dt.idom(BlockId(1)), None);
+        assert!(!dt.dominates(BlockId(0), BlockId(1)));
+    }
+}

@@ -1,0 +1,235 @@
+//! Functions, programs, and static data segments.
+
+use crate::block::{BasicBlock, BlockId, Terminator};
+use crate::inst::Inst;
+use crate::reg::Reg;
+
+/// A single-function IR program body.
+///
+/// Turnpike's evaluation kernels are single-function loop nests (calls inside
+/// the simulated window behave like inlined code as far as region-level
+/// verification is concerned), so the IR models exactly one function per
+/// program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// Human-readable name.
+    pub name: String,
+    /// Basic blocks, indexed by [`BlockId`].
+    pub blocks: Vec<BasicBlock>,
+    /// Entry block.
+    pub entry: BlockId,
+    /// Number of virtual registers (all `Reg` indices are `< num_regs`).
+    pub num_regs: u32,
+    /// Registers whose values are defined *before* entry (program inputs).
+    /// These are treated as live-in at the entry block and are checkpointed
+    /// by the entry region's preamble.
+    pub params: Vec<Reg>,
+}
+
+impl Function {
+    /// Block accessor.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// Mutable block accessor.
+    pub fn block_mut(&mut self, id: BlockId) -> &mut BasicBlock {
+        &mut self.blocks[id.index()]
+    }
+
+    /// Iterate over `(BlockId, &BasicBlock)` pairs in index order.
+    pub fn iter_blocks(&self) -> impl Iterator<Item = (BlockId, &BasicBlock)> {
+        self.blocks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| (BlockId(i as u32), b))
+    }
+
+    /// Total instruction count, including terminators.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::len_with_term).sum()
+    }
+
+    /// Number of store instructions (regular + checkpoint) in the body.
+    pub fn store_count(&self) -> usize {
+        self.blocks.iter().map(BasicBlock::store_count).sum()
+    }
+
+    /// Number of checkpoint instructions in the body.
+    pub fn ckpt_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.is_ckpt())
+            .count()
+    }
+
+    /// Number of region boundary markers in the body.
+    pub fn boundary_count(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.is_boundary())
+            .count()
+    }
+
+    /// Remove all `Nop` placeholders.
+    pub fn sweep_nops(&mut self) {
+        for b in &mut self.blocks {
+            b.sweep_nops();
+        }
+    }
+
+    /// A minimal function: a single empty block returning nothing.
+    /// Useful as a test fixture.
+    pub fn empty(name: &str) -> Self {
+        Function {
+            name: name.to_string(),
+            blocks: vec![BasicBlock::new(Terminator::Ret { value: None })],
+            entry: BlockId(0),
+            num_regs: 0,
+            params: Vec::new(),
+        }
+    }
+
+    /// Iterate over every instruction with its location.
+    pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, usize, &Inst)> {
+        self.iter_blocks().flat_map(|(id, b)| {
+            b.insts
+                .iter()
+                .enumerate()
+                .map(move |(i, inst)| (id, i, inst))
+        })
+    }
+}
+
+/// Static data initialized before execution starts.
+///
+/// The kernel's arrays live here; the segment is loaded into simulated memory
+/// at `base` before cycle 0 (and before the golden interpreter runs).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DataSegment {
+    /// Base byte address (8-byte aligned).
+    pub base: u64,
+    /// Initial 64-bit words, laid out contiguously from `base`.
+    pub words: Vec<i64>,
+}
+
+impl DataSegment {
+    /// A segment of `len` zero words at `base`.
+    pub fn zeroed(base: u64, len: usize) -> Self {
+        DataSegment {
+            base,
+            words: vec![0; len],
+        }
+    }
+
+    /// A segment with explicit initial contents.
+    pub fn with_words(base: u64, words: Vec<i64>) -> Self {
+        DataSegment { base, words }
+    }
+
+    /// Size in bytes.
+    pub fn byte_len(&self) -> u64 {
+        self.words.len() as u64 * 8
+    }
+
+    /// One-past-the-end byte address.
+    pub fn end(&self) -> u64 {
+        self.base + self.byte_len()
+    }
+}
+
+/// A complete IR program: one function plus its initial data image and
+/// initial register values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// The program body.
+    pub func: Function,
+    /// Static data segment.
+    pub data: DataSegment,
+    /// Initial values for the function's `params` registers
+    /// (parallel to `func.params`; missing entries default to 0).
+    pub param_values: Vec<i64>,
+}
+
+impl Program {
+    /// A program with zero-initialized parameters.
+    pub fn new(func: Function, data: DataSegment) -> Self {
+        let param_values = vec![0; func.params.len()];
+        Program {
+            func,
+            data,
+            param_values,
+        }
+    }
+
+    /// A program with explicit parameter values.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `param_values.len() != func.params.len()`.
+    pub fn with_params(func: Function, data: DataSegment, param_values: Vec<i64>) -> Self {
+        assert_eq!(
+            param_values.len(),
+            func.params.len(),
+            "one initial value per parameter register"
+        );
+        Program {
+            func,
+            data,
+            param_values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::Addr;
+    use crate::reg::Operand;
+
+    #[test]
+    fn empty_function_counts() {
+        let f = Function::empty("f");
+        assert_eq!(f.inst_count(), 1); // the terminator
+        assert_eq!(f.store_count(), 0);
+        assert_eq!(f.ckpt_count(), 0);
+        assert_eq!(f.boundary_count(), 0);
+    }
+
+    #[test]
+    fn counts_track_insertions() {
+        let mut f = Function::empty("f");
+        f.num_regs = 2;
+        let b = f.block_mut(BlockId(0));
+        b.insts.push(Inst::Store {
+            src: Operand::Imm(1),
+            addr: Addr::abs(0x1000),
+        });
+        b.insts.push(Inst::Ckpt { reg: Reg(0) });
+        b.insts.push(Inst::RegionBoundary { id: 0 });
+        assert_eq!(f.store_count(), 2);
+        assert_eq!(f.ckpt_count(), 1);
+        assert_eq!(f.boundary_count(), 1);
+        assert_eq!(f.iter_insts().count(), 3);
+    }
+
+    #[test]
+    fn data_segment_geometry() {
+        let d = DataSegment::zeroed(0x1000, 4);
+        assert_eq!(d.byte_len(), 32);
+        assert_eq!(d.end(), 0x1020);
+        let d2 = DataSegment::with_words(0x2000, vec![1, 2, 3]);
+        assert_eq!(d2.words[2], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "one initial value per parameter")]
+    fn with_params_checks_arity() {
+        let mut f = Function::empty("f");
+        f.params = vec![Reg(0)];
+        f.num_regs = 1;
+        let _ = Program::with_params(f, DataSegment::zeroed(0, 0), vec![]);
+    }
+}

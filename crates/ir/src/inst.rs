@@ -1,0 +1,486 @@
+//! IR instructions.
+
+use crate::reg::{Operand, Reg};
+use std::fmt;
+
+/// Binary arithmetic/logical operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Signed division; division by zero yields zero (matching the
+    /// simulator's hardware semantics so golden runs never trap).
+    Div,
+    /// Signed remainder; remainder by zero yields zero.
+    Rem,
+    /// Bitwise AND.
+    And,
+    /// Bitwise OR.
+    Or,
+    /// Bitwise XOR.
+    Xor,
+    /// Logical shift left (modulo 64).
+    Shl,
+    /// Arithmetic shift right (modulo 64).
+    Shr,
+}
+
+impl BinOp {
+    /// Evaluate the operation on concrete values.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::Rem => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_rem(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+
+    /// Execution latency in cycles on the modeled in-order core.
+    ///
+    /// Used by the checkpoint-aware list scheduler; must stay consistent with
+    /// the latencies in `turnpike-sim`.
+    pub fn latency(self) -> u32 {
+        match self {
+            BinOp::Mul => 3,
+            BinOp::Div | BinOp::Rem => 12,
+            _ => 1,
+        }
+    }
+
+    /// All operations, for exhaustive property tests.
+    pub const ALL: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+    ];
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Comparison operations (signed), producing 1 or 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// Evaluate the comparison, returning 1 for true and 0 for false.
+    pub fn eval(self, a: i64, b: i64) -> i64 {
+        let t = match self {
+            CmpOp::Eq => a == b,
+            CmpOp::Ne => a != b,
+            CmpOp::Lt => a < b,
+            CmpOp::Le => a <= b,
+            CmpOp::Gt => a > b,
+            CmpOp::Ge => a >= b,
+        };
+        t as i64
+    }
+
+    /// All comparisons, for exhaustive property tests.
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A memory address: optional base register plus a signed byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Addr {
+    /// Base register; `None` means absolute addressing.
+    pub base: Option<Reg>,
+    /// Signed byte offset added to the base (or the absolute address).
+    pub offset: i64,
+}
+
+impl Addr {
+    /// Address formed from a base register plus offset.
+    pub fn reg_offset(base: Reg, offset: i64) -> Self {
+        Addr {
+            base: Some(base),
+            offset,
+        }
+    }
+
+    /// Absolute address.
+    pub fn abs(addr: i64) -> Self {
+        Addr {
+            base: None,
+            offset: addr,
+        }
+    }
+}
+
+impl fmt::Display for Addr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.base {
+            Some(b) => write!(f, "[{b}{:+}]", self.offset),
+            None => write!(f, "[{:#x}]", self.offset),
+        }
+    }
+}
+
+/// A non-terminator IR instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0`.
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: Reg,
+        /// Source operand.
+        src: Operand,
+    },
+    /// `dst = memory[addr]`.
+    Load {
+        /// Destination register.
+        dst: Reg,
+        /// Effective address.
+        addr: Addr,
+    },
+    /// `memory[addr] = src`.
+    Store {
+        /// Stored value.
+        src: Operand,
+        /// Effective address.
+        addr: Addr,
+    },
+    /// Checkpoint store: saves `reg` to its checkpoint storage slot.
+    ///
+    /// Inserted by the eager-checkpointing pass; never written by frontends.
+    Ckpt {
+        /// Register being checkpointed.
+        reg: Reg,
+    },
+    /// Region boundary marker (ends the current verifiable region and starts
+    /// the next). Inserted by the region partitioner; `id` is a stable
+    /// identity that survives later passes so recovery metadata can refer to
+    /// a specific boundary (codegen renumbers boundaries sequentially).
+    RegionBoundary {
+        /// Stable boundary identity assigned by the partitioner.
+        id: u32,
+    },
+    /// No operation. Used by passes to delete instructions in place.
+    Nop,
+}
+
+impl Inst {
+    /// Register defined by this instruction, if any.
+    pub fn def(self) -> Option<Reg> {
+        match self {
+            Inst::Bin { dst, .. } | Inst::Cmp { dst, .. } | Inst::Mov { dst, .. } => Some(dst),
+            Inst::Load { dst, .. } => Some(dst),
+            Inst::Store { .. } | Inst::Ckpt { .. } | Inst::RegionBoundary { .. } | Inst::Nop => None,
+        }
+    }
+
+    /// Registers read by this instruction, in a small fixed-size buffer.
+    pub fn uses(self) -> InstUses {
+        let mut buf = [None; 3];
+        let mut n = 0;
+        let mut push = |r: Option<Reg>| {
+            if let Some(r) = r {
+                buf[n] = Some(r);
+                n += 1;
+            }
+        };
+        match self {
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } => {
+                push(lhs.reg());
+                push(rhs.reg());
+            }
+            Inst::Mov { src, .. } => push(src.reg()),
+            Inst::Load { addr, .. } => push(addr.base),
+            Inst::Store { src, addr } => {
+                push(src.reg());
+                push(addr.base);
+            }
+            Inst::Ckpt { reg } => push(Some(reg)),
+            Inst::RegionBoundary { .. } | Inst::Nop => {}
+        }
+        InstUses { buf, len: n }
+    }
+
+    /// Whether this instruction reads or writes memory (including
+    /// checkpoint stores).
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::Ckpt { .. }
+        )
+    }
+
+    /// Whether this instruction writes memory (regular store or checkpoint).
+    pub fn is_store(self) -> bool {
+        matches!(self, Inst::Store { .. } | Inst::Ckpt { .. })
+    }
+
+    /// Whether this is a checkpoint store.
+    pub fn is_ckpt(self) -> bool {
+        matches!(self, Inst::Ckpt { .. })
+    }
+
+    /// Whether this is a region boundary marker.
+    pub fn is_boundary(self) -> bool {
+        matches!(self, Inst::RegionBoundary { .. })
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Inst::Cmp { op, dst, lhs, rhs } => write!(f, "{dst} = cmp.{op} {lhs}, {rhs}"),
+            Inst::Mov { dst, src } => write!(f, "{dst} = mov {src}"),
+            Inst::Load { dst, addr } => write!(f, "{dst} = ld {addr}"),
+            Inst::Store { src, addr } => write!(f, "st {src}, {addr}"),
+            Inst::Ckpt { reg } => write!(f, "ckpt {reg}"),
+            Inst::RegionBoundary { id } => write!(f, "region_boundary #{id}"),
+            Inst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+/// Iterator-friendly buffer of registers read by an instruction.
+#[derive(Debug, Clone, Copy)]
+pub struct InstUses {
+    buf: [Option<Reg>; 3],
+    len: usize,
+}
+
+impl InstUses {
+    /// Number of register uses.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the instruction reads no registers.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Iterate over the used registers.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        self.buf[..self.len].iter().map(|r| r.expect("within len"))
+    }
+}
+
+impl IntoIterator for InstUses {
+    type Item = Reg;
+    type IntoIter = std::iter::Flatten<std::array::IntoIter<Option<Reg>, 3>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.buf.into_iter().flatten()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binop_eval_basics() {
+        assert_eq!(BinOp::Add.eval(2, 3), 5);
+        assert_eq!(BinOp::Sub.eval(2, 3), -1);
+        assert_eq!(BinOp::Mul.eval(4, -3), -12);
+        assert_eq!(BinOp::Div.eval(7, 2), 3);
+        assert_eq!(BinOp::Rem.eval(7, 2), 1);
+        assert_eq!(BinOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.eval(1, 4), 16);
+        assert_eq!(BinOp::Shr.eval(-16, 2), -4);
+    }
+
+    #[test]
+    fn div_rem_by_zero_is_zero() {
+        assert_eq!(BinOp::Div.eval(5, 0), 0);
+        assert_eq!(BinOp::Rem.eval(5, 0), 0);
+    }
+
+    #[test]
+    fn wrapping_behaviour() {
+        assert_eq!(BinOp::Add.eval(i64::MAX, 1), i64::MIN);
+        assert_eq!(BinOp::Mul.eval(i64::MAX, 2), -2);
+        // i64::MIN / -1 wraps rather than trapping.
+        assert_eq!(BinOp::Div.eval(i64::MIN, -1), i64::MIN);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        assert_eq!(BinOp::Shl.eval(1, 64), 1);
+        assert_eq!(BinOp::Shl.eval(1, 65), 2);
+        assert_eq!(BinOp::Shr.eval(8, 67), 1);
+    }
+
+    #[test]
+    fn cmp_eval() {
+        assert_eq!(CmpOp::Eq.eval(1, 1), 1);
+        assert_eq!(CmpOp::Ne.eval(1, 1), 0);
+        assert_eq!(CmpOp::Lt.eval(-2, 1), 1);
+        assert_eq!(CmpOp::Le.eval(1, 1), 1);
+        assert_eq!(CmpOp::Gt.eval(2, 1), 1);
+        assert_eq!(CmpOp::Ge.eval(0, 1), 0);
+    }
+
+    #[test]
+    fn defs_and_uses() {
+        let r = |i| Reg(i);
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: r(0),
+            lhs: Operand::Reg(r(1)),
+            rhs: Operand::Imm(3),
+        };
+        assert_eq!(i.def(), Some(r(0)));
+        let uses: Vec<_> = i.uses().into_iter().collect();
+        assert_eq!(uses, vec![r(1)]);
+
+        let s = Inst::Store {
+            src: Operand::Reg(r(2)),
+            addr: Addr::reg_offset(r(3), 8),
+        };
+        assert_eq!(s.def(), None);
+        let uses: Vec<_> = s.uses().into_iter().collect();
+        assert_eq!(uses, vec![r(2), r(3)]);
+        assert!(s.is_store());
+        assert!(!s.is_ckpt());
+
+        let c = Inst::Ckpt { reg: r(4) };
+        assert!(c.is_store() && c.is_ckpt() && c.is_mem());
+        let uses: Vec<_> = c.uses().into_iter().collect();
+        assert_eq!(uses, vec![r(4)]);
+
+        assert!(Inst::RegionBoundary { id: 0 }.is_boundary());
+        assert!(Inst::Nop.uses().is_empty());
+        assert_eq!(Inst::Nop.uses().len(), 0);
+    }
+
+    #[test]
+    fn latencies_match_core_model() {
+        assert_eq!(BinOp::Add.latency(), 1);
+        assert_eq!(BinOp::Mul.latency(), 3);
+        assert_eq!(BinOp::Div.latency(), 12);
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            dst: Reg(0),
+            lhs: Operand::Reg(Reg(1)),
+            rhs: Operand::Imm(4),
+        };
+        assert_eq!(i.to_string(), "v0 = add v1, 4");
+        let l = Inst::Load {
+            dst: Reg(2),
+            addr: Addr::reg_offset(Reg(1), -8),
+        };
+        assert_eq!(l.to_string(), "v2 = ld [v1-8]");
+        assert_eq!(
+            Inst::Store {
+                src: Operand::Imm(1),
+                addr: Addr::abs(0x1000)
+            }
+            .to_string(),
+            "st 1, [0x1000]"
+        );
+        assert_eq!(Inst::Ckpt { reg: Reg(5) }.to_string(), "ckpt v5");
+    }
+}

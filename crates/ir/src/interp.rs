@@ -1,0 +1,350 @@
+//! Reference interpreter — the golden semantics for IR programs.
+//!
+//! The cycle-level simulator in `turnpike-sim` must produce the same final
+//! architectural memory and return value as this interpreter; the
+//! fault-injection audit in `turnpike-resilience` compares against it to
+//! detect silent data corruptions.
+
+use crate::block::Terminator;
+use crate::function::Program;
+use crate::inst::{Addr, Inst};
+use crate::reg::Operand;
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Interpreter limits.
+#[derive(Debug, Clone)]
+pub struct InterpConfig {
+    /// Maximum dynamic instructions before aborting (guards infinite loops).
+    pub max_steps: u64,
+}
+
+impl Default for InterpConfig {
+    fn default() -> Self {
+        InterpConfig {
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Failures the interpreter can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InterpError {
+    /// The step limit was exceeded.
+    StepLimit(u64),
+    /// A memory access used an unaligned address.
+    Unaligned(u64),
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::StepLimit(n) => write!(f, "step limit of {n} instructions exceeded"),
+            InterpError::Unaligned(a) => write!(f, "unaligned 8-byte access at {a:#x}"),
+        }
+    }
+}
+
+impl Error for InterpError {}
+
+/// Result of a completed interpretation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOutcome {
+    /// Value returned by the function, if any.
+    pub ret: Option<i64>,
+    /// Final data memory (address → word), excluding checkpoint storage.
+    pub memory: BTreeMap<u64, i64>,
+    /// Final checkpoint storage contents (address → word).
+    pub ckpt_memory: BTreeMap<u64, i64>,
+    /// Dynamic instruction count (terminators included).
+    pub dyn_insts: u64,
+    /// Dynamic regular (non-checkpoint) stores executed.
+    pub dyn_stores: u64,
+    /// Dynamic checkpoint stores executed.
+    pub dyn_ckpts: u64,
+    /// Dynamic loads executed.
+    pub dyn_loads: u64,
+    /// Dynamic region boundaries crossed.
+    pub dyn_boundaries: u64,
+}
+
+/// Run a program to completion under the reference semantics.
+///
+/// Checkpoint stores write `ckpt_slot_addr(reg, 0)` in a separate shadow map
+/// so the architectural memory comparison stays meaningful; region boundaries
+/// are functional no-ops.
+///
+/// # Errors
+///
+/// Returns [`InterpError::StepLimit`] if the program runs longer than
+/// `config.max_steps` dynamic instructions, and [`InterpError::Unaligned`]
+/// for misaligned accesses.
+pub fn run(program: &Program, config: &InterpConfig) -> Result<ExecOutcome, InterpError> {
+    let f = &program.func;
+    let mut regs = vec![0i64; f.num_regs.max(1) as usize];
+    for (r, v) in f.params.iter().zip(&program.param_values) {
+        regs[r.index()] = *v;
+    }
+    let mut memory: BTreeMap<u64, i64> = BTreeMap::new();
+    for (i, w) in program.data.words.iter().enumerate() {
+        memory.insert(program.data.base + i as u64 * 8, *w);
+    }
+    let mut ckpt_memory: BTreeMap<u64, i64> = BTreeMap::new();
+
+    let mut out = ExecOutcome {
+        ret: None,
+        memory: BTreeMap::new(),
+        ckpt_memory: BTreeMap::new(),
+        dyn_insts: 0,
+        dyn_stores: 0,
+        dyn_ckpts: 0,
+        dyn_loads: 0,
+        dyn_boundaries: 0,
+    };
+
+    let read = |regs: &[i64], op: Operand| -> i64 {
+        match op {
+            Operand::Reg(r) => regs[r.index()],
+            Operand::Imm(v) => v,
+        }
+    };
+    let eff_addr = |regs: &[i64], a: Addr| -> Result<u64, InterpError> {
+        let base = a.base.map(|r| regs[r.index()]).unwrap_or(0);
+        let addr = base.wrapping_add(a.offset) as u64;
+        if !addr.is_multiple_of(8) {
+            return Err(InterpError::Unaligned(addr));
+        }
+        Ok(addr)
+    };
+
+    let mut bb = f.entry;
+    'outer: loop {
+        let block = f.block(bb);
+        for inst in &block.insts {
+            out.dyn_insts += 1;
+            if out.dyn_insts > config.max_steps {
+                return Err(InterpError::StepLimit(config.max_steps));
+            }
+            match *inst {
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    regs[dst.index()] = op.eval(read(&regs, lhs), read(&regs, rhs));
+                }
+                Inst::Cmp { op, dst, lhs, rhs } => {
+                    regs[dst.index()] = op.eval(read(&regs, lhs), read(&regs, rhs));
+                }
+                Inst::Mov { dst, src } => {
+                    regs[dst.index()] = read(&regs, src);
+                }
+                Inst::Load { dst, addr } => {
+                    let a = eff_addr(&regs, addr)?;
+                    regs[dst.index()] = memory.get(&a).copied().unwrap_or(0);
+                    out.dyn_loads += 1;
+                }
+                Inst::Store { src, addr } => {
+                    let a = eff_addr(&regs, addr)?;
+                    memory.insert(a, read(&regs, src));
+                    out.dyn_stores += 1;
+                }
+                Inst::Ckpt { reg } => {
+                    let slot = crate::ckpt_slot_addr(reg.0.min(255) as u8, 0);
+                    ckpt_memory.insert(slot, regs[reg.index()]);
+                    out.dyn_ckpts += 1;
+                }
+                Inst::RegionBoundary { .. } => {
+                    out.dyn_boundaries += 1;
+                }
+                Inst::Nop => {}
+            }
+        }
+        out.dyn_insts += 1;
+        match block.term {
+            Terminator::Jump(t) => bb = t,
+            Terminator::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
+                bb = if regs[cond.index()] != 0 {
+                    then_bb
+                } else {
+                    else_bb
+                };
+            }
+            Terminator::Ret { value } => {
+                out.ret = value.map(|v| read(&regs, v));
+                break 'outer;
+            }
+        }
+        if out.dyn_insts > config.max_steps {
+            return Err(InterpError::StepLimit(config.max_steps));
+        }
+    }
+    out.memory = memory;
+    out.ckpt_memory = ckpt_memory;
+    Ok(out)
+}
+
+/// Convenience: run and return only the architectural memory and return
+/// value, for equivalence checks.
+///
+/// # Errors
+///
+/// Propagates any [`InterpError`] from [`run`].
+pub fn golden(program: &Program) -> Result<(Option<i64>, BTreeMap<u64, i64>), InterpError> {
+    let out = run(program, &InterpConfig::default())?;
+    Ok((out.ret, out.memory))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::function::{DataSegment, Program};
+    use crate::inst::CmpOp;
+
+    fn r(v: i64) -> Operand {
+        Operand::Imm(v)
+    }
+
+    #[test]
+    fn straight_line_arithmetic() {
+        let mut b = FunctionBuilder::new("a");
+        let x = b.fresh_reg();
+        let y = b.fresh_reg();
+        b.mov(x, r(6));
+        b.mul(y, x, r(7));
+        b.ret(Some(Operand::Reg(y)));
+        let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 0));
+        let out = run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(42));
+        assert_eq!(out.dyn_insts, 3);
+    }
+
+    #[test]
+    fn memory_roundtrip_and_counts() {
+        let mut b = FunctionBuilder::new("m");
+        let base = b.param();
+        let v = b.fresh_reg();
+        b.store(r(11), base, 0);
+        b.store(r(22), base, 8);
+        b.load(v, base, 8);
+        b.ret(Some(Operand::Reg(v)));
+        let f = b.finish().unwrap();
+        let p = Program::with_params(f, DataSegment::zeroed(0x1000, 2), vec![0x1000]);
+        let out = run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(22));
+        assert_eq!(out.memory.get(&0x1000), Some(&11));
+        assert_eq!(out.memory.get(&0x1008), Some(&22));
+        assert_eq!(out.dyn_stores, 2);
+        assert_eq!(out.dyn_loads, 1);
+    }
+
+    #[test]
+    fn loop_executes_to_completion() {
+        let mut b = FunctionBuilder::new("l");
+        let i = b.fresh_reg();
+        let acc = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(i, r(0));
+        b.mov(acc, r(0));
+        b.jump(body);
+        b.switch_to(body);
+        b.add(acc, acc, Operand::Reg(i));
+        b.add(i, i, r(1));
+        b.cmp(CmpOp::Lt, c, i, r(100));
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(acc)));
+        let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 0));
+        let out = run(&p, &InterpConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(4950));
+    }
+
+    #[test]
+    fn ckpt_goes_to_shadow_memory() {
+        let mut b = FunctionBuilder::new("c");
+        let x = b.fresh_reg();
+        b.mov(x, r(9));
+        b.inst(Inst::Ckpt { reg: x });
+        b.inst(Inst::RegionBoundary { id: 0 });
+        b.ret(None);
+        let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 0));
+        let out = run(&p, &InterpConfig::default()).unwrap();
+        assert!(out.memory.is_empty());
+        assert_eq!(
+            out.ckpt_memory.get(&crate::ckpt_slot_addr(0, 0)),
+            Some(&9)
+        );
+        assert_eq!(out.dyn_ckpts, 1);
+        assert_eq!(out.dyn_boundaries, 1);
+    }
+
+    #[test]
+    fn step_limit_fires() {
+        let mut b = FunctionBuilder::new("inf");
+        let body = b.create_block();
+        b.jump(body);
+        b.switch_to(body);
+        b.jump(body);
+        let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0, 0));
+        let err = run(&p, &InterpConfig { max_steps: 100 }).unwrap_err();
+        assert_eq!(err, InterpError::StepLimit(100));
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn unaligned_access_rejected() {
+        let mut b = FunctionBuilder::new("u");
+        let x = b.fresh_reg();
+        b.load_abs(x, 0x1001);
+        b.ret(None);
+        let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1));
+        assert_eq!(
+            run(&p, &InterpConfig::default()).unwrap_err(),
+            InterpError::Unaligned(0x1001)
+        );
+    }
+
+    #[test]
+    fn data_segment_preloaded() {
+        let mut b = FunctionBuilder::new("d");
+        let base = b.param();
+        let v = b.fresh_reg();
+        b.load(v, base, 16);
+        b.ret(Some(Operand::Reg(v)));
+        let f = b.finish().unwrap();
+        let p = Program::with_params(
+            f,
+            DataSegment::with_words(0x1000, vec![5, 6, 7]),
+            vec![0x1000],
+        );
+        assert_eq!(golden(&p).unwrap().0, Some(7));
+    }
+
+    #[test]
+    fn branch_selects_correct_arm() {
+        for (input, expect) in [(1i64, 10i64), (0, 20)] {
+            let mut b = FunctionBuilder::new("br");
+            let p0 = b.param();
+            let out = b.fresh_reg();
+            let t = b.create_block();
+            let e = b.create_block();
+            let j = b.create_block();
+            b.branch(p0, t, e);
+            b.switch_to(t);
+            b.mov(out, r(10));
+            b.jump(j);
+            b.switch_to(e);
+            b.mov(out, r(20));
+            b.jump(j);
+            b.switch_to(j);
+            b.ret(Some(Operand::Reg(out)));
+            let f = b.finish().unwrap();
+            let p = Program::with_params(f, DataSegment::zeroed(0, 0), vec![input]);
+            assert_eq!(golden(&p).unwrap().0, Some(expect));
+        }
+    }
+}

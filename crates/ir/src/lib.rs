@@ -1,0 +1,101 @@
+//! Compiler intermediate representation for the Turnpike reproduction.
+//!
+//! The IR is a conventional three-address, load/store representation over an
+//! unbounded set of *virtual registers*. It is deliberately small: the
+//! Turnpike/Turnstile compiler passes (region partitioning, eager
+//! checkpointing, checkpoint pruning, LICM sinking, instruction scheduling,
+//! loop induction variable merging, and store-aware register allocation) only
+//! need arithmetic, memory, compare-and-branch, and the two resilience
+//! pseudo-instructions [`Inst::Ckpt`] and [`Inst::RegionBoundary`].
+//!
+//! # Layers
+//!
+//! * [`Function`] / [`BasicBlock`] / [`Inst`] — the IR itself.
+//! * [`FunctionBuilder`] — ergonomic construction.
+//! * [`mod@cfg`], [`dom`], [`loops`], [`liveness`] — analyses used by the passes.
+//! * [`verify`] — structural well-formedness checks.
+//! * [`interp`] — a reference interpreter defining golden semantics; the
+//!   cycle-level simulator in `turnpike-sim` must agree with it functionally.
+//!
+//! # Example
+//!
+//! ```
+//! use turnpike_ir::{FunctionBuilder, Operand, Program, DataSegment, interp};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut b = FunctionBuilder::new("sum_to_ten");
+//! let (i, acc) = (b.fresh_reg(), b.fresh_reg());
+//! let body = b.create_block();
+//! let done = b.create_block();
+//!
+//! b.mov(i, Operand::Imm(0));
+//! b.mov(acc, Operand::Imm(0));
+//! b.jump(body);
+//!
+//! b.switch_to(body);
+//! b.add(acc, Operand::Reg(acc), Operand::Reg(i));
+//! b.add(i, Operand::Reg(i), Operand::Imm(1));
+//! let c = b.fresh_reg();
+//! b.cmp_lt(c, Operand::Reg(i), Operand::Imm(10));
+//! b.branch(c, body, done);
+//!
+//! b.switch_to(done);
+//! b.ret(Some(Operand::Reg(acc)));
+//!
+//! let f = b.finish()?;
+//! let program = Program::new(f, DataSegment::zeroed(0x1000, 0));
+//! let out = interp::run(&program, &interp::InterpConfig::default())?;
+//! assert_eq!(out.ret, Some(45));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod block;
+pub mod builder;
+pub mod cfg;
+pub mod display;
+pub mod dom;
+pub mod function;
+pub mod inst;
+pub mod interp;
+pub mod liveness;
+pub mod loops;
+pub mod reg;
+pub mod regset;
+pub mod verify;
+
+pub use block::{BasicBlock, BlockId, Terminator};
+pub use builder::FunctionBuilder;
+pub use cfg::Cfg;
+pub use dom::DomTree;
+pub use function::{DataSegment, Function, Program};
+pub use inst::{Addr, BinOp, CmpOp, Inst};
+pub use interp::{ExecOutcome, InterpConfig, InterpError};
+pub use liveness::Liveness;
+pub use loops::{Loop, LoopForest};
+pub use reg::{Operand, Reg};
+pub use regset::RegSet;
+pub use verify::{verify_function, VerifyError};
+
+/// Base byte address of the checkpoint storage area.
+///
+/// Checkpoint stores (and the recovery loads that read them back) address a
+/// dedicated region of memory that application data never touches. Each
+/// architectural register owns [`CKPT_SLOT_STRIDE`] bytes there so that the
+/// hardware-coloring scheme can keep four 8-byte colored slots per register.
+pub const CKPT_BASE: u64 = 0x8000_0000;
+
+/// Bytes of checkpoint storage owned by each architectural register.
+pub const CKPT_SLOT_STRIDE: u64 = 32;
+
+/// Number of colored checkpoint slots per register (the paper's 4-color pool).
+pub const CKPT_COLORS: u64 = 4;
+
+/// Byte address of the colored checkpoint slot for physical register `reg`.
+///
+/// Color 0 is also the slot used when hardware coloring is disabled
+/// (Turnstile semantics: one checkpoint location per register).
+pub fn ckpt_slot_addr(reg: u8, color: u8) -> u64 {
+    debug_assert!((color as u64) < CKPT_COLORS);
+    CKPT_BASE + reg as u64 * CKPT_SLOT_STRIDE + color as u64 * 8
+}

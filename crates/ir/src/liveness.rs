@@ -1,0 +1,234 @@
+//! Backward liveness dataflow analysis.
+//!
+//! Liveness drives eager checkpointing (a register updated in a region is
+//! checkpointed only if it is *live-out* of the region), checkpoint pruning,
+//! register allocation, and recovery-block generation.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::function::Function;
+use crate::regset::RegSet;
+
+/// Per-block live-in/live-out sets.
+#[derive(Debug, Clone)]
+pub struct Liveness {
+    live_in: Vec<RegSet>,
+    live_out: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Compute liveness with the standard backward iterative dataflow.
+    pub fn compute(f: &Function, cfg: &Cfg) -> Self {
+        let n = f.blocks.len();
+        let cap = f.num_regs;
+        // Per-block gen (upward-exposed uses) and kill (defs).
+        let mut gen = vec![RegSet::new(cap); n];
+        let mut kill = vec![RegSet::new(cap); n];
+        for (id, b) in f.iter_blocks() {
+            let g = &mut gen[id.index()];
+            let k = &mut kill[id.index()];
+            for inst in &b.insts {
+                for u in inst.uses() {
+                    if !k.contains(u) {
+                        g.insert(u);
+                    }
+                }
+                if let Some(d) = inst.def() {
+                    k.insert(d);
+                }
+            }
+            for u in b.term.uses() {
+                if !k.contains(u) {
+                    g.insert(u);
+                }
+            }
+        }
+        let mut live_in = vec![RegSet::new(cap); n];
+        let mut live_out = vec![RegSet::new(cap); n];
+        // Iterate in postorder (reverse RPO) until fixed point.
+        let order: Vec<BlockId> = cfg.rpo().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let bi = b.index();
+                let mut out = RegSet::new(cap);
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inp = out.clone();
+                inp.subtract(&kill[bi]);
+                inp.union_with(&gen[bi]);
+                if out != live_out[bi] {
+                    live_out[bi] = out;
+                    changed = true;
+                }
+                if inp != live_in[bi] {
+                    live_in[bi] = inp;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_in, live_out }
+    }
+
+    /// Registers live at entry to `b`.
+    pub fn live_in(&self, b: BlockId) -> &RegSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at exit from `b`.
+    pub fn live_out(&self, b: BlockId) -> &RegSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Registers live immediately *before* instruction `idx` of block `b`.
+    ///
+    /// Computed by walking backward from the block's live-out; `idx` equal to
+    /// the instruction count yields liveness before the terminator.
+    pub fn live_before(&self, f: &Function, b: BlockId, idx: usize) -> RegSet {
+        let blk = f.block(b);
+        let mut live = self.live_out[b.index()].clone();
+        for u in blk.term.uses() {
+            live.insert(u);
+        }
+        for i in (idx..blk.insts.len()).rev() {
+            let inst = &blk.insts[i];
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, Terminator};
+    use crate::inst::{Addr, BinOp, Inst};
+    use crate::reg::{Operand, Reg};
+
+    fn r(i: u32) -> Reg {
+        Reg(i)
+    }
+
+    /// bb0: v0 = mov 1; v1 = add v0, 2; br v1 -> bb1 | bb2
+    /// bb1: st v0; jmp bb2
+    /// bb2: ret v1
+    fn sample() -> Function {
+        let mut f = Function::empty("s");
+        f.num_regs = 3;
+        let mut b0 = BasicBlock::new(Terminator::Branch {
+            cond: r(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        b0.insts = vec![
+            Inst::Mov {
+                dst: r(0),
+                src: Operand::Imm(1),
+            },
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: r(1),
+                lhs: Operand::Reg(r(0)),
+                rhs: Operand::Imm(2),
+            },
+        ];
+        let mut b1 = BasicBlock::new(Terminator::Jump(BlockId(2)));
+        b1.insts = vec![Inst::Store {
+            src: Operand::Reg(r(0)),
+            addr: Addr::abs(0x1000),
+        }];
+        let b2 = BasicBlock::new(Terminator::Ret {
+            value: Some(Operand::Reg(r(1))),
+        });
+        f.blocks = vec![b0, b1, b2];
+        f
+    }
+
+    #[test]
+    fn block_level_liveness() {
+        let f = sample();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // v0 and v1 live out of bb0 (v0 used in bb1, v1 in bb2).
+        assert!(lv.live_out(BlockId(0)).contains(r(0)));
+        assert!(lv.live_out(BlockId(0)).contains(r(1)));
+        // Nothing live into bb0 (v0 defined locally).
+        assert!(lv.live_in(BlockId(0)).is_empty());
+        // v1 live through bb1.
+        assert!(lv.live_in(BlockId(1)).contains(r(1)));
+        assert!(lv.live_in(BlockId(1)).contains(r(0)));
+        assert!(lv.live_out(BlockId(1)).contains(r(1)));
+        assert!(!lv.live_out(BlockId(1)).contains(r(0)));
+        // bb2 needs v1 only.
+        assert_eq!(lv.live_in(BlockId(2)).iter().collect::<Vec<_>>(), vec![r(1)]);
+        assert!(lv.live_out(BlockId(2)).is_empty());
+    }
+
+    #[test]
+    fn point_liveness_inside_block() {
+        let f = sample();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // Before inst 0 of bb0: nothing live (v0 defined at 0).
+        let before0 = lv.live_before(&f, BlockId(0), 0);
+        assert!(before0.is_empty());
+        // Before inst 1 (the add): v0 is live (used by add and bb1).
+        let before1 = lv.live_before(&f, BlockId(0), 1);
+        assert!(before1.contains(r(0)));
+        assert!(!before1.contains(r(1)));
+        // Before terminator of bb0: both live.
+        let before_term = lv.live_before(&f, BlockId(0), 2);
+        assert!(before_term.contains(r(0)) && before_term.contains(r(1)));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // bb0: v0 = 0 ; jmp bb1
+        // bb1: v0 = add v0, 1 ; v1 = cmp.lt v0, 10 ; br v1 bb1 bb2
+        // bb2: ret v0
+        let mut f = Function::empty("l");
+        f.num_regs = 2;
+        let mut b0 = BasicBlock::new(Terminator::Jump(BlockId(1)));
+        b0.insts = vec![Inst::Mov {
+            dst: r(0),
+            src: Operand::Imm(0),
+        }];
+        let mut b1 = BasicBlock::new(Terminator::Branch {
+            cond: r(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        });
+        b1.insts = vec![
+            Inst::Bin {
+                op: BinOp::Add,
+                dst: r(0),
+                lhs: Operand::Reg(r(0)),
+                rhs: Operand::Imm(1),
+            },
+            Inst::Cmp {
+                op: crate::inst::CmpOp::Lt,
+                dst: r(1),
+                lhs: Operand::Reg(r(0)),
+                rhs: Operand::Imm(10),
+            },
+        ];
+        let b2 = BasicBlock::new(Terminator::Ret {
+            value: Some(Operand::Reg(r(0))),
+        });
+        f.blocks = vec![b0, b1, b2];
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        // v0 is loop-carried: live into and out of the loop block.
+        assert!(lv.live_in(BlockId(1)).contains(r(0)));
+        assert!(lv.live_out(BlockId(1)).contains(r(0)));
+        // v1 is consumed by the branch, not live into bb2.
+        assert!(!lv.live_in(BlockId(2)).contains(r(1)));
+    }
+}

@@ -1,0 +1,229 @@
+//! Natural loop detection.
+//!
+//! The region partitioner places boundaries at loop headers (as Turnstile
+//! does), LICM sinking must know whether a checkpoint sits inside a loop, and
+//! LIVM needs the set of basic induction variables per loop — all of which
+//! start from the natural loops computed here.
+
+use crate::block::BlockId;
+use crate::cfg::Cfg;
+use crate::dom::DomTree;
+
+/// A natural loop: a header plus the set of blocks in its body.
+#[derive(Debug, Clone)]
+pub struct Loop {
+    /// Loop header (target of the back edge(s)).
+    pub header: BlockId,
+    /// All blocks in the loop, including the header.
+    pub body: Vec<BlockId>,
+    /// Blocks inside the loop with a successor outside (exiting blocks).
+    pub exiting: Vec<BlockId>,
+    /// Nesting depth: 1 for outermost loops.
+    pub depth: u32,
+}
+
+impl Loop {
+    /// Whether `b` belongs to the loop body.
+    pub fn contains(&self, b: BlockId) -> bool {
+        self.body.contains(&b)
+    }
+}
+
+/// All natural loops of a function, with per-block depth information.
+#[derive(Debug, Clone)]
+pub struct LoopForest {
+    loops: Vec<Loop>,
+    depth: Vec<u32>,
+    header_of: Vec<bool>,
+}
+
+impl LoopForest {
+    /// Detect natural loops via back edges (`tail -> header` where `header`
+    /// dominates `tail`), merging loops that share a header.
+    pub fn compute(cfg: &Cfg, dom: &DomTree) -> Self {
+        let n = cfg.num_blocks();
+        // Collect back edges grouped by header.
+        let mut tails_by_header: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for &b in cfg.rpo() {
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    tails_by_header[s.index()].push(b);
+                }
+            }
+        }
+        let mut loops = Vec::new();
+        for (h, tails) in tails_by_header.iter().enumerate() {
+            if tails.is_empty() {
+                continue;
+            }
+            let header = BlockId(h as u32);
+            // Body = header + all blocks that reach a tail without passing
+            // through the header (standard natural-loop body collection).
+            let mut in_body = vec![false; n];
+            in_body[h] = true;
+            let mut stack: Vec<BlockId> = Vec::new();
+            for &t in tails {
+                if !in_body[t.index()] {
+                    in_body[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+            while let Some(b) = stack.pop() {
+                for &p in cfg.preds(b) {
+                    if !in_body[p.index()] {
+                        in_body[p.index()] = true;
+                        stack.push(p);
+                    }
+                }
+            }
+            let body: Vec<BlockId> = (0..n)
+                .filter(|&i| in_body[i])
+                .map(|i| BlockId(i as u32))
+                .collect();
+            let exiting: Vec<BlockId> = body
+                .iter()
+                .copied()
+                .filter(|&b| cfg.succs(b).iter().any(|s| !in_body[s.index()]))
+                .collect();
+            loops.push(Loop {
+                header,
+                body,
+                exiting,
+                depth: 0,
+            });
+        }
+        // Depth: number of loops containing each block.
+        let mut depth = vec![0u32; n];
+        for l in &loops {
+            for &b in &l.body {
+                depth[b.index()] += 1;
+            }
+        }
+        for l in &mut loops {
+            l.depth = depth[l.header.index()];
+        }
+        let mut header_of = vec![false; n];
+        for l in &loops {
+            header_of[l.header.index()] = true;
+        }
+        LoopForest {
+            loops,
+            depth,
+            header_of,
+        }
+    }
+
+    /// All loops (unordered).
+    pub fn loops(&self) -> &[Loop] {
+        &self.loops
+    }
+
+    /// Loop nesting depth of a block (0 = not in any loop).
+    pub fn depth(&self, b: BlockId) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// Whether `b` is the header of some loop.
+    pub fn is_header(&self, b: BlockId) -> bool {
+        self.header_of[b.index()]
+    }
+
+    /// The innermost loop containing `b`, if any (smallest body).
+    pub fn innermost_containing(&self, b: BlockId) -> Option<&Loop> {
+        self.loops
+            .iter()
+            .filter(|l| l.contains(b))
+            .min_by_key(|l| l.body.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::{BasicBlock, Terminator};
+    use crate::function::Function;
+    use crate::reg::Reg;
+
+    /// bb0 -> bb1(hdr outer) -> bb2(hdr inner) -> bb2 (self loop),
+    /// bb2 -> bb3 -> bb1 (outer backedge), bb1 -> bb4 exit.
+    fn nested() -> Function {
+        let mut f = Function::empty("n");
+        f.num_regs = 1;
+        f.blocks = vec![
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(4),
+            }),
+            BasicBlock::new(Terminator::Branch {
+                cond: Reg(0),
+                then_bb: BlockId(2),
+                else_bb: BlockId(3),
+            }),
+            BasicBlock::new(Terminator::Jump(BlockId(1))),
+            BasicBlock::new(Terminator::Ret { value: None }),
+        ];
+        f
+    }
+
+    #[test]
+    fn finds_nested_loops_and_depths() {
+        let f = nested();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert_eq!(lf.loops().len(), 2);
+        assert!(lf.is_header(BlockId(1)));
+        assert!(lf.is_header(BlockId(2)));
+        assert!(!lf.is_header(BlockId(3)));
+        assert_eq!(lf.depth(BlockId(0)), 0);
+        assert_eq!(lf.depth(BlockId(1)), 1);
+        assert_eq!(lf.depth(BlockId(2)), 2);
+        assert_eq!(lf.depth(BlockId(3)), 1);
+        assert_eq!(lf.depth(BlockId(4)), 0);
+    }
+
+    #[test]
+    fn loop_bodies_and_exits() {
+        let f = nested();
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        let outer = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(1))
+            .unwrap();
+        assert!(outer.contains(BlockId(2)));
+        assert!(outer.contains(BlockId(3)));
+        assert!(!outer.contains(BlockId(4)));
+        assert!(outer.exiting.contains(&BlockId(1)));
+        let inner = lf
+            .loops()
+            .iter()
+            .find(|l| l.header == BlockId(2))
+            .unwrap();
+        assert_eq!(inner.body, vec![BlockId(2)]);
+        assert_eq!(inner.depth, 2);
+        assert_eq!(
+            lf.innermost_containing(BlockId(2)).unwrap().header,
+            BlockId(2)
+        );
+        assert_eq!(
+            lf.innermost_containing(BlockId(3)).unwrap().header,
+            BlockId(1)
+        );
+        assert!(lf.innermost_containing(BlockId(4)).is_none());
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let f = Function::empty("s");
+        let cfg = Cfg::compute(&f);
+        let dom = DomTree::compute(&cfg);
+        let lf = LoopForest::compute(&cfg, &dom);
+        assert!(lf.loops().is_empty());
+        assert_eq!(lf.depth(BlockId(0)), 0);
+    }
+}

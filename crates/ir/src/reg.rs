@@ -1,0 +1,121 @@
+//! Virtual registers and instruction operands.
+
+use std::fmt;
+
+/// A virtual register.
+///
+/// Virtual registers are dense indices handed out by
+/// [`FunctionBuilder::fresh_reg`](crate::FunctionBuilder::fresh_reg). The IR
+/// is not strict SSA: a register may be redefined, and the liveness analysis
+/// in [`crate::liveness`] resolves which definition reaches a use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(pub u32);
+
+impl Reg {
+    /// Numeric index of the register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u32> for Reg {
+    fn from(value: u32) -> Self {
+        Reg(value)
+    }
+}
+
+/// Either a register or an immediate constant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A virtual register read.
+    Reg(Reg),
+    /// A signed 64-bit immediate.
+    Imm(i64),
+}
+
+impl Operand {
+    /// The register read by this operand, if any.
+    pub fn reg(self) -> Option<Reg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+
+    /// Whether the operand is an immediate constant.
+    pub fn is_imm(self) -> bool {
+        matches!(self, Operand::Imm(_))
+    }
+
+    /// The immediate value, if the operand is a constant.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            Operand::Imm(v) => Some(v),
+            Operand::Reg(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl From<Reg> for Operand {
+    fn from(r: Reg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(v: i64) -> Self {
+        Operand::Imm(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_display_and_index() {
+        let r = Reg(7);
+        assert_eq!(r.to_string(), "v7");
+        assert_eq!(r.index(), 7);
+        assert_eq!(Reg::from(7u32), r);
+    }
+
+    #[test]
+    fn operand_accessors() {
+        let r = Operand::Reg(Reg(3));
+        let i = Operand::Imm(-5);
+        assert_eq!(r.reg(), Some(Reg(3)));
+        assert_eq!(r.imm(), None);
+        assert!(!r.is_imm());
+        assert_eq!(i.reg(), None);
+        assert_eq!(i.imm(), Some(-5));
+        assert!(i.is_imm());
+    }
+
+    #[test]
+    fn operand_conversions() {
+        assert_eq!(Operand::from(Reg(1)), Operand::Reg(Reg(1)));
+        assert_eq!(Operand::from(42i64), Operand::Imm(42));
+    }
+
+    #[test]
+    fn operand_display() {
+        assert_eq!(Operand::Reg(Reg(2)).to_string(), "v2");
+        assert_eq!(Operand::Imm(-9).to_string(), "-9");
+    }
+}

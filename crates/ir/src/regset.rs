@@ -1,0 +1,234 @@
+//! A dense bitset over virtual registers, used by the dataflow analyses.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// A fixed-capacity bitset of [`Reg`]s.
+///
+/// All dataflow sets in the compiler (liveness in/out, gen/kill) are
+/// `RegSet`s sized to the function's `num_regs`, so set operations are
+/// word-parallel.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct RegSet {
+    words: Vec<u64>,
+    capacity: u32,
+}
+
+impl RegSet {
+    /// An empty set able to hold registers `0..capacity`.
+    pub fn new(capacity: u32) -> Self {
+        let n = (capacity as usize).div_ceil(64);
+        RegSet {
+            words: vec![0; n],
+            capacity,
+        }
+    }
+
+    /// Capacity the set was created with.
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// Insert a register. Returns `true` if it was newly inserted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is outside the capacity.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        assert!(r.0 < self.capacity, "register {r} out of capacity");
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.words[w];
+        self.words[w] |= 1 << b;
+        old & (1 << b) == 0
+    }
+
+    /// Remove a register. Returns `true` if it was present.
+    pub fn remove(&mut self, r: Reg) -> bool {
+        if r.0 >= self.capacity {
+            return false;
+        }
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        let old = self.words[w];
+        self.words[w] &= !(1 << b);
+        old & (1 << b) != 0
+    }
+
+    /// Membership test.
+    pub fn contains(&self, r: Reg) -> bool {
+        if r.0 >= self.capacity {
+            return false;
+        }
+        let (w, b) = (r.index() / 64, r.index() % 64);
+        self.words[w] & (1 << b) != 0
+    }
+
+    /// `self |= other`. Returns `true` if `self` changed.
+    pub fn union_with(&mut self, other: &RegSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let old = *a;
+            *a |= b;
+            changed |= *a != old;
+        }
+        changed
+    }
+
+    /// `self -= other`.
+    pub fn subtract(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    /// `self &= other`.
+    pub fn intersect_with(&mut self, other: &RegSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= b;
+        }
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterate over members in increasing register order.
+    pub fn iter(&self) -> Iter<'_> {
+        Iter {
+            set: self,
+            word: 0,
+            bits: self.words.first().copied().unwrap_or(0),
+        }
+    }
+}
+
+impl fmt::Debug for RegSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    /// Collects registers into a set sized to the largest element.
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> Self {
+        let regs: Vec<Reg> = iter.into_iter().collect();
+        let cap = regs.iter().map(|r| r.0 + 1).max().unwrap_or(0);
+        let mut s = RegSet::new(cap);
+        for r in regs {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+impl Extend<Reg> for RegSet {
+    fn extend<I: IntoIterator<Item = Reg>>(&mut self, iter: I) {
+        for r in iter {
+            self.insert(r);
+        }
+    }
+}
+
+/// Iterator over the members of a [`RegSet`].
+#[derive(Debug)]
+pub struct Iter<'a> {
+    set: &'a RegSet,
+    word: usize,
+    bits: u64,
+}
+
+impl Iterator for Iter<'_> {
+    type Item = Reg;
+
+    fn next(&mut self) -> Option<Reg> {
+        loop {
+            if self.bits != 0 {
+                let b = self.bits.trailing_zeros();
+                self.bits &= self.bits - 1;
+                return Some(Reg((self.word * 64) as u32 + b));
+            }
+            self.word += 1;
+            if self.word >= self.set.words.len() {
+                return None;
+            }
+            self.bits = self.set.words[self.word];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut s = RegSet::new(130);
+        assert!(s.insert(Reg(0)));
+        assert!(s.insert(Reg(129)));
+        assert!(!s.insert(Reg(0)));
+        assert!(s.contains(Reg(0)));
+        assert!(s.contains(Reg(129)));
+        assert!(!s.contains(Reg(64)));
+        assert_eq!(s.len(), 2);
+        assert!(s.remove(Reg(0)));
+        assert!(!s.remove(Reg(0)));
+        assert!(!s.contains(Reg(0)));
+        assert!(!s.remove(Reg(999))); // out of capacity is simply absent
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_capacity_panics() {
+        let mut s = RegSet::new(4);
+        s.insert(Reg(4));
+    }
+
+    #[test]
+    fn set_algebra() {
+        let mut a = RegSet::new(100);
+        let mut b = RegSet::new(100);
+        a.extend([Reg(1), Reg(2), Reg(70)]);
+        b.extend([Reg(2), Reg(3)]);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b)); // fixed point
+        assert_eq!(a.len(), 4);
+        a.subtract(&b);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![Reg(1), Reg(70)]);
+        let mut c = RegSet::new(100);
+        c.extend([Reg(1), Reg(5)]);
+        a.intersect_with(&c);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![Reg(1)]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+
+    #[test]
+    fn iteration_order_is_sorted() {
+        let mut s = RegSet::new(200);
+        for r in [180, 3, 64, 65, 0] {
+            s.insert(Reg(r));
+        }
+        let v: Vec<u32> = s.iter().map(|r| r.0).collect();
+        assert_eq!(v, vec![0, 3, 64, 65, 180]);
+    }
+
+    #[test]
+    fn from_iterator_sizes_to_max() {
+        let s: RegSet = [Reg(9), Reg(1)].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert!(s.contains(Reg(9)));
+        let empty: RegSet = std::iter::empty().collect();
+        assert!(empty.is_empty());
+        assert_eq!(format!("{empty:?}"), "{}");
+    }
+}

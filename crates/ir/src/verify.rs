@@ -1,0 +1,179 @@
+//! Structural well-formedness checks for IR functions.
+
+use crate::block::{BlockId, Terminator};
+use crate::function::Function;
+use crate::reg::Reg;
+use std::error::Error;
+use std::fmt;
+
+/// A structural defect found by [`verify_function`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// A block was created but never given a terminator.
+    UnterminatedBlock(BlockId),
+    /// A terminator targets a block index that does not exist.
+    BadBranchTarget {
+        /// Block containing the bad terminator.
+        from: BlockId,
+        /// The out-of-range target.
+        target: BlockId,
+    },
+    /// An instruction references a register `>= num_regs`.
+    RegOutOfRange {
+        /// Block containing the instruction.
+        block: BlockId,
+        /// The offending register.
+        reg: Reg,
+    },
+    /// The entry block index is out of range.
+    BadEntry(BlockId),
+    /// A parameter register is out of range.
+    BadParam(Reg),
+    /// The function has no blocks at all.
+    NoBlocks,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::UnterminatedBlock(b) => write!(f, "block {b} has no terminator"),
+            VerifyError::BadBranchTarget { from, target } => {
+                write!(f, "terminator of {from} targets nonexistent {target}")
+            }
+            VerifyError::RegOutOfRange { block, reg } => {
+                write!(f, "register {reg} in {block} is out of range")
+            }
+            VerifyError::BadEntry(b) => write!(f, "entry block {b} does not exist"),
+            VerifyError::BadParam(r) => write!(f, "parameter register {r} is out of range"),
+            VerifyError::NoBlocks => write!(f, "function has no blocks"),
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Check structural invariants of a function.
+///
+/// # Errors
+///
+/// Returns the first defect found; see [`VerifyError`] for the catalogue.
+pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
+    if f.blocks.is_empty() {
+        return Err(VerifyError::NoBlocks);
+    }
+    if f.entry.index() >= f.blocks.len() {
+        return Err(VerifyError::BadEntry(f.entry));
+    }
+    for &p in &f.params {
+        if p.0 >= f.num_regs {
+            return Err(VerifyError::BadParam(p));
+        }
+    }
+    let check_reg = |block: BlockId, reg: Reg| -> Result<(), VerifyError> {
+        if reg.0 >= f.num_regs {
+            Err(VerifyError::RegOutOfRange { block, reg })
+        } else {
+            Ok(())
+        }
+    };
+    for (id, b) in f.iter_blocks() {
+        for inst in &b.insts {
+            if let Some(d) = inst.def() {
+                check_reg(id, d)?;
+            }
+            for u in inst.uses() {
+                check_reg(id, u)?;
+            }
+        }
+        for u in b.term.uses() {
+            check_reg(id, u)?;
+        }
+        let targets: Vec<BlockId> = match b.term {
+            Terminator::Jump(t) => vec![t],
+            Terminator::Branch {
+                then_bb, else_bb, ..
+            } => vec![then_bb, else_bb],
+            Terminator::Ret { .. } => vec![],
+        };
+        for t in targets {
+            if t.index() >= f.blocks.len() {
+                return Err(VerifyError::BadBranchTarget { from: id, target: t });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::block::BasicBlock;
+    use crate::inst::Inst;
+    use crate::reg::Operand;
+
+    #[test]
+    fn empty_function_verifies() {
+        assert_eq!(verify_function(&Function::empty("ok")), Ok(()));
+    }
+
+    #[test]
+    fn detects_bad_branch_target() {
+        let mut f = Function::empty("b");
+        f.blocks[0].term = Terminator::Jump(BlockId(9));
+        let err = verify_function(&f).unwrap_err();
+        assert_eq!(
+            err,
+            VerifyError::BadBranchTarget {
+                from: BlockId(0),
+                target: BlockId(9)
+            }
+        );
+        assert!(err.to_string().contains("bb9"));
+    }
+
+    #[test]
+    fn detects_reg_out_of_range() {
+        let mut f = Function::empty("r");
+        f.num_regs = 1;
+        f.blocks[0].insts.push(Inst::Mov {
+            dst: Reg(5),
+            src: Operand::Imm(0),
+        });
+        let err = verify_function(&f).unwrap_err();
+        assert!(matches!(err, VerifyError::RegOutOfRange { reg: Reg(5), .. }));
+    }
+
+    #[test]
+    fn detects_bad_entry_and_params() {
+        let mut f = Function::empty("e");
+        f.entry = BlockId(3);
+        assert_eq!(verify_function(&f), Err(VerifyError::BadEntry(BlockId(3))));
+        let mut g = Function::empty("p");
+        g.params = vec![Reg(0)];
+        assert_eq!(verify_function(&g), Err(VerifyError::BadParam(Reg(0))));
+    }
+
+    #[test]
+    fn detects_no_blocks() {
+        let f = Function {
+            name: "n".into(),
+            blocks: vec![],
+            entry: BlockId(0),
+            num_regs: 0,
+            params: vec![],
+        };
+        assert_eq!(verify_function(&f), Err(VerifyError::NoBlocks));
+    }
+
+    #[test]
+    fn terminator_reg_checked() {
+        let mut f = Function::empty("t");
+        f.blocks = vec![BasicBlock::new(Terminator::Ret {
+            value: Some(Operand::Reg(Reg(2))),
+        })];
+        assert!(matches!(
+            verify_function(&f),
+            Err(VerifyError::RegOutOfRange { reg: Reg(2), .. })
+        ));
+    }
+}

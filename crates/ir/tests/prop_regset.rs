@@ -1,0 +1,102 @@
+//! Model-based property tests: `RegSet` must behave exactly like a
+//! `BTreeSet<u32>` under any operation sequence.
+
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+use turnpike_ir::{Reg, RegSet};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32),
+    Remove(u32),
+    Clear,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..160).prop_map(Op::Insert),
+        (0u32..160).prop_map(Op::Remove),
+        Just(Op::Clear),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn regset_matches_btreeset(ops in prop::collection::vec(op(), 0..120)) {
+        let mut sut = RegSet::new(160);
+        let mut model: BTreeSet<u32> = BTreeSet::new();
+        for o in ops {
+            match o {
+                Op::Insert(r) => {
+                    let a = sut.insert(Reg(r));
+                    let b = model.insert(r);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Remove(r) => {
+                    let a = sut.remove(Reg(r));
+                    let b = model.remove(&r);
+                    prop_assert_eq!(a, b);
+                }
+                Op::Clear => {
+                    sut.clear();
+                    model.clear();
+                }
+            }
+            prop_assert_eq!(sut.len(), model.len());
+            prop_assert_eq!(sut.is_empty(), model.is_empty());
+            let got: Vec<u32> = sut.iter().map(|r| r.0).collect();
+            let want: Vec<u32> = model.iter().copied().collect();
+            prop_assert_eq!(got, want, "iteration order must be sorted and complete");
+        }
+    }
+
+    #[test]
+    fn union_subtract_intersect_match_model(
+        a in prop::collection::btree_set(0u32..120, 0..40),
+        b in prop::collection::btree_set(0u32..120, 0..40),
+    ) {
+        let mk = |s: &BTreeSet<u32>| {
+            let mut r = RegSet::new(128);
+            for &x in s {
+                r.insert(Reg(x));
+            }
+            r
+        };
+        let (ra, rb) = (mk(&a), mk(&b));
+
+        let mut u = ra.clone();
+        u.union_with(&rb);
+        let mu: BTreeSet<u32> = a.union(&b).copied().collect();
+        prop_assert_eq!(u.iter().map(|r| r.0).collect::<BTreeSet<_>>(), mu);
+
+        let mut d = ra.clone();
+        d.subtract(&rb);
+        let md: BTreeSet<u32> = a.difference(&b).copied().collect();
+        prop_assert_eq!(d.iter().map(|r| r.0).collect::<BTreeSet<_>>(), md);
+
+        let mut i = ra.clone();
+        i.intersect_with(&rb);
+        let mi: BTreeSet<u32> = a.intersection(&b).copied().collect();
+        prop_assert_eq!(i.iter().map(|r| r.0).collect::<BTreeSet<_>>(), mi);
+    }
+
+    /// union_with returns whether anything changed, and unioning twice is
+    /// idempotent.
+    #[test]
+    fn union_change_reporting(
+        a in prop::collection::btree_set(0u32..64, 0..20),
+        b in prop::collection::btree_set(0u32..64, 0..20),
+    ) {
+        let mut ra = RegSet::new(64);
+        for &x in &a {
+            ra.insert(Reg(x));
+        }
+        let mut rb = RegSet::new(64);
+        for &x in &b {
+            rb.insert(Reg(x));
+        }
+        let changed = ra.union_with(&rb);
+        prop_assert_eq!(changed, !b.is_subset(&a));
+        prop_assert!(!ra.union_with(&rb), "second union is a fixed point");
+    }
+}

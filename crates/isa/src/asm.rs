@@ -1,0 +1,351 @@
+//! Textual assembly parsing.
+//!
+//! Parses the exact syntax [`MachProgram::disasm`](crate::MachProgram::disasm)
+//! and the instruction `Display` impls emit, so machine programs round-trip
+//! through text. Useful for writing machine-level tests and for tooling.
+//!
+//! ```
+//! use turnpike_isa::asm::parse_asm;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let insts = parse_asm(
+//!     "mov r1, #41
+//!      add r1, r1, #1
+//!      ret r1",
+//! )?;
+//! assert_eq!(insts.len(), 3);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::inst::{MachAddr, MachInst};
+use crate::program::RegionId;
+use crate::reg::{MOperand, PhysReg};
+use std::error::Error;
+use std::fmt;
+use turnpike_ir::{BinOp, CmpOp};
+
+/// A parse failure with its 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for AsmError {}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<PhysReg, AsmError> {
+    let idx = tok
+        .strip_prefix('r')
+        .and_then(|s| s.parse::<u8>().ok())
+        .ok_or_else(|| err(line, format!("expected register, got `{tok}`")))?;
+    PhysReg::new(idx).map_err(|e| err(line, e.to_string()))
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i64, AsmError> {
+    let t = tok
+        .strip_prefix('#')
+        .ok_or_else(|| err(line, format!("expected immediate, got `{tok}`")))?;
+    t.parse::<i64>()
+        .map_err(|_| err(line, format!("bad immediate `{tok}`")))
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<MOperand, AsmError> {
+    if tok.starts_with('#') {
+        Ok(MOperand::Imm(parse_imm(tok, line)?))
+    } else {
+        Ok(MOperand::Reg(parse_reg(tok, line)?))
+    }
+}
+
+fn parse_addr(tok: &str, line: usize) -> Result<MachAddr, AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|s| s.strip_suffix(']'))
+        .ok_or_else(|| err(line, format!("expected [address], got `{tok}`")))?;
+    if let Some(r) = inner.strip_prefix("ckpt:") {
+        return Ok(MachAddr::CkptSlot(parse_reg(r, line)?));
+    }
+    if let Some(hex) = inner.strip_prefix("0x") {
+        let a = u64::from_str_radix(hex, 16)
+            .map_err(|_| err(line, format!("bad hex address `{inner}`")))?;
+        return Ok(MachAddr::Abs(a));
+    }
+    // rN+off or rN-off (offset always signed, as Display prints `{:+}`).
+    let split = inner
+        .char_indices()
+        .skip(1)
+        .find(|&(_, c)| c == '+' || c == '-')
+        .map(|(i, _)| i)
+        .ok_or_else(|| err(line, format!("bad address `{inner}`")))?;
+    let base = parse_reg(&inner[..split], line)?;
+    let off = inner[split..]
+        .parse::<i64>()
+        .map_err(|_| err(line, format!("bad offset in `{inner}`")))?;
+    Ok(MachAddr::RegOffset(base, off))
+}
+
+fn parse_target(tok: &str, line: usize) -> Result<u32, AsmError> {
+    tok.strip_prefix('@')
+        .and_then(|s| s.parse::<u32>().ok())
+        .ok_or_else(|| err(line, format!("expected @target, got `{tok}`")))
+}
+
+fn binop_by_name(name: &str) -> Option<BinOp> {
+    BinOp::ALL.into_iter().find(|op| op.to_string() == name)
+}
+
+fn cmpop_by_name(name: &str) -> Option<CmpOp> {
+    CmpOp::ALL.into_iter().find(|op| op.to_string() == name)
+}
+
+/// Parse one instruction line (without pc prefix or comments).
+fn parse_line(src: &str, line: usize) -> Result<MachInst, AsmError> {
+    let mut parts = src.splitn(2, ' ');
+    let mnemonic = parts.next().unwrap_or_default();
+    let rest = parts.next().unwrap_or("").trim();
+    let args: Vec<&str> = if rest.is_empty() {
+        Vec::new()
+    } else {
+        rest.split(',').map(str::trim).collect()
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if args.len() == n {
+            Ok(())
+        } else {
+            Err(err(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", args.len()),
+            ))
+        }
+    };
+
+    if let Some(op) = binop_by_name(mnemonic) {
+        want(3)?;
+        return Ok(MachInst::Bin {
+            op,
+            dst: parse_reg(args[0], line)?,
+            lhs: parse_reg(args[1], line)?,
+            rhs: parse_operand(args[2], line)?,
+        });
+    }
+    if let Some(cmp) = mnemonic.strip_prefix("cmp.") {
+        let op = cmpop_by_name(cmp)
+            .ok_or_else(|| err(line, format!("unknown comparison `{mnemonic}`")))?;
+        want(3)?;
+        return Ok(MachInst::Cmp {
+            op,
+            dst: parse_reg(args[0], line)?,
+            lhs: parse_reg(args[1], line)?,
+            rhs: parse_operand(args[2], line)?,
+        });
+    }
+    match mnemonic {
+        "mov" => {
+            want(2)?;
+            Ok(MachInst::Mov {
+                dst: parse_reg(args[0], line)?,
+                src: parse_operand(args[1], line)?,
+            })
+        }
+        "ld" => {
+            want(2)?;
+            Ok(MachInst::Load {
+                dst: parse_reg(args[0], line)?,
+                addr: parse_addr(args[1], line)?,
+            })
+        }
+        "st" => {
+            want(2)?;
+            Ok(MachInst::Store {
+                src: parse_operand(args[0], line)?,
+                addr: parse_addr(args[1], line)?,
+            })
+        }
+        "ckpt" => {
+            want(1)?;
+            Ok(MachInst::Ckpt {
+                reg: parse_reg(args[0], line)?,
+            })
+        }
+        "rb" => {
+            want(1)?;
+            let id = args[0]
+                .strip_prefix('R')
+                .and_then(|s| s.parse::<u32>().ok())
+                .ok_or_else(|| err(line, format!("bad region id `{}`", args[0])))?;
+            Ok(MachInst::RegionBoundary { id: RegionId(id) })
+        }
+        "jmp" => {
+            want(1)?;
+            Ok(MachInst::Jump {
+                target: parse_target(args[0], line)?,
+            })
+        }
+        "bnz" => {
+            want(2)?;
+            Ok(MachInst::BranchNz {
+                cond: parse_reg(args[0], line)?,
+                target: parse_target(args[1], line)?,
+            })
+        }
+        "ret" => match args.len() {
+            0 => Ok(MachInst::Ret { value: None }),
+            1 => Ok(MachInst::Ret {
+                value: Some(parse_operand(args[0], line)?),
+            }),
+            n => Err(err(line, format!("`ret` expects 0 or 1 operands, got {n}"))),
+        },
+        "nop" => {
+            want(0)?;
+            Ok(MachInst::Nop)
+        }
+        other => Err(err(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+/// Parse an assembly listing into machine instructions.
+///
+/// Accepts the [`disasm`](crate::MachProgram::disasm) format: blank lines
+/// and `;` comment lines are skipped, and an optional leading `N:` pc label
+/// on each line is ignored.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] with its line number.
+pub fn parse_asm(text: &str) -> Result<Vec<MachInst>, AsmError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let mut s = raw.trim();
+        if s.is_empty() || s.starts_with(';') {
+            continue;
+        }
+        // Strip a leading "N:" pc label.
+        if let Some(colon) = s.find(':') {
+            if s[..colon].trim().chars().all(|c| c.is_ascii_digit()) {
+                s = s[colon + 1..].trim();
+            }
+        }
+        if s.is_empty() {
+            continue;
+        }
+        out.push(parse_line(s, line)?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::MachProgram;
+    use turnpike_ir::DataSegment;
+
+    fn r(i: u8) -> PhysReg {
+        PhysReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn parses_every_syntax_form() {
+        let text = "
+            ; a comment
+            mov r1, #-7
+            mov r2, r1
+            mul r3, r1, #100
+            xor r3, r3, r2
+            cmp.le r4, r3, #0
+            cmp.ne r4, r3, r1
+            ld r5, [r1+16]
+            ld r5, [r1-8]
+            ld r5, [0x1008]
+            ld r5, [ckpt:r5]
+            st r5, [r1+0]
+            st #3, [0x2000]
+            ckpt r6
+            rb R1
+            jmp @17
+            bnz r4, @0
+            ret r3
+            ret #5
+            ret
+            nop
+        ";
+        let insts = parse_asm(text).unwrap();
+        assert_eq!(insts.len(), 20);
+        assert_eq!(
+            insts[0],
+            MachInst::Mov {
+                dst: r(1),
+                src: MOperand::Imm(-7)
+            }
+        );
+        assert_eq!(
+            insts[9],
+            MachInst::Load {
+                dst: r(5),
+                addr: MachAddr::CkptSlot(r(5))
+            }
+        );
+        assert_eq!(insts[13], MachInst::RegionBoundary { id: RegionId(1) });
+    }
+
+    #[test]
+    fn disasm_round_trips() {
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(0),
+                src: MOperand::Imm(3),
+            },
+            MachInst::Bin {
+                op: BinOp::Shl,
+                dst: r(1),
+                lhs: r(0),
+                rhs: MOperand::Imm(2),
+            },
+            MachInst::Store {
+                src: MOperand::Reg(r(1)),
+                addr: MachAddr::RegOffset(r(0), -16),
+            },
+            MachInst::Ckpt { reg: r(1) },
+            MachInst::RegionBoundary { id: RegionId(1) },
+            MachInst::BranchNz {
+                cond: r(1),
+                target: 0,
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Reg(r(1))),
+            },
+        ];
+        let p = MachProgram::from_insts("rt", insts.clone(), DataSegment::zeroed(0, 0));
+        let parsed = parse_asm(&p.disasm()).unwrap();
+        assert_eq!(parsed, insts);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_asm("mov r1, #1\nbogus r2").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.to_string().contains("bogus"));
+        let e = parse_asm("mov r99, #1").unwrap_err();
+        assert!(e.message.contains("out of range"));
+        let e = parse_asm("add r1, r2").unwrap_err();
+        assert!(e.message.contains("expects 3"));
+        let e = parse_asm("ld r1, [zzz]").unwrap_err();
+        assert!(e.message.contains("bad address") || e.message.contains("expected register"));
+    }
+}

@@ -1,0 +1,462 @@
+//! Fixed-width binary encoding of machine instructions.
+//!
+//! Each instruction encodes to exactly 8 bytes (a fixed-width RISC encoding):
+//! one opcode byte, three register/selector bytes, and a 32-bit immediate.
+//! The encoding exists to give the code-size analysis (paper Figure 26) a
+//! concrete byte metric and to round-trip programs in tests; immediates
+//! outside the 32-bit range are rejected at encode time.
+
+use crate::inst::{MachAddr, MachInst};
+use crate::program::RegionId;
+use crate::reg::{MOperand, PhysReg};
+use std::error::Error;
+use std::fmt;
+use turnpike_ir::{BinOp, CmpOp};
+
+/// Bytes per encoded instruction.
+pub const INST_BYTES: usize = 8;
+
+/// Errors from [`encode_program`] / [`decode_program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EncodeError {
+    /// An immediate does not fit in 32 bits.
+    ImmOutOfRange(i64),
+    /// A branch target or region id does not fit in 32 bits (cannot occur
+    /// for programs built through the compiler; defensive).
+    FieldOutOfRange(u64),
+    /// The byte stream length is not a multiple of [`INST_BYTES`].
+    TruncatedStream(usize),
+    /// An unknown opcode byte was encountered at the given instruction index.
+    BadOpcode(u8, usize),
+    /// A register field held an out-of-range index.
+    BadReg(u8, usize),
+}
+
+impl fmt::Display for EncodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EncodeError::ImmOutOfRange(v) => write!(f, "immediate {v} does not fit in 32 bits"),
+            EncodeError::FieldOutOfRange(v) => write!(f, "field value {v} does not fit"),
+            EncodeError::TruncatedStream(n) => write!(f, "byte stream length {n} not a multiple of 8"),
+            EncodeError::BadOpcode(op, i) => write!(f, "unknown opcode {op:#x} at instruction {i}"),
+            EncodeError::BadReg(r, i) => write!(f, "bad register {r} at instruction {i}"),
+        }
+    }
+}
+
+impl Error for EncodeError {}
+
+// Opcode space. Bin/Cmp fold their operator into the opcode byte.
+const OP_BIN_BASE: u8 = 0x00; // +0..=9: BinOp
+const OP_CMP_BASE: u8 = 0x10; // +0..=5: CmpOp
+const OP_MOV_REG: u8 = 0x20;
+const OP_MOV_IMM: u8 = 0x21;
+const OP_LOAD_RO: u8 = 0x30;
+const OP_LOAD_ABS: u8 = 0x31;
+const OP_LOAD_CKPT: u8 = 0x32;
+const OP_STORE_RO_REG: u8 = 0x38;
+const OP_STORE_RO_IMM: u8 = 0x39;
+const OP_STORE_ABS_REG: u8 = 0x3a;
+const OP_STORE_ABS_IMM: u8 = 0x3b;
+const OP_CKPT: u8 = 0x40;
+const OP_RB: u8 = 0x41;
+const OP_JUMP: u8 = 0x50;
+const OP_BNZ: u8 = 0x51;
+const OP_RET_NONE: u8 = 0x60;
+const OP_RET_REG: u8 = 0x61;
+const OP_RET_IMM: u8 = 0x62;
+const OP_NOP: u8 = 0x70;
+// Bin/Cmp with register rhs use a parallel opcode block.
+const OP_BINR_BASE: u8 = 0x80; // +0..=9
+const OP_CMPR_BASE: u8 = 0x90; // +0..=5
+
+fn binop_code(op: BinOp) -> u8 {
+    BinOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn cmpop_code(op: CmpOp) -> u8 {
+    CmpOp::ALL.iter().position(|&o| o == op).unwrap() as u8
+}
+
+fn imm32(v: i64) -> Result<i32, EncodeError> {
+    i32::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))
+}
+
+fn u32f(v: u64) -> Result<u32, EncodeError> {
+    u32::try_from(v).map_err(|_| EncodeError::FieldOutOfRange(v))
+}
+
+fn pack(op: u8, a: u8, b: u8, c: u8, imm: i32) -> [u8; 8] {
+    let mut w = [0u8; 8];
+    w[0] = op;
+    w[1] = a;
+    w[2] = b;
+    w[3] = c;
+    w[4..8].copy_from_slice(&imm.to_le_bytes());
+    w
+}
+
+/// Encode one instruction.
+///
+/// # Errors
+///
+/// Fails if an immediate, offset, or target does not fit the 32-bit field.
+pub fn encode_inst(inst: &MachInst) -> Result<[u8; 8], EncodeError> {
+    Ok(match *inst {
+        MachInst::Bin { op, dst, lhs, rhs } => match rhs {
+            MOperand::Imm(v) => pack(
+                OP_BIN_BASE + binop_code(op),
+                dst.raw(),
+                lhs.raw(),
+                0,
+                imm32(v)?,
+            ),
+            MOperand::Reg(r) => pack(
+                OP_BINR_BASE + binop_code(op),
+                dst.raw(),
+                lhs.raw(),
+                r.raw(),
+                0,
+            ),
+        },
+        MachInst::Cmp { op, dst, lhs, rhs } => match rhs {
+            MOperand::Imm(v) => pack(
+                OP_CMP_BASE + cmpop_code(op),
+                dst.raw(),
+                lhs.raw(),
+                0,
+                imm32(v)?,
+            ),
+            MOperand::Reg(r) => pack(
+                OP_CMPR_BASE + cmpop_code(op),
+                dst.raw(),
+                lhs.raw(),
+                r.raw(),
+                0,
+            ),
+        },
+        MachInst::Mov { dst, src } => match src {
+            MOperand::Reg(r) => pack(OP_MOV_REG, dst.raw(), r.raw(), 0, 0),
+            MOperand::Imm(v) => pack(OP_MOV_IMM, dst.raw(), 0, 0, imm32(v)?),
+        },
+        MachInst::Load { dst, addr } => match addr {
+            MachAddr::RegOffset(b, o) => pack(OP_LOAD_RO, dst.raw(), b.raw(), 0, imm32(o)?),
+            MachAddr::Abs(a) => pack(OP_LOAD_ABS, dst.raw(), 0, 0, u32f(a)? as i32),
+            MachAddr::CkptSlot(r) => pack(OP_LOAD_CKPT, dst.raw(), r.raw(), 0, 0),
+        },
+        MachInst::Store { src, addr } => match (src, addr) {
+            (MOperand::Reg(s), MachAddr::RegOffset(b, o)) => {
+                pack(OP_STORE_RO_REG, s.raw(), b.raw(), 0, imm32(o)?)
+            }
+            (MOperand::Imm(v), MachAddr::RegOffset(b, o)) => {
+                // Immediate-store with register offset splits the immediate:
+                // value in byte c is only possible for tiny values, so we
+                // keep the offset in the imm field and the value must fit i8.
+                let small =
+                    i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
+                pack(OP_STORE_RO_IMM, small as u8, b.raw(), 0, imm32(o)?)
+            }
+            (MOperand::Reg(s), MachAddr::Abs(a)) => {
+                pack(OP_STORE_ABS_REG, s.raw(), 0, 0, u32f(a)? as i32)
+            }
+            (MOperand::Imm(v), MachAddr::Abs(a)) => {
+                let small =
+                    i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
+                pack(OP_STORE_ABS_IMM, small as u8, 0, 0, u32f(a)? as i32)
+            }
+            (_, MachAddr::CkptSlot(_)) => {
+                // Regular stores never target checkpoint slots; reject.
+                return Err(EncodeError::FieldOutOfRange(u64::MAX));
+            }
+        },
+        MachInst::Ckpt { reg } => pack(OP_CKPT, reg.raw(), 0, 0, 0),
+        MachInst::RegionBoundary { id } => pack(OP_RB, 0, 0, 0, u32f(id.0 as u64)? as i32),
+        MachInst::Jump { target } => pack(OP_JUMP, 0, 0, 0, target as i32),
+        MachInst::BranchNz { cond, target } => pack(OP_BNZ, cond.raw(), 0, 0, target as i32),
+        MachInst::Ret { value } => match value {
+            None => pack(OP_RET_NONE, 0, 0, 0, 0),
+            Some(MOperand::Reg(r)) => pack(OP_RET_REG, r.raw(), 0, 0, 0),
+            Some(MOperand::Imm(v)) => pack(OP_RET_IMM, 0, 0, 0, imm32(v)?),
+        },
+        MachInst::Nop => pack(OP_NOP, 0, 0, 0, 0),
+    })
+}
+
+/// Encode a full instruction stream.
+///
+/// # Errors
+///
+/// Propagates the first per-instruction [`EncodeError`].
+pub fn encode_program(insts: &[MachInst]) -> Result<Vec<u8>, EncodeError> {
+    let mut out = Vec::with_capacity(insts.len() * INST_BYTES);
+    for i in insts {
+        out.extend_from_slice(&encode_inst(i)?);
+    }
+    Ok(out)
+}
+
+/// Decode a byte stream produced by [`encode_program`].
+///
+/// # Errors
+///
+/// Fails on truncated streams, unknown opcodes, or bad register fields.
+pub fn decode_program(bytes: &[u8]) -> Result<Vec<MachInst>, EncodeError> {
+    if !bytes.len().is_multiple_of(INST_BYTES) {
+        return Err(EncodeError::TruncatedStream(bytes.len()));
+    }
+    let reg = |raw: u8, idx: usize| PhysReg::new(raw).map_err(|_| EncodeError::BadReg(raw, idx));
+    let mut out = Vec::with_capacity(bytes.len() / INST_BYTES);
+    for (idx, w) in bytes.chunks_exact(INST_BYTES).enumerate() {
+        let (op, a, b, c) = (w[0], w[1], w[2], w[3]);
+        let imm = i32::from_le_bytes([w[4], w[5], w[6], w[7]]);
+        let inst = match op {
+            o if (OP_BIN_BASE..OP_BIN_BASE + 10).contains(&o) => MachInst::Bin {
+                op: BinOp::ALL[(o - OP_BIN_BASE) as usize],
+                dst: reg(a, idx)?,
+                lhs: reg(b, idx)?,
+                rhs: MOperand::Imm(imm as i64),
+            },
+            o if (OP_BINR_BASE..OP_BINR_BASE + 10).contains(&o) => MachInst::Bin {
+                op: BinOp::ALL[(o - OP_BINR_BASE) as usize],
+                dst: reg(a, idx)?,
+                lhs: reg(b, idx)?,
+                rhs: MOperand::Reg(reg(c, idx)?),
+            },
+            o if (OP_CMP_BASE..OP_CMP_BASE + 6).contains(&o) => MachInst::Cmp {
+                op: CmpOp::ALL[(o - OP_CMP_BASE) as usize],
+                dst: reg(a, idx)?,
+                lhs: reg(b, idx)?,
+                rhs: MOperand::Imm(imm as i64),
+            },
+            o if (OP_CMPR_BASE..OP_CMPR_BASE + 6).contains(&o) => MachInst::Cmp {
+                op: CmpOp::ALL[(o - OP_CMPR_BASE) as usize],
+                dst: reg(a, idx)?,
+                lhs: reg(b, idx)?,
+                rhs: MOperand::Reg(reg(c, idx)?),
+            },
+            OP_MOV_REG => MachInst::Mov {
+                dst: reg(a, idx)?,
+                src: MOperand::Reg(reg(b, idx)?),
+            },
+            OP_MOV_IMM => MachInst::Mov {
+                dst: reg(a, idx)?,
+                src: MOperand::Imm(imm as i64),
+            },
+            OP_LOAD_RO => MachInst::Load {
+                dst: reg(a, idx)?,
+                addr: MachAddr::RegOffset(reg(b, idx)?, imm as i64),
+            },
+            OP_LOAD_ABS => MachInst::Load {
+                dst: reg(a, idx)?,
+                addr: MachAddr::Abs(imm as u32 as u64),
+            },
+            OP_LOAD_CKPT => MachInst::Load {
+                dst: reg(a, idx)?,
+                addr: MachAddr::CkptSlot(reg(b, idx)?),
+            },
+            OP_STORE_RO_REG => MachInst::Store {
+                src: MOperand::Reg(reg(a, idx)?),
+                addr: MachAddr::RegOffset(reg(b, idx)?, imm as i64),
+            },
+            OP_STORE_RO_IMM => MachInst::Store {
+                src: MOperand::Imm(a as i8 as i64),
+                addr: MachAddr::RegOffset(reg(b, idx)?, imm as i64),
+            },
+            OP_STORE_ABS_REG => MachInst::Store {
+                src: MOperand::Reg(reg(a, idx)?),
+                addr: MachAddr::Abs(imm as u32 as u64),
+            },
+            OP_STORE_ABS_IMM => MachInst::Store {
+                src: MOperand::Imm(a as i8 as i64),
+                addr: MachAddr::Abs(imm as u32 as u64),
+            },
+            OP_CKPT => MachInst::Ckpt { reg: reg(a, idx)? },
+            OP_RB => MachInst::RegionBoundary {
+                id: RegionId(imm as u32),
+            },
+            OP_JUMP => MachInst::Jump {
+                target: imm as u32,
+            },
+            OP_BNZ => MachInst::BranchNz {
+                cond: reg(a, idx)?,
+                target: imm as u32,
+            },
+            OP_RET_NONE => MachInst::Ret { value: None },
+            OP_RET_REG => MachInst::Ret {
+                value: Some(MOperand::Reg(reg(a, idx)?)),
+            },
+            OP_RET_IMM => MachInst::Ret {
+                value: Some(MOperand::Imm(imm as i64)),
+            },
+            OP_NOP => MachInst::Nop,
+            bad => return Err(EncodeError::BadOpcode(bad, idx)),
+        };
+        let _ = c; // `c` only carries a register in the BINR/CMPR forms
+        out.push(inst);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u8) -> PhysReg {
+        PhysReg::new(i).unwrap()
+    }
+
+    fn sample_insts() -> Vec<MachInst> {
+        vec![
+            MachInst::Mov {
+                dst: r(0),
+                src: MOperand::Imm(-7),
+            },
+            MachInst::Mov {
+                dst: r(1),
+                src: MOperand::Reg(r(0)),
+            },
+            MachInst::Bin {
+                op: BinOp::Mul,
+                dst: r(2),
+                lhs: r(1),
+                rhs: MOperand::Imm(100),
+            },
+            MachInst::Bin {
+                op: BinOp::Xor,
+                dst: r(2),
+                lhs: r(2),
+                rhs: MOperand::Reg(r(0)),
+            },
+            MachInst::Cmp {
+                op: CmpOp::Le,
+                dst: r(3),
+                lhs: r(2),
+                rhs: MOperand::Imm(0),
+            },
+            MachInst::Cmp {
+                op: CmpOp::Ne,
+                dst: r(3),
+                lhs: r(2),
+                rhs: MOperand::Reg(r(1)),
+            },
+            MachInst::Load {
+                dst: r(4),
+                addr: MachAddr::RegOffset(r(5), -16),
+            },
+            MachInst::Load {
+                dst: r(4),
+                addr: MachAddr::Abs(0x1008),
+            },
+            MachInst::Load {
+                dst: r(4),
+                addr: MachAddr::CkptSlot(r(4)),
+            },
+            MachInst::Store {
+                src: MOperand::Reg(r(4)),
+                addr: MachAddr::RegOffset(r(5), 24),
+            },
+            MachInst::Store {
+                src: MOperand::Imm(-1),
+                addr: MachAddr::RegOffset(r(5), 8),
+            },
+            MachInst::Store {
+                src: MOperand::Reg(r(6)),
+                addr: MachAddr::Abs(0x2000),
+            },
+            MachInst::Store {
+                src: MOperand::Imm(3),
+                addr: MachAddr::Abs(0x2008),
+            },
+            MachInst::Ckpt { reg: r(7) },
+            MachInst::RegionBoundary { id: RegionId(1) },
+            MachInst::Jump { target: 17 },
+            MachInst::BranchNz {
+                cond: r(3),
+                target: 0,
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Reg(r(2))),
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Imm(5)),
+            },
+            MachInst::Ret { value: None },
+            MachInst::Nop,
+        ]
+    }
+
+    #[test]
+    fn round_trip_every_form() {
+        let insts = sample_insts();
+        let bytes = encode_program(&insts).unwrap();
+        assert_eq!(bytes.len(), insts.len() * INST_BYTES);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(back, insts);
+    }
+
+    #[test]
+    fn rejects_oversized_immediates() {
+        let i = MachInst::Mov {
+            dst: r(0),
+            src: MOperand::Imm(i64::MAX),
+        };
+        assert_eq!(
+            encode_inst(&i).unwrap_err(),
+            EncodeError::ImmOutOfRange(i64::MAX)
+        );
+    }
+
+    #[test]
+    fn rejects_truncated_stream() {
+        assert_eq!(
+            decode_program(&[0u8; 7]).unwrap_err(),
+            EncodeError::TruncatedStream(7)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_opcode() {
+        let mut w = [0u8; 8];
+        w[0] = 0xff;
+        assert_eq!(
+            decode_program(&w).unwrap_err(),
+            EncodeError::BadOpcode(0xff, 0)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_register_field() {
+        let mut w = [0u8; 8];
+        w[0] = OP_CKPT;
+        w[1] = 99;
+        assert_eq!(decode_program(&w).unwrap_err(), EncodeError::BadReg(99, 0));
+    }
+
+    #[test]
+    fn every_binop_and_cmpop_round_trips() {
+        for op in BinOp::ALL {
+            for rhs in [MOperand::Imm(3), MOperand::Reg(r(9))] {
+                let i = MachInst::Bin {
+                    op,
+                    dst: r(1),
+                    lhs: r(2),
+                    rhs,
+                };
+                let b = encode_inst(&i).unwrap();
+                assert_eq!(decode_program(&b).unwrap()[0], i);
+            }
+        }
+        for op in CmpOp::ALL {
+            for rhs in [MOperand::Imm(-2), MOperand::Reg(r(8))] {
+                let i = MachInst::Cmp {
+                    op,
+                    dst: r(1),
+                    lhs: r(2),
+                    rhs,
+                };
+                let b = encode_inst(&i).unwrap();
+                assert_eq!(decode_program(&b).unwrap()[0], i);
+            }
+        }
+    }
+}

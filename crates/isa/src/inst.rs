@@ -1,0 +1,318 @@
+//! Machine instructions.
+
+use crate::reg::{MOperand, PhysReg};
+use std::fmt;
+use turnpike_ir::{BinOp, CmpOp};
+
+/// A machine memory address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachAddr {
+    /// Base register plus signed byte offset.
+    RegOffset(PhysReg, i64),
+    /// Absolute byte address.
+    Abs(u64),
+    /// The checkpoint storage slot of a register, resolved by hardware: in
+    /// recovery blocks the verified-colors (VC) map selects the colored slot;
+    /// outside recovery, color 0. Regular code never uses this mode.
+    CkptSlot(PhysReg),
+}
+
+impl MachAddr {
+    /// Base register of the addressing mode, if any.
+    pub fn base(self) -> Option<PhysReg> {
+        match self {
+            MachAddr::RegOffset(r, _) => Some(r),
+            MachAddr::Abs(_) | MachAddr::CkptSlot(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for MachAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachAddr::RegOffset(r, o) => write!(f, "[{r}{o:+}]"),
+            MachAddr::Abs(a) => write!(f, "[{a:#x}]"),
+            MachAddr::CkptSlot(r) => write!(f, "[ckpt:{r}]"),
+        }
+    }
+}
+
+/// A flat machine instruction. Branch targets are instruction indices into
+/// the enclosing [`MachProgram`](crate::MachProgram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MachInst {
+    /// `dst = lhs op rhs`.
+    Bin {
+        /// Operation.
+        op: BinOp,
+        /// Destination register.
+        dst: PhysReg,
+        /// Left operand (always a register on this machine).
+        lhs: PhysReg,
+        /// Right operand.
+        rhs: MOperand,
+    },
+    /// `dst = (lhs op rhs) ? 1 : 0`.
+    Cmp {
+        /// Comparison.
+        op: CmpOp,
+        /// Destination register.
+        dst: PhysReg,
+        /// Left operand.
+        lhs: PhysReg,
+        /// Right operand.
+        rhs: MOperand,
+    },
+    /// `dst = src`.
+    Mov {
+        /// Destination register.
+        dst: PhysReg,
+        /// Source operand.
+        src: MOperand,
+    },
+    /// `dst = memory[addr]`.
+    Load {
+        /// Destination register.
+        dst: PhysReg,
+        /// Effective address.
+        addr: MachAddr,
+    },
+    /// `memory[addr] = src`.
+    Store {
+        /// Stored value.
+        src: MOperand,
+        /// Effective address.
+        addr: MachAddr,
+    },
+    /// Checkpoint store of `reg` into its checkpoint storage slot.
+    Ckpt {
+        /// Register being checkpointed.
+        reg: PhysReg,
+    },
+    /// Region boundary: ends the current region, starts static region `id`.
+    RegionBoundary {
+        /// Static region id of the region *starting* here.
+        id: crate::program::RegionId,
+    },
+    /// Unconditional jump to instruction index `target`.
+    Jump {
+        /// Destination instruction index.
+        target: u32,
+    },
+    /// Branch to `target` when `cond != 0`; fall through otherwise.
+    BranchNz {
+        /// Condition register.
+        cond: PhysReg,
+        /// Taken-path destination instruction index.
+        target: u32,
+    },
+    /// Program end with optional return value.
+    Ret {
+        /// Returned value, if any.
+        value: Option<MOperand>,
+    },
+    /// No operation.
+    Nop,
+}
+
+impl MachInst {
+    /// Register written, if any.
+    pub fn def(self) -> Option<PhysReg> {
+        match self {
+            MachInst::Bin { dst, .. }
+            | MachInst::Cmp { dst, .. }
+            | MachInst::Mov { dst, .. }
+            | MachInst::Load { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Registers read (up to 3).
+    pub fn uses(self) -> Vec<PhysReg> {
+        let mut v = Vec::with_capacity(3);
+        match self {
+            MachInst::Bin { lhs, rhs, .. } | MachInst::Cmp { lhs, rhs, .. } => {
+                v.push(lhs);
+                if let Some(r) = rhs.reg() {
+                    v.push(r);
+                }
+            }
+            MachInst::Mov { src, .. } => {
+                if let Some(r) = src.reg() {
+                    v.push(r);
+                }
+            }
+            MachInst::Load { addr, .. } => {
+                if let Some(b) = addr.base() {
+                    v.push(b);
+                }
+            }
+            MachInst::Store { src, addr } => {
+                if let Some(r) = src.reg() {
+                    v.push(r);
+                }
+                if let Some(b) = addr.base() {
+                    v.push(b);
+                }
+            }
+            MachInst::Ckpt { reg } => v.push(reg),
+            MachInst::BranchNz { cond, .. } => v.push(cond),
+            MachInst::Ret { value } => {
+                if let Some(r) = value.and_then(MOperand::reg) {
+                    v.push(r);
+                }
+            }
+            MachInst::RegionBoundary { .. } | MachInst::Jump { .. } | MachInst::Nop => {}
+        }
+        v
+    }
+
+    /// Whether this is a memory instruction (load, store, or checkpoint).
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self,
+            MachInst::Load { .. } | MachInst::Store { .. } | MachInst::Ckpt { .. }
+        )
+    }
+
+    /// Whether this writes memory (regular store or checkpoint).
+    pub fn is_store(self) -> bool {
+        matches!(self, MachInst::Store { .. } | MachInst::Ckpt { .. })
+    }
+
+    /// Whether this is a checkpoint store.
+    pub fn is_ckpt(self) -> bool {
+        matches!(self, MachInst::Ckpt { .. })
+    }
+
+    /// Whether this is a control-flow instruction.
+    pub fn is_control(self) -> bool {
+        matches!(
+            self,
+            MachInst::Jump { .. } | MachInst::BranchNz { .. } | MachInst::Ret { .. }
+        )
+    }
+
+    /// Execution latency in cycles on the modeled core (loads excluded —
+    /// their latency comes from the cache hierarchy).
+    pub fn latency(self) -> u32 {
+        match self {
+            MachInst::Bin { op, .. } => op.latency(),
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for MachInst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachInst::Bin { op, dst, lhs, rhs } => write!(f, "{op} {dst}, {lhs}, {rhs}"),
+            MachInst::Cmp { op, dst, lhs, rhs } => write!(f, "cmp.{op} {dst}, {lhs}, {rhs}"),
+            MachInst::Mov { dst, src } => write!(f, "mov {dst}, {src}"),
+            MachInst::Load { dst, addr } => write!(f, "ld {dst}, {addr}"),
+            MachInst::Store { src, addr } => write!(f, "st {src}, {addr}"),
+            MachInst::Ckpt { reg } => write!(f, "ckpt {reg}"),
+            MachInst::RegionBoundary { id } => write!(f, "rb {id}"),
+            MachInst::Jump { target } => write!(f, "jmp @{target}"),
+            MachInst::BranchNz { cond, target } => write!(f, "bnz {cond}, @{target}"),
+            MachInst::Ret { value: Some(v) } => write!(f, "ret {v}"),
+            MachInst::Ret { value: None } => write!(f, "ret"),
+            MachInst::Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RegionId;
+
+    fn r(i: u8) -> PhysReg {
+        PhysReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn defs_uses_classification() {
+        let i = MachInst::Bin {
+            op: BinOp::Add,
+            dst: r(0),
+            lhs: r(1),
+            rhs: MOperand::Reg(r(2)),
+        };
+        assert_eq!(i.def(), Some(r(0)));
+        assert_eq!(i.uses(), vec![r(1), r(2)]);
+        assert!(!i.is_mem());
+
+        let s = MachInst::Store {
+            src: MOperand::Reg(r(3)),
+            addr: MachAddr::RegOffset(r(4), 8),
+        };
+        assert!(s.is_store() && s.is_mem() && !s.is_ckpt());
+        assert_eq!(s.uses(), vec![r(3), r(4)]);
+
+        let c = MachInst::Ckpt { reg: r(5) };
+        assert!(c.is_ckpt() && c.is_store());
+        assert_eq!(c.uses(), vec![r(5)]);
+
+        let b = MachInst::BranchNz {
+            cond: r(6),
+            target: 3,
+        };
+        assert!(b.is_control());
+        assert_eq!(b.uses(), vec![r(6)]);
+        assert!(MachInst::Ret { value: None }.is_control());
+        assert!(!MachInst::Nop.is_control());
+    }
+
+    #[test]
+    fn ckpt_slot_addressing_has_no_base() {
+        let l = MachInst::Load {
+            dst: r(1),
+            addr: MachAddr::CkptSlot(r(1)),
+        };
+        assert!(l.uses().is_empty());
+        assert_eq!(l.def(), Some(r(1)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(
+            MachInst::Bin {
+                op: BinOp::Add,
+                dst: r(0),
+                lhs: r(1),
+                rhs: MOperand::Imm(4)
+            }
+            .to_string(),
+            "add r0, r1, #4"
+        );
+        assert_eq!(
+            MachInst::Load {
+                dst: r(2),
+                addr: MachAddr::CkptSlot(r(2))
+            }
+            .to_string(),
+            "ld r2, [ckpt:r2]"
+        );
+        assert_eq!(
+            MachInst::RegionBoundary { id: RegionId(3) }.to_string(),
+            "rb R3"
+        );
+        assert_eq!(
+            MachInst::Jump { target: 9 }.to_string(),
+            "jmp @9"
+        );
+    }
+
+    #[test]
+    fn latency_delegates_to_binop() {
+        let m = MachInst::Bin {
+            op: BinOp::Mul,
+            dst: r(0),
+            lhs: r(0),
+            rhs: MOperand::Imm(2),
+        };
+        assert_eq!(m.latency(), 3);
+        assert_eq!(MachInst::Nop.latency(), 1);
+    }
+}

@@ -1,0 +1,311 @@
+//! Functional (timing-free) machine interpreter.
+//!
+//! Used for differential testing of the compiler: a lowered
+//! [`MachProgram`] must compute the same architectural
+//! memory and return value as the IR interpreter did on the source program.
+//! Checkpoint stores write color-0 slots in a shadow map; region boundaries
+//! are functional no-ops.
+
+use crate::inst::{MachAddr, MachInst};
+use crate::program::MachProgram;
+use crate::reg::{MOperand, NUM_PHYS_REGS};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Interpreter limits.
+#[derive(Debug, Clone)]
+pub struct MachInterpConfig {
+    /// Maximum dynamic instructions before aborting.
+    pub max_steps: u64,
+}
+
+impl Default for MachInterpConfig {
+    fn default() -> Self {
+        MachInterpConfig {
+            max_steps: 200_000_000,
+        }
+    }
+}
+
+/// Failures the machine interpreter can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachInterpError {
+    /// The step limit was exceeded.
+    StepLimit(u64),
+    /// Misaligned 8-byte access.
+    Unaligned(u64),
+    /// Execution ran past the last instruction.
+    PcOutOfRange(u64),
+}
+
+impl fmt::Display for MachInterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachInterpError::StepLimit(n) => write!(f, "step limit of {n} exceeded"),
+            MachInterpError::Unaligned(a) => write!(f, "unaligned access at {a:#x}"),
+            MachInterpError::PcOutOfRange(pc) => write!(f, "pc {pc} out of range"),
+        }
+    }
+}
+
+impl Error for MachInterpError {}
+
+/// Result of a functional machine run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachOutcome {
+    /// Returned value, if any.
+    pub ret: Option<i64>,
+    /// Final architectural memory (checkpoint storage excluded).
+    pub memory: BTreeMap<u64, i64>,
+    /// Final checkpoint storage.
+    pub ckpt_memory: BTreeMap<u64, i64>,
+    /// Dynamic instructions executed.
+    pub dyn_insts: u64,
+    /// Dynamic regular stores.
+    pub dyn_stores: u64,
+    /// Dynamic checkpoint stores.
+    pub dyn_ckpts: u64,
+    /// Dynamic loads.
+    pub dyn_loads: u64,
+    /// Dynamic region boundaries.
+    pub dyn_boundaries: u64,
+}
+
+/// Run a machine program functionally to completion.
+///
+/// # Errors
+///
+/// See [`MachInterpError`].
+pub fn run(
+    program: &MachProgram,
+    config: &MachInterpConfig,
+) -> Result<MachOutcome, MachInterpError> {
+    let mut regs = [0i64; NUM_PHYS_REGS as usize];
+    for &(r, v) in &program.reg_init {
+        regs[r.index()] = v;
+    }
+    let mut memory: BTreeMap<u64, i64> = BTreeMap::new();
+    for (i, w) in program.data.words.iter().enumerate() {
+        memory.insert(program.data.base + i as u64 * 8, *w);
+    }
+    let mut ckpt_memory: BTreeMap<u64, i64> = BTreeMap::new();
+    let mut out = MachOutcome {
+        ret: None,
+        memory: BTreeMap::new(),
+        ckpt_memory: BTreeMap::new(),
+        dyn_insts: 0,
+        dyn_stores: 0,
+        dyn_ckpts: 0,
+        dyn_loads: 0,
+        dyn_boundaries: 0,
+    };
+
+    let read = |regs: &[i64], op: MOperand| -> i64 {
+        match op {
+            MOperand::Reg(r) => regs[r.index()],
+            MOperand::Imm(v) => v,
+        }
+    };
+
+    let mut pc: u64 = 0;
+    loop {
+        let inst = *program
+            .insts
+            .get(pc as usize)
+            .ok_or(MachInterpError::PcOutOfRange(pc))?;
+        out.dyn_insts += 1;
+        if out.dyn_insts > config.max_steps {
+            return Err(MachInterpError::StepLimit(config.max_steps));
+        }
+        let mut next = pc + 1;
+        match inst {
+            MachInst::Bin { op, dst, lhs, rhs } => {
+                regs[dst.index()] = op.eval(regs[lhs.index()], read(&regs, rhs));
+            }
+            MachInst::Cmp { op, dst, lhs, rhs } => {
+                regs[dst.index()] = op.eval(regs[lhs.index()], read(&regs, rhs));
+            }
+            MachInst::Mov { dst, src } => {
+                regs[dst.index()] = read(&regs, src);
+            }
+            MachInst::Load { dst, addr } => {
+                let a = effective(&regs, addr)?;
+                regs[dst.index()] = match addr {
+                    MachAddr::CkptSlot(_) => ckpt_memory.get(&a).copied().unwrap_or(0),
+                    _ => memory.get(&a).copied().unwrap_or(0),
+                };
+                out.dyn_loads += 1;
+            }
+            MachInst::Store { src, addr } => {
+                let a = effective(&regs, addr)?;
+                memory.insert(a, read(&regs, src));
+                out.dyn_stores += 1;
+            }
+            MachInst::Ckpt { reg } => {
+                let slot = turnpike_ir::ckpt_slot_addr(reg.raw(), 0);
+                ckpt_memory.insert(slot, regs[reg.index()]);
+                out.dyn_ckpts += 1;
+            }
+            MachInst::RegionBoundary { .. } => {
+                out.dyn_boundaries += 1;
+            }
+            MachInst::Jump { target } => next = target as u64,
+            MachInst::BranchNz { cond, target } => {
+                if regs[cond.index()] != 0 {
+                    next = target as u64;
+                }
+            }
+            MachInst::Ret { value } => {
+                out.ret = value.map(|v| read(&regs, v));
+                out.memory = memory;
+                out.ckpt_memory = ckpt_memory;
+                return Ok(out);
+            }
+            MachInst::Nop => {}
+        }
+        pc = next;
+    }
+}
+
+fn effective(regs: &[i64], addr: MachAddr) -> Result<u64, MachInterpError> {
+    let a = match addr {
+        MachAddr::RegOffset(b, o) => (regs[b.index()].wrapping_add(o)) as u64,
+        MachAddr::Abs(a) => a,
+        MachAddr::CkptSlot(r) => turnpike_ir::ckpt_slot_addr(r.raw(), 0),
+    };
+    if a % 8 != 0 {
+        return Err(MachInterpError::Unaligned(a));
+    }
+    Ok(a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::RegionId;
+    use crate::reg::PhysReg;
+    use turnpike_ir::{BinOp, CmpOp, DataSegment};
+
+    fn r(i: u8) -> PhysReg {
+        PhysReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn loop_with_memory() {
+        // r0 = base; r1 = i; store i at base+8i for i in 0..4; return sum of loads
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(1),
+                src: MOperand::Imm(0),
+            },
+            // loop: addr = base + i*8
+            MachInst::Bin {
+                op: BinOp::Shl,
+                dst: r(2),
+                lhs: r(1),
+                rhs: MOperand::Imm(3),
+            },
+            MachInst::Bin {
+                op: BinOp::Add,
+                dst: r(2),
+                lhs: r(2),
+                rhs: MOperand::Reg(r(0)),
+            },
+            MachInst::Store {
+                src: MOperand::Reg(r(1)),
+                addr: MachAddr::RegOffset(r(2), 0),
+            },
+            MachInst::Bin {
+                op: BinOp::Add,
+                dst: r(1),
+                lhs: r(1),
+                rhs: MOperand::Imm(1),
+            },
+            MachInst::Cmp {
+                op: CmpOp::Lt,
+                dst: r(3),
+                lhs: r(1),
+                rhs: MOperand::Imm(4),
+            },
+            MachInst::BranchNz {
+                cond: r(3),
+                target: 1,
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Reg(r(1))),
+            },
+        ];
+        let mut p = MachProgram::from_insts("loop", insts, DataSegment::zeroed(0x1000, 4));
+        p.reg_init = vec![(r(0), 0x1000)];
+        p.validate().unwrap();
+        let out = run(&p, &MachInterpConfig::default()).unwrap();
+        assert_eq!(out.ret, Some(4));
+        assert_eq!(out.memory.get(&0x1018), Some(&3));
+        assert_eq!(out.dyn_stores, 4);
+    }
+
+    #[test]
+    fn ckpt_and_boundary_counters() {
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(4),
+                src: MOperand::Imm(77),
+            },
+            MachInst::Ckpt { reg: r(4) },
+            MachInst::RegionBoundary { id: RegionId(1) },
+            MachInst::Ret { value: None },
+        ];
+        let p = MachProgram::from_insts("c", insts, DataSegment::zeroed(0, 0));
+        let out = run(&p, &MachInterpConfig::default()).unwrap();
+        assert_eq!(out.dyn_ckpts, 1);
+        assert_eq!(out.dyn_boundaries, 1);
+        assert_eq!(
+            out.ckpt_memory.get(&turnpike_ir::ckpt_slot_addr(4, 0)),
+            Some(&77)
+        );
+        assert!(out.memory.is_empty());
+    }
+
+    #[test]
+    fn ckpt_slot_load_reads_shadow() {
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(2),
+                src: MOperand::Imm(5),
+            },
+            MachInst::Ckpt { reg: r(2) },
+            MachInst::Mov {
+                dst: r(2),
+                src: MOperand::Imm(0),
+            },
+            MachInst::Load {
+                dst: r(2),
+                addr: MachAddr::CkptSlot(r(2)),
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Reg(r(2))),
+            },
+        ];
+        let p = MachProgram::from_insts("rb", insts, DataSegment::zeroed(0, 0));
+        assert_eq!(run(&p, &MachInterpConfig::default()).unwrap().ret, Some(5));
+    }
+
+    #[test]
+    fn step_limit_and_pc_errors() {
+        let p = MachProgram::from_insts(
+            "inf",
+            vec![MachInst::Jump { target: 0 }],
+            DataSegment::zeroed(0, 0),
+        );
+        assert_eq!(
+            run(&p, &MachInterpConfig { max_steps: 10 }).unwrap_err(),
+            MachInterpError::StepLimit(10)
+        );
+        let q = MachProgram::from_insts("off", vec![MachInst::Nop], DataSegment::zeroed(0, 0));
+        assert_eq!(
+            run(&q, &MachInterpConfig::default()).unwrap_err(),
+            MachInterpError::PcOutOfRange(1)
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Machine ISA for the Turnpike reproduction.
+//!
+//! The compiler lowers IR to this flat, load/store RISC machine code, which
+//! the cycle-level simulator in `turnpike-sim` executes. The ISA mirrors the
+//! subset of an ARMv8-class in-order embedded core that the paper's
+//! mechanisms interact with, plus the two resilience instructions:
+//!
+//! * [`MachInst::Ckpt`] — a checkpoint store saving a physical register to
+//!   its checkpoint storage slot (the hardware picks the colored slot).
+//! * [`MachInst::RegionBoundary`] — ends the current verifiable region and
+//!   starts the next; the simulator allocates an RBB entry when it commits.
+//!
+//! A [`MachProgram`] carries, alongside the instruction stream, the
+//! per-region recovery blocks the compiler generated (used by the recovery
+//! controller after an error) and the static data image.
+//!
+//! # Example
+//!
+//! ```
+//! use turnpike_isa::{MachInst, MachProgram, MOperand, PhysReg, interp};
+//! use turnpike_ir::DataSegment;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let r0 = PhysReg::new(0)?;
+//! let r1 = PhysReg::new(1)?;
+//! let prog = MachProgram::from_insts(
+//!     "double",
+//!     vec![
+//!         MachInst::Mov { dst: r0, src: MOperand::Imm(21) },
+//!         MachInst::Bin {
+//!             op: turnpike_ir::BinOp::Add,
+//!             dst: r1,
+//!             lhs: r0,
+//!             rhs: MOperand::Reg(r0),
+//!         },
+//!         MachInst::Ret { value: Some(MOperand::Reg(r1)) },
+//!     ],
+//!     DataSegment::zeroed(0x1000, 0),
+//! );
+//! let out = interp::run(&prog, &interp::MachInterpConfig::default())?;
+//! assert_eq!(out.ret, Some(42));
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod asm;
+pub mod encode;
+pub mod inst;
+pub mod interp;
+pub mod program;
+pub mod reg;
+pub mod regions;
+
+pub use asm::{parse_asm, AsmError};
+pub use encode::{decode_program, encode_program, EncodeError};
+pub use inst::{MachAddr, MachInst};
+pub use program::{MachProgram, RecoveryBlock, RegionId, ValidateError};
+pub use regions::{region_summaries, RegionSummary};
+pub use reg::{MOperand, PhysReg, RegParseError, NUM_PHYS_REGS};
+
+// The machine shares arithmetic semantics with the IR.
+pub use turnpike_ir::{BinOp, CmpOp};

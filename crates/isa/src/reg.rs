@@ -1,0 +1,149 @@
+//! Physical registers and machine operands.
+
+use std::error::Error;
+use std::fmt;
+
+/// Number of architectural integer registers (matching a 32-register
+/// embedded RISC register file, as in the paper's Cortex-A53 target).
+pub const NUM_PHYS_REGS: u8 = 32;
+
+/// A physical (architectural) register, `r0`..`r31`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(u8);
+
+/// Error returned when constructing a [`PhysReg`] out of range.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegParseError(pub u8);
+
+impl fmt::Display for RegParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "physical register index {} out of range", self.0)
+    }
+}
+
+impl Error for RegParseError {}
+
+impl PhysReg {
+    /// Construct a register, validating the index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RegParseError`] if `index >= NUM_PHYS_REGS`.
+    pub fn new(index: u8) -> Result<Self, RegParseError> {
+        if index < NUM_PHYS_REGS {
+            Ok(PhysReg(index))
+        } else {
+            Err(RegParseError(index))
+        }
+    }
+
+    /// Construct without validation. Only for trusted constants.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `index` is out of range.
+    pub fn new_unchecked(index: u8) -> Self {
+        debug_assert!(index < NUM_PHYS_REGS);
+        PhysReg(index)
+    }
+
+    /// Register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Raw index as `u8`.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// Iterate over all physical registers.
+    pub fn all() -> impl Iterator<Item = PhysReg> {
+        (0..NUM_PHYS_REGS).map(PhysReg)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A machine operand: register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MOperand {
+    /// Register read.
+    Reg(PhysReg),
+    /// Signed immediate.
+    Imm(i64),
+}
+
+impl MOperand {
+    /// The register read, if any.
+    pub fn reg(self) -> Option<PhysReg> {
+        match self {
+            MOperand::Reg(r) => Some(r),
+            MOperand::Imm(_) => None,
+        }
+    }
+
+    /// The immediate value, if constant.
+    pub fn imm(self) -> Option<i64> {
+        match self {
+            MOperand::Imm(v) => Some(v),
+            MOperand::Reg(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for MOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MOperand::Reg(r) => write!(f, "{r}"),
+            MOperand::Imm(v) => write!(f, "#{v}"),
+        }
+    }
+}
+
+impl From<PhysReg> for MOperand {
+    fn from(r: PhysReg) -> Self {
+        MOperand::Reg(r)
+    }
+}
+
+impl From<i64> for MOperand {
+    fn from(v: i64) -> Self {
+        MOperand::Imm(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validates() {
+        assert!(PhysReg::new(0).is_ok());
+        assert!(PhysReg::new(31).is_ok());
+        let err = PhysReg::new(32).unwrap_err();
+        assert_eq!(err, RegParseError(32));
+        assert!(err.to_string().contains("32"));
+    }
+
+    #[test]
+    fn all_covers_register_file() {
+        let v: Vec<_> = PhysReg::all().collect();
+        assert_eq!(v.len(), NUM_PHYS_REGS as usize);
+        assert_eq!(v[0].index(), 0);
+        assert_eq!(v[31].raw(), 31);
+    }
+
+    #[test]
+    fn operand_accessors_and_display() {
+        let r = PhysReg::new(5).unwrap();
+        assert_eq!(MOperand::from(r).reg(), Some(r));
+        assert_eq!(MOperand::from(7i64).imm(), Some(7));
+        assert_eq!(MOperand::Reg(r).to_string(), "r5");
+        assert_eq!(MOperand::Imm(-3).to_string(), "#-3");
+    }
+}

@@ -1,0 +1,144 @@
+//! Static region analysis over machine programs.
+//!
+//! Summarizes each static region (the code between consecutive boundary
+//! markers in PC order) — instruction, store, and checkpoint counts — for
+//! tests and tooling that audit the partitioner's output at the machine
+//! level.
+
+use crate::inst::MachInst;
+use crate::program::{MachProgram, RegionId};
+
+/// Static summary of one region.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionSummary {
+    /// Region id (0 = the implicit entry region).
+    pub id: RegionId,
+    /// First PC of the region's code.
+    pub start_pc: u32,
+    /// One past the last PC (the next boundary or program end).
+    pub end_pc: u32,
+    /// Instructions in the region (boundary markers excluded).
+    pub insts: u32,
+    /// Regular stores.
+    pub stores: u32,
+    /// Checkpoint stores.
+    pub ckpts: u32,
+    /// Whether the compiler supplied a recovery block for this region.
+    pub has_recovery: bool,
+}
+
+impl RegionSummary {
+    /// All stores (regular + checkpoint) in the region.
+    pub fn all_stores(&self) -> u32 {
+        self.stores + self.ckpts
+    }
+}
+
+/// Summaries of every static region, in PC order.
+///
+/// Note: these are *static* (flat code) counts; a dynamic region instance
+/// follows branches and may execute instructions from several static
+/// regions' ranges or repeat its own. The per-path store bound is enforced
+/// by the compiler's partitioner dataflow, not recomputable from this
+/// flat view alone.
+pub fn region_summaries(p: &MachProgram) -> Vec<RegionSummary> {
+    let mut out = Vec::new();
+    let mut cur = RegionSummary {
+        id: RegionId(0),
+        start_pc: 0,
+        end_pc: 0,
+        insts: 0,
+        stores: 0,
+        ckpts: 0,
+        has_recovery: p.recovery.contains_key(&RegionId(0)),
+    };
+    for (pc, inst) in p.insts.iter().enumerate() {
+        match inst {
+            MachInst::RegionBoundary { id } => {
+                cur.end_pc = pc as u32;
+                out.push(cur);
+                cur = RegionSummary {
+                    id: *id,
+                    start_pc: pc as u32 + 1,
+                    end_pc: pc as u32 + 1,
+                    insts: 0,
+                    stores: 0,
+                    ckpts: 0,
+                    has_recovery: p.recovery.contains_key(id),
+                };
+            }
+            MachInst::Ckpt { .. } => {
+                cur.ckpts += 1;
+                cur.insts += 1;
+            }
+            MachInst::Store { .. } => {
+                cur.stores += 1;
+                cur.insts += 1;
+            }
+            _ => {
+                cur.insts += 1;
+            }
+        }
+    }
+    cur.end_pc = p.insts.len() as u32;
+    out.push(cur);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::{MOperand, PhysReg};
+    use crate::MachAddr;
+    use turnpike_ir::DataSegment;
+
+    fn r(i: u8) -> PhysReg {
+        PhysReg::new(i).unwrap()
+    }
+
+    #[test]
+    fn summaries_partition_the_program() {
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(0),
+                src: MOperand::Imm(1),
+            },
+            MachInst::Store {
+                src: MOperand::Reg(r(0)),
+                addr: MachAddr::Abs(0x1000),
+            },
+            MachInst::RegionBoundary { id: RegionId(1) },
+            MachInst::Ckpt { reg: r(0) },
+            MachInst::RegionBoundary { id: RegionId(2) },
+            MachInst::Ret { value: None },
+        ];
+        let p = MachProgram::from_insts("s", insts, DataSegment::zeroed(0, 0));
+        let rs = region_summaries(&p);
+        assert_eq!(rs.len(), 3);
+        assert_eq!(rs[0].id, RegionId(0));
+        assert_eq!(rs[0].stores, 1);
+        assert_eq!(rs[0].ckpts, 0);
+        assert_eq!(rs[0].insts, 2);
+        assert_eq!(rs[1].id, RegionId(1));
+        assert_eq!(rs[1].ckpts, 1);
+        assert_eq!(rs[1].all_stores(), 1);
+        assert_eq!(rs[2].id, RegionId(2));
+        assert_eq!(rs[2].insts, 1); // ret
+        assert_eq!(rs[2].start_pc, 5);
+        assert_eq!(rs[2].end_pc, 6);
+        assert!(!rs[0].has_recovery);
+    }
+
+    #[test]
+    fn boundary_free_program_is_one_region() {
+        let p = MachProgram::from_insts(
+            "one",
+            vec![MachInst::Nop, MachInst::Ret { value: None }],
+            DataSegment::zeroed(0, 0),
+        );
+        let rs = region_summaries(&p);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].insts, 2);
+        assert_eq!(rs[0].end_pc, 2);
+    }
+}

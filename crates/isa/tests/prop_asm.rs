@@ -1,0 +1,72 @@
+//! Property test: every valid instruction's textual form parses back to
+//! itself (Display ↔ parse_asm round trip).
+
+use proptest::prelude::*;
+use turnpike_isa::{
+    parse_asm, BinOp, CmpOp, MOperand, MachAddr, MachInst, PhysReg, RegionId,
+};
+
+fn reg() -> impl Strategy<Value = PhysReg> {
+    (0u8..32).prop_map(|i| PhysReg::new(i).expect("in range"))
+}
+
+fn moperand() -> impl Strategy<Value = MOperand> {
+    prop_oneof![
+        reg().prop_map(MOperand::Reg),
+        (-1_000_000i64..1_000_000).prop_map(MOperand::Imm),
+    ]
+}
+
+fn addr() -> impl Strategy<Value = MachAddr> {
+    prop_oneof![
+        (reg(), -10_000i64..10_000).prop_map(|(r, o)| MachAddr::RegOffset(r, o)),
+        (0u64..0x7fff_fff8).prop_map(MachAddr::Abs),
+        reg().prop_map(MachAddr::CkptSlot),
+    ]
+}
+
+fn inst() -> impl Strategy<Value = MachInst> {
+    prop_oneof![
+        (
+            prop::sample::select(BinOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            moperand()
+        )
+            .prop_map(|(op, dst, lhs, rhs)| MachInst::Bin { op, dst, lhs, rhs }),
+        (
+            prop::sample::select(CmpOp::ALL.to_vec()),
+            reg(),
+            reg(),
+            moperand()
+        )
+            .prop_map(|(op, dst, lhs, rhs)| MachInst::Cmp { op, dst, lhs, rhs }),
+        (reg(), moperand()).prop_map(|(dst, src)| MachInst::Mov { dst, src }),
+        (reg(), addr()).prop_map(|(dst, addr)| MachInst::Load { dst, addr }),
+        (moperand(), addr()).prop_map(|(src, addr)| MachInst::Store { src, addr }),
+        reg().prop_map(|r| MachInst::Ckpt { reg: r }),
+        (0u32..100_000).prop_map(|id| MachInst::RegionBoundary { id: RegionId(id) }),
+        (0u32..100_000).prop_map(|target| MachInst::Jump { target }),
+        (reg(), 0u32..100_000).prop_map(|(cond, target)| MachInst::BranchNz { cond, target }),
+        prop_oneof![Just(None), moperand().prop_map(Some)]
+            .prop_map(|value| MachInst::Ret { value }),
+        Just(MachInst::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn display_parse_round_trips(insts in prop::collection::vec(inst(), 0..60)) {
+        let text: String = insts
+            .iter()
+            .map(|i| format!("{i}\n"))
+            .collect();
+        let back = parse_asm(&text).expect("every Display form parses");
+        prop_assert_eq!(back, insts);
+    }
+
+    #[test]
+    fn parser_is_total_on_noise(text in "[ -~\n]{0,200}") {
+        let _ = parse_asm(&text); // must never panic
+    }
+}

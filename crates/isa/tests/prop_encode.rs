@@ -1,0 +1,82 @@
+//! Property tests: every encodable machine instruction round-trips through
+//! the binary encoding.
+
+use proptest::prelude::*;
+use turnpike_isa::{
+    decode_program, encode_program, BinOp, CmpOp, MOperand, MachAddr, MachInst, PhysReg, RegionId,
+};
+
+fn reg() -> impl Strategy<Value = PhysReg> {
+    (0u8..32).prop_map(|i| PhysReg::new(i).expect("in range"))
+}
+
+fn moperand() -> impl Strategy<Value = MOperand> {
+    prop_oneof![
+        reg().prop_map(MOperand::Reg),
+        (-1_000_000i64..1_000_000).prop_map(MOperand::Imm),
+    ]
+}
+
+fn small_imm() -> impl Strategy<Value = MOperand> {
+    prop_oneof![
+        reg().prop_map(MOperand::Reg),
+        (-128i64..128).prop_map(MOperand::Imm),
+    ]
+}
+
+fn addr() -> impl Strategy<Value = MachAddr> {
+    prop_oneof![
+        (reg(), -10_000i64..10_000).prop_map(|(r, o)| MachAddr::RegOffset(r, o)),
+        (0u64..0x7fff_fff8).prop_map(|a| MachAddr::Abs(a & !7)),
+    ]
+}
+
+fn binop() -> impl Strategy<Value = BinOp> {
+    prop::sample::select(BinOp::ALL.to_vec())
+}
+
+fn cmpop() -> impl Strategy<Value = CmpOp> {
+    prop::sample::select(CmpOp::ALL.to_vec())
+}
+
+fn inst() -> impl Strategy<Value = MachInst> {
+    prop_oneof![
+        (binop(), reg(), reg(), moperand())
+            .prop_map(|(op, dst, lhs, rhs)| MachInst::Bin { op, dst, lhs, rhs }),
+        (cmpop(), reg(), reg(), moperand())
+            .prop_map(|(op, dst, lhs, rhs)| MachInst::Cmp { op, dst, lhs, rhs }),
+        (reg(), moperand()).prop_map(|(dst, src)| MachInst::Mov { dst, src }),
+        (reg(), addr()).prop_map(|(dst, addr)| MachInst::Load { dst, addr }),
+        (reg(), reg()).prop_map(|(dst, s)| MachInst::Load {
+            dst,
+            addr: MachAddr::CkptSlot(s)
+        }),
+        (small_imm(), addr()).prop_map(|(src, addr)| MachInst::Store { src, addr }),
+        reg().prop_map(|r| MachInst::Ckpt { reg: r }),
+        (0u32..10_000).prop_map(|id| MachInst::RegionBoundary { id: RegionId(id) }),
+        (0u32..100_000).prop_map(|target| MachInst::Jump { target }),
+        (reg(), 0u32..100_000).prop_map(|(cond, target)| MachInst::BranchNz { cond, target }),
+        prop_oneof![
+            Just(None),
+            moperand().prop_map(Some),
+        ]
+        .prop_map(|value| MachInst::Ret { value }),
+        Just(MachInst::Nop),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn encode_decode_round_trips(insts in prop::collection::vec(inst(), 0..80)) {
+        let bytes = encode_program(&insts).expect("all generated forms encode");
+        prop_assert_eq!(bytes.len(), insts.len() * 8);
+        let back = decode_program(&bytes).expect("decodes");
+        prop_assert_eq!(back, insts);
+    }
+
+    /// Decoding never panics on arbitrary byte soup (errors are fine).
+    #[test]
+    fn decode_is_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = decode_program(&bytes);
+    }
+}

@@ -1,0 +1,12 @@
+//! Analytic hardware models for the Turnpike reproduction.
+//!
+//! * [`cacti`] — a small CAM/RAM area and dynamic-energy model calibrated at
+//!   22 nm to the paper's CACTI numbers, regenerating Table 1 (the paper's
+//!   cost comparison between Turnpike's structures and an enlarged store
+//!   buffer).
+//! * The sensor-latency model for Figure 18 lives in `turnpike-sensor`
+//!   (`SensorGrid`), next to the strike sampling it parameterizes.
+
+pub mod cacti;
+
+pub use cacti::{CostModel, StructureCost, Table1, Table1Row};

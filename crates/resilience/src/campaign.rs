@@ -1,0 +1,199 @@
+//! Fault-injection campaigns with SDC audits.
+//!
+//! A campaign compiles a kernel under a scheme, records the fault-free
+//! result, then re-runs it many times with injected particle strikes
+//! (register parity flips and datapath corruptions, per the paper's §5 fault
+//! model) and compares the final architectural memory and return value
+//! against the fault-free run. For resilient schemes every run must match —
+//! the acoustic-sensor guarantee is *zero* silent data corruption.
+
+use crate::driver::{run_kernel, run_kernel_with_faults, RunError, RunSpec};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use turnpike_ir::Program;
+use turnpike_sensor::StrikeSampler;
+use turnpike_sim::{Fault, FaultKind, FaultPlan};
+
+/// Campaign parameters.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Number of injected runs.
+    pub runs: usize,
+    /// RNG seed (campaigns are deterministic given a seed).
+    pub seed: u64,
+    /// Strikes per run (the paper's model is single-event upsets; >1
+    /// stresses repeated recovery).
+    pub strikes_per_run: usize,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            runs: 20,
+            seed: 0xF00D,
+            strikes_per_run: 1,
+        }
+    }
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CampaignReport {
+    /// Runs executed.
+    pub runs: usize,
+    /// Runs whose final state differed from the fault-free run (SDC).
+    pub sdc: usize,
+    /// Total recoveries observed.
+    pub recoveries: u64,
+    /// Total detections observed.
+    pub detections: u64,
+    /// Detections via register parity / hardened access paths.
+    pub parity_detections: u64,
+    /// Detections via the acoustic sensor.
+    pub sensor_detections: u64,
+    /// Runs where the strike landed after program completion (no effect).
+    pub post_completion: usize,
+}
+
+impl CampaignReport {
+    /// Whether the scheme kept its zero-SDC guarantee.
+    pub fn sdc_free(&self) -> bool {
+        self.sdc == 0
+    }
+}
+
+/// Run a fault-injection campaign.
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted).
+pub fn fault_campaign(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+) -> Result<CampaignReport, RunError> {
+    let golden = run_kernel(program, spec)?;
+    let horizon = golden.outcome.stats.cycles.max(2);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sampler = StrikeSampler::new(config.seed ^ 0x5eed, spec.wcdl);
+    let mut report = CampaignReport {
+        runs: config.runs,
+        ..CampaignReport::default()
+    };
+    for _ in 0..config.runs {
+        let mut faults = Vec::with_capacity(config.strikes_per_run);
+        for _ in 0..config.strikes_per_run {
+            let strike = sampler.sample(horizon);
+            let kind = if rng.gen_bool(0.5) {
+                FaultKind::RegisterParity {
+                    reg: rng.gen_range(0..32),
+                    bit: rng.gen_range(0..64),
+                }
+            } else {
+                FaultKind::Datapath {
+                    bit: rng.gen_range(0..64),
+                }
+            };
+            faults.push(Fault {
+                strike_cycle: strike.cycle,
+                detect_latency: strike.detect_latency,
+                kind,
+            });
+        }
+        let plan = FaultPlan::new(faults);
+        let run = run_kernel_with_faults(program, spec, &plan)?;
+        report.recoveries += run.outcome.stats.recoveries;
+        report.detections += run.outcome.stats.detections;
+        report.parity_detections += run.outcome.stats.parity_detections;
+        report.sensor_detections += run.outcome.stats.sensor_detections;
+        if run.outcome.stats.detections == 0 {
+            report.post_completion += 1;
+        }
+        if run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory {
+            report.sdc += 1;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::Scheme;
+    use turnpike_workloads::{kernel_by_name, Scale, Suite};
+
+    fn kernel(suite: Suite, name: &str) -> Program {
+        kernel_by_name(suite, name, Scale::Smoke)
+            .expect("known kernel")
+            .program
+    }
+
+    #[test]
+    fn turnpike_is_sdc_free_on_diverse_kernels() {
+        for (suite, name) in [
+            (Suite::Cpu2006, "bwaves"),
+            (Suite::Cpu2006, "hmmer"),
+            (Suite::Cpu2017, "leela"),
+            (Suite::Splash3, "radix"),
+        ] {
+            let p = kernel(suite, name);
+            let report = fault_campaign(
+                &p,
+                &RunSpec::new(Scheme::Turnpike),
+                &CampaignConfig {
+                    runs: 12,
+                    seed: 42,
+                    strikes_per_run: 1,
+                },
+            )
+            .unwrap();
+            assert!(report.sdc_free(), "{name}: {report:?}");
+            assert!(report.detections > 0, "{name}: no strike landed in-run");
+        }
+    }
+
+    #[test]
+    fn turnstile_is_sdc_free_too() {
+        let p = kernel(Suite::Cpu2006, "libquan");
+        let report = fault_campaign(
+            &p,
+            &RunSpec::new(Scheme::Turnstile),
+            &CampaignConfig {
+                runs: 12,
+                seed: 7,
+                strikes_per_run: 1,
+            },
+        )
+        .unwrap();
+        assert!(report.sdc_free(), "{report:?}");
+    }
+
+    #[test]
+    fn multiple_strikes_per_run_still_recover() {
+        let p = kernel(Suite::Cpu2006, "leslie3d");
+        let report = fault_campaign(
+            &p,
+            &RunSpec::new(Scheme::Turnpike),
+            &CampaignConfig {
+                runs: 8,
+                seed: 3,
+                strikes_per_run: 3,
+            },
+        )
+        .unwrap();
+        assert!(report.sdc_free(), "{report:?}");
+        assert!(report.recoveries >= report.runs as u64 / 2);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 5,
+            seed: 99,
+            strikes_per_run: 1,
+        };
+        let a = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
+        let b = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
+        assert_eq!(a, b);
+    }
+}

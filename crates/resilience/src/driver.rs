@@ -1,0 +1,242 @@
+//! Compile-and-simulate driver.
+
+use crate::scheme::Scheme;
+use turnpike_compiler::{compile, CompileError, PassStats};
+use turnpike_ir::Program;
+use turnpike_sim::{ClqKind, Core, FaultPlan, SimError, SimOutcome};
+
+/// A fully-specified run: scheme, platform knobs, and optional hardware
+/// overrides for the sensitivity studies.
+#[derive(Debug, Clone)]
+pub struct RunSpec {
+    /// Design point.
+    pub scheme: Scheme,
+    /// Store buffer entries.
+    pub sb_size: u32,
+    /// Worst-case detection latency in cycles.
+    pub wcdl: u64,
+    /// Override the CLQ design (Figures 14/15/24/25); `None` keeps the
+    /// scheme's default.
+    pub clq_override: Option<ClqKind>,
+}
+
+impl RunSpec {
+    /// A spec with the paper's defaults (4-entry SB, 10-cycle WCDL).
+    pub fn new(scheme: Scheme) -> Self {
+        RunSpec {
+            scheme,
+            sb_size: 4,
+            wcdl: 10,
+            clq_override: None,
+        }
+    }
+
+    /// Same spec with a different WCDL.
+    pub fn with_wcdl(mut self, wcdl: u64) -> Self {
+        self.wcdl = wcdl;
+        self
+    }
+
+    /// Same spec with a different SB size.
+    pub fn with_sb(mut self, sb: u32) -> Self {
+        self.sb_size = sb;
+        self
+    }
+
+    /// Same spec with a CLQ override.
+    pub fn with_clq(mut self, clq: ClqKind) -> Self {
+        self.clq_override = Some(clq);
+        self
+    }
+}
+
+/// Result of a run: simulation outcome plus the compiler statistics.
+#[derive(Debug, Clone)]
+pub struct RunResult {
+    /// Simulator outcome (cycles, stats, final memory).
+    pub outcome: SimOutcome,
+    /// Compiler pass statistics (store breakdown, code size).
+    pub compile_stats: PassStats,
+}
+
+/// Driver failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// Compilation failed.
+    Compile(CompileError),
+    /// Simulation failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Compile(e) => write!(f, "compile: {e}"),
+            RunError::Sim(e) => write!(f, "simulate: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<CompileError> for RunError {
+    fn from(e: CompileError) -> Self {
+        RunError::Compile(e)
+    }
+}
+
+impl From<SimError> for RunError {
+    fn from(e: SimError) -> Self {
+        RunError::Sim(e)
+    }
+}
+
+/// Compile `program` under `spec` and simulate it fault-free.
+///
+/// # Errors
+///
+/// Propagates compiler and simulator failures.
+pub fn run_kernel(program: &Program, spec: &RunSpec) -> Result<RunResult, RunError> {
+    run_kernel_with_faults(program, spec, &FaultPlan::none())
+}
+
+/// Compile and simulate under explicit compiler/simulator configurations,
+/// bypassing the [`Scheme`] presets. This is the entry point for ablation
+/// studies (e.g. "Turnpike minus instruction scheduling").
+///
+/// # Errors
+///
+/// Propagates compiler and simulator failures.
+pub fn run_custom(
+    program: &Program,
+    cc: &turnpike_compiler::CompilerConfig,
+    sc: &turnpike_sim::SimConfig,
+) -> Result<RunResult, RunError> {
+    let compiled = compile(program, cc)?;
+    let outcome = Core::new(&compiled.program, sc.clone()).run()?;
+    Ok(RunResult {
+        outcome,
+        compile_stats: compiled.stats,
+    })
+}
+
+/// Compile and simulate with a fault plan.
+///
+/// # Errors
+///
+/// Propagates compiler and simulator failures.
+pub fn run_kernel_with_faults(
+    program: &Program,
+    spec: &RunSpec,
+    faults: &FaultPlan,
+) -> Result<RunResult, RunError> {
+    let cc = spec.scheme.compiler_config(spec.sb_size);
+    let compiled = compile(program, &cc)?;
+    let mut sc = spec.scheme.sim_config(spec.sb_size, spec.wcdl);
+    if let Some(clq) = spec.clq_override {
+        sc.clq = clq;
+        sc.war_free = !matches!(clq, ClqKind::Off) && sc.resilient;
+    }
+    let outcome = Core::new(&compiled.program, sc).run_with_faults(faults)?;
+    Ok(RunResult {
+        outcome,
+        compile_stats: compiled.stats,
+    })
+}
+
+/// Normalized execution time of `spec` relative to the unprotected baseline
+/// on the same kernel (the paper's y-axis on every performance figure).
+///
+/// # Errors
+///
+/// Propagates compiler and simulator failures.
+pub fn normalized_time(program: &Program, spec: &RunSpec) -> Result<f64, RunError> {
+    let base = run_kernel(program, &RunSpec::new(Scheme::Baseline).with_sb(spec.sb_size))?;
+    let run = run_kernel(program, spec)?;
+    Ok(run.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64)
+}
+
+/// Geometric mean of a nonempty slice (used for per-suite summaries).
+pub fn geomean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return f64::NAN;
+    }
+    let s: f64 = xs.iter().map(|x| x.ln()).sum();
+    (s / xs.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_workloads::{kernel_by_name, Scale, Suite};
+
+    fn kernel(name: &str) -> Program {
+        kernel_by_name(Suite::Cpu2006, name, Scale::Smoke)
+            .expect("known kernel")
+            .program
+    }
+
+    #[test]
+    fn baseline_and_turnpike_agree_functionally() {
+        for name in ["bwaves", "hmmer", "mcf", "gcc"] {
+            let p = kernel(name);
+            let base = run_kernel(&p, &RunSpec::new(Scheme::Baseline)).unwrap();
+            let tp = run_kernel(&p, &RunSpec::new(Scheme::Turnpike)).unwrap();
+            assert_eq!(base.outcome.ret, tp.outcome.ret, "{name}");
+        }
+    }
+
+    #[test]
+    fn ladder_overheads_are_ordered_on_average() {
+        // Turnpike must beat Turnstile on the geomean over a few kernels.
+        let names = ["bwaves", "hmmer", "leslie3d", "libquan"];
+        let mut ts = Vec::new();
+        let mut tp = Vec::new();
+        for n in names {
+            let p = kernel(n);
+            ts.push(normalized_time(&p, &RunSpec::new(Scheme::Turnstile)).unwrap());
+            tp.push(normalized_time(&p, &RunSpec::new(Scheme::Turnpike)).unwrap());
+        }
+        let (g_ts, g_tp) = (geomean(&ts), geomean(&tp));
+        assert!(
+            g_tp < g_ts,
+            "turnpike ({g_tp:.3}) must beat turnstile ({g_ts:.3})"
+        );
+        assert!(g_ts > 1.0, "turnstile costs something: {g_ts:.3}");
+    }
+
+    #[test]
+    fn clq_override_applies() {
+        let p = kernel("bwaves");
+        let ideal = run_kernel(
+            &p,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
+        )
+        .unwrap();
+        let compact = run_kernel(
+            &p,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Compact(2)),
+        )
+        .unwrap();
+        // The ideal design proves at least as many stores WAR-free.
+        assert!(ideal.outcome.stats.clq.war_free >= compact.outcome.stats.clq.war_free);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean(&[2.0]) - 2.0).abs() < 1e-12);
+        assert!(geomean(&[]).is_nan());
+    }
+
+    #[test]
+    fn spec_builders_chain() {
+        let s = RunSpec::new(Scheme::Turnstile)
+            .with_wcdl(50)
+            .with_sb(8)
+            .with_clq(ClqKind::Ideal);
+        assert_eq!(s.wcdl, 50);
+        assert_eq!(s.sb_size, 8);
+        assert_eq!(s.clq_override, Some(ClqKind::Ideal));
+    }
+}

@@ -1,0 +1,36 @@
+//! End-to-end resilient execution for the Turnpike reproduction.
+//!
+//! Glues the workspace together: a [`Scheme`] names one point in the paper's
+//! design space (Turnstile, the Figure-21 optimization ladder, full
+//! Turnpike), [`run_kernel`] compiles an IR program under that scheme and
+//! simulates it on the matching core configuration, and [`fault_campaign`]
+//! injects sensor-detected particle strikes and audits the final
+//! architectural state against the IR interpreter's golden run — any
+//! mismatch is a silent data corruption, which the resilient schemes must
+//! never exhibit.
+//!
+//! # Example
+//!
+//! ```
+//! use turnpike_resilience::{fault_campaign, CampaignConfig, RunSpec, Scheme};
+//! use turnpike_workloads::{kernel_by_name, Scale, Suite};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let kernel = kernel_by_name(Suite::Cpu2006, "bwaves", Scale::Smoke).unwrap();
+//! let report = fault_campaign(
+//!     &kernel.program,
+//!     &RunSpec::new(Scheme::Turnpike),
+//!     &CampaignConfig { runs: 3, seed: 7, strikes_per_run: 1 },
+//! )?;
+//! assert!(report.sdc_free());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod campaign;
+pub mod driver;
+pub mod scheme;
+
+pub use campaign::{fault_campaign, CampaignConfig, CampaignReport};
+pub use driver::{geomean, run_custom, run_kernel, RunError, RunResult, RunSpec};
+pub use scheme::Scheme;

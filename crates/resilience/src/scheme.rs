@@ -1,0 +1,174 @@
+//! Scheme definitions: the paper's design points as configuration bundles.
+
+use turnpike_compiler::CompilerConfig;
+use turnpike_sim::{ClqKind, SimConfig};
+
+/// One point in the paper's design space. The ordering of the middle
+/// variants follows the optimization ladder of Figure 21: each rung adds one
+/// compiler or hardware technique on top of the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scheme {
+    /// Unprotected core, plain compiler (the normalization baseline).
+    Baseline,
+    /// Turnstile: regions + eager checkpointing + gated SB (state of the
+    /// art the paper improves on).
+    Turnstile,
+    /// Turnstile + WAR-free fast release of regular stores (compact CLQ).
+    WarFree,
+    /// + hardware coloring for checkpoint stores ("Fast Release").
+    FastRelease,
+    /// + optimal checkpoint pruning.
+    FastReleasePrune,
+    /// + checkpoint sinking (LICM).
+    FastReleasePruneLicm,
+    /// + checkpoint-aware instruction scheduling.
+    FastReleasePruneLicmSched,
+    /// + store-aware register allocation ("RA trick").
+    FastReleasePruneLicmSchedRa,
+    /// Full Turnpike: everything above + loop induction variable merging.
+    Turnpike,
+}
+
+impl Scheme {
+    /// The Figure-21 ladder, in presentation order (baseline excluded).
+    pub const LADDER: [Scheme; 8] = [
+        Scheme::Turnstile,
+        Scheme::WarFree,
+        Scheme::FastRelease,
+        Scheme::FastReleasePrune,
+        Scheme::FastReleasePruneLicm,
+        Scheme::FastReleasePruneLicmSched,
+        Scheme::FastReleasePruneLicmSchedRa,
+        Scheme::Turnpike,
+    ];
+
+    /// Human-readable label matching the paper's legend.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "Baseline",
+            Scheme::Turnstile => "Turnstile",
+            Scheme::WarFree => "WAR-free Checking",
+            Scheme::FastRelease => "Fast Release (WAR-free + HW Coloring)",
+            Scheme::FastReleasePrune => "Fast Release + Pruning",
+            Scheme::FastReleasePruneLicm => "Fast Release + Pruning + LICM",
+            Scheme::FastReleasePruneLicmSched => "Fast Release + Pruning + LICM + Inst Sched",
+            Scheme::FastReleasePruneLicmSchedRa => {
+                "Fast Release + Pruning + LICM + Inst Sched + RA Trick"
+            }
+            Scheme::Turnpike => "Turnpike",
+        }
+    }
+
+    /// Compiler configuration for this scheme on an `sb_size`-entry SB.
+    pub fn compiler_config(self, sb_size: u32) -> CompilerConfig {
+        let mut c = CompilerConfig::turnstile(sb_size);
+        match self {
+            Scheme::Baseline => c = CompilerConfig::baseline(),
+            Scheme::Turnstile | Scheme::WarFree | Scheme::FastRelease => {}
+            Scheme::FastReleasePrune => {
+                c.prune = true;
+            }
+            Scheme::FastReleasePruneLicm => {
+                c.prune = true;
+                c.licm = true;
+            }
+            Scheme::FastReleasePruneLicmSched => {
+                c.prune = true;
+                c.licm = true;
+                c.sched = true;
+            }
+            Scheme::FastReleasePruneLicmSchedRa => {
+                c.prune = true;
+                c.licm = true;
+                c.sched = true;
+                c.store_aware_ra = true;
+            }
+            Scheme::Turnpike => c = CompilerConfig::turnpike(sb_size),
+        }
+        c.sb_size = sb_size;
+        c
+    }
+
+    /// Simulator configuration for this scheme.
+    pub fn sim_config(self, sb_size: u32, wcdl: u64) -> SimConfig {
+        match self {
+            Scheme::Baseline => SimConfig {
+                sb_size,
+                ..SimConfig::baseline()
+            },
+            Scheme::Turnstile => SimConfig::turnstile(sb_size, wcdl),
+            Scheme::WarFree => SimConfig {
+                war_free: true,
+                clq: ClqKind::Compact(2),
+                ..SimConfig::turnstile(sb_size, wcdl)
+            },
+            _ => SimConfig::turnpike(sb_size, wcdl),
+        }
+    }
+
+    /// Whether the scheme offers recovery at all.
+    pub fn is_resilient(self) -> bool {
+        self != Scheme::Baseline
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_is_monotone_in_features() {
+        // Each rung enables at least as many compiler features as the prior.
+        let count = |c: &CompilerConfig| {
+            [c.prune, c.licm, c.sched, c.store_aware_ra, c.livm]
+                .iter()
+                .filter(|&&x| x)
+                .count()
+        };
+        let mut prev = 0;
+        for s in Scheme::LADDER {
+            let n = count(&s.compiler_config(4));
+            assert!(n >= prev, "{s}: {n} < {prev}");
+            prev = n;
+        }
+        assert_eq!(count(&Scheme::Turnpike.compiler_config(4)), 5);
+    }
+
+    #[test]
+    fn hardware_toggles_match_paper() {
+        let ts = Scheme::Turnstile.sim_config(4, 10);
+        assert!(ts.resilient && !ts.war_free && !ts.coloring);
+        let wf = Scheme::WarFree.sim_config(4, 10);
+        assert!(wf.war_free && !wf.coloring);
+        assert_eq!(wf.clq, ClqKind::Compact(2));
+        let fr = Scheme::FastRelease.sim_config(4, 10);
+        assert!(fr.war_free && fr.coloring);
+        let b = Scheme::Baseline.sim_config(4, 10);
+        assert!(!b.resilient);
+        assert!(!Scheme::Baseline.is_resilient());
+        assert!(Scheme::Turnpike.is_resilient());
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for s in Scheme::LADDER.iter().chain([&Scheme::Baseline]) {
+            assert!(seen.insert(s.label()), "duplicate label {s}");
+        }
+        assert_eq!(Scheme::Turnpike.to_string(), "Turnpike");
+    }
+
+    #[test]
+    fn sb_size_propagates() {
+        for sb in [4u32, 8, 40] {
+            assert_eq!(Scheme::Turnstile.compiler_config(sb).sb_size, sb);
+            assert_eq!(Scheme::Turnpike.sim_config(sb, 10).sb_size, sb);
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Sensor-grid detection latency model (paper Figure 18).
+//!
+//! Sensors are deployed as a uniform grid over the core die. The worst-case
+//! detection latency (WCDL) is the flight time of the acoustic wave from the
+//! farthest point to its nearest sensor, converted to clock cycles:
+//!
+//! ```text
+//! wcdl_cycles ≈ k · sqrt(area / n_sensors) · f_clock
+//! ```
+//!
+//! The constant `k` folds the sound velocity in silicon and the grid
+//! geometry. It is calibrated to the paper's anchor point — 300 sensors on a
+//! 1 mm² die at 2.5 GHz give a 10-cycle WCDL — which also reproduces the
+//! rest of Figure 18 (30 sensors ≈ 30 cycles at 2.5 GHz, and the paper's
+//! 2.0/3.0 GHz curves).
+
+/// A uniform deployment of acoustic sensors over a core die.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SensorGrid {
+    /// Number of deployed sensors (≥ 1).
+    pub sensors: u32,
+    /// Die area covered, in mm².
+    pub die_area_mm2: f64,
+    /// Core clock in GHz.
+    pub clock_ghz: f64,
+}
+
+/// Calibration constant: cycles per (mm · GHz). Chosen so that 300 sensors
+/// on 1 mm² at 2.5 GHz yield exactly 10 cycles, the paper's anchor.
+pub const LATENCY_K: f64 = 69.282_032_302_755_1; // 10 / (2.5 * sqrt(1/300))
+
+impl SensorGrid {
+    /// A grid with the paper's default die (1 mm², 2.5 GHz).
+    pub fn new(sensors: u32) -> Self {
+        SensorGrid {
+            sensors: sensors.max(1),
+            die_area_mm2: 1.0,
+            clock_ghz: 2.5,
+        }
+    }
+
+    /// Worst-case detection latency in (fractional) cycles.
+    pub fn wcdl(&self) -> f64 {
+        LATENCY_K * (self.die_area_mm2 / self.sensors as f64).sqrt() * self.clock_ghz
+    }
+
+    /// Worst-case detection latency rounded up to whole cycles, as the
+    /// architecture must assume.
+    pub fn wcdl_cycles(&self) -> u64 {
+        // Guard the calibration anchor against floating-point dust.
+        (self.wcdl() - 1e-9).ceil().max(1.0) as u64
+    }
+
+    /// Sensors required to achieve a target WCDL (inverse of
+    /// [`wcdl_cycles`](Self::wcdl_cycles)).
+    pub fn sensors_for_wcdl(target_cycles: u64, die_area_mm2: f64, clock_ghz: f64) -> u32 {
+        let t = target_cycles.max(1) as f64;
+        let n = die_area_mm2 * (LATENCY_K * clock_ghz / t).powi(2);
+        n.ceil() as u32
+    }
+
+    /// Approximate area overhead of the deployment as a fraction of die
+    /// area, using the paper's budget figure (~300 sensors ≈ 1% of a core).
+    pub fn area_overhead(&self) -> f64 {
+        self.sensors as f64 * (0.01 / 300.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchor_point_calibrates_exactly() {
+        let g = SensorGrid::new(300);
+        assert_eq!(g.wcdl_cycles(), 10);
+        assert!((g.wcdl() - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn thirty_sensors_give_about_thirty_cycles() {
+        let g = SensorGrid::new(30);
+        // sqrt(10) scaling: 10 * sqrt(10) ≈ 31.6 → ceil 32; the paper quotes
+        // "30 cycles with 30 sensors", same ballpark.
+        assert!((30..=33).contains(&g.wcdl_cycles()), "{}", g.wcdl_cycles());
+    }
+
+    #[test]
+    fn latency_scales_with_clock() {
+        let slow = SensorGrid {
+            clock_ghz: 2.0,
+            ..SensorGrid::new(100)
+        };
+        let fast = SensorGrid {
+            clock_ghz: 3.0,
+            ..SensorGrid::new(100)
+        };
+        assert!(fast.wcdl() > slow.wcdl());
+        assert!((fast.wcdl() / slow.wcdl() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_shrinks_with_more_sensors() {
+        let few = SensorGrid::new(30);
+        let many = SensorGrid::new(300);
+        assert!(few.wcdl() > many.wcdl());
+        assert!((few.wcdl() / many.wcdl() - 10f64.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        for target in [10u64, 20, 30, 40, 50] {
+            let n = SensorGrid::sensors_for_wcdl(target, 1.0, 2.5);
+            let g = SensorGrid::new(n);
+            assert!(
+                g.wcdl_cycles() <= target,
+                "{n} sensors give {} cycles, wanted ≤ {target}",
+                g.wcdl_cycles()
+            );
+        }
+    }
+
+    #[test]
+    fn area_overhead_matches_budget() {
+        assert!((SensorGrid::new(300).area_overhead() - 0.01).abs() < 1e-12);
+        assert!(SensorGrid::new(30).area_overhead() < 0.01);
+    }
+
+    #[test]
+    fn zero_sensors_clamped() {
+        let g = SensorGrid::new(0);
+        assert_eq!(g.sensors, 1);
+        assert!(g.wcdl().is_finite());
+    }
+}

@@ -1,0 +1,22 @@
+//! Acoustic-sensor modeling for the Turnpike reproduction.
+//!
+//! Acoustic wave detectors perceive the sound wave a particle strike leaves
+//! in silicon, so *every* strike is reported — the only question is how long
+//! the wave needs to reach the nearest sensor. This crate models that
+//! contract:
+//!
+//! * [`SensorGrid`] — detection latency as a function of sensor count, die
+//!   area, and clock frequency (regenerates the paper's Figure 18), with the
+//!   guarantee that any strike is detected within
+//!   [`wcdl_cycles`](SensorGrid::wcdl_cycles);
+//! * [`StrikeSampler`] — randomized particle-strike schedules (cycle +
+//!   per-strike detection delay ≤ WCDL) for fault-injection campaigns.
+//!
+//! The mapping of strikes onto microarchitectural targets lives in
+//! `turnpike-resilience`, which owns the simulator types.
+
+pub mod grid;
+pub mod sampler;
+
+pub use grid::SensorGrid;
+pub use sampler::{Strike, StrikeSampler};

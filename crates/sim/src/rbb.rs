@@ -1,0 +1,233 @@
+//! Region boundary buffer (RBB) and the verification timing logic.
+//!
+//! The RBB tracks dynamic region *instances*: each committed region boundary
+//! closes the running instance and opens a new one. An instance is verified
+//! once `end_cycle + WCDL` passes with no error detected before that point;
+//! verification is processed strictly in order. The oldest verified
+//! boundary's PC is the recovery PC after an error (paper §2.1).
+
+use std::collections::VecDeque;
+use turnpike_isa::RegionId;
+
+/// One dynamic region instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionInstance {
+    /// Monotone sequence number (0 = the instance starting at PC 0).
+    pub seq: u64,
+    /// Static region id (selects the recovery block).
+    pub static_id: RegionId,
+    /// PC at which the instance (re-)starts execution.
+    pub entry_pc: u32,
+    /// Cycle its ending boundary committed; `None` while running.
+    pub end_cycle: Option<u64>,
+    /// Dynamic instructions committed by this instance (region size stats).
+    pub insts: u64,
+}
+
+/// The region boundary buffer.
+#[derive(Debug, Clone)]
+pub struct Rbb {
+    /// Unverified instances, oldest first; the last is the running one.
+    live: VecDeque<RegionInstance>,
+    capacity: usize,
+    wcdl: u64,
+    next_seq: u64,
+    /// Total instances verified.
+    pub verified_count: u64,
+    /// Sum of instruction counts over completed instances (for Fig 26).
+    pub insts_sum: u64,
+    /// Completed instances (denominator for the average region size).
+    pub completed: u64,
+}
+
+impl Rbb {
+    /// A new RBB holding at most `capacity` unverified instances, with the
+    /// running region 0 starting at PC 0.
+    pub fn new(capacity: u32, wcdl: u64) -> Self {
+        let mut live = VecDeque::new();
+        live.push_back(RegionInstance {
+            seq: 0,
+            static_id: RegionId(0),
+            entry_pc: 0,
+            end_cycle: None,
+            insts: 0,
+        });
+        Rbb {
+            live,
+            capacity: capacity as usize,
+            wcdl,
+            next_seq: 1,
+            verified_count: 0,
+            insts_sum: 0,
+            completed: 0,
+        }
+    }
+
+    /// Sequence number of the running instance.
+    pub fn current_seq(&self) -> u64 {
+        self.live.back().expect("always a running instance").seq
+    }
+
+    /// The running instance.
+    pub fn current(&self) -> &RegionInstance {
+        self.live.back().expect("always a running instance")
+    }
+
+    /// Count an instruction against the running instance.
+    pub fn count_inst(&mut self) {
+        self.live.back_mut().expect("running").insts += 1;
+    }
+
+    /// Whether a boundary can commit (room for one more instance).
+    pub fn has_room(&self) -> bool {
+        self.live.len() < self.capacity
+    }
+
+    /// Earliest verification time of the oldest unverified *ended* instance
+    /// (used to compute how long a boundary must stall on a full RBB).
+    pub fn earliest_verify_time(&self) -> Option<u64> {
+        self.live
+            .front()
+            .and_then(|r| r.end_cycle)
+            .map(|e| e + self.wcdl)
+    }
+
+    /// Commit a boundary at `cycle`: the running instance ends, a new one
+    /// starts. Caller must have checked [`has_room`](Self::has_room).
+    ///
+    /// # Panics
+    ///
+    /// Panics on overflow.
+    pub fn on_boundary(&mut self, static_id: RegionId, entry_pc: u32, cycle: u64) {
+        assert!(self.has_room(), "RBB overflow: caller must stall");
+        let cur = self.live.back_mut().expect("running");
+        cur.end_cycle = Some(cycle);
+        self.insts_sum += cur.insts;
+        self.completed += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.live.push_back(RegionInstance {
+            seq,
+            static_id,
+            entry_pc,
+            end_cycle: None,
+            insts: 0,
+        });
+    }
+
+    /// Verify every ended instance whose `end + WCDL` is strictly before
+    /// `now` — in order, stopping at the first still-unverifiable one.
+    /// Returns the verified instances.
+    pub fn verify_until(&mut self, now: u64) -> Vec<RegionInstance> {
+        let mut out = Vec::new();
+        while let Some(front) = self.live.front() {
+            match front.end_cycle {
+                Some(e) if e + self.wcdl < now => {
+                    out.push(self.live.pop_front().expect("front"));
+                    self.verified_count += 1;
+                }
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Error detected at `now`: the oldest unverified instance is the
+    /// recovery target. Returns it; all younger instances are squashed and
+    /// the target becomes the (restarted) running instance.
+    pub fn recover(&mut self, now: u64) -> RegionInstance {
+        // First settle verifications strictly before the detection.
+        let _ = now;
+        let mut target = *self.live.front().expect("running instance exists");
+        // Restart: the target runs again; younger instances vanish.
+        target.end_cycle = None;
+        target.insts = 0;
+        self.live.clear();
+        self.live.push_back(target);
+        target
+    }
+
+    /// All ended-but-unverified instance sequence numbers (used to decide
+    /// which SB entries / colors to squash).
+    pub fn unverified_seqs(&self) -> Vec<u64> {
+        self.live.iter().map(|r| r.seq).collect()
+    }
+
+    /// Average dynamic instructions per completed region.
+    pub fn avg_region_insts(&self) -> f64 {
+        if self.completed == 0 {
+            0.0
+        } else {
+            self.insts_sum as f64 / self.completed as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundaries_create_instances() {
+        let mut r = Rbb::new(4, 10);
+        assert_eq!(r.current_seq(), 0);
+        r.count_inst();
+        r.count_inst();
+        r.on_boundary(RegionId(1), 5, 100);
+        assert_eq!(r.current_seq(), 1);
+        assert_eq!(r.current().entry_pc, 5);
+        assert_eq!(r.avg_region_insts(), 2.0);
+    }
+
+    #[test]
+    fn verification_is_in_order_and_strict() {
+        let mut r = Rbb::new(4, 10);
+        r.on_boundary(RegionId(1), 5, 100); // region 0 ends at 100
+        r.on_boundary(RegionId(2), 9, 120); // region 1 ends at 120
+        assert!(r.verify_until(110).is_empty()); // 100+10 !< 110
+        let v = r.verify_until(111);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].seq, 0);
+        let v = r.verify_until(500);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].seq, 1);
+        // The running instance never verifies.
+        assert!(r.verify_until(10_000).is_empty());
+        assert_eq!(r.verified_count, 2);
+    }
+
+    #[test]
+    fn capacity_gates_boundaries() {
+        let mut r = Rbb::new(2, 10);
+        r.on_boundary(RegionId(1), 1, 50);
+        assert!(!r.has_room());
+        assert_eq!(r.earliest_verify_time(), Some(60));
+        let _ = r.verify_until(61);
+        assert!(r.has_room());
+    }
+
+    #[test]
+    fn recovery_restarts_oldest_unverified() {
+        let mut r = Rbb::new(8, 10);
+        r.on_boundary(RegionId(1), 5, 100);
+        r.on_boundary(RegionId(2), 9, 120);
+        // Error detected at 115: region 0 verified (100+10 < 115), others no.
+        let _ = r.verify_until(115);
+        let target = r.recover(115);
+        assert_eq!(target.seq, 1);
+        assert_eq!(target.static_id, RegionId(1));
+        assert_eq!(target.entry_pc, 5);
+        assert_eq!(r.current_seq(), 1);
+        assert_eq!(r.current().end_cycle, None);
+        assert_eq!(r.unverified_seqs(), vec![1]);
+    }
+
+    #[test]
+    fn recovery_in_region_zero() {
+        let mut r = Rbb::new(8, 10);
+        let t = r.recover(3);
+        assert_eq!(t.seq, 0);
+        assert_eq!(t.entry_pc, 0);
+        assert_eq!(t.static_id, RegionId(0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Simulation statistics.
+
+use crate::clq::ClqStats;
+
+/// Cycle accounting by stall cause plus event counters for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimStats {
+    /// Total cycles (including the verification/drain tail).
+    pub cycles: u64,
+    /// Dynamic instructions committed (recovery re-execution included).
+    pub insts: u64,
+    /// Cycles lost waiting for a free store buffer slot (structural hazard).
+    pub stall_sb_full: u64,
+    /// Cycles lost waiting on register operands (data hazards).
+    pub stall_data_hazard: u64,
+    /// Data-hazard cycles where the stalled instruction was a checkpoint.
+    pub stall_ckpt_hazard: u64,
+    /// Cycles lost to the single memory port.
+    pub stall_mem_port: u64,
+    /// Cycles lost waiting for RBB room at a boundary.
+    pub stall_rbb_full: u64,
+    /// Cycles spent in recovery (flush + recovery block execution).
+    pub recovery_cycles: u64,
+    /// Dynamic loads.
+    pub loads: u64,
+    /// Dynamic regular stores.
+    pub stores: u64,
+    /// Dynamic checkpoint stores.
+    pub ckpts: u64,
+    /// Regular stores fast-released via the WAR-free path.
+    pub war_free_released: u64,
+    /// Checkpoints fast-released via coloring.
+    pub colored_released: u64,
+    /// Stores (regular + checkpoint) quarantined in the SB.
+    pub quarantined: u64,
+    /// Region boundaries committed.
+    pub boundaries: u64,
+    /// Errors detected (sensor or parity).
+    pub detections: u64,
+    /// Detections raised by register parity / hardened-path checks on
+    /// access (before the acoustic sensor reported the strike).
+    pub parity_detections: u64,
+    /// Detections raised by the acoustic sensor (WCDL-bounded).
+    pub sensor_detections: u64,
+    /// Recoveries executed.
+    pub recoveries: u64,
+    /// Average dynamic instructions per region (Fig 26).
+    pub avg_region_insts: f64,
+    /// CLQ statistics (Figs 14/15/24/25).
+    pub clq: ClqStats,
+    /// (L1 hits, L1 misses, L2 hits, L2 misses).
+    pub cache: (u64, u64, u64, u64),
+    /// Peak SB occupancy.
+    pub sb_peak: usize,
+}
+
+impl SimStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.insts as f64 / self.cycles as f64
+        }
+    }
+
+    /// Fraction of dynamic instructions that are checkpoints (Fig 4).
+    pub fn ckpt_ratio(&self) -> f64 {
+        if self.insts == 0 {
+            0.0
+        } else {
+            self.ckpts as f64 / self.insts as f64
+        }
+    }
+
+    /// Total dynamic stores including checkpoints.
+    pub fn all_stores(&self) -> u64 {
+        self.stores + self.ckpts
+    }
+
+    /// Fraction of all stores released without verification
+    /// (WAR-free + colored).
+    pub fn bypass_ratio(&self) -> f64 {
+        let all = self.all_stores();
+        if all == 0 {
+            0.0
+        } else {
+            (self.war_free_released + self.colored_released) as f64 / all as f64
+        }
+    }
+}
+
+impl std::fmt::Display for SimStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "cycles {} insts {} (ipc {:.2})",
+            self.cycles,
+            self.insts,
+            self.ipc()
+        )?;
+        writeln!(
+            f,
+            "stalls: sb_full {} data {} (ckpt {}) mem_port {} rbb {} recovery {}",
+            self.stall_sb_full,
+            self.stall_data_hazard,
+            self.stall_ckpt_hazard,
+            self.stall_mem_port,
+            self.stall_rbb_full,
+            self.recovery_cycles
+        )?;
+        writeln!(
+            f,
+            "mem: {} loads, {} stores, {} ckpts; bypass {:.1}% (war-free {}, colored {}), quarantined {}",
+            self.loads,
+            self.stores,
+            self.ckpts,
+            self.bypass_ratio() * 100.0,
+            self.war_free_released,
+            self.colored_released,
+            self.quarantined
+        )?;
+        write!(
+            f,
+            "regions: {} boundaries, {:.1} insts/region; {} detections, {} recoveries",
+            self.boundaries, self.avg_region_insts, self.detections, self.recoveries
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_ratios() {
+        let s = SimStats {
+            cycles: 100,
+            insts: 150,
+            ckpts: 30,
+            stores: 30,
+            war_free_released: 15,
+            colored_released: 15,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.5).abs() < 1e-12);
+        assert!((s.ckpt_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(s.all_stores(), 60);
+        assert!((s.bypass_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.ckpt_ratio(), 0.0);
+        assert_eq!(s.bypass_ratio(), 0.0);
+        assert!(s.to_string().contains("cycles 0"));
+    }
+}

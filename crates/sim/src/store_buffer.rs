@@ -1,0 +1,303 @@
+//! The gated store buffer (GSB).
+//!
+//! In a resilient configuration every store is held here after commit —
+//! *quarantined* — until its region is verified to be error-free (region end
+//! plus WCDL with no detection). Verified entries then drain to the cache at
+//! one per cycle. On an error, unverified entries are discarded wholesale.
+//!
+//! Two entry kinds exist:
+//!
+//! * **Data** — a regular store; released to data memory.
+//! * **CkptFallback** — a checkpoint store that could not take the coloring
+//!   fast path (or coloring is disabled, i.e. Turnstile); released to the
+//!   register's *verified* checkpoint slot, because by release time its
+//!   region is verified and this value becomes the new verified checkpoint.
+//!
+//! Same-address stores from the same region coalesce into one entry (real
+//! store buffers write-combine); this also bounds the entries a long dynamic
+//! region with in-loop checkpoints can occupy.
+
+use std::collections::VecDeque;
+
+/// Kind and destination of a buffered store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EntryKind {
+    /// Regular data store to an architectural address.
+    Data {
+        /// Destination byte address.
+        addr: u64,
+    },
+    /// Quarantined checkpoint of a register (slot resolved at release).
+    CkptFallback {
+        /// The checkpointed register.
+        reg: u8,
+    },
+}
+
+/// One store buffer entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SbEntry {
+    /// What is stored and where it goes on release.
+    pub kind: EntryKind,
+    /// The stored value.
+    pub value: i64,
+    /// Dynamic region instance the store belongs to.
+    pub region_seq: u64,
+    /// Cycle at which the entry leaves the SB, once its region is verified.
+    pub release_at: Option<u64>,
+}
+
+/// The gated store buffer.
+#[derive(Debug, Clone)]
+pub struct StoreBuffer {
+    entries: VecDeque<SbEntry>,
+    capacity: usize,
+    last_release: u64,
+    /// Peak occupancy observed.
+    pub peak: usize,
+    /// Total entries ever allocated (coalesced stores count once).
+    pub allocated: u64,
+    /// Stores that coalesced into an existing entry.
+    pub coalesced: u64,
+    /// Entries discarded by error recovery.
+    pub discarded: u64,
+}
+
+impl StoreBuffer {
+    /// An empty buffer with `capacity` entries.
+    pub fn new(capacity: u32) -> Self {
+        StoreBuffer {
+            entries: VecDeque::new(),
+            capacity: capacity as usize,
+            last_release: 0,
+            peak: 0,
+            allocated: 0,
+            coalesced: 0,
+            discarded: 0,
+        }
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a push (without coalescing) would need a free slot that does
+    /// not exist.
+    pub fn is_full(&self) -> bool {
+        self.entries.len() >= self.capacity
+    }
+
+    /// Would `kind` from `region_seq` coalesce into an existing entry?
+    ///
+    /// Only the *youngest* entry of the same kind is a coalescing candidate:
+    /// merging into an older one while a newer same-address entry exists
+    /// would reorder the release stream and break store-to-load forwarding.
+    pub fn can_coalesce(&self, kind: EntryKind, region_seq: u64) -> bool {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| e.kind == kind)
+            .is_some_and(|e| e.region_seq == region_seq && e.release_at.is_none())
+    }
+
+    /// Insert or coalesce a store. Caller must have ensured capacity via
+    /// [`is_full`](Self::is_full)/[`can_coalesce`](Self::can_coalesce).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer is full and the store cannot coalesce.
+    pub fn push(&mut self, kind: EntryKind, value: i64, region_seq: u64) {
+        if let Some(e) = self.entries.iter_mut().rev().find(|e| e.kind == kind) {
+            if e.region_seq == region_seq && e.release_at.is_none() {
+                e.value = value;
+                self.coalesced += 1;
+                return;
+            }
+        }
+        assert!(
+            self.entries.len() < self.capacity,
+            "store buffer overflow: caller must stall"
+        );
+        self.entries.push_back(SbEntry {
+            kind,
+            value,
+            region_seq,
+            release_at: None,
+        });
+        self.allocated += 1;
+        self.peak = self.peak.max(self.entries.len());
+    }
+
+    /// Youngest pending value for a data address (store-to-load forwarding).
+    pub fn forward(&self, addr: u64) -> Option<i64> {
+        self.entries
+            .iter()
+            .rev()
+            .find(|e| matches!(e.kind, EntryKind::Data { addr: a } if a == addr))
+            .map(|e| e.value)
+    }
+
+    /// Mark all entries of `region_seq` releasable starting at `verify_time`
+    /// (drain rate: one entry per cycle, FIFO across regions).
+    pub fn mark_verified(&mut self, region_seq: u64, verify_time: u64) {
+        let mut t = self.last_release.max(verify_time);
+        for e in self.entries.iter_mut() {
+            if e.region_seq == region_seq && e.release_at.is_none() {
+                t = t.max(verify_time).max(self.last_release + 1);
+                e.release_at = Some(t);
+                self.last_release = t;
+                t += 1;
+            }
+        }
+    }
+
+    /// Pop every entry whose release time has arrived, in FIFO order.
+    /// Returns the released entries.
+    pub fn drain_until(&mut self, now: u64) -> Vec<SbEntry> {
+        let mut out = Vec::new();
+        while let Some(front) = self.entries.front() {
+            match front.release_at {
+                Some(t) if t <= now => out.push(self.entries.pop_front().expect("front")),
+                _ => break,
+            }
+        }
+        out
+    }
+
+    /// Earliest cycle at which a slot will free up, given current release
+    /// schedules. `None` if no entry is scheduled (caller must first verify
+    /// a region).
+    pub fn earliest_release(&self) -> Option<u64> {
+        self.entries.front().and_then(|e| e.release_at)
+    }
+
+    /// Discard all unverified entries (error recovery). Entries already
+    /// scheduled for release (their regions verified before the detection)
+    /// stay. Returns the number discarded.
+    pub fn discard_unverified(&mut self) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.release_at.is_some());
+        let n = before - self.entries.len();
+        self.discarded += n as u64;
+        n
+    }
+
+    /// Force-release everything that is scheduled, ignoring time (end of
+    /// simulation drain). Returns released entries and the cycle the last
+    /// one left.
+    pub fn drain_all_scheduled(&mut self) -> (Vec<SbEntry>, u64) {
+        let mut out = Vec::new();
+        let mut last = self.last_release;
+        while let Some(front) = self.entries.front() {
+            if front.release_at.is_some() {
+                let e = self.entries.pop_front().expect("front");
+                last = last.max(e.release_at.expect("scheduled"));
+                out.push(e);
+            } else {
+                break;
+            }
+        }
+        (out, last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(addr: u64) -> EntryKind {
+        EntryKind::Data { addr }
+    }
+
+    #[test]
+    fn push_and_forward() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x108), 2, 0);
+        sb.push(data(0x100), 3, 1); // same addr, different region: new entry
+        assert_eq!(sb.len(), 3);
+        assert_eq!(sb.forward(0x100), Some(3)); // youngest wins
+        assert_eq!(sb.forward(0x108), Some(2));
+        assert_eq!(sb.forward(0x999), None);
+    }
+
+    #[test]
+    fn same_region_same_addr_coalesces() {
+        let mut sb = StoreBuffer::new(2);
+        sb.push(data(0x100), 1, 0);
+        assert!(sb.can_coalesce(data(0x100), 0));
+        assert!(!sb.can_coalesce(data(0x100), 1));
+        sb.push(data(0x100), 7, 0);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.coalesced, 1);
+        assert_eq!(sb.forward(0x100), Some(7));
+    }
+
+    #[test]
+    fn ckpt_fallback_coalesces_per_reg() {
+        let mut sb = StoreBuffer::new(2);
+        let k = EntryKind::CkptFallback { reg: 5 };
+        sb.push(k, 1, 0);
+        sb.push(k, 2, 0);
+        assert_eq!(sb.len(), 1);
+        sb.push(k, 3, 1);
+        assert_eq!(sb.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "store buffer overflow")]
+    fn overflow_panics() {
+        let mut sb = StoreBuffer::new(1);
+        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x108), 2, 0);
+    }
+
+    #[test]
+    fn verification_schedules_fifo_drain() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x108), 2, 0);
+        sb.push(data(0x110), 3, 1);
+        sb.mark_verified(0, 50);
+        assert_eq!(sb.earliest_release(), Some(50));
+        // Region 1 verifies later; drains after region 0's entries.
+        sb.mark_verified(1, 51);
+        let out = sb.drain_until(50);
+        assert_eq!(out.len(), 1);
+        let out = sb.drain_until(52);
+        assert_eq!(out.len(), 2);
+        assert!(sb.is_empty());
+    }
+
+    #[test]
+    fn discard_keeps_verified() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x108), 2, 1);
+        sb.mark_verified(0, 10);
+        assert_eq!(sb.discard_unverified(), 1);
+        assert_eq!(sb.len(), 1);
+        assert_eq!(sb.discarded, 1);
+        let (rest, last) = sb.drain_all_scheduled();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(last, 10);
+    }
+
+    #[test]
+    fn peak_tracks_occupancy() {
+        let mut sb = StoreBuffer::new(4);
+        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x108), 2, 0);
+        sb.mark_verified(0, 5);
+        sb.drain_until(10);
+        assert_eq!(sb.peak, 2);
+        assert!(sb.is_empty());
+        assert!(!sb.is_full());
+    }
+}

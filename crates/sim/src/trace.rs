@@ -1,0 +1,196 @@
+//! Resilience event tracing.
+//!
+//! A [`Trace`] records the interesting *resilience* events of a run — region
+//! lifecycle, store release decisions, strikes, detections, recoveries — as
+//! a bounded sequence, without logging every instruction. Useful for
+//! debugging region/verification interactions and for visualizing the
+//! quarantine pipeline.
+//!
+//! Obtain one with [`Core::run_traced`](crate::Core::run_traced).
+
+/// One traced event, stamped with the cycle it occurred at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A region boundary committed: instance `seq` begins.
+    RegionStart {
+        /// Cycle of the boundary commit.
+        cycle: u64,
+        /// Dynamic region sequence number.
+        seq: u64,
+    },
+    /// A region instance passed its WCDL window error-free.
+    RegionVerified {
+        /// Cycle at which verification was processed.
+        cycle: u64,
+        /// Dynamic region sequence number.
+        seq: u64,
+    },
+    /// A regular store bypassed verification via the WAR-free check.
+    WarFreeRelease {
+        /// Issue cycle.
+        cycle: u64,
+        /// Store address.
+        addr: u64,
+    },
+    /// A checkpoint bypassed verification via hardware coloring.
+    ColoredRelease {
+        /// Issue cycle.
+        cycle: u64,
+        /// Checkpointed register.
+        reg: u8,
+        /// Assigned color.
+        color: u8,
+    },
+    /// A store (regular or checkpoint fallback) entered the gated SB.
+    Quarantined {
+        /// Issue cycle.
+        cycle: u64,
+        /// Owning dynamic region.
+        seq: u64,
+    },
+    /// A quarantined entry drained to cache after verification.
+    SbRelease {
+        /// Release cycle.
+        cycle: u64,
+        /// Owning dynamic region.
+        seq: u64,
+    },
+    /// A particle strike landed.
+    Strike {
+        /// Strike cycle.
+        cycle: u64,
+    },
+    /// An error was detected (sensor or parity).
+    Detection {
+        /// Detection cycle.
+        cycle: u64,
+    },
+    /// Recovery ran: unverified state squashed, `target` restarted.
+    Recovery {
+        /// Cycle recovery began.
+        cycle: u64,
+        /// Dynamic region instance re-executed.
+        target_seq: u64,
+        /// PC execution resumed from.
+        resume_pc: u32,
+    },
+}
+
+impl TraceEvent {
+    /// The cycle stamp of the event.
+    pub fn cycle(&self) -> u64 {
+        match *self {
+            TraceEvent::RegionStart { cycle, .. }
+            | TraceEvent::RegionVerified { cycle, .. }
+            | TraceEvent::WarFreeRelease { cycle, .. }
+            | TraceEvent::ColoredRelease { cycle, .. }
+            | TraceEvent::Quarantined { cycle, .. }
+            | TraceEvent::SbRelease { cycle, .. }
+            | TraceEvent::Strike { cycle }
+            | TraceEvent::Detection { cycle }
+            | TraceEvent::Recovery { cycle, .. } => cycle,
+        }
+    }
+}
+
+/// A bounded event recorder (oldest events are dropped past the cap).
+#[derive(Debug, Clone)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    /// Events dropped because the buffer was full.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// A trace holding at most `cap` events.
+    pub fn new(cap: usize) -> Self {
+        Trace {
+            events: Vec::new(),
+            cap: cap.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Record an event.
+    pub fn push(&mut self, ev: TraceEvent) {
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(ev);
+    }
+
+    /// The recorded events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events of one kind, selected by a predicate.
+    pub fn filter<'a, P>(&'a self, pred: P) -> impl Iterator<Item = &'a TraceEvent>
+    where
+        P: Fn(&TraceEvent) -> bool + 'a,
+    {
+        self.events.iter().filter(move |e| pred(e))
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(65536)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_cap() {
+        let mut t = Trace::new(2);
+        t.push(TraceEvent::Strike { cycle: 1 });
+        t.push(TraceEvent::Detection { cycle: 2 });
+        t.push(TraceEvent::Strike { cycle: 3 }); // dropped
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped, 1);
+        assert_eq!(t.events()[0].cycle(), 1);
+    }
+
+    #[test]
+    fn filter_by_kind() {
+        let mut t = Trace::default();
+        t.push(TraceEvent::RegionStart { cycle: 5, seq: 1 });
+        t.push(TraceEvent::Detection { cycle: 9 });
+        t.push(TraceEvent::RegionStart { cycle: 12, seq: 2 });
+        let starts: Vec<_> = t
+            .filter(|e| matches!(e, TraceEvent::RegionStart { .. }))
+            .collect();
+        assert_eq!(starts.len(), 2);
+    }
+
+    #[test]
+    fn cycles_are_accessible_for_all_variants() {
+        let evs = [
+            TraceEvent::RegionStart { cycle: 1, seq: 0 },
+            TraceEvent::RegionVerified { cycle: 2, seq: 0 },
+            TraceEvent::WarFreeRelease { cycle: 3, addr: 8 },
+            TraceEvent::ColoredRelease {
+                cycle: 4,
+                reg: 1,
+                color: 2,
+            },
+            TraceEvent::Quarantined { cycle: 5, seq: 0 },
+            TraceEvent::SbRelease { cycle: 6, seq: 0 },
+            TraceEvent::Strike { cycle: 7 },
+            TraceEvent::Detection { cycle: 8 },
+            TraceEvent::Recovery {
+                cycle: 9,
+                target_seq: 0,
+                resume_pc: 0,
+            },
+        ];
+        for (i, e) in evs.iter().enumerate() {
+            assert_eq!(e.cycle(), i as u64 + 1);
+        }
+    }
+}

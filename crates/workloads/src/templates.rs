@@ -1,0 +1,729 @@
+//! Kernel templates: parameterized program shapes.
+//!
+//! Each template builds a complete [`Program`] from a few knobs. Data
+//! segments start at [`DATA_BASE`]; kernels receive base addresses as
+//! program parameters so the register allocator and recovery machinery see
+//! realistic live-in state.
+
+use turnpike_ir::{BinOp, CmpOp, DataSegment, FunctionBuilder, Operand, Program, Reg};
+
+/// Base address of kernel data.
+pub const DATA_BASE: u64 = 0x1_0000;
+
+/// Streaming store kernel (bwaves/roms/libquantum-style).
+///
+/// A single-block loop writes `stores_per_iter` consecutive array cells per
+/// iteration through a strength-reduced pointer IV (`p += 8*stores`), the
+/// exact Figure-8 shape LIVM merges away. Stores hit fresh addresses, so
+/// with a CLQ they are all WAR-free. `alu` pads each iteration with that
+/// many extra arithmetic operations, controlling region size (the paper's
+/// SPEC loops average ~11 instructions per region).
+pub fn streaming(name: &str, trip: i64, stores_per_iter: usize, alu: usize) -> Program {
+    let spi = stores_per_iter.max(1);
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let i = b.fresh_reg();
+    let p = b.fresh_reg();
+    let v = b.fresh_reg();
+    let c = b.fresh_reg();
+    let q = b.fresh_reg(); // derived guard: reconstructible at recovery
+    let d = b.fresh_reg();
+    let body = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.mov(p, DATA_BASE as i64);
+    b.jump(body);
+    b.switch_to(body);
+    // A value derived from the live induction variable, consumed after the
+    // in-loop region split: its eager checkpoint is exactly what optimal
+    // pruning removes (recovery recomputes q = i + 1_000_000).
+    b.add(q, i, 1_000_000i64);
+    b.mul(v, i, 7i64);
+    for k in 0..alu {
+        match k % 3 {
+            0 => b.add(v, v, 13i64),
+            1 => b.xor(v, v, 0x55i64),
+            _ => b.shl(v, v, 1i64),
+        }
+    }
+    for k in 0..spi {
+        b.add(v, v, 3i64);
+        b.store(v, p, (k * 8) as i64);
+    }
+    b.add(p, p, (spi * 8) as i64);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, trip);
+    b.cmp(CmpOp::Lt, d, i, Operand::Reg(q)); // always true: i < old_i + 1e6
+    b.bin(BinOp::And, c, c, Operand::Reg(d));
+    b.branch(c, body, done);
+    b.switch_to(done);
+    let acc = b.fresh_reg();
+    b.load(acc, base, 0);
+    b.ret(Some(Operand::Reg(acc)));
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::zeroed(DATA_BASE, trip as usize * spi + 1),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Reduction kernel (leela/water-sp/deepsjeng-style).
+///
+/// An outer epoch loop stores one result per epoch (so the outer loop gets a
+/// header region boundary); the inner loop is store-free and boundary-free,
+/// accumulating into `accs` registers from loaded data. Eager checkpointing
+/// checkpoints every accumulator every inner iteration (their values cross
+/// the post-loop boundary); LICM sinks all of them to the inner-loop exit —
+/// the paper's Figure-10 win.
+pub fn reduction(name: &str, trip: i64, accs: usize, array: usize) -> Program {
+    let accs = accs.clamp(1, 3);
+    let epochs = 8i64;
+    let inner = (trip / epochs).max(4);
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let e = b.fresh_reg();
+    let i = b.fresh_reg();
+    let c = b.fresh_reg();
+    let t = b.fresh_reg();
+    let v = b.fresh_reg();
+    let acc: Vec<Reg> = (0..accs).map(|_| b.fresh_reg()).collect();
+    let outer = b.create_block();
+    let body = b.create_block();
+    let after = b.create_block();
+    let done = b.create_block();
+    b.mov(e, 0i64);
+    for &a in &acc {
+        b.mov(a, 0i64);
+    }
+    b.jump(outer);
+    b.switch_to(outer);
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    // Derived addressing (induced IV): no extra loop-carried register.
+    b.bin(BinOp::Rem, t, i, array as i64);
+    b.shl(t, t, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(v, t, 0);
+    for (k, &a) in acc.iter().enumerate() {
+        match k % 3 {
+            0 => b.add(a, a, Operand::Reg(v)),
+            1 => b.xor(a, a, Operand::Reg(v)),
+            _ => b.bin(BinOp::Sub, a, a, Operand::Reg(v)),
+        }
+    }
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, inner);
+    b.branch(c, body, after);
+    b.switch_to(after);
+    // Store this epoch's running value: the outer loop carries a store, so
+    // its header gets a region boundary that the accumulators cross.
+    b.shl(t, e, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.store(acc[0], t, (array as i64) * 8);
+    b.add(e, e, 1i64);
+    b.cmp(CmpOp::Lt, c, e, epochs);
+    b.branch(c, outer, done);
+    b.switch_to(done);
+    let out = b.fresh_reg();
+    b.mov(out, 0i64);
+    for &a in &acc {
+        b.add(out, out, a);
+    }
+    b.ret(Some(Operand::Reg(out)));
+    let data: Vec<i64> = (0..array as i64)
+        .map(|k| k * 13 % 97)
+        .chain(std::iter::repeat_n(0, epochs as usize))
+        .collect();
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, data),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Pointer-chasing kernel (mcf/omnetpp/xalan-style).
+///
+/// Walks a shuffled ring of 16-byte nodes (`[next, value]`), accumulating
+/// values; every `store_every` hops it writes the running sum to a scratch
+/// cell. The load-use chain makes eager checkpoints stall for the full load
+/// latency (the paper's Figure 6), and the large footprint generates cache
+/// misses.
+pub fn pointer_chase(name: &str, nodes: usize, hops: i64, store_every: i64) -> Program {
+    let nodes = nodes.max(4);
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let p = b.fresh_reg();
+    let acc = b.fresh_reg();
+    let i = b.fresh_reg();
+    let c = b.fresh_reg();
+    let v = b.fresh_reg();
+    let t = b.fresh_reg();
+    let body = b.create_block();
+    let skip = b.create_block();
+    let latch = b.create_block();
+    let done = b.create_block();
+    b.mov(p, Operand::Reg(base));
+    b.mov(acc, 0i64);
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.load(v, p, 8);
+    b.add(acc, acc, Operand::Reg(v));
+    b.load(p, p, 0); // chase
+    b.bin(BinOp::Rem, t, i, store_every);
+    b.cmp(CmpOp::Eq, c, t, 0i64);
+    b.branch(c, skip, latch);
+    b.switch_to(skip);
+    // Scratch cell behind the node array.
+    b.store_abs(acc, (DATA_BASE + nodes as u64 * 16) as i64);
+    b.jump(latch);
+    b.switch_to(latch);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, hops);
+    b.branch(c, body, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(acc)));
+    // Ring with a deterministic stride permutation (coprime step).
+    let step = (nodes / 2) | 1;
+    let mut words = vec![0i64; nodes * 2 + 1];
+    for k in 0..nodes {
+        let next = (k + step) % nodes;
+        words[k * 2] = (DATA_BASE + next as u64 * 16) as i64;
+        words[k * 2 + 1] = (k as i64 * 31) % 211 - 100;
+    }
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, words),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Stencil kernel (gemsfdtd/lbm/cactubssn-style).
+///
+/// `out_k[i] = f_k(in[i-1], in[i], in[i+1])` over disjoint input and `outs`
+/// output arrays: three loads and `outs` WAR-free stores per iteration, with
+/// the value register redefined between stores (the paper's Figure-3 shape:
+/// a small SB splits the iteration into several regions, checkpointing the
+/// value once per region; a large SB checkpoints it once).
+/// `extra_live` pins additional long-lived values across the loop to raise
+/// register pressure (the store-aware-RA axis).
+pub fn stencil(name: &str, n: i64, extra_live: usize, outs: usize) -> Program {
+    let outs = outs.max(1);
+    let mut b = FunctionBuilder::new(name);
+    let inb = b.param();
+    let outb = b.param();
+    let live: Vec<Reg> = (0..extra_live).map(|_| b.fresh_reg()).collect();
+    let i = b.fresh_reg();
+    let c = b.fresh_reg();
+    let t = b.fresh_reg();
+    let (a0, a1, a2, s) = (b.fresh_reg(), b.fresh_reg(), b.fresh_reg(), b.fresh_reg());
+    let q = b.fresh_reg();
+    let d = b.fresh_reg();
+    let body = b.create_block();
+    let done = b.create_block();
+    for (k, &r) in live.iter().enumerate() {
+        b.mov(r, (k as i64 + 1) * 5);
+    }
+    b.mov(i, 1i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.add(q, i, 1_000_000i64); // derived guard, prunable checkpoint
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(inb));
+    b.load(a0, t, -8);
+    b.load(a1, t, 0);
+    b.load(a2, t, 8);
+    b.add(s, a0, Operand::Reg(a1));
+    b.add(s, s, Operand::Reg(a2));
+    b.mul(s, s, 3i64);
+    b.bin(BinOp::Sub, s, s, Operand::Reg(a1));
+    // Touch the pinned values so they stay live through the loop.
+    if let Some(&r0) = live.first() {
+        b.add(s, s, Operand::Reg(r0));
+    }
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(outb));
+    for k in 0..outs {
+        b.add(s, s, (k as i64 + 1) * 7); // redefinition between stores
+        b.store(s, t, (k as i64) * (n * 8));
+    }
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, n - 1);
+    b.cmp(CmpOp::Lt, d, i, Operand::Reg(q));
+    b.bin(BinOp::And, c, c, Operand::Reg(d));
+    b.branch(c, body, done);
+    b.switch_to(done);
+    let out = b.fresh_reg();
+    b.mov(out, 0i64);
+    for &r in &live {
+        b.add(out, out, r);
+    }
+    b.add(out, out, Operand::Reg(s));
+    b.ret(Some(Operand::Reg(out)));
+    let words: Vec<i64> = (0..n).map(|k| (k * 17) % 103).collect();
+    let out_base = DATA_BASE + n as u64 * 8;
+    let mut seg = words;
+    seg.extend(std::iter::repeat_n(0, n as usize * outs));
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, seg),
+        vec![DATA_BASE as i64, out_base as i64],
+    )
+}
+
+/// In-place gap stencil (milc/fotonik3d/ocean-style).
+///
+/// Loads `a[i-1]` and `a[i+1]`, stores `a[i]` — an address *between* the
+/// region's loads that was never itself loaded. The ideal CLQ proves the
+/// store WAR-free (exact address match); the compact range-based CLQ sees it
+/// inside `[min, max]` and conservatively quarantines it. This is the
+/// precision gap of the paper's Figures 14/15.
+pub fn gap_stencil(name: &str, n: i64, alu: usize) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let i = b.fresh_reg();
+    let c = b.fresh_reg();
+    let t = b.fresh_reg();
+    let (a0, a1, a2) = (b.fresh_reg(), b.fresh_reg(), b.fresh_reg());
+    let (s1, s2) = (b.fresh_reg(), b.fresh_reg());
+    let body = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 1i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(a0, t, -8);
+    b.load(a1, t, 8);
+    b.load(a2, t, 24);
+    b.add(s1, a0, Operand::Reg(a1));
+    b.add(s2, a1, Operand::Reg(a2));
+    for k in 0..alu {
+        match k % 2 {
+            0 => b.add(s1, s1, 5i64),
+            _ => b.bin(BinOp::Shr, s2, s2, 1i64),
+        }
+    }
+    // Two independent stores strictly between the loaded addresses: exact
+    // matching proves both WAR-free; range checking sees both inside
+    // [a[i-1], a[i+3]] and quarantines them, pressuring the 4-entry SB.
+    b.store(s1, t, 0);
+    b.store(s2, t, 16);
+    b.add(i, i, 2i64);
+    b.cmp(CmpOp::Lt, c, i, n - 4);
+    b.branch(c, body, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(s1)));
+    let words: Vec<i64> = (0..n).map(|k| (k * 11) % 59).collect();
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, words),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Read-modify-write table kernel (hmmer/x264/xz-style).
+///
+/// Increments pseudo-randomly indexed table cells: every store address was
+/// just loaded, so *no* store is WAR-free — the worst case for fast release
+/// and the separator between the ideal and compact CLQ designs.
+pub fn rmw_table(name: &str, trip: i64, table: usize) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let i = b.fresh_reg();
+    let h = b.fresh_reg();
+    let t = b.fresh_reg();
+    let v = b.fresh_reg();
+    let c = b.fresh_reg();
+    let body = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    // h = (i * 2654435761) mod table  (Knuth multiplicative hash).
+    b.mul(h, i, 2654435761i64);
+    b.bin(BinOp::Shr, h, h, 16i64);
+    b.bin(BinOp::Rem, h, h, table as i64);
+    b.shl(t, h, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(v, t, 0);
+    b.add(v, v, 1i64);
+    b.store(v, t, 0);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, trip);
+    b.branch(c, body, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(v)));
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::zeroed(DATA_BASE, table),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Histogram + scatter kernel (radix/bzip2-style).
+///
+/// Pass 1 histograms key digits (read-modify-write counts); pass 2 scatters
+/// elements to a fresh output region through a second pointer IV (LIVM and
+/// WAR-free both apply to pass 2).
+pub fn sort_pass(name: &str, n: usize, buckets: i64) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let keys = b.param();
+    let hist = b.param();
+    let out = b.param();
+    let i = b.fresh_reg();
+    let k = b.fresh_reg();
+    let d = b.fresh_reg();
+    let t = b.fresh_reg();
+    let v = b.fresh_reg();
+    let c = b.fresh_reg();
+    let p = b.fresh_reg();
+    let l1 = b.create_block();
+    let mid = b.create_block();
+    let l2 = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.jump(l1);
+    b.switch_to(l1);
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(keys));
+    b.load(k, t, 0);
+    b.bin(BinOp::And, d, k, buckets - 1);
+    b.shl(t, d, 3i64);
+    b.add(t, t, Operand::Reg(hist));
+    b.load(v, t, 0);
+    b.add(v, v, 1i64);
+    b.store(v, t, 0);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, n as i64);
+    b.branch(c, l1, mid);
+    b.switch_to(mid);
+    b.mov(i, 0i64);
+    b.mov(p, 0i64); // second basic IV over the output
+    b.jump(l2);
+    b.switch_to(l2);
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(keys));
+    b.load(k, t, 0);
+    b.add(t, p, Operand::Reg(out));
+    b.store(k, t, 0);
+    b.add(p, p, 8i64);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, n as i64);
+    b.branch(c, l2, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(v)));
+    let keys_v: Vec<i64> = (0..n as i64).map(|x| (x * 37 + 11) % 251).collect();
+    let hist_base = DATA_BASE + n as u64 * 8;
+    let out_base = hist_base + buckets as u64 * 8;
+    let mut seg = keys_v;
+    seg.extend(std::iter::repeat_n(0, buckets as usize + n));
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, seg),
+        vec![DATA_BASE as i64, hist_base as i64, out_base as i64],
+    )
+}
+
+/// Branch-heavy kernel (gcc/gobmk/perlbench-style).
+///
+/// Data-dependent two-way branches select different updates; taken-branch
+/// redirects and short regions dominate. A store on one path only.
+pub fn branchy(name: &str, trip: i64) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let i = b.fresh_reg();
+    let v = b.fresh_reg();
+    let x = b.fresh_reg();
+    let y = b.fresh_reg();
+    let t = b.fresh_reg();
+    let c = b.fresh_reg();
+    let head = b.create_block();
+    let odd = b.create_block();
+    let even = b.create_block();
+    let latch = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 0i64);
+    b.mov(x, 0i64);
+    b.mov(y, 0i64);
+    b.jump(head);
+    b.switch_to(head);
+    b.bin(BinOp::Rem, t, i, 64i64);
+    b.shl(t, t, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(v, t, 0);
+    b.bin(BinOp::And, c, v, 1i64);
+    b.branch(c, odd, even);
+    b.switch_to(odd);
+    b.add(x, x, Operand::Reg(v));
+    b.store(x, base, 512 * 8);
+    b.jump(latch);
+    b.switch_to(even);
+    b.xor(y, y, Operand::Reg(v));
+    b.jump(latch);
+    b.switch_to(latch);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, trip);
+    b.branch(c, head, done);
+    b.switch_to(done);
+    b.add(x, x, Operand::Reg(y));
+    b.ret(Some(Operand::Reg(x)));
+    let words: Vec<i64> = (0..513).map(|k| (k * 7 + 3) % 29).collect();
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, words),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// Triangular-solve kernel (cholesky/lu/soplex-style).
+///
+/// Nested loops: the inner loop accumulates a dot product (boundary-free),
+/// the outer loop stores one result per row. Mixed LICM + WAR-free shape.
+pub fn matrix(name: &str, n: i64) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let a = b.param();
+    let out = b.param();
+    let i = b.fresh_reg();
+    let j = b.fresh_reg();
+    let s = b.fresh_reg();
+    let t = b.fresh_reg();
+    let v = b.fresh_reg();
+    let c = b.fresh_reg();
+    let outer = b.create_block();
+    let inner = b.create_block();
+    let after = b.create_block();
+    let done = b.create_block();
+    b.mov(i, 1i64);
+    b.jump(outer);
+    b.switch_to(outer);
+    b.mov(j, 0i64);
+    b.mov(s, 0i64);
+    b.jump(inner);
+    b.switch_to(inner);
+    b.shl(t, j, 3i64);
+    b.add(t, t, Operand::Reg(a));
+    b.load(v, t, 0);
+    b.mul(v, v, 3i64);
+    b.add(s, s, Operand::Reg(v));
+    b.add(j, j, 1i64);
+    b.cmp(CmpOp::Lt, c, j, i);
+    b.branch(c, inner, after);
+    b.switch_to(after);
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(out));
+    b.store(s, t, 0);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, n);
+    b.branch(c, outer, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(s)));
+    let words: Vec<i64> = (0..n).map(|k| (k % 7) - 3).collect();
+    let out_base = DATA_BASE + n as u64 * 8;
+    let mut seg = words;
+    seg.extend(std::iter::repeat_n(0, n as usize));
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, seg),
+        vec![DATA_BASE as i64, out_base as i64],
+    )
+}
+
+/// Butterfly kernel (fft-style).
+///
+/// Pairs `(a[i], a[i+half])` are combined and written back in place over
+/// several passes: each store address was loaded in the same region (WAR),
+/// so fast release is mostly defeated despite the streaming access pattern.
+pub fn butterfly(name: &str, n: usize, passes: i64) -> Program {
+    let half = (n / 2).max(1) as i64;
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let pass = b.fresh_reg();
+    let i = b.fresh_reg();
+    let t = b.fresh_reg();
+    let lo = b.fresh_reg();
+    let hi = b.fresh_reg();
+    let su = b.fresh_reg();
+    let df = b.fresh_reg();
+    let c = b.fresh_reg();
+    let pouter = b.create_block();
+    let body = b.create_block();
+    let between = b.create_block();
+    let done = b.create_block();
+    b.mov(pass, 0i64);
+    b.mov(su, 0i64);
+    b.jump(pouter);
+    b.switch_to(pouter);
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.shl(t, i, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(lo, t, 0);
+    b.load(hi, t, half * 8);
+    b.add(su, lo, Operand::Reg(hi));
+    b.bin(BinOp::Sub, df, lo, Operand::Reg(hi));
+    b.store(su, t, 0);
+    b.store(df, t, half * 8);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, half);
+    b.branch(c, body, between);
+    b.switch_to(between);
+    b.add(pass, pass, 1i64);
+    b.cmp(CmpOp::Lt, c, pass, passes);
+    b.branch(c, pouter, done);
+    b.switch_to(done);
+    b.ret(Some(Operand::Reg(su)));
+    let words: Vec<i64> = (0..n as i64).map(|k| k % 17 - 8).collect();
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, words),
+        vec![DATA_BASE as i64],
+    )
+}
+
+/// High-register-pressure kernel (gemsfdtd/lbm RA-trick targets).
+///
+/// A hot loop updates `hot` write-intensive accumulators while `cold`
+/// read-only coefficients stay live across it. With more live values than
+/// registers, a read/write-blind allocator spills the *written* ones —
+/// exactly what store-aware allocation avoids.
+pub fn high_pressure(name: &str, trip: i64, hot: usize, cold: usize) -> Program {
+    let mut b = FunctionBuilder::new(name);
+    let base = b.param();
+    let cold_regs: Vec<Reg> = (0..cold).map(|_| b.fresh_reg()).collect();
+    let hot_regs: Vec<Reg> = (0..hot).map(|_| b.fresh_reg()).collect();
+    let i = b.fresh_reg();
+    let c = b.fresh_reg();
+    let t = b.fresh_reg();
+    let v = b.fresh_reg();
+    let body = b.create_block();
+    let done = b.create_block();
+    for (k, &r) in cold_regs.iter().enumerate() {
+        b.mov(r, (k as i64 * 11) % 23 + 1);
+    }
+    for &r in &hot_regs {
+        b.mov(r, 0i64);
+    }
+    b.mov(i, 0i64);
+    b.jump(body);
+    b.switch_to(body);
+    b.bin(BinOp::And, t, i, 63i64);
+    b.shl(t, t, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.load(v, t, 0);
+    for (k, &h) in hot_regs.iter().enumerate() {
+        let coeff = cold_regs[k % cold_regs.len().max(1)];
+        let tmp = v;
+        b.mul(tmp, v, Operand::Reg(coeff));
+        b.add(h, h, Operand::Reg(tmp));
+    }
+    // One streaming store per iteration keeps the SB in play.
+    b.bin(BinOp::And, t, i, 127i64);
+    b.shl(t, t, 3i64);
+    b.add(t, t, Operand::Reg(base));
+    b.store(hot_regs[0], t, 64 * 8);
+    b.add(i, i, 1i64);
+    b.cmp(CmpOp::Lt, c, i, trip);
+    b.branch(c, body, done);
+    b.switch_to(done);
+    let out = b.fresh_reg();
+    b.mov(out, 0i64);
+    for &h in &hot_regs {
+        b.add(out, out, h);
+    }
+    for &r in &cold_regs {
+        b.add(out, out, r);
+    }
+    b.ret(Some(Operand::Reg(out)));
+    let words: Vec<i64> = (0..192).map(|k| (k * 5) % 19 + 1).collect();
+    Program::with_params(
+        b.finish().expect("template is well-formed"),
+        DataSegment::with_words(DATA_BASE, words),
+        vec![DATA_BASE as i64],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::interp;
+
+    fn runs(p: &Program) -> i64 {
+        let out = interp::run(p, &interp::InterpConfig::default()).expect("terminates");
+        out.ret.expect("returns a value")
+    }
+
+    #[test]
+    fn streaming_terminates_and_stores() {
+        let p = streaming("s", 50, 2, 4);
+        let out = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+        assert_eq!(out.dyn_stores, 100);
+    }
+
+    #[test]
+    fn reduction_is_storeless_in_loop() {
+        let p = reduction("r", 64, 3, 32);
+        let out = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+        assert_eq!(out.dyn_stores, 8); // one per epoch
+        assert!(out.dyn_loads >= 64);
+    }
+
+    #[test]
+    fn pointer_chase_visits_ring() {
+        let p = pointer_chase("p", 64, 200, 7);
+        let v = runs(&p);
+        let q = pointer_chase("p", 64, 200, 7);
+        assert_eq!(runs(&q), v, "deterministic");
+    }
+
+    #[test]
+    fn stencil_writes_disjoint_output() {
+        let p = stencil("st", 64, 4, 2);
+        let out = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+        assert_eq!(out.dyn_stores, 124);
+    }
+
+    #[test]
+    fn rmw_counts_sum_to_trip() {
+        let p = rmw_table("h", 100, 16);
+        let out = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+        let total: i64 = out
+            .memory
+            .iter()
+            .filter(|(a, _)| **a < DATA_BASE + 16 * 8)
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn sort_pass_histogram_is_complete() {
+        let p = sort_pass("sp", 64, 8);
+        let out = interp::run(&p, &interp::InterpConfig::default()).unwrap();
+        let hist_base = DATA_BASE + 64 * 8;
+        let total: i64 = (0..8)
+            .map(|k| out.memory.get(&(hist_base + k * 8)).copied().unwrap_or(0))
+            .sum();
+        assert_eq!(total, 64);
+    }
+
+    #[test]
+    fn branchy_and_matrix_terminate() {
+        let _ = runs(&branchy("b", 100));
+        let _ = runs(&matrix("m", 20));
+    }
+
+    #[test]
+    fn high_pressure_spills_under_allocation() {
+        let p = high_pressure("hp", 50, 8, 24);
+        let golden = runs(&p);
+        // Compiling with the real pipeline must preserve the value.
+        let out =
+            turnpike_compiler::compile(&p, &turnpike_compiler::CompilerConfig::baseline())
+                .unwrap();
+        let m = turnpike_isa::interp::run(&out.program, &Default::default()).unwrap();
+        assert_eq!(m.ret, Some(golden));
+    }
+}

@@ -1,0 +1,155 @@
+//! Each kernel template is designed to exercise a specific Turnpike
+//! mechanism. These tests pin that contract so catalog or compiler changes
+//! cannot silently defeat a template's purpose.
+
+use turnpike_compiler::{compile, CompilerConfig};
+use turnpike_workloads::{kernel_by_name, Scale, Suite};
+
+fn turnpike(sb: u32) -> CompilerConfig {
+    CompilerConfig::turnpike(sb)
+}
+
+#[test]
+fn streaming_kernels_merge_their_pointer_iv() {
+    for (suite, name) in [
+        (Suite::Cpu2006, "bwaves"),
+        (Suite::Cpu2006, "libquan"),
+        (Suite::Cpu2017, "roms"),
+        (Suite::Cpu2017, "exchange2"),
+    ] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let out = compile(&k.program, &turnpike(4)).unwrap();
+        assert!(
+            out.stats.ivs_merged >= 1,
+            "{name}: LIVM should merge the strength-reduced pointer IV"
+        );
+    }
+}
+
+#[test]
+fn streaming_and_stencil_kernels_feed_pruning() {
+    for (suite, name) in [
+        (Suite::Cpu2006, "bwaves"),
+        (Suite::Cpu2006, "leslie3d"),
+        (Suite::Cpu2017, "cactubssn"),
+    ] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let out = compile(&k.program, &turnpike(4)).unwrap();
+        assert!(
+            out.stats.ckpts_pruned >= 1,
+            "{name}: the derived-guard checkpoint should be pruned"
+        );
+    }
+}
+
+#[test]
+fn reduction_kernels_feed_licm() {
+    for (suite, name) in [
+        (Suite::Cpu2017, "leela"),
+        (Suite::Cpu2017, "deepsjeng"),
+        (Suite::Cpu2017, "nab"),
+        (Suite::Splash3, "water-sp"),
+    ] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let out = compile(&k.program, &turnpike(4)).unwrap();
+        assert!(
+            out.stats.ckpts_licm_removed >= 1,
+            "{name}: in-loop accumulator checkpoints should sink to the exit"
+        );
+    }
+}
+
+#[test]
+fn high_pressure_kernels_spill_and_ra_trick_helps() {
+    for (suite, name) in [(Suite::Cpu2006, "gemsfdtd"), (Suite::Cpu2017, "lbm")] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let aware = compile(&k.program, &turnpike(4)).unwrap();
+        let mut blind = turnpike(4);
+        blind.store_aware_ra = false;
+        let blind = compile(&k.program, &blind).unwrap();
+        assert!(
+            blind.stats.spilled_vregs > 0,
+            "{name}: should exceed the register file"
+        );
+        assert!(
+            aware.stats.spill_stores <= blind.stats.spill_stores,
+            "{name}: store-aware RA must not add spill stores ({} vs {})",
+            aware.stats.spill_stores,
+            blind.stats.spill_stores
+        );
+    }
+}
+
+#[test]
+fn every_kernel_partitions_within_the_hard_bound() {
+    // RegionOverflow is a compile error; compiling all 36 under every SB
+    // size in the evaluation proves the partitioner always finds a legal
+    // region structure.
+    for sb in [4u32, 8, 10, 20, 30, 40] {
+        for k in turnpike_workloads::all_kernels(Scale::Smoke) {
+            compile(&k.program, &turnpike(sb))
+                .unwrap_or_else(|e| panic!("{} at SB {sb}: {e}", k.name));
+        }
+    }
+}
+
+#[test]
+fn rmw_kernels_defeat_war_free_release() {
+    use turnpike_resilience::{run_kernel, RunSpec, Scheme};
+    for (suite, name) in [(Suite::Cpu2006, "hmmer"), (Suite::Cpu2017, "xz")] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let r = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike)).unwrap();
+        let s = &r.outcome.stats;
+        assert!(
+            s.war_free_released < s.stores / 2,
+            "{name}: read-modify-write stores should mostly quarantine \
+             ({} free of {})",
+            s.war_free_released,
+            s.stores
+        );
+    }
+}
+
+#[test]
+fn gap_stencils_split_ideal_from_compact_clq() {
+    use turnpike_resilience::{run_kernel, RunSpec, Scheme};
+    use turnpike_sim::ClqKind;
+    for (suite, name) in [
+        (Suite::Cpu2006, "milc"),
+        (Suite::Cpu2017, "fotonik3d"),
+        (Suite::Splash3, "ocean-ng"),
+    ] {
+        let k = kernel_by_name(suite, name, Scale::Smoke).unwrap();
+        let ideal = run_kernel(
+            &k.program,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
+        )
+        .unwrap();
+        let compact = run_kernel(
+            &k.program,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Compact(2)),
+        )
+        .unwrap();
+        assert!(
+            ideal.outcome.stats.clq.war_free > compact.outcome.stats.clq.war_free,
+            "{name}: range checking must lose precision on gap stores \
+             ({} vs {})",
+            ideal.outcome.stats.clq.war_free,
+            compact.outcome.stats.clq.war_free
+        );
+    }
+}
+
+#[test]
+fn pointer_chase_kernels_stall_on_loads() {
+    use turnpike_resilience::{run_kernel, RunSpec, Scheme};
+    let k = kernel_by_name(Suite::Cpu2006, "mcf", Scale::Smoke).unwrap();
+    let r = run_kernel(&k.program, &RunSpec::new(Scheme::Turnstile)).unwrap();
+    let s = &r.outcome.stats;
+    assert!(
+        s.stall_data_hazard > s.cycles / 4,
+        "mcf: the load-use chain should dominate ({} of {})",
+        s.stall_data_hazard,
+        s.cycles
+    );
+}

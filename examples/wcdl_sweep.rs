@@ -1,0 +1,45 @@
+//! WCDL sweep: how Turnstile and Turnpike scale as the sensor detection
+//! latency grows (fewer sensors → longer quarantine), plus the sensor count
+//! each WCDL implies under the Figure-18 grid model.
+//!
+//! ```sh
+//! cargo run --release --example wcdl_sweep
+//! ```
+
+use turnpike::resilience::{run_kernel, RunSpec, Scheme};
+use turnpike::sensor::SensorGrid;
+use turnpike::workloads::{kernel_by_name, Scale, Suite};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let kernel = kernel_by_name(Suite::Cpu2017, "bwaves", Scale::Smoke)
+        .expect("bwaves is in the catalog");
+    let base = run_kernel(&kernel.program, &RunSpec::new(Scheme::Baseline))?;
+    let base_cycles = base.outcome.stats.cycles as f64;
+    println!(
+        "kernel {}: baseline {} cycles\n",
+        kernel.name, base.outcome.stats.cycles
+    );
+    println!(
+        "{:>6} {:>9} {:>12} {:>12}",
+        "WCDL", "sensors", "Turnstile", "Turnpike"
+    );
+    for wcdl in [10u64, 20, 30, 40, 50] {
+        let sensors = SensorGrid::sensors_for_wcdl(wcdl, 1.0, 2.5);
+        let ts = run_kernel(
+            &kernel.program,
+            &RunSpec::new(Scheme::Turnstile).with_wcdl(wcdl),
+        )?;
+        let tp = run_kernel(
+            &kernel.program,
+            &RunSpec::new(Scheme::Turnpike).with_wcdl(wcdl),
+        )?;
+        let nts = ts.outcome.stats.cycles as f64 / base_cycles;
+        let ntp = tp.outcome.stats.cycles as f64 / base_cycles;
+        println!("{wcdl:>6} {sensors:>9} {nts:>11.3}x {ntp:>11.3}x");
+        assert!(
+            ntp <= nts + 1e-9,
+            "turnpike must dominate turnstile at every WCDL"
+        );
+    }
+    Ok(())
+}

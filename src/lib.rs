@@ -1,0 +1,25 @@
+//! # turnpike — facade crate
+//!
+//! Reproduction of *Turnpike: Lightweight Soft Error Resilience for In-Order
+//! Cores* (MICRO 2021). This crate re-exports the workspace's public API so
+//! downstream users can depend on a single crate:
+//!
+//! * [`ir`] — compiler IR, analyses, and the reference interpreter.
+//! * [`isa`] — the machine instruction set executed by the simulator.
+//! * [`compiler`] — Turnstile/Turnpike compilation passes and codegen.
+//! * [`sim`] — the cycle-level dual-issue in-order core model.
+//! * [`sensor`] — acoustic-sensor detection model and fault injection.
+//! * [`resilience`] — end-to-end resilient execution and SDC audits.
+//! * [`workloads`] — the 36 synthetic evaluation kernels.
+//! * [`model`] — analytic sensor-latency and area/energy models.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the architecture.
+
+pub use turnpike_compiler as compiler;
+pub use turnpike_ir as ir;
+pub use turnpike_isa as isa;
+pub use turnpike_model as model;
+pub use turnpike_resilience as resilience;
+pub use turnpike_sensor as sensor;
+pub use turnpike_sim as sim;
+pub use turnpike_workloads as workloads;
