@@ -1,7 +1,7 @@
 //! `reproduce` — regenerate the paper's tables and figures.
 //!
 //! ```text
-//! reproduce <target> [--smoke] [--json]
+//! reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
 //!          fig24 fig25 fig26 table1 ablation clq colors summary all
@@ -9,61 +9,118 @@
 //!
 //! `--smoke` runs the reduced-size kernels (fast; used by CI); the default
 //! is full evaluation scale. `--json` prints machine-readable output.
+//! `--threads N` caps the evaluation engine's worker threads (default: all
+//! hardware threads); stdout is byte-identical at any thread count.
+//! `--no-cache` disables the engine's compile/run memoization (the seed
+//! harness's behavior, kept for perf comparisons).
+//!
+//! Every invocation also writes `BENCH_reproduce.json` to the current
+//! directory — target, scale, threads, cache flag, and total plus
+//! per-figure wall-clock milliseconds — so harness performance is tracked
+//! over time. Timing goes there and to stderr, never to stdout.
 
 use std::process::ExitCode;
+use std::time::Instant;
 use turnpike_bench::{
     ablation, clq_designs, colors, fig14, fig15, fig18, fig19, fig20, fig21, fig22, fig23, fig24,
-    fig25, fig26, fig4, summary, table1, Table,
+    fig25, fig26, fig4, json_string, summary, table1, Engine, Table,
 };
+use turnpike_resilience::par_map;
 use turnpike_workloads::Scale;
+
+/// Everything `all` expands to, in output order.
+const ALL_TARGETS: [&str; 17] = [
+    "ablation", "fig4", "fig14", "fig15", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
+    "fig24", "fig25", "fig26", "table1", "colors", "clq", "summary",
+];
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: reproduce <target> [--smoke] [--json]\n\
+        "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
          targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23 \
          fig24 fig25 fig26 table1 ablation clq colors summary all"
     );
     ExitCode::from(2)
 }
 
-fn generate(target: &str, scale: Scale) -> Option<Vec<Table>> {
-    let one = |t: Table| Some(vec![t]);
-    match target {
-        "fig4" => one(fig4(scale)),
-        "fig14" => one(fig14(scale)),
-        "fig15" => one(fig15(scale)),
-        "fig18" => one(fig18()),
-        "fig19" => one(fig19(scale)),
-        "fig20" => one(fig20(scale)),
-        "fig21" => one(fig21(scale)),
-        "fig22" => one(fig22(scale)),
-        "fig23" => one(fig23(scale)),
-        "fig24" => one(fig24(scale)),
-        "fig25" => one(fig25(scale)),
-        "fig26" => one(fig26(scale)),
-        "table1" => one(table1()),
-        "ablation" => one(ablation(scale)),
-        "colors" => one(colors(scale)),
-        "clq" => one(clq_designs(scale)),
-        "summary" => one(summary(scale)),
-        "all" => Some(vec![
-            ablation(scale),
-            fig4(scale),
-            fig14(scale),
-            fig15(scale),
-            fig18(),
-            fig19(scale),
-            fig20(scale),
-            fig21(scale),
-            fig22(scale),
-            fig23(scale),
-            fig24(scale),
-            fig25(scale),
-            fig26(scale),
-            table1(),
-        ]),
-        _ => None,
+fn generate_one(target: &str, scale: Scale, engine: &Engine) -> Option<Table> {
+    Some(match target {
+        "fig4" => fig4(engine, scale),
+        "fig14" => fig14(engine, scale),
+        "fig15" => fig15(engine, scale),
+        "fig18" => fig18(),
+        "fig19" => fig19(engine, scale),
+        "fig20" => fig20(engine, scale),
+        "fig21" => fig21(engine, scale),
+        "fig22" => fig22(engine, scale),
+        "fig23" => fig23(engine, scale),
+        "fig24" => fig24(engine, scale),
+        "fig25" => fig25(engine, scale),
+        "fig26" => fig26(engine, scale),
+        "table1" => table1(),
+        "ablation" => ablation(engine, scale),
+        "colors" => colors(engine, scale),
+        "clq" => clq_designs(engine, scale),
+        "summary" => summary(engine, scale),
+        _ => return None,
+    })
+}
+
+/// Generate the requested tables with per-figure wall-clock. For `all`,
+/// figures run concurrently (each with a slice of the thread budget) while
+/// compiles and baseline runs dedup through the shared caches; results are
+/// gathered in `ALL_TARGETS` order so output is deterministic.
+fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<(Table, u128)>> {
+    if target != "all" {
+        let t0 = Instant::now();
+        let t = generate_one(target, scale, engine)?;
+        return Some(vec![(t, t0.elapsed().as_millis())]);
     }
+    let outer = engine.threads().min(ALL_TARGETS.len());
+    let inner = (engine.threads() / outer.max(1)).max(1);
+    let per_figure = engine.with_threads(inner);
+    Some(par_map(&ALL_TARGETS, outer, |_, name| {
+        let t0 = Instant::now();
+        let t = generate_one(name, scale, &per_figure).expect("all targets are known");
+        (t, t0.elapsed().as_millis())
+    }))
+}
+
+/// Machine-readable perf record (hand-rolled JSON; see `table.rs`).
+fn bench_json(
+    target: &str,
+    scale: Scale,
+    threads: usize,
+    cache: bool,
+    wall_ms: u128,
+    figures: &[(Table, u128)],
+) -> String {
+    let scale_name = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"target\": {},\n", json_string(target)));
+    out.push_str(&format!("  \"scale\": {},\n", json_string(scale_name)));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"cache\": {cache},\n"));
+    out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    out.push_str("  \"figures\": [");
+    for (i, (t, ms)) in figures.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"id\": {}, \"wall_ms\": {ms}}}",
+            json_string(&t.id)
+        ));
+    }
+    if !figures.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}\n");
+    out
 }
 
 fn main() -> ExitCode {
@@ -71,11 +128,26 @@ fn main() -> ExitCode {
     let mut target: Option<String> = None;
     let mut scale = Scale::Full;
     let mut json = false;
-    for a in &args {
+    let mut cache = true;
+    let mut threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1);
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
         match a.as_str() {
             "--smoke" => scale = Scale::Smoke,
             "--full" => scale = Scale::Full,
             "--json" => json = true,
+            "--no-cache" => cache = false,
+            "--threads" => {
+                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
+                    return usage();
+                };
+                if n == 0 {
+                    return usage();
+                }
+                threads = n;
+            }
             t if target.is_none() && !t.starts_with('-') => target = Some(t.to_string()),
             _ => return usage(),
         }
@@ -83,15 +155,35 @@ fn main() -> ExitCode {
     let Some(target) = target else {
         return usage();
     };
-    let Some(tables) = generate(&target, scale) else {
+    let mut engine = Engine::new(threads);
+    if !cache {
+        engine = engine.without_cache();
+    }
+    let t0 = Instant::now();
+    let Some(tables) = generate(&target, scale, &engine) else {
         return usage();
     };
-    for t in &tables {
+    let wall_ms = t0.elapsed().as_millis();
+    for (t, _) in &tables {
         if json {
             println!("{}", t.to_json());
         } else {
             println!("{t}");
         }
+    }
+    for (t, ms) in &tables {
+        eprintln!("# {}: {ms} ms", t.id);
+    }
+    eprintln!(
+        "# total: {wall_ms} ms ({} threads, cache {}, {} compiles, {} sims)",
+        threads,
+        if cache { "on" } else { "off" },
+        engine.compile_count(),
+        engine.sim_count()
+    );
+    let record = bench_json(&target, scale, threads, cache, wall_ms, &tables);
+    if let Err(e) = std::fs::write("BENCH_reproduce.json", record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
     ExitCode::SUCCESS
 }

@@ -1,0 +1,314 @@
+//! Memoizing, parallel evaluation engine.
+//!
+//! The paper's evaluation is a grid — 36 kernels × schemes × WCDL × SB/CLQ
+//! sensitivity points — and most of that grid repeats work: every figure
+//! re-normalizes against the same baseline run, and every sim point of a
+//! WCDL sweep recompiles the identical (kernel, compiler config) pair. The
+//! engine removes both redundancies and fans the remainder out:
+//!
+//! * a **compile cache** keyed by `(KernelId, CompilerConfig)` — each kernel
+//!   compiles once per scheme across *all* figures;
+//! * a **run cache** keyed by `(KernelId, CompilerConfig, SimConfig)` — the
+//!   baseline cycle count (and any other repeated sim point) is simulated
+//!   once and shared, so e.g. fig19/fig20/fig22/summary all reuse one
+//!   baseline run per kernel;
+//! * a **parallel executor** ([`Engine::per_kernel`]) that evaluates the
+//!   kernels of a figure concurrently via [`par_map`], gathering results in
+//!   input order so table output is byte-identical to the serial harness.
+//!
+//! Clones share caches ([`Engine::with_threads`]), which is how the
+//! `reproduce all` driver splits its thread budget across figures while
+//! still deduplicating compiles and baseline runs globally.
+//!
+//! Caching is sound because kernel programs are pure functions of their
+//! [`KernelId`] (see `turnpike_workloads::catalog`) and both configuration
+//! types are plain-data `Eq + Hash` keys covering every knob that affects
+//! the output.
+
+use std::collections::hash_map::Entry;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use turnpike_compiler::{compile, CompileOutput, CompilerConfig};
+use turnpike_resilience::{par_map, run_compiled, RunResult, RunSpec, Scheme};
+use turnpike_sim::SimConfig;
+use turnpike_workloads::{Kernel, KernelId};
+
+type CompileKey = (KernelId, CompilerConfig);
+type RunKey = (KernelId, CompilerConfig, SimConfig);
+
+#[derive(Default)]
+struct Caches {
+    compiles: Mutex<HashMap<CompileKey, Arc<CompileOutput>>>,
+    runs: Mutex<HashMap<RunKey, Arc<RunResult>>>,
+    /// Distinct compilations performed (cache insertions; every call when
+    /// the cache is disabled). When concurrent threads race on one key the
+    /// loser's work is discarded uncounted, so with caching on this equals
+    /// the number of distinct `(kernel, config)` pairs ever compiled.
+    compiles_done: AtomicUsize,
+    /// Distinct simulations performed, same accounting as `compiles_done`.
+    sims_done: AtomicUsize,
+}
+
+/// Shared-cache grid executor. Cheap to clone; clones share caches and
+/// counters, so figure generators can be handed per-figure thread budgets
+/// while deduplicating work globally.
+#[derive(Clone)]
+pub struct Engine {
+    caches: Arc<Caches>,
+    threads: usize,
+    cache: bool,
+}
+
+impl Engine {
+    /// An engine with fresh caches using up to `threads` worker threads for
+    /// [`Engine::per_kernel`] fan-out. `threads == 1` is exactly the serial
+    /// harness (no thread overhead, same iteration order).
+    pub fn new(threads: usize) -> Self {
+        Engine {
+            caches: Arc::new(Caches::default()),
+            threads: threads.max(1),
+            cache: true,
+        }
+    }
+
+    /// A serial engine (memoization still on).
+    pub fn serial() -> Self {
+        Engine::new(1)
+    }
+
+    /// Same caches, different thread budget. Used by `reproduce all` to run
+    /// figures concurrently with `total / figures` threads each.
+    pub fn with_threads(&self, threads: usize) -> Self {
+        Engine {
+            caches: Arc::clone(&self.caches),
+            threads: threads.max(1),
+            cache: self.cache,
+        }
+    }
+
+    /// Disable memoization (every call compiles and simulates from scratch).
+    /// This is the seed harness's behavior, kept for perf comparisons.
+    pub fn without_cache(mut self) -> Self {
+        self.cache = false;
+        self
+    }
+
+    /// Worker threads used by [`Engine::per_kernel`].
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether memoization is enabled.
+    pub fn cache_enabled(&self) -> bool {
+        self.cache
+    }
+
+    /// Number of compilations performed so far (see [`Caches`] accounting).
+    pub fn compile_count(&self) -> usize {
+        self.caches.compiles_done.load(Ordering::Relaxed)
+    }
+
+    /// Number of simulations performed so far.
+    pub fn sim_count(&self) -> usize {
+        self.caches.sims_done.load(Ordering::Relaxed)
+    }
+
+    /// Compile `kernel` under `cc`, memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the kernel name) on compile errors — figure generators
+    /// treat any failure on catalog kernels as a harness bug.
+    pub fn compile(&self, kernel: &Kernel, cc: &CompilerConfig) -> Arc<CompileOutput> {
+        let do_compile = || {
+            Arc::new(
+                compile(&kernel.program, cc)
+                    .unwrap_or_else(|e| panic!("{}: compile: {e}", kernel.name)),
+            )
+        };
+        if !self.cache {
+            self.caches.compiles_done.fetch_add(1, Ordering::Relaxed);
+            return do_compile();
+        }
+        let key = (kernel.id(), cc.clone());
+        if let Some(hit) = self.caches.compiles.lock().expect("compile cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        // Compile outside the lock so distinct keys compile concurrently;
+        // first insertion wins and racing duplicates are dropped uncounted.
+        let out = do_compile();
+        match self
+            .caches
+            .compiles
+            .lock()
+            .expect("compile cache")
+            .entry(key)
+        {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => {
+                self.caches.compiles_done.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(out))
+            }
+        }
+    }
+
+    /// Compile and simulate under explicit configurations, memoized. This is
+    /// the ablation/sensitivity entry point; [`Engine::run`] wraps it for
+    /// [`RunSpec`]-shaped points.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the kernel name) on compile or simulation errors.
+    pub fn run_configs(
+        &self,
+        kernel: &Kernel,
+        cc: &CompilerConfig,
+        sc: &SimConfig,
+    ) -> Arc<RunResult> {
+        let do_run = |compiled: &CompileOutput| {
+            Arc::new(
+                run_compiled(compiled, sc)
+                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name)),
+            )
+        };
+        if !self.cache {
+            self.caches.sims_done.fetch_add(1, Ordering::Relaxed);
+            return do_run(&self.compile(kernel, cc));
+        }
+        let key = (kernel.id(), cc.clone(), sc.clone());
+        if let Some(hit) = self.caches.runs.lock().expect("run cache").get(&key) {
+            return Arc::clone(hit);
+        }
+        let result = do_run(&self.compile(kernel, cc));
+        match self.caches.runs.lock().expect("run cache").entry(key) {
+            Entry::Occupied(e) => Arc::clone(e.get()),
+            Entry::Vacant(v) => {
+                self.caches.sims_done.fetch_add(1, Ordering::Relaxed);
+                Arc::clone(v.insert(result))
+            }
+        }
+    }
+
+    /// Run `kernel` under `spec`, memoized.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the kernel name) on compile or simulation errors.
+    pub fn run(&self, kernel: &Kernel, spec: &RunSpec) -> Arc<RunResult> {
+        self.run_configs(kernel, &spec.compiler_config(), &spec.sim_config())
+    }
+
+    /// Baseline cycle count for `kernel` at the given store-buffer size —
+    /// the denominator of every normalized-time figure, simulated once per
+    /// (kernel, SB) across the whole evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the kernel name) on compile or simulation errors.
+    pub fn baseline_cycles(&self, kernel: &Kernel, sb_size: u32) -> f64 {
+        self.run(kernel, &RunSpec::new(Scheme::Baseline).with_sb(sb_size))
+            .outcome
+            .stats
+            .cycles as f64
+    }
+
+    /// Normalized execution time of `spec` relative to the unprotected
+    /// baseline on the same kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with the kernel name) on compile or simulation errors.
+    pub fn normalized(&self, kernel: &Kernel, spec: &RunSpec) -> f64 {
+        let cycles = self.run(kernel, spec).outcome.stats.cycles as f64;
+        cycles / self.baseline_cycles(kernel, spec.sb_size)
+    }
+
+    /// Evaluate `f` over every kernel, in parallel up to the engine's thread
+    /// budget, returning results in input order (so tables built from the
+    /// output are byte-identical at any thread count).
+    pub fn per_kernel<R, F>(&self, kernels: &[Kernel], f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(&Kernel) -> R + Sync,
+    {
+        par_map(kernels, self.threads, |_, k| f(k))
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Engine::serial()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_workloads::{kernel_by_name, Scale, Suite};
+
+    fn kernel() -> Kernel {
+        kernel_by_name(Suite::Cpu2006, "bwaves", Scale::Smoke).expect("known kernel")
+    }
+
+    #[test]
+    fn run_is_memoized() {
+        let e = Engine::serial();
+        let k = kernel();
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let a = e.run(&k, &spec);
+        let b = e.run(&k, &spec);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(e.compile_count(), 1);
+        assert_eq!(e.sim_count(), 1);
+    }
+
+    #[test]
+    fn distinct_sim_points_share_one_compile() {
+        let e = Engine::serial();
+        let k = kernel();
+        for wcdl in [10, 30, 50] {
+            e.run(&k, &RunSpec::new(Scheme::Turnpike).with_wcdl(wcdl));
+        }
+        assert_eq!(e.compile_count(), 1, "one compile per (kernel, config)");
+        assert_eq!(e.sim_count(), 3, "one sim per WCDL point");
+    }
+
+    #[test]
+    fn without_cache_repeats_work() {
+        let e = Engine::serial().without_cache();
+        let k = kernel();
+        let spec = RunSpec::new(Scheme::Turnstile);
+        let a = e.run(&k, &spec);
+        let b = e.run(&k, &spec);
+        assert_eq!(e.compile_count(), 2);
+        assert_eq!(e.sim_count(), 2);
+        assert_eq!(a.outcome.stats.cycles, b.outcome.stats.cycles);
+    }
+
+    #[test]
+    fn clones_share_caches() {
+        let e = Engine::new(4);
+        let k = kernel();
+        e.run(&k, &RunSpec::new(Scheme::Baseline));
+        let clone = e.with_threads(1);
+        clone.run(&k, &RunSpec::new(Scheme::Baseline));
+        assert_eq!(e.sim_count(), 1);
+        assert_eq!(clone.sim_count(), 1);
+    }
+
+    #[test]
+    fn parallel_normalized_matches_serial() {
+        let ks: Vec<Kernel> = ["bwaves", "hmmer", "mcf", "gcc"]
+            .iter()
+            .map(|n| kernel_by_name(Suite::Cpu2006, n, Scale::Smoke).unwrap())
+            .collect();
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let serial = Engine::new(1);
+        let par = Engine::new(4);
+        let a = serial.per_kernel(&ks, |k| serial.normalized(k, &spec));
+        let b = par.per_kernel(&ks, |k| par.normalized(k, &spec));
+        assert_eq!(a, b);
+    }
+}

@@ -1,8 +1,15 @@
 //! One generator per table/figure of the paper's evaluation.
+//!
+//! Every generator that runs kernels takes an [`Engine`]: kernels are
+//! evaluated in parallel up to the engine's thread budget, and compiles,
+//! baseline runs, and repeated sim points are memoized across figures.
+//! Results are gathered in kernel order, so a table's contents are
+//! byte-identical at any thread count.
 
+use crate::engine::Engine;
 use crate::table::Table;
 use turnpike_model::Table1;
-use turnpike_resilience::{geomean, run_kernel, RunSpec, Scheme};
+use turnpike_resilience::{geomean, RunSpec, Scheme};
 use turnpike_sensor::SensorGrid;
 use turnpike_sim::ClqKind;
 use turnpike_workloads::{all_kernels, Kernel, Scale, Suite};
@@ -51,31 +58,21 @@ fn append_geomeans(table: &mut Table, kernels: &[Kernel], per_kernel: &[Vec<f64>
 }
 
 /// Run one scheme/platform over all kernels; returns normalized times.
-fn normalized_over_kernels(kernels: &[Kernel], specs: &[RunSpec]) -> Vec<Vec<f64>> {
-    kernels
-        .iter()
-        .map(|k| {
-            let base = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::Baseline).with_sb(specs[0].sb_size),
-            )
-            .unwrap_or_else(|e| panic!("{}: baseline: {e}", k.name));
-            let base_cycles = base.outcome.stats.cycles as f64;
-            specs
-                .iter()
-                .map(|spec| {
-                    let r = run_kernel(&k.program, spec)
-                        .unwrap_or_else(|e| panic!("{}: {:?}: {e}", k.name, spec.scheme));
-                    r.outcome.stats.cycles as f64 / base_cycles
-                })
-                .collect()
-        })
-        .collect()
+/// Kernels evaluate in parallel; the baseline denominator comes from the
+/// engine's run cache (one sim per kernel/SB across the whole evaluation).
+fn normalized_over_kernels(engine: &Engine, kernels: &[Kernel], specs: &[RunSpec]) -> Vec<Vec<f64>> {
+    engine.per_kernel(kernels, |k| {
+        let base_cycles = engine.baseline_cycles(k, specs[0].sb_size);
+        specs
+            .iter()
+            .map(|spec| engine.run(k, spec).outcome.stats.cycles as f64 / base_cycles)
+            .collect()
+    })
 }
 
 /// Figure 4: ratio of checkpoint instructions to all dynamic instructions,
 /// for a 40-entry vs a 4-entry store buffer (Turnstile compilation).
-pub fn fig4(scale: Scale) -> Table {
+pub fn fig4(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig4",
         "Checkpoint ratio of dynamic instructions: SB-40 vs SB-4 (Turnstile)",
@@ -85,19 +82,20 @@ pub fn fig4(scale: Scale) -> Table {
         .into_iter()
         .filter(|k| k.suite != Suite::Splash3) // the paper plots SPEC only
         .collect();
-    let mut per = Vec::new();
-    for k in &ks {
-        let mut row = Vec::new();
-        for sb in [40u32, 4] {
-            let r = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::Turnstile).with_sb(sb),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            row.push(r.outcome.stats.ckpt_ratio());
-        }
-        per.push(row.clone());
-        t.push(label(k), row);
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        [40u32, 4]
+            .iter()
+            .map(|&sb| {
+                engine
+                    .run(k, &RunSpec::new(Scheme::Turnstile).with_sb(sb))
+                    .outcome
+                    .stats
+                    .ckpt_ratio()
+            })
+            .collect()
+    });
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
     }
     // Arithmetic means, as the paper reports percentages.
     let n = per.len() as f64;
@@ -110,7 +108,7 @@ pub fn fig4(scale: Scale) -> Table {
 
 /// Figures 14: runtime overhead of the ideal vs compact CLQ, with only
 /// WAR-free checking and coloring enabled (no compiler optimizations).
-pub fn fig14(scale: Scale) -> Table {
+pub fn fig14(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig14",
         "Normalized time: ideal CLQ vs compact 2-entry CLQ (fast release only, WCDL 10)",
@@ -121,7 +119,7 @@ pub fn fig14(scale: Scale) -> Table {
         RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
         RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Compact(2)),
     ];
-    let per = normalized_over_kernels(&ks, &specs);
+    let per = normalized_over_kernels(engine, &ks, &specs);
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
     }
@@ -130,28 +128,26 @@ pub fn fig14(scale: Scale) -> Table {
 }
 
 /// Figure 15: fraction of all stores detected WAR-free, ideal vs compact.
-pub fn fig15(scale: Scale) -> Table {
+pub fn fig15(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig15",
         "WAR-free stores / all stores: ideal vs compact CLQ (WCDL 10)",
         &["Ideal CLQ", "Compact CLQ"],
     );
     let ks = kernels(scale);
-    let mut per = Vec::new();
-    for k in &ks {
-        let mut row = Vec::new();
-        for clq in [ClqKind::Ideal, ClqKind::Compact(2)] {
-            let r = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::FastRelease).with_clq(clq),
-            )
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            let s = &r.outcome.stats;
-            let all = s.all_stores().max(1) as f64;
-            row.push((s.war_free_released + s.colored_released) as f64 / all);
-        }
-        per.push(row.clone());
-        t.push(label(k), row);
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        [ClqKind::Ideal, ClqKind::Compact(2)]
+            .iter()
+            .map(|&clq| {
+                let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(clq));
+                let s = &r.outcome.stats;
+                let all = s.all_stores().max(1) as f64;
+                (s.war_free_released + s.colored_released) as f64 / all
+            })
+            .collect()
+    });
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
     }
     let n = per.len() as f64;
     let mean: Vec<f64> = (0..2)
@@ -186,16 +182,16 @@ pub fn fig18() -> Table {
 }
 
 /// Figure 19: Turnpike normalized time across WCDL 10..50.
-pub fn fig19(scale: Scale) -> Table {
-    wcdl_sweep("fig19", "Turnpike normalized time vs WCDL", Scheme::Turnpike, scale)
+pub fn fig19(engine: &Engine, scale: Scale) -> Table {
+    wcdl_sweep(engine, "fig19", "Turnpike normalized time vs WCDL", Scheme::Turnpike, scale)
 }
 
 /// Figure 20: Turnstile normalized time across WCDL 10..50.
-pub fn fig20(scale: Scale) -> Table {
-    wcdl_sweep("fig20", "Turnstile normalized time vs WCDL", Scheme::Turnstile, scale)
+pub fn fig20(engine: &Engine, scale: Scale) -> Table {
+    wcdl_sweep(engine, "fig20", "Turnstile normalized time vs WCDL", Scheme::Turnstile, scale)
 }
 
-fn wcdl_sweep(id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
+fn wcdl_sweep(engine: &Engine, id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
     let columns: Vec<String> = WCDLS.iter().map(|w| format!("DL{w}")).collect();
     let col_refs: Vec<&str> = columns.iter().map(String::as_str).collect();
     let mut t = Table::new(id, title, &col_refs);
@@ -204,7 +200,7 @@ fn wcdl_sweep(id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
         .iter()
         .map(|&w| RunSpec::new(scheme).with_wcdl(w))
         .collect();
-    let per = normalized_over_kernels(&ks, &specs);
+    let per = normalized_over_kernels(engine, &ks, &specs);
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
     }
@@ -213,7 +209,7 @@ fn wcdl_sweep(id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
 }
 
 /// Figure 21: the eight-configuration optimization ladder at WCDL 10.
-pub fn fig21(scale: Scale) -> Table {
+pub fn fig21(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig21",
         "Optimization ladder, normalized time at WCDL 10",
@@ -230,7 +226,7 @@ pub fn fig21(scale: Scale) -> Table {
     );
     let ks = kernels(scale);
     let specs: Vec<RunSpec> = Scheme::LADDER.iter().map(|&s| RunSpec::new(s)).collect();
-    let per = normalized_over_kernels(&ks, &specs);
+    let per = normalized_over_kernels(engine, &ks, &specs);
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
     }
@@ -240,7 +236,7 @@ pub fn fig21(scale: Scale) -> Table {
 
 /// Figure 22: SB-size sensitivity at WCDL 10 (Turnpike on 4/8/10;
 /// Turnstile on 8/10/20/30/40).
-pub fn fig22(scale: Scale) -> Table {
+pub fn fig22(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig22",
         "Normalized time vs store buffer size (WCDL 10)",
@@ -256,13 +252,9 @@ pub fn fig22(scale: Scale) -> Table {
         ],
     );
     let ks = kernels(scale);
-    let mut per = Vec::new();
-    for k in &ks {
-        let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        let base_cycles = base.outcome.stats.cycles as f64;
-        let mut row = Vec::new();
-        for (scheme, sb) in [
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        let base_cycles = engine.baseline_cycles(k, 4);
+        [
             (Scheme::Turnpike, 4u32),
             (Scheme::Turnpike, 8),
             (Scheme::Turnpike, 10),
@@ -271,13 +263,16 @@ pub fn fig22(scale: Scale) -> Table {
             (Scheme::Turnstile, 20),
             (Scheme::Turnstile, 30),
             (Scheme::Turnstile, 40),
-        ] {
-            let r = run_kernel(&k.program, &RunSpec::new(scheme).with_sb(sb))
-                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-            row.push(r.outcome.stats.cycles as f64 / base_cycles);
-        }
-        per.push(row.clone());
-        t.push(label(k), row);
+        ]
+        .iter()
+        .map(|&(scheme, sb)| {
+            let r = engine.run(k, &RunSpec::new(scheme).with_sb(sb));
+            r.outcome.stats.cycles as f64 / base_cycles
+        })
+        .collect()
+    });
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
     }
     append_geomeans(&mut t, &ks, &per);
     t
@@ -286,7 +281,7 @@ pub fn fig22(scale: Scale) -> Table {
 /// Figure 23: breakdown of all stores into the paper's categories, under
 /// full Turnpike at WCDL 10. Removal categories (pruned / LICM / RA / LIVM)
 /// are estimated against a Turnstile compile of the same kernel.
-pub fn fig23(scale: Scale) -> Table {
+pub fn fig23(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig23",
         "Store breakdown under Turnpike (fractions of the Turnstile store count)",
@@ -301,29 +296,25 @@ pub fn fig23(scale: Scale) -> Table {
         ],
     );
     let ks = kernels(scale);
-    let mut sums = [0.0; 7];
-    for k in &ks {
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
         // Reference: dynamic stores under Turnstile (checkpoints included).
-        let ts = run_kernel(&k.program, &RunSpec::new(Scheme::Turnstile))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let ts = engine.run(k, &RunSpec::new(Scheme::Turnstile));
         let total = ts.outcome.stats.all_stores().max(1) as f64;
         // Turnpike run for the dynamic release categories.
-        let tp = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        let tp = engine.run(k, &RunSpec::new(Scheme::Turnpike));
         let s = &tp.outcome.stats;
         // Eliminated = Turnstile stores that no longer exist under Turnpike.
         let eliminated = (total - s.all_stores() as f64).max(0.0);
         // Static attribution of the eliminated mass.
         let cs = &tp.compile_stats;
-        let static_removed =
-            (cs.ckpts_pruned + cs.ckpts_licm_removed).max(1) as f64;
+        let static_removed = (cs.ckpts_pruned + cs.ckpts_licm_removed).max(1) as f64;
         let pruned = eliminated * cs.ckpts_pruned as f64 / static_removed;
         let licm = eliminated * cs.ckpts_licm_removed as f64 / static_removed;
         // RA and LIVM savings measured directly against ablations.
         let no_ra = {
             let mut cc = Scheme::Turnpike.compiler_config(4);
             cc.store_aware_ra = false;
-            turnpike_compiler::compile(&k.program, &cc).expect("compiles")
+            engine.compile(k, &cc)
         };
         let ra_saved = no_ra
             .stats
@@ -333,7 +324,7 @@ pub fn fig23(scale: Scale) -> Table {
         let colored = s.colored_released as f64;
         let warfree = s.war_free_released as f64;
         let others = (total - pruned - licm - colored - warfree).max(0.0);
-        let row = [
+        vec![
             pruned / total,
             licm / total,
             colored / total,
@@ -341,11 +332,14 @@ pub fn fig23(scale: Scale) -> Table {
             (ra_saved / total).min(1.0),
             (livm_saved / total).min(1.0),
             others / total,
-        ];
+        ]
+    });
+    let mut sums = [0.0; 7];
+    for (k, row) in ks.iter().zip(&per) {
         for (acc, v) in sums.iter_mut().zip(row.iter()) {
             *acc += v;
         }
-        t.push(label(k), row.to_vec());
+        t.push(label(k), row.clone());
     }
     let n = ks.len() as f64;
     t.push("mean.all", sums.iter().map(|v| v / n).collect());
@@ -354,27 +348,26 @@ pub fn fig23(scale: Scale) -> Table {
 
 /// Figure 24: average and maximum dynamic CLQ entries populated (ideal CLQ,
 /// which reveals true per-region demand), WCDL 10.
-pub fn fig24(scale: Scale) -> Table {
+pub fn fig24(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig24",
         "Dynamic CLQ entries populated (WCDL 10)",
         &["Average", "Maximum"],
     );
     let ks = kernels(scale);
-    for k in &ks {
-        let r = run_kernel(
-            &k.program,
-            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
-        )
-        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal));
         let c = r.outcome.stats.clq;
-        t.push(label(k), vec![c.avg_entries(), c.peak_entries as f64]);
+        vec![c.avg_entries(), c.peak_entries as f64]
+    });
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
     }
     t
 }
 
 /// Figure 25: 2-entry vs 4-entry compact CLQ, normalized time at WCDL 10.
-pub fn fig25(scale: Scale) -> Table {
+pub fn fig25(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig25",
         "Compact CLQ sizing: 2 vs 4 entries (WCDL 10)",
@@ -385,7 +378,7 @@ pub fn fig25(scale: Scale) -> Table {
         RunSpec::new(Scheme::Turnpike).with_clq(ClqKind::Compact(2)),
         RunSpec::new(Scheme::Turnpike).with_clq(ClqKind::Compact(4)),
     ];
-    let per = normalized_over_kernels(&ks, &specs);
+    let per = normalized_over_kernels(engine, &ks, &specs);
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
     }
@@ -395,23 +388,26 @@ pub fn fig25(scale: Scale) -> Table {
 
 /// Figure 26: average dynamic region size (instructions) and code-size
 /// increase over the baseline binary.
-pub fn fig26(scale: Scale) -> Table {
+pub fn fig26(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "fig26",
         "Region size (insts) and code size increase (%) under Turnpike",
         &["Region size", "Code size +%"],
     );
     let ks = kernels(scale);
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        let r = engine.run(k, &RunSpec::new(Scheme::Turnpike));
+        vec![
+            r.outcome.stats.avg_region_insts,
+            r.compile_stats.code_size_increase() * 100.0,
+        ]
+    });
     let mut sizes = Vec::new();
     let mut growth = Vec::new();
-    for k in &ks {
-        let r = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        let rs = r.outcome.stats.avg_region_insts;
-        let cg = r.compile_stats.code_size_increase() * 100.0;
-        sizes.push(rs);
-        growth.push(cg);
-        t.push(label(k), vec![rs, cg]);
+    for (k, row) in ks.iter().zip(&per) {
+        sizes.push(row[0]);
+        growth.push(row[1]);
+        t.push(label(k), row.clone());
     }
     t.push(
         "geomean.all",
@@ -449,8 +445,7 @@ pub fn table1() -> Table {
 /// and 50. Quantifies what each of the paper's six mechanisms contributes
 /// to the final configuration (complementing Figure 21, which *adds* them
 /// cumulatively).
-pub fn ablation(scale: Scale) -> Table {
-    use turnpike_resilience::run_custom;
+pub fn ablation(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "ablation",
         "Turnpike minus one technique (geomean normalized time)",
@@ -482,29 +477,25 @@ pub fn ablation(scale: Scale) -> Table {
     for (label, knob) in variants {
         let mut row = Vec::new();
         for wcdl in [10u64, 50] {
-            let mut xs = Vec::new();
-            for k in &ks {
-                let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
-                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-                let mut cc = Scheme::Turnpike.compiler_config(4);
-                let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
-                match knob {
-                    Knob::None => {}
-                    Knob::Livm => cc.livm = false,
-                    Knob::Prune => cc.prune = false,
-                    Knob::Licm => cc.licm = false,
-                    Knob::Sched => cc.sched = false,
-                    Knob::Ra => cc.store_aware_ra = false,
-                    Knob::WarFree => {
-                        sc.war_free = false;
-                        sc.clq = ClqKind::Off;
-                    }
-                    Knob::Coloring => sc.coloring = false,
+            let mut cc = Scheme::Turnpike.compiler_config(4);
+            let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
+            match knob {
+                Knob::None => {}
+                Knob::Livm => cc.livm = false,
+                Knob::Prune => cc.prune = false,
+                Knob::Licm => cc.licm = false,
+                Knob::Sched => cc.sched = false,
+                Knob::Ra => cc.store_aware_ra = false,
+                Knob::WarFree => {
+                    sc.war_free = false;
+                    sc.clq = ClqKind::Off;
                 }
-                let r = run_custom(&k.program, &cc, &sc)
-                    .unwrap_or_else(|e| panic!("{}: {label}: {e}", k.name));
-                xs.push(r.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64);
+                Knob::Coloring => sc.coloring = false,
             }
+            let xs = engine.per_kernel(&ks, |k| {
+                let base = engine.baseline_cycles(k, 4);
+                engine.run_configs(k, &cc, &sc).outcome.stats.cycles as f64 / base
+            });
             row.push(geomean(&xs));
         }
         t.push(label, row);
@@ -512,13 +503,11 @@ pub fn ablation(scale: Scale) -> Table {
     t
 }
 
-
 /// Extension experiment: checkpoint color-pool sizing. The paper fixes the
 /// pool at 4 colors per register; this sweep shows why — fewer colors force
 /// checkpoint fallbacks into the gated SB once several regions are in
 /// flight, and the effect compounds with WCDL.
-pub fn colors(scale: Scale) -> Table {
-    use turnpike_resilience::run_custom;
+pub fn colors(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "colors",
         "Checkpoint color-pool sizing (geomean normalized time)",
@@ -528,17 +517,13 @@ pub fn colors(scale: Scale) -> Table {
     for pool in [1u8, 2, 4, 8] {
         let mut row = Vec::new();
         for wcdl in [10u64, 30, 50] {
-            let mut xs = Vec::new();
-            for k in &ks {
-                let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
-                    .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-                let cc = Scheme::Turnpike.compiler_config(4);
-                let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
-                sc.colors = pool;
-                let r = run_custom(&k.program, &cc, &sc)
-                    .unwrap_or_else(|e| panic!("{}: {pool} colors: {e}", k.name));
-                xs.push(r.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64);
-            }
+            let cc = Scheme::Turnpike.compiler_config(4);
+            let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
+            sc.colors = pool;
+            let xs = engine.per_kernel(&ks, |k| {
+                let base = engine.baseline_cycles(k, 4);
+                engine.run_configs(k, &cc, &sc).outcome.stats.cycles as f64 / base
+            });
             row.push(geomean(&xs));
         }
         t.push(format!("{pool} colors"), row);
@@ -547,7 +532,7 @@ pub fn colors(scale: Scale) -> Table {
 }
 
 /// One-screen digest of the headline comparison (geomeans only).
-pub fn summary(scale: Scale) -> Table {
+pub fn summary(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "summary",
         "Headline geomeans: normalized time vs WCDL",
@@ -559,7 +544,7 @@ pub fn summary(scale: Scale) -> Table {
             .iter()
             .map(|&w| RunSpec::new(scheme).with_wcdl(w))
             .collect();
-        let per = normalized_over_kernels(&ks, &specs);
+        let per = normalized_over_kernels(engine, &ks, &specs);
         let mut row = Vec::new();
         for c in 0..3 {
             let xs: Vec<f64> = per.iter().map(|v| v[c]).collect();
@@ -574,7 +559,7 @@ pub fn summary(scale: Scale) -> Table {
 /// ideal matching, a bounded 4-entry CAM (the costly design §4.3.1 argues
 /// against), and the paper's 2-entry compact range design — as runtime and
 /// WAR-free detection ratio.
-pub fn clq_designs(scale: Scale) -> Table {
+pub fn clq_designs(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "clq_designs",
         "CLQ designs (WCDL 10): normalized time and WAR-free detection ratio",
@@ -582,31 +567,27 @@ pub fn clq_designs(scale: Scale) -> Table {
     );
     let ks = kernels(scale);
     let designs = [ClqKind::Ideal, ClqKind::Cam(4), ClqKind::Compact(2)];
-    let mut sums = [0.0f64; 6];
-    for k in &ks {
-        let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))
-            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
-        let base_cycles = base.outcome.stats.cycles as f64;
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        let base_cycles = engine.baseline_cycles(k, 4);
         let mut row = vec![0.0; 6];
         for (i, &clq) in designs.iter().enumerate() {
-            let r = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::FastRelease).with_clq(clq),
-            )
-            .unwrap_or_else(|e| panic!("{}: {clq:?}: {e}", k.name));
+            let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(clq));
             row[i] = r.outcome.stats.cycles as f64 / base_cycles;
             row[3 + i] = r.outcome.stats.clq.war_free_ratio();
         }
+        row
+    });
+    let mut sums = [0.0f64; 6];
+    for (k, row) in ks.iter().zip(&per) {
         for (acc, v) in sums.iter_mut().zip(row.iter()) {
             *acc += v;
         }
-        t.push(label(k), row);
+        t.push(label(k), row.clone());
     }
     let n = ks.len() as f64;
     t.push("mean.all", sums.iter().map(|v| v / n).collect());
     t
 }
-
 
 #[cfg(test)]
 mod tests {
@@ -635,7 +616,7 @@ mod tests {
 
     #[test]
     fn fig4_small_smoke() {
-        let t = fig4(Scale::Smoke);
+        let t = fig4(&Engine::serial(), Scale::Smoke);
         let mean = t.row("mean.all").unwrap();
         // 4-entry SB needs at least as many checkpoints as 40-entry.
         assert!(mean[1] >= mean[0], "{mean:?}");
@@ -644,7 +625,7 @@ mod tests {
 
     #[test]
     fn fig21_ladder_improves_smoke() {
-        let t = fig21(Scale::Smoke);
+        let t = fig21(&Engine::serial(), Scale::Smoke);
         let g = t.row("geomean.all").unwrap();
         let (turnstile, turnpike) = (g[0], g[7]);
         assert!(

@@ -9,8 +9,10 @@
 //! workloads are synthetic stand-ins, so the claims to check are orderings,
 //! trends, and rough factors (see `EXPERIMENTS.md` for paper-vs-measured).
 
+pub mod engine;
 pub mod figures;
 pub mod table;
 
+pub use engine::Engine;
 pub use figures::*;
-pub use table::Table;
+pub use table::{json_number, json_string, Table};

@@ -1,10 +1,8 @@
 //! Tabular result container shared by all figure generators.
 
-use serde::Serialize;
-
 /// A named table of labeled numeric rows (one row per benchmark or series
 /// point, one column per configuration).
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Table {
     /// Figure/table identifier, e.g. `"fig19"`.
     pub id: String,
@@ -51,9 +49,77 @@ impl Table {
         Some(self.rows.iter().map(|(_, v)| v[idx]).collect())
     }
 
-    /// Serialize as pretty JSON.
+    /// Serialize as pretty JSON (hand-rolled: the build environment has no
+    /// registry access for serde, and the format is this one fixed shape).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("tables serialize")
+        let mut out = String::with_capacity(256 + self.rows.len() * 64);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_string(&self.id)));
+        out.push_str(&format!("  \"title\": {},\n", json_string(&self.title)));
+        out.push_str("  \"columns\": [");
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\n  \"rows\": [");
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    [");
+            out.push_str(&json_string(label));
+            out.push_str(", [");
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&json_number(*v));
+            }
+            out.push_str("]]");
+        }
+        if !self.rows.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}");
+        out
+    }
+}
+
+/// JSON-escape a string (control characters, quotes, backslashes).
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render a finite double as a JSON number (non-finite values have no JSON
+/// representation; emit null like serde_json does).
+pub fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    // `{}` on f64 prints the shortest representation that round-trips,
+    // which is valid JSON; force a decimal point for integral values so
+    // consumers see a float.
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
     }
 }
 

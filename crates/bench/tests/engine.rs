@@ -1,0 +1,48 @@
+//! Evaluation-engine contract tests: thread-count determinism and the
+//! memoization accounting the ISSUE's acceptance criteria pin down.
+
+use turnpike_bench::{fig19, summary, Engine};
+use turnpike_workloads::{all_kernels, Scale};
+
+/// Byte-identical JSON at `--threads 1` vs `--threads 8`: the parallel
+/// executor must gather results in kernel order regardless of scheduling.
+#[test]
+fn fig19_json_is_byte_identical_across_thread_counts() {
+    let serial = fig19(&Engine::new(1), Scale::Smoke).to_json();
+    let parallel = fig19(&Engine::new(8), Scale::Smoke).to_json();
+    assert_eq!(serial, parallel);
+}
+
+/// Compile count equals kernels × distinct compiler configs — NOT
+/// kernels × run calls. fig19 touches two configs per kernel (baseline and
+/// Turnpike; the five WCDL points differ only in SimConfig) and six sim
+/// points per kernel (one baseline + five WCDLs).
+#[test]
+fn compile_count_is_kernels_times_distinct_configs() {
+    let n = all_kernels(Scale::Smoke).len();
+    let e = Engine::new(1);
+    fig19(&e, Scale::Smoke);
+    assert_eq!(e.compile_count(), 2 * n, "baseline + turnpike per kernel");
+    assert_eq!(e.sim_count(), 6 * n, "baseline + 5 WCDL points per kernel");
+
+    // A repeated figure is fully served from the cache.
+    fig19(&e, Scale::Smoke);
+    assert_eq!(e.compile_count(), 2 * n);
+    assert_eq!(e.sim_count(), 6 * n);
+
+    // A figure over the same grid subset adds sims only for new points:
+    // summary reuses the baseline and the WCDL 10/30/50 Turnpike points,
+    // adding only Turnstile (1 compile + 3 sims per kernel).
+    summary(&e, Scale::Smoke);
+    assert_eq!(e.compile_count(), 3 * n, "only turnstile compiles are new");
+    assert_eq!(e.sim_count(), 9 * n, "3 new turnstile sims per kernel");
+}
+
+/// The cache, not just the thread pool, must be deterministic: cached and
+/// uncached evaluation agree exactly.
+#[test]
+fn cached_and_uncached_results_agree() {
+    let cached = fig19(&Engine::new(1), Scale::Smoke).to_json();
+    let uncached = fig19(&Engine::new(1).without_cache(), Scale::Smoke).to_json();
+    assert_eq!(cached, uncached);
+}

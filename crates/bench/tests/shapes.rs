@@ -2,13 +2,20 @@
 //! EXPERIMENTS.md must keep holding as the code evolves. All at smoke scale
 //! so the suite stays fast.
 
-use turnpike_bench::{ablation, fig15, fig19, fig20, fig21, fig22, fig24};
+use std::sync::OnceLock;
+use turnpike_bench::{ablation, fig15, fig19, fig20, fig21, fig22, fig24, Engine};
 use turnpike_workloads::Scale;
+
+/// One engine for the whole suite: tests share compiles and baseline runs.
+fn engine() -> &'static Engine {
+    static E: OnceLock<Engine> = OnceLock::new();
+    E.get_or_init(|| Engine::new(4))
+}
 
 #[test]
 fn turnpike_beats_turnstile_at_every_wcdl() {
-    let tp = fig19(Scale::Smoke);
-    let ts = fig20(Scale::Smoke);
+    let tp = fig19(engine(), Scale::Smoke);
+    let ts = fig20(engine(), Scale::Smoke);
     let tp_g = tp.row("geomean.all").unwrap().to_vec();
     let ts_g = ts.row("geomean.all").unwrap().to_vec();
     for (i, (a, b)) in tp_g.iter().zip(&ts_g).enumerate() {
@@ -21,7 +28,7 @@ fn turnpike_beats_turnstile_at_every_wcdl() {
 
 #[test]
 fn wcdl_growth_is_monotone_for_both_schemes() {
-    for table in [fig19(Scale::Smoke), fig20(Scale::Smoke)] {
+    for table in [fig19(engine(), Scale::Smoke), fig20(engine(), Scale::Smoke)] {
         let g = table.row("geomean.all").unwrap();
         for w in g.windows(2) {
             assert!(
@@ -35,7 +42,7 @@ fn wcdl_growth_is_monotone_for_both_schemes() {
 
 #[test]
 fn ladder_first_and_last_rungs_bracket_the_middle() {
-    let t = fig21(Scale::Smoke);
+    let t = fig21(engine(), Scale::Smoke);
     let g = t.row("geomean.all").unwrap();
     let turnstile = g[0];
     for (i, v) in g.iter().enumerate().skip(1) {
@@ -50,7 +57,7 @@ fn ladder_first_and_last_rungs_bracket_the_middle() {
 
 #[test]
 fn sb_scaling_directions() {
-    let t = fig22(Scale::Smoke);
+    let t = fig22(engine(), Scale::Smoke);
     let g = t.row("geomean.all").unwrap();
     // Columns: TP-4, TP-8, TP-10, TS-8, TS-10, TS-20, TS-30, TS-40.
     assert!(g[1] <= g[0] + 1e-9, "bigger SB must not hurt Turnpike");
@@ -61,7 +68,7 @@ fn sb_scaling_directions() {
 
 #[test]
 fn ideal_clq_detects_at_least_as_much() {
-    let t = fig15(Scale::Smoke);
+    let t = fig15(engine(), Scale::Smoke);
     for (label, row) in &t.rows {
         assert!(
             row[0] >= row[1] - 1e-9,
@@ -77,7 +84,7 @@ fn ideal_clq_detects_at_least_as_much() {
 
 #[test]
 fn clq_demand_fits_small_queues() {
-    let t = fig24(Scale::Smoke);
+    let t = fig24(engine(), Scale::Smoke);
     for (label, row) in &t.rows {
         assert!(row[0] <= 4.0, "{label}: average {:.2} entries", row[0]);
         assert!(row[1] <= 8.0, "{label}: peak {:.0} entries", row[1]);
@@ -86,7 +93,7 @@ fn clq_demand_fits_small_queues() {
 
 #[test]
 fn ablation_identifies_coloring_as_the_long_wcdl_lever() {
-    let t = ablation(Scale::Smoke);
+    let t = ablation(engine(), Scale::Smoke);
     let full = t.row("Turnpike (full)").unwrap().to_vec();
     let no_coloring = t.row("- HW coloring").unwrap().to_vec();
     let no_warfree = t.row("- WAR-free release").unwrap().to_vec();

@@ -8,7 +8,7 @@ use std::fmt;
 /// over this struct: `baseline()` (no resilience), `turnstile(sb)` (regions +
 /// eager checkpointing only), and `turnpike(sb)` (everything on); the
 /// intermediate rungs toggle individual fields.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct CompilerConfig {
     /// Insert verifiable regions and eager checkpoints (Turnstile base).
     /// When `false`, the program compiles without any resilience support.

@@ -7,8 +7,10 @@
 //! against the fault-free run. For resilient schemes every run must match —
 //! the acoustic-sensor guarantee is *zero* silent data corruption.
 
-use crate::driver::{run_kernel, run_kernel_with_faults, RunError, RunSpec};
+use crate::driver::{run_compiled_with_faults, RunError, RunSpec};
+use crate::par::par_map;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use turnpike_compiler::compile;
 use turnpike_ir::Program;
 use turnpike_sensor::StrikeSampler;
 use turnpike_sim::{Fault, FaultKind, FaultPlan};
@@ -50,7 +52,9 @@ pub struct CampaignReport {
     pub parity_detections: u64,
     /// Detections via the acoustic sensor.
     pub sensor_detections: u64,
-    /// Runs where the strike landed after program completion (no effect).
+    /// Strikes that landed at or after program completion (no effect) —
+    /// counted per strike, not per run, so multi-strike runs where only
+    /// some strikes land in-run are attributed correctly.
     pub post_completion: usize,
 }
 
@@ -61,7 +65,48 @@ impl CampaignReport {
     }
 }
 
-/// Run a fault-injection campaign.
+/// SplitMix64-style mix of the campaign seed and a run index, giving every
+/// run its own statistically independent RNG stream. Deriving streams from
+/// `(seed, run_index)` — instead of threading one sequential RNG through
+/// the whole campaign — is what makes runs order-independent, so they can
+/// execute on any thread in any order with identical results.
+fn run_seed(seed: u64, run_index: u64) -> u64 {
+    let mut z = seed.wrapping_add(run_index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fault plan of one campaign run, a pure function of the campaign
+/// seed, the run index, and the fault-free horizon.
+fn plan_for_run(config: &CampaignConfig, spec: &RunSpec, run_index: usize, horizon: u64) -> FaultPlan {
+    let s = run_seed(config.seed, run_index as u64);
+    let mut rng = StdRng::seed_from_u64(s);
+    let mut sampler = StrikeSampler::new(s ^ 0x5eed, spec.wcdl);
+    let mut faults = Vec::with_capacity(config.strikes_per_run);
+    for _ in 0..config.strikes_per_run {
+        let strike = sampler.sample(horizon);
+        let kind = if rng.gen_bool(0.5) {
+            FaultKind::RegisterParity {
+                reg: rng.gen_range(0..32),
+                bit: rng.gen_range(0..64),
+            }
+        } else {
+            FaultKind::Datapath {
+                bit: rng.gen_range(0..64),
+            }
+        };
+        faults.push(Fault {
+            strike_cycle: strike.cycle,
+            detect_latency: strike.detect_latency,
+            kind,
+        });
+    }
+    FaultPlan::new(faults)
+}
+
+/// Run a fault-injection campaign serially (equivalent to
+/// [`fault_campaign_par`] with one thread).
 ///
 /// # Errors
 ///
@@ -71,43 +116,48 @@ pub fn fault_campaign(
     spec: &RunSpec,
     config: &CampaignConfig,
 ) -> Result<CampaignReport, RunError> {
-    let golden = run_kernel(program, spec)?;
+    fault_campaign_par(program, spec, config, 1)
+}
+
+/// Run a fault-injection campaign on up to `threads` worker threads.
+///
+/// The kernel is compiled once; each run derives its fault plan from
+/// `(seed, run_index)` and simulates independently, so the report is
+/// identical for every thread count.
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted).
+pub fn fault_campaign_par(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+    threads: usize,
+) -> Result<CampaignReport, RunError> {
+    let compiled = compile(program, &spec.compiler_config())?;
+    let golden = run_compiled_with_faults(&compiled, spec, &FaultPlan::none())?;
     let horizon = golden.outcome.stats.cycles.max(2);
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut sampler = StrikeSampler::new(config.seed ^ 0x5eed, spec.wcdl);
+    let indices: Vec<usize> = (0..config.runs).collect();
+    let runs = par_map(&indices, threads, |_, &i| {
+        let plan = plan_for_run(config, spec, i, horizon);
+        run_compiled_with_faults(&compiled, spec, &plan)
+    });
     let mut report = CampaignReport {
         runs: config.runs,
         ..CampaignReport::default()
     };
-    for _ in 0..config.runs {
-        let mut faults = Vec::with_capacity(config.strikes_per_run);
-        for _ in 0..config.strikes_per_run {
-            let strike = sampler.sample(horizon);
-            let kind = if rng.gen_bool(0.5) {
-                FaultKind::RegisterParity {
-                    reg: rng.gen_range(0..32),
-                    bit: rng.gen_range(0..64),
-                }
-            } else {
-                FaultKind::Datapath {
-                    bit: rng.gen_range(0..64),
-                }
-            };
-            faults.push(Fault {
-                strike_cycle: strike.cycle,
-                detect_latency: strike.detect_latency,
-                kind,
-            });
-        }
-        let plan = FaultPlan::new(faults);
-        let run = run_kernel_with_faults(program, spec, &plan)?;
+    for run in runs {
+        let run = run?;
         report.recoveries += run.outcome.stats.recoveries;
         report.detections += run.outcome.stats.detections;
         report.parity_detections += run.outcome.stats.parity_detections;
         report.sensor_detections += run.outcome.stats.sensor_detections;
-        if run.outcome.stats.detections == 0 {
-            report.post_completion += 1;
-        }
+        // Strikes that outnumber detections landed at or past program
+        // completion and had no architectural effect. Counted per strike,
+        // not per run: a 3-strike run with one in-run strike contributes 2.
+        report.post_completion += config
+            .strikes_per_run
+            .saturating_sub(run.outcome.stats.detections as usize);
         if run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory {
             report.sdc += 1;
         }
@@ -195,5 +245,31 @@ mod tests {
         let a = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
         let b = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parallel_campaign_matches_serial() {
+        let p = kernel(Suite::Cpu2006, "hmmer");
+        let cfg = CampaignConfig {
+            runs: 8,
+            seed: 1234,
+            strikes_per_run: 2,
+        };
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let serial = fault_campaign(&p, &spec, &cfg).unwrap();
+        for threads in [2, 4, 8] {
+            let par = fault_campaign_par(&p, &spec, &cfg, threads).unwrap();
+            assert_eq!(serial, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn run_streams_are_independent() {
+        // Distinct run indices derive distinct seeds; same index is stable.
+        let seen: std::collections::BTreeSet<u64> =
+            (0..100).map(|i| super::run_seed(7, i)).collect();
+        assert_eq!(seen.len(), 100);
+        assert_eq!(super::run_seed(7, 3), super::run_seed(7, 3));
+        assert_ne!(super::run_seed(7, 3), super::run_seed(8, 3));
     }
 }

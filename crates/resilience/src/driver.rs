@@ -1,9 +1,9 @@
 //! Compile-and-simulate driver.
 
 use crate::scheme::Scheme;
-use turnpike_compiler::{compile, CompileError, PassStats};
+use turnpike_compiler::{compile, CompileError, CompileOutput, CompilerConfig, PassStats};
 use turnpike_ir::Program;
-use turnpike_sim::{ClqKind, Core, FaultPlan, SimError, SimOutcome};
+use turnpike_sim::{ClqKind, Core, FaultPlan, SimConfig, SimError, SimOutcome};
 
 /// A fully-specified run: scheme, platform knobs, and optional hardware
 /// overrides for the sensitivity studies.
@@ -47,6 +47,24 @@ impl RunSpec {
     pub fn with_clq(mut self, clq: ClqKind) -> Self {
         self.clq_override = Some(clq);
         self
+    }
+
+    /// The compiler configuration this spec compiles under. Two specs with
+    /// equal configurations produce identical machine code, which is what
+    /// lets the evaluation engine share one compile across run points.
+    pub fn compiler_config(&self) -> CompilerConfig {
+        self.scheme.compiler_config(self.sb_size)
+    }
+
+    /// The simulator configuration this spec runs under, with the CLQ
+    /// override (and its implied WAR-free gating) applied.
+    pub fn sim_config(&self) -> SimConfig {
+        let mut sc = self.scheme.sim_config(self.sb_size, self.wcdl);
+        if let Some(clq) = self.clq_override {
+            sc.clq = clq;
+            sc.war_free = !matches!(clq, ClqKind::Off) && sc.resilient;
+        }
+        sc
     }
 }
 
@@ -130,17 +148,41 @@ pub fn run_kernel_with_faults(
     spec: &RunSpec,
     faults: &FaultPlan,
 ) -> Result<RunResult, RunError> {
-    let cc = spec.scheme.compiler_config(spec.sb_size);
-    let compiled = compile(program, &cc)?;
-    let mut sc = spec.scheme.sim_config(spec.sb_size, spec.wcdl);
-    if let Some(clq) = spec.clq_override {
-        sc.clq = clq;
-        sc.war_free = !matches!(clq, ClqKind::Off) && sc.resilient;
-    }
-    let outcome = Core::new(&compiled.program, sc).run_with_faults(faults)?;
+    let compiled = compile(program, &spec.compiler_config())?;
+    run_compiled_with_faults(&compiled, spec, faults)
+}
+
+/// Simulate an already-compiled program fault-free under an explicit
+/// simulator configuration. The evaluation engine's run cache sits on top
+/// of this: one compile feeds every (WCDL, CLQ, colors, ...) sim point.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_compiled(compiled: &CompileOutput, sc: &SimConfig) -> Result<RunResult, RunError> {
+    let outcome = Core::new(&compiled.program, sc.clone()).run()?;
     Ok(RunResult {
         outcome,
-        compile_stats: compiled.stats,
+        compile_stats: compiled.stats.clone(),
+    })
+}
+
+/// Simulate an already-compiled program under `spec` with a fault plan.
+/// Fault campaigns and the evaluation engine use this to compile a kernel
+/// once and reuse the machine code across many simulations.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_compiled_with_faults(
+    compiled: &CompileOutput,
+    spec: &RunSpec,
+    faults: &FaultPlan,
+) -> Result<RunResult, RunError> {
+    let outcome = Core::new(&compiled.program, spec.sim_config()).run_with_faults(faults)?;
+    Ok(RunResult {
+        outcome,
+        compile_stats: compiled.stats.clone(),
     })
 }
 

@@ -29,8 +29,13 @@
 
 pub mod campaign;
 pub mod driver;
+pub mod par;
 pub mod scheme;
 
-pub use campaign::{fault_campaign, CampaignConfig, CampaignReport};
-pub use driver::{geomean, run_custom, run_kernel, RunError, RunResult, RunSpec};
+pub use campaign::{fault_campaign, fault_campaign_par, CampaignConfig, CampaignReport};
+pub use driver::{
+    geomean, run_compiled, run_compiled_with_faults, run_custom, run_kernel,
+    run_kernel_with_faults, RunError, RunResult, RunSpec,
+};
+pub use par::par_map;
 pub use scheme::Scheme;

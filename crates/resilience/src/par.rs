@@ -1,0 +1,109 @@
+//! Minimal deterministic parallel map.
+//!
+//! The build environment has no access to crates.io, so `rayon` is not
+//! available; this is the small slice of it the evaluation engine needs.
+//! Work is pulled from a shared atomic index (natural load balancing for
+//! items of very different cost, e.g. smoke vs full-scale kernels) and every
+//! result is written into its item's slot, so the output order is the input
+//! order regardless of thread count or scheduling — callers get byte-stable
+//! output for any `threads`.
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Apply `f` to every item, using up to `threads` worker threads, and
+/// return the results in input order. `f` receives `(index, &item)`.
+///
+/// `threads <= 1` (or a single item) runs inline on the caller's thread —
+/// the degenerate case is exactly a serial `map`, which keeps `--threads 1`
+/// free of any thread overhead and trivially deterministic.
+///
+/// # Panics
+///
+/// A panic inside `f` is resumed on the caller's thread after all workers
+/// stop picking up new items.
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let workers = threads.min(items.len());
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    return;
+                }
+                match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(r) => slots.lock().expect("slots poisoned")[i] = Some(r),
+                    Err(e) => {
+                        // First panic wins; park the payload and stop all
+                        // workers by exhausting the index.
+                        let mut p = panicked.lock().expect("panic slot poisoned");
+                        if p.is_none() {
+                            *p = Some(e);
+                        }
+                        next.store(items.len(), Ordering::Relaxed);
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    if let Some(e) = panicked.into_inner().expect("panic slot poisoned") {
+        resume_unwind(e);
+    }
+    slots
+        .into_inner()
+        .expect("slots poisoned")
+        .into_iter()
+        .map(|r| r.expect("every slot filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        for threads in [1, 2, 8] {
+            let out = par_map(&items, threads, |i, &x| {
+                assert_eq!(i as u64, x);
+                x * x
+            });
+            assert_eq!(out, items.iter().map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let none: Vec<u32> = Vec::new();
+        assert!(par_map(&none, 4, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[7u32], 4, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn panic_propagates() {
+        let items: Vec<u32> = (0..32).collect();
+        let r = std::panic::catch_unwind(|| {
+            par_map(&items, 4, |_, &x| {
+                if x == 13 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(r.is_err());
+    }
+}

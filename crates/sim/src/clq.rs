@@ -1,9 +1,13 @@
 //! Committed load queue designs (paper §4.3.1).
 //!
 //! The CLQ proves a committing regular store *WAR-free*: its address was not
-//! read earlier in the current region, so even if its (unverified) value is
-//! corrupted, restarting the region rewrites it and recovery still succeeds
-//! (paper Figure 12). WAR-free stores bypass the gated store buffer entirely.
+//! read by any still-unverified region, so even if its (unverified) value is
+//! corrupted, re-executing from the oldest unverified region rewrites it
+//! before anything reads it and recovery still succeeds (paper Figure 12).
+//! WAR-free stores bypass the gated store buffer entirely. The check must
+//! span *all* unverified regions — recovery rolls back to the oldest one, so
+//! a load anywhere in the unverified window is replayed and would observe a
+//! prematurely released value.
 //!
 //! Two designs share the [`Clq`] trait:
 //!
@@ -118,13 +122,14 @@ impl Clq for IdealClq {
         self.stats.peak_entries = self.stats.peak_entries.max(occ as u32);
     }
 
-    fn check_war_free(&mut self, addr: u64, region_seq: u64) -> bool {
+    fn check_war_free(&mut self, addr: u64, _region_seq: u64) -> bool {
         self.stats.stores_checked += 1;
+        // Any unverified region's load blocks the release, not only the
+        // storing region's own: rollback replays the whole unverified window.
         let war = self
             .regions
             .iter()
-            .find(|(r, _)| *r == region_seq)
-            .is_some_and(|(_, addrs)| addrs.binary_search(&addr).is_ok());
+            .any(|(_, addrs)| addrs.binary_search(&addr).is_ok());
         if !war {
             self.stats.war_free += 1;
         }
@@ -215,7 +220,7 @@ impl Clq for CompactClq {
         self.stats.peak_entries = self.stats.peak_entries.max(occ as u32);
     }
 
-    fn check_war_free(&mut self, addr: u64, region_seq: u64) -> bool {
+    fn check_war_free(&mut self, addr: u64, _region_seq: u64) -> bool {
         self.stats.stores_checked += 1;
         if !self.enabled {
             return false;
@@ -223,8 +228,7 @@ impl Clq for CompactClq {
         let war = self
             .entries
             .iter()
-            .find(|e| e.region_seq == region_seq)
-            .is_some_and(|e| addr >= e.min && addr <= e.max);
+            .any(|e| addr >= e.min && addr <= e.max);
         if !war {
             self.stats.war_free += 1;
         }
@@ -304,12 +308,12 @@ impl Clq for CamClq {
         self.stats.peak_entries = self.stats.peak_entries.max(occ as u32);
     }
 
-    fn check_war_free(&mut self, addr: u64, region_seq: u64) -> bool {
+    fn check_war_free(&mut self, addr: u64, _region_seq: u64) -> bool {
         self.stats.stores_checked += 1;
         if !self.enabled {
             return false;
         }
-        let war = self.entries.contains(&(region_seq, addr));
+        let war = self.entries.iter().any(|&(_, a)| a == addr);
         if !war {
             self.stats.war_free += 1;
         }
@@ -357,9 +361,13 @@ mod tests {
         c.record_load(0x200, 0);
         assert!(!c.check_war_free(0x100, 0)); // WAR
         assert!(c.check_war_free(0x180, 0)); // between loads: still free
-        assert!(c.check_war_free(0x100, 1)); // other region: free
+        // Another region's store still conflicts while region 0 is
+        // unverified: rollback replays region 0's loads.
+        assert!(!c.check_war_free(0x100, 1));
+        c.on_region_verified(0);
+        assert!(c.check_war_free(0x100, 1)); // reclaimed: free
         assert_eq!(c.stats().war_free, 2);
-        assert_eq!(c.stats().stores_checked, 3);
+        assert_eq!(c.stats().stores_checked, 4);
     }
 
     #[test]
@@ -452,6 +460,8 @@ mod tests {
         c.record_load(0x500, 1);
         c.record_load(0x500, 1);
         assert!(c.enabled());
+        // Unverified region 1's load blocks any region's store to 0x500.
+        assert!(!c.check_war_free(0x500, 2));
         c.on_region_verified(1);
         assert!(c.check_war_free(0x500, 2));
     }

@@ -76,11 +76,20 @@ impl Coloring {
             self.fast_released += 1;
             return Some(c);
         }
-        if self.ac[r] == 0 {
+        // The slot recovery reads must never hold unverified data. While a
+        // register has a verified color, that color is absent from AC by
+        // construction; while it has none, recovery falls back to slot 0,
+        // so color 0 is equally off-limits until a checkpoint verifies.
+        let avail = if self.vc[r].is_none() {
+            self.ac[r] & !1
+        } else {
+            self.ac[r]
+        };
+        if avail == 0 {
             self.fallbacks += 1;
             return None;
         }
-        let c = self.ac[r].trailing_zeros() as u8;
+        let c = avail.trailing_zeros() as u8;
         self.ac[r] &= !(1 << c);
         self.uc.push((region_seq, reg, c));
         self.fast_released += 1;
@@ -144,56 +153,71 @@ mod tests {
     #[test]
     fn assignment_walks_the_pool() {
         let mut c = Coloring::new(32, 4);
-        assert_eq!(c.try_assign(3, 0), Some(0));
-        assert_eq!(c.try_assign(3, 1), Some(1));
-        assert_eq!(c.try_assign(3, 2), Some(2));
-        assert_eq!(c.try_assign(3, 3), Some(3));
-        assert_eq!(c.try_assign(3, 4), None); // exhausted
+        // Slot 0 is the recovery default while nothing is verified, so the
+        // usable pool is colors 1..4 until a checkpoint verifies.
+        assert_eq!(c.try_assign(3, 0), Some(1));
+        assert_eq!(c.try_assign(3, 1), Some(2));
+        assert_eq!(c.try_assign(3, 2), Some(3));
+        assert_eq!(c.try_assign(3, 3), None); // exhausted
         assert_eq!(c.fallbacks, 1);
-        assert_eq!(c.fast_released, 4);
+        assert_eq!(c.fast_released, 3);
         // Other registers unaffected.
-        assert_eq!(c.try_assign(4, 4), Some(0));
+        assert_eq!(c.try_assign(4, 4), Some(1));
     }
 
     #[test]
     fn same_region_reuses_its_color() {
         let mut c = Coloring::new(32, 4);
-        assert_eq!(c.try_assign(7, 0), Some(0));
-        assert_eq!(c.try_assign(7, 0), Some(0)); // coalesce, no new color
-        assert_eq!(c.try_assign(7, 1), Some(1));
+        assert_eq!(c.try_assign(7, 0), Some(1));
+        assert_eq!(c.try_assign(7, 0), Some(1)); // coalesce, no new color
+        assert_eq!(c.try_assign(7, 1), Some(2));
     }
 
     #[test]
     fn verification_rotates_vc_and_reclaims() {
         let mut c = Coloring::new(32, 4);
-        // Paper Figure 17: region R0 takes black (0), R1 takes red (1).
-        assert_eq!(c.try_assign(2, 0), Some(0));
-        assert_eq!(c.try_assign(2, 1), Some(1));
+        // Paper Figure 17 rotation, offset by the reserved default slot:
+        // region R0 takes color 1, R1 takes color 2.
+        assert_eq!(c.try_assign(2, 0), Some(1));
+        assert_eq!(c.try_assign(2, 1), Some(2));
         assert_eq!(c.verified_color(2), 0); // nothing verified: default slot
         c.on_region_verified(0);
-        assert_eq!(c.verified_color(2), 0); // black verified
-        // Old VC was none, so only the bookkeeping changed; next assign uses
-        // a free color (2).
-        assert_eq!(c.try_assign(2, 2), Some(2));
+        assert_eq!(c.verified_color(2), 1);
+        // Now slot 0 is assignable (recovery reads slot 1).
+        assert_eq!(c.try_assign(2, 2), Some(0));
         c.on_region_verified(1);
-        assert_eq!(c.verified_color(2), 1); // red verified
-        // Black returned to AC and is reusable.
-        assert_eq!(c.try_assign(2, 3), Some(0));
+        assert_eq!(c.verified_color(2), 2);
+        // Color 1 returned to AC and is reusable.
+        assert_eq!(c.try_assign(2, 3), Some(1));
     }
 
     #[test]
     fn squash_returns_colors_without_touching_vc() {
         let mut c = Coloring::new(32, 4);
-        c.try_assign(5, 0);
+        assert_eq!(c.try_assign(5, 0), Some(1));
         c.on_region_verified(0);
-        assert_eq!(c.verified_color(5), 0);
-        c.try_assign(5, 1);
-        c.try_assign(5, 2);
+        assert_eq!(c.verified_color(5), 1);
+        assert_eq!(c.try_assign(5, 1), Some(0));
+        assert_eq!(c.try_assign(5, 2), Some(2));
         c.on_squash(1);
-        assert_eq!(c.verified_color(5), 0); // unchanged
-        // Colors 1 and 2 are free again.
-        assert_eq!(c.try_assign(5, 3), Some(1));
+        assert_eq!(c.verified_color(5), 1); // unchanged
+        // Colors 0 and 2 are free again.
+        assert_eq!(c.try_assign(5, 3), Some(0));
         assert_eq!(c.try_assign(5, 4), Some(2));
+    }
+
+    #[test]
+    fn unverified_checkpoint_never_lands_in_the_recovery_slot() {
+        // Regression: a corrupted first checkpoint must not occupy slot 0
+        // (what recovery reads while VC is empty) — squash returns the
+        // color but cannot erase the slot's data.
+        let mut c = Coloring::new(32, 2);
+        let got = c.try_assign(6, 0).expect("one usable color");
+        assert_ne!(got, c.verified_color(6));
+        // With a single color the fast path must refuse entirely.
+        let mut c1 = Coloring::new(32, 1);
+        assert_eq!(c1.try_assign(6, 0), None);
+        assert_eq!(c1.fallbacks, 1);
     }
 
     #[test]

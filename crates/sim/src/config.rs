@@ -1,7 +1,7 @@
 //! Simulator configuration.
 
 /// Which committed-load-queue design the core uses (paper §4.3.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClqKind {
     /// No CLQ: no WAR-free fast release (Turnstile hardware).
     Off,
@@ -22,7 +22,7 @@ pub enum ClqKind {
 /// in-order core at 2.5 GHz with 64 KB L1D (2-way, 2-cycle), 128 KB L2
 /// (16-way, 20-cycle), a 4-entry store buffer, and a 10-cycle worst-case
 /// detection latency.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Instructions issued per cycle (in order).
     pub issue_width: u32,

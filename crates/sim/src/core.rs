@@ -350,7 +350,7 @@ impl<'a> Core<'a> {
             if d <= self.cycle {
                 self.pending_detect.remove(0);
                 self.stats.sensor_detections += 1;
-                self.trigger_recovery(d.max(self.cycle));
+                self.trigger_recovery(d, d.max(self.cycle));
             } else {
                 break;
             }
@@ -362,7 +362,13 @@ impl<'a> Core<'a> {
         srcs.iter().any(|r| self.parity_bad[r.index()])
     }
 
-    fn trigger_recovery(&mut self, now: u64) {
+    /// `detect_at` is the instant the error was detected (the sensor
+    /// interrupt time); `now` is the issue cycle at which the core notices,
+    /// which can be later when the event-skip clock leapt over `detect_at`.
+    /// Regions are only error-free if verified strictly before `detect_at` —
+    /// settling to `now` would wrongly verify the struck region (its
+    /// detection bound was just popped from the pending list).
+    fn trigger_recovery(&mut self, detect_at: u64, now: u64) {
         self.stats.detections += 1;
         self.emit(TraceEvent::Detection { cycle: now });
         if !self.cfg.resilient {
@@ -370,9 +376,9 @@ impl<'a> Core<'a> {
             return;
         }
         self.stats.recoveries += 1;
-        // Verification strictly before the detection instant already
-        // happened via settle(); squash everything unverified.
-        self.settle(now);
+        // Verification strictly before the detection instant; everything
+        // else (including the struck region) is squashed below.
+        self.settle(detect_at);
         self.sb.discard_unverified();
         // Entries already verified but still draining hold values the
         // recovery block may need (e.g. a just-verified checkpoint);
@@ -531,7 +537,7 @@ impl<'a> Core<'a> {
         // The unprotected baseline core has no parity or recovery.
         if self.cfg.resilient && self.access_check(&srcs) {
             self.stats.parity_detections += 1;
-            self.trigger_recovery(self.cycle);
+            self.trigger_recovery(self.cycle, self.cycle);
             return Ok(None);
         }
         // Hardened AGU / branch-path assumption: a datapath-corrupted value
@@ -547,7 +553,7 @@ impl<'a> Core<'a> {
                 && matches!(inst, MachInst::Store { .. } | MachInst::BranchNz { .. })
             {
                 self.stats.parity_detections += 1;
-                self.trigger_recovery(self.cycle);
+                self.trigger_recovery(self.cycle, self.cycle);
                 return Ok(None);
             }
         }
@@ -710,8 +716,10 @@ impl<'a> Core<'a> {
             return Ok(true);
         }
         let seq = self.rbb.current_seq();
-        // WAR-free fast release?
-        if self.cfg.war_free && self.clq.check_war_free(a, seq) {
+        // WAR-free fast release? Blocked when an older store to the same
+        // address is still gated: releasing past it would reorder the
+        // store stream (the gated entry drains over the newer value).
+        if self.cfg.war_free && !self.sb.has_pending_data(a) && self.clq.check_war_free(a, seq) {
             self.take_slot(true);
             self.memory.insert(a, value);
             self.caches.touch(a, self.cycle);

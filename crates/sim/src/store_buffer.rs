@@ -134,6 +134,15 @@ impl StoreBuffer {
         self.peak = self.peak.max(self.entries.len());
     }
 
+    /// Whether any entry (gated or scheduled) targets this data address.
+    /// A fast release past such an entry would reorder the store stream:
+    /// the older value would drain over the newer one.
+    pub fn has_pending_data(&self, addr: u64) -> bool {
+        self.entries
+            .iter()
+            .any(|e| matches!(e.kind, EntryKind::Data { addr: a } if a == addr))
+    }
+
     /// Youngest pending value for a data address (store-to-load forwarding).
     pub fn forward(&self, addr: u64) -> Option<i64> {
         self.entries

@@ -141,9 +141,9 @@ proptest! {
             }
             assigned += 1;
         }
-        // With a verified resident, one color is pinned by VC; with no
-        // verification yet, the whole 4-color pool is assignable.
-        let expect = if in_flight.is_empty() { 4 } else { 3 };
-        prop_assert_eq!(assigned, expect, "pool minus the verified resident");
+        // One color is always off-limits: the VC resident when something
+        // verified, or reserved slot 0 (the recovery default) when nothing
+        // has verified yet.
+        prop_assert_eq!(assigned, 3, "pool minus the verified/default resident");
     }
 }

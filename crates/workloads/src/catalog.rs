@@ -33,7 +33,7 @@ impl std::fmt::Display for Suite {
 }
 
 /// How large the kernels should be.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Scale {
     /// Small trip counts for unit/integration tests.
     Smoke,
@@ -50,6 +50,20 @@ impl Scale {
     }
 }
 
+/// Stable identity of a catalog kernel. Two kernels with the same id have
+/// byte-identical programs — `build` is a pure function of `(name, suite,
+/// scale)` — so the id is a sound memoization key for compile and
+/// simulation results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct KernelId {
+    /// Which suite the kernel stands in for.
+    pub suite: Suite,
+    /// Benchmark name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// The size the kernel was built at.
+    pub scale: Scale,
+}
+
 /// A named kernel with its suite and program.
 #[derive(Debug, Clone)]
 pub struct Kernel {
@@ -57,8 +71,21 @@ pub struct Kernel {
     pub name: &'static str,
     /// Which suite it stands in for.
     pub suite: Suite,
+    /// The size this instance was built at.
+    pub scale: Scale,
     /// The IR program.
     pub program: Program,
+}
+
+impl Kernel {
+    /// The kernel's cache identity (see [`KernelId`]).
+    pub fn id(&self) -> KernelId {
+        KernelId {
+            suite: self.suite,
+            name: self.name,
+            scale: self.scale,
+        }
+    }
 }
 
 fn build(name: &'static str, suite: Suite, s: Scale) -> Kernel {
@@ -108,6 +135,7 @@ fn build(name: &'static str, suite: Suite, s: Scale) -> Kernel {
     Kernel {
         name,
         suite,
+        scale: s,
         program,
     }
 }

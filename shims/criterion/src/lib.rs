@@ -1,0 +1,218 @@
+//! Offline stand-in for the subset of the `criterion` 0.5 API this
+//! workspace's benches use: `Criterion`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `Bencher::iter`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! The build environment has no access to crates.io, so the real crate
+//! cannot be fetched. This shim measures wall-clock mean/min over
+//! `sample_size` timed iterations after one warm-up and prints one line
+//! per benchmark — enough to track regressions in CI logs, without
+//! criterion's statistics, HTML reports, or baseline storage.
+
+use std::fmt::Display;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Identifier for one parameterized benchmark, `{function}/{parameter}`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter label.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Per-iteration timing harness handed to the benchmark closure.
+pub struct Bencher {
+    samples: usize,
+    /// Collected per-iteration times in nanoseconds.
+    nanos: Vec<u128>,
+}
+
+impl Bencher {
+    /// Time `f` over the configured number of samples (plus one warm-up).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(f());
+            self.nanos.push(t0.elapsed().as_nanos());
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, |b| f(b));
+        self
+    }
+
+    /// Run one benchmark with a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id);
+        let samples = self.sample_size;
+        self.criterion.run_one(&label, samples, |b| f(b, input));
+        self
+    }
+
+    /// End the group (report output is per-benchmark, nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    /// Optional substring filter from the command line.
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Driver honoring a `cargo bench -- <filter>` substring argument.
+    pub fn from_args() -> Self {
+        // Cargo passes harness flags like `--bench`; ignore anything
+        // starting with '-' and treat the first bare argument as a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+            sample_size: 10,
+        }
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, label: &str, samples: usize, mut f: F) {
+        if let Some(filter) = &self.filter {
+            if !label.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples,
+            nanos: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        if bencher.nanos.is_empty() {
+            println!("bench {label:<50} (no samples)");
+            return;
+        }
+        let mean = bencher.nanos.iter().sum::<u128>() / bencher.nanos.len() as u128;
+        let min = *bencher.nanos.iter().min().expect("nonempty");
+        println!(
+            "bench {label:<50} mean {:>12} min {:>12} ({} samples)",
+            format_nanos(mean),
+            format_nanos(min),
+            bencher.nanos.len()
+        );
+    }
+}
+
+fn format_nanos(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundle benchmark functions under one group entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3);
+        let mut runs = 0usize;
+        group.bench_function("noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let input = 21u64;
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("double", "21"), &input, |b, &x| {
+            b.iter(|| {
+                seen = x * 2;
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+    }
+}
