@@ -7,8 +7,7 @@ use turnpike_workloads::{kernel_by_name, Scale, Suite};
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile");
     group.sample_size(10);
-    let kernel =
-        kernel_by_name(Suite::Cpu2006, "gemsfdtd", Scale::Smoke).expect("kernel exists");
+    let kernel = kernel_by_name(Suite::Cpu2006, "gemsfdtd", Scale::Smoke).expect("kernel exists");
     for (label, cfg) in [
         ("baseline", CompilerConfig::baseline()),
         ("turnstile", CompilerConfig::turnstile(4)),

@@ -34,8 +34,7 @@ fn bench_campaign(c: &mut Criterion) {
     use turnpike_resilience::{fault_campaign, CampaignConfig};
     let mut group = c.benchmark_group("fault_campaign");
     group.sample_size(10);
-    let kernel =
-        kernel_by_name(Suite::Cpu2006, "leslie3d", Scale::Smoke).expect("kernel exists");
+    let kernel = kernel_by_name(Suite::Cpu2006, "leslie3d", Scale::Smoke).expect("kernel exists");
     group.bench_function("turnpike_5_strikes", |b| {
         b.iter(|| {
             fault_campaign(

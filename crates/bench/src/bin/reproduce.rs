@@ -2,11 +2,13 @@
 //!
 //! ```text
 //! reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]
+//! reproduce --list
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
 //!          fig24 fig25 fig26 table1 ablation clq colors summary all
 //! ```
 //!
+//! `--list` prints every target with the paper figure/table it reproduces.
 //! `--smoke` runs the reduced-size kernels (fast; used by CI); the default
 //! is full evaluation scale. `--json` prints machine-readable output.
 //! `--threads N` caps the evaluation engine's worker threads (default: all
@@ -14,8 +16,8 @@
 //! `--no-cache` disables the engine's compile/run memoization (the seed
 //! harness's behavior, kept for perf comparisons).
 //!
-//! Every invocation also writes `BENCH_reproduce.json` to the current
-//! directory — target, scale, threads, cache flag, and total plus
+//! Every generating invocation also writes `BENCH_reproduce.json` to the
+//! current directory — target, scale, threads, cache flag, and total plus
 //! per-figure wall-clock milliseconds — so harness performance is tracked
 //! over time. Timing goes there and to stderr, never to stdout.
 
@@ -28,61 +30,155 @@ use turnpike_bench::{
 use turnpike_resilience::par_map;
 use turnpike_workloads::Scale;
 
-/// Everything `all` expands to, in output order.
-const ALL_TARGETS: [&str; 17] = [
-    "ablation", "fig4", "fig14", "fig15", "fig18", "fig19", "fig20", "fig21", "fig22", "fig23",
-    "fig24", "fig25", "fig26", "table1", "colors", "clq", "summary",
+/// One reproducible figure/table: its CLI name, the paper artifact it
+/// regenerates, and its generator. This registry is the single source for
+/// dispatch, `--list`, the usage message, and what `all` expands to.
+struct Target {
+    name: &'static str,
+    paper_ref: &'static str,
+    generate: fn(&Engine, Scale) -> Table,
+}
+
+/// Every target, in `all` output order.
+const TARGETS: [Target; 17] = [
+    Target {
+        name: "ablation",
+        paper_ref: "§6 ablation: Turnpike minus one technique at a time",
+        generate: ablation,
+    },
+    Target {
+        name: "fig4",
+        paper_ref: "Figure 4: checkpoint/instruction ratio, 40- vs 4-entry SB",
+        generate: fig4,
+    },
+    Target {
+        name: "fig14",
+        paper_ref: "Figure 14: ideal vs compact CLQ runtime overhead",
+        generate: fig14,
+    },
+    Target {
+        name: "fig15",
+        paper_ref: "Figure 15: stores detected WAR-free, ideal vs compact CLQ",
+        generate: fig15,
+    },
+    Target {
+        name: "fig18",
+        paper_ref: "Figure 18: detection latency vs deployed acoustic sensors",
+        generate: |_, _| fig18(),
+    },
+    Target {
+        name: "fig19",
+        paper_ref: "Figure 19: Turnpike normalized time across WCDL 10..50",
+        generate: fig19,
+    },
+    Target {
+        name: "fig20",
+        paper_ref: "Figure 20: Turnstile normalized time across WCDL 10..50",
+        generate: fig20,
+    },
+    Target {
+        name: "fig21",
+        paper_ref: "Figure 21: eight-configuration optimization ladder",
+        generate: fig21,
+    },
+    Target {
+        name: "fig22",
+        paper_ref: "Figure 22: store-buffer size sensitivity at WCDL 10",
+        generate: fig22,
+    },
+    Target {
+        name: "fig23",
+        paper_ref: "Figure 23: breakdown of all stores into release categories",
+        generate: fig23,
+    },
+    Target {
+        name: "fig24",
+        paper_ref: "Figure 24: avg/max dynamic CLQ entries populated",
+        generate: fig24,
+    },
+    Target {
+        name: "fig25",
+        paper_ref: "Figure 25: 2- vs 4-entry compact CLQ normalized time",
+        generate: fig25,
+    },
+    Target {
+        name: "fig26",
+        paper_ref: "Figure 26: dynamic region size and code-size increase",
+        generate: fig26,
+    },
+    Target {
+        name: "table1",
+        paper_ref: "Table 1: hardware cost comparison (area/energy, 22 nm)",
+        generate: |_, _| table1(),
+    },
+    Target {
+        name: "colors",
+        paper_ref: "extension: checkpoint color-pool sizing sweep",
+        generate: colors,
+    },
+    Target {
+        name: "clq",
+        paper_ref: "extension: three CLQ designs side by side (§4.3.1)",
+        generate: clq_designs,
+    },
+    Target {
+        name: "summary",
+        paper_ref: "digest: headline geomeans of every scheme",
+        generate: summary,
+    },
 ];
+
+fn target_by_name(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
+/// The target list rendered from the registry, one aligned line per target.
+fn target_listing() -> String {
+    let width = TARGETS
+        .iter()
+        .map(|t| t.name.len())
+        .max()
+        .unwrap_or(0)
+        .max("all".len());
+    let mut out = String::new();
+    for t in &TARGETS {
+        out.push_str(&format!("  {:width$}  {}\n", t.name, t.paper_ref));
+    }
+    out.push_str(&format!(
+        "  {:width$}  every target above, in that order\n",
+        "all"
+    ));
+    out
+}
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
-         targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23 \
-         fig24 fig25 fig26 table1 ablation clq colors summary all"
+         \x20      reproduce --list\n\
+         targets:\n{}",
+        target_listing()
     );
     ExitCode::from(2)
-}
-
-fn generate_one(target: &str, scale: Scale, engine: &Engine) -> Option<Table> {
-    Some(match target {
-        "fig4" => fig4(engine, scale),
-        "fig14" => fig14(engine, scale),
-        "fig15" => fig15(engine, scale),
-        "fig18" => fig18(),
-        "fig19" => fig19(engine, scale),
-        "fig20" => fig20(engine, scale),
-        "fig21" => fig21(engine, scale),
-        "fig22" => fig22(engine, scale),
-        "fig23" => fig23(engine, scale),
-        "fig24" => fig24(engine, scale),
-        "fig25" => fig25(engine, scale),
-        "fig26" => fig26(engine, scale),
-        "table1" => table1(),
-        "ablation" => ablation(engine, scale),
-        "colors" => colors(engine, scale),
-        "clq" => clq_designs(engine, scale),
-        "summary" => summary(engine, scale),
-        _ => return None,
-    })
 }
 
 /// Generate the requested tables with per-figure wall-clock. For `all`,
 /// figures run concurrently (each with a slice of the thread budget) while
 /// compiles and baseline runs dedup through the shared caches; results are
-/// gathered in `ALL_TARGETS` order so output is deterministic.
+/// gathered in [`TARGETS`] order so output is deterministic.
 fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<(Table, u128)>> {
     if target != "all" {
+        let t = target_by_name(target)?;
         let t0 = Instant::now();
-        let t = generate_one(target, scale, engine)?;
-        return Some(vec![(t, t0.elapsed().as_millis())]);
+        let table = (t.generate)(engine, scale);
+        return Some(vec![(table, t0.elapsed().as_millis())]);
     }
-    let outer = engine.threads().min(ALL_TARGETS.len());
+    let outer = engine.threads().min(TARGETS.len());
     let inner = (engine.threads() / outer.max(1)).max(1);
     let per_figure = engine.with_threads(inner);
-    Some(par_map(&ALL_TARGETS, outer, |_, name| {
+    Some(par_map(&TARGETS, outer, |_, t| {
         let t0 = Instant::now();
-        let t = generate_one(name, scale, &per_figure).expect("all targets are known");
-        (t, t0.elapsed().as_millis())
+        let table = (t.generate)(&per_figure, scale);
+        (table, t0.elapsed().as_millis())
     }))
 }
 
@@ -135,6 +231,10 @@ fn main() -> ExitCode {
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--list" => {
+                print!("{}", target_listing());
+                return ExitCode::SUCCESS;
+            }
             "--smoke" => scale = Scale::Smoke,
             "--full" => scale = Scale::Full,
             "--json" => json = true,
@@ -155,6 +255,11 @@ fn main() -> ExitCode {
     let Some(target) = target else {
         return usage();
     };
+    if target != "all" && target_by_name(&target).is_none() {
+        eprintln!("reproduce: unknown target '{target}'; known targets:");
+        eprint!("{}", target_listing());
+        return ExitCode::from(2);
+    }
     let mut engine = Engine::new(threads);
     if !cache {
         engine = engine.without_cache();

@@ -133,7 +133,13 @@ impl Engine {
             return do_compile();
         }
         let key = (kernel.id(), cc.clone());
-        if let Some(hit) = self.caches.compiles.lock().expect("compile cache").get(&key) {
+        if let Some(hit) = self
+            .caches
+            .compiles
+            .lock()
+            .expect("compile cache")
+            .get(&key)
+        {
             return Arc::clone(hit);
         }
         // Compile outside the lock so distinct keys compile concurrently;
@@ -168,10 +174,7 @@ impl Engine {
         sc: &SimConfig,
     ) -> Arc<RunResult> {
         let do_run = |compiled: &CompileOutput| {
-            Arc::new(
-                run_compiled(compiled, sc)
-                    .unwrap_or_else(|e| panic!("{}: {e}", kernel.name)),
-            )
+            Arc::new(run_compiled(compiled, sc).unwrap_or_else(|e| panic!("{}: {e}", kernel.name)))
         };
         if !self.cache {
             self.caches.sims_done.fetch_add(1, Ordering::Relaxed);
@@ -209,9 +212,8 @@ impl Engine {
     /// Panics (with the kernel name) on compile or simulation errors.
     pub fn baseline_cycles(&self, kernel: &Kernel, sb_size: u32) -> f64 {
         self.run(kernel, &RunSpec::new(Scheme::Baseline).with_sb(sb_size))
-            .outcome
-            .stats
-            .cycles as f64
+            .metrics
+            .counter(turnpike_metrics::Counter::Cycles) as f64
     }
 
     /// Normalized execution time of `spec` relative to the unprotected
@@ -221,7 +223,10 @@ impl Engine {
     ///
     /// Panics (with the kernel name) on compile or simulation errors.
     pub fn normalized(&self, kernel: &Kernel, spec: &RunSpec) -> f64 {
-        let cycles = self.run(kernel, spec).outcome.stats.cycles as f64;
+        let cycles = self
+            .run(kernel, spec)
+            .metrics
+            .counter(turnpike_metrics::Counter::Cycles) as f64;
         cycles / self.baseline_cycles(kernel, spec.sb_size)
     }
 
@@ -284,7 +289,10 @@ mod tests {
         let b = e.run(&k, &spec);
         assert_eq!(e.compile_count(), 2);
         assert_eq!(e.sim_count(), 2);
-        assert_eq!(a.outcome.stats.cycles, b.outcome.stats.cycles);
+        assert_eq!(
+            a.metrics.counter(turnpike_metrics::Counter::Cycles),
+            b.metrics.counter(turnpike_metrics::Counter::Cycles)
+        );
     }
 
     #[test]

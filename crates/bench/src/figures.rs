@@ -5,11 +5,18 @@
 //! baseline runs, and repeated sim points are memoized across figures.
 //! Results are gathered in kernel order, so a table's contents are
 //! byte-identical at any thread count.
+//!
+//! All statistics are read from the unified metrics registry
+//! ([`turnpike_metrics::MetricSet`], via `RunResult::metrics` /
+//! `CompileOutput::metrics`) by key — never from per-layer stat-struct
+//! fields — and the scheme ladder, ablation sweep, and color-pool grid come
+//! from `turnpike_resilience::preset`, the one authoritative table.
 
 use crate::engine::Engine;
 use crate::table::Table;
+use turnpike_metrics::{Counter, Gauge};
 use turnpike_model::Table1;
-use turnpike_resilience::{geomean, RunSpec, Scheme};
+use turnpike_resilience::{geomean, preset, RunSpec, Scheme};
 use turnpike_sensor::SensorGrid;
 use turnpike_sim::ClqKind;
 use turnpike_workloads::{all_kernels, Kernel, Scale, Suite};
@@ -60,12 +67,16 @@ fn append_geomeans(table: &mut Table, kernels: &[Kernel], per_kernel: &[Vec<f64>
 /// Run one scheme/platform over all kernels; returns normalized times.
 /// Kernels evaluate in parallel; the baseline denominator comes from the
 /// engine's run cache (one sim per kernel/SB across the whole evaluation).
-fn normalized_over_kernels(engine: &Engine, kernels: &[Kernel], specs: &[RunSpec]) -> Vec<Vec<f64>> {
+fn normalized_over_kernels(
+    engine: &Engine,
+    kernels: &[Kernel],
+    specs: &[RunSpec],
+) -> Vec<Vec<f64>> {
     engine.per_kernel(kernels, |k| {
         let base_cycles = engine.baseline_cycles(k, specs[0].sb_size);
         specs
             .iter()
-            .map(|spec| engine.run(k, spec).outcome.stats.cycles as f64 / base_cycles)
+            .map(|spec| engine.run(k, spec).metrics.counter(Counter::Cycles) as f64 / base_cycles)
             .collect()
     })
 }
@@ -88,8 +99,7 @@ pub fn fig4(engine: &Engine, scale: Scale) -> Table {
             .map(|&sb| {
                 engine
                     .run(k, &RunSpec::new(Scheme::Turnstile).with_sb(sb))
-                    .outcome
-                    .stats
+                    .metrics
                     .ckpt_ratio()
             })
             .collect()
@@ -140,9 +150,10 @@ pub fn fig15(engine: &Engine, scale: Scale) -> Table {
             .iter()
             .map(|&clq| {
                 let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(clq));
-                let s = &r.outcome.stats;
-                let all = s.all_stores().max(1) as f64;
-                (s.war_free_released + s.colored_released) as f64 / all
+                let m = &r.metrics;
+                let all = m.all_stores().max(1) as f64;
+                (m.counter(Counter::WarFreeReleased) + m.counter(Counter::ColoredReleased)) as f64
+                    / all
             })
             .collect()
     });
@@ -183,12 +194,24 @@ pub fn fig18() -> Table {
 
 /// Figure 19: Turnpike normalized time across WCDL 10..50.
 pub fn fig19(engine: &Engine, scale: Scale) -> Table {
-    wcdl_sweep(engine, "fig19", "Turnpike normalized time vs WCDL", Scheme::Turnpike, scale)
+    wcdl_sweep(
+        engine,
+        "fig19",
+        "Turnpike normalized time vs WCDL",
+        Scheme::Turnpike,
+        scale,
+    )
 }
 
 /// Figure 20: Turnstile normalized time across WCDL 10..50.
 pub fn fig20(engine: &Engine, scale: Scale) -> Table {
-    wcdl_sweep(engine, "fig20", "Turnstile normalized time vs WCDL", Scheme::Turnstile, scale)
+    wcdl_sweep(
+        engine,
+        "fig20",
+        "Turnstile normalized time vs WCDL",
+        Scheme::Turnstile,
+        scale,
+    )
 }
 
 fn wcdl_sweep(engine: &Engine, id: &str, title: &str, scheme: Scheme, scale: Scale) -> Table {
@@ -209,23 +232,20 @@ fn wcdl_sweep(engine: &Engine, id: &str, title: &str, scheme: Scheme, scale: Sca
 }
 
 /// Figure 21: the eight-configuration optimization ladder at WCDL 10.
+/// Columns and rung order come from `preset::LADDER`, the same table
+/// `Scheme::LADDER` is derived from.
 pub fn fig21(engine: &Engine, scale: Scale) -> Table {
+    let columns: Vec<&str> = preset::LADDER.iter().map(|r| r.column).collect();
     let mut t = Table::new(
         "fig21",
         "Optimization ladder, normalized time at WCDL 10",
-        &[
-            "Turnstile",
-            "WAR-free",
-            "FastRel",
-            "+Prune",
-            "+LICM",
-            "+Sched",
-            "+RA",
-            "Turnpike",
-        ],
+        &columns,
     );
     let ks = kernels(scale);
-    let specs: Vec<RunSpec> = Scheme::LADDER.iter().map(|&s| RunSpec::new(s)).collect();
+    let specs: Vec<RunSpec> = preset::LADDER
+        .iter()
+        .map(|r| RunSpec::new(r.scheme))
+        .collect();
     let per = normalized_over_kernels(engine, &ks, &specs);
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
@@ -267,7 +287,7 @@ pub fn fig22(engine: &Engine, scale: Scale) -> Table {
         .iter()
         .map(|&(scheme, sb)| {
             let r = engine.run(k, &RunSpec::new(scheme).with_sb(sb));
-            r.outcome.stats.cycles as f64 / base_cycles
+            r.metrics.counter(Counter::Cycles) as f64 / base_cycles
         })
         .collect()
     });
@@ -299,17 +319,17 @@ pub fn fig23(engine: &Engine, scale: Scale) -> Table {
     let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
         // Reference: dynamic stores under Turnstile (checkpoints included).
         let ts = engine.run(k, &RunSpec::new(Scheme::Turnstile));
-        let total = ts.outcome.stats.all_stores().max(1) as f64;
+        let total = ts.metrics.all_stores().max(1) as f64;
         // Turnpike run for the dynamic release categories.
         let tp = engine.run(k, &RunSpec::new(Scheme::Turnpike));
-        let s = &tp.outcome.stats;
+        let m = &tp.metrics;
         // Eliminated = Turnstile stores that no longer exist under Turnpike.
-        let eliminated = (total - s.all_stores() as f64).max(0.0);
+        let eliminated = (total - m.all_stores() as f64).max(0.0);
         // Static attribution of the eliminated mass.
-        let cs = &tp.compile_stats;
-        let static_removed = (cs.ckpts_pruned + cs.ckpts_licm_removed).max(1) as f64;
-        let pruned = eliminated * cs.ckpts_pruned as f64 / static_removed;
-        let licm = eliminated * cs.ckpts_licm_removed as f64 / static_removed;
+        let static_removed =
+            (m.counter(Counter::CkptsPruned) + m.counter(Counter::CkptsLicmRemoved)).max(1) as f64;
+        let pruned = eliminated * m.counter(Counter::CkptsPruned) as f64 / static_removed;
+        let licm = eliminated * m.counter(Counter::CkptsLicmRemoved) as f64 / static_removed;
         // RA and LIVM savings measured directly against ablations.
         let no_ra = {
             let mut cc = Scheme::Turnpike.compiler_config(4);
@@ -317,12 +337,12 @@ pub fn fig23(engine: &Engine, scale: Scale) -> Table {
             engine.compile(k, &cc)
         };
         let ra_saved = no_ra
-            .stats
-            .spill_stores
-            .saturating_sub(tp.compile_stats.spill_stores) as f64;
-        let livm_saved = tp.compile_stats.ivs_merged as f64; // one ckpt per merged IV per iteration
-        let colored = s.colored_released as f64;
-        let warfree = s.war_free_released as f64;
+            .metrics
+            .counter(Counter::SpillStores)
+            .saturating_sub(m.counter(Counter::SpillStores)) as f64;
+        let livm_saved = m.counter(Counter::IvsMerged) as f64; // one ckpt per merged IV per iteration
+        let colored = m.counter(Counter::ColoredReleased) as f64;
+        let warfree = m.counter(Counter::WarFreeReleased) as f64;
         let others = (total - pruned - licm - colored - warfree).max(0.0);
         vec![
             pruned / total,
@@ -356,9 +376,15 @@ pub fn fig24(engine: &Engine, scale: Scale) -> Table {
     );
     let ks = kernels(scale);
     let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
-        let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal));
-        let c = r.outcome.stats.clq;
-        vec![c.avg_entries(), c.peak_entries as f64]
+        let r = engine.run(
+            k,
+            &RunSpec::new(Scheme::FastRelease).with_clq(ClqKind::Ideal),
+        );
+        let m = &r.metrics;
+        vec![
+            m.clq_avg_entries(),
+            m.counter(Counter::ClqPeakEntries) as f64,
+        ]
     });
     for (k, row) in ks.iter().zip(&per) {
         t.push(label(k), row.clone());
@@ -398,8 +424,8 @@ pub fn fig26(engine: &Engine, scale: Scale) -> Table {
     let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
         let r = engine.run(k, &RunSpec::new(Scheme::Turnpike));
         vec![
-            r.outcome.stats.avg_region_insts,
-            r.compile_stats.code_size_increase() * 100.0,
+            r.metrics.gauge(Gauge::AvgRegionInsts),
+            r.metrics.code_size_increase() * 100.0,
         ]
     });
     let mut sizes = Vec::new();
@@ -411,7 +437,10 @@ pub fn fig26(engine: &Engine, scale: Scale) -> Table {
     }
     t.push(
         "geomean.all",
-        vec![geomean(&sizes), growth.iter().sum::<f64>() / growth.len() as f64],
+        vec![
+            geomean(&sizes),
+            growth.iter().sum::<f64>() / growth.len() as f64,
+        ],
     );
     t
 }
@@ -425,7 +454,10 @@ pub fn table1() -> Table {
         &["Area (um^2)", "Dyn access (pJ)"],
     );
     for row in &model.rows {
-        t.push(row.name.clone(), vec![row.cost.area_um2, row.cost.energy_pj]);
+        t.push(
+            row.name.clone(),
+            vec![row.cost.area_um2, row.cost.energy_pj],
+        );
     }
     t.push(
         "Turnpike total / 4-entry SB (%)",
@@ -452,49 +484,17 @@ pub fn ablation(engine: &Engine, scale: Scale) -> Table {
         &["WCDL 10", "WCDL 50"],
     );
     let ks = kernels(scale);
-
-    #[derive(Clone, Copy)]
-    enum Knob {
-        None,
-        Livm,
-        Prune,
-        Licm,
-        Sched,
-        Ra,
-        WarFree,
-        Coloring,
-    }
-    let variants: [(&str, Knob); 8] = [
-        ("Turnpike (full)", Knob::None),
-        ("- LIVM", Knob::Livm),
-        ("- Pruning", Knob::Prune),
-        ("- LICM", Knob::Licm),
-        ("- Inst Sched", Knob::Sched),
-        ("- Store-aware RA", Knob::Ra),
-        ("- WAR-free release", Knob::WarFree),
-        ("- HW coloring", Knob::Coloring),
-    ];
-    for (label, knob) in variants {
+    for (label, knob) in preset::ABLATION {
         let mut row = Vec::new();
         for wcdl in [10u64, 50] {
-            let mut cc = Scheme::Turnpike.compiler_config(4);
-            let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
-            match knob {
-                Knob::None => {}
-                Knob::Livm => cc.livm = false,
-                Knob::Prune => cc.prune = false,
-                Knob::Licm => cc.licm = false,
-                Knob::Sched => cc.sched = false,
-                Knob::Ra => cc.store_aware_ra = false,
-                Knob::WarFree => {
-                    sc.war_free = false;
-                    sc.clq = ClqKind::Off;
-                }
-                Knob::Coloring => sc.coloring = false,
-            }
+            let (cc, sc) = preset::ablation_configs(knob, 4, wcdl);
             let xs = engine.per_kernel(&ks, |k| {
                 let base = engine.baseline_cycles(k, 4);
-                engine.run_configs(k, &cc, &sc).outcome.stats.cycles as f64 / base
+                engine
+                    .run_configs(k, &cc, &sc)
+                    .metrics
+                    .counter(Counter::Cycles) as f64
+                    / base
             });
             row.push(geomean(&xs));
         }
@@ -514,15 +514,19 @@ pub fn colors(engine: &Engine, scale: Scale) -> Table {
         &["WCDL 10", "WCDL 30", "WCDL 50"],
     );
     let ks = kernels(scale);
-    for pool in [1u8, 2, 4, 8] {
+    for pool in preset::COLOR_POOLS {
         let mut row = Vec::new();
-        for wcdl in [10u64, 30, 50] {
+        for wcdl in preset::COLOR_WCDLS {
             let cc = Scheme::Turnpike.compiler_config(4);
             let mut sc = Scheme::Turnpike.sim_config(4, wcdl);
             sc.colors = pool;
             let xs = engine.per_kernel(&ks, |k| {
                 let base = engine.baseline_cycles(k, 4);
-                engine.run_configs(k, &cc, &sc).outcome.stats.cycles as f64 / base
+                engine
+                    .run_configs(k, &cc, &sc)
+                    .metrics
+                    .counter(Counter::Cycles) as f64
+                    / base
             });
             row.push(geomean(&xs));
         }
@@ -563,7 +567,14 @@ pub fn clq_designs(engine: &Engine, scale: Scale) -> Table {
     let mut t = Table::new(
         "clq_designs",
         "CLQ designs (WCDL 10): normalized time and WAR-free detection ratio",
-        &["Ideal time", "CAM-4 time", "Compact-2 time", "Ideal WAR%", "CAM-4 WAR%", "Compact-2 WAR%"],
+        &[
+            "Ideal time",
+            "CAM-4 time",
+            "Compact-2 time",
+            "Ideal WAR%",
+            "CAM-4 WAR%",
+            "Compact-2 WAR%",
+        ],
     );
     let ks = kernels(scale);
     let designs = [ClqKind::Ideal, ClqKind::Cam(4), ClqKind::Compact(2)];
@@ -572,8 +583,8 @@ pub fn clq_designs(engine: &Engine, scale: Scale) -> Table {
         let mut row = vec![0.0; 6];
         for (i, &clq) in designs.iter().enumerate() {
             let r = engine.run(k, &RunSpec::new(Scheme::FastRelease).with_clq(clq));
-            row[i] = r.outcome.stats.cycles as f64 / base_cycles;
-            row[3 + i] = r.outcome.stats.clq.war_free_ratio();
+            row[i] = r.metrics.counter(Counter::Cycles) as f64 / base_cycles;
+            row[3 + i] = r.metrics.clq_war_free_ratio();
         }
         row
     });

@@ -19,7 +19,10 @@ fn turnpike_beats_turnstile_at_every_wcdl() {
     let tp_g = tp.row("geomean.all").unwrap().to_vec();
     let ts_g = ts.row("geomean.all").unwrap().to_vec();
     for (i, (a, b)) in tp_g.iter().zip(&ts_g).enumerate() {
-        assert!(a < b, "WCDL column {i}: turnpike {a:.3} vs turnstile {b:.3}");
+        assert!(
+            a < b,
+            "WCDL column {i}: turnpike {a:.3} vs turnstile {b:.3}"
+        );
     }
     // Turnstile grows steeply with WCDL; Turnpike stays within ~25%.
     assert!(ts_g.last().unwrap() / ts_g.first().unwrap() > 1.4);
@@ -98,7 +101,10 @@ fn ablation_identifies_coloring_as_the_long_wcdl_lever() {
     let no_coloring = t.row("- HW coloring").unwrap().to_vec();
     let no_warfree = t.row("- WAR-free release").unwrap().to_vec();
     // At WCDL 50 (column 1) the hardware bypasses dominate.
-    assert!(no_coloring[1] > full[1] + 0.1, "{no_coloring:?} vs {full:?}");
+    assert!(
+        no_coloring[1] > full[1] + 0.1,
+        "{no_coloring:?} vs {full:?}"
+    );
     assert!(no_warfree[1] > full[1] + 0.02);
     // Removing any single compiler pass costs less than removing coloring.
     for label in ["- Pruning", "- LICM", "- Inst Sched", "- Store-aware RA"] {

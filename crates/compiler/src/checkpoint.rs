@@ -121,6 +121,69 @@ fn transfer_block(
     lb
 }
 
+/// The eager-checkpoint / budget-split fixpoint as a pipeline
+/// [`crate::pass::Pass`]: re-derives checkpoints and splits overfull
+/// regions until every region fits the budget, then asserts the static
+/// store bound.
+pub struct CheckpointFixpointPass;
+
+/// Iteration cap of the checkpoint/split fixpoint. In practice the loop
+/// converges in a handful of iterations; hitting the cap with work left
+/// fails the compile with [`crate::pipeline::CompileError::FixpointDiverged`].
+pub const FIXPOINT_MAX_ITERATIONS: u32 = 32;
+
+impl crate::pass::Pass for CheckpointFixpointPass {
+    fn name(&self) -> &'static str {
+        "checkpoint"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        use crate::partition::{ensure_ckpt_loops, max_region_stores, split_overfull};
+        use crate::pipeline::CompileError;
+        use turnpike_metrics::Counter;
+
+        let budget = cx.config.region_budget();
+        let mut inserted = 0u32;
+        let mut iterations = 0u32;
+        let mut extra = 0u32;
+        for _ in 0..FIXPOINT_MAX_ITERATIONS {
+            strip_ckpts(&mut prog.func);
+            inserted = insert_checkpoints(&mut prog.func);
+            // Boundary-free loops keep their per-iteration checkpoints out
+            // of the budget dataflow (same-slot stores coalesce into one SB
+            // entry per register); in exchange the number of distinct
+            // registers such a loop checkpoints is capped so that, together
+            // with the enclosing region's budgeted stores, the SB can never
+            // be exceeded by one region's own entries.
+            let loop_ckpt_cap = (cx.config.sb_size - budget).max(1);
+            extra = split_overfull(&mut prog.func, budget)
+                + ensure_ckpt_loops(&mut prog.func, loop_ckpt_cap);
+            iterations += 1;
+            if extra == 0 {
+                break;
+            }
+        }
+        if extra != 0 {
+            return Err(CompileError::FixpointDiverged { iterations });
+        }
+        cx.metrics.add(Counter::CkptsInserted, u64::from(inserted));
+        cx.metrics
+            .add(Counter::SplitIterations, u64::from(iterations));
+        let bound = max_region_stores(&prog.func, cx.config.sb_size);
+        if bound > cx.config.sb_size {
+            return Err(CompileError::RegionOverflow {
+                stores: bound,
+                limit: cx.config.sb_size,
+            });
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -221,11 +284,7 @@ mod tests {
         let mut f = b.finish().unwrap();
         insert_checkpoints(&mut f);
         // i crosses the header boundary every iteration -> in-loop ckpt.
-        let in_loop: Vec<_> = f.blocks[1]
-            .insts
-            .iter()
-            .filter(|x| x.is_ckpt())
-            .collect();
+        let in_loop: Vec<_> = f.blocks[1].insts.iter().filter(|x| x.is_ckpt()).collect();
         assert_eq!(in_loop.len(), 1);
         // c is consumed by the terminator before any boundary: no ckpt for
         // it. The entry block's `mov i, 0` also crosses the header boundary,

@@ -14,9 +14,7 @@
 use crate::prune::PruneRecipes;
 use std::collections::{BTreeMap, HashMap};
 use turnpike_ir::{BlockId, Cfg, Inst, Liveness, Operand, Program, Reg, Terminator};
-use turnpike_isa::{
-    MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId,
-};
+use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId};
 
 /// Codegen failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,7 +32,9 @@ impl std::fmt::Display for CodegenError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             CodegenError::UnallocatedReg(r) => write!(f, "register {r} is not physical"),
-            CodegenError::UnlegalizedImm => write!(f, "immediate left operand survived legalization"),
+            CodegenError::UnlegalizedImm => {
+                write!(f, "immediate left operand survived legalization")
+            }
             CodegenError::NegativeAddress(a) => write!(f, "negative absolute address {a}"),
         }
     }
@@ -120,10 +120,7 @@ fn lower_inst(inst: &Inst) -> Result<Option<MachInst>, CodegenError> {
 ///
 /// See [`CodegenError`]; all variants indicate pipeline bugs rather than
 /// user-facing conditions.
-pub fn codegen(
-    program: &Program,
-    recipes: &PruneRecipes,
-) -> Result<MachProgram, CodegenError> {
+pub fn codegen(program: &Program, recipes: &PruneRecipes) -> Result<MachProgram, CodegenError> {
     let f = &program.func;
     let cfg = Cfg::compute(f);
     let live = Liveness::compute(f, &cfg);
@@ -300,6 +297,34 @@ pub fn codegen(
     Ok(out)
 }
 
+/// Baseline code-size measurement as an analysis [`crate::pass::Pass`]:
+/// lowers the allocated (not yet instrumented) function without recovery
+/// support to record the code-size denominator. Does not modify the IR.
+pub struct BaselineSizePass;
+
+impl crate::pass::Pass for BaselineSizePass {
+    fn name(&self) -> &'static str {
+        "baseline-size"
+    }
+
+    fn is_analysis(&self) -> bool {
+        true
+    }
+
+    fn run(
+        &self,
+        prog: &mut Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        let base = codegen(prog, &PruneRecipes::default())?;
+        cx.metrics.add(
+            turnpike_metrics::Counter::BaselineInsts,
+            base.insts.len() as u64,
+        );
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,7 +347,11 @@ mod tests {
         b.branch(c, body, done);
         b.switch_to(done);
         b.ret(Some(Operand::Reg(i)));
-        Program::with_params(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1), vec![0x1000])
+        Program::with_params(
+            b.finish().unwrap(),
+            DataSegment::zeroed(0x1000, 1),
+            vec![0x1000],
+        )
     }
 
     #[test]

@@ -114,6 +114,27 @@ pub struct PassStats {
 }
 
 impl PassStats {
+    /// Project the `compile.*` keys of a metrics registry into the typed
+    /// stats view. The pass manager derives [`crate::CompileOutput::stats`]
+    /// this way, so the fixed fields and the registry always agree.
+    pub fn from_metrics(m: &turnpike_metrics::MetricSet) -> Self {
+        use turnpike_metrics::Counter;
+        let get = |k: Counter| m.counter(k) as u32;
+        PassStats {
+            ckpts_inserted: get(Counter::CkptsInserted),
+            ckpts_pruned: get(Counter::CkptsPruned),
+            ckpts_licm_removed: get(Counter::CkptsLicmRemoved),
+            spill_stores: get(Counter::SpillStores),
+            spill_loads: get(Counter::SpillLoads),
+            spilled_vregs: get(Counter::SpilledVregs),
+            ivs_merged: get(Counter::IvsMerged),
+            boundaries: get(Counter::Boundaries),
+            split_iterations: get(Counter::SplitIterations),
+            final_insts: get(Counter::FinalInsts),
+            baseline_insts: get(Counter::BaselineInsts),
+        }
+    }
+
     /// Code-size increase of the resilient binary over the baseline,
     /// as a fraction (e.g. `0.05` = 5%). Zero when baseline size is unknown.
     pub fn code_size_increase(&self) -> f64 {
@@ -166,6 +187,21 @@ mod tests {
         assert_eq!(CompilerConfig::turnstile(4).region_budget(), 2);
         assert_eq!(CompilerConfig::turnstile(1).region_budget(), 1);
         assert_eq!(CompilerConfig::turnstile(40).region_budget(), 20);
+    }
+
+    #[test]
+    fn from_metrics_round_trips() {
+        use turnpike_metrics::{Counter, MetricSet};
+        let mut m = MetricSet::new();
+        m.add(Counter::CkptsInserted, 3);
+        m.add(Counter::SpillStores, 2);
+        m.add(Counter::FinalInsts, 105);
+        m.add(Counter::BaselineInsts, 100);
+        let s = PassStats::from_metrics(&m);
+        assert_eq!(s.ckpts_inserted, 3);
+        assert_eq!(s.spill_stores, 2);
+        assert_eq!(s.ckpts_pruned, 0);
+        assert!((s.code_size_increase() - 0.05).abs() < 1e-12);
     }
 
     #[test]

@@ -55,6 +55,27 @@ pub fn dce(f: &mut Function) -> u32 {
     removed
 }
 
+/// Dead code elimination as a standalone pipeline [`crate::pass::Pass`].
+///
+/// The stock pipeline runs DCE fused into [`crate::livm::LivmPass`]; this
+/// standalone pass exists for custom pass lists and debugging sessions.
+pub struct DcePass;
+
+impl crate::pass::Pass for DcePass {
+    fn name(&self) -> &'static str {
+        "dce"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        _cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        dce(&mut prog.func);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,6 +113,24 @@ fn fresh(num_regs: &mut u32) -> Reg {
     r
 }
 
+/// Machine-form canonicalization as a pipeline [`crate::pass::Pass`].
+pub struct LegalizePass;
+
+impl crate::pass::Pass for LegalizePass {
+    fn name(&self) -> &'static str {
+        "legalize"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        _cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        legalize(&mut prog.func);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,7 +204,10 @@ mod tests {
         legalize(&mut f);
         assert_eq!(f.blocks[0].insts.len(), 2);
         assert_eq!(f.num_regs, 3);
-        assert!(matches!(f.blocks[0].insts[0], Inst::Mov { dst: Reg(2), .. }));
+        assert!(matches!(
+            f.blocks[0].insts[0],
+            Inst::Mov { dst: Reg(2), .. }
+        ));
         verify_function(&f).unwrap();
     }
 

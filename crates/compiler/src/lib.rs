@@ -25,6 +25,7 @@ pub mod legalize;
 pub mod licm;
 pub mod livm;
 pub mod partition;
+pub mod pass;
 pub mod pipeline;
 pub mod prune;
 pub mod regalloc;
@@ -33,7 +34,8 @@ pub mod snapshots;
 
 pub use codegen::{codegen, CodegenError};
 pub use config::{CompilerConfig, PassStats};
+pub use pass::{Pass, PassCx, PassManager, PassObserver, PassRecord};
 pub use pipeline::{compile, CompileError, CompileOutput};
 pub use prune::PruneRecipes;
 pub use regalloc::{AllocError, SPILL_BASE};
-pub use snapshots::{compile_with_snapshots, Snapshot};
+pub use snapshots::{compile_with_snapshots, Snapshot, SnapshotObserver};

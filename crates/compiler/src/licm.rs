@@ -171,6 +171,31 @@ fn hoist_out_of_loops(f: &mut Function, sb_size: u32) -> LicmOutcome {
     out
 }
 
+/// Checkpoint sinking / loop-exit motion as a pipeline
+/// [`crate::pass::Pass`].
+pub struct LicmPass;
+
+impl crate::pass::Pass for LicmPass {
+    fn name(&self) -> &'static str {
+        "licm"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        let out = licm_sink(&mut prog.func, cx.config.sb_size);
+        // Gross removals: the dynamic win is per-iteration, so the static
+        // exit checkpoints that replace them do not offset it.
+        cx.metrics.add(
+            turnpike_metrics::Counter::CkptsLicmRemoved,
+            u64::from(out.removed),
+        );
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

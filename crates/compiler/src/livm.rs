@@ -54,12 +54,7 @@ pub fn livm(f: &mut Function) -> u32 {
     merged
 }
 
-fn try_merge_in_block(
-    f: &mut Function,
-    cfg: &Cfg,
-    live: &Liveness,
-    b: BlockId,
-) -> Option<u32> {
+fn try_merge_in_block(f: &mut Function, cfg: &Cfg, live: &Liveness, b: BlockId) -> Option<u32> {
     // Unique out-of-loop predecessor (preheader) and unique exit successor.
     let preds: Vec<BlockId> = cfg.preds(b).iter().copied().filter(|&p| p != b).collect();
     let succs: Vec<BlockId> = cfg.succs(b).iter().copied().filter(|&s| s != b).collect();
@@ -283,6 +278,28 @@ fn substitute(inst: &mut Inst, from: Reg, to: Reg) {
             }
         }
         Inst::RegionBoundary { .. } | Inst::Nop => {}
+    }
+}
+
+/// Induction-variable merging (plus the DCE cleanup that makes its wins
+/// real) as a pipeline [`crate::pass::Pass`].
+pub struct LivmPass;
+
+impl crate::pass::Pass for LivmPass {
+    fn name(&self) -> &'static str {
+        "livm+dce"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        let merged = livm(&mut prog.func);
+        cx.metrics
+            .add(turnpike_metrics::Counter::IvsMerged, u64::from(merged));
+        crate::dce::dce(&mut prog.func);
+        Ok(())
     }
 }
 

@@ -54,9 +54,7 @@ pub fn next_boundary_id(f: &Function) -> u32 {
 /// Initial partitioning: loop rule + budget rule (counting regular stores;
 /// checkpoints do not exist yet). Returns the number of boundaries inserted.
 pub fn partition(f: &mut Function, budget: u32) -> u32 {
-    let mut inserted = insert_loop_header_boundaries(f, |inst| {
-        matches!(inst, Inst::Store { .. })
-    });
+    let mut inserted = insert_loop_header_boundaries(f, |inst| matches!(inst, Inst::Store { .. }));
     inserted += split_overfull(f, budget);
     inserted
 }
@@ -244,11 +242,32 @@ pub fn ensure_ckpt_loops(f: &mut Function, budget: u32) -> u32 {
     let base_id = next_boundary_id(f);
     let count = offending.len() as u32;
     for (k, h) in offending.into_iter().enumerate() {
-        f.block_mut(h)
-            .insts
-            .insert(0, Inst::RegionBoundary { id: base_id + k as u32 });
+        f.block_mut(h).insts.insert(
+            0,
+            Inst::RegionBoundary {
+                id: base_id + k as u32,
+            },
+        );
     }
     count
+}
+
+/// Region partitioning as a pipeline [`crate::pass::Pass`].
+pub struct PartitionPass;
+
+impl crate::pass::Pass for PartitionPass {
+    fn name(&self) -> &'static str {
+        "partition"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        partition(&mut prog.func, cx.config.region_budget());
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -303,10 +322,7 @@ mod tests {
         b.ret(None);
         let mut f = b.finish().unwrap();
         partition(&mut f, 2);
-        assert!(matches!(
-            f.blocks[1].insts[0],
-            Inst::RegionBoundary { .. }
-        ));
+        assert!(matches!(f.blocks[1].insts[0], Inst::RegionBoundary { .. }));
         // Dynamic regions are bounded even though the loop iterates.
         assert!(max_region_stores(&f, 10) <= 2);
     }

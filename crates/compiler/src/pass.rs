@@ -1,0 +1,444 @@
+//! The pass manager: an explicit, declarative compile pipeline.
+//!
+//! The pipeline of [`crate::compile`] is materialized from a
+//! [`CompilerConfig`] as a list of [`Pass`] objects filtered out of the
+//! static [`PIPELINE`] table — pass order and enabling conditions are
+//! *data*, not control flow scattered through a monolithic function.
+//! [`PassManager::run`] drives the list over a program and, around every
+//! pass:
+//!
+//! * times it and snapshots its [`MetricSet`] contribution into a
+//!   [`PassRecord`] (per-pass attribution; the records' metrics sum to the
+//!   whole-compile registry);
+//! * verifies IR structural invariants in debug/test builds
+//!   ([`turnpike_ir::Function::verify`]), failing the compile with
+//!   [`CompileError::Verify`] on a defect;
+//! * optionally checks interpreter equivalence (golden run before vs after
+//!   the pass, spill slots masked) when enabled via
+//!   [`PassManager::with_equivalence_checks`];
+//! * notifies registered [`PassObserver`]s — per-pass IR snapshots
+//!   ([`crate::compile_with_snapshots`]) are just one observer.
+//!
+//! Passes communicate through [`PassCx`]: the shared metrics registry the
+//! whole stack reports into (see `turnpike-metrics`) plus the pipeline's
+//! cross-pass state (prune recipes consumed by codegen).
+
+use std::time::Instant;
+
+use crate::codegen::codegen;
+use crate::config::{CompilerConfig, PassStats};
+use crate::pipeline::{CompileError, CompileOutput};
+use crate::prune::PruneRecipes;
+use turnpike_ir::{interp, Program};
+use turnpike_metrics::{Counter, MetricSet};
+
+/// Shared state threaded through every pass of one compilation.
+pub struct PassCx<'a> {
+    /// The configuration the pipeline was materialized from.
+    pub config: &'a CompilerConfig,
+    /// The compile-wide metrics registry; passes record their statistics
+    /// here and the manager attributes per-pass deltas automatically.
+    pub metrics: &'a mut MetricSet,
+    /// Checkpoint reconstruction recipes produced by pruning and consumed
+    /// by recovery-block codegen.
+    pub recipes: &'a mut PruneRecipes,
+}
+
+/// One stage of the compile pipeline.
+///
+/// Implementations are thin wrappers over the pass functions in their
+/// respective modules; they exist so the manager can time, verify, observe,
+/// and meter every stage uniformly.
+pub trait Pass {
+    /// Stable stage name (used by snapshots, records, and error messages).
+    fn name(&self) -> &'static str;
+
+    /// Transform `prog`, recording statistics into `cx.metrics`.
+    ///
+    /// # Errors
+    ///
+    /// Pass-specific failures (allocation pressure, region overflow, ...).
+    fn run(&self, prog: &mut Program, cx: &mut PassCx<'_>) -> Result<(), CompileError>;
+
+    /// Whether the pass only measures the program without transforming it.
+    /// Analysis passes are skipped by snapshot observers and equivalence
+    /// checks.
+    fn is_analysis(&self) -> bool {
+        false
+    }
+}
+
+/// What the manager recorded about one executed pass.
+#[derive(Debug, Clone)]
+pub struct PassRecord {
+    /// The pass's [`Pass::name`].
+    pub name: &'static str,
+    /// Wall-clock time the pass took, in nanoseconds.
+    pub nanos: u128,
+    /// The pass's own metrics contribution (delta over the registry state
+    /// when the pass started). Summing these over all records of a compile
+    /// reproduces the whole-compile registry.
+    pub metrics: MetricSet,
+}
+
+/// Hook into pass execution; registered via [`PassManager::with_observer`].
+pub trait PassObserver {
+    /// Called before a pass runs.
+    fn before_pass(&mut self, _pass: &dyn Pass, _prog: &Program) {}
+    /// Called after a pass ran (and passed verification).
+    fn after_pass(&mut self, _pass: &dyn Pass, _prog: &Program, _record: &PassRecord) {}
+}
+
+/// One row of the declarative pipeline table.
+struct PassSpec {
+    /// Whether the pass is part of the pipeline under this configuration.
+    enabled: fn(&CompilerConfig) -> bool,
+    /// Constructor for the pass object.
+    build: fn() -> Box<dyn Pass>,
+}
+
+/// The compile pipeline as data (paper §4, Figure 7): every stage in order,
+/// with the configuration predicate that enables it. [`PassManager::for_config`]
+/// materializes its pass list by filtering this table.
+const PIPELINE: &[PassSpec] = &[
+    PassSpec {
+        enabled: |_| true,
+        build: || Box::new(crate::legalize::LegalizePass),
+    },
+    PassSpec {
+        enabled: |c| c.livm,
+        build: || Box::new(crate::livm::LivmPass),
+    },
+    PassSpec {
+        enabled: |_| true,
+        build: || Box::new(crate::regalloc::RegallocPass),
+    },
+    PassSpec {
+        enabled: |_| true,
+        build: || Box::new(crate::codegen::BaselineSizePass),
+    },
+    PassSpec {
+        enabled: |c| c.resilient,
+        build: || Box::new(crate::partition::PartitionPass),
+    },
+    PassSpec {
+        enabled: |c| c.resilient,
+        build: || Box::new(crate::checkpoint::CheckpointFixpointPass),
+    },
+    PassSpec {
+        enabled: |c| c.resilient && c.prune,
+        build: || Box::new(crate::prune::PrunePass),
+    },
+    PassSpec {
+        enabled: |c| c.resilient && c.licm,
+        build: || Box::new(crate::licm::LicmPass),
+    },
+    PassSpec {
+        enabled: |c| c.resilient && c.sched,
+        build: || Box::new(crate::sched::SchedPass),
+    },
+];
+
+/// Drives a configured pass list over programs. [`crate::compile`] is a
+/// thin wrapper over `PassManager::for_config(config).run(program)`.
+pub struct PassManager {
+    config: CompilerConfig,
+    passes: Vec<Box<dyn Pass>>,
+    observers: Vec<Box<dyn PassObserver>>,
+    verify_ir: bool,
+    check_equivalence: bool,
+}
+
+impl PassManager {
+    /// Materialize the pipeline for `config` from the [`PIPELINE`] table.
+    ///
+    /// IR verification after every pass is on in debug/test builds and off
+    /// in release builds (override with [`PassManager::with_ir_verification`]);
+    /// interpreter-equivalence checking is always opt-in.
+    pub fn for_config(config: &CompilerConfig) -> Self {
+        let passes = PIPELINE
+            .iter()
+            .filter(|spec| (spec.enabled)(config))
+            .map(|spec| (spec.build)())
+            .collect();
+        PassManager {
+            config: config.clone(),
+            passes,
+            observers: Vec::new(),
+            verify_ir: cfg!(debug_assertions),
+            check_equivalence: false,
+        }
+    }
+
+    /// The names of the passes that will run, in order.
+    pub fn pass_names(&self) -> Vec<&'static str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Register an observer (builder style).
+    pub fn with_observer(mut self, observer: Box<dyn PassObserver>) -> Self {
+        self.observers.push(observer);
+        self
+    }
+
+    /// Force IR verification after every pass on or off.
+    pub fn with_ir_verification(mut self, on: bool) -> Self {
+        self.verify_ir = on;
+        self
+    }
+
+    /// Check interpreter equivalence across every transforming pass: the
+    /// golden (return value, data memory) of the program before the pass
+    /// must be reproduced after it, with spill slots masked. Expensive —
+    /// meant for tests and debugging sessions, not the hot path.
+    pub fn with_equivalence_checks(mut self, on: bool) -> Self {
+        self.check_equivalence = on;
+        self
+    }
+
+    /// Run the pipeline over `program`: every pass, then lowering to
+    /// machine code with the pruning recipes collected along the way.
+    ///
+    /// # Errors
+    ///
+    /// See [`CompileError`]; verification and equivalence failures name the
+    /// offending pass.
+    pub fn run(&mut self, program: &Program) -> Result<CompileOutput, CompileError> {
+        let mut prog = program.clone();
+        let mut metrics = MetricSet::new();
+        let mut recipes = PruneRecipes::default();
+        let mut records: Vec<PassRecord> = Vec::with_capacity(self.passes.len() + 1);
+
+        for pass in &self.passes {
+            for obs in &mut self.observers {
+                obs.before_pass(pass.as_ref(), &prog);
+            }
+            let golden_before = if self.check_equivalence && !pass.is_analysis() {
+                interp::golden(&prog).ok()
+            } else {
+                None
+            };
+            let before = metrics.clone();
+            let t0 = Instant::now();
+            {
+                let mut cx = PassCx {
+                    config: &self.config,
+                    metrics: &mut metrics,
+                    recipes: &mut recipes,
+                };
+                pass.run(&mut prog, &mut cx)?;
+            }
+            let nanos = t0.elapsed().as_nanos();
+            if self.verify_ir {
+                prog.func.verify().map_err(|error| CompileError::Verify {
+                    pass: pass.name(),
+                    error,
+                })?;
+            }
+            if let Some(golden) = golden_before {
+                if !Self::still_equivalent(&golden, &prog) {
+                    return Err(CompileError::NotEquivalent { pass: pass.name() });
+                }
+            }
+            let record = PassRecord {
+                name: pass.name(),
+                nanos,
+                metrics: metrics.delta_since(&before),
+            };
+            for obs in &mut self.observers {
+                obs.after_pass(pass.as_ref(), &prog, &record);
+            }
+            records.push(record);
+        }
+
+        // Lowering: not an IR→IR pass, but timed and metered like one so
+        // the records cover the whole compile.
+        let before = metrics.clone();
+        let t0 = Instant::now();
+        if self.config.resilient {
+            metrics.add(Counter::Boundaries, prog.func.boundary_count() as u64);
+        }
+        let machine = codegen(&prog, &recipes)?;
+        metrics.add(Counter::FinalInsts, machine.insts.len() as u64);
+        records.push(PassRecord {
+            name: "codegen",
+            nanos: t0.elapsed().as_nanos(),
+            metrics: metrics.delta_since(&before),
+        });
+
+        let stats = PassStats::from_metrics(&metrics);
+        Ok(CompileOutput {
+            program: machine,
+            stats,
+            metrics,
+            passes: records,
+        })
+    }
+
+    /// Golden equivalence modulo spill slots: the IR interpreter's return
+    /// value and sub-`SPILL_BASE` data memory must match the pre-pass run.
+    fn still_equivalent(
+        golden: &(Option<i64>, std::collections::BTreeMap<u64, i64>),
+        prog: &Program,
+    ) -> bool {
+        let Ok(after) = interp::golden(prog) else {
+            return false;
+        };
+        let data_only = |m: &std::collections::BTreeMap<u64, i64>| {
+            m.iter()
+                .filter(|(a, _)| **a < crate::regalloc::SPILL_BASE)
+                .map(|(a, v)| (*a, *v))
+                .collect::<std::collections::BTreeMap<u64, i64>>()
+        };
+        golden.0 == after.0 && data_only(&golden.1) == data_only(&after.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_ir::{DataSegment, FunctionBuilder, Operand};
+
+    fn sample() -> Program {
+        let mut b = FunctionBuilder::new("pm");
+        let x = b.fresh_reg();
+        let c = b.fresh_reg();
+        let body = b.create_block();
+        let done = b.create_block();
+        b.mov(x, 0i64);
+        b.jump(body);
+        b.switch_to(body);
+        b.store_abs(x, 0x1000);
+        b.add(x, x, 1i64);
+        b.cmp_lt(c, x, 8i64);
+        b.branch(c, body, done);
+        b.switch_to(done);
+        b.ret(Some(Operand::Reg(x)));
+        Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 1))
+    }
+
+    #[test]
+    fn pipeline_materializes_declaratively() {
+        let full = PassManager::for_config(&CompilerConfig::turnpike(4));
+        assert_eq!(
+            full.pass_names(),
+            vec![
+                "legalize",
+                "livm+dce",
+                "regalloc",
+                "baseline-size",
+                "partition",
+                "checkpoint",
+                "prune",
+                "licm",
+                "sched"
+            ]
+        );
+        let turnstile = PassManager::for_config(&CompilerConfig::turnstile(4));
+        assert_eq!(
+            turnstile.pass_names(),
+            vec![
+                "legalize",
+                "regalloc",
+                "baseline-size",
+                "partition",
+                "checkpoint"
+            ]
+        );
+        let baseline = PassManager::for_config(&CompilerConfig::baseline());
+        assert_eq!(
+            baseline.pass_names(),
+            vec!["legalize", "regalloc", "baseline-size"]
+        );
+    }
+
+    #[test]
+    fn records_cover_every_pass_plus_codegen() {
+        let cfg = CompilerConfig::turnpike(4);
+        let mut pm = PassManager::for_config(&cfg);
+        let out = pm.run(&sample()).unwrap();
+        let names: Vec<&str> = out.passes.iter().map(|r| r.name).collect();
+        let mut expected = pm.pass_names();
+        expected.push("codegen");
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn per_pass_metrics_sum_to_totals() {
+        let cfg = CompilerConfig::turnpike(4);
+        let out = PassManager::for_config(&cfg).run(&sample()).unwrap();
+        let mut summed = MetricSet::new();
+        for rec in &out.passes {
+            summed.merge(&rec.metrics);
+        }
+        assert_eq!(summed, out.metrics);
+        assert_eq!(PassStats::from_metrics(&summed), out.stats);
+    }
+
+    #[test]
+    fn equivalence_checks_pass_on_sound_pipeline() {
+        for cfg in [
+            CompilerConfig::baseline(),
+            CompilerConfig::turnstile(4),
+            CompilerConfig::turnpike(4),
+        ] {
+            let out = PassManager::for_config(&cfg)
+                .with_equivalence_checks(true)
+                .run(&sample());
+            assert!(out.is_ok(), "{cfg:?}: {:?}", out.err());
+        }
+    }
+
+    #[test]
+    fn observers_see_every_transforming_pass() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+        struct Recorder(Rc<RefCell<Vec<(&'static str, bool)>>>);
+        impl PassObserver for Recorder {
+            fn after_pass(&mut self, pass: &dyn Pass, _prog: &Program, rec: &PassRecord) {
+                assert_eq!(pass.name(), rec.name);
+                self.0.borrow_mut().push((pass.name(), pass.is_analysis()));
+            }
+        }
+        let seen = Rc::new(RefCell::new(Vec::new()));
+        PassManager::for_config(&CompilerConfig::turnstile(4))
+            .with_observer(Box::new(Recorder(Rc::clone(&seen))))
+            .run(&sample())
+            .unwrap();
+        let seen = seen.borrow();
+        assert!(seen.contains(&("legalize", false)));
+        assert!(seen.contains(&("baseline-size", true)));
+        assert!(seen.contains(&("checkpoint", false)));
+    }
+
+    #[test]
+    fn verification_catches_malformed_output() {
+        // A pass that corrupts the CFG must fail the compile in a
+        // verifying manager, attributed to the pass by name.
+        struct Corruptor;
+        impl Pass for Corruptor {
+            fn name(&self) -> &'static str {
+                "corruptor"
+            }
+            fn run(&self, prog: &mut Program, _cx: &mut PassCx<'_>) -> Result<(), CompileError> {
+                use turnpike_ir::{BlockId, Terminator};
+                prog.func.blocks[0].term = Terminator::Jump(BlockId(999));
+                Ok(())
+            }
+        }
+        let mut pm =
+            PassManager::for_config(&CompilerConfig::baseline()).with_ir_verification(true);
+        pm.passes.insert(0, Box::new(Corruptor));
+        let err = pm.run(&sample()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CompileError::Verify {
+                    pass: "corruptor",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+}

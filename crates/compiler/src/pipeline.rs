@@ -11,20 +11,18 @@
 //! 6. checkpoint sinking / loop-exit motion (§4.1.4, optional);
 //! 7. checkpoint-aware instruction scheduling (§4.2, optional);
 //! 8. codegen with per-region recovery blocks.
+//!
+//! The pipeline itself lives in [`crate::pass`] as a declarative pass
+//! table driven by a [`crate::pass::PassManager`]; [`compile`] here is the
+//! stable entry point wrapping it.
 
-use crate::checkpoint::{insert_checkpoints, strip_ckpts};
-use crate::codegen::{codegen, CodegenError};
+use crate::codegen::CodegenError;
 use crate::config::{CompilerConfig, PassStats};
-use crate::dce::dce;
-use crate::legalize::legalize;
-use crate::licm::licm_sink;
-use crate::livm::livm;
-use crate::partition::{ensure_ckpt_loops, max_region_stores, partition, split_overfull};
-use crate::prune::{prune_checkpoints, PruneRecipes};
-use crate::regalloc::{regalloc, AllocError};
-use crate::sched::schedule;
+use crate::pass::{PassManager, PassRecord};
+use crate::regalloc::AllocError;
 use turnpike_ir::Program;
 use turnpike_isa::MachProgram;
+use turnpike_metrics::MetricSet;
 
 /// Result of compilation.
 #[derive(Debug, Clone)]
@@ -32,7 +30,14 @@ pub struct CompileOutput {
     /// The executable machine program.
     pub program: MachProgram,
     /// Per-pass statistics (store breakdown, code size, spills, ...).
+    /// Derived from `metrics`; kept as a typed view for existing callers.
     pub stats: PassStats,
+    /// The compile's full metrics registry (`compile.*` keys); the
+    /// evaluation harness reads statistics from here by key.
+    pub metrics: MetricSet,
+    /// Per-pass execution records (name, wall-clock, metric deltas), in
+    /// pipeline order, ending with the synthetic `"codegen"` record.
+    pub passes: Vec<PassRecord>,
 }
 
 /// Compilation failure.
@@ -50,6 +55,27 @@ pub enum CompileError {
         /// Hard limit (the SB size).
         limit: u32,
     },
+    /// The checkpoint/split fixpoint was still splitting regions when the
+    /// iteration cap was reached
+    /// ([`crate::checkpoint::FIXPOINT_MAX_ITERATIONS`]).
+    FixpointDiverged {
+        /// Iterations executed before giving up.
+        iterations: u32,
+    },
+    /// A pass produced structurally malformed IR (caught by the pass
+    /// manager's post-pass verification in debug/test builds).
+    Verify {
+        /// The offending pass.
+        pass: &'static str,
+        /// The structural defect found.
+        error: turnpike_ir::VerifyError,
+    },
+    /// A pass changed observable program behavior (caught by the pass
+    /// manager's opt-in interpreter-equivalence checking).
+    NotEquivalent {
+        /// The offending pass.
+        pass: &'static str,
+    },
 }
 
 impl std::fmt::Display for CompileError {
@@ -58,7 +84,22 @@ impl std::fmt::Display for CompileError {
             CompileError::Alloc(e) => write!(f, "{e}"),
             CompileError::Codegen(e) => write!(f, "{e}"),
             CompileError::RegionOverflow { stores, limit } => {
-                write!(f, "a region holds {stores} stores, exceeding the {limit}-entry SB")
+                write!(
+                    f,
+                    "a region holds {stores} stores, exceeding the {limit}-entry SB"
+                )
+            }
+            CompileError::FixpointDiverged { iterations } => {
+                write!(
+                    f,
+                    "checkpoint/split fixpoint still splitting after {iterations} iterations"
+                )
+            }
+            CompileError::Verify { pass, error } => {
+                write!(f, "pass '{pass}' produced malformed IR: {error}")
+            }
+            CompileError::NotEquivalent { pass } => {
+                write!(f, "pass '{pass}' changed observable program behavior")
             }
         }
     }
@@ -105,74 +146,7 @@ impl From<CodegenError> for CompileError {
 /// # }
 /// ```
 pub fn compile(program: &Program, config: &CompilerConfig) -> Result<CompileOutput, CompileError> {
-    let mut stats = PassStats::default();
-    let mut prog = program.clone();
-
-    legalize(&mut prog.func);
-    if config.livm {
-        stats.ivs_merged = livm(&mut prog.func);
-        dce(&mut prog.func);
-    }
-    regalloc(&mut prog.func, config.store_aware_ra, &mut stats)?;
-
-    // Baseline instruction count for the code-size metric: the allocated
-    // function lowered without any resilience instrumentation.
-    {
-        let base = codegen(&prog, &PruneRecipes::default())?;
-        stats.baseline_insts = base.insts.len() as u32;
-    }
-
-    let mut recipes = PruneRecipes::default();
-    if config.resilient {
-        let budget = config.region_budget();
-        partition(&mut prog.func, budget);
-        // Checkpoint/split fixpoint.
-        for _ in 0..32 {
-            strip_ckpts(&mut prog.func);
-            stats.ckpts_inserted = insert_checkpoints(&mut prog.func);
-            // Boundary-free loops keep their per-iteration checkpoints out
-            // of the budget dataflow (same-slot stores coalesce into one SB
-            // entry per register); in exchange the number of distinct
-            // registers such a loop checkpoints is capped so that, together
-            // with the enclosing region's budgeted stores, the SB can never
-            // be exceeded by one region's own entries.
-            let loop_ckpt_cap = (config.sb_size - budget).max(1);
-            let extra = split_overfull(&mut prog.func, budget)
-                + ensure_ckpt_loops(&mut prog.func, loop_ckpt_cap);
-            stats.split_iterations += 1;
-            if extra == 0 {
-                break;
-            }
-        }
-        let bound = max_region_stores(&prog.func, config.sb_size);
-        if bound > config.sb_size {
-            return Err(CompileError::RegionOverflow {
-                stores: bound,
-                limit: config.sb_size,
-            });
-        }
-        if config.prune {
-            recipes = prune_checkpoints(&mut prog.func);
-            stats.ckpts_pruned = recipes.len() as u32;
-        }
-        if config.licm {
-            let out = licm_sink(&mut prog.func, config.sb_size);
-            // Gross removals: the dynamic win is per-iteration, so the
-            // static exit checkpoints that replace them do not offset it.
-            stats.ckpts_licm_removed = out.removed;
-        }
-        if config.sched {
-            schedule(&mut prog.func);
-        }
-        stats.boundaries = prog.func.boundary_count() as u32;
-    }
-
-    let machine = codegen(&prog, &recipes)?;
-    stats.final_insts = machine.insts.len() as u32;
-    Ok(CompileOutput {
-        program: machine,
-        stats,
-    })
+    PassManager::for_config(config).run(program)
 }
 
 #[cfg(test)]

@@ -94,9 +94,7 @@ pub fn prune_checkpoints(f: &mut Function) -> PruneRecipes {
             // regions never restore r, so they need no recipe.
             let crossed: Vec<(usize, u32)> = (i + 2..next_redef)
                 .filter_map(|k| match insts[k] {
-                    Inst::RegionBoundary { id }
-                        if live.live_before(f, b, k).contains(r) =>
-                    {
+                    Inst::RegionBoundary { id } if live.live_before(f, b, k).contains(r) => {
                         Some((k, id))
                     }
                     _ => None,
@@ -121,21 +119,49 @@ pub fn prune_checkpoints(f: &mut Function) -> PruneRecipes {
             }
             // r must not already serve as a recipe operand at any crossed
             // boundary.
-            if crossed.iter().any(|&(_, id)| {
-                recipe_operands.get(&id).is_some_and(|v| v.contains(&r))
-            }) {
+            if crossed
+                .iter()
+                .any(|&(_, id)| recipe_operands.get(&id).is_some_and(|v| v.contains(&r)))
+            {
                 continue;
             }
             // Accept: drop the checkpoint, record the recipe everywhere.
             f.blocks[bi].insts[i + 1] = Inst::Nop;
             for &(_, id) in &crossed {
                 recipes.by_boundary.entry(id).or_default().push((r, def));
-                recipe_operands.entry(id).or_default().extend(ops.iter().copied());
+                recipe_operands
+                    .entry(id)
+                    .or_default()
+                    .extend(ops.iter().copied());
             }
         }
     }
     f.sweep_nops();
     recipes
+}
+
+/// Optimal checkpoint pruning as a pipeline [`crate::pass::Pass`]; the
+/// reconstruction recipes land in [`crate::pass::PassCx::recipes`] for the
+/// recovery-block lowering.
+pub struct PrunePass;
+
+impl crate::pass::Pass for PrunePass {
+    fn name(&self) -> &'static str {
+        "prune"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        *cx.recipes = prune_checkpoints(&mut prog.func);
+        cx.metrics.add(
+            turnpike_metrics::Counter::CkptsPruned,
+            cx.recipes.len() as u64,
+        );
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 
 use crate::config::PassStats;
 use std::collections::HashMap;
-use turnpike_ir::{Addr, BlockId, Cfg, DomTree, Function, Inst, Liveness, LoopForest, Operand, Reg};
+use turnpike_ir::{
+    Addr, BlockId, Cfg, DomTree, Function, Inst, Liveness, LoopForest, Operand, Reg,
+};
 
 /// Number of allocatable registers (`r0..r28`).
 pub const ALLOCATABLE: u32 = 29;
@@ -300,8 +302,8 @@ fn rewrite(f: &mut Function, assignment: &HashMap<Reg, Location>, stats: &mut Pa
         }
         // Terminator uses.
         let mut pre_term: Vec<Inst> = Vec::new();
-        let fix_term_reg = |r: &mut Reg, pre: &mut Vec<Inst>, stats: &mut PassStats| {
-            match map_reg(*r) {
+        let fix_term_reg =
+            |r: &mut Reg, pre: &mut Vec<Inst>, stats: &mut PassStats| match map_reg(*r) {
                 Location::Phys(p) => *r = Reg(p),
                 Location::Slot(s) => {
                     let sc = Reg(SCRATCH[0]);
@@ -312,8 +314,7 @@ fn rewrite(f: &mut Function, assignment: &HashMap<Reg, Location>, stats: &mut Pa
                     stats.spill_loads += 1;
                     *r = sc;
                 }
-            }
-        };
+            };
         match &mut b.term {
             turnpike_ir::Terminator::Branch { cond, .. } => {
                 fix_term_reg(cond, &mut pre_term, stats)
@@ -348,6 +349,35 @@ fn set_def(inst: &mut Inst, to: Reg) {
     }
 }
 
+/// Register allocation as a pipeline [`crate::pass::Pass`] (store-aware
+/// weighting follows the configuration).
+pub struct RegallocPass;
+
+impl crate::pass::Pass for RegallocPass {
+    fn name(&self) -> &'static str {
+        "regalloc"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        use turnpike_metrics::Counter;
+        // `regalloc` fills a scratch `PassStats` internally; the pass
+        // forwards the spill accounting into the shared registry.
+        let mut scratch = PassStats::default();
+        regalloc(&mut prog.func, cx.config.store_aware_ra, &mut scratch)?;
+        cx.metrics
+            .add(Counter::SpillStores, u64::from(scratch.spill_stores));
+        cx.metrics
+            .add(Counter::SpillLoads, u64::from(scratch.spill_loads));
+        cx.metrics
+            .add(Counter::SpilledVregs, u64::from(scratch.spilled_vregs));
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -357,7 +387,10 @@ mod tests {
     /// detail of the allocated program).
     fn data_golden(p: &Program) -> (Option<i64>, std::collections::BTreeMap<u64, i64>) {
         let (ret, mem) = interp::golden(p).unwrap();
-        (ret, mem.into_iter().filter(|(a, _)| *a < SPILL_BASE).collect())
+        (
+            ret,
+            mem.into_iter().filter(|(a, _)| *a < SPILL_BASE).collect(),
+        )
     }
 
     /// A function with `n` simultaneously-live values summed at the end.

@@ -58,7 +58,11 @@ fn schedule_segment(seg: &mut Vec<Inst>, out: &mut Vec<Inst>) -> u32 {
     // Build dependence edges: preds[i] = list of (dep index, edge latency).
     let mut preds: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
     let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
-    let add_edge = |from: usize, to: usize, lat: u32, preds: &mut Vec<Vec<(usize, u32)>>, succs: &mut Vec<Vec<usize>>| {
+    let add_edge = |from: usize,
+                    to: usize,
+                    lat: u32,
+                    preds: &mut Vec<Vec<(usize, u32)>>,
+                    succs: &mut Vec<Vec<usize>>| {
         preds[to].push((from, lat));
         succs[from].push(to);
     };
@@ -186,6 +190,25 @@ fn schedule_segment(seg: &mut Vec<Inst>, out: &mut Vec<Inst>) -> u32 {
     }
     seg.clear();
     moved
+}
+
+/// Checkpoint-aware instruction scheduling as a pipeline
+/// [`crate::pass::Pass`].
+pub struct SchedPass;
+
+impl crate::pass::Pass for SchedPass {
+    fn name(&self) -> &'static str {
+        "sched"
+    }
+
+    fn run(
+        &self,
+        prog: &mut turnpike_ir::Program,
+        _cx: &mut crate::pass::PassCx<'_>,
+    ) -> Result<(), crate::pipeline::CompileError> {
+        schedule(&mut prog.func);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

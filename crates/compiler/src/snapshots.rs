@@ -1,19 +1,17 @@
 //! Pass-by-pass snapshots: compile while recording the IR after every
 //! pipeline stage. Powers debugging sessions and the `compiler_pipeline`
 //! example; not used on the hot path.
+//!
+//! Implemented as a [`PassObserver`] on the regular
+//! [`crate::pass::PassManager`] pipeline — snapshotting is a listener on
+//! the one true pass list, not a second copy of it.
 
-use crate::checkpoint::{insert_checkpoints, strip_ckpts};
-use crate::codegen::codegen;
-use crate::config::{CompilerConfig, PassStats};
-use crate::dce::dce;
-use crate::legalize::legalize;
-use crate::licm::licm_sink;
-use crate::livm::livm;
-use crate::partition::{ensure_ckpt_loops, partition, split_overfull};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use crate::config::CompilerConfig;
+use crate::pass::{Pass, PassManager, PassObserver, PassRecord};
 use crate::pipeline::{CompileError, CompileOutput};
-use crate::prune::{prune_checkpoints, PruneRecipes};
-use crate::regalloc::regalloc;
-use crate::sched::schedule;
 use turnpike_ir::Program;
 
 /// The IR text after one pipeline stage.
@@ -29,6 +27,43 @@ pub struct Snapshot {
     pub boundaries: usize,
 }
 
+/// A [`PassObserver`] that records a [`Snapshot`] after every transforming
+/// pass (analysis passes leave the IR untouched and are skipped).
+///
+/// The snapshot list is shared through an `Rc<RefCell<...>>` so the caller
+/// can keep a handle while the observer is owned by the manager.
+pub struct SnapshotObserver {
+    snaps: Rc<RefCell<Vec<Snapshot>>>,
+}
+
+impl SnapshotObserver {
+    /// A fresh observer plus the shared handle to its snapshot list.
+    pub fn new() -> (Self, Rc<RefCell<Vec<Snapshot>>>) {
+        let snaps = Rc::new(RefCell::new(Vec::new()));
+        (
+            SnapshotObserver {
+                snaps: Rc::clone(&snaps),
+            },
+            snaps,
+        )
+    }
+}
+
+impl PassObserver for SnapshotObserver {
+    fn after_pass(&mut self, pass: &dyn Pass, prog: &Program, _record: &PassRecord) {
+        if pass.is_analysis() {
+            return;
+        }
+        let f = &prog.func;
+        self.snaps.borrow_mut().push(Snapshot {
+            stage: pass.name(),
+            ir: f.to_string(),
+            ckpts: f.ckpt_count(),
+            boundaries: f.boundary_count(),
+        });
+    }
+}
+
 /// Compile like [`crate::compile`] but record a [`Snapshot`] after each
 /// stage that ran.
 ///
@@ -39,74 +74,14 @@ pub fn compile_with_snapshots(
     program: &Program,
     config: &CompilerConfig,
 ) -> Result<(CompileOutput, Vec<Snapshot>), CompileError> {
-    let mut stats = PassStats::default();
-    let mut prog = program.clone();
-    let mut snaps = Vec::new();
-    let snap = |stage: &'static str, f: &turnpike_ir::Function| Snapshot {
-        stage,
-        ir: f.to_string(),
-        ckpts: f.ckpt_count(),
-        boundaries: f.boundary_count(),
-    };
-
-    legalize(&mut prog.func);
-    snaps.push(snap("legalize", &prog.func));
-    if config.livm {
-        stats.ivs_merged = livm(&mut prog.func);
-        dce(&mut prog.func);
-        snaps.push(snap("livm+dce", &prog.func));
-    }
-    regalloc(&mut prog.func, config.store_aware_ra, &mut stats)?;
-    snaps.push(snap("regalloc", &prog.func));
-
-    {
-        let base = codegen(&prog, &PruneRecipes::default())?;
-        stats.baseline_insts = base.insts.len() as u32;
-    }
-
-    let mut recipes = PruneRecipes::default();
-    if config.resilient {
-        let budget = config.region_budget();
-        partition(&mut prog.func, budget);
-        snaps.push(snap("partition", &prog.func));
-        for _ in 0..32 {
-            strip_ckpts(&mut prog.func);
-            stats.ckpts_inserted = insert_checkpoints(&mut prog.func);
-            let loop_ckpt_cap = (config.sb_size - budget).max(1);
-            let extra = split_overfull(&mut prog.func, budget)
-                + ensure_ckpt_loops(&mut prog.func, loop_ckpt_cap);
-            stats.split_iterations += 1;
-            if extra == 0 {
-                break;
-            }
-        }
-        snaps.push(snap("checkpoint", &prog.func));
-        if config.prune {
-            recipes = prune_checkpoints(&mut prog.func);
-            stats.ckpts_pruned = recipes.len() as u32;
-            snaps.push(snap("prune", &prog.func));
-        }
-        if config.licm {
-            let out = licm_sink(&mut prog.func, config.sb_size);
-            stats.ckpts_licm_removed = out.removed;
-            snaps.push(snap("licm", &prog.func));
-        }
-        if config.sched {
-            schedule(&mut prog.func);
-            snaps.push(snap("sched", &prog.func));
-        }
-        stats.boundaries = prog.func.boundary_count() as u32;
-    }
-
-    let machine = codegen(&prog, &recipes)?;
-    stats.final_insts = machine.insts.len() as u32;
-    Ok((
-        CompileOutput {
-            program: machine,
-            stats,
-        },
-        snaps,
-    ))
+    let (observer, snaps) = SnapshotObserver::new();
+    let out = PassManager::for_config(config)
+        .with_observer(Box::new(observer))
+        .run(program)?;
+    let snaps = Rc::try_unwrap(snaps)
+        .expect("manager dropped its observer")
+        .into_inner();
+    Ok((out, snaps))
 }
 
 #[cfg(test)]
@@ -135,8 +110,7 @@ mod tests {
     #[test]
     fn snapshots_cover_enabled_stages() {
         let p = sample();
-        let (_, snaps) =
-            compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
+        let (_, snaps) = compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
         let stages: Vec<&str> = snaps.iter().map(|s| s.stage).collect();
         assert_eq!(
             stages,
@@ -163,19 +137,21 @@ mod tests {
     #[test]
     fn disabled_stages_leave_no_snapshot() {
         let p = sample();
-        let (_, snaps) =
-            compile_with_snapshots(&p, &CompilerConfig::turnstile(4)).unwrap();
+        let (_, snaps) = compile_with_snapshots(&p, &CompilerConfig::turnstile(4)).unwrap();
         let stages: Vec<&str> = snaps.iter().map(|s| s.stage).collect();
-        assert_eq!(stages, vec!["legalize", "regalloc", "partition", "checkpoint"]);
+        assert_eq!(
+            stages,
+            vec!["legalize", "regalloc", "partition", "checkpoint"]
+        );
     }
 
     #[test]
     fn snapshot_compile_agrees_with_plain_compile() {
         let p = sample();
         let plain = crate::compile(&p, &CompilerConfig::turnpike(4)).unwrap();
-        let (snapped, _) =
-            compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
+        let (snapped, _) = compile_with_snapshots(&p, &CompilerConfig::turnpike(4)).unwrap();
         assert_eq!(plain.program, snapped.program);
         assert_eq!(plain.stats, snapped.stats);
+        assert_eq!(plain.metrics, snapped.metrics);
     }
 }

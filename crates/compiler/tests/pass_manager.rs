@@ -1,0 +1,112 @@
+//! Pass-manager integration properties.
+//!
+//! Two families of evidence that the declarative pipeline is sound:
+//!
+//! * **Generated kernels** (proptest): every pass emits IR the verifier
+//!   accepts *and* preserves observable program behavior, across the whole
+//!   config lattice (baseline / turnstile / turnpike at several SB sizes).
+//! * **The 36-kernel catalog**: the per-pass metric deltas recorded in
+//!   [`turnpike_compiler::PassRecord`]s sum exactly to the whole-compile
+//!   registry, and the legacy [`PassStats`] view is a pure projection of it.
+
+use proptest::prelude::*;
+use turnpike_compiler::{CompilerConfig, PassManager, PassStats};
+use turnpike_metrics::MetricSet;
+use turnpike_workloads::{all_kernels, generate, GeneratorConfig, Scale};
+
+/// The config lattice the properties quantify over: every scheme shape the
+/// pipeline materializes differently, at more than one store-buffer size.
+fn configs() -> Vec<CompilerConfig> {
+    vec![
+        CompilerConfig::baseline(),
+        CompilerConfig::turnstile(4),
+        CompilerConfig::turnstile(8),
+        CompilerConfig::turnpike(4),
+        CompilerConfig::turnpike(8),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every pass of every materialized pipeline produces IR the verifier
+    /// accepts, and no pass changes the program's observable behavior
+    /// (return value + architectural memory, spill slots excluded).
+    #[test]
+    fn every_pass_verifies_and_preserves_behavior(
+        seed in 0u64..1 << 32,
+        loops in 1usize..4,
+        body_ops in 4usize..20,
+        store_pct in 0u32..60,
+        accumulators in 1usize..5,
+    ) {
+        let gc = GeneratorConfig {
+            loops,
+            trip: 8,
+            body_ops,
+            store_density: f64::from(store_pct) / 100.0,
+            accumulators,
+            ..GeneratorConfig::default()
+        };
+        let program = generate(seed, &gc);
+        for cc in configs() {
+            let out = PassManager::for_config(&cc)
+                .with_ir_verification(true)
+                .with_equivalence_checks(true)
+                .run(&program);
+            prop_assert!(
+                out.is_ok(),
+                "seed {seed} under {cc:?}: {}",
+                out.err().map(|e| e.to_string()).unwrap_or_default()
+            );
+        }
+    }
+}
+
+/// On every catalog kernel, merging the per-pass metric deltas reproduces
+/// the whole-compile registry exactly, and `PassStats` agrees with its
+/// metric projection. This is what lets figures attribute any total to the
+/// pass that produced it.
+#[test]
+fn catalog_per_pass_metrics_sum_to_totals() {
+    let kernels = all_kernels(Scale::Smoke);
+    assert_eq!(kernels.len(), 36, "the paper's catalog is 36 kernels");
+    for cc in [CompilerConfig::turnpike(4), CompilerConfig::turnstile(4)] {
+        for k in &kernels {
+            let out = PassManager::for_config(&cc)
+                .with_ir_verification(true)
+                .run(&k.program)
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let mut merged = MetricSet::new();
+            for rec in &out.passes {
+                merged.merge(&rec.metrics);
+            }
+            assert_eq!(
+                merged, out.metrics,
+                "{}: per-pass deltas must cover the registry",
+                k.name
+            );
+            assert_eq!(
+                PassStats::from_metrics(&out.metrics),
+                out.stats,
+                "{}: PassStats must be a pure projection of the registry",
+                k.name
+            );
+        }
+    }
+}
+
+/// The verifier hook runs after *every* pass: each record names a pipeline
+/// stage, and no stage repeats (the fixpoint iterates inside one pass).
+#[test]
+fn records_are_one_per_stage() {
+    let k = &all_kernels(Scale::Smoke)[0];
+    let out = PassManager::for_config(&CompilerConfig::turnpike(4))
+        .run(&k.program)
+        .unwrap();
+    let names: Vec<&str> = out.passes.iter().map(|r| r.name).collect();
+    let mut unique = names.clone();
+    unique.dedup();
+    assert_eq!(names, unique, "no pipeline stage records twice");
+    assert!(names.contains(&"checkpoint") && names.contains(&"codegen"));
+}

@@ -148,7 +148,8 @@ mod tests {
     #[test]
     fn unreachable_blocks_have_no_idom() {
         let mut f = Function::empty("u");
-        f.blocks.push(BasicBlock::new(Terminator::Ret { value: None }));
+        f.blocks
+            .push(BasicBlock::new(Terminator::Ret { value: None }));
         let cfg = Cfg::compute(&f);
         let dt = DomTree::compute(&cfg);
         assert_eq!(dt.idom(BlockId(1)), None);

@@ -73,6 +73,17 @@ impl Function {
             .count()
     }
 
+    /// Check the structural well-formedness invariants of this function
+    /// (see [`crate::verify::verify_function`]). This is the hook the
+    /// compiler's pass manager calls after every pass in debug/test builds.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found.
+    pub fn verify(&self) -> Result<(), crate::verify::VerifyError> {
+        crate::verify::verify_function(self)
+    }
+
     /// Remove all `Nop` placeholders.
     pub fn sweep_nops(&mut self) {
         for b in &mut self.blocks {

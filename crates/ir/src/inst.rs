@@ -266,7 +266,9 @@ impl Inst {
         match self {
             Inst::Bin { dst, .. } | Inst::Cmp { dst, .. } | Inst::Mov { dst, .. } => Some(dst),
             Inst::Load { dst, .. } => Some(dst),
-            Inst::Store { .. } | Inst::Ckpt { .. } | Inst::RegionBoundary { .. } | Inst::Nop => None,
+            Inst::Store { .. } | Inst::Ckpt { .. } | Inst::RegionBoundary { .. } | Inst::Nop => {
+                None
+            }
         }
     }
 

@@ -274,10 +274,7 @@ mod tests {
         let p = Program::new(b.finish().unwrap(), DataSegment::zeroed(0x1000, 0));
         let out = run(&p, &InterpConfig::default()).unwrap();
         assert!(out.memory.is_empty());
-        assert_eq!(
-            out.ckpt_memory.get(&crate::ckpt_slot_addr(0, 0)),
-            Some(&9)
-        );
+        assert_eq!(out.ckpt_memory.get(&crate::ckpt_slot_addr(0, 0)), Some(&9));
         assert_eq!(out.dyn_ckpts, 1);
         assert_eq!(out.dyn_boundaries, 1);
     }

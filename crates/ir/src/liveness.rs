@@ -167,7 +167,10 @@ mod tests {
         assert!(lv.live_out(BlockId(1)).contains(r(1)));
         assert!(!lv.live_out(BlockId(1)).contains(r(0)));
         // bb2 needs v1 only.
-        assert_eq!(lv.live_in(BlockId(2)).iter().collect::<Vec<_>>(), vec![r(1)]);
+        assert_eq!(
+            lv.live_in(BlockId(2)).iter().collect::<Vec<_>>(),
+            vec![r(1)]
+        );
         assert!(lv.live_out(BlockId(2)).is_empty());
     }
 

@@ -190,20 +190,12 @@ mod tests {
         let cfg = Cfg::compute(&f);
         let dom = DomTree::compute(&cfg);
         let lf = LoopForest::compute(&cfg, &dom);
-        let outer = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(1))
-            .unwrap();
+        let outer = lf.loops().iter().find(|l| l.header == BlockId(1)).unwrap();
         assert!(outer.contains(BlockId(2)));
         assert!(outer.contains(BlockId(3)));
         assert!(!outer.contains(BlockId(4)));
         assert!(outer.exiting.contains(&BlockId(1)));
-        let inner = lf
-            .loops()
-            .iter()
-            .find(|l| l.header == BlockId(2))
-            .unwrap();
+        let inner = lf.loops().iter().find(|l| l.header == BlockId(2)).unwrap();
         assert_eq!(inner.body, vec![BlockId(2)]);
         assert_eq!(inner.depth, 2);
         assert_eq!(

@@ -97,7 +97,10 @@ pub fn verify_function(f: &Function) -> Result<(), VerifyError> {
         };
         for t in targets {
             if t.index() >= f.blocks.len() {
-                return Err(VerifyError::BadBranchTarget { from: id, target: t });
+                return Err(VerifyError::BadBranchTarget {
+                    from: id,
+                    target: t,
+                });
             }
         }
     }
@@ -114,6 +117,15 @@ mod tests {
     #[test]
     fn empty_function_verifies() {
         assert_eq!(verify_function(&Function::empty("ok")), Ok(()));
+    }
+
+    #[test]
+    fn method_hook_matches_free_function() {
+        let mut f = Function::empty("hook");
+        assert_eq!(f.verify(), Ok(()));
+        f.blocks[0].term = Terminator::Jump(BlockId(7));
+        assert_eq!(f.verify(), verify_function(&f));
+        assert!(f.verify().is_err());
     }
 
     #[test]
@@ -140,7 +152,10 @@ mod tests {
             src: Operand::Imm(0),
         });
         let err = verify_function(&f).unwrap_err();
-        assert!(matches!(err, VerifyError::RegOutOfRange { reg: Reg(5), .. }));
+        assert!(matches!(
+            err,
+            VerifyError::RegOutOfRange { reg: Reg(5), .. }
+        ));
     }
 
     #[test]

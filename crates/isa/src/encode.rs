@@ -37,7 +37,9 @@ impl fmt::Display for EncodeError {
         match self {
             EncodeError::ImmOutOfRange(v) => write!(f, "immediate {v} does not fit in 32 bits"),
             EncodeError::FieldOutOfRange(v) => write!(f, "field value {v} does not fit"),
-            EncodeError::TruncatedStream(n) => write!(f, "byte stream length {n} not a multiple of 8"),
+            EncodeError::TruncatedStream(n) => {
+                write!(f, "byte stream length {n} not a multiple of 8")
+            }
             EncodeError::BadOpcode(op, i) => write!(f, "unknown opcode {op:#x} at instruction {i}"),
             EncodeError::BadReg(r, i) => write!(f, "bad register {r} at instruction {i}"),
         }
@@ -152,16 +154,14 @@ pub fn encode_inst(inst: &MachInst) -> Result<[u8; 8], EncodeError> {
                 // Immediate-store with register offset splits the immediate:
                 // value in byte c is only possible for tiny values, so we
                 // keep the offset in the imm field and the value must fit i8.
-                let small =
-                    i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
+                let small = i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
                 pack(OP_STORE_RO_IMM, small as u8, b.raw(), 0, imm32(o)?)
             }
             (MOperand::Reg(s), MachAddr::Abs(a)) => {
                 pack(OP_STORE_ABS_REG, s.raw(), 0, 0, u32f(a)? as i32)
             }
             (MOperand::Imm(v), MachAddr::Abs(a)) => {
-                let small =
-                    i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
+                let small = i8::try_from(v).map_err(|_| EncodeError::ImmOutOfRange(v))?;
                 pack(OP_STORE_ABS_IMM, small as u8, 0, 0, u32f(a)? as i32)
             }
             (_, MachAddr::CkptSlot(_)) => {
@@ -274,9 +274,7 @@ pub fn decode_program(bytes: &[u8]) -> Result<Vec<MachInst>, EncodeError> {
             OP_RB => MachInst::RegionBoundary {
                 id: RegionId(imm as u32),
             },
-            OP_JUMP => MachInst::Jump {
-                target: imm as u32,
-            },
+            OP_JUMP => MachInst::Jump { target: imm as u32 },
             OP_BNZ => MachInst::BranchNz {
                 cond: reg(a, idx)?,
                 target: imm as u32,

@@ -298,10 +298,7 @@ mod tests {
             MachInst::RegionBoundary { id: RegionId(3) }.to_string(),
             "rb R3"
         );
-        assert_eq!(
-            MachInst::Jump { target: 9 }.to_string(),
-            "jmp @9"
-        );
+        assert_eq!(MachInst::Jump { target: 9 }.to_string(), "jmp @9");
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub use asm::{parse_asm, AsmError};
 pub use encode::{decode_program, encode_program, EncodeError};
 pub use inst::{MachAddr, MachInst};
 pub use program::{MachProgram, RecoveryBlock, RegionId, ValidateError};
-pub use regions::{region_summaries, RegionSummary};
 pub use reg::{MOperand, PhysReg, RegParseError, NUM_PHYS_REGS};
+pub use regions::{region_summaries, RegionSummary};
 
 // The machine shares arithmetic semantics with the IR.
 pub use turnpike_ir::{BinOp, CmpOp};

@@ -158,10 +158,9 @@ impl MachProgram {
         for (pc, inst) in self.insts.iter().enumerate() {
             let pc = pc as u32;
             match *inst {
-                MachInst::Jump { target } | MachInst::BranchNz { target, .. }
-                    if target >= n => {
-                        return Err(ValidateError::BadTarget { pc, target });
-                    }
+                MachInst::Jump { target } | MachInst::BranchNz { target, .. } if target >= n => {
+                    return Err(ValidateError::BadTarget { pc, target });
+                }
                 MachInst::RegionBoundary { id } => {
                     if id.0 != next_region {
                         return Err(ValidateError::NonSequentialRegions { pc });
@@ -276,7 +275,9 @@ mod tests {
         );
         assert_eq!(
             p.validate(),
-            Err(ValidateError::BadRecoveryInst { region: RegionId(0) })
+            Err(ValidateError::BadRecoveryInst {
+                region: RegionId(0)
+            })
         );
     }
 
@@ -305,11 +306,7 @@ mod tests {
 
     #[test]
     fn disasm_contains_pcs() {
-        let p = MachProgram::from_insts(
-            "d",
-            vec![MachInst::Nop, ret()],
-            DataSegment::zeroed(0, 0),
-        );
+        let p = MachProgram::from_insts("d", vec![MachInst::Nop, ret()], DataSegment::zeroed(0, 0));
         let d = p.disasm();
         assert!(d.contains("0: nop"));
         assert!(d.contains("1: ret"));

@@ -2,9 +2,7 @@
 //! itself (Display ↔ parse_asm round trip).
 
 use proptest::prelude::*;
-use turnpike_isa::{
-    parse_asm, BinOp, CmpOp, MOperand, MachAddr, MachInst, PhysReg, RegionId,
-};
+use turnpike_isa::{parse_asm, BinOp, CmpOp, MOperand, MachAddr, MachInst, PhysReg, RegionId};
 
 fn reg() -> impl Strategy<Value = PhysReg> {
     (0u8..32).prop_map(|i| PhysReg::new(i).expect("in range"))

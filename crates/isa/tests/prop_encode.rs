@@ -41,10 +41,18 @@ fn cmpop() -> impl Strategy<Value = CmpOp> {
 
 fn inst() -> impl Strategy<Value = MachInst> {
     prop_oneof![
-        (binop(), reg(), reg(), moperand())
-            .prop_map(|(op, dst, lhs, rhs)| MachInst::Bin { op, dst, lhs, rhs }),
-        (cmpop(), reg(), reg(), moperand())
-            .prop_map(|(op, dst, lhs, rhs)| MachInst::Cmp { op, dst, lhs, rhs }),
+        (binop(), reg(), reg(), moperand()).prop_map(|(op, dst, lhs, rhs)| MachInst::Bin {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
+        (cmpop(), reg(), reg(), moperand()).prop_map(|(op, dst, lhs, rhs)| MachInst::Cmp {
+            op,
+            dst,
+            lhs,
+            rhs
+        }),
         (reg(), moperand()).prop_map(|(dst, src)| MachInst::Mov { dst, src }),
         (reg(), addr()).prop_map(|(dst, addr)| MachInst::Load { dst, addr }),
         (reg(), reg()).prop_map(|(dst, s)| MachInst::Load {
@@ -56,11 +64,8 @@ fn inst() -> impl Strategy<Value = MachInst> {
         (0u32..10_000).prop_map(|id| MachInst::RegionBoundary { id: RegionId(id) }),
         (0u32..100_000).prop_map(|target| MachInst::Jump { target }),
         (reg(), 0u32..100_000).prop_map(|(cond, target)| MachInst::BranchNz { cond, target }),
-        prop_oneof![
-            Just(None),
-            moperand().prop_map(Some),
-        ]
-        .prop_map(|value| MachInst::Ret { value }),
+        prop_oneof![Just(None), moperand().prop_map(Some),]
+            .prop_map(|value| MachInst::Ret { value }),
         Just(MachInst::Nop),
     ]
 }

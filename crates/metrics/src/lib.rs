@@ -1,0 +1,511 @@
+//! Unified metrics spine for the Turnpike reproduction.
+//!
+//! Every layer of the stack — compiler passes, the cycle-level simulator,
+//! the recovery controller, fault campaigns — records its statistics into
+//! one shared registry type, [`MetricSet`], keyed by the closed enums
+//! [`Counter`] (integer event counts) and [`Gauge`] (floating-point point
+//! samples). The evaluation harness reads figures out of the same registry
+//! by key instead of reaching into per-layer stat structs.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Cheap in the hot loop.** Keys are dense enum discriminants and a
+//!    [`MetricSet`] is a pair of fixed arrays, so [`MetricSet::add`] is an
+//!    indexed integer add — no hashing, no allocation, no locks.
+//! 2. **Mergeable across runs.** [`MetricSet::merge`] folds one run's
+//!    metrics into an accumulator under each key's [`MergePolicy`]
+//!    (campaign reports are exactly this fold), and
+//!    [`MetricSet::delta_since`] recovers per-phase contributions (the
+//!    pass manager uses it for per-pass attribution).
+//! 3. **One schema.** The key enums are the single catalogue of everything
+//!    the stack measures; adding a metric means adding a variant here, and
+//!    every consumer can enumerate the catalogue via [`Counter::ALL`].
+
+use std::fmt;
+
+/// How two samples of the same counter combine under [`MetricSet::merge`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergePolicy {
+    /// Event counts: occurrences add up across runs/phases.
+    Sum,
+    /// High-water marks: the combined value is the larger observation.
+    Max,
+}
+
+macro_rules! counters {
+    ($( $(#[$meta:meta])* $variant:ident => ($name:literal, $policy:ident), )+) => {
+        /// Integer metric keys, the closed catalogue of event counters the
+        /// stack records. Dotted names namespace the producing layer
+        /// (`compile.*`, `sim.*`, `sim.clq.*`, `sim.cache.*`, `campaign.*`).
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum Counter {
+            $( $(#[$meta])* $variant, )+
+        }
+
+        impl Counter {
+            /// Every counter key, in declaration order.
+            pub const ALL: &'static [Counter] = &[ $(Counter::$variant,)+ ];
+
+            /// The dotted string name (stable; used for display and JSON).
+            pub fn name(self) -> &'static str {
+                match self { $(Counter::$variant => $name,)+ }
+            }
+
+            /// How samples of this counter combine across runs.
+            pub fn merge_policy(self) -> MergePolicy {
+                match self { $(Counter::$variant => MergePolicy::$policy,)+ }
+            }
+        }
+    };
+}
+
+counters! {
+    // — compiler passes —
+    /// Checkpoints present after eager insertion (before pruning/LICM).
+    CkptsInserted => ("compile.ckpts_inserted", Sum),
+    /// Checkpoints removed by optimal pruning.
+    CkptsPruned => ("compile.ckpts_pruned", Sum),
+    /// Net checkpoints removed by LICM loop-exit sinking.
+    CkptsLicmRemoved => ("compile.ckpts_licm_removed", Sum),
+    /// Spill stores emitted by register allocation.
+    SpillStores => ("compile.spill_stores", Sum),
+    /// Spill reload loads emitted by register allocation.
+    SpillLoads => ("compile.spill_loads", Sum),
+    /// Virtual registers spilled.
+    SpilledVregs => ("compile.spilled_vregs", Sum),
+    /// Loop induction variables merged away by LIVM.
+    IvsMerged => ("compile.ivs_merged", Sum),
+    /// Region boundaries in the final code.
+    Boundaries => ("compile.boundaries", Sum),
+    /// Extra boundary-splitting fixpoint iterations taken.
+    SplitIterations => ("compile.split_iterations", Sum),
+    /// Machine instructions in the final program.
+    FinalInsts => ("compile.final_insts", Sum),
+    /// Machine instructions of a resilience-free compile of the same
+    /// function (the code-size denominator).
+    BaselineInsts => ("compile.baseline_insts", Sum),
+
+    // — simulator core —
+    /// Total cycles (including the verification/drain tail).
+    Cycles => ("sim.cycles", Sum),
+    /// Dynamic instructions committed (recovery re-execution included).
+    Insts => ("sim.insts", Sum),
+    /// Cycles lost waiting for a free store buffer slot.
+    StallSbFull => ("sim.stall.sb_full", Sum),
+    /// Cycles lost waiting on register operands.
+    StallDataHazard => ("sim.stall.data_hazard", Sum),
+    /// Data-hazard cycles where the stalled instruction was a checkpoint.
+    StallCkptHazard => ("sim.stall.ckpt_hazard", Sum),
+    /// Cycles lost to the single memory port.
+    StallMemPort => ("sim.stall.mem_port", Sum),
+    /// Cycles lost waiting for RBB room at a boundary.
+    StallRbbFull => ("sim.stall.rbb_full", Sum),
+    /// Cycles spent in recovery (flush + recovery block execution).
+    RecoveryCycles => ("sim.recovery_cycles", Sum),
+    /// Dynamic loads.
+    Loads => ("sim.loads", Sum),
+    /// Dynamic regular stores.
+    Stores => ("sim.stores", Sum),
+    /// Dynamic checkpoint stores.
+    Ckpts => ("sim.ckpts", Sum),
+    /// Regular stores fast-released via the WAR-free path.
+    WarFreeReleased => ("sim.war_free_released", Sum),
+    /// Checkpoints fast-released via coloring.
+    ColoredReleased => ("sim.colored_released", Sum),
+    /// Stores (regular + checkpoint) quarantined in the SB.
+    Quarantined => ("sim.quarantined", Sum),
+    /// Region boundaries committed.
+    RegionsCommitted => ("sim.boundaries", Sum),
+    /// Errors detected (sensor or parity).
+    Detections => ("sim.detections", Sum),
+    /// Detections raised by register parity / hardened-path checks.
+    ParityDetections => ("sim.parity_detections", Sum),
+    /// Detections raised by the acoustic sensor (WCDL-bounded).
+    SensorDetections => ("sim.sensor_detections", Sum),
+    /// Recoveries executed by the recovery controller.
+    Recoveries => ("sim.recoveries", Sum),
+    /// Peak store-buffer occupancy.
+    SbPeak => ("sim.sb_peak", Max),
+
+    // — committed load queue —
+    /// Regular stores checked against the CLQ.
+    ClqStoresChecked => ("sim.clq.stores_checked", Sum),
+    /// Stores proven WAR-free (fast released).
+    ClqWarFree => ("sim.clq.war_free", Sum),
+    /// Loads recorded in the CLQ.
+    ClqLoadsRecorded => ("sim.clq.loads_recorded", Sum),
+    /// CLQ overflows (compact design only).
+    ClqOverflows => ("sim.clq.overflows", Sum),
+    /// Sum of entry occupancy sampled at each load.
+    ClqOccupancySum => ("sim.clq.occupancy_sum", Sum),
+    /// Occupancy samples taken.
+    ClqOccupancySamples => ("sim.clq.occupancy_samples", Sum),
+    /// Peak CLQ entries populated.
+    ClqPeakEntries => ("sim.clq.peak_entries", Max),
+
+    // — cache hierarchy —
+    /// L1 data cache hits.
+    L1Hits => ("sim.cache.l1_hits", Sum),
+    /// L1 data cache misses.
+    L1Misses => ("sim.cache.l1_misses", Sum),
+    /// L2 cache hits.
+    L2Hits => ("sim.cache.l2_hits", Sum),
+    /// L2 cache misses.
+    L2Misses => ("sim.cache.l2_misses", Sum),
+
+    // — fault campaigns —
+    /// Injected runs executed.
+    CampaignRuns => ("campaign.runs", Sum),
+    /// Runs whose final state differed from the fault-free run (SDC).
+    CampaignSdc => ("campaign.sdc", Sum),
+    /// Strikes that landed at or after program completion (no effect).
+    CampaignPostCompletion => ("campaign.post_completion", Sum),
+}
+
+/// Floating-point metric keys (point samples, not event counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Gauge {
+    /// Average dynamic instructions per region (paper Fig 26).
+    AvgRegionInsts,
+}
+
+impl Gauge {
+    /// Every gauge key, in declaration order.
+    pub const ALL: &'static [Gauge] = &[Gauge::AvgRegionInsts];
+
+    /// The dotted string name (stable; used for display and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::AvgRegionInsts => "sim.avg_region_insts",
+        }
+    }
+}
+
+/// Number of counter keys (array dimension of [`MetricSet`]).
+pub const NUM_COUNTERS: usize = Counter::ALL.len();
+/// Number of gauge keys (array dimension of [`MetricSet`]).
+pub const NUM_GAUGES: usize = Gauge::ALL.len();
+
+/// A dense registry holding one value per metric key.
+///
+/// This is the unit that flows through the stack: the pass manager hands
+/// one to every compiler pass, the simulator exports its run totals as one,
+/// campaigns fold per-run sets into one, and the figure generators read
+/// them by key. Cloning and merging are fixed-size array operations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSet {
+    counters: [u64; NUM_COUNTERS],
+    gauges: [f64; NUM_GAUGES],
+    gauge_set: u32,
+}
+
+impl Default for MetricSet {
+    fn default() -> Self {
+        MetricSet {
+            counters: [0; NUM_COUNTERS],
+            gauges: [0.0; NUM_GAUGES],
+            gauge_set: 0,
+        }
+    }
+}
+
+impl MetricSet {
+    /// An empty registry (all counters zero, no gauges set).
+    pub fn new() -> Self {
+        MetricSet::default()
+    }
+
+    /// Add `v` to a counter.
+    #[inline]
+    pub fn add(&mut self, key: Counter, v: u64) {
+        self.counters[key as usize] += v;
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, key: Counter) {
+        self.add(key, 1);
+    }
+
+    /// Raise a high-water-mark counter to at least `v`.
+    #[inline]
+    pub fn record_peak(&mut self, key: Counter, v: u64) {
+        let slot = &mut self.counters[key as usize];
+        *slot = (*slot).max(v);
+    }
+
+    /// Read a counter.
+    #[inline]
+    pub fn counter(&self, key: Counter) -> u64 {
+        self.counters[key as usize]
+    }
+
+    /// Set a gauge (overwrites any prior sample).
+    #[inline]
+    pub fn set_gauge(&mut self, key: Gauge, v: f64) {
+        self.gauges[key as usize] = v;
+        self.gauge_set |= 1 << key as u32;
+    }
+
+    /// Read a gauge; unset gauges read as `0.0`.
+    #[inline]
+    pub fn gauge(&self, key: Gauge) -> f64 {
+        self.gauges[key as usize]
+    }
+
+    /// Whether a gauge has been set.
+    pub fn has_gauge(&self, key: Gauge) -> bool {
+        self.gauge_set & (1 << key as u32) != 0
+    }
+
+    /// Fold `other` into `self`: `Sum` counters add, `Max` counters take
+    /// the larger observation, and gauges set in `other` overwrite (last
+    /// writer wins — merge-order-sensitive, so accumulate gauges only when
+    /// one producer owns the key).
+    pub fn merge(&mut self, other: &MetricSet) {
+        for &key in Counter::ALL {
+            let i = key as usize;
+            match key.merge_policy() {
+                MergePolicy::Sum => self.counters[i] += other.counters[i],
+                MergePolicy::Max => self.counters[i] = self.counters[i].max(other.counters[i]),
+            }
+        }
+        for &key in Gauge::ALL {
+            if other.has_gauge(key) {
+                self.set_gauge(key, other.gauge(key));
+            }
+        }
+    }
+
+    /// The contribution made since `before` was captured: `Sum` counters
+    /// subtract, `Max` counters keep the current high-water mark, and
+    /// gauges carry over where set. The pass manager uses this for
+    /// per-pass attribution, so for `Sum` keys
+    /// `before + delta == self` holds field-wise.
+    pub fn delta_since(&self, before: &MetricSet) -> MetricSet {
+        let mut d = MetricSet::new();
+        for &key in Counter::ALL {
+            let i = key as usize;
+            d.counters[i] = match key.merge_policy() {
+                MergePolicy::Sum => self.counters[i].saturating_sub(before.counters[i]),
+                MergePolicy::Max => self.counters[i],
+            };
+        }
+        for &key in Gauge::ALL {
+            if self.has_gauge(key) {
+                d.set_gauge(key, self.gauge(key));
+            }
+        }
+        d
+    }
+
+    /// Whether every counter is zero and no gauge is set.
+    pub fn is_empty(&self) -> bool {
+        self.counters.iter().all(|&c| c == 0) && self.gauge_set == 0
+    }
+
+    /// Iterate the nonzero counters as `(key, value)`.
+    pub fn nonzero_counters(&self) -> impl Iterator<Item = (Counter, u64)> + '_ {
+        Counter::ALL
+            .iter()
+            .filter(|&&k| self.counter(k) != 0)
+            .map(|&k| (k, self.counter(k)))
+    }
+
+    // — derived metrics —
+    //
+    // The ratio formulas below are the single definition the whole stack
+    // (stat displays, figure generators) uses; each guards its denominator
+    // and divides in the same order so results are bit-stable.
+
+    /// `num / den` as `f64`, `0.0` when the denominator is zero.
+    fn ratio(&self, num: Counter, den: Counter) -> f64 {
+        let d = self.counter(den);
+        if d == 0 {
+            0.0
+        } else {
+            self.counter(num) as f64 / d as f64
+        }
+    }
+
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        self.ratio(Counter::Insts, Counter::Cycles)
+    }
+
+    /// Fraction of dynamic instructions that are checkpoints (Fig 4).
+    pub fn ckpt_ratio(&self) -> f64 {
+        self.ratio(Counter::Ckpts, Counter::Insts)
+    }
+
+    /// Total dynamic stores including checkpoints.
+    pub fn all_stores(&self) -> u64 {
+        self.counter(Counter::Stores) + self.counter(Counter::Ckpts)
+    }
+
+    /// Fraction of all stores released without verification
+    /// (WAR-free + colored).
+    pub fn bypass_ratio(&self) -> f64 {
+        let all = self.all_stores();
+        if all == 0 {
+            0.0
+        } else {
+            (self.counter(Counter::WarFreeReleased) + self.counter(Counter::ColoredReleased)) as f64
+                / all as f64
+        }
+    }
+
+    /// Average CLQ entries populated over the run (Fig 24).
+    pub fn clq_avg_entries(&self) -> f64 {
+        self.ratio(Counter::ClqOccupancySum, Counter::ClqOccupancySamples)
+    }
+
+    /// Fraction of CLQ-checked stores proven WAR-free (Figs 15/24).
+    pub fn clq_war_free_ratio(&self) -> f64 {
+        self.ratio(Counter::ClqWarFree, Counter::ClqStoresChecked)
+    }
+
+    /// Code-size increase of the resilient binary over the baseline, as a
+    /// fraction (e.g. `0.05` = 5%). Zero when baseline size is unknown.
+    pub fn code_size_increase(&self) -> f64 {
+        let base = self.counter(Counter::BaselineInsts);
+        if base == 0 {
+            0.0
+        } else {
+            self.counter(Counter::FinalInsts) as f64 / base as f64 - 1.0
+        }
+    }
+}
+
+impl fmt::Display for MetricSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (key, v) in self.nonzero_counters() {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(f, "{} = {v}", key.name())?;
+            first = false;
+        }
+        for &key in Gauge::ALL {
+            if self.has_gauge(key) {
+                if !first {
+                    writeln!(f)?;
+                }
+                write!(f, "{} = {}", key.name(), self.gauge(key))?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(empty)")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_add_and_read() {
+        let mut m = MetricSet::new();
+        assert!(m.is_empty());
+        m.add(Counter::Cycles, 10);
+        m.inc(Counter::Cycles);
+        assert_eq!(m.counter(Counter::Cycles), 11);
+        assert_eq!(m.counter(Counter::Insts), 0);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn peaks_take_max() {
+        let mut m = MetricSet::new();
+        m.record_peak(Counter::SbPeak, 3);
+        m.record_peak(Counter::SbPeak, 2);
+        assert_eq!(m.counter(Counter::SbPeak), 3);
+    }
+
+    #[test]
+    fn gauges_track_set_state() {
+        let mut m = MetricSet::new();
+        assert!(!m.has_gauge(Gauge::AvgRegionInsts));
+        assert_eq!(m.gauge(Gauge::AvgRegionInsts), 0.0);
+        m.set_gauge(Gauge::AvgRegionInsts, 12.5);
+        assert!(m.has_gauge(Gauge::AvgRegionInsts));
+        assert_eq!(m.gauge(Gauge::AvgRegionInsts), 12.5);
+    }
+
+    #[test]
+    fn merge_respects_policies() {
+        let mut a = MetricSet::new();
+        a.add(Counter::Cycles, 100);
+        a.record_peak(Counter::SbPeak, 4);
+        let mut b = MetricSet::new();
+        b.add(Counter::Cycles, 50);
+        b.record_peak(Counter::SbPeak, 2);
+        b.set_gauge(Gauge::AvgRegionInsts, 7.0);
+        a.merge(&b);
+        assert_eq!(a.counter(Counter::Cycles), 150);
+        assert_eq!(a.counter(Counter::SbPeak), 4);
+        assert_eq!(a.gauge(Gauge::AvgRegionInsts), 7.0);
+    }
+
+    #[test]
+    fn delta_recovers_contributions() {
+        let mut before = MetricSet::new();
+        before.add(Counter::CkptsInserted, 5);
+        let mut after = before.clone();
+        after.add(Counter::CkptsInserted, 3);
+        after.add(Counter::SpillStores, 2);
+        let d = after.delta_since(&before);
+        assert_eq!(d.counter(Counter::CkptsInserted), 3);
+        assert_eq!(d.counter(Counter::SpillStores), 2);
+        let mut sum = before.clone();
+        sum.merge(&d);
+        assert_eq!(sum.counter(Counter::CkptsInserted), 8);
+    }
+
+    #[test]
+    fn derived_ratios_match_fixed_field_formulas() {
+        let mut m = MetricSet::new();
+        m.add(Counter::Cycles, 100);
+        m.add(Counter::Insts, 150);
+        m.add(Counter::Ckpts, 30);
+        m.add(Counter::Stores, 30);
+        m.add(Counter::WarFreeReleased, 15);
+        m.add(Counter::ColoredReleased, 15);
+        assert!((m.ipc() - 1.5).abs() < 1e-12);
+        assert!((m.ckpt_ratio() - 0.2).abs() < 1e-12);
+        assert_eq!(m.all_stores(), 60);
+        assert!((m.bypass_ratio() - 0.5).abs() < 1e-12);
+        assert_eq!(MetricSet::new().ipc(), 0.0);
+        assert_eq!(MetricSet::new().code_size_increase(), 0.0);
+        m.add(Counter::BaselineInsts, 100);
+        m.add(Counter::FinalInsts, 105);
+        assert!((m.code_size_increase() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn names_are_unique_and_namespaced() {
+        let mut seen = std::collections::HashSet::new();
+        for &k in Counter::ALL {
+            assert!(seen.insert(k.name()), "duplicate name {}", k.name());
+            assert!(k.name().contains('.'), "{} lacks a namespace", k.name());
+        }
+        for &g in Gauge::ALL {
+            assert!(seen.insert(g.name()), "duplicate name {}", g.name());
+        }
+    }
+
+    #[test]
+    fn display_lists_nonzero_entries() {
+        let mut m = MetricSet::new();
+        assert_eq!(m.to_string(), "(empty)");
+        m.add(Counter::Cycles, 7);
+        m.set_gauge(Gauge::AvgRegionInsts, 1.5);
+        let s = m.to_string();
+        assert!(s.contains("sim.cycles = 7"));
+        assert!(s.contains("sim.avg_region_insts = 1.5"));
+    }
+}

@@ -152,7 +152,10 @@ impl Table1 {
         ];
         Table1 {
             rows,
-            turnpike_vs_sb4: (total.area_um2 / sb4.area_um2, total.energy_pj / sb4.energy_pj),
+            turnpike_vs_sb4: (
+                total.area_um2 / sb4.area_um2,
+                total.energy_pj / sb4.energy_pj,
+            ),
             sb40_vs_sb4: (sb40.area_um2 / sb4.area_um2, sb40.energy_pj / sb4.energy_pj),
         }
     }
@@ -160,7 +163,11 @@ impl Table1 {
 
 impl std::fmt::Display for Table1 {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        writeln!(f, "{:<48} {:>12} {:>16}", "Structure", "Area (um^2)", "Dyn access (pJ)")?;
+        writeln!(
+            f,
+            "{:<48} {:>12} {:>16}",
+            "Structure", "Area (um^2)", "Dyn access (pJ)"
+        )?;
         for r in &self.rows {
             writeln!(
                 f,
@@ -217,7 +224,11 @@ mod tests {
     fn table1_ratios_match_paper() {
         let t = Table1::build();
         // Paper: 9.8% area, 9.7% energy for Turnpike vs 4-entry SB.
-        assert!((t.turnpike_vs_sb4.0 * 100.0 - 9.8).abs() < 0.15, "{:?}", t.turnpike_vs_sb4);
+        assert!(
+            (t.turnpike_vs_sb4.0 * 100.0 - 9.8).abs() < 0.15,
+            "{:?}",
+            t.turnpike_vs_sb4
+        );
         assert!((t.turnpike_vs_sb4.1 * 100.0 - 9.7).abs() < 0.15);
         // Paper: 504% / 497% for the 40-entry SB. (The paper's published
         // point values give 504.2% / 490.8%; its 497% energy ratio was

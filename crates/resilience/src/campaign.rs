@@ -38,7 +38,9 @@ impl Default for CampaignConfig {
 }
 
 /// Campaign outcome.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// (`PartialEq` only: the embedded metrics registry carries `f64` gauges.)
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct CampaignReport {
     /// Runs executed.
     pub runs: usize,
@@ -56,6 +58,9 @@ pub struct CampaignReport {
     /// counted per strike, not per run, so multi-strike runs where only
     /// some strikes land in-run are attributed correctly.
     pub post_completion: usize,
+    /// Every injected run's metrics folded together (`Sum` counters add,
+    /// peaks take the campaign-wide max), plus the `campaign.*` counters.
+    pub metrics: turnpike_metrics::MetricSet,
 }
 
 impl CampaignReport {
@@ -71,7 +76,11 @@ impl CampaignReport {
 /// the whole campaign — is what makes runs order-independent, so they can
 /// execute on any thread in any order with identical results.
 fn run_seed(seed: u64, run_index: u64) -> u64 {
-    let mut z = seed.wrapping_add(run_index.wrapping_add(1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut z = seed.wrapping_add(
+        run_index
+            .wrapping_add(1)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -79,7 +88,12 @@ fn run_seed(seed: u64, run_index: u64) -> u64 {
 
 /// The fault plan of one campaign run, a pure function of the campaign
 /// seed, the run index, and the fault-free horizon.
-fn plan_for_run(config: &CampaignConfig, spec: &RunSpec, run_index: usize, horizon: u64) -> FaultPlan {
+fn plan_for_run(
+    config: &CampaignConfig,
+    spec: &RunSpec,
+    run_index: usize,
+    horizon: u64,
+) -> FaultPlan {
     let s = run_seed(config.seed, run_index as u64);
     let mut rng = StdRng::seed_from_u64(s);
     let mut sampler = StrikeSampler::new(s ^ 0x5eed, spec.wcdl);
@@ -161,6 +175,18 @@ pub fn fault_campaign_par(
         if run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory {
             report.sdc += 1;
         }
+        report.metrics.merge(&run.metrics);
+    }
+    {
+        use turnpike_metrics::Counter;
+        report
+            .metrics
+            .add(Counter::CampaignRuns, report.runs as u64);
+        report.metrics.add(Counter::CampaignSdc, report.sdc as u64);
+        report.metrics.add(
+            Counter::CampaignPostCompletion,
+            report.post_completion as u64,
+        );
     }
     Ok(report)
 }
@@ -261,6 +287,33 @@ mod tests {
             let par = fault_campaign_par(&p, &spec, &cfg, threads).unwrap();
             assert_eq!(serial, par, "threads={threads}");
         }
+    }
+
+    #[test]
+    fn report_metrics_agree_with_fixed_fields() {
+        use turnpike_metrics::Counter;
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let report = fault_campaign(
+            &p,
+            &RunSpec::new(Scheme::Turnpike),
+            &CampaignConfig {
+                runs: 6,
+                seed: 11,
+                strikes_per_run: 1,
+            },
+        )
+        .unwrap();
+        let m = &report.metrics;
+        assert_eq!(m.counter(Counter::CampaignRuns), report.runs as u64);
+        assert_eq!(m.counter(Counter::CampaignSdc), report.sdc as u64);
+        assert_eq!(
+            m.counter(Counter::CampaignPostCompletion),
+            report.post_completion as u64
+        );
+        assert_eq!(m.counter(Counter::Recoveries), report.recoveries);
+        assert_eq!(m.counter(Counter::Detections), report.detections);
+        // The fold summed every injected run's cycles.
+        assert!(m.counter(Counter::Cycles) > 0);
     }
 
     #[test]

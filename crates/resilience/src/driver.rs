@@ -75,6 +75,24 @@ pub struct RunResult {
     pub outcome: SimOutcome,
     /// Compiler pass statistics (store breakdown, code size).
     pub compile_stats: PassStats,
+    /// The run's unified metrics registry: the compile's `compile.*` keys
+    /// merged with the simulation's `sim.*` keys. The evaluation harness
+    /// reads every statistic from here.
+    pub metrics: turnpike_metrics::MetricSet,
+}
+
+impl RunResult {
+    /// Assemble a result from a compile and a simulation, merging both
+    /// layers' metrics into the unified registry.
+    fn assemble(compiled: &CompileOutput, outcome: SimOutcome) -> Self {
+        let mut metrics = compiled.metrics.clone();
+        metrics.merge(&outcome.stats.to_metrics());
+        RunResult {
+            outcome,
+            compile_stats: compiled.stats.clone(),
+            metrics,
+        }
+    }
 }
 
 /// Driver failure.
@@ -132,10 +150,7 @@ pub fn run_custom(
 ) -> Result<RunResult, RunError> {
     let compiled = compile(program, cc)?;
     let outcome = Core::new(&compiled.program, sc.clone()).run()?;
-    Ok(RunResult {
-        outcome,
-        compile_stats: compiled.stats,
-    })
+    Ok(RunResult::assemble(&compiled, outcome))
 }
 
 /// Compile and simulate with a fault plan.
@@ -161,10 +176,7 @@ pub fn run_kernel_with_faults(
 /// Propagates simulator failures.
 pub fn run_compiled(compiled: &CompileOutput, sc: &SimConfig) -> Result<RunResult, RunError> {
     let outcome = Core::new(&compiled.program, sc.clone()).run()?;
-    Ok(RunResult {
-        outcome,
-        compile_stats: compiled.stats.clone(),
-    })
+    Ok(RunResult::assemble(compiled, outcome))
 }
 
 /// Simulate an already-compiled program under `spec` with a fault plan.
@@ -180,10 +192,7 @@ pub fn run_compiled_with_faults(
     faults: &FaultPlan,
 ) -> Result<RunResult, RunError> {
     let outcome = Core::new(&compiled.program, spec.sim_config()).run_with_faults(faults)?;
-    Ok(RunResult {
-        outcome,
-        compile_stats: compiled.stats.clone(),
-    })
+    Ok(RunResult::assemble(compiled, outcome))
 }
 
 /// Normalized execution time of `spec` relative to the unprotected baseline
@@ -193,7 +202,10 @@ pub fn run_compiled_with_faults(
 ///
 /// Propagates compiler and simulator failures.
 pub fn normalized_time(program: &Program, spec: &RunSpec) -> Result<f64, RunError> {
-    let base = run_kernel(program, &RunSpec::new(Scheme::Baseline).with_sb(spec.sb_size))?;
+    let base = run_kernel(
+        program,
+        &RunSpec::new(Scheme::Baseline).with_sb(spec.sb_size),
+    )?;
     let run = run_kernel(program, spec)?;
     Ok(run.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64)
 }
@@ -262,6 +274,26 @@ mod tests {
         .unwrap();
         // The ideal design proves at least as many stores WAR-free.
         assert!(ideal.outcome.stats.clq.war_free >= compact.outcome.stats.clq.war_free);
+    }
+
+    #[test]
+    fn run_metrics_span_compile_and_sim() {
+        use turnpike_metrics::Counter;
+        let p = kernel("bwaves");
+        let r = run_kernel(&p, &RunSpec::new(Scheme::Turnpike)).unwrap();
+        // Both layers' keys are present in the one registry...
+        assert_eq!(r.metrics.counter(Counter::Cycles), r.outcome.stats.cycles);
+        assert_eq!(
+            r.metrics.counter(Counter::CkptsInserted),
+            u64::from(r.compile_stats.ckpts_inserted)
+        );
+        assert!(r.metrics.counter(Counter::CkptsInserted) > 0);
+        // ...and the typed views agree with the registry.
+        assert_eq!(r.metrics.ipc(), r.outcome.stats.ipc());
+        assert_eq!(
+            r.metrics.code_size_increase(),
+            r.compile_stats.code_size_increase()
+        );
     }
 
     #[test]

@@ -30,6 +30,7 @@
 pub mod campaign;
 pub mod driver;
 pub mod par;
+pub mod preset;
 pub mod scheme;
 
 pub use campaign::{fault_campaign, fault_campaign_par, CampaignConfig, CampaignReport};
@@ -38,4 +39,5 @@ pub use driver::{
     run_kernel_with_faults, RunError, RunResult, RunSpec,
 };
 pub use par::par_map;
+pub use preset::{AblationKnob, LadderRung, ABLATION, COLOR_POOLS, COLOR_WCDLS, LADDER};
 pub use scheme::Scheme;

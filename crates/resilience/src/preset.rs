@@ -1,0 +1,249 @@
+//! The single source of truth for evaluation presets.
+//!
+//! Everything that enumerates the paper's design points draws from here:
+//!
+//! * [`compiler_config_for`] / [`sim_config_for`] — the one
+//!   scheme→(compiler, simulator) configuration mapping
+//!   ([`Scheme::compiler_config`] and [`Scheme::sim_config`] delegate);
+//! * [`LADDER`] — the Figure-21 optimization ladder, pairing each rung's
+//!   [`Scheme`] with the column label the figure prints;
+//! * [`ABLATION`] — the knock-one-out ablation sweep (full Turnpike minus
+//!   one technique), with [`ablation_configs`] materializing each variant;
+//! * [`COLOR_POOLS`] / [`COLOR_WCDLS`] — the color-pool sizing sweep grid.
+//!
+//! Keeping the tables here means the bench harness, the scheme enum, and
+//! any future sweep agree by construction instead of by parallel lists.
+
+use crate::scheme::Scheme;
+use turnpike_compiler::CompilerConfig;
+use turnpike_sim::{ClqKind, SimConfig};
+
+/// Compiler configuration for a scheme on an `sb_size`-entry store buffer.
+pub fn compiler_config_for(scheme: Scheme, sb_size: u32) -> CompilerConfig {
+    let mut c = CompilerConfig::turnstile(sb_size);
+    match scheme {
+        Scheme::Baseline => c = CompilerConfig::baseline(),
+        Scheme::Turnstile | Scheme::WarFree | Scheme::FastRelease => {}
+        Scheme::FastReleasePrune => {
+            c.prune = true;
+        }
+        Scheme::FastReleasePruneLicm => {
+            c.prune = true;
+            c.licm = true;
+        }
+        Scheme::FastReleasePruneLicmSched => {
+            c.prune = true;
+            c.licm = true;
+            c.sched = true;
+        }
+        Scheme::FastReleasePruneLicmSchedRa => {
+            c.prune = true;
+            c.licm = true;
+            c.sched = true;
+            c.store_aware_ra = true;
+        }
+        Scheme::Turnpike => c = CompilerConfig::turnpike(sb_size),
+    }
+    c.sb_size = sb_size;
+    c
+}
+
+/// Simulator configuration for a scheme.
+pub fn sim_config_for(scheme: Scheme, sb_size: u32, wcdl: u64) -> SimConfig {
+    match scheme {
+        Scheme::Baseline => SimConfig {
+            sb_size,
+            ..SimConfig::baseline()
+        },
+        Scheme::Turnstile => SimConfig::turnstile(sb_size, wcdl),
+        Scheme::WarFree => SimConfig {
+            war_free: true,
+            clq: ClqKind::Compact(2),
+            ..SimConfig::turnstile(sb_size, wcdl)
+        },
+        _ => SimConfig::turnpike(sb_size, wcdl),
+    }
+}
+
+/// One rung of the Figure-21 optimization ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LadderRung {
+    /// The design point.
+    pub scheme: Scheme,
+    /// The column label Figure 21 prints for this rung.
+    pub column: &'static str,
+}
+
+/// The Figure-21 ladder in presentation order (baseline excluded), each
+/// rung adding one compiler or hardware technique on top of the previous.
+/// [`Scheme::LADDER`] and the fig21 column headers both derive from this.
+pub const LADDER: [LadderRung; 8] = [
+    LadderRung {
+        scheme: Scheme::Turnstile,
+        column: "Turnstile",
+    },
+    LadderRung {
+        scheme: Scheme::WarFree,
+        column: "WAR-free",
+    },
+    LadderRung {
+        scheme: Scheme::FastRelease,
+        column: "FastRel",
+    },
+    LadderRung {
+        scheme: Scheme::FastReleasePrune,
+        column: "+Prune",
+    },
+    LadderRung {
+        scheme: Scheme::FastReleasePruneLicm,
+        column: "+LICM",
+    },
+    LadderRung {
+        scheme: Scheme::FastReleasePruneLicmSched,
+        column: "+Sched",
+    },
+    LadderRung {
+        scheme: Scheme::FastReleasePruneLicmSchedRa,
+        column: "+RA",
+    },
+    LadderRung {
+        scheme: Scheme::Turnpike,
+        column: "Turnpike",
+    },
+];
+
+/// The ladder's schemes alone, in rung order (the backing array of
+/// [`Scheme::LADDER`]).
+pub const fn ladder_schemes() -> [Scheme; 8] {
+    let mut out = [Scheme::Turnstile; 8];
+    let mut i = 0;
+    while i < LADDER.len() {
+        out[i] = LADDER[i].scheme;
+        i += 1;
+    }
+    out
+}
+
+/// One technique to knock out of full Turnpike for the ablation study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AblationKnob {
+    /// Full Turnpike, nothing removed (the reference row).
+    None,
+    /// Disable loop induction variable merging.
+    Livm,
+    /// Disable optimal checkpoint pruning.
+    Prune,
+    /// Disable checkpoint sinking (LICM).
+    Licm,
+    /// Disable checkpoint-aware instruction scheduling.
+    Sched,
+    /// Disable store-aware register allocation.
+    Ra,
+    /// Disable WAR-free fast release (and the CLQ backing it).
+    WarFree,
+    /// Disable hardware checkpoint coloring.
+    Coloring,
+}
+
+/// The ablation sweep: full Turnpike minus one technique at a time, with
+/// the row label the ablation table prints.
+pub const ABLATION: [(&str, AblationKnob); 8] = [
+    ("Turnpike (full)", AblationKnob::None),
+    ("- LIVM", AblationKnob::Livm),
+    ("- Pruning", AblationKnob::Prune),
+    ("- LICM", AblationKnob::Licm),
+    ("- Inst Sched", AblationKnob::Sched),
+    ("- Store-aware RA", AblationKnob::Ra),
+    ("- WAR-free release", AblationKnob::WarFree),
+    ("- HW coloring", AblationKnob::Coloring),
+];
+
+/// Configurations for one ablation variant: full Turnpike with the given
+/// technique removed.
+pub fn ablation_configs(
+    knob: AblationKnob,
+    sb_size: u32,
+    wcdl: u64,
+) -> (CompilerConfig, SimConfig) {
+    let mut cc = compiler_config_for(Scheme::Turnpike, sb_size);
+    let mut sc = sim_config_for(Scheme::Turnpike, sb_size, wcdl);
+    match knob {
+        AblationKnob::None => {}
+        AblationKnob::Livm => cc.livm = false,
+        AblationKnob::Prune => cc.prune = false,
+        AblationKnob::Licm => cc.licm = false,
+        AblationKnob::Sched => cc.sched = false,
+        AblationKnob::Ra => cc.store_aware_ra = false,
+        AblationKnob::WarFree => {
+            sc.war_free = false;
+            sc.clq = ClqKind::Off;
+        }
+        AblationKnob::Coloring => sc.coloring = false,
+    }
+    (cc, sc)
+}
+
+/// Color-pool sizes swept by the checkpoint-coloring extension experiment.
+pub const COLOR_POOLS: [u8; 4] = [1, 2, 4, 8];
+
+/// Detection latencies swept by the color-pool experiment.
+pub const COLOR_WCDLS: [u64; 3] = [10, 30, 50];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Pins the ladder's rung order and column labels — every consumer
+    /// (Scheme::LADDER, fig21) derives from this table, so this is the one
+    /// place the presentation order is asserted.
+    #[test]
+    fn ladder_order_and_columns_are_pinned() {
+        let columns: Vec<&str> = LADDER.iter().map(|r| r.column).collect();
+        assert_eq!(
+            columns,
+            vec![
+                "Turnstile",
+                "WAR-free",
+                "FastRel",
+                "+Prune",
+                "+LICM",
+                "+Sched",
+                "+RA",
+                "Turnpike"
+            ]
+        );
+        assert_eq!(ladder_schemes(), Scheme::LADDER);
+        assert_eq!(LADDER[0].scheme, Scheme::Turnstile);
+        assert_eq!(LADDER[7].scheme, Scheme::Turnpike);
+    }
+
+    #[test]
+    fn scheme_methods_delegate_here() {
+        for s in Scheme::LADDER.iter().chain([&Scheme::Baseline]) {
+            assert_eq!(s.compiler_config(4), compiler_config_for(*s, 4));
+            assert_eq!(s.sim_config(4, 10), sim_config_for(*s, 4, 10));
+        }
+    }
+
+    #[test]
+    fn ablation_knobs_each_remove_one_thing() {
+        let (full_cc, full_sc) = ablation_configs(AblationKnob::None, 4, 10);
+        assert!(full_cc.livm && full_cc.prune && full_cc.licm);
+        assert!(full_sc.war_free && full_sc.coloring);
+        let (cc, _) = ablation_configs(AblationKnob::Livm, 4, 10);
+        assert!(!cc.livm && cc.prune);
+        let (_, sc) = ablation_configs(AblationKnob::WarFree, 4, 10);
+        assert!(!sc.war_free);
+        assert_eq!(sc.clq, ClqKind::Off);
+        let (_, sc) = ablation_configs(AblationKnob::Coloring, 4, 10);
+        assert!(!sc.coloring);
+        assert_eq!(ABLATION.len(), 8);
+        assert_eq!(ABLATION[0].1, AblationKnob::None);
+    }
+
+    #[test]
+    fn sweep_grids_are_pinned() {
+        assert_eq!(COLOR_POOLS, [1, 2, 4, 8]);
+        assert_eq!(COLOR_WCDLS, [10, 30, 50]);
+    }
+}

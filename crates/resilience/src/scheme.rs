@@ -1,7 +1,11 @@
 //! Scheme definitions: the paper's design points as configuration bundles.
+//!
+//! The scheme→configuration mapping and the evaluation sweep tables live in
+//! [`crate::preset`]; the methods here are thin delegations kept for API
+//! stability.
 
 use turnpike_compiler::CompilerConfig;
-use turnpike_sim::{ClqKind, SimConfig};
+use turnpike_sim::SimConfig;
 
 /// One point in the paper's design space. The ordering of the middle
 /// variants follows the optimization ladder of Figure 21: each rung adds one
@@ -31,16 +35,9 @@ pub enum Scheme {
 
 impl Scheme {
     /// The Figure-21 ladder, in presentation order (baseline excluded).
-    pub const LADDER: [Scheme; 8] = [
-        Scheme::Turnstile,
-        Scheme::WarFree,
-        Scheme::FastRelease,
-        Scheme::FastReleasePrune,
-        Scheme::FastReleasePruneLicm,
-        Scheme::FastReleasePruneLicmSched,
-        Scheme::FastReleasePruneLicmSchedRa,
-        Scheme::Turnpike,
-    ];
+    /// Derived from [`crate::preset::LADDER`], the one authoritative rung
+    /// table.
+    pub const LADDER: [Scheme; 8] = crate::preset::ladder_schemes();
 
     /// Human-readable label matching the paper's legend.
     pub fn label(self) -> &'static str {
@@ -59,51 +56,16 @@ impl Scheme {
         }
     }
 
-    /// Compiler configuration for this scheme on an `sb_size`-entry SB.
+    /// Compiler configuration for this scheme on an `sb_size`-entry SB
+    /// (delegates to [`crate::preset::compiler_config_for`]).
     pub fn compiler_config(self, sb_size: u32) -> CompilerConfig {
-        let mut c = CompilerConfig::turnstile(sb_size);
-        match self {
-            Scheme::Baseline => c = CompilerConfig::baseline(),
-            Scheme::Turnstile | Scheme::WarFree | Scheme::FastRelease => {}
-            Scheme::FastReleasePrune => {
-                c.prune = true;
-            }
-            Scheme::FastReleasePruneLicm => {
-                c.prune = true;
-                c.licm = true;
-            }
-            Scheme::FastReleasePruneLicmSched => {
-                c.prune = true;
-                c.licm = true;
-                c.sched = true;
-            }
-            Scheme::FastReleasePruneLicmSchedRa => {
-                c.prune = true;
-                c.licm = true;
-                c.sched = true;
-                c.store_aware_ra = true;
-            }
-            Scheme::Turnpike => c = CompilerConfig::turnpike(sb_size),
-        }
-        c.sb_size = sb_size;
-        c
+        crate::preset::compiler_config_for(self, sb_size)
     }
 
-    /// Simulator configuration for this scheme.
+    /// Simulator configuration for this scheme (delegates to
+    /// [`crate::preset::sim_config_for`]).
     pub fn sim_config(self, sb_size: u32, wcdl: u64) -> SimConfig {
-        match self {
-            Scheme::Baseline => SimConfig {
-                sb_size,
-                ..SimConfig::baseline()
-            },
-            Scheme::Turnstile => SimConfig::turnstile(sb_size, wcdl),
-            Scheme::WarFree => SimConfig {
-                war_free: true,
-                clq: ClqKind::Compact(2),
-                ..SimConfig::turnstile(sb_size, wcdl)
-            },
-            _ => SimConfig::turnpike(sb_size, wcdl),
-        }
+        crate::preset::sim_config_for(self, sb_size, wcdl)
     }
 
     /// Whether the scheme offers recovery at all.
@@ -121,6 +83,7 @@ impl std::fmt::Display for Scheme {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use turnpike_sim::ClqKind;
 
     #[test]
     fn ladder_is_monotone_in_features() {

@@ -56,10 +56,7 @@ impl Cache {
         if set.len() < self.ways {
             set.push(CacheLine { tag, lru: now });
         } else {
-            let victim = set
-                .iter_mut()
-                .min_by_key(|l| l.lru)
-                .expect("nonempty set");
+            let victim = set.iter_mut().min_by_key(|l| l.lru).expect("nonempty set");
             *victim = CacheLine { tag, lru: now };
         }
         false

@@ -190,11 +190,7 @@ impl Clq for CompactClq {
             return;
         }
         self.stats.loads_recorded += 1;
-        match self
-            .entries
-            .iter_mut()
-            .find(|e| e.region_seq == region_seq)
-        {
+        match self.entries.iter_mut().find(|e| e.region_seq == region_seq) {
             Some(e) => {
                 e.min = e.min.min(addr);
                 e.max = e.max.max(addr);
@@ -225,10 +221,7 @@ impl Clq for CompactClq {
         if !self.enabled {
             return false;
         }
-        let war = self
-            .entries
-            .iter()
-            .any(|e| addr >= e.min && addr <= e.max);
+        let war = self.entries.iter().any(|e| addr >= e.min && addr <= e.max);
         if !war {
             self.stats.war_free += 1;
         }
@@ -361,8 +354,8 @@ mod tests {
         c.record_load(0x200, 0);
         assert!(!c.check_war_free(0x100, 0)); // WAR
         assert!(c.check_war_free(0x180, 0)); // between loads: still free
-        // Another region's store still conflicts while region 0 is
-        // unverified: rollback replays region 0's loads.
+                                             // Another region's store still conflicts while region 0 is
+                                             // unverified: rollback replays region 0's loads.
         assert!(!c.check_war_free(0x100, 1));
         c.on_region_verified(0);
         assert!(c.check_war_free(0x100, 1)); // reclaimed: free
@@ -375,7 +368,10 @@ mod tests {
         let mut c = CompactClq::new(2);
         c.record_load(0x100, 0);
         c.record_load(0x200, 0);
-        assert!(!c.check_war_free(0x180, 0), "inside range: conservative WAR");
+        assert!(
+            !c.check_war_free(0x180, 0),
+            "inside range: conservative WAR"
+        );
         assert!(c.check_war_free(0x300, 0));
         assert!(c.check_war_free(0x080, 0));
     }
@@ -449,7 +445,10 @@ mod tests {
         c.record_load(0x100, 0);
         c.record_load(0x200, 0);
         assert!(!c.check_war_free(0x100, 0), "exact WAR");
-        assert!(c.check_war_free(0x180, 0), "between loads: free (unlike range)");
+        assert!(
+            c.check_war_free(0x180, 0),
+            "between loads: free (unlike range)"
+        );
         // Third distinct address overflows.
         c.record_load(0x300, 0);
         assert!(!c.enabled());

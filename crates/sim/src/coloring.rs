@@ -201,7 +201,7 @@ mod tests {
         assert_eq!(c.try_assign(5, 2), Some(2));
         c.on_squash(1);
         assert_eq!(c.verified_color(5), 1); // unchanged
-        // Colors 0 and 2 are free again.
+                                            // Colors 0 and 2 are free again.
         assert_eq!(c.try_assign(5, 3), Some(0));
         assert_eq!(c.try_assign(5, 4), Some(2));
     }

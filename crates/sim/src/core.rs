@@ -181,7 +181,11 @@ impl<'a> Core<'a> {
     ///
     /// See [`SimError`].
     pub fn run_with_faults(mut self, plan: &FaultPlan) -> Result<SimOutcome, SimError> {
-        if plan.faults().iter().any(|f| f.detect_latency > self.cfg.wcdl) {
+        if plan
+            .faults()
+            .iter()
+            .any(|f| f.detect_latency > self.cfg.wcdl)
+        {
             return Err(SimError::BadFaultPlan);
         }
         self.faults = plan.faults().to_vec();
@@ -210,7 +214,11 @@ impl<'a> Core<'a> {
         trace_cap: usize,
     ) -> Result<(SimOutcome, Trace), SimError> {
         self.trace = Some(Trace::new(trace_cap));
-        if plan.faults().iter().any(|f| f.detect_latency > self.cfg.wcdl) {
+        if plan
+            .faults()
+            .iter()
+            .any(|f| f.detect_latency > self.cfg.wcdl)
+        {
             return Err(SimError::BadFaultPlan);
         }
         self.faults = plan.faults().to_vec();
@@ -342,8 +350,7 @@ impl<'a> Core<'a> {
                     self.pending_datapath = Some(bit % 64);
                 }
             }
-            self.pending_detect
-                .push(f.strike_cycle + f.detect_latency);
+            self.pending_detect.push(f.strike_cycle + f.detect_latency);
             self.pending_detect.sort_unstable();
         }
         while let Some(&d) = self.pending_detect.first() {
@@ -405,18 +412,15 @@ impl<'a> Core<'a> {
                 cost += match *inst {
                     MachInst::Load { dst, addr } => {
                         let a = self.resolve_addr(addr);
-                        self.regs[dst.index()] =
-                            self.read_mem_for_recovery(addr, a);
+                        self.regs[dst.index()] = self.read_mem_for_recovery(addr, a);
                         self.cfg.l1_hit
                     }
                     MachInst::Bin { op, dst, lhs, rhs } => {
-                        self.regs[dst.index()] =
-                            op.eval(self.regs[lhs.index()], self.read_op(rhs));
+                        self.regs[dst.index()] = op.eval(self.regs[lhs.index()], self.read_op(rhs));
                         1
                     }
                     MachInst::Cmp { op, dst, lhs, rhs } => {
-                        self.regs[dst.index()] =
-                            op.eval(self.regs[lhs.index()], self.read_op(rhs));
+                        self.regs[dst.index()] = op.eval(self.regs[lhs.index()], self.read_op(rhs));
                         1
                     }
                     MachInst::Mov { dst, src } => {
@@ -648,8 +652,7 @@ impl<'a> Core<'a> {
                     // consuming an issue slot (their cost is code size and
                     // RBB occupancy).
                     let prior_all_verified = self.rbb.unverified_seqs().len() <= 1;
-                    self.rbb
-                        .on_boundary(id, self.pc as u32 + 1, self.cycle);
+                    self.rbb.on_boundary(id, self.pc as u32 + 1, self.cycle);
                     let seq = self.rbb.current_seq();
                     self.clq.on_region_start(seq, prior_all_verified);
                     self.stats.boundaries += 1;
@@ -975,7 +978,10 @@ mod tests {
         let tp = Core::new(&p, SimConfig::turnpike(4, 30)).run().unwrap();
         assert_eq!(tp.ret, ts.ret);
         assert_eq!(tp.memory, ts.memory);
-        assert!(tp.stats.war_free_released > 0, "stores to fresh addresses are WAR-free");
+        assert!(
+            tp.stats.war_free_released > 0,
+            "stores to fresh addresses are WAR-free"
+        );
         assert!(tp.stats.colored_released > 0, "ckpts take the colored path");
         assert!(
             tp.stats.cycles <= ts.stats.cycles,

@@ -88,6 +88,52 @@ impl SimStats {
             (self.war_free_released + self.colored_released) as f64 / all as f64
         }
     }
+
+    /// Export the run's totals as a metrics registry (`sim.*` keys).
+    ///
+    /// `SimStats` stays the dense accumulator the pipeline hot loop bumps;
+    /// this projection is how everything downstream (drivers, campaigns,
+    /// figure generators) reads the numbers. The derived-ratio helpers on
+    /// [`turnpike_metrics::MetricSet`] use the same formulas as the ones
+    /// here, so either view reports identical values.
+    pub fn to_metrics(&self) -> turnpike_metrics::MetricSet {
+        use turnpike_metrics::{Counter, Gauge, MetricSet};
+        let mut m = MetricSet::new();
+        m.add(Counter::Cycles, self.cycles);
+        m.add(Counter::Insts, self.insts);
+        m.add(Counter::StallSbFull, self.stall_sb_full);
+        m.add(Counter::StallDataHazard, self.stall_data_hazard);
+        m.add(Counter::StallCkptHazard, self.stall_ckpt_hazard);
+        m.add(Counter::StallMemPort, self.stall_mem_port);
+        m.add(Counter::StallRbbFull, self.stall_rbb_full);
+        m.add(Counter::RecoveryCycles, self.recovery_cycles);
+        m.add(Counter::Loads, self.loads);
+        m.add(Counter::Stores, self.stores);
+        m.add(Counter::Ckpts, self.ckpts);
+        m.add(Counter::WarFreeReleased, self.war_free_released);
+        m.add(Counter::ColoredReleased, self.colored_released);
+        m.add(Counter::Quarantined, self.quarantined);
+        m.add(Counter::RegionsCommitted, self.boundaries);
+        m.add(Counter::Detections, self.detections);
+        m.add(Counter::ParityDetections, self.parity_detections);
+        m.add(Counter::SensorDetections, self.sensor_detections);
+        m.add(Counter::Recoveries, self.recoveries);
+        m.record_peak(Counter::SbPeak, self.sb_peak as u64);
+        m.add(Counter::ClqStoresChecked, self.clq.stores_checked);
+        m.add(Counter::ClqWarFree, self.clq.war_free);
+        m.add(Counter::ClqLoadsRecorded, self.clq.loads_recorded);
+        m.add(Counter::ClqOverflows, self.clq.overflows);
+        m.add(Counter::ClqOccupancySum, self.clq.occupancy_sum);
+        m.add(Counter::ClqOccupancySamples, self.clq.occupancy_samples);
+        m.record_peak(Counter::ClqPeakEntries, u64::from(self.clq.peak_entries));
+        let (l1h, l1m, l2h, l2m) = self.cache;
+        m.add(Counter::L1Hits, l1h);
+        m.add(Counter::L1Misses, l1m);
+        m.add(Counter::L2Hits, l2h);
+        m.add(Counter::L2Misses, l2m);
+        m.set_gauge(Gauge::AvgRegionInsts, self.avg_region_insts);
+        m
+    }
 }
 
 impl std::fmt::Display for SimStats {
@@ -147,6 +193,43 @@ mod tests {
         assert!((s.ckpt_ratio() - 0.2).abs() < 1e-12);
         assert_eq!(s.all_stores(), 60);
         assert!((s.bypass_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn metrics_projection_matches_fields() {
+        use turnpike_metrics::{Counter, Gauge};
+        let s = SimStats {
+            cycles: 100,
+            insts: 150,
+            ckpts: 30,
+            stores: 30,
+            war_free_released: 15,
+            colored_released: 15,
+            sb_peak: 3,
+            avg_region_insts: 12.5,
+            cache: (7, 1, 1, 0),
+            clq: ClqStats {
+                stores_checked: 20,
+                war_free: 15,
+                occupancy_sum: 8,
+                occupancy_samples: 4,
+                peak_entries: 2,
+                ..ClqStats::default()
+            },
+            ..SimStats::default()
+        };
+        let m = s.to_metrics();
+        assert_eq!(m.counter(Counter::Cycles), s.cycles);
+        assert_eq!(m.counter(Counter::SbPeak), s.sb_peak as u64);
+        assert_eq!(m.counter(Counter::L1Hits), 7);
+        assert_eq!(m.gauge(Gauge::AvgRegionInsts), s.avg_region_insts);
+        // The registry's derived helpers agree with the fixed-field ones.
+        assert_eq!(m.ipc(), s.ipc());
+        assert_eq!(m.ckpt_ratio(), s.ckpt_ratio());
+        assert_eq!(m.all_stores(), s.all_stores());
+        assert_eq!(m.bypass_ratio(), s.bypass_ratio());
+        assert_eq!(m.clq_avg_entries(), s.clq.avg_entries());
+        assert_eq!(m.clq_war_free_ratio(), s.clq.war_free_ratio());
     }
 
     #[test]

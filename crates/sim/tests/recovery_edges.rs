@@ -4,9 +4,7 @@
 //! case must end bit-identical to the fault-free run.
 
 use turnpike_ir::{BinOp, CmpOp, DataSegment};
-use turnpike_isa::{
-    MachAddr, MachInst, MachProgram, MOperand, PhysReg, RecoveryBlock, RegionId,
-};
+use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId};
 use turnpike_sim::{Core, Fault, FaultKind, FaultPlan, SimConfig};
 
 fn r(i: u8) -> PhysReg {
@@ -125,7 +123,9 @@ fn strike_sweep_on_turnpike() {
             strike_cycle: cycle,
             detect_latency: 1 + (k % 10),
             kind: if k % 2 == 0 {
-                FaultKind::Datapath { bit: (k % 64) as u8 }
+                FaultKind::Datapath {
+                    bit: (k % 64) as u8,
+                }
             } else {
                 FaultKind::RegisterParity {
                     reg: (k % 6) as u8,

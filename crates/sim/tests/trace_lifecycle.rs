@@ -3,10 +3,8 @@
 //! detections, quarantined entries eventually release).
 
 use turnpike_ir::{BinOp, CmpOp, DataSegment};
+use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId};
 use turnpike_sim::{Core, Fault, FaultKind, FaultPlan, SimConfig, TraceEvent};
-use turnpike_isa::{
-    MachAddr, MachInst, MachProgram, MOperand, PhysReg, RecoveryBlock, RegionId,
-};
 
 fn r(i: u8) -> PhysReg {
     PhysReg::new(i).unwrap()
@@ -106,7 +104,10 @@ fn fault_free_trace_is_consistent() {
     assert!(starts.len() >= 6, "one region per iteration: {starts:?}");
     for v in &verified {
         // Every verified instance (except implicit region 0) started.
-        assert!(*v == 0 || starts.contains(v), "verify of unknown region {v}");
+        assert!(
+            *v == 0 || starts.contains(v),
+            "verify of unknown region {v}"
+        );
     }
     // All quarantined entries eventually released (fault-free run).
     let q = evs
@@ -137,7 +138,9 @@ fn faulted_trace_shows_detection_then_recovery() {
         .unwrap();
     assert_eq!(out.ret, Some(6), "recovered run matches");
     let evs = trace.events();
-    let strike = evs.iter().position(|e| matches!(e, TraceEvent::Strike { .. }));
+    let strike = evs
+        .iter()
+        .position(|e| matches!(e, TraceEvent::Strike { .. }));
     let detect = evs
         .iter()
         .position(|e| matches!(e, TraceEvent::Detection { .. }));

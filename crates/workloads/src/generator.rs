@@ -49,7 +49,9 @@ pub fn generate(seed: u64, config: &GeneratorConfig) -> Program {
     let cfg = config;
     let mut b = FunctionBuilder::new(&format!("gen{seed}"));
     let base = b.param();
-    let accs: Vec<Reg> = (0..cfg.accumulators.max(1)).map(|_| b.fresh_reg()).collect();
+    let accs: Vec<Reg> = (0..cfg.accumulators.max(1))
+        .map(|_| b.fresh_reg())
+        .collect();
     let i = b.fresh_reg();
     let t = b.fresh_reg();
     let v = b.fresh_reg();

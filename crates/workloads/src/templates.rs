@@ -721,8 +721,7 @@ mod tests {
         let golden = runs(&p);
         // Compiling with the real pipeline must preserve the value.
         let out =
-            turnpike_compiler::compile(&p, &turnpike_compiler::CompilerConfig::baseline())
-                .unwrap();
+            turnpike_compiler::compile(&p, &turnpike_compiler::CompilerConfig::baseline()).unwrap();
         let m = turnpike_isa::interp::run(&out.program, &Default::default()).unwrap();
         assert_eq!(m.ret, Some(golden));
     }

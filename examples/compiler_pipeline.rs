@@ -11,8 +11,8 @@ use turnpike::resilience::Scheme;
 use turnpike::workloads::{kernel_by_name, Scale, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = kernel_by_name(Suite::Cpu2017, "leela", Scale::Smoke)
-        .expect("leela is in the catalog");
+    let kernel =
+        kernel_by_name(Suite::Cpu2017, "leela", Scale::Smoke).expect("leela is in the catalog");
     println!("kernel: {} — IR:\n{}\n", kernel.name, kernel.program.func);
 
     println!(

@@ -12,8 +12,8 @@ use turnpike::sim::{Core, Fault, FaultKind, FaultPlan, SimConfig, TraceEvent};
 use turnpike::workloads::{kernel_by_name, Scale, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = kernel_by_name(Suite::Cpu2006, "libquan", Scale::Smoke)
-        .expect("libquan is in the catalog");
+    let kernel =
+        kernel_by_name(Suite::Cpu2006, "libquan", Scale::Smoke).expect("libquan is in the catalog");
     let compiled = compile(&kernel.program, &CompilerConfig::turnpike(4))?;
 
     // A datapath strike mid-run, detected by the sensors 7 cycles later.

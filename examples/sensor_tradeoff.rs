@@ -37,14 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for k in &kernels {
             let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline))?;
             let b = base.outcome.stats.cycles as f64;
-            let t1 = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::Turnstile).with_wcdl(wcdl),
-            )?;
-            let t2 = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::Turnpike).with_wcdl(wcdl),
-            )?;
+            let t1 = run_kernel(&k.program, &RunSpec::new(Scheme::Turnstile).with_wcdl(wcdl))?;
+            let t2 = run_kernel(&k.program, &RunSpec::new(Scheme::Turnpike).with_wcdl(wcdl))?;
             ts.push(t1.outcome.stats.cycles as f64 / b);
             tp.push(t2.outcome.stats.cycles as f64 / b);
         }

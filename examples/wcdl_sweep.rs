@@ -11,8 +11,8 @@ use turnpike::sensor::SensorGrid;
 use turnpike::workloads::{kernel_by_name, Scale, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let kernel = kernel_by_name(Suite::Cpu2017, "bwaves", Scale::Smoke)
-        .expect("bwaves is in the catalog");
+    let kernel =
+        kernel_by_name(Suite::Cpu2017, "bwaves", Scale::Smoke).expect("bwaves is in the catalog");
     let base = run_kernel(&kernel.program, &RunSpec::new(Scheme::Baseline))?;
     let base_cycles = base.outcome.stats.cycles as f64;
     println!(

@@ -105,9 +105,7 @@ impl Criterion {
     pub fn from_args() -> Self {
         // Cargo passes harness flags like `--bench`; ignore anything
         // starting with '-' and treat the first bare argument as a filter.
-        let filter = std::env::args()
-            .skip(1)
-            .find(|a| !a.starts_with('-'));
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
         Criterion { filter }
     }
 

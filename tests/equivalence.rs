@@ -19,8 +19,8 @@ fn data_only(mem: &BTreeMap<u64, i64>) -> BTreeMap<u64, i64> {
 
 fn check_scheme(scheme: Scheme) {
     for k in all_kernels(Scale::Smoke) {
-        let golden = interp::golden(&k.program)
-            .unwrap_or_else(|e| panic!("{}: interp: {e}", k.name));
+        let golden =
+            interp::golden(&k.program).unwrap_or_else(|e| panic!("{}: interp: {e}", k.name));
         let run = run_kernel(&k.program, &RunSpec::new(scheme))
             .unwrap_or_else(|e| panic!("{}/{:?}: {e}", k.name, scheme));
         assert_eq!(run.outcome.ret, golden.0, "{} ret under {scheme:?}", k.name);

@@ -4,9 +4,7 @@
 use std::collections::BTreeMap;
 use turnpike::compiler::SPILL_BASE;
 use turnpike::ir::interp;
-use turnpike::resilience::{
-    fault_campaign, run_kernel, CampaignConfig, RunSpec, Scheme,
-};
+use turnpike::resilience::{fault_campaign, run_kernel, CampaignConfig, RunSpec, Scheme};
 use turnpike::workloads::{generate, GeneratorConfig};
 
 fn data_only(mem: &BTreeMap<u64, i64>) -> BTreeMap<u64, i64> {
@@ -75,10 +73,7 @@ fn store_density_extremes_compile_under_tight_sb() {
         };
         let p = generate(42, &cfg);
         for sb in [2u32, 4] {
-            let run = run_kernel(
-                &p,
-                &RunSpec::new(Scheme::Turnstile).with_sb(sb),
-            );
+            let run = run_kernel(&p, &RunSpec::new(Scheme::Turnstile).with_sb(sb));
             assert!(run.is_ok(), "density {density} SB {sb}: {run:?}");
         }
     }

@@ -6,9 +6,7 @@
 use proptest::prelude::*;
 use std::collections::BTreeMap;
 use turnpike::compiler::{compile, CompilerConfig, SPILL_BASE};
-use turnpike::ir::{
-    interp, BinOp, CmpOp, DataSegment, FunctionBuilder, Operand, Program, Reg,
-};
+use turnpike::ir::{interp, BinOp, CmpOp, DataSegment, FunctionBuilder, Operand, Program, Reg};
 use turnpike::resilience::{run_kernel, RunSpec, Scheme};
 use turnpike::sim::{Core, SimConfig};
 

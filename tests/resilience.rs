@@ -1,9 +1,7 @@
 //! Cross-crate resilience invariants: zero SDC under fault injection, and
 //! the performance orderings the paper's figures rest on.
 
-use turnpike::resilience::{
-    fault_campaign, geomean, run_kernel, CampaignConfig, RunSpec, Scheme,
-};
+use turnpike::resilience::{fault_campaign, geomean, run_kernel, CampaignConfig, RunSpec, Scheme};
 use turnpike::workloads::{all_kernels, Scale};
 
 #[test]
@@ -111,11 +109,8 @@ fn overhead_grows_with_wcdl_for_turnstile() {
         let mut xs = Vec::new();
         for k in kernels.iter().step_by(4) {
             let base = run_kernel(&k.program, &RunSpec::new(Scheme::Baseline)).unwrap();
-            let t = run_kernel(
-                &k.program,
-                &RunSpec::new(Scheme::Turnstile).with_wcdl(wcdl),
-            )
-            .unwrap();
+            let t =
+                run_kernel(&k.program, &RunSpec::new(Scheme::Turnstile).with_wcdl(wcdl)).unwrap();
             xs.push(t.outcome.stats.cycles as f64 / base.outcome.stats.cycles as f64);
         }
         let g = geomean(&xs);
@@ -143,7 +138,9 @@ fn turnpike_scales_with_wcdl_no_worse_than_turnstile() {
                 .stats
                 .cycles as f64
         };
-        slopes.0.push(s50(Scheme::Turnstile) / s10(Scheme::Turnstile));
+        slopes
+            .0
+            .push(s50(Scheme::Turnstile) / s10(Scheme::Turnstile));
         slopes.1.push(s50(Scheme::Turnpike) / s10(Scheme::Turnpike));
     }
     assert!(
