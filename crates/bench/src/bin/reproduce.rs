@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]
+//! reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]
 //! reproduce --list
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
@@ -16,18 +17,29 @@
 //! `--no-cache` disables the engine's compile/run memoization (the seed
 //! harness's behavior, kept for perf comparisons).
 //!
+//! `trace` exports one kernel's resilience-event timeline under a scheme
+//! (default `turnpike`; see `Scheme::cli_name` for the ladder names) as
+//! Chrome trace-event JSON — load it in ui.perfetto.dev — or as raw JSONL.
+//! Resilient schemes get one deterministic datapath strike at 25% of the
+//! fault-free cycle count, so the export always shows a full
+//! strike→detection→recovery arc.
+//!
 //! Every generating invocation also writes `BENCH_reproduce.json` to the
-//! current directory — target, scale, threads, cache flag, and total plus
-//! per-figure wall-clock milliseconds — so harness performance is tracked
-//! over time. Timing goes there and to stderr, never to stdout.
+//! current directory — target, scale, threads, cache flag, total plus
+//! per-figure wall-clock milliseconds, and a histogram summary block
+//! (p50/p99/max of SB residency, verification latency, detection latency,
+//! recovery penalty, and compile/sim stage times) — so harness performance
+//! is tracked over time. Timing goes there and to stderr, never to stdout.
 
 use std::process::ExitCode;
 use std::time::Instant;
 use turnpike_bench::{
-    ablation, clq_designs, colors, fig14, fig15, fig18, fig19, fig20, fig21, fig22, fig23, fig24,
-    fig25, fig26, fig4, json_string, summary, table1, Engine, Table,
+    ablation, clq_designs, colors, export_trace, fault_probe_metrics, fig14, fig15, fig18, fig19,
+    fig20, fig21, fig22, fig23, fig24, fig25, fig26, fig4, find_kernel, hist_summary_json,
+    json_string, summary, table1, Engine, Table, TraceFormat,
 };
-use turnpike_resilience::par_map;
+use turnpike_metrics::{Hist, MetricSet};
+use turnpike_resilience::{par_map, RunSpec, Scheme};
 use turnpike_workloads::Scale;
 
 /// One reproducible figure/table: its CLI name, the paper artifact it
@@ -154,11 +166,94 @@ fn target_listing() -> String {
 fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
+         \x20      reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]\n\
          \x20      reproduce --list\n\
          targets:\n{}",
         target_listing()
     );
     ExitCode::from(2)
+}
+
+/// `reproduce trace <kernel> [--scheme S] [--smoke|--full] [--format F]
+/// [--out FILE]` — export one kernel's resilience-event timeline.
+fn trace_main(args: &[String]) -> ExitCode {
+    let mut kernel: Option<String> = None;
+    let mut scheme = Scheme::Turnpike;
+    let mut scale = Scale::Full;
+    let mut format = TraceFormat::Chrome;
+    let mut out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--scheme" => {
+                let Some(s) = it.next().and_then(|v| Scheme::parse(v)) else {
+                    eprintln!(
+                        "reproduce trace: --scheme takes one of: {}",
+                        [Scheme::Baseline]
+                            .iter()
+                            .chain(Scheme::LADDER.iter())
+                            .map(|s| s.cli_name())
+                            .collect::<Vec<_>>()
+                            .join(" ")
+                    );
+                    return ExitCode::from(2);
+                };
+                scheme = s;
+            }
+            "--format" => {
+                let Some(f) = it.next().and_then(|v| TraceFormat::parse(v)) else {
+                    eprintln!("reproduce trace: --format takes 'chrome' or 'jsonl'");
+                    return ExitCode::from(2);
+                };
+                format = f;
+            }
+            "--out" => {
+                let Some(f) = it.next() else {
+                    return usage();
+                };
+                out = Some(f.clone());
+            }
+            k if kernel.is_none() && !k.starts_with('-') => kernel = Some(k.to_string()),
+            _ => return usage(),
+        }
+    }
+    let Some(name) = kernel else {
+        return usage();
+    };
+    let Some(k) = find_kernel(&name, scale) else {
+        eprintln!("reproduce trace: unknown kernel '{name}'");
+        return ExitCode::from(2);
+    };
+    let text = match export_trace(&k, &RunSpec::new(scheme), format) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("reproduce trace: {name}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &text) {
+                eprintln!("reproduce trace: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!(
+                "# wrote {path} ({} bytes, {} scheme {}){}",
+                text.len(),
+                name,
+                scheme.cli_name(),
+                if format == TraceFormat::Chrome {
+                    " — load it in ui.perfetto.dev"
+                } else {
+                    ""
+                }
+            );
+        }
+        None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
 }
 
 /// Generate the requested tables with per-figure wall-clock. For `all`,
@@ -170,6 +265,7 @@ fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<(Table, u
         let t = target_by_name(target)?;
         let t0 = Instant::now();
         let table = (t.generate)(engine, scale);
+        engine.note_figure();
         return Some(vec![(table, t0.elapsed().as_millis())]);
     }
     let outer = engine.threads().min(TARGETS.len());
@@ -178,6 +274,7 @@ fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<(Table, u
     Some(par_map(&TARGETS, outer, |_, t| {
         let t0 = Instant::now();
         let table = (t.generate)(&per_figure, scale);
+        per_figure.note_figure();
         (table, t0.elapsed().as_millis())
     }))
 }
@@ -190,7 +287,9 @@ fn bench_json(
     cache: bool,
     wall_ms: u128,
     figures: &[(Table, u128)],
+    registry: &MetricSet,
 ) -> String {
+    use turnpike_metrics::Counter;
     let scale_name = match scale {
         Scale::Smoke => "smoke",
         Scale::Full => "full",
@@ -202,6 +301,20 @@ fn bench_json(
     out.push_str(&format!("  \"threads\": {threads},\n"));
     out.push_str(&format!("  \"cache\": {cache},\n"));
     out.push_str(&format!("  \"wall_ms\": {wall_ms},\n"));
+    out.push_str(&format!(
+        "  \"compile_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+        registry.counter(Counter::BenchCompileHits),
+        registry.counter(Counter::BenchCompileMisses)
+    ));
+    out.push_str(&format!(
+        "  \"run_cache\": {{\"hits\": {}, \"misses\": {}}},\n",
+        registry.counter(Counter::BenchRunHits),
+        registry.counter(Counter::BenchRunMisses)
+    ));
+    out.push_str(&format!(
+        "  \"histograms\": {},\n",
+        hist_summary_json(registry, "  ")
+    ));
     out.push_str("  \"figures\": [");
     for (i, (t, ms)) in figures.iter().enumerate() {
         if i > 0 {
@@ -221,6 +334,9 @@ fn bench_json(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("trace") {
+        return trace_main(&args[1..]);
+    }
     let mut target: Option<String> = None;
     let mut scale = Scale::Full;
     let mut json = false;
@@ -286,7 +402,20 @@ fn main() -> ExitCode {
         engine.compile_count(),
         engine.sim_count()
     );
-    let record = bench_json(&target, scale, threads, cache, wall_ms, &tables);
+    // The figure grid is fault-free, so the detection-latency and
+    // recovery-penalty histograms need a small seeded strike campaign.
+    let mut registry = engine.metrics();
+    match fault_probe_metrics(threads) {
+        Ok(probe) => {
+            for key in [Hist::DetectLatency, Hist::RecoveryPenalty] {
+                if let Some(h) = probe.hist(key) {
+                    registry.merge_hist(key, h);
+                }
+            }
+        }
+        Err(e) => eprintln!("# warning: fault probe failed: {e}"),
+    }
+    let record = bench_json(&target, scale, threads, cache, wall_ms, &tables, &registry);
     if let Err(e) = std::fs::write("BENCH_reproduce.json", record) {
         eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }

@@ -29,8 +29,10 @@ use std::collections::hash_map::Entry;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use turnpike_compiler::{compile, CompileOutput, CompilerConfig};
+use turnpike_metrics::{Counter, Hist, MetricSet};
 use turnpike_resilience::{par_map, run_compiled, RunResult, RunSpec, Scheme};
 use turnpike_sim::SimConfig;
 use turnpike_workloads::{Kernel, KernelId};
@@ -49,6 +51,10 @@ struct Caches {
     compiles_done: AtomicUsize,
     /// Distinct simulations performed, same accounting as `compiles_done`.
     sims_done: AtomicUsize,
+    /// Harness observability: `bench.*` cache hit/miss counters, stage
+    /// wall-clock histograms (`bench.hist.*`), and the `sim.hist.*` latency
+    /// histograms merged from every simulation actually executed.
+    metrics: Mutex<MetricSet>,
 }
 
 /// Shared-cache grid executor. Cheap to clone; clones share caches and
@@ -105,7 +111,8 @@ impl Engine {
         self.cache
     }
 
-    /// Number of compilations performed so far (see [`Caches`] accounting).
+    /// Number of compilations performed so far (cache insertions; racing
+    /// duplicate work is discarded uncounted — see the `Caches` field docs).
     pub fn compile_count(&self) -> usize {
         self.caches.compiles_done.load(Ordering::Relaxed)
     }
@@ -113,6 +120,24 @@ impl Engine {
     /// Number of simulations performed so far.
     pub fn sim_count(&self) -> usize {
         self.caches.sims_done.load(Ordering::Relaxed)
+    }
+
+    /// Snapshot of the harness metrics registry: `bench.*` cache hit/miss
+    /// counters, compile/sim wall-clock histograms, and the `sim.hist.*`
+    /// latency histograms merged across every simulation the engine actually
+    /// executed (cache hits contribute nothing twice). Shared across clones.
+    pub fn metrics(&self) -> MetricSet {
+        self.caches.metrics.lock().expect("bench metrics").clone()
+    }
+
+    /// Count one generated figure/table into the registry (reproduce's
+    /// stage accounting).
+    pub fn note_figure(&self) {
+        self.caches
+            .metrics
+            .lock()
+            .expect("bench metrics")
+            .add(Counter::BenchFigures, 1);
     }
 
     /// Compile `kernel` under `cc`, memoized.
@@ -123,10 +148,17 @@ impl Engine {
     /// treat any failure on catalog kernels as a harness bug.
     pub fn compile(&self, kernel: &Kernel, cc: &CompilerConfig) -> Arc<CompileOutput> {
         let do_compile = || {
-            Arc::new(
+            let t0 = Instant::now();
+            let out = Arc::new(
                 compile(&kernel.program, cc)
                     .unwrap_or_else(|e| panic!("{}: compile: {e}", kernel.name)),
-            )
+            );
+            let us = t0.elapsed().as_micros() as u64;
+            let mut m = self.caches.metrics.lock().expect("bench metrics");
+            m.add(Counter::BenchCompileMisses, 1);
+            m.record_hist(Hist::CompileMicros, us);
+            drop(m);
+            out
         };
         if !self.cache {
             self.caches.compiles_done.fetch_add(1, Ordering::Relaxed);
@@ -140,7 +172,13 @@ impl Engine {
             .expect("compile cache")
             .get(&key)
         {
-            return Arc::clone(hit);
+            let hit = Arc::clone(hit);
+            self.caches
+                .metrics
+                .lock()
+                .expect("bench metrics")
+                .add(Counter::BenchCompileHits, 1);
+            return hit;
         }
         // Compile outside the lock so distinct keys compile concurrently;
         // first insertion wins and racing duplicates are dropped uncounted.
@@ -173,8 +211,27 @@ impl Engine {
         cc: &CompilerConfig,
         sc: &SimConfig,
     ) -> Arc<RunResult> {
+        // Every simulation the engine executes records latency histograms:
+        // recording never changes the timing model, and keying the cache on
+        // the flipped config keeps hit/miss behavior uniform.
+        let mut sc = sc.clone();
+        sc.histograms = true;
         let do_run = |compiled: &CompileOutput| {
-            Arc::new(run_compiled(compiled, sc).unwrap_or_else(|e| panic!("{}: {e}", kernel.name)))
+            let t0 = Instant::now();
+            let r = Arc::new(
+                run_compiled(compiled, &sc).unwrap_or_else(|e| panic!("{}: {e}", kernel.name)),
+            );
+            let us = t0.elapsed().as_micros() as u64;
+            let mut m = self.caches.metrics.lock().expect("bench metrics");
+            m.add(Counter::BenchRunMisses, 1);
+            m.record_hist(Hist::SimMicros, us);
+            for k in [Hist::SbResidency, Hist::VerifyLatency] {
+                if let Some(h) = r.metrics.hist(k) {
+                    m.merge_hist(k, h);
+                }
+            }
+            drop(m);
+            r
         };
         if !self.cache {
             self.caches.sims_done.fetch_add(1, Ordering::Relaxed);
@@ -182,7 +239,13 @@ impl Engine {
         }
         let key = (kernel.id(), cc.clone(), sc.clone());
         if let Some(hit) = self.caches.runs.lock().expect("run cache").get(&key) {
-            return Arc::clone(hit);
+            let hit = Arc::clone(hit);
+            self.caches
+                .metrics
+                .lock()
+                .expect("bench metrics")
+                .add(Counter::BenchRunHits, 1);
+            return hit;
         }
         let result = do_run(&self.compile(kernel, cc));
         match self.caches.runs.lock().expect("run cache").entry(key) {
@@ -304,6 +367,39 @@ mod tests {
         clone.run(&k, &RunSpec::new(Scheme::Baseline));
         assert_eq!(e.sim_count(), 1);
         assert_eq!(clone.sim_count(), 1);
+    }
+
+    #[test]
+    fn registry_tracks_spans_and_cache_traffic() {
+        let e = Engine::serial();
+        let k = kernel();
+        let spec = RunSpec::new(Scheme::Turnpike);
+        e.run(&k, &spec);
+        e.run(&k, &spec);
+        e.note_figure();
+        let m = e.metrics();
+        assert_eq!(m.counter(Counter::BenchCompileMisses), 1);
+        assert_eq!(m.counter(Counter::BenchRunMisses), 1);
+        assert_eq!(m.counter(Counter::BenchRunHits), 1);
+        assert_eq!(m.counter(Counter::BenchFigures), 1);
+        // Stage wall-clock spans landed in the histograms...
+        assert_eq!(m.hist(Hist::CompileMicros).unwrap().count(), 1);
+        assert_eq!(m.hist(Hist::SimMicros).unwrap().count(), 1);
+        // ...and the executed sim contributed its latency distributions
+        // exactly once (the cache hit added nothing).
+        let verify = m.hist(Hist::VerifyLatency).expect("regions verified");
+        assert_eq!(
+            verify.count(),
+            e.run(&k, &spec)
+                .metrics
+                .hist(Hist::VerifyLatency)
+                .unwrap()
+                .count()
+        );
+        // Turnstile has no fast paths: every store quarantines, so its run
+        // populates the SB-residency distribution too.
+        e.run(&k, &RunSpec::new(Scheme::Turnstile));
+        assert!(e.metrics().hist(Hist::SbResidency).unwrap().count() > 0);
     }
 
     #[test]

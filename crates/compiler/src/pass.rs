@@ -2,7 +2,7 @@
 //!
 //! The pipeline of [`crate::compile`] is materialized from a
 //! [`CompilerConfig`] as a list of [`Pass`] objects filtered out of the
-//! static [`PIPELINE`] table — pass order and enabling conditions are
+//! static `PIPELINE` table — pass order and enabling conditions are
 //! *data*, not control flow scattered through a monolithic function.
 //! [`PassManager::run`] drives the list over a program and, around every
 //! pass:
@@ -150,7 +150,7 @@ pub struct PassManager {
 }
 
 impl PassManager {
-    /// Materialize the pipeline for `config` from the [`PIPELINE`] table.
+    /// Materialize the pipeline for `config` from the `PIPELINE` table.
     ///
     /// IR verification after every pass is on in debug/test builds and off
     /// in release builds (override with [`PassManager::with_ir_verification`]);

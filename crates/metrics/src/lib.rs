@@ -114,6 +114,10 @@ counters! {
     ColoredReleased => ("sim.colored_released", Sum),
     /// Stores (regular + checkpoint) quarantined in the SB.
     Quarantined => ("sim.quarantined", Sum),
+    /// Quarantined stores that coalesced into an existing SB entry.
+    SbCoalesced => ("sim.sb_coalesced", Sum),
+    /// SB entries discarded (squashed) by error recovery.
+    SbDiscarded => ("sim.sb_discarded", Sum),
     /// Region boundaries committed.
     RegionsCommitted => ("sim.boundaries", Sum),
     /// Errors detected (sensor or parity).
@@ -160,6 +164,18 @@ counters! {
     CampaignSdc => ("campaign.sdc", Sum),
     /// Strikes that landed at or after program completion (no effect).
     CampaignPostCompletion => ("campaign.post_completion", Sum),
+
+    // — evaluation harness —
+    /// Compile requests served from the engine's compile cache.
+    BenchCompileHits => ("bench.compile_cache_hits", Sum),
+    /// Compile requests that ran the compiler.
+    BenchCompileMisses => ("bench.compile_cache_misses", Sum),
+    /// Simulation requests served from the engine's run cache.
+    BenchRunHits => ("bench.run_cache_hits", Sum),
+    /// Simulation requests that ran the simulator.
+    BenchRunMisses => ("bench.run_cache_misses", Sum),
+    /// Figure tables generated.
+    BenchFigures => ("bench.figures", Sum),
 }
 
 /// Floating-point metric keys (point samples, not event counts).
@@ -181,10 +197,237 @@ impl Gauge {
     }
 }
 
+/// Latency-distribution metric keys. Unlike [`Counter`]s, which collapse a
+/// run to one number, each histogram key retains the *shape* of a latency
+/// population (the paper's claims are latency claims — SB residency,
+/// detection latency, recovery penalty — and a mean hides the tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Hist {
+    /// Cycles a quarantined store spent in the gated SB before draining.
+    SbResidency,
+    /// Cycles from region start to region verification (region length
+    /// plus the WCDL epilogue plus any drain backpressure).
+    VerifyLatency,
+    /// Cycles from a particle strike to its detection (sensor or parity).
+    DetectLatency,
+    /// Cycles charged to one recovery (flush plus recovery-block
+    /// re-execution).
+    RecoveryPenalty,
+    /// Wall-clock microseconds per compile in the evaluation harness.
+    CompileMicros,
+    /// Wall-clock microseconds per simulation in the evaluation harness.
+    SimMicros,
+}
+
+impl Hist {
+    /// Every histogram key, in declaration order.
+    pub const ALL: &'static [Hist] = &[
+        Hist::SbResidency,
+        Hist::VerifyLatency,
+        Hist::DetectLatency,
+        Hist::RecoveryPenalty,
+        Hist::CompileMicros,
+        Hist::SimMicros,
+    ];
+
+    /// The dotted string name (stable; used for display and JSON).
+    pub fn name(self) -> &'static str {
+        match self {
+            Hist::SbResidency => "sim.hist.sb_residency_cycles",
+            Hist::VerifyLatency => "sim.hist.verify_latency_cycles",
+            Hist::DetectLatency => "sim.hist.detect_latency_cycles",
+            Hist::RecoveryPenalty => "sim.hist.recovery_penalty_cycles",
+            Hist::CompileMicros => "bench.hist.compile_us",
+            Hist::SimMicros => "bench.hist.sim_us",
+        }
+    }
+}
+
 /// Number of counter keys (array dimension of [`MetricSet`]).
 pub const NUM_COUNTERS: usize = Counter::ALL.len();
 /// Number of gauge keys (array dimension of [`MetricSet`]).
 pub const NUM_GAUGES: usize = Gauge::ALL.len();
+/// Number of histogram keys (array dimension of [`MetricSet`]).
+pub const NUM_HISTS: usize = Hist::ALL.len();
+
+/// Number of buckets in a [`Histogram`]: one per power of two of `u64`
+/// range, plus a dedicated zero bucket.
+pub const HIST_BUCKETS: usize = 65;
+
+/// A log2-bucketed latency histogram.
+///
+/// Bucket 0 counts exact zeros; bucket `i >= 1` counts values in
+/// `[2^(i-1), 2^i)`, so the 65 fixed buckets cover the whole `u64` range
+/// with ~1 bit of relative precision — enough to separate "drained next
+/// cycle" from "sat a full WCDL" without tuning bucket bounds per metric.
+/// Recording is an increment plus a `leading_zeros`, cheap enough for the
+/// simulator hot loop. Like counters, histograms are **merge-aware**
+/// (bucket-wise add across runs; see [`Histogram::merge`]) and
+/// **delta-aware** (bucket-wise subtract for per-phase attribution; see
+/// [`Histogram::delta_since`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// The bucket index `v` falls in: 0 for zero, else `64 - clz(v)`.
+    #[inline]
+    fn bucket_index(v: u64) -> usize {
+        if v == 0 {
+            0
+        } else {
+            64 - v.leading_zeros() as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by bucket `i`
+    /// (bucket 0 is the degenerate `[0, 1)`).
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        match i {
+            0 => (0, 1),
+            64 => (1 << 63, u64::MAX),
+            _ => (1 << (i - 1), 1 << i),
+        }
+    }
+
+    /// Record one sample.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[Self::bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest sample, `0` when empty.
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, `0` when empty.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, `0.0` when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Whether any sample has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`), linearly interpolated inside the
+    /// containing bucket. Exact for values that share a bucket with no
+    /// neighbours; within a factor of two otherwise. `0.0` when empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * self.count as f64).max(1.0);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (seen + c) as f64 >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                // Clamp the interpolation window to observed extremes so
+                // single-bucket histograms report the exact value.
+                let lo = (lo.max(self.min)) as f64;
+                let hi = (hi.min(self.max.saturating_add(1))) as f64;
+                let frac = (rank - seen as f64) / c as f64;
+                return lo + (hi - lo).max(0.0) * frac.clamp(0.0, 1.0);
+            }
+            seen += c;
+        }
+        self.max as f64
+    }
+
+    /// Fold `other`'s population into `self` (bucket-wise add).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// The samples recorded since `before` was captured (bucket-wise
+    /// saturating subtract). `min`/`max` keep the current extremes — like
+    /// `Max`-policy counters, extremes are not invertible.
+    pub fn delta_since(&self, before: &Histogram) -> Histogram {
+        let mut d = Histogram::new();
+        for (i, slot) in d.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i].saturating_sub(before.buckets[i]);
+        }
+        d.count = self.count.saturating_sub(before.count);
+        d.sum = self.sum.saturating_sub(before.sum);
+        d.min = self.min;
+        d.max = self.max;
+        d
+    }
+
+    /// Iterate the nonempty buckets as `(lo, hi, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c != 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+    }
+}
 
 /// A dense registry holding one value per metric key.
 ///
@@ -192,11 +435,15 @@ pub const NUM_GAUGES: usize = Gauge::ALL.len();
 /// one to every compiler pass, the simulator exports its run totals as one,
 /// campaigns fold per-run sets into one, and the figure generators read
 /// them by key. Cloning and merging are fixed-size array operations.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MetricSet {
     counters: [u64; NUM_COUNTERS],
     gauges: [f64; NUM_GAUGES],
     gauge_set: u32,
+    /// Histogram storage, allocated lazily on the first
+    /// [`MetricSet::record_hist`]/[`MetricSet::set_hist`] so sets that
+    /// never sample a distribution stay a pair of flat arrays.
+    hists: Option<Box<[Histogram; NUM_HISTS]>>,
 }
 
 impl Default for MetricSet {
@@ -205,6 +452,7 @@ impl Default for MetricSet {
             counters: [0; NUM_COUNTERS],
             gauges: [0.0; NUM_GAUGES],
             gauge_set: 0,
+            hists: None,
         }
     }
 }
@@ -258,10 +506,53 @@ impl MetricSet {
         self.gauge_set & (1 << key as u32) != 0
     }
 
+    /// Record one sample into a histogram (allocates the histogram block
+    /// on first use).
+    #[inline]
+    pub fn record_hist(&mut self, key: Hist, v: u64) {
+        self.hists_mut()[key as usize].record(v);
+    }
+
+    /// Replace a histogram wholesale (producers that accumulate privately
+    /// and publish once).
+    pub fn set_hist(&mut self, key: Hist, h: Histogram) {
+        self.hists_mut()[key as usize] = h;
+    }
+
+    /// Fold `other` bucket-wise into the histogram under `key` — a
+    /// single-key [`merge`](Self::merge) for consumers that aggregate one
+    /// distribution without adopting the producer's counters.
+    pub fn merge_hist(&mut self, key: Hist, other: &Histogram) {
+        if !other.is_empty() {
+            self.hists_mut()[key as usize].merge(other);
+        }
+    }
+
+    /// Read a histogram; `None` when no sample was ever recorded under
+    /// `key`.
+    pub fn hist(&self, key: Hist) -> Option<&Histogram> {
+        self.hists
+            .as_ref()
+            .map(|h| &h[key as usize])
+            .filter(|h| !h.is_empty())
+    }
+
+    /// Iterate the nonempty histograms as `(key, histogram)`.
+    pub fn nonzero_hists(&self) -> impl Iterator<Item = (Hist, &Histogram)> + '_ {
+        Hist::ALL
+            .iter()
+            .filter_map(move |&k| self.hist(k).map(|h| (k, h)))
+    }
+
+    fn hists_mut(&mut self) -> &mut [Histogram; NUM_HISTS] {
+        self.hists
+            .get_or_insert_with(|| Box::new(std::array::from_fn(|_| Histogram::new())))
+    }
+
     /// Fold `other` into `self`: `Sum` counters add, `Max` counters take
-    /// the larger observation, and gauges set in `other` overwrite (last
-    /// writer wins — merge-order-sensitive, so accumulate gauges only when
-    /// one producer owns the key).
+    /// the larger observation, histograms combine bucket-wise, and gauges
+    /// set in `other` overwrite (last writer wins — merge-order-sensitive,
+    /// so accumulate gauges only when one producer owns the key).
     pub fn merge(&mut self, other: &MetricSet) {
         for &key in Counter::ALL {
             let i = key as usize;
@@ -274,6 +565,9 @@ impl MetricSet {
             if other.has_gauge(key) {
                 self.set_gauge(key, other.gauge(key));
             }
+        }
+        for (key, h) in other.nonzero_hists() {
+            self.hists_mut()[key as usize].merge(h);
         }
     }
 
@@ -296,12 +590,21 @@ impl MetricSet {
                 d.set_gauge(key, self.gauge(key));
             }
         }
+        for (key, h) in self.nonzero_hists() {
+            let dh = h.delta_since(before.hist(key).unwrap_or(&Histogram::new()));
+            if !dh.is_empty() {
+                d.set_hist(key, dh);
+            }
+        }
         d
     }
 
-    /// Whether every counter is zero and no gauge is set.
+    /// Whether every counter is zero, no gauge is set, and no histogram
+    /// holds a sample.
     pub fn is_empty(&self) -> bool {
-        self.counters.iter().all(|&c| c == 0) && self.gauge_set == 0
+        self.counters.iter().all(|&c| c == 0)
+            && self.gauge_set == 0
+            && self.nonzero_hists().next().is_none()
     }
 
     /// Iterate the nonzero counters as `(key, value)`.
@@ -377,6 +680,17 @@ impl MetricSet {
     }
 }
 
+impl PartialEq for MetricSet {
+    /// Structural equality over *recorded* data: a lazily-unallocated
+    /// histogram block equals an allocated block with no samples.
+    fn eq(&self, other: &Self) -> bool {
+        self.counters == other.counters
+            && self.gauges == other.gauges
+            && self.gauge_set == other.gauge_set
+            && Hist::ALL.iter().all(|&k| self.hist(k) == other.hist(k))
+    }
+}
+
 impl fmt::Display for MetricSet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut first = true;
@@ -395,6 +709,21 @@ impl fmt::Display for MetricSet {
                 write!(f, "{} = {}", key.name(), self.gauge(key))?;
                 first = false;
             }
+        }
+        for (key, h) in self.nonzero_hists() {
+            if !first {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{} = n={} p50={:.1} p99={:.1} max={}",
+                key.name(),
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max()
+            )?;
+            first = false;
         }
         if first {
             write!(f, "(empty)")?;
@@ -496,6 +825,79 @@ mod tests {
         for &g in Gauge::ALL {
             assert!(seen.insert(g.name()), "duplicate name {}", g.name());
         }
+        for &h in Hist::ALL {
+            assert!(seen.insert(h.name()), "duplicate name {}", h.name());
+            assert!(h.name().contains('.'), "{} lacks a namespace", h.name());
+        }
+    }
+
+    #[test]
+    fn histogram_buckets_by_log2() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 2, 3, 4, 1000, u64::MAX] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 7);
+        assert_eq!(h.min(), 0);
+        assert_eq!(h.max(), u64::MAX);
+        // 0 → bucket 0; 1 → [1,2); 2,3 → [2,4); 4 → [4,8); 1000 → [512,1024).
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        assert_eq!(buckets[0], (0, 1, 1));
+        assert_eq!(buckets[1], (1, 2, 1));
+        assert_eq!(buckets[2], (2, 4, 2));
+        assert_eq!(buckets[3], (4, 8, 1));
+        assert_eq!(buckets[4], (512, 1024, 1));
+    }
+
+    #[test]
+    fn histogram_quantiles_interpolate() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(8);
+        }
+        // All mass in one bucket clamped to the observed extremes.
+        assert!((h.quantile(0.5) - 8.0).abs() < 1.0, "{}", h.quantile(0.5));
+        assert!((h.quantile(0.99) - 8.0).abs() < 1.0);
+        h.record(1 << 20);
+        assert!(h.quantile(1.0) > 1e6);
+        assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_merge_and_delta_roundtrip() {
+        let mut a = Histogram::new();
+        a.record(5);
+        a.record(40);
+        let before = a.clone();
+        a.record(7);
+        a.record(9000);
+        let d = a.delta_since(&before);
+        assert_eq!(d.count(), 2);
+        assert_eq!(d.sum(), 9007);
+        let mut sum = before.clone();
+        sum.merge(&d);
+        assert_eq!(sum.count(), a.count());
+        assert_eq!(sum.sum(), a.sum());
+    }
+
+    #[test]
+    fn metricset_hists_merge_and_compare() {
+        let mut a = MetricSet::new();
+        assert!(a.hist(Hist::SbResidency).is_none());
+        a.record_hist(Hist::SbResidency, 12);
+        a.record_hist(Hist::SbResidency, 13);
+        let mut b = MetricSet::new();
+        b.record_hist(Hist::SbResidency, 100);
+        a.merge(&b);
+        let h = a.hist(Hist::SbResidency).unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 100);
+        // Lazily-unallocated and allocated-but-empty blocks compare equal.
+        let mut c = MetricSet::new();
+        c.record_hist(Hist::SimMicros, 1);
+        let d = c.delta_since(&c.clone());
+        assert_eq!(d, MetricSet::new());
+        assert!(d.is_empty());
     }
 
     #[test]

@@ -70,6 +70,86 @@ impl CampaignReport {
     }
 }
 
+/// Outcome class of one injected strike.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StrikeOutcome {
+    /// The strike landed in-run, was detected, and the run's final state
+    /// matched the fault-free run.
+    Recovered,
+    /// The strike landed at or past program completion: no architectural
+    /// effect, nothing to detect.
+    PostCompletion,
+    /// The run's final state differed from the fault-free run (silent data
+    /// corruption) — attributed to every strike of that run.
+    Sdc,
+}
+
+impl StrikeOutcome {
+    /// Stable snake_case name used in the JSONL records.
+    pub fn name(self) -> &'static str {
+        match self {
+            StrikeOutcome::Recovered => "recovered",
+            StrikeOutcome::PostCompletion => "post_completion",
+            StrikeOutcome::Sdc => "sdc",
+        }
+    }
+}
+
+/// One structured record per injected strike, in deterministic
+/// `(run, strike)` order. `recovery_cycles` and `detection_latency` are the
+/// run's totals/observations attributed to the strike; for the default
+/// single-strike campaigns they are exact per-strike values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StrikeRecord {
+    /// Campaign run index.
+    pub run: usize,
+    /// Strike index within the run (0 for single-strike campaigns).
+    pub strike: usize,
+    /// Cycle the particle hit.
+    pub strike_cycle: u64,
+    /// Sensor detection latency the plan assigned to the strike (cycles).
+    pub detect_latency: u64,
+    /// Cycles the run spent in recovery (flush + recovery blocks).
+    pub recovery_cycles: u64,
+    /// Detections the run observed (parity + sensor).
+    pub detections: u64,
+    /// Outcome class.
+    pub outcome: StrikeOutcome,
+}
+
+impl StrikeRecord {
+    /// Render the record as one stable JSONL line (no trailing newline).
+    /// Key order is part of the schema: golden-file diffs rely on it.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"run\":{},\"strike\":{},\"strike_cycle\":{},\"detect_latency\":{},\
+             \"recovery_cycles\":{},\"detections\":{},\"outcome\":\"{}\"}}",
+            self.run,
+            self.strike,
+            self.strike_cycle,
+            self.detect_latency,
+            self.recovery_cycles,
+            self.detections,
+            self.outcome.name()
+        )
+    }
+}
+
+/// Stream strike records as JSONL, one record per line, in order.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_strike_records<W: std::io::Write>(
+    records: &[StrikeRecord],
+    w: &mut W,
+) -> std::io::Result<()> {
+    for r in records {
+        writeln!(w, "{}", r.to_json())?;
+    }
+    Ok(())
+}
+
 /// SplitMix64-style mix of the campaign seed and a run index, giving every
 /// run its own statistically independent RNG stream. Deriving streams from
 /// `(seed, run_index)` — instead of threading one sequential RNG through
@@ -148,6 +228,22 @@ pub fn fault_campaign_par(
     config: &CampaignConfig,
     threads: usize,
 ) -> Result<CampaignReport, RunError> {
+    fault_campaign_records(program, spec, config, threads).map(|(report, _)| report)
+}
+
+/// Like [`fault_campaign_par`], additionally returning one [`StrikeRecord`]
+/// per injected strike in deterministic `(run, strike)` order — the stream
+/// behind the campaign JSONL output.
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted).
+pub fn fault_campaign_records(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+    threads: usize,
+) -> Result<(CampaignReport, Vec<StrikeRecord>), RunError> {
     let compiled = compile(program, &spec.compiler_config())?;
     let golden = run_compiled_with_faults(&compiled, spec, &FaultPlan::none())?;
     let horizon = golden.outcome.stats.cycles.max(2);
@@ -160,7 +256,8 @@ pub fn fault_campaign_par(
         runs: config.runs,
         ..CampaignReport::default()
     };
-    for run in runs {
+    let mut records = Vec::with_capacity(config.runs * config.strikes_per_run);
+    for (i, run) in runs.into_iter().enumerate() {
         let run = run?;
         report.recoveries += run.outcome.stats.recoveries;
         report.detections += run.outcome.stats.detections;
@@ -172,8 +269,38 @@ pub fn fault_campaign_par(
         report.post_completion += config
             .strikes_per_run
             .saturating_sub(run.outcome.stats.detections as usize);
-        if run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory {
+        let sdc =
+            run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory;
+        if sdc {
             report.sdc += 1;
+        }
+        // Re-derive the run's plan (a pure function of seed and index) and
+        // classify each strike. The earliest `detections` strikes by cycle
+        // are the ones that landed in-run; the rest hit after completion.
+        let plan = plan_for_run(config, spec, i, horizon);
+        let mut order: Vec<usize> = (0..plan.faults().len()).collect();
+        order.sort_by_key(|&k| plan.faults()[k].strike_cycle);
+        let detections = run.outcome.stats.detections;
+        for (rank, &k) in order.iter().enumerate() {
+            let f = &plan.faults()[k];
+            let outcome = if (rank as u64) < detections {
+                if sdc {
+                    StrikeOutcome::Sdc
+                } else {
+                    StrikeOutcome::Recovered
+                }
+            } else {
+                StrikeOutcome::PostCompletion
+            };
+            records.push(StrikeRecord {
+                run: i,
+                strike: k,
+                strike_cycle: f.strike_cycle,
+                detect_latency: f.detect_latency,
+                recovery_cycles: run.outcome.stats.recovery_cycles,
+                detections,
+                outcome,
+            });
         }
         report.metrics.merge(&run.metrics);
     }
@@ -188,7 +315,7 @@ pub fn fault_campaign_par(
             report.post_completion as u64,
         );
     }
-    Ok(report)
+    Ok((report, records))
 }
 
 #[cfg(test)]
@@ -314,6 +441,60 @@ mod tests {
         assert_eq!(m.counter(Counter::Detections), report.detections);
         // The fold summed every injected run's cycles.
         assert!(m.counter(Counter::Cycles) > 0);
+    }
+
+    #[test]
+    fn strike_records_cover_every_strike_in_order() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 6,
+            seed: 11,
+            strikes_per_run: 2,
+        };
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let (report, records) = fault_campaign_records(&p, &spec, &cfg, 1).unwrap();
+        assert_eq!(records.len(), cfg.runs * cfg.strikes_per_run);
+        // Deterministic (run, strike-by-cycle) order.
+        for w in records.windows(2) {
+            assert!(
+                w[0].run < w[1].run
+                    || (w[0].run == w[1].run && w[0].strike_cycle <= w[1].strike_cycle),
+                "{w:?}"
+            );
+        }
+        // Outcome classes reconcile with the aggregate report.
+        let post = records
+            .iter()
+            .filter(|r| r.outcome == StrikeOutcome::PostCompletion)
+            .count();
+        assert_eq!(post, report.post_completion);
+        assert!(records.iter().all(|r| r.outcome != StrikeOutcome::Sdc));
+        // Parallel production is byte-identical.
+        let (_, records4) = fault_campaign_records(&p, &spec, &cfg, 4).unwrap();
+        assert_eq!(records, records4);
+    }
+
+    #[test]
+    fn strike_records_stream_as_stable_jsonl() {
+        let r = StrikeRecord {
+            run: 3,
+            strike: 0,
+            strike_cycle: 120,
+            detect_latency: 7,
+            recovery_cycles: 42,
+            detections: 1,
+            outcome: StrikeOutcome::Recovered,
+        };
+        assert_eq!(
+            r.to_json(),
+            "{\"run\":3,\"strike\":0,\"strike_cycle\":120,\"detect_latency\":7,\
+             \"recovery_cycles\":42,\"detections\":1,\"outcome\":\"recovered\"}"
+        );
+        let mut buf = Vec::new();
+        write_strike_records(&[r.clone(), r], &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.ends_with('\n'));
     }
 
     #[test]

@@ -18,6 +18,10 @@ pub struct RunSpec {
     /// Override the CLQ design (Figures 14/15/24/25); `None` keeps the
     /// scheme's default.
     pub clq_override: Option<ClqKind>,
+    /// Record latency histograms (SB residency, verification latency,
+    /// detection latency, recovery penalty) into the run's stats and
+    /// metrics. Recording never changes the timing model.
+    pub histograms: bool,
 }
 
 impl RunSpec {
@@ -28,6 +32,7 @@ impl RunSpec {
             sb_size: 4,
             wcdl: 10,
             clq_override: None,
+            histograms: false,
         }
     }
 
@@ -49,6 +54,12 @@ impl RunSpec {
         self
     }
 
+    /// Same spec with latency histograms recorded.
+    pub fn with_histograms(mut self) -> Self {
+        self.histograms = true;
+        self
+    }
+
     /// The compiler configuration this spec compiles under. Two specs with
     /// equal configurations produce identical machine code, which is what
     /// lets the evaluation engine share one compile across run points.
@@ -64,6 +75,7 @@ impl RunSpec {
             sc.clq = clq;
             sc.war_free = !matches!(clq, ClqKind::Off) && sc.resilient;
         }
+        sc.histograms = self.histograms;
         sc
     }
 }

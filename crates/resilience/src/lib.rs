@@ -33,7 +33,10 @@ pub mod par;
 pub mod preset;
 pub mod scheme;
 
-pub use campaign::{fault_campaign, fault_campaign_par, CampaignConfig, CampaignReport};
+pub use campaign::{
+    fault_campaign, fault_campaign_par, fault_campaign_records, write_strike_records,
+    CampaignConfig, CampaignReport, StrikeOutcome, StrikeRecord,
+};
 pub use driver::{
     geomean, run_compiled, run_compiled_with_faults, run_custom, run_kernel,
     run_kernel_with_faults, RunError, RunResult, RunSpec,

@@ -72,6 +72,30 @@ impl Scheme {
     pub fn is_resilient(self) -> bool {
         self != Scheme::Baseline
     }
+
+    /// Stable kebab-case name for CLI flags and file names.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            Scheme::Baseline => "baseline",
+            Scheme::Turnstile => "turnstile",
+            Scheme::WarFree => "war-free",
+            Scheme::FastRelease => "fast-release",
+            Scheme::FastReleasePrune => "fast-release-prune",
+            Scheme::FastReleasePruneLicm => "fast-release-prune-licm",
+            Scheme::FastReleasePruneLicmSched => "fast-release-prune-licm-sched",
+            Scheme::FastReleasePruneLicmSchedRa => "fast-release-prune-licm-sched-ra",
+            Scheme::Turnpike => "turnpike",
+        }
+    }
+
+    /// Parse a [`cli_name`](Self::cli_name) back into a scheme.
+    pub fn parse(name: &str) -> Option<Scheme> {
+        [Scheme::Baseline]
+            .iter()
+            .chain(Scheme::LADDER.iter())
+            .copied()
+            .find(|s| s.cli_name() == name)
+    }
 }
 
 impl std::fmt::Display for Scheme {
@@ -125,6 +149,20 @@ mod tests {
             assert!(seen.insert(s.label()), "duplicate label {s}");
         }
         assert_eq!(Scheme::Turnpike.to_string(), "Turnpike");
+    }
+
+    #[test]
+    fn cli_names_round_trip() {
+        for s in Scheme::LADDER.iter().chain([&Scheme::Baseline]) {
+            assert_eq!(Scheme::parse(s.cli_name()), Some(*s), "{s}");
+            assert!(
+                s.cli_name()
+                    .chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '-'),
+                "{s}"
+            );
+        }
+        assert_eq!(Scheme::parse("no-such-scheme"), None);
     }
 
     #[test]

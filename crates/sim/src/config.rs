@@ -69,6 +69,11 @@ pub struct SimConfig {
     /// Fixed pipeline-flush cost charged on each recovery, on top of the
     /// recovery block's own instructions.
     pub recovery_flush_cycles: u64,
+    /// Record latency histograms (SB residency, verification latency,
+    /// detection latency, recovery penalty) into the run's stats. Off by
+    /// default: disabled runs skip every recording site behind one `None`
+    /// check, and the timing model is identical either way.
+    pub histograms: bool,
 }
 
 impl SimConfig {
@@ -96,6 +101,7 @@ impl SimConfig {
             colors: 4,
             cycle_limit: 2_000_000_000,
             recovery_flush_cycles: 5,
+            histograms: false,
         }
     }
 

@@ -25,10 +25,12 @@ use crate::coloring::Coloring;
 use crate::config::{ClqKind, SimConfig};
 use crate::fault::{Fault, FaultKind, FaultPlan};
 use crate::rbb::Rbb;
-use crate::stats::SimStats;
-use crate::store_buffer::{EntryKind, StoreBuffer};
-use crate::trace::{Trace, TraceEvent};
+use crate::stats::{SimHists, SimStats};
+use crate::store_buffer::{EntryKind, SbEntry, StoreBuffer};
+use crate::trace::{StallKind, Trace, TraceEvent, TraceSink};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::rc::Rc;
 use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, NUM_PHYS_REGS};
 
 /// Simulation failure.
@@ -96,8 +98,12 @@ pub struct Core<'a> {
     stats: SimStats,
     faults: Vec<Fault>,
     next_fault: usize,
-    /// Pending sensor detections (cycle at which recovery triggers).
-    pending_detect: Vec<u64>,
+    /// Pending sensor detections as `(detect_cycle, strike_cycle)`, sorted
+    /// by detection time (the strike cycle rides along for detection-latency
+    /// accounting).
+    pending_detect: Vec<(u64, u64)>,
+    /// Most recent strike cycle (attribution for parity detections).
+    last_strike: Option<u64>,
     pc: u64,
     /// Current issue cycle.
     cycle: u64,
@@ -109,10 +115,13 @@ pub struct Core<'a> {
     fetch_ready: u64,
     /// A datapath strike waiting to corrupt the next register write.
     pending_datapath: Option<u8>,
-    /// Optional resilience-event recorder.
-    trace: Option<Trace>,
-    /// Where `finish()` deposits the trace for `run_traced`.
-    trace_out: Option<std::rc::Rc<std::cell::RefCell<Option<Trace>>>>,
+    /// Attached resilience-event consumer ([`Core::attach_sink`]); the
+    /// shared handle lets the caller keep reading the sink after `run`
+    /// consumes the core.
+    sink: Option<Rc<RefCell<dyn TraceSink>>>,
+    /// Latency histograms ([`SimConfig::histograms`]); `None` keeps every
+    /// recording site a single branch.
+    hists: Option<Box<SimHists>>,
 }
 
 impl<'a> Core<'a> {
@@ -140,6 +149,7 @@ impl<'a> Core<'a> {
         } else {
             build_clq(ClqKind::Off)
         };
+        let hists = cfg.histograms.then(Box::<SimHists>::default);
         Core {
             cfg,
             program,
@@ -158,20 +168,41 @@ impl<'a> Core<'a> {
             faults: Vec::new(),
             next_fault: 0,
             pending_detect: Vec::new(),
+            last_strike: None,
             pc: 0,
             cycle: 0,
             slots_left: 0,
             mem_left: 0,
             fetch_ready: 0,
             pending_datapath: None,
-            trace: None,
-            trace_out: None,
+            sink: None,
+            hists,
         }
     }
 
+    /// Attach a trace sink; every resilience event of the run is forwarded
+    /// to it. The caller retains the other `Rc` handle and reads the sink
+    /// back after the run (see [`shared_sink`](crate::shared_sink)).
+    pub fn attach_sink(&mut self, sink: Rc<RefCell<dyn TraceSink>>) {
+        self.sink = Some(sink);
+    }
+
+    /// Forward an event to the attached sink. The untraced path must cost
+    /// one predictable branch per call site: the handle test is forced
+    /// inline and the actual dispatch outlined as cold, so building the
+    /// event sinks into the taken branch.
+    #[inline(always)]
     fn emit(&mut self, ev: TraceEvent) {
-        if let Some(t) = self.trace.as_mut() {
-            t.push(ev);
+        if self.sink.is_some() {
+            self.emit_to_sink(ev);
+        }
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn emit_to_sink(&mut self, ev: TraceEvent) {
+        if let Some(s) = &self.sink {
+            s.borrow_mut().record(&ev);
         }
     }
 
@@ -203,7 +234,10 @@ impl<'a> Core<'a> {
         self.run_with_faults(&FaultPlan::none())
     }
 
-    /// Run with fault injection and record resilience events.
+    /// Run with fault injection and record resilience events into an
+    /// in-memory ring buffer holding the most recent `trace_cap` events
+    /// (a convenience wrapper over [`Core::attach_sink`] with a
+    /// [`Trace`] sink).
     ///
     /// # Errors
     ///
@@ -213,26 +247,13 @@ impl<'a> Core<'a> {
         plan: &FaultPlan,
         trace_cap: usize,
     ) -> Result<(SimOutcome, Trace), SimError> {
-        self.trace = Some(Trace::new(trace_cap));
-        if plan
-            .faults()
-            .iter()
-            .any(|f| f.detect_latency > self.cfg.wcdl)
-        {
-            return Err(SimError::BadFaultPlan);
-        }
-        self.faults = plan.faults().to_vec();
-        self.slots_left = self.cfg.issue_width;
-        self.mem_left = 1;
-        let trace_slot: std::rc::Rc<std::cell::RefCell<Option<Trace>>> =
-            std::rc::Rc::new(std::cell::RefCell::new(None));
-        let slot = std::rc::Rc::clone(&trace_slot);
-        self.trace_out = Some(slot);
-        let outcome = self.run_loop()?;
-        let trace = trace_slot
-            .borrow_mut()
-            .take()
-            .expect("finish() deposits the trace");
+        let sink = Rc::new(RefCell::new(Trace::new(trace_cap)));
+        self.attach_sink(sink.clone());
+        let outcome = self.run_with_faults(plan)?;
+        let trace = match Rc::try_unwrap(sink) {
+            Ok(cell) => cell.into_inner(),
+            Err(rc) => rc.borrow().clone(),
+        };
         Ok((outcome, trace))
     }
 
@@ -273,7 +294,7 @@ impl<'a> Core<'a> {
     /// drains must never settle past this bound: a region whose verification
     /// point lies at or after a detection is not error-free.
     fn next_detection_bound(&self) -> u64 {
-        let pending = self.pending_detect.first().copied();
+        let pending = self.pending_detect.first().map(|&(d, _)| d);
         let future = self.faults[self.next_fault..]
             .iter()
             .map(|f| f.strike_cycle + f.detect_latency)
@@ -302,17 +323,46 @@ impl<'a> Core<'a> {
                 cycle: vt,
                 seq: inst.seq,
             });
+            if let Some(h) = self.hists.as_mut() {
+                h.verify_latency.record(vt.saturating_sub(inst.start_cycle));
+            }
         }
-        for e in self.sb.drain_until(now) {
-            self.emit(TraceEvent::SbRelease {
-                cycle: e.release_at.unwrap_or(now),
-                seq: e.region_seq,
+        let drained = self.sb.drain_until(now);
+        let emptied = !drained.is_empty();
+        for e in drained {
+            self.release_and_note(e, now);
+        }
+        if emptied {
+            self.emit(TraceEvent::SbOccupancy {
+                cycle: now,
+                entries: self.sb.len() as u32,
+                seq: self.rbb.current_seq(),
             });
-            self.release_entry(e, now);
         }
     }
 
-    fn release_entry(&mut self, e: crate::store_buffer::SbEntry, now: u64) {
+    /// Release one SB entry, narrating the release (SbRelease, plus a
+    /// CacheWriteback for data stores) and recording its SB residency.
+    fn release_and_note(&mut self, e: SbEntry, now: u64) {
+        let rel = e.release_at.unwrap_or(now);
+        self.emit(TraceEvent::SbRelease {
+            cycle: rel,
+            seq: e.region_seq,
+        });
+        if let EntryKind::Data { addr } = e.kind {
+            self.emit(TraceEvent::CacheWriteback {
+                cycle: rel,
+                addr,
+                seq: e.region_seq,
+            });
+        }
+        if let Some(h) = self.hists.as_mut() {
+            h.sb_residency.record(rel.saturating_sub(e.issued_at));
+        }
+        self.release_entry(e, now);
+    }
+
+    fn release_entry(&mut self, e: SbEntry, now: u64) {
         match e.kind {
             EntryKind::Data { addr } => {
                 self.memory.insert(addr, e.value);
@@ -350,13 +400,18 @@ impl<'a> Core<'a> {
                     self.pending_datapath = Some(bit % 64);
                 }
             }
-            self.pending_detect.push(f.strike_cycle + f.detect_latency);
+            self.last_strike = Some(f.strike_cycle);
+            self.pending_detect
+                .push((f.strike_cycle + f.detect_latency, f.strike_cycle));
             self.pending_detect.sort_unstable();
         }
-        while let Some(&d) = self.pending_detect.first() {
+        while let Some(&(d, s)) = self.pending_detect.first() {
             if d <= self.cycle {
                 self.pending_detect.remove(0);
                 self.stats.sensor_detections += 1;
+                if let Some(h) = self.hists.as_mut() {
+                    h.detect_latency.record(d.saturating_sub(s));
+                }
                 self.trigger_recovery(d, d.max(self.cycle));
             } else {
                 break;
@@ -377,22 +432,25 @@ impl<'a> Core<'a> {
     /// detection bound was just popped from the pending list).
     fn trigger_recovery(&mut self, detect_at: u64, now: u64) {
         self.stats.detections += 1;
-        self.emit(TraceEvent::Detection { cycle: now });
         if !self.cfg.resilient {
             // Unprotected baseline: the corruption stands (potential SDC).
+            self.emit(TraceEvent::Detection { cycle: now });
             return;
         }
         self.stats.recoveries += 1;
         // Verification strictly before the detection instant; everything
-        // else (including the struck region) is squashed below.
+        // else (including the struck region) is squashed below. Settle
+        // first so the timeline narrates pre-detection verifications
+        // before the detection itself.
         self.settle(detect_at);
+        self.emit(TraceEvent::Detection { cycle: now });
         self.sb.discard_unverified();
         // Entries already verified but still draining hold values the
         // recovery block may need (e.g. a just-verified checkpoint);
         // release them now, as hardware would read them through the SB.
         let (scheduled, _) = self.sb.drain_all_scheduled();
         for e in scheduled {
-            self.release_entry(e, now);
+            self.release_and_note(e, now);
         }
         let target = self.rbb.recover(now);
         self.coloring.on_squash(target.seq);
@@ -404,7 +462,8 @@ impl<'a> Core<'a> {
         self.pending_datapath = None;
         // Drop detections already satisfied by this recovery (all strikes
         // so far are cured by the rollback).
-        self.pending_detect.retain(|&d| d > now + self.cfg.wcdl);
+        self.pending_detect
+            .retain(|&(d, _)| d > now + self.cfg.wcdl);
         // Execute the recovery block functionally, charging its cycles.
         let mut cost = self.cfg.recovery_flush_cycles;
         if let Some(block) = self.program.recovery.get(&target.static_id) {
@@ -432,6 +491,9 @@ impl<'a> Core<'a> {
             }
         }
         self.stats.recovery_cycles += cost;
+        if let Some(h) = self.hists.as_mut() {
+            h.recovery_penalty.record(cost);
+        }
         self.cycle = now + cost;
         self.fetch_ready = self.cycle;
         self.slots_left = self.cfg.issue_width;
@@ -474,17 +536,40 @@ impl<'a> Core<'a> {
     fn wait_until(&mut self, t: u64, account: StallCause) {
         if t > self.cycle {
             let gap = t - self.cycle;
-            match account {
-                StallCause::None => {}
-                StallCause::SbFull => self.stats.stall_sb_full += gap,
+            let kind = match account {
+                StallCause::None => None,
+                StallCause::SbFull => {
+                    self.stats.stall_sb_full += gap;
+                    Some(StallKind::SbFull)
+                }
                 StallCause::Data { is_ckpt } => {
                     self.stats.stall_data_hazard += gap;
                     if is_ckpt {
                         self.stats.stall_ckpt_hazard += gap;
                     }
+                    Some(if is_ckpt {
+                        StallKind::CkptHazard
+                    } else {
+                        StallKind::DataHazard
+                    })
                 }
-                StallCause::MemPort => self.stats.stall_mem_port += gap,
-                StallCause::RbbFull => self.stats.stall_rbb_full += gap,
+                StallCause::MemPort => {
+                    self.stats.stall_mem_port += gap;
+                    Some(StallKind::MemPort)
+                }
+                StallCause::RbbFull => {
+                    self.stats.stall_rbb_full += gap;
+                    Some(StallKind::RbbFull)
+                }
+            };
+            if let Some(kind) = kind {
+                self.emit(TraceEvent::Stall {
+                    cycle: self.cycle,
+                    pc: self.pc as u32,
+                    seq: self.rbb.current_seq(),
+                    kind,
+                    cycles: gap,
+                });
             }
             self.cycle = t;
             self.slots_left = self.cfg.issue_width;
@@ -540,7 +625,7 @@ impl<'a> Core<'a> {
         // Parity check on register access (models per-register parity).
         // The unprotected baseline core has no parity or recovery.
         if self.cfg.resilient && self.access_check(&srcs) {
-            self.stats.parity_detections += 1;
+            self.note_parity_detection();
             self.trigger_recovery(self.cycle, self.cycle);
             return Ok(None);
         }
@@ -556,7 +641,7 @@ impl<'a> Core<'a> {
                 && self.tainted[b.index()]
                 && matches!(inst, MachInst::Store { .. } | MachInst::BranchNz { .. })
             {
-                self.stats.parity_detections += 1;
+                self.note_parity_detection();
                 self.trigger_recovery(self.cycle, self.cycle);
                 return Ok(None);
             }
@@ -695,6 +780,18 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// A parity/hardened-path check caught a corrupted value at access
+    /// time. Detection latency is attributed to the most recent strike
+    /// (exact for single-strike plans; an approximation when several
+    /// strikes overlap one access window).
+    fn note_parity_detection(&mut self) {
+        self.stats.parity_detections += 1;
+        if let Some(h) = self.hists.as_mut() {
+            let lat = self.last_strike.map_or(0, |s| self.cycle.saturating_sub(s));
+            h.detect_latency.record(lat);
+        }
+    }
+
     fn do_load(&mut self, addr: MachAddr, a: u64) -> (i64, u64) {
         if let MachAddr::CkptSlot(_) = addr {
             // Only recovery blocks use this mode; treat as L1 access.
@@ -722,16 +819,25 @@ impl<'a> Core<'a> {
         // WAR-free fast release? Blocked when an older store to the same
         // address is still gated: releasing past it would reorder the
         // store stream (the gated entry drains over the newer value).
-        if self.cfg.war_free && !self.sb.has_pending_data(a) && self.clq.check_war_free(a, seq) {
-            self.take_slot(true);
-            self.memory.insert(a, value);
-            self.caches.touch(a, self.cycle);
-            self.stats.war_free_released += 1;
-            self.emit(TraceEvent::WarFreeRelease {
+        if self.cfg.war_free && !self.sb.has_pending_data(a) {
+            let war_free = self.clq.check_war_free(a, seq);
+            self.emit(TraceEvent::ClqCheck {
                 cycle: self.cycle,
                 addr: a,
+                seq,
+                war_free,
             });
-            return Ok(true);
+            if war_free {
+                self.take_slot(true);
+                self.memory.insert(a, value);
+                self.caches.touch(a, self.cycle);
+                self.stats.war_free_released += 1;
+                self.emit(TraceEvent::WarFreeRelease {
+                    cycle: self.cycle,
+                    addr: a,
+                });
+                return Ok(true);
+            }
         }
         // Quarantine: may need to stall for a slot.
         let kind = EntryKind::Data { addr: a };
@@ -794,12 +900,19 @@ impl<'a> Core<'a> {
             }
         }
         self.take_slot(true);
-        self.sb.push(kind, value, seq);
+        self.sb.push(kind, value, seq, self.cycle);
         self.stats.quarantined += 1;
-        self.emit(TraceEvent::Quarantined {
-            cycle: self.cycle,
-            seq,
-        });
+        if self.sink.is_some() {
+            self.emit_to_sink(TraceEvent::Quarantined {
+                cycle: self.cycle,
+                seq,
+            });
+            self.emit_to_sink(TraceEvent::SbOccupancy {
+                cycle: self.cycle,
+                entries: self.sb.len() as u32,
+                seq,
+            });
+        }
         Ok(true)
     }
 
@@ -826,7 +939,7 @@ impl<'a> Core<'a> {
             self.settle(tail + self.sb.len() as u64 + 2);
             let (rest, last) = self.sb.drain_all_scheduled();
             for e in rest {
-                self.release_entry(e, last);
+                self.release_and_note(e, last);
             }
             end = end.max(tail).max(last);
             debug_assert!(self.sb.is_empty(), "all stores must drain at exit");
@@ -836,9 +949,9 @@ impl<'a> Core<'a> {
         self.stats.clq = self.clq.stats();
         self.stats.cache = self.caches.stats();
         self.stats.sb_peak = self.sb.peak;
-        if let Some(out) = self.trace_out.take() {
-            *out.borrow_mut() = self.trace.take();
-        }
+        self.stats.sb_coalesced = self.sb.coalesced;
+        self.stats.sb_discarded = self.sb.discarded;
+        self.stats.hists = self.hists.take();
         Ok(SimOutcome {
             ret,
             memory: self.memory,

@@ -57,6 +57,6 @@ pub use config::{ClqKind, SimConfig};
 pub use core::{Core, SimError, SimOutcome};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use rbb::Rbb;
-pub use stats::SimStats;
+pub use stats::{SimHists, SimStats};
 pub use store_buffer::StoreBuffer;
-pub use trace::{Trace, TraceEvent};
+pub use trace::{shared_sink, ChromeTrace, JsonlSink, StallKind, Trace, TraceEvent, TraceSink};

@@ -18,6 +18,8 @@ pub struct RegionInstance {
     pub static_id: RegionId,
     /// PC at which the instance (re-)starts execution.
     pub entry_pc: u32,
+    /// Cycle the instance (re-)started (verification-latency accounting).
+    pub start_cycle: u64,
     /// Cycle its ending boundary committed; `None` while running.
     pub end_cycle: Option<u64>,
     /// Dynamic instructions committed by this instance (region size stats).
@@ -49,6 +51,7 @@ impl Rbb {
             seq: 0,
             static_id: RegionId(0),
             entry_pc: 0,
+            start_cycle: 0,
             end_cycle: None,
             insts: 0,
         });
@@ -110,6 +113,7 @@ impl Rbb {
             seq,
             static_id,
             entry_pc,
+            start_cycle: cycle,
             end_cycle: None,
             insts: 0,
         });
@@ -136,12 +140,11 @@ impl Rbb {
     /// recovery target. Returns it; all younger instances are squashed and
     /// the target becomes the (restarted) running instance.
     pub fn recover(&mut self, now: u64) -> RegionInstance {
-        // First settle verifications strictly before the detection.
-        let _ = now;
         let mut target = *self.live.front().expect("running instance exists");
         // Restart: the target runs again; younger instances vanish.
         target.end_cycle = None;
         target.insts = 0;
+        target.start_cycle = now;
         self.live.clear();
         self.live.push_back(target);
         target

@@ -1,6 +1,27 @@
 //! Simulation statistics.
 
 use crate::clq::ClqStats;
+use turnpike_metrics::Histogram;
+
+/// The simulator's latency distributions, recorded when
+/// [`SimConfig::histograms`](crate::SimConfig::histograms) is on.
+///
+/// The bundle lives behind an `Option<Box<_>>` on both the core and
+/// [`SimStats`], so disabled runs carry a null pointer and every recording
+/// site is one `None` check. [`SimStats::to_metrics`] projects the bundle
+/// into the [`turnpike_metrics::Hist`] registry keys.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SimHists {
+    /// Cycles quarantined stores spent in the gated SB before draining.
+    pub sb_residency: Histogram,
+    /// Region start → verification latency.
+    pub verify_latency: Histogram,
+    /// Strike → detection latency (sensor exact; parity attributed to the
+    /// most recent strike).
+    pub detect_latency: Histogram,
+    /// Cycles charged per recovery (flush + recovery block).
+    pub recovery_penalty: Histogram,
+}
 
 /// Cycle accounting by stall cause plus event counters for one run.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -33,6 +54,10 @@ pub struct SimStats {
     pub colored_released: u64,
     /// Stores (regular + checkpoint) quarantined in the SB.
     pub quarantined: u64,
+    /// Quarantined stores that coalesced into an existing SB entry.
+    pub sb_coalesced: u64,
+    /// SB entries discarded (squashed) by error recovery.
+    pub sb_discarded: u64,
     /// Region boundaries committed.
     pub boundaries: u64,
     /// Errors detected (sensor or parity).
@@ -52,6 +77,9 @@ pub struct SimStats {
     pub cache: (u64, u64, u64, u64),
     /// Peak SB occupancy.
     pub sb_peak: usize,
+    /// Latency distributions; `None` unless the run enabled
+    /// [`SimConfig::histograms`](crate::SimConfig::histograms).
+    pub hists: Option<Box<SimHists>>,
 }
 
 impl SimStats {
@@ -97,7 +125,7 @@ impl SimStats {
     /// [`turnpike_metrics::MetricSet`] use the same formulas as the ones
     /// here, so either view reports identical values.
     pub fn to_metrics(&self) -> turnpike_metrics::MetricSet {
-        use turnpike_metrics::{Counter, Gauge, MetricSet};
+        use turnpike_metrics::{Counter, Gauge, Hist, MetricSet};
         let mut m = MetricSet::new();
         m.add(Counter::Cycles, self.cycles);
         m.add(Counter::Insts, self.insts);
@@ -113,6 +141,8 @@ impl SimStats {
         m.add(Counter::WarFreeReleased, self.war_free_released);
         m.add(Counter::ColoredReleased, self.colored_released);
         m.add(Counter::Quarantined, self.quarantined);
+        m.add(Counter::SbCoalesced, self.sb_coalesced);
+        m.add(Counter::SbDiscarded, self.sb_discarded);
         m.add(Counter::RegionsCommitted, self.boundaries);
         m.add(Counter::Detections, self.detections);
         m.add(Counter::ParityDetections, self.parity_detections);
@@ -132,6 +162,12 @@ impl SimStats {
         m.add(Counter::L2Hits, l2h);
         m.add(Counter::L2Misses, l2m);
         m.set_gauge(Gauge::AvgRegionInsts, self.avg_region_insts);
+        if let Some(h) = &self.hists {
+            m.set_hist(Hist::SbResidency, h.sb_residency.clone());
+            m.set_hist(Hist::VerifyLatency, h.verify_latency.clone());
+            m.set_hist(Hist::DetectLatency, h.detect_latency.clone());
+            m.set_hist(Hist::RecoveryPenalty, h.recovery_penalty.clone());
+        }
         m
     }
 }

@@ -43,6 +43,9 @@ pub struct SbEntry {
     pub value: i64,
     /// Dynamic region instance the store belongs to.
     pub region_seq: u64,
+    /// Cycle the entry was allocated (quarantine start, for residency
+    /// accounting). Coalescing keeps the original allocation time.
+    pub issued_at: u64,
     /// Cycle at which the entry leaves the SB, once its region is verified.
     pub release_at: Option<u64>,
 }
@@ -112,7 +115,7 @@ impl StoreBuffer {
     /// # Panics
     ///
     /// Panics if the buffer is full and the store cannot coalesce.
-    pub fn push(&mut self, kind: EntryKind, value: i64, region_seq: u64) {
+    pub fn push(&mut self, kind: EntryKind, value: i64, region_seq: u64, now: u64) {
         if let Some(e) = self.entries.iter_mut().rev().find(|e| e.kind == kind) {
             if e.region_seq == region_seq && e.release_at.is_none() {
                 e.value = value;
@@ -128,6 +131,7 @@ impl StoreBuffer {
             kind,
             value,
             region_seq,
+            issued_at: now,
             release_at: None,
         });
         self.allocated += 1;
@@ -227,9 +231,9 @@ mod tests {
     #[test]
     fn push_and_forward() {
         let mut sb = StoreBuffer::new(4);
-        sb.push(data(0x100), 1, 0);
-        sb.push(data(0x108), 2, 0);
-        sb.push(data(0x100), 3, 1); // same addr, different region: new entry
+        sb.push(data(0x100), 1, 0, 0);
+        sb.push(data(0x108), 2, 0, 0);
+        sb.push(data(0x100), 3, 1, 0); // same addr, different region: new entry
         assert_eq!(sb.len(), 3);
         assert_eq!(sb.forward(0x100), Some(3)); // youngest wins
         assert_eq!(sb.forward(0x108), Some(2));
@@ -239,10 +243,10 @@ mod tests {
     #[test]
     fn same_region_same_addr_coalesces() {
         let mut sb = StoreBuffer::new(2);
-        sb.push(data(0x100), 1, 0);
+        sb.push(data(0x100), 1, 0, 0);
         assert!(sb.can_coalesce(data(0x100), 0));
         assert!(!sb.can_coalesce(data(0x100), 1));
-        sb.push(data(0x100), 7, 0);
+        sb.push(data(0x100), 7, 0, 0);
         assert_eq!(sb.len(), 1);
         assert_eq!(sb.coalesced, 1);
         assert_eq!(sb.forward(0x100), Some(7));
@@ -252,10 +256,10 @@ mod tests {
     fn ckpt_fallback_coalesces_per_reg() {
         let mut sb = StoreBuffer::new(2);
         let k = EntryKind::CkptFallback { reg: 5 };
-        sb.push(k, 1, 0);
-        sb.push(k, 2, 0);
+        sb.push(k, 1, 0, 0);
+        sb.push(k, 2, 0, 0);
         assert_eq!(sb.len(), 1);
-        sb.push(k, 3, 1);
+        sb.push(k, 3, 1, 0);
         assert_eq!(sb.len(), 2);
     }
 
@@ -263,16 +267,16 @@ mod tests {
     #[should_panic(expected = "store buffer overflow")]
     fn overflow_panics() {
         let mut sb = StoreBuffer::new(1);
-        sb.push(data(0x100), 1, 0);
-        sb.push(data(0x108), 2, 0);
+        sb.push(data(0x100), 1, 0, 0);
+        sb.push(data(0x108), 2, 0, 0);
     }
 
     #[test]
     fn verification_schedules_fifo_drain() {
         let mut sb = StoreBuffer::new(4);
-        sb.push(data(0x100), 1, 0);
-        sb.push(data(0x108), 2, 0);
-        sb.push(data(0x110), 3, 1);
+        sb.push(data(0x100), 1, 0, 0);
+        sb.push(data(0x108), 2, 0, 0);
+        sb.push(data(0x110), 3, 1, 0);
         sb.mark_verified(0, 50);
         assert_eq!(sb.earliest_release(), Some(50));
         // Region 1 verifies later; drains after region 0's entries.
@@ -287,8 +291,8 @@ mod tests {
     #[test]
     fn discard_keeps_verified() {
         let mut sb = StoreBuffer::new(4);
-        sb.push(data(0x100), 1, 0);
-        sb.push(data(0x108), 2, 1);
+        sb.push(data(0x100), 1, 0, 0);
+        sb.push(data(0x108), 2, 1, 0);
         sb.mark_verified(0, 10);
         assert_eq!(sb.discard_unverified(), 1);
         assert_eq!(sb.len(), 1);
@@ -301,8 +305,8 @@ mod tests {
     #[test]
     fn peak_tracks_occupancy() {
         let mut sb = StoreBuffer::new(4);
-        sb.push(data(0x100), 1, 0);
-        sb.push(data(0x108), 2, 0);
+        sb.push(data(0x100), 1, 0, 0);
+        sb.push(data(0x108), 2, 0, 0);
         sb.mark_verified(0, 5);
         sb.drain_until(10);
         assert_eq!(sb.peak, 2);

@@ -17,7 +17,7 @@ proptest! {
         let mut log: Vec<(u64, i64)> = Vec::new();
         for (cell, value, region) in stores {
             let addr = 0x1000 + cell * 8;
-            sb.push(EntryKind::Data { addr }, value, region);
+            sb.push(EntryKind::Data { addr }, value, region, 0);
             log.push((addr, value));
         }
         let addr = 0x1000 + probe * 8;
@@ -35,10 +35,10 @@ proptest! {
     ) {
         let mut sb = StoreBuffer::new(16);
         for i in 0..n_r0 {
-            sb.push(EntryKind::Data { addr: 0x1000 + i as u64 * 8 }, i as i64, 0);
+            sb.push(EntryKind::Data { addr: 0x1000 + i as u64 * 8 }, i as i64, 0, 0);
         }
         for i in 0..n_r1 {
-            sb.push(EntryKind::Data { addr: 0x2000 + i as u64 * 8 }, i as i64, 1);
+            sb.push(EntryKind::Data { addr: 0x2000 + i as u64 * 8 }, i as i64, 1, 0);
         }
         sb.mark_verified(0, verify_time);
         // Unverified region-1 entries are discarded; region-0 survive.

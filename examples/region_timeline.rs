@@ -1,14 +1,18 @@
-//! Region lifecycle timeline: trace a faulted Turnpike run and print the
-//! resilience events — region starts, fast releases, quarantines, the
-//! strike, its detection, the recovery, and post-recovery verification —
-//! in cycle order.
+//! Region lifecycle timeline: trace a faulted Turnpike run through the
+//! Chrome trace-event exporter, print the resilience events around the
+//! strike — region starts, fast releases, quarantines, the strike, its
+//! detection, the recovery, and post-recovery verification — and write a
+//! Perfetto-loadable timeline to `region_timeline.json`.
 //!
 //! ```sh
 //! cargo run --example region_timeline
+//! # then open region_timeline.json in https://ui.perfetto.dev
 //! ```
 
 use turnpike::compiler::{compile, CompilerConfig};
-use turnpike::sim::{Core, Fault, FaultKind, FaultPlan, SimConfig, TraceEvent};
+use turnpike::sim::{
+    shared_sink, ChromeTrace, Core, Fault, FaultKind, FaultPlan, SimConfig, TraceEvent,
+};
 use turnpike::workloads::{kernel_by_name, Scale, Suite};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -22,8 +26,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         detect_latency: 7,
         kind: FaultKind::Datapath { bit: 21 },
     }]);
-    let (outcome, trace) =
-        Core::new(&compiled.program, SimConfig::turnpike(4, 10)).run_traced(&plan, 100_000)?;
+    let sink = shared_sink(ChromeTrace::new());
+    let mut core = Core::new(&compiled.program, SimConfig::turnpike(4, 10));
+    core.attach_sink(sink.clone());
+    let outcome = core.run_with_faults(&plan)?;
+    let chrome = sink.borrow();
 
     println!(
         "kernel {}: {} cycles, {} recoveries, ret={:?}\n",
@@ -34,7 +41,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let window = 110..190;
     println!("{:>7}  event", "cycle");
     let mut shown = 0;
-    for ev in trace.events() {
+    for ev in chrome.events() {
         let c = ev.cycle();
         if !window.contains(&c) {
             continue;
@@ -56,6 +63,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             TraceEvent::SbRelease { seq, .. } => {
                 format!("quarantined store drains to cache (region {seq})")
             }
+            TraceEvent::SbOccupancy { entries, .. } => {
+                format!("gated SB occupancy now {entries}")
+            }
+            TraceEvent::ClqCheck { addr, war_free, .. } => format!(
+                "CLQ checks store to {addr:#x}: {}",
+                if *war_free {
+                    "WAR-free"
+                } else {
+                    "must quarantine"
+                }
+            ),
+            TraceEvent::CacheWriteback { addr, .. } => {
+                format!("released store writes back to cache at {addr:#x}")
+            }
+            TraceEvent::Stall { kind, cycles, .. } => {
+                format!("pipeline stalls {cycles} cycles ({})", kind.name())
+            }
             TraceEvent::Strike { .. } => ">>> PARTICLE STRIKE".to_string(),
             TraceEvent::Detection { .. } => ">>> sensors report the strike".to_string(),
             TraceEvent::Recovery {
@@ -74,5 +98,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             break;
         }
     }
+
+    let out = "region_timeline.json";
+    std::fs::write(out, chrome.render())?;
+    println!(
+        "\nwrote {out} ({} events) — load it in ui.perfetto.dev",
+        chrome.events().len()
+    );
     Ok(())
 }
