@@ -256,26 +256,43 @@ fn trace_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// One generated figure: its table, wall-clock, and the run-cache traffic
+/// attributed to it (see [`Engine::figure_scope`]).
+struct FigureRun {
+    table: Table,
+    wall_ms: u128,
+    run_hits: usize,
+    run_misses: usize,
+}
+
+fn generate_one(t: &Target, scale: Scale, engine: &Engine) -> FigureRun {
+    let scoped = engine.figure_scope();
+    let t0 = Instant::now();
+    let table = (t.generate)(&scoped, scale);
+    scoped.note_figure();
+    let (run_hits, run_misses) = scoped.figure_cache_stats();
+    FigureRun {
+        table,
+        wall_ms: t0.elapsed().as_millis(),
+        run_hits,
+        run_misses,
+    }
+}
+
 /// Generate the requested tables with per-figure wall-clock. For `all`,
 /// figures run concurrently (each with a slice of the thread budget) while
 /// compiles and baseline runs dedup through the shared caches; results are
 /// gathered in [`TARGETS`] order so output is deterministic.
-fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<(Table, u128)>> {
+fn generate(target: &str, scale: Scale, engine: &Engine) -> Option<Vec<FigureRun>> {
     if target != "all" {
         let t = target_by_name(target)?;
-        let t0 = Instant::now();
-        let table = (t.generate)(engine, scale);
-        engine.note_figure();
-        return Some(vec![(table, t0.elapsed().as_millis())]);
+        return Some(vec![generate_one(t, scale, engine)]);
     }
     let outer = engine.threads().min(TARGETS.len());
     let inner = (engine.threads() / outer.max(1)).max(1);
     let per_figure = engine.with_threads(inner);
     Some(par_map(&TARGETS, outer, |_, t| {
-        let t0 = Instant::now();
-        let table = (t.generate)(&per_figure, scale);
-        per_figure.note_figure();
-        (table, t0.elapsed().as_millis())
+        generate_one(t, scale, &per_figure)
     }))
 }
 
@@ -286,7 +303,7 @@ fn bench_json(
     threads: usize,
     cache: bool,
     wall_ms: u128,
-    figures: &[(Table, u128)],
+    figures: &[FigureRun],
     registry: &MetricSet,
 ) -> String {
     use turnpike_metrics::Counter;
@@ -312,17 +329,31 @@ fn bench_json(
         registry.counter(Counter::BenchRunMisses)
     ));
     out.push_str(&format!(
+        "  \"fork\": {{\"hits\": {}, \"misses\": {}, \"prefix_cycles_saved\": {}}},\n",
+        registry.counter(Counter::CampaignForkHits),
+        registry.counter(Counter::CampaignForkMisses),
+        registry.counter(Counter::CampaignForkCyclesSaved)
+    ));
+    out.push_str(&format!(
         "  \"histograms\": {},\n",
         hist_summary_json(registry, "  ")
     ));
     out.push_str("  \"figures\": [");
-    for (i, (t, ms)) in figures.iter().enumerate() {
+    for (i, f) in figures.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        // `cached` distinguishes a figure served from the run cache from one
+        // that simulated: `wall_ms: 0` alone can't (static tables are also
+        // instant). Hit/miss counts make partially-cached figures visible.
         out.push_str(&format!(
-            "\n    {{\"id\": {}, \"wall_ms\": {ms}}}",
-            json_string(&t.id)
+            "\n    {{\"id\": {}, \"wall_ms\": {}, \"cached\": {}, \
+             \"run_cache\": {{\"hits\": {}, \"misses\": {}}}}}",
+            json_string(&f.table.id),
+            f.wall_ms,
+            f.run_misses == 0 && f.run_hits > 0,
+            f.run_hits,
+            f.run_misses
         ));
     }
     if !figures.is_empty() {
@@ -380,20 +411,33 @@ fn main() -> ExitCode {
     if !cache {
         engine = engine.without_cache();
     }
+    // Run header on stderr (stdout is golden-diffed): the effective thread
+    // count matters because --threads defaults to the machine's available
+    // parallelism, so two hosts run the same command differently. Output is
+    // byte-identical at any thread count; `--threads 1` additionally makes
+    // the execution schedule itself deterministic.
+    eprintln!(
+        "# reproduce {target}: {threads} threads, {} scale, cache {}",
+        match scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        },
+        if cache { "on" } else { "off" },
+    );
     let t0 = Instant::now();
     let Some(tables) = generate(&target, scale, &engine) else {
         return usage();
     };
     let wall_ms = t0.elapsed().as_millis();
-    for (t, _) in &tables {
+    for f in &tables {
         if json {
-            println!("{}", t.to_json());
+            println!("{}", f.table.to_json());
         } else {
-            println!("{t}");
+            println!("{}", f.table);
         }
     }
-    for (t, ms) in &tables {
-        eprintln!("# {}: {ms} ms", t.id);
+    for f in &tables {
+        eprintln!("# {}: {} ms", f.table.id, f.wall_ms);
     }
     eprintln!(
         "# total: {wall_ms} ms ({} threads, cache {}, {} compiles, {} sims)",
@@ -406,12 +450,15 @@ fn main() -> ExitCode {
     // recovery-penalty histograms need a small seeded strike campaign.
     let mut registry = engine.metrics();
     match fault_probe_metrics(threads) {
-        Ok(probe) => {
+        Ok((probe, fork)) => {
             for key in [Hist::DetectLatency, Hist::RecoveryPenalty] {
                 if let Some(h) = probe.hist(key) {
                     registry.merge_hist(key, h);
                 }
             }
+            // Fork accounting feeds the bench registry only — campaign
+            // reports stay bit-identical with or without snapshots.
+            registry.merge(&fork.to_metrics());
         }
         Err(e) => eprintln!("# warning: fault probe failed: {e}"),
     }

@@ -57,12 +57,22 @@ struct Caches {
     metrics: Mutex<MetricSet>,
 }
 
+/// Figure-scoped run-cache traffic. Each [`Engine::figure_scope`] clone gets
+/// a fresh pair, so concurrent figures sharing one global cache can still
+/// report exactly how much of *their* grid was served from it.
+#[derive(Default)]
+struct ScopeCounters {
+    run_hits: AtomicUsize,
+    run_misses: AtomicUsize,
+}
+
 /// Shared-cache grid executor. Cheap to clone; clones share caches and
 /// counters, so figure generators can be handed per-figure thread budgets
 /// while deduplicating work globally.
 #[derive(Clone)]
 pub struct Engine {
     caches: Arc<Caches>,
+    scope: Arc<ScopeCounters>,
     threads: usize,
     cache: bool,
 }
@@ -74,6 +84,7 @@ impl Engine {
     pub fn new(threads: usize) -> Self {
         Engine {
             caches: Arc::new(Caches::default()),
+            scope: Arc::new(ScopeCounters::default()),
             threads: threads.max(1),
             cache: true,
         }
@@ -89,9 +100,34 @@ impl Engine {
     pub fn with_threads(&self, threads: usize) -> Self {
         Engine {
             caches: Arc::clone(&self.caches),
+            scope: Arc::clone(&self.scope),
             threads: threads.max(1),
             cache: self.cache,
         }
+    }
+
+    /// Same caches and thread budget, fresh figure-scoped counters.
+    /// `reproduce` wraps each figure's generator in one of these so
+    /// `BENCH_reproduce.json` can report per-figure cache-hit status even
+    /// when figures run concurrently against the shared caches.
+    pub fn figure_scope(&self) -> Self {
+        Engine {
+            caches: Arc::clone(&self.caches),
+            scope: Arc::new(ScopeCounters::default()),
+            threads: self.threads,
+            cache: self.cache,
+        }
+    }
+
+    /// `(hits, misses)` of the run cache as seen by this figure scope (see
+    /// [`Engine::figure_scope`]); counts simulation requests only, since
+    /// sims dominate wall time. A fully-cached figure shows `misses == 0`
+    /// with `hits > 0`.
+    pub fn figure_cache_stats(&self) -> (usize, usize) {
+        (
+            self.scope.run_hits.load(Ordering::Relaxed),
+            self.scope.run_misses.load(Ordering::Relaxed),
+        )
     }
 
     /// Disable memoization (every call compiles and simulates from scratch).
@@ -235,6 +271,7 @@ impl Engine {
         };
         if !self.cache {
             self.caches.sims_done.fetch_add(1, Ordering::Relaxed);
+            self.scope.run_misses.fetch_add(1, Ordering::Relaxed);
             return do_run(&self.compile(kernel, cc));
         }
         let key = (kernel.id(), cc.clone(), sc.clone());
@@ -245,8 +282,10 @@ impl Engine {
                 .lock()
                 .expect("bench metrics")
                 .add(Counter::BenchRunHits, 1);
+            self.scope.run_hits.fetch_add(1, Ordering::Relaxed);
             return hit;
         }
+        self.scope.run_misses.fetch_add(1, Ordering::Relaxed);
         let result = do_run(&self.compile(kernel, cc));
         match self.caches.runs.lock().expect("run cache").entry(key) {
             Entry::Occupied(e) => Arc::clone(e.get()),

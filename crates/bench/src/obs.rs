@@ -8,7 +8,9 @@
 //! strike→detection→recovery arc at a reproducible spot.
 
 use turnpike_metrics::{Hist, MetricSet};
-use turnpike_resilience::{fault_campaign_par, CampaignConfig, RunError, RunSpec, Scheme};
+use turnpike_resilience::{
+    fault_campaign_forked, CampaignConfig, ForkStats, RunError, RunSpec, Scheme,
+};
 use turnpike_sim::{shared_sink, ChromeTrace, Core, Fault, FaultKind, FaultPlan, JsonlSink};
 use turnpike_workloads::{all_kernels, Kernel, Scale};
 
@@ -93,12 +95,15 @@ pub fn export_trace(
 /// Deterministic fault-injection probe feeding the detection-latency and
 /// recovery-penalty histograms of the `BENCH_reproduce.json` summary: the
 /// figure grid is fault-free, so those two distributions need strikes. One
-/// smoke kernel, full Turnpike, 8 seeded single-strike runs.
+/// smoke kernel, full Turnpike, 8 seeded single-strike runs. Also returns
+/// the campaign's [`ForkStats`] — the `"fork"` block of
+/// `BENCH_reproduce.json` — showing how many strike runs forked from
+/// fault-free prefix snapshots instead of re-simulating from scratch.
 ///
 /// # Errors
 ///
 /// Propagates compile/simulate failures.
-pub fn fault_probe_metrics(threads: usize) -> Result<MetricSet, RunError> {
+pub fn fault_probe_metrics(threads: usize) -> Result<(MetricSet, ForkStats), RunError> {
     let kernel = find_kernel("bwaves", Scale::Smoke).expect("bwaves is in the catalog");
     let spec = RunSpec::new(Scheme::Turnpike).with_histograms();
     let cfg = CampaignConfig {
@@ -106,8 +111,9 @@ pub fn fault_probe_metrics(threads: usize) -> Result<MetricSet, RunError> {
         seed: 0xB0B5,
         strikes_per_run: 1,
     };
-    let report = fault_campaign_par(&kernel.program, &spec, &cfg, threads.max(1))?;
-    Ok(report.metrics)
+    let (report, _records, fork) =
+        fault_campaign_forked(&kernel.program, &spec, &cfg, threads.max(1))?;
+    Ok((report.metrics, fork))
 }
 
 /// The histogram keys summarized in `BENCH_reproduce.json`, in output order.
@@ -182,9 +188,11 @@ mod tests {
 
     #[test]
     fn fault_probe_fills_detection_histograms() {
-        let m = fault_probe_metrics(2).unwrap();
+        let (m, fork) = fault_probe_metrics(2).unwrap();
         assert!(m.hist(Hist::DetectLatency).unwrap().count() >= 8);
         assert!(m.hist(Hist::RecoveryPenalty).unwrap().count() >= 8);
+        // Every injected run is accounted as a fork hit or a miss.
+        assert_eq!(fork.hits + fork.misses, 8);
         let json = hist_summary_json(&m, "  ");
         assert!(json.contains("\"sim.hist.detect_latency_cycles\""));
         assert!(json.contains("\"p99\""));

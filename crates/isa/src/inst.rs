@@ -127,44 +127,35 @@ impl MachInst {
         }
     }
 
-    /// Registers read (up to 3).
-    pub fn uses(self) -> Vec<PhysReg> {
-        let mut v = Vec::with_capacity(3);
+    /// Registers read (up to 3), in a small inline buffer. The simulator
+    /// calls this once per executed instruction, so the list must not
+    /// touch the heap.
+    pub fn uses(self) -> MachUses {
+        let mut buf = [PhysReg::new_unchecked(0); 3];
+        let mut len = 0;
+        let mut push = |r: Option<PhysReg>| {
+            if let Some(r) = r {
+                buf[len] = r;
+                len += 1;
+            }
+        };
         match self {
             MachInst::Bin { lhs, rhs, .. } | MachInst::Cmp { lhs, rhs, .. } => {
-                v.push(lhs);
-                if let Some(r) = rhs.reg() {
-                    v.push(r);
-                }
+                push(Some(lhs));
+                push(rhs.reg());
             }
-            MachInst::Mov { src, .. } => {
-                if let Some(r) = src.reg() {
-                    v.push(r);
-                }
-            }
-            MachInst::Load { addr, .. } => {
-                if let Some(b) = addr.base() {
-                    v.push(b);
-                }
-            }
+            MachInst::Mov { src, .. } => push(src.reg()),
+            MachInst::Load { addr, .. } => push(addr.base()),
             MachInst::Store { src, addr } => {
-                if let Some(r) = src.reg() {
-                    v.push(r);
-                }
-                if let Some(b) = addr.base() {
-                    v.push(b);
-                }
+                push(src.reg());
+                push(addr.base());
             }
-            MachInst::Ckpt { reg } => v.push(reg),
-            MachInst::BranchNz { cond, .. } => v.push(cond),
-            MachInst::Ret { value } => {
-                if let Some(r) = value.and_then(MOperand::reg) {
-                    v.push(r);
-                }
-            }
+            MachInst::Ckpt { reg } => push(Some(reg)),
+            MachInst::BranchNz { cond, .. } => push(Some(cond)),
+            MachInst::Ret { value } => push(value.and_then(MOperand::reg)),
             MachInst::RegionBoundary { .. } | MachInst::Jump { .. } | MachInst::Nop => {}
         }
-        v
+        MachUses { buf, len }
     }
 
     /// Whether this is a memory instruction (load, store, or checkpoint).
@@ -200,6 +191,22 @@ impl MachInst {
             MachInst::Bin { op, .. } => op.latency(),
             _ => 1,
         }
+    }
+}
+
+/// Registers read by a [`MachInst`], in a fixed inline buffer.
+/// Dereferences to a `[PhysReg]` slice.
+#[derive(Debug, Clone, Copy)]
+pub struct MachUses {
+    buf: [PhysReg; 3],
+    len: usize,
+}
+
+impl std::ops::Deref for MachUses {
+    type Target = [PhysReg];
+
+    fn deref(&self) -> &[PhysReg] {
+        &self.buf[..self.len]
     }
 }
 
@@ -240,7 +247,7 @@ mod tests {
             rhs: MOperand::Reg(r(2)),
         };
         assert_eq!(i.def(), Some(r(0)));
-        assert_eq!(i.uses(), vec![r(1), r(2)]);
+        assert_eq!(&*i.uses(), [r(1), r(2)]);
         assert!(!i.is_mem());
 
         let s = MachInst::Store {
@@ -248,18 +255,18 @@ mod tests {
             addr: MachAddr::RegOffset(r(4), 8),
         };
         assert!(s.is_store() && s.is_mem() && !s.is_ckpt());
-        assert_eq!(s.uses(), vec![r(3), r(4)]);
+        assert_eq!(&*s.uses(), [r(3), r(4)]);
 
         let c = MachInst::Ckpt { reg: r(5) };
         assert!(c.is_ckpt() && c.is_store());
-        assert_eq!(c.uses(), vec![r(5)]);
+        assert_eq!(&*c.uses(), [r(5)]);
 
         let b = MachInst::BranchNz {
             cond: r(6),
             target: 3,
         };
         assert!(b.is_control());
-        assert_eq!(b.uses(), vec![r(6)]);
+        assert_eq!(&*b.uses(), [r(6)]);
         assert!(MachInst::Ret { value: None }.is_control());
         assert!(!MachInst::Nop.is_control());
     }

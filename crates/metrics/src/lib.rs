@@ -164,6 +164,12 @@ counters! {
     CampaignSdc => ("campaign.sdc", Sum),
     /// Strikes that landed at or after program completion (no effect).
     CampaignPostCompletion => ("campaign.post_completion", Sum),
+    /// Injected runs forked from a fault-free prefix snapshot.
+    CampaignForkHits => ("campaign.fork_hits", Sum),
+    /// Injected runs simulated from scratch (no usable snapshot).
+    CampaignForkMisses => ("campaign.fork_misses", Sum),
+    /// Fault-free prefix cycles skipped by forking (sum over forked runs).
+    CampaignForkCyclesSaved => ("campaign.fork_cycles_saved", Sum),
 
     // — evaluation harness —
     /// Compile requests served from the engine's compile cache.

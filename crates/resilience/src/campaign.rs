@@ -7,7 +7,10 @@
 //! against the fault-free run. For resilient schemes every run must match —
 //! the acoustic-sensor guarantee is *zero* silent data corruption.
 
-use crate::driver::{run_compiled_with_faults, RunError, RunSpec};
+use crate::driver::{
+    resume_compiled_with_faults, run_compiled_collecting_snapshots, run_compiled_with_faults,
+    RunError, RunSpec,
+};
 use crate::par::par_map;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use turnpike_compiler::compile;
@@ -67,6 +70,37 @@ impl CampaignReport {
     /// Whether the scheme kept its zero-SDC guarantee.
     pub fn sdc_free(&self) -> bool {
         self.sdc == 0
+    }
+}
+
+/// How much prefix re-execution snapshot forking saved a campaign.
+///
+/// Kept out of [`CampaignReport`] on purpose: the report (metrics included)
+/// is bit-identical whether runs fork from snapshots or simulate from
+/// scratch, and folding fork accounting into it would break that.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ForkStats {
+    /// Injected runs forked from a fault-free prefix snapshot.
+    pub hits: usize,
+    /// Injected runs simulated from scratch (snapshots disabled, or the
+    /// earliest strike landed before the first capture point).
+    pub misses: usize,
+    /// Fault-free prefix cycles skipped, summed over forked runs (each
+    /// fork's snapshot cycle — execution the from-scratch path would redo).
+    pub prefix_cycles_saved: u64,
+}
+
+impl ForkStats {
+    /// The `campaign.fork_*` counters as a standalone registry, for harness
+    /// observability (merged into the bench registry, never into
+    /// [`CampaignReport::metrics`]).
+    pub fn to_metrics(&self) -> turnpike_metrics::MetricSet {
+        use turnpike_metrics::Counter;
+        let mut m = turnpike_metrics::MetricSet::new();
+        m.add(Counter::CampaignForkHits, self.hits as u64);
+        m.add(Counter::CampaignForkMisses, self.misses as u64);
+        m.add(Counter::CampaignForkCyclesSaved, self.prefix_cycles_saved);
+        m
     }
 }
 
@@ -244,21 +278,76 @@ pub fn fault_campaign_records(
     config: &CampaignConfig,
     threads: usize,
 ) -> Result<(CampaignReport, Vec<StrikeRecord>), RunError> {
+    fault_campaign_forked(program, spec, config, threads).map(|(report, recs, _)| (report, recs))
+}
+
+/// Like [`fault_campaign_records`], additionally returning the campaign's
+/// [`ForkStats`].
+///
+/// When the spec's [`SimConfig::snapshot_interval`](turnpike_sim::SimConfig)
+/// is set, the fault-free golden run captures prefix snapshots and every
+/// strike run forks from the latest snapshot strictly before its earliest
+/// strike instead of re-executing the fault-free prefix. Report and records
+/// are bit-identical either way — the
+/// [`CoreSnapshot`](turnpike_sim::CoreSnapshot) determinism contract
+/// guarantees the resumed run reproduces the from-scratch one, stats
+/// included.
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted).
+pub fn fault_campaign_forked(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+    threads: usize,
+) -> Result<(CampaignReport, Vec<StrikeRecord>, ForkStats), RunError> {
     let compiled = compile(program, &spec.compiler_config())?;
-    let golden = run_compiled_with_faults(&compiled, spec, &FaultPlan::none())?;
+    let (golden, snapshots) = match spec.sim_config().snapshot_interval {
+        Some(interval) => {
+            run_compiled_collecting_snapshots(&compiled, spec, &FaultPlan::none(), interval)?
+        }
+        None => (
+            run_compiled_with_faults(&compiled, spec, &FaultPlan::none())?,
+            Vec::new(),
+        ),
+    };
     let horizon = golden.outcome.stats.cycles.max(2);
     let indices: Vec<usize> = (0..config.runs).collect();
     let runs = par_map(&indices, threads, |_, &i| {
         let plan = plan_for_run(config, spec, i, horizon);
-        run_compiled_with_faults(&compiled, spec, &plan)
+        // Fork from the latest snapshot strictly before the run's earliest
+        // strike (snapshots are in capture order, i.e. ascending cycles):
+        // every strike then lands strictly after the fork point, which is
+        // exactly the snapshot determinism contract.
+        let fork_point = plan
+            .faults()
+            .iter()
+            .map(|f| f.strike_cycle)
+            .min()
+            .and_then(|first| snapshots.iter().take_while(|s| s.cycle() < first).last());
+        match fork_point {
+            Some(snap) => {
+                resume_compiled_with_faults(&compiled, snap, &plan).map(|r| (r, Some(snap.cycle())))
+            }
+            None => run_compiled_with_faults(&compiled, spec, &plan).map(|r| (r, None)),
+        }
     });
     let mut report = CampaignReport {
         runs: config.runs,
         ..CampaignReport::default()
     };
+    let mut fork = ForkStats::default();
     let mut records = Vec::with_capacity(config.runs * config.strikes_per_run);
     for (i, run) in runs.into_iter().enumerate() {
-        let run = run?;
+        let (run, forked_at) = run?;
+        match forked_at {
+            Some(cycle) => {
+                fork.hits += 1;
+                fork.prefix_cycles_saved += cycle;
+            }
+            None => fork.misses += 1,
+        }
         report.recoveries += run.outcome.stats.recoveries;
         report.detections += run.outcome.stats.detections;
         report.parity_detections += run.outcome.stats.parity_detections;
@@ -315,7 +404,7 @@ pub fn fault_campaign_records(
             report.post_completion as u64,
         );
     }
-    Ok((report, records))
+    Ok((report, records, fork))
 }
 
 #[cfg(test)]

@@ -3,7 +3,7 @@
 use crate::scheme::Scheme;
 use turnpike_compiler::{compile, CompileError, CompileOutput, CompilerConfig, PassStats};
 use turnpike_ir::Program;
-use turnpike_sim::{ClqKind, Core, FaultPlan, SimConfig, SimError, SimOutcome};
+use turnpike_sim::{ClqKind, Core, CoreSnapshot, FaultPlan, SimConfig, SimError, SimOutcome};
 
 /// A fully-specified run: scheme, platform knobs, and optional hardware
 /// overrides for the sensitivity studies.
@@ -22,6 +22,13 @@ pub struct RunSpec {
     /// detection latency, recovery penalty) into the run's stats and
     /// metrics. Recording never changes the timing model.
     pub histograms: bool,
+    /// Override the scheme's snapshot cadence
+    /// ([`SimConfig::snapshot_interval`]): `Some(interval)` replaces it,
+    /// `None` keeps the scheme default. Fault campaigns read the resulting
+    /// config to decide whether to fork strike runs from fault-free prefix
+    /// snapshots; `with_snapshot_interval(None)` forces the from-scratch
+    /// path. Snapshots never change any simulated outcome.
+    pub snapshot_override: Option<Option<u64>>,
 }
 
 impl RunSpec {
@@ -33,6 +40,7 @@ impl RunSpec {
             wcdl: 10,
             clq_override: None,
             histograms: false,
+            snapshot_override: None,
         }
     }
 
@@ -60,6 +68,16 @@ impl RunSpec {
         self
     }
 
+    /// Same spec with the snapshot cadence overridden: `Some(n)` captures a
+    /// fault-free prefix snapshot roughly every `n` cycles during campaign
+    /// golden runs, `None` disables snapshots (campaigns then simulate every
+    /// strike run from scratch). Either way the campaign output is
+    /// bit-identical — snapshots only change how much prefix work is redone.
+    pub fn with_snapshot_interval(mut self, interval: Option<u64>) -> Self {
+        self.snapshot_override = Some(interval);
+        self
+    }
+
     /// The compiler configuration this spec compiles under. Two specs with
     /// equal configurations produce identical machine code, which is what
     /// lets the evaluation engine share one compile across run points.
@@ -76,6 +94,9 @@ impl RunSpec {
             sc.war_free = !matches!(clq, ClqKind::Off) && sc.resilient;
         }
         sc.histograms = self.histograms;
+        if let Some(interval) = self.snapshot_override {
+            sc.snapshot_interval = interval;
+        }
         sc
     }
 }
@@ -204,6 +225,44 @@ pub fn run_compiled_with_faults(
     faults: &FaultPlan,
 ) -> Result<RunResult, RunError> {
     let outcome = Core::new(&compiled.program, spec.sim_config()).run_with_faults(faults)?;
+    Ok(RunResult::assemble(compiled, outcome))
+}
+
+/// Simulate an already-compiled program under `spec`, capturing a
+/// [`CoreSnapshot`] roughly every `interval` cycles. The result is
+/// bit-identical to [`run_compiled_with_faults`] with the same plan —
+/// capture is pure observation. Fault campaigns run the fault-free golden
+/// execution through this once and [`resume_compiled_with_faults`] each
+/// strike run from the latest usable snapshot.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_compiled_collecting_snapshots(
+    compiled: &CompileOutput,
+    spec: &RunSpec,
+    faults: &FaultPlan,
+    interval: u64,
+) -> Result<(RunResult, Vec<CoreSnapshot>), RunError> {
+    let (outcome, snaps) = Core::new(&compiled.program, spec.sim_config())
+        .run_collecting_snapshots(faults, interval)?;
+    Ok((RunResult::assemble(compiled, outcome), snaps))
+}
+
+/// Continue an already-compiled program from `snap` under a new fault plan.
+/// Bit-identical to the from-scratch run of the same plan provided every
+/// strike lands strictly after `snap.cycle()` (see the [`CoreSnapshot`]
+/// determinism contract).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn resume_compiled_with_faults(
+    compiled: &CompileOutput,
+    snap: &CoreSnapshot,
+    faults: &FaultPlan,
+) -> Result<RunResult, RunError> {
+    let outcome = Core::resume(&compiled.program, snap, faults)?;
     Ok(RunResult::assemble(compiled, outcome))
 }
 

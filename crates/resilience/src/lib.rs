@@ -34,12 +34,13 @@ pub mod preset;
 pub mod scheme;
 
 pub use campaign::{
-    fault_campaign, fault_campaign_par, fault_campaign_records, write_strike_records,
-    CampaignConfig, CampaignReport, StrikeOutcome, StrikeRecord,
+    fault_campaign, fault_campaign_forked, fault_campaign_par, fault_campaign_records,
+    write_strike_records, CampaignConfig, CampaignReport, ForkStats, StrikeOutcome, StrikeRecord,
 };
 pub use driver::{
-    geomean, run_compiled, run_compiled_with_faults, run_custom, run_kernel,
-    run_kernel_with_faults, RunError, RunResult, RunSpec,
+    geomean, resume_compiled_with_faults, run_compiled, run_compiled_collecting_snapshots,
+    run_compiled_with_faults, run_custom, run_kernel, run_kernel_with_faults, RunError, RunResult,
+    RunSpec,
 };
 pub use par::par_map;
 pub use preset::{AblationKnob, LadderRung, ABLATION, COLOR_POOLS, COLOR_WCDLS, LADDER};

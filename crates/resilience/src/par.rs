@@ -8,9 +8,54 @@
 //! order regardless of thread count or scheduling — callers get byte-stable
 //! output for any `threads`.
 
+use std::cell::UnsafeCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A result buffer workers write into without synchronization.
+///
+/// Soundness rests on slot disjointness: the atomic work index hands each
+/// index to exactly one worker, so no two threads ever touch the same slot,
+/// and the caller only reads the slots after `thread::scope` has joined
+/// every worker. A `Mutex` here would serialize result writes across
+/// workers for no benefit — there is nothing to contend on. The slots hold
+/// `Option<R>` (not `MaybeUninit`) so a panic mid-campaign drops the
+/// results that did land instead of leaking them.
+struct Slots<R> {
+    cells: Box<[UnsafeCell<Option<R>>]>,
+}
+
+// SAFETY: workers access disjoint cells (see above), never the same cell
+// from two threads.
+unsafe impl<R: Send> Sync for Slots<R> {}
+
+impl<R> Slots<R> {
+    fn new(len: usize) -> Self {
+        Slots {
+            cells: (0..len).map(|_| UnsafeCell::new(None)).collect(),
+        }
+    }
+
+    /// Write the result for `i`. Caller must be the unique owner of index
+    /// `i` (handed out by the atomic work index) while workers run.
+    unsafe fn write(&self, i: usize, value: R) {
+        *self.cells[i].get() = Some(value);
+    }
+
+    /// Move every result out, in slot order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any slot was never written.
+    fn take(self) -> Vec<R> {
+        self.cells
+            .into_vec()
+            .into_iter()
+            .map(|c| c.into_inner().expect("every slot filled"))
+            .collect()
+    }
+}
 
 /// Apply `f` to every item, using up to `threads` worker threads, and
 /// return the results in input order. `f` receives `(index, &item)`.
@@ -34,7 +79,10 @@ where
     }
     let workers = threads.min(items.len());
     let next = AtomicUsize::new(0);
-    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    // Counts landed results so the post-join sanity check can assert the
+    // no-panic case really filled every slot.
+    let filled = AtomicUsize::new(0);
+    let slots: Slots<R> = Slots::new(items.len());
     let panicked: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -44,7 +92,12 @@ where
                     return;
                 }
                 match catch_unwind(AssertUnwindSafe(|| f(i, &items[i]))) {
-                    Ok(r) => slots.lock().expect("slots poisoned")[i] = Some(r),
+                    // SAFETY: `i` came from the atomic counter, so this
+                    // worker exclusively owns slot `i` and writes it once.
+                    Ok(r) => unsafe {
+                        slots.write(i, r);
+                        filled.fetch_add(1, Ordering::Release);
+                    },
                     Err(e) => {
                         // First panic wins; park the payload and stop all
                         // workers by exhausting the index.
@@ -62,12 +115,9 @@ where
     if let Some(e) = panicked.into_inner().expect("panic slot poisoned") {
         resume_unwind(e);
     }
-    slots
-        .into_inner()
-        .expect("slots poisoned")
-        .into_iter()
-        .map(|r| r.expect("every slot filled"))
-        .collect()
+    let n = filled.load(Ordering::Acquire);
+    assert_eq!(n, items.len(), "no panic, so every slot was filled");
+    slots.take()
 }
 
 #[cfg(test)]
@@ -105,5 +155,21 @@ mod tests {
             })
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn drops_are_balanced_on_success() {
+        // Heap-owning results surface double-frees or leaks under the
+        // unsafe slot writes; run a shape where every slot is a Vec.
+        let items: Vec<usize> = (0..64).collect();
+        let out = par_map(&items, 8, |i, _| vec![i; 3]);
+        assert_eq!(out.len(), 64);
+        assert!(out.iter().enumerate().all(|(i, v)| v == &vec![i; 3]));
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        let items: Vec<u32> = (0..3).collect();
+        assert_eq!(par_map(&items, 16, |_, &x| x * 2), vec![0, 2, 4]);
     }
 }

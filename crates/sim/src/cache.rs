@@ -5,12 +5,24 @@
 //! write-allocate, matching the configured L1D/L2 hierarchy.
 
 /// One set-associative, LRU, tag-only cache level.
+///
+/// Lines live in one flat `num_sets * ways` array with a per-set occupancy
+/// count instead of a `Vec` per set: accesses index a contiguous slice, and
+/// cloning the whole cache — which the core's snapshot API does per capture
+/// and per fork — is two `memcpy`s instead of one allocation per set.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    sets: Vec<Vec<CacheLine>>,
+    /// Flat line storage; set `s` owns `lines[s * ways .. (s + 1) * ways]`,
+    /// of which the first `occ[s]` slots are valid.
+    lines: Box<[CacheLine]>,
+    /// Valid lines per set (fill order; eviction keeps slots dense).
+    occ: Box<[u32]>,
     ways: usize,
-    line_bytes: u64,
-    num_sets: u64,
+    /// `log2(line_bytes)`: every geometry knob is a power of two, so the
+    /// per-access line/set/tag split is shifts and a mask, not division.
+    line_shift: u32,
+    set_shift: u32,
+    set_mask: u64,
     hits: u64,
     misses: u64,
 }
@@ -26,15 +38,23 @@ impl Cache {
     ///
     /// # Panics
     ///
-    /// Panics if the geometry does not divide into at least one set.
+    /// Panics if the geometry does not divide into at least one
+    /// power-of-two set count (line size must be a power of two as well).
     pub fn new(bytes: u64, ways: u32, line_bytes: u64) -> Self {
         let num_sets = bytes / line_bytes / ways as u64;
         assert!(num_sets > 0, "cache too small for its geometry");
+        assert!(
+            line_bytes.is_power_of_two() && num_sets.is_power_of_two(),
+            "cache geometry must be a power of two"
+        );
         Cache {
-            sets: vec![Vec::new(); num_sets as usize],
+            lines: vec![CacheLine { tag: 0, lru: 0 }; (num_sets * ways as u64) as usize]
+                .into_boxed_slice(),
+            occ: vec![0; num_sets as usize].into_boxed_slice(),
             ways: ways as usize,
-            line_bytes,
-            num_sets,
+            line_shift: line_bytes.trailing_zeros(),
+            set_shift: num_sets.trailing_zeros(),
+            set_mask: num_sets - 1,
             hits: 0,
             misses: 0,
         }
@@ -43,18 +63,20 @@ impl Cache {
     /// Access `addr` at logical time `now`; returns `true` on hit.
     /// Misses allocate (write-allocate for stores, fill for loads).
     pub fn access(&mut self, addr: u64, now: u64) -> bool {
-        let line = addr / self.line_bytes;
-        let set_idx = (line % self.num_sets) as usize;
-        let tag = line / self.num_sets;
-        let set = &mut self.sets[set_idx];
+        let line = addr >> self.line_shift;
+        let set_idx = (line & self.set_mask) as usize;
+        let tag = line >> self.set_shift;
+        let occ = self.occ[set_idx] as usize;
+        let set = &mut self.lines[set_idx * self.ways..set_idx * self.ways + occ];
         if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
             l.lru = now;
             self.hits += 1;
             return true;
         }
         self.misses += 1;
-        if set.len() < self.ways {
-            set.push(CacheLine { tag, lru: now });
+        if occ < self.ways {
+            self.lines[set_idx * self.ways + occ] = CacheLine { tag, lru: now };
+            self.occ[set_idx] += 1;
         } else {
             let victim = set.iter_mut().min_by_key(|l| l.lru).expect("nonempty set");
             *victim = CacheLine { tag, lru: now };

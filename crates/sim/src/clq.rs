@@ -60,7 +60,12 @@ impl ClqStats {
 }
 
 /// Common interface of the CLQ designs.
-pub trait Clq {
+///
+/// `Send + Sync` because a CLQ rides inside [`crate::CoreSnapshot`]s,
+/// which fault campaigns share across worker threads; every design is
+/// plain data. [`Clq::boxed_clone`] makes the
+/// trait object cloneable for the same snapshot machinery.
+pub trait Clq: std::fmt::Debug + Send + Sync {
     /// Record a committed load in the current region.
     fn record_load(&mut self, addr: u64, region_seq: u64);
     /// Check (and count) whether a store may bypass verification.
@@ -73,6 +78,14 @@ pub trait Clq {
     fn on_recovery(&mut self);
     /// Collected statistics.
     fn stats(&self) -> ClqStats;
+    /// Clone the design behind the trait object (snapshot support).
+    fn boxed_clone(&self) -> Box<dyn Clq>;
+}
+
+impl Clone for Box<dyn Clq> {
+    fn clone(&self) -> Self {
+        self.boxed_clone()
+    }
 }
 
 /// A CLQ that never exists: every store is quarantined (Turnstile).
@@ -92,6 +105,10 @@ impl Clq for NoClq {
     fn on_recovery(&mut self) {}
     fn stats(&self) -> ClqStats {
         self.stats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Clq> {
+        Box::new(self.clone())
     }
 }
 
@@ -148,6 +165,10 @@ impl Clq for IdealClq {
 
     fn stats(&self) -> ClqStats {
         self.stats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Clq> {
+        Box::new(self.clone())
     }
 }
 
@@ -246,6 +267,10 @@ impl Clq for CompactClq {
     fn stats(&self) -> ClqStats {
         self.stats
     }
+
+    fn boxed_clone(&self) -> Box<dyn Clq> {
+        Box::new(self.clone())
+    }
 }
 
 /// Bounded content-addressed CLQ: exact address matching like the ideal
@@ -330,6 +355,10 @@ impl Clq for CamClq {
 
     fn stats(&self) -> ClqStats {
         self.stats
+    }
+
+    fn boxed_clone(&self) -> Box<dyn Clq> {
+        Box::new(self.clone())
     }
 }
 

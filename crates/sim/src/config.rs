@@ -74,6 +74,14 @@ pub struct SimConfig {
     /// default: disabled runs skip every recording site behind one `None`
     /// check, and the timing model is identical either way.
     pub histograms: bool,
+    /// Snapshot cadence (cycles) for fault campaigns: the fault-free golden
+    /// run captures a copy-on-write [`CoreSnapshot`](crate::CoreSnapshot)
+    /// at this interval and every strike run forks from the latest snapshot
+    /// before its strike instead of replaying the prefix. `None` runs every
+    /// campaign simulation from cycle 0 (the from-scratch reference path).
+    /// Ordinary (non-campaign) runs never capture snapshots, so this knob
+    /// cannot affect any simulation outcome.
+    pub snapshot_interval: Option<u64>,
 }
 
 impl SimConfig {
@@ -102,6 +110,7 @@ impl SimConfig {
             cycle_limit: 2_000_000_000,
             recovery_flush_cycles: 5,
             histograms: false,
+            snapshot_interval: Some(512),
         }
     }
 

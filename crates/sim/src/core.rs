@@ -24,6 +24,7 @@ use crate::clq::{build_clq, Clq};
 use crate::coloring::Coloring;
 use crate::config::{ClqKind, SimConfig};
 use crate::fault::{Fault, FaultKind, FaultPlan};
+use crate::mem::PagedMem;
 use crate::rbb::Rbb;
 use crate::stats::{SimHists, SimStats};
 use crate::store_buffer::{EntryKind, SbEntry, StoreBuffer};
@@ -88,8 +89,8 @@ pub struct Core<'a> {
     parity_bad: [bool; NUM_PHYS_REGS as usize],
     /// Taint from datapath corruption (wrong value, valid parity).
     tainted: [bool; NUM_PHYS_REGS as usize],
-    memory: BTreeMap<u64, i64>,
-    ckpt_memory: BTreeMap<u64, i64>,
+    memory: PagedMem,
+    ckpt_memory: PagedMem,
     caches: Hierarchy,
     sb: StoreBuffer,
     rbb: Rbb,
@@ -122,17 +123,84 @@ pub struct Core<'a> {
     /// Latency histograms ([`SimConfig::histograms`]); `None` keeps every
     /// recording site a single branch.
     hists: Option<Box<SimHists>>,
+    /// Earliest cycle at which [`Core::settle`] can have any effect (the
+    /// front RBB verification point or front SB release, whichever comes
+    /// first). Settle calls below this are one compare; 0 forces the full
+    /// path, which recomputes it. Derived state: mutation sites that end a
+    /// region or rebuild the RBB/SB reset it to 0.
+    settle_due: u64,
+    /// Snapshot cadence in cycles; 0 disables capture (every run except
+    /// [`Core::run_collecting_snapshots`]). Doubles when thinning kicks in.
+    snap_every: u64,
+    /// Next cycle at or after which a snapshot is captured.
+    next_snap: u64,
+    /// Captured snapshots, in cycle order.
+    snapshots: Vec<CoreSnapshot>,
+}
+
+/// Full microarchitectural state of a [`Core`] at the top of an issue-loop
+/// iteration, captured by [`Core::run_collecting_snapshots`] and resumed by
+/// [`Core::resume`].
+///
+/// Cloning is cheap: the functional memories share pages copy-on-write
+/// ([`PagedMem`]), and everything else is flat data. Snapshots are
+/// `Send + Sync`, so a fault campaign can fork many runs from one snapshot
+/// across worker threads.
+///
+/// # Determinism contract
+///
+/// A snapshot taken during a fault-free run at cycle `C` lies on the
+/// execution path of *any* fault plan whose earliest strike is strictly
+/// after `C`: before the first strike `S`, no fault has fired, and the
+/// detection bound `min(strike + latency) >= S > C` never clamps a
+/// settle or redirects a stall, so the pre-strike state is identical to
+/// the fault-free prefix. [`Core::resume`] with such a plan therefore
+/// reproduces the from-scratch faulty run bit-for-bit — stats included,
+/// because the snapshot carries the prefix's stats and histograms.
+#[derive(Debug, Clone)]
+pub struct CoreSnapshot {
+    cfg: SimConfig,
+    regs: [i64; NUM_PHYS_REGS as usize],
+    reg_ready: [u64; NUM_PHYS_REGS as usize],
+    parity_bad: [bool; NUM_PHYS_REGS as usize],
+    tainted: [bool; NUM_PHYS_REGS as usize],
+    memory: PagedMem,
+    ckpt_memory: PagedMem,
+    caches: Hierarchy,
+    sb: StoreBuffer,
+    rbb: Rbb,
+    clq: Box<dyn Clq>,
+    coloring: Coloring,
+    stats: SimStats,
+    pending_detect: Vec<(u64, u64)>,
+    last_strike: Option<u64>,
+    pc: u64,
+    cycle: u64,
+    slots_left: u32,
+    mem_left: u32,
+    fetch_ready: u64,
+    pending_datapath: Option<u8>,
+    hists: Option<Box<SimHists>>,
+}
+
+impl CoreSnapshot {
+    /// The issue cycle the snapshot was captured at. Fault campaigns fork a
+    /// run from the latest snapshot whose cycle is strictly before the
+    /// run's earliest strike.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
 }
 
 impl<'a> Core<'a> {
     /// Build a core around a program.
     pub fn new(program: &'a MachProgram, cfg: SimConfig) -> Self {
-        let mut memory = BTreeMap::new();
+        let mut memory = PagedMem::new();
         for (i, w) in program.data.words.iter().enumerate() {
             memory.insert(program.data.base + i as u64 * 8, *w);
         }
         let mut regs = [0i64; NUM_PHYS_REGS as usize];
-        let mut ckpt_memory = BTreeMap::new();
+        let mut ckpt_memory = PagedMem::new();
         let mut coloring = Coloring::new(NUM_PHYS_REGS as usize, cfg.colors);
         for &(r, v) in &program.reg_init {
             regs[r.index()] = v;
@@ -177,6 +245,10 @@ impl<'a> Core<'a> {
             pending_datapath: None,
             sink: None,
             hists,
+            settle_due: 0,
+            snap_every: 0,
+            next_snap: 0,
+            snapshots: Vec::new(),
         }
     }
 
@@ -212,6 +284,12 @@ impl<'a> Core<'a> {
     ///
     /// See [`SimError`].
     pub fn run_with_faults(mut self, plan: &FaultPlan) -> Result<SimOutcome, SimError> {
+        self.start(plan)?;
+        self.run_loop()
+    }
+
+    /// Validate and install a fault plan, then arm the first issue cycle.
+    fn start(&mut self, plan: &FaultPlan) -> Result<(), SimError> {
         if plan
             .faults()
             .iter()
@@ -222,7 +300,96 @@ impl<'a> Core<'a> {
         self.faults = plan.faults().to_vec();
         self.slots_left = self.cfg.issue_width;
         self.mem_left = 1;
-        self.run_loop()
+        Ok(())
+    }
+
+    /// Run with fault injection, capturing a [`CoreSnapshot`] roughly every
+    /// `interval` cycles (at the top of the issue loop, so the event-skip
+    /// clock may overshoot a capture point; the next loop iteration takes
+    /// it). Snapshot count is bounded: past 128 live snapshots every other
+    /// one is dropped and the interval doubles, deterministically.
+    ///
+    /// Intended for fault-free golden runs: fault campaigns capture the
+    /// prefix once and [`Core::resume`] each strike run from the latest
+    /// snapshot strictly before its first strike. Capture is pure
+    /// observation — the outcome is identical to [`Core::run_with_faults`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_collecting_snapshots(
+        mut self,
+        plan: &FaultPlan,
+        interval: u64,
+    ) -> Result<(SimOutcome, Vec<CoreSnapshot>), SimError> {
+        self.start(plan)?;
+        self.snap_every = interval.max(1);
+        self.next_snap = self.snap_every;
+        let outcome = self.run_loop()?;
+        Ok((outcome, std::mem::take(&mut self.snapshots)))
+    }
+
+    /// Continue execution from `snap` under a new fault plan.
+    ///
+    /// Per the [`CoreSnapshot`] determinism contract, the outcome is
+    /// bit-identical to running the same plan from scratch provided every
+    /// strike cycle is strictly after `snap.cycle()` (debug-asserted).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn resume(
+        program: &'a MachProgram,
+        snap: &CoreSnapshot,
+        plan: &FaultPlan,
+    ) -> Result<SimOutcome, SimError> {
+        debug_assert!(
+            plan.faults().iter().all(|f| f.strike_cycle > snap.cycle),
+            "fork point must lie strictly before the first strike"
+        );
+        let mut core = Core {
+            cfg: snap.cfg.clone(),
+            program,
+            regs: snap.regs,
+            reg_ready: snap.reg_ready,
+            parity_bad: snap.parity_bad,
+            tainted: snap.tainted,
+            memory: snap.memory.clone(),
+            ckpt_memory: snap.ckpt_memory.clone(),
+            caches: snap.caches.clone(),
+            sb: snap.sb.clone(),
+            rbb: snap.rbb.clone(),
+            clq: snap.clq.clone(),
+            coloring: snap.coloring.clone(),
+            stats: snap.stats.clone(),
+            faults: Vec::new(),
+            next_fault: 0,
+            pending_detect: snap.pending_detect.clone(),
+            last_strike: snap.last_strike,
+            pc: snap.pc,
+            cycle: snap.cycle,
+            slots_left: snap.slots_left,
+            mem_left: snap.mem_left,
+            fetch_ready: snap.fetch_ready,
+            pending_datapath: snap.pending_datapath,
+            sink: None,
+            hists: snap.hists.clone(),
+            settle_due: 0,
+            snap_every: 0,
+            next_snap: 0,
+            snapshots: Vec::new(),
+        };
+        if plan
+            .faults()
+            .iter()
+            .any(|f| f.detect_latency > core.cfg.wcdl)
+        {
+            return Err(SimError::BadFaultPlan);
+        }
+        // Unlike `start`, slot budgets come from the snapshot (the capture
+        // point sits mid-cycle as far as slot accounting is concerned).
+        core.faults = plan.faults().to_vec();
+        core.run_loop()
     }
 
     /// Run without faults.
@@ -257,8 +424,13 @@ impl<'a> Core<'a> {
         Ok((outcome, trace))
     }
 
-    fn run_loop(mut self) -> Result<SimOutcome, SimError> {
+    fn run_loop(&mut self) -> Result<SimOutcome, SimError> {
         loop {
+            // Capture before any of the iteration's work so a resumed core
+            // entering this loop replays the iteration identically.
+            if self.snap_every != 0 && self.cycle >= self.next_snap {
+                self.capture_snapshot();
+            }
             if self.cycle > self.cfg.cycle_limit {
                 return Err(SimError::CycleLimit(self.cfg.cycle_limit));
             }
@@ -290,6 +462,46 @@ impl<'a> Core<'a> {
         }
     }
 
+    /// Record the current state into the snapshot list and schedule the
+    /// next capture. Bounds memory deterministically: past 128 snapshots,
+    /// every other one is dropped and the cadence doubles.
+    fn capture_snapshot(&mut self) {
+        self.snapshots.push(CoreSnapshot {
+            cfg: self.cfg.clone(),
+            regs: self.regs,
+            reg_ready: self.reg_ready,
+            parity_bad: self.parity_bad,
+            tainted: self.tainted,
+            memory: self.memory.clone(),
+            ckpt_memory: self.ckpt_memory.clone(),
+            caches: self.caches.clone(),
+            sb: self.sb.clone(),
+            rbb: self.rbb.clone(),
+            clq: self.clq.clone(),
+            coloring: self.coloring.clone(),
+            stats: self.stats.clone(),
+            pending_detect: self.pending_detect.clone(),
+            last_strike: self.last_strike,
+            pc: self.pc,
+            cycle: self.cycle,
+            slots_left: self.slots_left,
+            mem_left: self.mem_left,
+            fetch_ready: self.fetch_ready,
+            pending_datapath: self.pending_datapath,
+            hists: self.hists.clone(),
+        });
+        const CAP: usize = 128;
+        if self.snapshots.len() > CAP {
+            let mut keep = false;
+            self.snapshots.retain(|_| {
+                keep = !keep;
+                keep
+            });
+            self.snap_every *= 2;
+        }
+        self.next_snap = self.cycle + self.snap_every;
+    }
+
     /// Earliest pending or future error-detection instant. Verification and
     /// drains must never settle past this bound: a region whose verification
     /// point lies at or after a detection is not error-free.
@@ -309,12 +521,27 @@ impl<'a> Core<'a> {
 
     /// Lazy verification, SB drain, CLQ/coloring rotation up to `now`
     /// (clamped so no region verifies at or past a pending detection).
+    ///
+    /// Called several times per issued instruction, so the common "nothing
+    /// can verify or drain yet" case is a single compare against the cached
+    /// next event time; [`Core::settle_slow`] does the real work and
+    /// refreshes the cache.
+    #[inline]
     fn settle(&mut self, now: u64) {
+        if now < self.settle_due {
+            return;
+        }
+        self.settle_slow(now);
+    }
+
+    fn settle_slow(&mut self, now: u64) {
         if !self.cfg.resilient {
+            // The baseline core has nothing to settle, ever.
+            self.settle_due = u64::MAX;
             return;
         }
         let now = now.min(self.next_detection_bound());
-        for inst in self.rbb.verify_until(now) {
+        while let Some(inst) = self.rbb.verify_next(now) {
             let vt = inst.end_cycle.expect("ended") + self.cfg.wcdl;
             self.sb.mark_verified(inst.seq, vt);
             self.clq.on_region_verified(inst.seq);
@@ -327,9 +554,9 @@ impl<'a> Core<'a> {
                 h.verify_latency.record(vt.saturating_sub(inst.start_cycle));
             }
         }
-        let drained = self.sb.drain_until(now);
-        let emptied = !drained.is_empty();
-        for e in drained {
+        let mut emptied = false;
+        while let Some(e) = self.sb.drain_next(now) {
+            emptied = true;
             self.release_and_note(e, now);
         }
         if emptied {
@@ -339,6 +566,13 @@ impl<'a> Core<'a> {
                 seq: self.rbb.current_seq(),
             });
         }
+        // Nothing settles again until the front region's verification point
+        // passes or the front SB entry's release time arrives. The detection
+        // bound is deliberately not part of this: it only clamps, so when no
+        // event is due, a settle call is a no-op at any bound.
+        let verify_due = self.rbb.earliest_verify_time().map_or(u64::MAX, |v| v + 1);
+        let drain_due = self.sb.earliest_release().unwrap_or(u64::MAX);
+        self.settle_due = verify_due.min(drain_due);
     }
 
     /// Release one SB entry, narrating the release (SbRelease, plus a
@@ -464,6 +698,8 @@ impl<'a> Core<'a> {
         // so far are cured by the rollback).
         self.pending_detect
             .retain(|&(d, _)| d > now + self.cfg.wcdl);
+        // Recovery rebuilt the RBB and SB fronts.
+        self.settle_due = 0;
         // Execute the recovery block functionally, charging its cycles.
         let mut cost = self.cfg.recovery_flush_cycles;
         if let Some(block) = self.program.recovery.get(&target.static_id) {
@@ -509,8 +745,8 @@ impl<'a> Core<'a> {
 
     fn read_mem_for_recovery(&self, addr: MachAddr, resolved: u64) -> i64 {
         match addr {
-            MachAddr::CkptSlot(_) => self.ckpt_memory.get(&resolved).copied().unwrap_or(0),
-            _ => self.memory.get(&resolved).copied().unwrap_or(0),
+            MachAddr::CkptSlot(_) => self.ckpt_memory.get(resolved).unwrap_or(0),
+            _ => self.memory.get(resolved).unwrap_or(0),
         }
     }
 
@@ -736,8 +972,11 @@ impl<'a> Core<'a> {
                     // the RBB allocates as the marker passes commit, without
                     // consuming an issue slot (their cost is code size and
                     // RBB occupancy).
-                    let prior_all_verified = self.rbb.unverified_seqs().len() <= 1;
+                    let prior_all_verified = self.rbb.unverified_count() <= 1;
                     self.rbb.on_boundary(id, self.pc as u32 + 1, self.cycle);
+                    // The ended region gives the RBB front a verification
+                    // point the cached settle time doesn't know about.
+                    self.settle_due = 0;
                     let seq = self.rbb.current_seq();
                     self.clq.on_region_start(seq, prior_all_verified);
                     self.stats.boundaries += 1;
@@ -795,16 +1034,13 @@ impl<'a> Core<'a> {
     fn do_load(&mut self, addr: MachAddr, a: u64) -> (i64, u64) {
         if let MachAddr::CkptSlot(_) = addr {
             // Only recovery blocks use this mode; treat as L1 access.
-            return (
-                self.ckpt_memory.get(&a).copied().unwrap_or(0),
-                self.cfg.l1_hit,
-            );
+            return (self.ckpt_memory.get(a).unwrap_or(0), self.cfg.l1_hit);
         }
         if let Some(v) = self.sb.forward(a) {
             (v, 1) // store-to-load forwarding
         } else {
             let lat = self.caches.access(a, self.cycle);
-            (self.memory.get(&a).copied().unwrap_or(0), lat)
+            (self.memory.get(a).unwrap_or(0), lat)
         }
     }
 
@@ -916,7 +1152,7 @@ impl<'a> Core<'a> {
         Ok(true)
     }
 
-    fn finish(mut self, ret: Option<i64>) -> Result<SimOutcome, SimError> {
+    fn finish(&mut self, ret: Option<i64>) -> Result<SimOutcome, SimError> {
         // Verification tail: the last region ends at program completion and
         // verifies WCDL later; everything drains.
         let mut end = self.cycle;
@@ -935,6 +1171,7 @@ impl<'a> Core<'a> {
             }
             self.rbb
                 .on_boundary(turnpike_isa::RegionId(u32::MAX), self.pc as u32, t);
+            self.settle_due = 0;
             let tail = t + self.cfg.wcdl + 1;
             self.settle(tail + self.sb.len() as u64 + 2);
             let (rest, last) = self.sb.drain_all_scheduled();
@@ -954,9 +1191,9 @@ impl<'a> Core<'a> {
         self.stats.hists = self.hists.take();
         Ok(SimOutcome {
             ret,
-            memory: self.memory,
-            ckpt_memory: self.ckpt_memory,
-            stats: self.stats,
+            memory: self.memory.to_btree(),
+            ckpt_memory: self.ckpt_memory.to_btree(),
+            stats: std::mem::take(&mut self.stats),
         })
     }
 }

@@ -46,6 +46,7 @@ pub mod coloring;
 pub mod config;
 pub mod core;
 pub mod fault;
+pub mod mem;
 pub mod rbb;
 pub mod stats;
 pub mod store_buffer;
@@ -54,8 +55,9 @@ pub mod trace;
 pub use clq::{CamClq, Clq, ClqStats, CompactClq, IdealClq};
 pub use coloring::Coloring;
 pub use config::{ClqKind, SimConfig};
-pub use core::{Core, SimError, SimOutcome};
+pub use core::{Core, CoreSnapshot, SimError, SimOutcome};
 pub use fault::{Fault, FaultKind, FaultPlan};
+pub use mem::PagedMem;
 pub use rbb::Rbb;
 pub use stats::{SimHists, SimStats};
 pub use store_buffer::StoreBuffer;

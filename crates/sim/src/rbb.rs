@@ -27,9 +27,16 @@ pub struct RegionInstance {
 }
 
 /// The region boundary buffer.
+///
+/// The running instance lives in its own field rather than at the back of
+/// the deque: the simulator touches it once per committed instruction
+/// (`count_inst`) and on every trace/CLQ sequence lookup (`current_seq`),
+/// and a plain field keeps those on the hot path free of deque indexing.
 #[derive(Debug, Clone)]
 pub struct Rbb {
-    /// Unverified instances, oldest first; the last is the running one.
+    /// The running (not yet ended) instance.
+    cur: RegionInstance,
+    /// Ended-but-unverified instances, oldest first.
     live: VecDeque<RegionInstance>,
     capacity: usize,
     wcdl: u64,
@@ -46,17 +53,16 @@ impl Rbb {
     /// A new RBB holding at most `capacity` unverified instances, with the
     /// running region 0 starting at PC 0.
     pub fn new(capacity: u32, wcdl: u64) -> Self {
-        let mut live = VecDeque::new();
-        live.push_back(RegionInstance {
-            seq: 0,
-            static_id: RegionId(0),
-            entry_pc: 0,
-            start_cycle: 0,
-            end_cycle: None,
-            insts: 0,
-        });
         Rbb {
-            live,
+            cur: RegionInstance {
+                seq: 0,
+                static_id: RegionId(0),
+                entry_pc: 0,
+                start_cycle: 0,
+                end_cycle: None,
+                insts: 0,
+            },
+            live: VecDeque::new(),
             capacity: capacity as usize,
             wcdl,
             next_seq: 1,
@@ -67,23 +73,25 @@ impl Rbb {
     }
 
     /// Sequence number of the running instance.
+    #[inline]
     pub fn current_seq(&self) -> u64 {
-        self.live.back().expect("always a running instance").seq
+        self.cur.seq
     }
 
     /// The running instance.
     pub fn current(&self) -> &RegionInstance {
-        self.live.back().expect("always a running instance")
+        &self.cur
     }
 
     /// Count an instruction against the running instance.
+    #[inline]
     pub fn count_inst(&mut self) {
-        self.live.back_mut().expect("running").insts += 1;
+        self.cur.insts += 1;
     }
 
     /// Whether a boundary can commit (room for one more instance).
     pub fn has_room(&self) -> bool {
-        self.live.len() < self.capacity
+        self.live.len() + 1 < self.capacity
     }
 
     /// Earliest verification time of the oldest unverified *ended* instance
@@ -103,20 +111,20 @@ impl Rbb {
     /// Panics on overflow.
     pub fn on_boundary(&mut self, static_id: RegionId, entry_pc: u32, cycle: u64) {
         assert!(self.has_room(), "RBB overflow: caller must stall");
-        let cur = self.live.back_mut().expect("running");
-        cur.end_cycle = Some(cycle);
-        self.insts_sum += cur.insts;
+        self.cur.end_cycle = Some(cycle);
+        self.insts_sum += self.cur.insts;
         self.completed += 1;
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.live.push_back(RegionInstance {
+        self.live.push_back(self.cur);
+        self.cur = RegionInstance {
             seq,
             static_id,
             entry_pc,
             start_cycle: cycle,
             end_cycle: None,
             insts: 0,
-        });
+        };
     }
 
     /// Verify every ended instance whose `end + WCDL` is strictly before
@@ -124,36 +132,53 @@ impl Rbb {
     /// Returns the verified instances.
     pub fn verify_until(&mut self, now: u64) -> Vec<RegionInstance> {
         let mut out = Vec::new();
-        while let Some(front) = self.live.front() {
-            match front.end_cycle {
-                Some(e) if e + self.wcdl < now => {
-                    out.push(self.live.pop_front().expect("front"));
-                    self.verified_count += 1;
-                }
-                _ => break,
-            }
+        while let Some(inst) = self.verify_next(now) {
+            out.push(inst);
         }
         out
+    }
+
+    /// Pop the oldest instance whose verification point has passed by
+    /// `now`, if any — the allocation-free form of [`Rbb::verify_until`]
+    /// for the simulator's per-instruction settle loop.
+    pub fn verify_next(&mut self, now: u64) -> Option<RegionInstance> {
+        match self.live.front()?.end_cycle {
+            Some(e) if e + self.wcdl < now => {
+                self.verified_count += 1;
+                self.live.pop_front()
+            }
+            _ => None,
+        }
     }
 
     /// Error detected at `now`: the oldest unverified instance is the
     /// recovery target. Returns it; all younger instances are squashed and
     /// the target becomes the (restarted) running instance.
     pub fn recover(&mut self, now: u64) -> RegionInstance {
-        let mut target = *self.live.front().expect("running instance exists");
+        let mut target = *self.live.front().unwrap_or(&self.cur);
         // Restart: the target runs again; younger instances vanish.
         target.end_cycle = None;
         target.insts = 0;
         target.start_cycle = now;
         self.live.clear();
-        self.live.push_back(target);
+        self.cur = target;
         target
     }
 
-    /// All ended-but-unverified instance sequence numbers (used to decide
-    /// which SB entries / colors to squash).
+    /// All unverified instance sequence numbers, oldest first, the running
+    /// instance last (used to decide which SB entries / colors to squash).
     pub fn unverified_seqs(&self) -> Vec<u64> {
-        self.live.iter().map(|r| r.seq).collect()
+        self.live
+            .iter()
+            .map(|r| r.seq)
+            .chain(std::iter::once(self.cur.seq))
+            .collect()
+    }
+
+    /// Number of unverified instances, counting the running one (the length
+    /// of [`Rbb::unverified_seqs`] without materializing it).
+    pub fn unverified_count(&self) -> usize {
+        self.live.len() + 1
     }
 
     /// Average dynamic instructions per completed region.

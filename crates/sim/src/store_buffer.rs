@@ -174,13 +174,20 @@ impl StoreBuffer {
     /// Returns the released entries.
     pub fn drain_until(&mut self, now: u64) -> Vec<SbEntry> {
         let mut out = Vec::new();
-        while let Some(front) = self.entries.front() {
-            match front.release_at {
-                Some(t) if t <= now => out.push(self.entries.pop_front().expect("front")),
-                _ => break,
-            }
+        while let Some(e) = self.drain_next(now) {
+            out.push(e);
         }
         out
+    }
+
+    /// Pop the oldest entry whose release time has arrived, if any — the
+    /// allocation-free form of [`StoreBuffer::drain_until`] for the
+    /// simulator's per-instruction settle loop.
+    pub fn drain_next(&mut self, now: u64) -> Option<SbEntry> {
+        match self.entries.front()?.release_at {
+            Some(t) if t <= now => self.entries.pop_front(),
+            _ => None,
+        }
     }
 
     /// Earliest cycle at which a slot will free up, given current release
