@@ -3,6 +3,9 @@
 //! ```text
 //! reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]
 //! reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]
+//! reproduce serve [--addr A] [--workers N] [--queue N] [--store DIR] ...
+//! reproduce submit [--addr A | --direct] [--kind K] [job fields] ...
+//! reproduce loadgen [--addr A] [--clients N] [--jobs N] [job fields] ...
 //! reproduce --list
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
@@ -12,10 +15,22 @@
 //! `--list` prints every target with the paper figure/table it reproduces.
 //! `--smoke` runs the reduced-size kernels (fast; used by CI); the default
 //! is full evaluation scale. `--json` prints machine-readable output.
-//! `--threads N` caps the evaluation engine's worker threads (default: all
-//! hardware threads); stdout is byte-identical at any thread count.
-//! `--no-cache` disables the engine's compile/run memoization (the seed
-//! harness's behavior, kept for perf comparisons).
+//! `--threads N` caps the evaluation engine's worker threads and must be
+//! at least 1 (default: all hardware threads); stdout is byte-identical at
+//! any thread count. `--no-cache` disables the engine's compile/run
+//! memoization (the seed harness's behavior, kept for perf comparisons).
+//!
+//! `serve` runs the batch job server (`turnpike-serve`): line-delimited
+//! JSON over TCP, bounded queue with typed `overloaded` rejections,
+//! worker pool over the shared evaluation engine, optional persistent
+//! artifact store (`--store DIR`, shared with `submit --direct`), graceful
+//! drain on a client `shutdown` request. The bound address is printed to
+//! stdout. `submit` sends one compile/run/campaign/figure job (or
+//! `--stats`/`--shutdown`) and prints the result payload to stdout —
+//! byte-identical whether served or executed locally via `--direct`.
+//! `loadgen` saturates a server with `--clients` concurrent connections,
+//! proves exactly-once delivery by tag accounting, and records
+//! throughput plus p50/p99 latency into `BENCH_reproduce.json`.
 //!
 //! `trace` exports one kernel's resilience-event timeline under a scheme
 //! (default `turnpike`; see `Scheme::cli_name` for the ladder names) as
@@ -32,117 +47,17 @@
 //! is tracked over time. Timing goes there and to stderr, never to stdout.
 
 use std::process::ExitCode;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 use turnpike_bench::{
-    ablation, clq_designs, colors, export_trace, fault_probe_metrics, fig14, fig15, fig18, fig19,
-    fig20, fig21, fig22, fig23, fig24, fig25, fig26, fig4, find_kernel, hist_summary_json,
-    json_string, summary, table1, Engine, Table, TraceFormat,
+    export_trace, fault_probe_metrics, find_kernel, hist_summary_json, json_string, target_by_name,
+    Engine, EngineExecutor, Table, Target, TraceFormat, TARGETS,
 };
 use turnpike_metrics::{Hist, MetricSet};
 use turnpike_resilience::{par_map, RunSpec, Scheme};
+use turnpike_serve::{
+    loadgen, Client, JobKind, JobRequest, LoadgenConfig, Outcome, Server, ServerConfig, Store,
+};
 use turnpike_workloads::Scale;
-
-/// One reproducible figure/table: its CLI name, the paper artifact it
-/// regenerates, and its generator. This registry is the single source for
-/// dispatch, `--list`, the usage message, and what `all` expands to.
-struct Target {
-    name: &'static str,
-    paper_ref: &'static str,
-    generate: fn(&Engine, Scale) -> Table,
-}
-
-/// Every target, in `all` output order.
-const TARGETS: [Target; 17] = [
-    Target {
-        name: "ablation",
-        paper_ref: "§6 ablation: Turnpike minus one technique at a time",
-        generate: ablation,
-    },
-    Target {
-        name: "fig4",
-        paper_ref: "Figure 4: checkpoint/instruction ratio, 40- vs 4-entry SB",
-        generate: fig4,
-    },
-    Target {
-        name: "fig14",
-        paper_ref: "Figure 14: ideal vs compact CLQ runtime overhead",
-        generate: fig14,
-    },
-    Target {
-        name: "fig15",
-        paper_ref: "Figure 15: stores detected WAR-free, ideal vs compact CLQ",
-        generate: fig15,
-    },
-    Target {
-        name: "fig18",
-        paper_ref: "Figure 18: detection latency vs deployed acoustic sensors",
-        generate: |_, _| fig18(),
-    },
-    Target {
-        name: "fig19",
-        paper_ref: "Figure 19: Turnpike normalized time across WCDL 10..50",
-        generate: fig19,
-    },
-    Target {
-        name: "fig20",
-        paper_ref: "Figure 20: Turnstile normalized time across WCDL 10..50",
-        generate: fig20,
-    },
-    Target {
-        name: "fig21",
-        paper_ref: "Figure 21: eight-configuration optimization ladder",
-        generate: fig21,
-    },
-    Target {
-        name: "fig22",
-        paper_ref: "Figure 22: store-buffer size sensitivity at WCDL 10",
-        generate: fig22,
-    },
-    Target {
-        name: "fig23",
-        paper_ref: "Figure 23: breakdown of all stores into release categories",
-        generate: fig23,
-    },
-    Target {
-        name: "fig24",
-        paper_ref: "Figure 24: avg/max dynamic CLQ entries populated",
-        generate: fig24,
-    },
-    Target {
-        name: "fig25",
-        paper_ref: "Figure 25: 2- vs 4-entry compact CLQ normalized time",
-        generate: fig25,
-    },
-    Target {
-        name: "fig26",
-        paper_ref: "Figure 26: dynamic region size and code-size increase",
-        generate: fig26,
-    },
-    Target {
-        name: "table1",
-        paper_ref: "Table 1: hardware cost comparison (area/energy, 22 nm)",
-        generate: |_, _| table1(),
-    },
-    Target {
-        name: "colors",
-        paper_ref: "extension: checkpoint color-pool sizing sweep",
-        generate: colors,
-    },
-    Target {
-        name: "clq",
-        paper_ref: "extension: three CLQ designs side by side (§4.3.1)",
-        generate: clq_designs,
-    },
-    Target {
-        name: "summary",
-        paper_ref: "digest: headline geomeans of every scheme",
-        generate: summary,
-    },
-];
-
-fn target_by_name(name: &str) -> Option<&'static Target> {
-    TARGETS.iter().find(|t| t.name == name)
-}
 
 /// The target list rendered from the registry, one aligned line per target.
 fn target_listing() -> String {
@@ -167,11 +82,42 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
          \x20      reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]\n\
+         \x20      reproduce serve [--addr A] [--workers N] [--queue N] [--timeout-secs N]\n\
+         \x20                      [--store DIR] [--threads N] [--trace-out FILE]\n\
+         \x20      reproduce submit [--addr A | --direct [--store DIR] [--threads N]] [--kind K]\n\
+         \x20                       [--kernel K] [--scheme S] [--scale smoke|full] [--sb N] [--wcdl N]\n\
+         \x20                       [--runs N] [--seed N] [--strikes N] [--target T] [--tag T]\n\
+         \x20      reproduce submit [--addr A] --stats|--shutdown\n\
+         \x20      reproduce loadgen [--addr A] [--clients N] [--jobs N] [--max-retries N] [job fields]\n\
          \x20      reproduce --list\n\
+         options:\n\
+         \x20 --threads N  evaluation worker threads, N >= 1 (default: all hardware threads)\n\
          targets:\n{}",
         target_listing()
     );
     ExitCode::from(2)
+}
+
+/// Parse the value of `--threads`: a positive thread count, with a clear
+/// message on anything else (`0` silently meaning "default" was a trap).
+fn parse_threads(v: Option<&String>) -> Result<usize, ExitCode> {
+    match v.map(|s| s.parse::<usize>()) {
+        Some(Ok(n)) if n >= 1 => Ok(n),
+        _ => {
+            eprintln!(
+                "reproduce: --threads must be an integer >= 1 \
+                 (default: all hardware threads, {} here)",
+                default_threads()
+            );
+            Err(ExitCode::from(2))
+        }
+    }
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
 }
 
 /// `reproduce trace <kernel> [--scheme S] [--smoke|--full] [--format F]
@@ -252,6 +198,349 @@ fn trace_main(args: &[String]) -> ExitCode {
             );
         }
         None => print!("{text}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// Default server address shared by `submit` and `loadgen` (`serve`
+/// defaults to port 0 — OS-assigned — and prints the bound address).
+const DEFAULT_ADDR: &str = "127.0.0.1:8642";
+
+/// Consume one job-shaped flag into `req`. `Ok(true)` when `flag` was a
+/// job field (its value consumed), `Ok(false)` when it belongs to the
+/// caller, `Err` on a bad value.
+fn job_flag(req: &mut JobRequest, flag: &str, value: Option<&String>) -> Result<bool, String> {
+    let need = |v: Option<&String>| v.cloned().ok_or_else(|| format!("{flag} needs a value"));
+    let need_u64 = |v: Option<&String>| {
+        need(v)?
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} needs a non-negative integer"))
+    };
+    match flag {
+        "--kind" => {
+            let v = need(value)?;
+            req.kind = JobKind::parse(&v)
+                .ok_or_else(|| format!("--kind takes compile|run|campaign|figure, got '{v}'"))?;
+        }
+        "--kernel" => req.kernel = need(value)?,
+        "--scheme" => req.scheme = need(value)?,
+        "--scale" => req.scale = need(value)?,
+        "--sb" => {
+            req.sb =
+                u32::try_from(need_u64(value)?).map_err(|_| "--sb out of range".to_string())?;
+        }
+        "--wcdl" => req.wcdl = need_u64(value)?,
+        "--runs" => req.runs = need_u64(value)?,
+        "--seed" => req.seed = need_u64(value)?,
+        "--strikes" => req.strikes = need_u64(value)?,
+        "--target" => req.target = need(value)?,
+        "--tag" => req.tag = need(value)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
+/// `reproduce serve` — run the job server until a client sends `shutdown`.
+fn serve_main(args: &[String]) -> ExitCode {
+    let mut config = ServerConfig::default();
+    let mut threads = default_threads();
+    let mut store: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => config.addr = v.clone(),
+                None => return usage(),
+            },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.workers = n,
+                _ => {
+                    eprintln!("reproduce serve: --workers must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--queue" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.queue_capacity = n,
+                _ => {
+                    eprintln!("reproduce serve: --queue must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timeout-secs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => config.job_timeout = Duration::from_secs(n),
+                _ => {
+                    eprintln!("reproduce serve: --timeout-secs must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--store" => match it.next() {
+                Some(v) => store = Some(v.clone()),
+                None => return usage(),
+            },
+            "--trace-out" => match it.next() {
+                Some(v) => config.trace_path = Some(v.into()),
+                None => return usage(),
+            },
+            "--threads" => match parse_threads(it.next()) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
+            _ => return usage(),
+        }
+    }
+    let mut executor = EngineExecutor::new(Engine::new(threads));
+    if let Some(dir) = &store {
+        executor = executor.with_store(Store::open(dir));
+    }
+    let server = match Server::start(config.clone(), std::sync::Arc::new(executor)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("reproduce serve: bind {}: {e}", config.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    // The bound address goes to stdout (and nothing else does) so scripts
+    // using --addr 127.0.0.1:0 can discover the OS-assigned port.
+    println!("serving {}", server.addr());
+    use std::io::Write;
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "# serve: {} workers, queue {}, timeout {}s, {} engine threads, store {}",
+        config.workers,
+        config.queue_capacity,
+        config.job_timeout.as_secs(),
+        threads,
+        store.as_deref().unwrap_or("off"),
+    );
+    server.join();
+    eprintln!("# serve: drained and shut down");
+    ExitCode::SUCCESS
+}
+
+/// `reproduce submit` — send one job (or `--stats`/`--shutdown`) to a
+/// server, or run it locally with `--direct` through the exact same
+/// executor and artifact store.
+fn submit_main(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut req = JobRequest::new(JobKind::Run);
+    let mut direct = false;
+    let mut store: Option<String> = None;
+    let mut threads = default_threads();
+    let mut stats = false;
+    let mut shutdown = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.as_str();
+        match flag {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return usage(),
+            },
+            "--direct" => direct = true,
+            "--store" => match it.next() {
+                Some(v) => store = Some(v.clone()),
+                None => return usage(),
+            },
+            "--threads" => match parse_threads(it.next()) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
+            "--stats" => stats = true,
+            "--shutdown" => shutdown = true,
+            _ => {
+                // Two-phase because job_flag consumes the value.
+                let value = if flag.starts_with("--") {
+                    it.clone().next()
+                } else {
+                    None
+                };
+                match job_flag(&mut req, flag, value) {
+                    Ok(true) => {
+                        it.next();
+                    }
+                    Ok(false) | Err(_) if flag == "--help" => return usage(),
+                    Ok(false) => return usage(),
+                    Err(e) => {
+                        eprintln!("reproduce submit: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+    if stats || shutdown {
+        let mut client = match Client::connect(&addr) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("reproduce submit: connect {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let done = if stats {
+            client.stats().map(|body| println!("{body}"))
+        } else {
+            client
+                .shutdown()
+                .map(|()| eprintln!("# server is shutting down"))
+        };
+        return match done {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("reproduce submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    if direct {
+        let mut executor = EngineExecutor::new(Engine::new(threads));
+        if let Some(dir) = &store {
+            executor = executor.with_store(Store::open(dir));
+        }
+        return match executor.execute_direct(&req) {
+            Ok(out) => {
+                println!("{}", out.result);
+                eprintln!("# store: {}", out.store.name());
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("reproduce submit: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut client = match Client::connect(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("reproduce submit: connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.submit_with(&req, |done, total| eprintln!("# progress: {done}/{total}")) {
+        Ok(Outcome::Done { job, store, result }) => {
+            println!("{result}");
+            eprintln!("# job {job} done, store: {store}");
+            ExitCode::SUCCESS
+        }
+        Ok(Outcome::Overloaded { retry_after_ms }) => {
+            eprintln!("reproduce submit: server overloaded, retry after {retry_after_ms} ms");
+            ExitCode::from(3)
+        }
+        Ok(Outcome::ShuttingDown) => {
+            eprintln!("reproduce submit: server is shutting down");
+            ExitCode::FAILURE
+        }
+        Ok(Outcome::Error { job, message }) => {
+            eprintln!("reproduce submit: job {job}: {message}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("reproduce submit: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `reproduce loadgen` — N concurrent clients against a server; prints the
+/// report and records throughput/latency percentiles in
+/// `BENCH_reproduce.json`. Fails if any job was lost or duplicated.
+fn loadgen_main(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut cfg = LoadgenConfig::default();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.as_str();
+        match flag {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return usage(),
+            },
+            "--clients" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.clients = n,
+                _ => {
+                    eprintln!("reproduce loadgen: --clients must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.jobs_per_client = n,
+                _ => {
+                    eprintln!("reproduce loadgen: --jobs must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.max_retries = n,
+                None => {
+                    eprintln!("reproduce loadgen: --max-retries must be an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => {
+                let value = if flag.starts_with("--") {
+                    it.clone().next()
+                } else {
+                    None
+                };
+                match job_flag(&mut cfg.request, flag, value) {
+                    Ok(true) => {
+                        it.next();
+                    }
+                    Ok(false) => return usage(),
+                    Err(e) => {
+                        eprintln!("reproduce loadgen: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+    let sock_addr = match std::net::ToSocketAddrs::to_socket_addrs(&addr.as_str())
+        .ok()
+        .and_then(|mut a| a.next())
+    {
+        Some(a) => a,
+        None => {
+            eprintln!("reproduce loadgen: bad address '{addr}'");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match loadgen(sock_addr, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reproduce loadgen: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let json = report.to_json();
+    println!("{json}");
+    eprintln!(
+        "# loadgen: {} clients x {} jobs, {} completed, {} overloaded rejections, \
+         {:.1} jobs/s, p50 {} us, p99 {} us",
+        cfg.clients,
+        cfg.jobs_per_client,
+        report.completed,
+        report.overloaded,
+        report.throughput(),
+        report.latency.quantile(0.50).round() as u64,
+        report.latency.quantile(0.99).round() as u64,
+    );
+    let record = format!(
+        "{{\n  \"target\": \"loadgen\",\n  \"addr\": {},\n  \"clients\": {},\n  \
+         \"jobs_per_client\": {},\n  \"report\": {}\n}}\n",
+        json_string(&addr),
+        cfg.clients,
+        cfg.jobs_per_client,
+        json
+    );
+    if let Err(e) = std::fs::write("BENCH_reproduce.json", record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
+    }
+    if report.lost > 0 || report.duplicated > 0 || report.errors > 0 {
+        eprintln!(
+            "reproduce loadgen: delivery violated exactly-once ({} lost, {} duplicated, {} errors)",
+            report.lost, report.duplicated, report.errors
+        );
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }
@@ -365,16 +654,18 @@ fn bench_json(
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) == Some("trace") {
-        return trace_main(&args[1..]);
+    match args.first().map(String::as_str) {
+        Some("trace") => return trace_main(&args[1..]),
+        Some("serve") => return serve_main(&args[1..]),
+        Some("submit") => return submit_main(&args[1..]),
+        Some("loadgen") => return loadgen_main(&args[1..]),
+        _ => {}
     }
     let mut target: Option<String> = None;
     let mut scale = Scale::Full;
     let mut json = false;
     let mut cache = true;
-    let mut threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1);
+    let mut threads = default_threads();
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -386,15 +677,10 @@ fn main() -> ExitCode {
             "--full" => scale = Scale::Full,
             "--json" => json = true,
             "--no-cache" => cache = false,
-            "--threads" => {
-                let Some(n) = it.next().and_then(|v| v.parse::<usize>().ok()) else {
-                    return usage();
-                };
-                if n == 0 {
-                    return usage();
-                }
-                threads = n;
-            }
+            "--threads" => match parse_threads(it.next()) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
             t if target.is_none() && !t.starts_with('-') => target = Some(t.to_string()),
             _ => return usage(),
         }

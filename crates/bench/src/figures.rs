@@ -600,6 +600,113 @@ pub fn clq_designs(engine: &Engine, scale: Scale) -> Table {
     t
 }
 
+/// One reproducible figure/table: its CLI name, the paper artifact it
+/// regenerates, and its generator. This registry is the single source for
+/// the `reproduce` binary's dispatch, `--list`, usage message, and what
+/// `all` expands to — and for the serving layer's `figure` jobs.
+pub struct Target {
+    /// CLI / wire name, e.g. `"fig19"`.
+    pub name: &'static str,
+    /// The paper artifact this regenerates.
+    pub paper_ref: &'static str,
+    /// Generator.
+    pub generate: fn(&Engine, Scale) -> Table,
+}
+
+/// Every target, in `all` output order.
+pub const TARGETS: [Target; 17] = [
+    Target {
+        name: "ablation",
+        paper_ref: "§6 ablation: Turnpike minus one technique at a time",
+        generate: ablation,
+    },
+    Target {
+        name: "fig4",
+        paper_ref: "Figure 4: checkpoint/instruction ratio, 40- vs 4-entry SB",
+        generate: fig4,
+    },
+    Target {
+        name: "fig14",
+        paper_ref: "Figure 14: ideal vs compact CLQ runtime overhead",
+        generate: fig14,
+    },
+    Target {
+        name: "fig15",
+        paper_ref: "Figure 15: stores detected WAR-free, ideal vs compact CLQ",
+        generate: fig15,
+    },
+    Target {
+        name: "fig18",
+        paper_ref: "Figure 18: detection latency vs deployed acoustic sensors",
+        generate: |_, _| fig18(),
+    },
+    Target {
+        name: "fig19",
+        paper_ref: "Figure 19: Turnpike normalized time across WCDL 10..50",
+        generate: fig19,
+    },
+    Target {
+        name: "fig20",
+        paper_ref: "Figure 20: Turnstile normalized time across WCDL 10..50",
+        generate: fig20,
+    },
+    Target {
+        name: "fig21",
+        paper_ref: "Figure 21: eight-configuration optimization ladder",
+        generate: fig21,
+    },
+    Target {
+        name: "fig22",
+        paper_ref: "Figure 22: store-buffer size sensitivity at WCDL 10",
+        generate: fig22,
+    },
+    Target {
+        name: "fig23",
+        paper_ref: "Figure 23: breakdown of all stores into release categories",
+        generate: fig23,
+    },
+    Target {
+        name: "fig24",
+        paper_ref: "Figure 24: avg/max dynamic CLQ entries populated",
+        generate: fig24,
+    },
+    Target {
+        name: "fig25",
+        paper_ref: "Figure 25: 2- vs 4-entry compact CLQ normalized time",
+        generate: fig25,
+    },
+    Target {
+        name: "fig26",
+        paper_ref: "Figure 26: dynamic region size and code-size increase",
+        generate: fig26,
+    },
+    Target {
+        name: "table1",
+        paper_ref: "Table 1: hardware cost comparison (area/energy, 22 nm)",
+        generate: |_, _| table1(),
+    },
+    Target {
+        name: "colors",
+        paper_ref: "extension: checkpoint color-pool sizing sweep",
+        generate: colors,
+    },
+    Target {
+        name: "clq",
+        paper_ref: "extension: three CLQ designs side by side (§4.3.1)",
+        generate: clq_designs,
+    },
+    Target {
+        name: "summary",
+        paper_ref: "digest: headline geomeans of every scheme",
+        generate: summary,
+    },
+];
+
+/// Look up a target by CLI/wire name.
+pub fn target_by_name(name: &str) -> Option<&'static Target> {
+    TARGETS.iter().find(|t| t.name == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

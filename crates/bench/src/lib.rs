@@ -12,9 +12,11 @@
 pub mod engine;
 pub mod figures;
 pub mod obs;
+pub mod service;
 pub mod table;
 
 pub use engine::Engine;
 pub use figures::*;
 pub use obs::{export_trace, fault_probe_metrics, find_kernel, hist_summary_json, TraceFormat};
+pub use service::EngineExecutor;
 pub use table::{json_number, json_string, Table};

@@ -1,0 +1,343 @@
+//! The production [`Executor`] behind `turnpike-serve`: jobs run through
+//! the memoizing [`Engine`] and results persist in the content-addressed
+//! artifact [`Store`].
+//!
+//! The serve crate deliberately knows nothing about kernels, compilers, or
+//! figures (that would be a dependency cycle: the `reproduce` binary lives
+//! here and needs the server). This module closes the loop: it resolves a
+//! wire-level [`JobRequest`] against the workload catalog, executes it
+//! with the same engine the figure generators use, and renders the payload
+//! with one shared set of renderers — which is why a served result is
+//! byte-identical to the direct-CLI (`submit --direct`) rendering of the
+//! same job, warm or cold store.
+//!
+//! Store keys embed the kernel identity and the *full* `Debug` rendering
+//! of the derived `CompilerConfig`/`SimConfig` (plus campaign parameters),
+//! so any knob that affects the output changes the key. Results are
+//! deterministic at any thread count, so thread budget is deliberately not
+//! key material.
+
+use turnpike_resilience::{
+    fault_campaign_hooked, CampaignConfig, CampaignHook, RunError, RunSpec, Scheme,
+};
+use turnpike_serve::{
+    ExecOutput, Executor, JobCtl, JobKind, JobRequest, Lookup, Store, StoreStatus,
+};
+use turnpike_workloads::{Kernel, Scale};
+
+use crate::engine::Engine;
+use crate::figures::target_by_name;
+use crate::obs::find_kernel;
+use crate::table::json_string;
+
+/// [`Executor`] wiring jobs to the evaluation [`Engine`] and an optional
+/// persistent artifact [`Store`].
+pub struct EngineExecutor {
+    engine: Engine,
+    store: Option<Store>,
+}
+
+/// A request resolved against the catalog: everything validated, nothing
+/// executed yet.
+struct Resolved {
+    scheme: Scheme,
+    scale: Scale,
+    /// `None` only for figure jobs (which name a target, not a kernel).
+    kernel: Option<Kernel>,
+}
+
+fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    }
+}
+
+impl EngineExecutor {
+    /// An executor without persistence.
+    pub fn new(engine: Engine) -> EngineExecutor {
+        EngineExecutor {
+            engine,
+            store: None,
+        }
+    }
+
+    /// Attach a persistent artifact store shared with other processes.
+    #[must_use]
+    pub fn with_store(mut self, store: Store) -> EngineExecutor {
+        self.store = Some(store);
+        self
+    }
+
+    /// The underlying engine (for metrics snapshots).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Execute a job outside any server — the CLI's `submit --direct`
+    /// path. Same resolution, same renderers, same store as a served job.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the invalid field or failed stage.
+    pub fn execute_direct(&self, req: &JobRequest) -> Result<ExecOutput, String> {
+        self.execute(req, &JobCtl::detached())
+    }
+
+    fn resolve(&self, req: &JobRequest) -> Result<Resolved, String> {
+        let scheme =
+            Scheme::parse(&req.scheme).ok_or_else(|| format!("unknown scheme '{}'", req.scheme))?;
+        let scale = match req.scale.as_str() {
+            "smoke" => Scale::Smoke,
+            "full" => Scale::Full,
+            other => return Err(format!("unknown scale '{other}'")),
+        };
+        let kernel = if req.kind == JobKind::Figure {
+            if target_by_name(&req.target).is_none() {
+                return Err(format!("unknown figure target '{}'", req.target));
+            }
+            None
+        } else {
+            Some(
+                find_kernel(&req.kernel, scale)
+                    .ok_or_else(|| format!("unknown kernel '{}'", req.kernel))?,
+            )
+        };
+        Ok(Resolved {
+            scheme,
+            scale,
+            kernel,
+        })
+    }
+
+    fn spec(req: &JobRequest, scheme: Scheme) -> RunSpec {
+        RunSpec::new(scheme).with_sb(req.sb).with_wcdl(req.wcdl)
+    }
+
+    /// Canonical store key: version tag, job kind, kernel/target identity,
+    /// and the full derived configs. Single line (the store requires it).
+    fn store_key(req: &JobRequest, r: &Resolved) -> String {
+        let spec = Self::spec(req, r.scheme);
+        match req.kind {
+            JobKind::Figure => format!("job-v1|figure|target={}|scale={:?}", req.target, r.scale),
+            JobKind::Compile => format!(
+                "job-v1|compile|kernel={:?}|cc={:?}",
+                r.kernel.as_ref().expect("non-figure").id(),
+                spec.compiler_config()
+            ),
+            JobKind::Run => format!(
+                "job-v1|run|kernel={:?}|cc={:?}|sc={:?}",
+                r.kernel.as_ref().expect("non-figure").id(),
+                spec.compiler_config(),
+                spec.sim_config()
+            ),
+            JobKind::Campaign => format!(
+                "job-v1|campaign|kernel={:?}|cc={:?}|sc={:?}|runs={}|seed={}|strikes={}",
+                r.kernel.as_ref().expect("non-figure").id(),
+                spec.compiler_config(),
+                spec.sim_config(),
+                req.runs,
+                req.seed,
+                req.strikes
+            ),
+        }
+    }
+
+    fn render(&self, req: &JobRequest, r: &Resolved, ctl: &JobCtl) -> Result<String, String> {
+        if ctl.is_canceled() {
+            return Err("canceled before execution".to_string());
+        }
+        let spec = Self::spec(req, r.scheme);
+        let head = |kind: &str| {
+            format!(
+                "{{\"kind\":{},\"kernel\":{},\"scheme\":{},\"scale\":{},\"sb\":{},\"wcdl\":{}",
+                json_string(kind),
+                json_string(&req.kernel),
+                json_string(&req.scheme),
+                json_string(scale_name(r.scale)),
+                req.sb,
+                req.wcdl
+            )
+        };
+        match req.kind {
+            JobKind::Compile => {
+                let kernel = r.kernel.as_ref().expect("non-figure");
+                let out = self.engine.compile(kernel, &spec.compiler_config());
+                let s = &out.stats;
+                Ok(format!(
+                    "{},\"ckpts_inserted\":{},\"ckpts_pruned\":{},\"ckpts_licm_removed\":{},\
+                     \"spill_stores\":{},\"spill_loads\":{},\"spilled_vregs\":{},\
+                     \"ivs_merged\":{},\"boundaries\":{},\"split_iterations\":{},\
+                     \"final_insts\":{},\"baseline_insts\":{}}}",
+                    head("compile"),
+                    s.ckpts_inserted,
+                    s.ckpts_pruned,
+                    s.ckpts_licm_removed,
+                    s.spill_stores,
+                    s.spill_loads,
+                    s.spilled_vregs,
+                    s.ivs_merged,
+                    s.boundaries,
+                    s.split_iterations,
+                    s.final_insts,
+                    s.baseline_insts
+                ))
+            }
+            JobKind::Run => {
+                let kernel = r.kernel.as_ref().expect("non-figure");
+                let result = self.engine.run(kernel, &spec);
+                Ok(format!(
+                    "{},\"stats\":{}}}",
+                    head("run"),
+                    result.outcome.stats.to_json()
+                ))
+            }
+            JobKind::Campaign => {
+                let kernel = r.kernel.as_ref().expect("non-figure");
+                let config = CampaignConfig {
+                    runs: req.runs as usize,
+                    seed: req.seed,
+                    strikes_per_run: req.strikes as usize,
+                };
+                let on_run = |done: usize, total: usize| ctl.progress(done as u64, total as u64);
+                let hook = CampaignHook {
+                    cancel: Some(ctl.cancel_flag()),
+                    on_run: Some(&on_run),
+                };
+                let (report, _records, _fork) = fault_campaign_hooked(
+                    &kernel.program,
+                    &spec,
+                    &config,
+                    self.engine.threads(),
+                    hook,
+                )
+                .map_err(|e| match e {
+                    RunError::Canceled => "canceled mid-campaign".to_string(),
+                    other => other.to_string(),
+                })?;
+                Ok(format!(
+                    "{},\"runs\":{},\"seed\":{},\"strikes\":{},\"sdc\":{},\"sdc_free\":{},\
+                     \"recoveries\":{},\"detections\":{},\"parity_detections\":{},\
+                     \"sensor_detections\":{},\"post_completion\":{}}}",
+                    head("campaign"),
+                    report.runs,
+                    req.seed,
+                    req.strikes,
+                    report.sdc,
+                    report.sdc_free(),
+                    report.recoveries,
+                    report.detections,
+                    report.parity_detections,
+                    report.sensor_detections,
+                    report.post_completion
+                ))
+            }
+            JobKind::Figure => {
+                let target = target_by_name(&req.target).expect("validated in resolve");
+                let table = (target.generate)(&self.engine.figure_scope(), r.scale);
+                Ok(format!(
+                    "{{\"kind\":\"figure\",\"target\":{},\"scale\":{},\"table\":{}}}",
+                    json_string(&req.target),
+                    json_string(scale_name(r.scale)),
+                    table.to_compact_json()
+                ))
+            }
+        }
+    }
+}
+
+impl Executor for EngineExecutor {
+    fn execute(&self, req: &JobRequest, ctl: &JobCtl) -> Result<ExecOutput, String> {
+        let resolved = self.resolve(req)?;
+        let mut quarantined = 0;
+        let key = Self::store_key(req, &resolved);
+        if let Some(store) = &self.store {
+            match store.get(&key) {
+                Lookup::Hit(payload) => {
+                    return Ok(ExecOutput {
+                        result: payload,
+                        store: StoreStatus::Hit,
+                        quarantined: 0,
+                    })
+                }
+                Lookup::Miss => {}
+                Lookup::Quarantined => quarantined = 1,
+            }
+        }
+        let payload = self.render(req, &resolved, ctl)?;
+        let store = match &self.store {
+            Some(store) => {
+                // A failed put degrades to "not cached", never to a failed
+                // job; the payload in hand is still correct.
+                if let Err(e) = store.put(&key, &payload) {
+                    eprintln!("serve: artifact store put failed: {e}");
+                }
+                StoreStatus::Miss
+            }
+            None => StoreStatus::Off,
+        };
+        Ok(ExecOutput {
+            result: payload,
+            store,
+            quarantined,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_req() -> JobRequest {
+        JobRequest::new(JobKind::Run)
+    }
+
+    #[test]
+    fn unknown_names_are_rejected_with_field_errors() {
+        let exec = EngineExecutor::new(Engine::serial());
+        let mut req = run_req();
+        req.kernel = "not-a-kernel".into();
+        assert!(exec.execute_direct(&req).unwrap_err().contains("kernel"));
+        let mut req = run_req();
+        req.scheme = "not-a-scheme".into();
+        assert!(exec.execute_direct(&req).unwrap_err().contains("scheme"));
+        let mut req = JobRequest::new(JobKind::Figure);
+        req.target = "fig999".into();
+        assert!(exec.execute_direct(&req).unwrap_err().contains("target"));
+    }
+
+    #[test]
+    fn run_payload_is_deterministic_and_store_off_without_a_store() {
+        let exec = EngineExecutor::new(Engine::serial());
+        let a = exec.execute_direct(&run_req()).unwrap();
+        let b = exec.execute_direct(&run_req()).unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(a.store, StoreStatus::Off);
+        assert!(a.result.starts_with("{\"kind\":\"run\""), "{}", a.result);
+        assert!(a.result.contains("\"stats\":{\"cycles\":"), "{}", a.result);
+    }
+
+    #[test]
+    fn store_keys_separate_every_knob() {
+        let exec = EngineExecutor::new(Engine::serial());
+        let base = exec.resolve(&run_req()).unwrap();
+        let k0 = EngineExecutor::store_key(&run_req(), &base);
+        let mut wcdl = run_req();
+        wcdl.wcdl = 50;
+        let mut sb = run_req();
+        sb.sb = 40;
+        let mut scheme = run_req();
+        scheme.scheme = "turnstile".into();
+        for changed in [wcdl, sb, scheme] {
+            let r = exec.resolve(&changed).unwrap();
+            assert_ne!(k0, EngineExecutor::store_key(&changed, &r), "{changed:?}");
+        }
+        // Campaign keys also cover runs/seed/strikes.
+        let c0 = JobRequest::new(JobKind::Campaign);
+        let rc = exec.resolve(&c0).unwrap();
+        let ck0 = EngineExecutor::store_key(&c0, &rc);
+        let mut seed = c0.clone();
+        seed.seed = 1;
+        assert_ne!(ck0, EngineExecutor::store_key(&seed, &rc));
+    }
+}

@@ -85,6 +85,42 @@ impl Table {
         out.push_str("]\n}");
         out
     }
+
+    /// Serialize as compact single-line JSON — same structure and number
+    /// formatting as [`Table::to_json`], no whitespace. The serving layer's
+    /// line-delimited protocol embeds figure results with this.
+    pub fn to_compact_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.rows.len() * 48);
+        out.push_str(&format!(
+            "{{\"id\":{},\"title\":{},\"columns\":[",
+            json_string(&self.id),
+            json_string(&self.title)
+        ));
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_string(c));
+        }
+        out.push_str("],\"rows\":[");
+        for (i, (label, values)) in self.rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('[');
+            out.push_str(&json_string(label));
+            out.push_str(",[");
+            for (j, v) in values.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&json_number(*v));
+            }
+            out.push_str("]]");
+        }
+        out.push_str("]}");
+        out
+    }
 }
 
 /// JSON-escape a string (control characters, quotes, backslashes).
@@ -171,6 +207,22 @@ mod tests {
         assert!(s.contains("k2"));
         let j = t.to_json();
         assert!(j.contains("\"columns\""));
+    }
+
+    #[test]
+    fn compact_json_is_one_line_with_the_same_content() {
+        let mut t = Table::new("figX", "demo", &["a", "b"]);
+        t.push("k1", vec![1.0, 2.5]);
+        let c = t.to_compact_json();
+        assert!(!c.contains('\n'));
+        assert_eq!(
+            c,
+            "{\"id\":\"figX\",\"title\":\"demo\",\"columns\":[\"a\",\"b\"],\
+             \"rows\":[[\"k1\",[1.0,2.5]]]}"
+        );
+        // Same bytes as the pretty renderer modulo whitespace.
+        let pretty: String = t.to_json().split_whitespace().collect();
+        assert_eq!(pretty, c);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Server ↔ CLI artifact-store reuse: a job computed through the server
+//! is served byte-identically from the persistent store by a *different*
+//! executor (the CLI's `submit --direct` path), and vice versa — the
+//! store, not the in-process engine caches, carries the result across
+//! process boundaries. Also pins the acceptance guarantee: a served
+//! campaign result equals the direct-CLI rendering, warm or cold store.
+
+use std::sync::Arc;
+
+use turnpike_bench::{Engine, EngineExecutor};
+use turnpike_metrics::Counter;
+use turnpike_serve::{
+    Client, JobKind, JobRequest, Outcome, Server, ServerConfig, Store, StoreStatus,
+};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("turnpike-reuse-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn campaign_req() -> JobRequest {
+    let mut req = JobRequest::new(JobKind::Campaign);
+    req.kernel = "bwaves".into();
+    req.runs = 4;
+    req
+}
+
+#[test]
+fn server_result_is_reused_by_the_direct_cli_path() {
+    let root = scratch("server-then-cli");
+
+    // Cold store: the server computes and persists the result.
+    let server_exec = EngineExecutor::new(Engine::new(2)).with_store(Store::open(&root));
+    let server = Server::start(ServerConfig::default(), Arc::new(server_exec)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let served = match client.submit(&campaign_req()).unwrap() {
+        Outcome::Done { store, result, .. } => {
+            assert_eq!(store, "miss", "cold store must compute");
+            result
+        }
+        other => panic!("expected done, got {other:?}"),
+    };
+    let m = server.metrics();
+    assert_eq!(m.counter(Counter::ServeStoreMisses), 1);
+    assert_eq!(m.counter(Counter::ServeStoreHits), 0);
+    server.shutdown();
+
+    // A brand-new executor (fresh engine, fresh caches — the CLI process)
+    // sharing only the store directory serves the identical bytes as a hit.
+    let cli_exec = EngineExecutor::new(Engine::serial()).with_store(Store::open(&root));
+    let direct = cli_exec.execute_direct(&campaign_req()).unwrap();
+    assert_eq!(direct.store, StoreStatus::Hit);
+    assert_eq!(direct.result, served, "served vs CLI bytes");
+    assert_eq!(cli_exec.engine().sim_count(), 0, "hit must not simulate");
+
+    // And a second server over the same store reports the hit in its
+    // metrics registry.
+    let warm_exec = EngineExecutor::new(Engine::serial()).with_store(Store::open(&root));
+    let warm = Server::start(ServerConfig::default(), Arc::new(warm_exec)).unwrap();
+    let mut client = Client::connect(warm.addr()).unwrap();
+    match client.submit(&campaign_req()).unwrap() {
+        Outcome::Done { store, result, .. } => {
+            assert_eq!(store, "hit");
+            assert_eq!(result, served);
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    let stats = client.stats().unwrap();
+    assert!(stats.contains("\"store_hits\":1"), "{stats}");
+    warm.shutdown();
+
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn cli_result_is_reused_by_the_server() {
+    let root = scratch("cli-then-server");
+    let mut req = JobRequest::new(JobKind::Run);
+    req.kernel = "mcf".into();
+
+    // The CLI computes first...
+    let cli_exec = EngineExecutor::new(Engine::serial()).with_store(Store::open(&root));
+    let direct = cli_exec.execute_direct(&req).unwrap();
+    assert_eq!(direct.store, StoreStatus::Miss);
+
+    // ...and the server picks it up warm.
+    let server_exec = EngineExecutor::new(Engine::serial()).with_store(Store::open(&root));
+    let server = Server::start(ServerConfig::default(), Arc::new(server_exec)).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+    match client.submit(&req).unwrap() {
+        Outcome::Done { store, result, .. } => {
+            assert_eq!(store, "hit");
+            assert_eq!(result, direct.result);
+        }
+        other => panic!("expected done, got {other:?}"),
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn warm_and_cold_payloads_are_byte_identical_without_a_store_too() {
+    // The renderer itself is deterministic: two independent engines (cold
+    // caches each time) produce the same bytes for every job kind.
+    for kind in [
+        JobKind::Compile,
+        JobKind::Run,
+        JobKind::Campaign,
+        JobKind::Figure,
+    ] {
+        let mut req = JobRequest::new(kind);
+        req.target = "table1".into();
+        let a = EngineExecutor::new(Engine::serial())
+            .execute_direct(&req)
+            .unwrap();
+        let b = EngineExecutor::new(Engine::serial())
+            .execute_direct(&req)
+            .unwrap();
+        assert_eq!(a.result, b.result, "{kind:?}");
+        assert_eq!(a.store, StoreStatus::Off);
+    }
+}

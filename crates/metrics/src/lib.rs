@@ -182,6 +182,26 @@ counters! {
     BenchRunMisses => ("bench.run_cache_misses", Sum),
     /// Figure tables generated.
     BenchFigures => ("bench.figures", Sum),
+
+    // — serving layer —
+    /// Jobs admitted into the server's work queue.
+    ServeAccepted => ("serve.accepted", Sum),
+    /// Jobs rejected by admission control (queue full).
+    ServeRejected => ("serve.rejected", Sum),
+    /// Jobs that completed and returned a result.
+    ServeCompleted => ("serve.completed", Sum),
+    /// Jobs that failed with an error.
+    ServeFailed => ("serve.failed", Sum),
+    /// Jobs canceled (per-job timeout or shutdown deadline).
+    ServeCanceled => ("serve.canceled", Sum),
+    /// Job results served from the persistent artifact store.
+    ServeStoreHits => ("serve.store_hits", Sum),
+    /// Job results computed because the artifact store had no entry.
+    ServeStoreMisses => ("serve.store_misses", Sum),
+    /// Corrupt artifact-store entries quarantined on read.
+    ServeStoreQuarantined => ("serve.store_quarantined", Sum),
+    /// Peak work-queue depth observed at admission.
+    ServeQueuePeak => ("serve.queue_peak", Max),
 }
 
 /// Floating-point metric keys (point samples, not event counts).
@@ -223,6 +243,12 @@ pub enum Hist {
     CompileMicros,
     /// Wall-clock microseconds per simulation in the evaluation harness.
     SimMicros,
+    /// Wall-clock microseconds per served job, admission to final event
+    /// (server side) or submit to done (loadgen client side).
+    ServeJobMicros,
+    /// Microseconds a served job waited in the work queue before a worker
+    /// picked it up.
+    ServeQueueMicros,
 }
 
 impl Hist {
@@ -234,6 +260,8 @@ impl Hist {
         Hist::RecoveryPenalty,
         Hist::CompileMicros,
         Hist::SimMicros,
+        Hist::ServeJobMicros,
+        Hist::ServeQueueMicros,
     ];
 
     /// The dotted string name (stable; used for display and JSON).
@@ -245,6 +273,8 @@ impl Hist {
             Hist::RecoveryPenalty => "sim.hist.recovery_penalty_cycles",
             Hist::CompileMicros => "bench.hist.compile_us",
             Hist::SimMicros => "bench.hist.sim_us",
+            Hist::ServeJobMicros => "serve.hist.job_us",
+            Hist::ServeQueueMicros => "serve.hist.queue_wait_us",
         }
     }
 }

@@ -13,6 +13,7 @@ use crate::driver::{
 };
 use crate::par::par_map;
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use turnpike_compiler::compile;
 use turnpike_ir::Program;
 use turnpike_sensor::StrikeSampler;
@@ -184,6 +185,63 @@ pub fn write_strike_records<W: std::io::Write>(
     Ok(())
 }
 
+/// Write strike records as a JSONL file at `path`, creating any missing
+/// parent directories first — campaign output paths are routinely nested
+/// (`results/<kernel>/<scheme>/strikes.jsonl`) and a missing directory
+/// should not be an error.
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_strike_records_to_path<P: AsRef<std::path::Path>>(
+    records: &[StrikeRecord],
+    path: P,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_strike_records(records, &mut w)?;
+    std::io::Write::flush(&mut w)
+}
+
+/// Caller hooks into a running campaign: cooperative cancellation plus a
+/// per-run progress callback. The default hook (`CampaignHook::default()`)
+/// is inert, and every non-hooked entry point uses it.
+///
+/// Cancellation is checked once per injected run, so a campaign stops
+/// within one simulation of the flag being raised. A canceled campaign
+/// returns [`RunError::Canceled`] and discards partial results — reports
+/// are all-or-nothing so the determinism contract ("same config, same
+/// report") never observes a truncated fold.
+#[derive(Default, Clone, Copy)]
+pub struct CampaignHook<'a> {
+    /// Raise to abandon the campaign at the next per-run check.
+    pub cancel: Option<&'a AtomicBool>,
+    /// Called after each injected run completes with
+    /// `(runs_completed, runs_total)`. Runs execute on worker threads in
+    /// any order, so `runs_completed` is a monotone count, not an index.
+    pub on_run: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+}
+
+impl std::fmt::Debug for CampaignHook<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CampaignHook")
+            .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
+            .field("on_run", &self.on_run.map(|_| "fn"))
+            .finish()
+    }
+}
+
+impl CampaignHook<'_> {
+    fn canceled(&self) -> bool {
+        self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
 /// SplitMix64-style mix of the campaign seed and a run index, giving every
 /// run its own statistically independent RNG stream. Deriving streams from
 /// `(seed, run_index)` — instead of threading one sequential RNG through
@@ -302,7 +360,30 @@ pub fn fault_campaign_forked(
     config: &CampaignConfig,
     threads: usize,
 ) -> Result<(CampaignReport, Vec<StrikeRecord>, ForkStats), RunError> {
+    fault_campaign_hooked(program, spec, config, threads, CampaignHook::default())
+}
+
+/// Like [`fault_campaign_forked`] with a caller-provided [`CampaignHook`]:
+/// the long-lived serving layer uses this to cancel timed-out campaign jobs
+/// and stream per-run progress back to clients. With the default hook this
+/// is exactly [`fault_campaign_forked`] — hooks never change the report.
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted), and
+/// returns [`RunError::Canceled`] if the hook's cancel flag is raised before
+/// the last injected run completes.
+pub fn fault_campaign_hooked(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+    threads: usize,
+    hook: CampaignHook<'_>,
+) -> Result<(CampaignReport, Vec<StrikeRecord>, ForkStats), RunError> {
     let compiled = compile(program, &spec.compiler_config())?;
+    if hook.canceled() {
+        return Err(RunError::Canceled);
+    }
     let (golden, snapshots) = match spec.sim_config().snapshot_interval {
         Some(interval) => {
             run_compiled_collecting_snapshots(&compiled, spec, &FaultPlan::none(), interval)?
@@ -314,7 +395,13 @@ pub fn fault_campaign_forked(
     };
     let horizon = golden.outcome.stats.cycles.max(2);
     let indices: Vec<usize> = (0..config.runs).collect();
+    let completed = AtomicUsize::new(0);
     let runs = par_map(&indices, threads, |_, &i| {
+        // Cooperative cancellation: one check per injected run, so a raised
+        // flag abandons the campaign within a single simulation.
+        if hook.canceled() {
+            return Err(RunError::Canceled);
+        }
         let plan = plan_for_run(config, spec, i, horizon);
         // Fork from the latest snapshot strictly before the run's earliest
         // strike (snapshots are in capture order, i.e. ascending cycles):
@@ -326,12 +413,19 @@ pub fn fault_campaign_forked(
             .map(|f| f.strike_cycle)
             .min()
             .and_then(|first| snapshots.iter().take_while(|s| s.cycle() < first).last());
-        match fork_point {
+        let out = match fork_point {
             Some(snap) => {
                 resume_compiled_with_faults(&compiled, snap, &plan).map(|r| (r, Some(snap.cycle())))
             }
             None => run_compiled_with_faults(&compiled, spec, &plan).map(|r| (r, None)),
+        };
+        if out.is_ok() {
+            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+            if let Some(on_run) = hook.on_run {
+                on_run(done, config.runs);
+            }
         }
+        out
     });
     let mut report = CampaignReport {
         runs: config.runs,
@@ -584,6 +678,80 @@ mod tests {
         let text = String::from_utf8(buf).unwrap();
         assert_eq!(text.lines().count(), 2);
         assert!(text.ends_with('\n'));
+    }
+
+    #[test]
+    fn path_writer_creates_missing_parent_directories() {
+        let r = StrikeRecord {
+            run: 0,
+            strike: 0,
+            strike_cycle: 10,
+            detect_latency: 3,
+            recovery_cycles: 9,
+            detections: 1,
+            outcome: StrikeOutcome::Recovered,
+        };
+        let dir = std::env::temp_dir().join(format!(
+            "turnpike-strikes-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("deep/nested/strikes.jsonl");
+        write_strike_records_to_path(&[r.clone(), r], &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.starts_with("{\"run\":0,"));
+        // A bare filename (no parent component) must also work.
+        let mut bare = Vec::new();
+        write_strike_records(&[], &mut bare).unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn hooked_campaign_matches_unhooked_and_reports_progress() {
+        use std::sync::atomic::AtomicUsize;
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 6,
+            seed: 11,
+            strikes_per_run: 1,
+        };
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let plain = fault_campaign_forked(&p, &spec, &cfg, 2).unwrap();
+        let calls = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        let on_run = |done: usize, total: usize| {
+            assert_eq!(total, 6);
+            calls.fetch_add(1, Ordering::Relaxed);
+            peak.fetch_max(done, Ordering::Relaxed);
+        };
+        let hook = CampaignHook {
+            cancel: None,
+            on_run: Some(&on_run),
+        };
+        let hooked = fault_campaign_hooked(&p, &spec, &cfg, 2, hook).unwrap();
+        assert_eq!(plain, hooked, "hooks must not change the report");
+        assert_eq!(calls.load(Ordering::Relaxed), 6);
+        assert_eq!(peak.load(Ordering::Relaxed), 6);
+    }
+
+    #[test]
+    fn raised_cancel_flag_abandons_the_campaign() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 4,
+            seed: 5,
+            strikes_per_run: 1,
+        };
+        let cancel = AtomicBool::new(true);
+        let hook = CampaignHook {
+            cancel: Some(&cancel),
+            on_run: None,
+        };
+        let err = fault_campaign_hooked(&p, &RunSpec::new(Scheme::Turnpike), &cfg, 1, hook)
+            .expect_err("pre-raised cancel flag");
+        assert_eq!(err, RunError::Canceled);
     }
 
     #[test]

@@ -135,6 +135,9 @@ pub enum RunError {
     Compile(CompileError),
     /// Simulation failed.
     Sim(SimError),
+    /// The caller's cancellation hook fired before the work finished (see
+    /// [`crate::campaign::CampaignHook`]); partial results are discarded.
+    Canceled,
 }
 
 impl std::fmt::Display for RunError {
@@ -142,6 +145,7 @@ impl std::fmt::Display for RunError {
         match self {
             RunError::Compile(e) => write!(f, "compile: {e}"),
             RunError::Sim(e) => write!(f, "simulate: {e}"),
+            RunError::Canceled => write!(f, "canceled"),
         }
     }
 }

@@ -34,8 +34,9 @@ pub mod preset;
 pub mod scheme;
 
 pub use campaign::{
-    fault_campaign, fault_campaign_forked, fault_campaign_par, fault_campaign_records,
-    write_strike_records, CampaignConfig, CampaignReport, ForkStats, StrikeOutcome, StrikeRecord,
+    fault_campaign, fault_campaign_forked, fault_campaign_hooked, fault_campaign_par,
+    fault_campaign_records, write_strike_records, write_strike_records_to_path, CampaignConfig,
+    CampaignHook, CampaignReport, ForkStats, StrikeOutcome, StrikeRecord,
 };
 pub use driver::{
     geomean, resume_compiled_with_faults, run_compiled, run_compiled_collecting_snapshots,

@@ -1,0 +1,408 @@
+//! Client side: a blocking line-protocol client and a load generator.
+//!
+//! [`Client::submit`] returns the job's terminal [`Outcome`]. The `done`
+//! payload is extracted from the event line **textually** (not re-rendered
+//! through the JSON codec) so the bytes the caller sees are exactly the
+//! bytes the executor produced — float formatting survives untouched,
+//! which is what the byte-identical served-vs-CLI guarantee rests on.
+//!
+//! [`loadgen`] drives N concurrent clients against one server, retrying
+//! `overloaded` rejections with the server's retry-after hint, recording
+//! client-observed latency into a [`Histogram`], and proving exactly-once
+//! completion by tagging every job and checking each tag terminates
+//! exactly once.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use turnpike_metrics::Histogram;
+
+use crate::json::Json;
+use crate::proto::JobRequest;
+
+/// Terminal disposition of one submitted job.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// Finished; `result` is the executor payload, byte-for-byte.
+    Done {
+        /// Server-assigned job id.
+        job: u64,
+        /// Artifact-store disposition (`"hit"` / `"miss"` / `"off"`).
+        store: String,
+        /// Verbatim single-line JSON payload.
+        result: String,
+    },
+    /// Admission control refused the job.
+    Overloaded {
+        /// Server's suggested wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server is draining and takes no new work.
+    ShuttingDown,
+    /// The job (or request) failed.
+    Error {
+        /// Server-assigned job id (0 if never admitted).
+        job: u64,
+        /// Server-provided reason.
+        message: String,
+    },
+}
+
+/// A connected protocol client. One request is in flight at a time per
+/// connection (matching the server's per-connection handling).
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+/// Extract the verbatim `result` payload from a `done` line without
+/// re-rendering. The envelope's `,"store":"` / `,"result":` markers
+/// contain unescaped quotes, which cannot occur inside any JSON string our
+/// encoder emits, so a textual search is unambiguous.
+fn extract_result(line: &str) -> Option<&str> {
+    let store_at = line.find(",\"store\":\"")?;
+    let marker = ",\"result\":";
+    let result_at = line[store_at..].find(marker)? + store_at + marker.len();
+    line.get(result_at..line.len() - 1)
+}
+
+impl Client {
+    /// Connect to a server.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection failures.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    fn send_line(&mut self, line: &str) -> std::io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    fn read_line(&mut self) -> std::io::Result<String> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(line.trim_end().to_string())
+    }
+
+    /// Submit a job and block until its terminal event, invoking
+    /// `on_progress(done, total)` for each progress line.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations (unparseable event lines).
+    pub fn submit_with(
+        &mut self,
+        req: &JobRequest,
+        mut on_progress: impl FnMut(u64, u64),
+    ) -> std::io::Result<Outcome> {
+        let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
+        self.send_line(&req.to_line())?;
+        loop {
+            let line = self.read_line()?;
+            let v = Json::parse(&line).map_err(|e| bad(format!("bad event line '{line}': {e}")))?;
+            let event = v
+                .get("event")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad(format!("event line without 'event': {line}")))?;
+            let job = v.get("job").and_then(Json::as_u64).unwrap_or(0);
+            match event {
+                "accepted" => {}
+                "progress" => {
+                    let done = v.get("done").and_then(Json::as_u64).unwrap_or(0);
+                    let total = v.get("total").and_then(Json::as_u64).unwrap_or(0);
+                    on_progress(done, total);
+                }
+                "done" => {
+                    let store = v
+                        .get("store")
+                        .and_then(Json::as_str)
+                        .unwrap_or("off")
+                        .to_string();
+                    let result = extract_result(&line)
+                        .ok_or_else(|| bad(format!("done line without result: {line}")))?
+                        .to_string();
+                    return Ok(Outcome::Done { job, store, result });
+                }
+                "overloaded" => {
+                    let retry_after_ms =
+                        v.get("retry_after_ms").and_then(Json::as_u64).unwrap_or(0);
+                    return Ok(Outcome::Overloaded { retry_after_ms });
+                }
+                "shutting_down" => return Ok(Outcome::ShuttingDown),
+                "error" => {
+                    let message = v
+                        .get("message")
+                        .and_then(Json::as_str)
+                        .unwrap_or("unknown error")
+                        .to_string();
+                    return Ok(Outcome::Error { job, message });
+                }
+                other => return Err(bad(format!("unexpected event '{other}'"))),
+            }
+        }
+    }
+
+    /// [`Client::submit_with`] discarding progress.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::submit_with`].
+    pub fn submit(&mut self, req: &JobRequest) -> std::io::Result<Outcome> {
+        self.submit_with(req, |_, _| {})
+    }
+
+    /// Fetch the server's stats snapshot (a single-line JSON object).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations.
+    pub fn stats(&mut self) -> std::io::Result<String> {
+        self.send_line("{\"type\":\"stats\"}")?;
+        let line = self.read_line()?;
+        let prefix = "{\"event\":\"stats\",\"server\":";
+        line.strip_prefix(prefix)
+            .and_then(|rest| rest.strip_suffix('}'))
+            .map(ToString::to_string)
+            .ok_or_else(|| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("unexpected stats reply: {line}"),
+                )
+            })
+    }
+
+    /// Ask the server to shut down gracefully (drain, then exit).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures.
+    pub fn shutdown(&mut self) -> std::io::Result<()> {
+        self.send_line("{\"type\":\"shutdown\"}")?;
+        let _ = self.read_line()?;
+        Ok(())
+    }
+}
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent client connections.
+    pub clients: usize,
+    /// Jobs submitted per client.
+    pub jobs_per_client: usize,
+    /// Template request; each submission gets a unique `tag`.
+    pub request: JobRequest,
+    /// Give up on a job after this many `overloaded` retries.
+    pub max_retries: usize,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            clients: 8,
+            jobs_per_client: 4,
+            request: JobRequest::new(crate::proto::JobKind::Run),
+            max_retries: 1000,
+        }
+    }
+}
+
+/// What a [`loadgen`] run observed.
+#[derive(Debug, Clone)]
+pub struct LoadgenReport {
+    /// Jobs attempted (clients × jobs_per_client).
+    pub jobs: usize,
+    /// Jobs that reached `done`.
+    pub completed: usize,
+    /// Jobs that terminated in `error`.
+    pub errors: usize,
+    /// `overloaded` rejections observed (== retries performed).
+    pub overloaded: u64,
+    /// Tags that never reached a terminal event.
+    pub lost: usize,
+    /// Tags that reached `done` more than once.
+    pub duplicated: usize,
+    /// Client-observed submit→done latency, in microseconds (includes
+    /// retry backoff — the client's actual experience under saturation).
+    pub latency: Histogram,
+    /// Wall-clock of the whole run, in microseconds.
+    pub wall_us: u64,
+    /// Server stats snapshot taken after the run.
+    pub server_stats: String,
+}
+
+impl LoadgenReport {
+    /// Completed jobs per wall-clock second.
+    pub fn throughput(&self) -> f64 {
+        if self.wall_us == 0 {
+            return 0.0;
+        }
+        self.completed as f64 * 1.0e6 / self.wall_us as f64
+    }
+
+    /// Single-line JSON rendering with fixed key order.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"jobs\":{},\"completed\":{},\"errors\":{},\"overloaded\":{},\"lost\":{},\
+             \"duplicated\":{},\"wall_us\":{},\"throughput_jobs_per_s\":{:.3},\
+             \"latency_p50_us\":{},\"latency_p90_us\":{},\"latency_p99_us\":{},\
+             \"latency_max_us\":{},\"server\":{}}}",
+            self.jobs,
+            self.completed,
+            self.errors,
+            self.overloaded,
+            self.lost,
+            self.duplicated,
+            self.wall_us,
+            self.throughput(),
+            self.latency.quantile(0.50).round() as u64,
+            self.latency.quantile(0.90).round() as u64,
+            self.latency.quantile(0.99).round() as u64,
+            self.latency.max(),
+            self.server_stats,
+        )
+    }
+}
+
+struct LoadgenTally {
+    done_tags: Vec<String>,
+    error_tags: Vec<String>,
+    overloaded: u64,
+    latency: Histogram,
+}
+
+/// Drive `cfg.clients` concurrent connections against `addr`, each
+/// submitting `cfg.jobs_per_client` uniquely-tagged jobs, retrying
+/// rejections. Every tag is accounted for in the report: `lost` and
+/// `duplicated` are both zero iff the server delivered exactly-once.
+///
+/// # Errors
+///
+/// Propagates the first connection failure; per-job errors are tallied,
+/// not raised.
+pub fn loadgen(addr: std::net::SocketAddr, cfg: &LoadgenConfig) -> std::io::Result<LoadgenReport> {
+    let tally = Mutex::new(LoadgenTally {
+        done_tags: Vec::new(),
+        error_tags: Vec::new(),
+        overloaded: 0,
+        latency: Histogram::new(),
+    });
+    let started = Instant::now();
+    std::thread::scope(|scope| -> std::io::Result<()> {
+        let mut handles = Vec::new();
+        for c in 0..cfg.clients {
+            let tally = &tally;
+            handles.push(scope.spawn(move || -> std::io::Result<()> {
+                let mut client = Client::connect(addr)?;
+                for j in 0..cfg.jobs_per_client {
+                    let mut req = cfg.request.clone();
+                    req.tag = format!("c{c}-j{j}");
+                    let job_start = Instant::now();
+                    let mut retries = 0usize;
+                    loop {
+                        match client.submit(&req)? {
+                            Outcome::Done { .. } => {
+                                let us = job_start.elapsed().as_micros() as u64;
+                                let mut t = tally.lock().unwrap();
+                                t.done_tags.push(req.tag.clone());
+                                t.latency.record(us);
+                                break;
+                            }
+                            Outcome::Overloaded { retry_after_ms } => {
+                                tally.lock().unwrap().overloaded += 1;
+                                retries += 1;
+                                if retries > cfg.max_retries {
+                                    tally.lock().unwrap().error_tags.push(req.tag.clone());
+                                    break;
+                                }
+                                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                            }
+                            Outcome::ShuttingDown | Outcome::Error { .. } => {
+                                tally.lock().unwrap().error_tags.push(req.tag.clone());
+                                break;
+                            }
+                        }
+                    }
+                }
+                Ok(())
+            }));
+        }
+        for h in handles {
+            h.join().expect("loadgen client thread panicked")?;
+        }
+        Ok(())
+    })?;
+    let wall_us = started.elapsed().as_micros() as u64;
+    let server_stats = Client::connect(addr)?.stats()?;
+    let tally = tally.into_inner().unwrap();
+
+    let jobs = cfg.clients * cfg.jobs_per_client;
+    let mut sorted = tally.done_tags.clone();
+    sorted.sort_unstable();
+    let duplicated = sorted.windows(2).filter(|w| w[0] == w[1]).count();
+    let mut terminal = sorted.clone();
+    terminal.extend(tally.error_tags.iter().cloned());
+    terminal.sort_unstable();
+    let mut lost = 0usize;
+    for c in 0..cfg.clients {
+        for j in 0..cfg.jobs_per_client {
+            if terminal.binary_search(&format!("c{c}-j{j}")).is_err() {
+                lost += 1;
+            }
+        }
+    }
+
+    Ok(LoadgenReport {
+        jobs,
+        completed: tally.done_tags.len() - duplicated,
+        errors: tally.error_tags.len(),
+        overloaded: tally.overloaded,
+        lost,
+        duplicated,
+        latency: tally.latency,
+        wall_us,
+        server_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn result_extraction_preserves_payload_bytes() {
+        let line = "{\"event\":\"done\",\"job\":7,\"tag\":\"t\",\"store\":\"miss\",\
+                    \"result\":{\"ipc\":0.500000,\"note\":\"a\\\"b\"}}";
+        assert_eq!(
+            extract_result(line),
+            Some("{\"ipc\":0.500000,\"note\":\"a\\\"b\"}")
+        );
+    }
+
+    #[test]
+    fn result_extraction_is_not_fooled_by_marker_text_in_tag() {
+        // Quotes in the tag are escaped on the wire, so the raw marker
+        // `,"store":"` can only be the envelope's own field.
+        let line = "{\"event\":\"done\",\"job\":1,\"tag\":\",\\\"store\\\":\\\"x\",\
+                    \"store\":\"off\",\"result\":{\"v\":1}}";
+        assert_eq!(extract_result(line), Some("{\"v\":1}"));
+    }
+}

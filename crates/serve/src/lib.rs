@@ -1,0 +1,43 @@
+//! `turnpike-serve`: a batch campaign service for the Turnpike
+//! reproduction.
+//!
+//! Long fault-injection campaigns and figure regenerations are batch jobs;
+//! this crate turns the evaluation harness into a **service** for them: a
+//! std-only, multi-threaded TCP server speaking a line-delimited JSON
+//! protocol (the same stable-key-order style as the observability layer's
+//! JSONL sink), with
+//!
+//! - a **bounded work queue with admission control** — when the queue is
+//!   full, submissions get a typed `overloaded` rejection with a
+//!   retry-after hint instead of unbounded buffering ([`queue`],
+//!   [`server`]);
+//! - **per-job timeouts and cooperative cancellation** — campaigns abandon
+//!   between injected runs; the client always gets a terminal event;
+//! - a **worker pool** executing jobs through a pluggable [`Executor`]
+//!   (the production one, backed by the bench crate's memoizing engine,
+//!   lives in `turnpike-bench` to avoid a dependency cycle);
+//! - a **persistent content-addressed artifact store** ([`store`]) with a
+//!   versioned on-disk format and corrupt-entry quarantine, shared between
+//!   the server and the direct CLI;
+//! - **graceful shutdown** that drains queued and in-flight jobs;
+//! - a [`Client`] and [`loadgen`] harness measuring throughput and
+//!   latency percentiles into `turnpike-metrics` histograms.
+//!
+//! Everything the server observes — queue depth peaks, admission
+//! decisions, job/queue-wait latency, store hit rate — lands in the same
+//! [`turnpike_metrics::MetricSet`] registry the compiler and simulator
+//! report into.
+
+pub mod client;
+pub mod json;
+pub mod proto;
+pub mod queue;
+pub mod server;
+pub mod store;
+
+pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, Outcome};
+pub use json::Json;
+pub use proto::{Event, JobKind, JobRequest, Request, StoreStatus};
+pub use queue::{JobQueue, PushError};
+pub use server::{ExecOutput, Executor, JobCtl, Server, ServerConfig};
+pub use store::{Lookup, Store};

@@ -1,0 +1,472 @@
+//! Wire protocol: line-delimited JSON requests and streamed response
+//! events.
+//!
+//! One request per line; the server answers with one or more event lines
+//! and the final event (`done`, `error`, `overloaded`, `stats`,
+//! `shutting_down`) ends the exchange for that request. Connections are
+//! kept alive for further requests. All messages are single-line JSON with
+//! a fixed key order (see [`crate::json`]); the `result` payload of a
+//! `done` event is produced by the executor and embedded verbatim, which is
+//! what makes a served result byte-identical to the direct-CLI rendering of
+//! the same job.
+
+use crate::json::{escape, Json};
+
+/// What kind of work a job asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JobKind {
+    /// Compile one kernel under a scheme and report pass statistics.
+    Compile,
+    /// Compile + simulate fault-free and report the run result.
+    Run,
+    /// A fault-injection campaign with an SDC audit.
+    Campaign,
+    /// Regenerate one figure/table of the paper's evaluation.
+    Figure,
+}
+
+impl JobKind {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Compile => "compile",
+            JobKind::Run => "run",
+            JobKind::Campaign => "campaign",
+            JobKind::Figure => "figure",
+        }
+    }
+
+    /// Parse a wire name.
+    pub fn parse(name: &str) -> Option<JobKind> {
+        match name {
+            "compile" => Some(JobKind::Compile),
+            "run" => Some(JobKind::Run),
+            "campaign" => Some(JobKind::Campaign),
+            "figure" => Some(JobKind::Figure),
+            _ => None,
+        }
+    }
+}
+
+/// A fully-parsed job request. Field applicability by kind:
+/// `kernel`/`scheme`/`sb`/`wcdl` drive `compile`/`run`/`campaign`;
+/// `runs`/`seed`/`strikes` drive `campaign` only; `target` drives `figure`
+/// only. `scale` and `tag` apply to every kind (`tag` is an opaque client
+/// token echoed in every event for this job — load generators use it to
+/// prove no job is lost or duplicated).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobRequest {
+    /// Work kind.
+    pub kind: JobKind,
+    /// Kernel name (e.g. `"bwaves"`), searched across all suites.
+    pub kernel: String,
+    /// Scheme CLI name (e.g. `"turnpike"`).
+    pub scheme: String,
+    /// Workload scale: `"smoke"` or `"full"`.
+    pub scale: String,
+    /// Store-buffer entries.
+    pub sb: u32,
+    /// Worst-case detection latency in cycles.
+    pub wcdl: u64,
+    /// Campaign: injected runs.
+    pub runs: u64,
+    /// Campaign: RNG seed.
+    pub seed: u64,
+    /// Campaign: strikes per run.
+    pub strikes: u64,
+    /// Figure: target name (e.g. `"fig19"`).
+    pub target: String,
+    /// Opaque client token echoed in every event; empty = none.
+    pub tag: String,
+}
+
+impl JobRequest {
+    /// A request with protocol defaults: smoke-scale `bwaves` under
+    /// `turnpike`, 4-entry SB, WCDL 10, 8-run single-strike campaigns.
+    pub fn new(kind: JobKind) -> JobRequest {
+        JobRequest {
+            kind,
+            kernel: "bwaves".to_string(),
+            scheme: "turnpike".to_string(),
+            scale: "smoke".to_string(),
+            sb: 4,
+            wcdl: 10,
+            runs: 8,
+            seed: 0xF00D,
+            strikes: 1,
+            target: "summary".to_string(),
+            tag: String::new(),
+        }
+    }
+
+    /// Parse a request object (already dispatched on `"type"`).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the offending field.
+    pub fn from_json(kind: JobKind, v: &Json) -> Result<JobRequest, String> {
+        let mut req = JobRequest::new(kind);
+        let get_str = |key: &str, into: &mut String| -> Result<(), String> {
+            if let Some(field) = v.get(key) {
+                *into = field
+                    .as_str()
+                    .ok_or_else(|| format!("'{key}' must be a string"))?
+                    .to_string();
+            }
+            Ok(())
+        };
+        let get_u64 = |key: &str, into: &mut u64| -> Result<(), String> {
+            if let Some(field) = v.get(key) {
+                *into = field
+                    .as_u64()
+                    .ok_or_else(|| format!("'{key}' must be a non-negative integer"))?;
+            }
+            Ok(())
+        };
+        get_str("kernel", &mut req.kernel)?;
+        get_str("scheme", &mut req.scheme)?;
+        get_str("scale", &mut req.scale)?;
+        get_str("target", &mut req.target)?;
+        get_str("tag", &mut req.tag)?;
+        let mut sb = u64::from(req.sb);
+        get_u64("sb", &mut sb)?;
+        req.sb = u32::try_from(sb).map_err(|_| "'sb' out of range".to_string())?;
+        get_u64("wcdl", &mut req.wcdl)?;
+        get_u64("runs", &mut req.runs)?;
+        get_u64("seed", &mut req.seed)?;
+        get_u64("strikes", &mut req.strikes)?;
+        if !matches!(req.scale.as_str(), "smoke" | "full") {
+            return Err(format!(
+                "'scale' must be 'smoke' or 'full', got '{}'",
+                req.scale
+            ));
+        }
+        if req.kind == JobKind::Campaign && (req.runs == 0 || req.strikes == 0) {
+            return Err("'runs' and 'strikes' must be >= 1".to_string());
+        }
+        if req.sb == 0 {
+            return Err("'sb' must be >= 1".to_string());
+        }
+        Ok(req)
+    }
+
+    /// Render the request as one wire line (no trailing newline). Key order
+    /// is fixed; defaults are written out so the line is self-describing.
+    pub fn to_line(&self) -> String {
+        let mut out = format!(
+            "{{\"type\":{},\"kernel\":{},\"scheme\":{},\"scale\":{},\"sb\":{},\"wcdl\":{},\
+             \"runs\":{},\"seed\":{},\"strikes\":{},\"target\":{}",
+            escape(self.kind.name()),
+            escape(&self.kernel),
+            escape(&self.scheme),
+            escape(&self.scale),
+            self.sb,
+            self.wcdl,
+            self.runs,
+            self.seed,
+            self.strikes,
+            escape(&self.target),
+        );
+        if !self.tag.is_empty() {
+            out.push_str(&format!(",\"tag\":{}", escape(&self.tag)));
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Any request a connection can carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a job.
+    Job(JobRequest),
+    /// Ask for a metrics/queue snapshot.
+    Stats,
+    /// Begin graceful shutdown: drain in-flight jobs, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// Parse one request line.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message (sent back in an `error` event).
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let v = Json::parse(line).map_err(|e| e.to_string())?;
+        let kind = v
+            .get("type")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "request needs a string 'type' field".to_string())?;
+        match kind {
+            "stats" => Ok(Request::Stats),
+            "shutdown" => Ok(Request::Shutdown),
+            other => match JobKind::parse(other) {
+                Some(k) => Ok(Request::Job(JobRequest::from_json(k, &v)?)),
+                None => Err(format!(
+                    "unknown request type '{other}' (expected compile|run|campaign|figure|stats|shutdown)"
+                )),
+            },
+        }
+    }
+}
+
+/// Where a job's result came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StoreStatus {
+    /// Served from the persistent artifact store.
+    Hit,
+    /// Computed (and written to the store if one is configured).
+    Miss,
+    /// No artifact store configured, or the job kind is not cacheable.
+    Off,
+}
+
+impl StoreStatus {
+    /// Stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            StoreStatus::Hit => "hit",
+            StoreStatus::Miss => "miss",
+            StoreStatus::Off => "off",
+        }
+    }
+}
+
+/// Server→client event lines. Each renders as one line via
+/// [`Event::to_line`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// The job passed admission control and is queued.
+    Accepted {
+        /// Server-assigned job id.
+        job: u64,
+        /// Echoed client tag (empty = none).
+        tag: String,
+        /// Queue depth right after this job was enqueued.
+        queue_depth: usize,
+    },
+    /// Admission control rejected the job: the queue is full.
+    Overloaded {
+        /// Echoed client tag (empty = none).
+        tag: String,
+        /// Hint: milliseconds to wait before retrying.
+        retry_after_ms: u64,
+    },
+    /// The server is shutting down and takes no new jobs.
+    ShuttingDown {
+        /// Echoed client tag (empty = none).
+        tag: String,
+    },
+    /// Periodic progress for long jobs (campaign runs completed so far).
+    Progress {
+        /// Server-assigned job id.
+        job: u64,
+        /// Echoed client tag (empty = none).
+        tag: String,
+        /// Work units done.
+        done: u64,
+        /// Total work units.
+        total: u64,
+    },
+    /// The job finished; `result` is the executor's payload (valid
+    /// single-line JSON, embedded verbatim).
+    Done {
+        /// Server-assigned job id.
+        job: u64,
+        /// Echoed client tag (empty = none).
+        tag: String,
+        /// Artifact-store disposition of the result.
+        store: StoreStatus,
+        /// Executor payload (single-line JSON).
+        result: String,
+    },
+    /// The job (or request) failed.
+    Error {
+        /// Server-assigned job id; 0 when the request never became a job.
+        job: u64,
+        /// Echoed client tag (empty = none).
+        tag: String,
+        /// What went wrong.
+        message: String,
+    },
+    /// Snapshot answer to a `stats` request; `body` is a pre-rendered
+    /// single-line JSON object.
+    Stats {
+        /// Pre-rendered JSON object.
+        body: String,
+    },
+}
+
+impl Event {
+    /// Render as one wire line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        let tag_field = |tag: &str| {
+            if tag.is_empty() {
+                String::new()
+            } else {
+                format!(",\"tag\":{}", escape(tag))
+            }
+        };
+        match self {
+            Event::Accepted {
+                job,
+                tag,
+                queue_depth,
+            } => format!(
+                "{{\"event\":\"accepted\",\"job\":{job}{},\"queue_depth\":{queue_depth}}}",
+                tag_field(tag)
+            ),
+            Event::Overloaded {
+                tag,
+                retry_after_ms,
+            } => format!(
+                "{{\"event\":\"overloaded\"{},\"retry_after_ms\":{retry_after_ms}}}",
+                tag_field(tag)
+            ),
+            Event::ShuttingDown { tag } => {
+                format!("{{\"event\":\"shutting_down\"{}}}", tag_field(tag))
+            }
+            Event::Progress {
+                job,
+                tag,
+                done,
+                total,
+            } => format!(
+                "{{\"event\":\"progress\",\"job\":{job}{},\"done\":{done},\"total\":{total}}}",
+                tag_field(tag)
+            ),
+            Event::Done {
+                job,
+                tag,
+                store,
+                result,
+            } => format!(
+                "{{\"event\":\"done\",\"job\":{job}{},\"store\":\"{}\",\"result\":{result}}}",
+                tag_field(tag),
+                store.name()
+            ),
+            Event::Error { job, tag, message } => format!(
+                "{{\"event\":\"error\",\"job\":{job}{},\"message\":{}}}",
+                tag_field(tag),
+                escape(message)
+            ),
+            Event::Stats { body } => format!("{{\"event\":\"stats\",\"server\":{body}}}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn job_request_round_trips_through_the_wire() {
+        let mut req = JobRequest::new(JobKind::Campaign);
+        req.kernel = "hmmer".into();
+        req.runs = 12;
+        req.seed = 99;
+        req.tag = "c1-j7".into();
+        let line = req.to_line();
+        match Request::parse(&line).unwrap() {
+            Request::Job(parsed) => assert_eq!(parsed, req),
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply_for_sparse_requests() {
+        let parsed = Request::parse("{\"type\":\"run\",\"kernel\":\"mcf\"}").unwrap();
+        match parsed {
+            Request::Job(req) => {
+                assert_eq!(req.kind, JobKind::Run);
+                assert_eq!(req.kernel, "mcf");
+                assert_eq!(req.scheme, "turnpike");
+                assert_eq!(req.scale, "smoke");
+                assert_eq!(req.sb, 4);
+                assert_eq!(req.wcdl, 10);
+                assert!(req.tag.is_empty());
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn admin_requests_parse() {
+        assert_eq!(
+            Request::parse("{\"type\":\"stats\"}").unwrap(),
+            Request::Stats
+        );
+        assert_eq!(
+            Request::parse("{\"type\":\"shutdown\"}").unwrap(),
+            Request::Shutdown
+        );
+    }
+
+    #[test]
+    fn bad_requests_name_the_problem() {
+        let cases = [
+            ("{\"type\":\"warp\"}", "unknown request type"),
+            ("{\"no_type\":1}", "'type'"),
+            ("{\"type\":\"run\",\"sb\":0}", "'sb'"),
+            ("{\"type\":\"run\",\"scale\":\"huge\"}", "'scale'"),
+            ("{\"type\":\"campaign\",\"runs\":0}", "'runs'"),
+            ("{\"type\":\"run\",\"wcdl\":\"ten\"}", "'wcdl'"),
+            ("not json", "parse error"),
+        ];
+        for (line, needle) in cases {
+            let err = Request::parse(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn events_render_stable_single_lines() {
+        let done = Event::Done {
+            job: 3,
+            tag: "t".into(),
+            store: StoreStatus::Hit,
+            result: "{\"cycles\":10}".into(),
+        };
+        assert_eq!(
+            done.to_line(),
+            "{\"event\":\"done\",\"job\":3,\"tag\":\"t\",\"store\":\"hit\",\"result\":{\"cycles\":10}}"
+        );
+        let over = Event::Overloaded {
+            tag: String::new(),
+            retry_after_ms: 40,
+        };
+        assert_eq!(
+            over.to_line(),
+            "{\"event\":\"overloaded\",\"retry_after_ms\":40}"
+        );
+        for e in [
+            done,
+            over,
+            Event::Accepted {
+                job: 1,
+                tag: "x".into(),
+                queue_depth: 2,
+            },
+            Event::Progress {
+                job: 1,
+                tag: String::new(),
+                done: 3,
+                total: 8,
+            },
+            Event::Error {
+                job: 0,
+                tag: String::new(),
+                message: "bad \"quote\"".into(),
+            },
+            Event::ShuttingDown { tag: String::new() },
+            Event::Stats {
+                body: "{\"queue_depth\":0}".into(),
+            },
+        ] {
+            let line = e.to_line();
+            assert!(!line.contains('\n'));
+            assert!(crate::json::Json::parse(&line).is_ok(), "{line}");
+        }
+    }
+}

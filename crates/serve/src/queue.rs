@@ -1,0 +1,224 @@
+//! Bounded work queue with admission control.
+//!
+//! The server pushes accepted jobs here; the worker pool pops. Capacity is
+//! fixed at construction: when the queue is full, [`JobQueue::try_push`]
+//! fails *immediately* with the current depth so the connection handler
+//! can answer with a typed `overloaded` event and a retry-after hint —
+//! load is shed at admission, never by silently dropping accepted work.
+//!
+//! The queue also tracks **in-flight** jobs (popped but not yet finished)
+//! so graceful shutdown can drain: [`JobQueue::close`] wakes blocked
+//! workers, and [`JobQueue::drain_wait`] blocks until both the queue and
+//! the in-flight set are empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// Queue at capacity; the payload is the depth observed (== capacity).
+    Full(usize),
+    /// Queue closed for shutdown; no new work is admitted.
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    in_flight: usize,
+    closed: bool,
+}
+
+/// A bounded multi-producer multi-consumer job queue.
+pub struct JobQueue<T> {
+    capacity: usize,
+    state: Mutex<State<T>>,
+    /// Signaled when an item arrives or the queue closes (wakes poppers)
+    /// and when the queue empties out (wakes drain waiters).
+    cond: Condvar,
+}
+
+impl<T> JobQueue<T> {
+    /// A queue admitting at most `capacity` queued (not yet popped) jobs.
+    pub fn new(capacity: usize) -> JobQueue<T> {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        JobQueue {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                in_flight: 0,
+                closed: false,
+            }),
+            cond: Condvar::new(),
+        }
+    }
+
+    /// The admission limit.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs queued but not yet popped.
+    pub fn depth(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// Admit a job, or refuse without blocking. On success returns the
+    /// queue depth *including* the new job (reported back to the client).
+    pub fn try_push(&self, item: T) -> Result<usize, PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(PushError::Full(st.items.len()));
+        }
+        st.items.push_back(item);
+        let depth = st.items.len();
+        self.cond.notify_all();
+        Ok(depth)
+    }
+
+    /// Block until a job is available or the queue is closed *and* empty.
+    /// `None` tells a worker to exit. A popped job counts as in-flight
+    /// until [`JobQueue::finish`] is called.
+    pub fn pop(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                st.in_flight += 1;
+                // Drain waiters watch the queue empty out.
+                self.cond.notify_all();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+
+    /// Mark one previously popped job as finished (success or failure).
+    pub fn finish(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.in_flight = st
+            .in_flight
+            .checked_sub(1)
+            .expect("finish() without matching pop()");
+        self.cond.notify_all();
+    }
+
+    /// Stop admitting work and wake every blocked worker. Queued jobs are
+    /// still handed out — close initiates a drain, it does not discard.
+    pub fn close(&self) {
+        self.state.lock().unwrap().closed = true;
+        self.cond.notify_all();
+    }
+
+    /// Whether [`JobQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+
+    /// Block until no job is queued or in-flight. Callers close() first;
+    /// otherwise a racing push can re-fill the queue after this returns.
+    pub fn drain_wait(&self) {
+        let mut st = self.state.lock().unwrap();
+        while !st.items.is_empty() || st.in_flight > 0 {
+            st = self.cond.wait(st).unwrap();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn admission_is_refused_at_capacity_and_recovers_after_pop() {
+        let q = JobQueue::new(2);
+        assert_eq!(q.try_push(1), Ok(1));
+        assert_eq!(q.try_push(2), Ok(2));
+        assert_eq!(q.try_push(3), Err(PushError::Full(2)));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.try_push(3), Ok(2));
+        q.finish();
+    }
+
+    #[test]
+    fn close_refuses_new_work_but_drains_queued_work() {
+        let q = JobQueue::new(4);
+        q.try_push("a").unwrap();
+        q.close();
+        assert_eq!(q.try_push("b"), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some("a"));
+        q.finish();
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drain_wait_blocks_until_in_flight_work_finishes() {
+        let q = Arc::new(JobQueue::new(8));
+        let done = Arc::new(AtomicUsize::new(0));
+        for i in 0..6 {
+            q.try_push(i).unwrap();
+        }
+        let workers: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    while let Some(_job) = q.pop() {
+                        done.fetch_add(1, Ordering::SeqCst);
+                        q.finish();
+                    }
+                })
+            })
+            .collect();
+        q.close();
+        q.drain_wait();
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+        for w in workers {
+            w.join().unwrap();
+        }
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn every_pushed_job_is_popped_exactly_once() {
+        let q = Arc::new(JobQueue::new(64));
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                let seen = Arc::clone(&seen);
+                std::thread::spawn(move || {
+                    while let Some(job) = q.pop() {
+                        seen.lock().unwrap().push(job);
+                        q.finish();
+                    }
+                })
+            })
+            .collect();
+        let mut pushed = 0usize;
+        let mut next = 0usize;
+        while pushed < 200 {
+            if q.try_push(next).is_ok() {
+                pushed += 1;
+                next += 1;
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        q.close();
+        q.drain_wait();
+        for w in workers {
+            w.join().unwrap();
+        }
+        let mut got = seen.lock().unwrap().clone();
+        got.sort_unstable();
+        assert_eq!(got, (0..200).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,608 @@
+//! The TCP job server: accept loop, per-connection request handling,
+//! worker pool, admission control, per-job timeout/cancellation, and
+//! graceful shutdown.
+//!
+//! The server is generic over an [`Executor`] — the thing that actually
+//! compiles/simulates. The production executor (backed by the bench
+//! crate's memoizing `Engine` and the artifact [`crate::store::Store`])
+//! lives in `turnpike-bench`; tests here use mocks, which keeps this crate
+//! free of a dependency cycle with the evaluation harness.
+//!
+//! # Lifecycle
+//!
+//! ```text
+//! accept loop ──> connection thread ──try_push──> JobQueue ──pop──> worker
+//!                      │   ▲                                          │
+//!                      │   └────────── events (mpsc) ─────────────────┘
+//!                      └ forwards accepted/progress/done lines to client
+//! ```
+//!
+//! Shutdown (client `shutdown` request or [`Server::shutdown`]) closes the
+//! queue (no new admissions), drains queued + in-flight jobs to their
+//! terminal events, joins workers and connection threads, optionally writes
+//! a Chrome trace of job spans, and returns — nothing accepted is lost.
+//!
+//! # Timeouts and cancellation
+//!
+//! Cancellation is **cooperative**: a simulated run cannot be preempted
+//! mid-instruction, so when a job exceeds its deadline the connection
+//! handler raises the job's cancel flag and keeps waiting. Campaign
+//! executors observe the flag between injected runs (via the resilience
+//! crate's campaign hook) and abandon promptly; single runs finish their
+//! current simulation before the worker notices. Either way the client
+//! always receives a terminal event.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use turnpike_metrics::{Counter, Hist, MetricSet};
+
+use crate::json::escape;
+use crate::proto::{Event, JobKind, JobRequest, Request, StoreStatus};
+use crate::queue::{JobQueue, PushError};
+
+/// Tuning knobs for a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 to let the OS pick (read it back from
+    /// [`Server::addr`]).
+    pub addr: String,
+    /// Worker threads executing jobs.
+    pub workers: usize,
+    /// Admission limit: jobs queued (not yet executing) before new
+    /// submissions get a typed `overloaded` rejection.
+    pub queue_capacity: usize,
+    /// Per-job deadline measured from admission; on expiry the job's
+    /// cancel flag is raised (cooperative — see module docs).
+    pub job_timeout: Duration,
+    /// Retry hint sent with `overloaded` rejections.
+    pub retry_after_ms: u64,
+    /// If set, write a Chrome trace (one complete-event span per job)
+    /// here at shutdown.
+    pub trace_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 16,
+            job_timeout: Duration::from_secs(300),
+            retry_after_ms: 50,
+            trace_path: None,
+        }
+    }
+}
+
+/// What an [`Executor`] hands back for a finished job.
+#[derive(Debug, Clone)]
+pub struct ExecOutput {
+    /// Single-line JSON payload, embedded verbatim in the `done` event.
+    pub result: String,
+    /// Artifact-store disposition.
+    pub store: StoreStatus,
+    /// Corrupt store entries quarantined while serving this job.
+    pub quarantined: u64,
+}
+
+/// Per-job control surface handed to the executor: cancellation state and
+/// a progress channel back to the submitting client.
+pub struct JobCtl {
+    job: u64,
+    tag: String,
+    cancel: Arc<AtomicBool>,
+    // mpsc senders are !Sync; executors report progress from worker pools
+    // (e.g. the campaign hook fires on par_map threads), so serialize.
+    events: Mutex<mpsc::Sender<Event>>,
+}
+
+impl JobCtl {
+    /// A control handle attached to no connection: never canceled,
+    /// progress dropped. Direct (CLI) execution uses this to drive the
+    /// exact same executor code path as a served job — one renderer, one
+    /// store lookup, byte-identical payloads.
+    pub fn detached() -> JobCtl {
+        let (tx, _rx) = mpsc::channel();
+        JobCtl {
+            job: 0,
+            tag: String::new(),
+            cancel: Arc::new(AtomicBool::new(false)),
+            events: Mutex::new(tx),
+        }
+    }
+
+    /// Whether the deadline passed or the server asked this job to stop.
+    /// Executors should poll this at natural yield points (per campaign
+    /// run) and bail with an error mentioning "canceled".
+    pub fn is_canceled(&self) -> bool {
+        self.cancel.load(Ordering::Relaxed)
+    }
+
+    /// The raw cancel flag, for wiring into hooks that take an
+    /// `&AtomicBool` directly.
+    pub fn cancel_flag(&self) -> &AtomicBool {
+        &self.cancel
+    }
+
+    /// Stream a progress event (`done`/`total` work units) to the client.
+    /// Dropped silently if the client is gone.
+    pub fn progress(&self, done: u64, total: u64) {
+        let ev = Event::Progress {
+            job: self.job,
+            tag: self.tag.clone(),
+            done,
+            total,
+        };
+        let _ = self.events.lock().unwrap().send(ev);
+    }
+}
+
+/// Executes one job. Implementations must be thread-safe: the worker pool
+/// calls `execute` concurrently.
+pub trait Executor: Send + Sync {
+    /// Run `req` to completion (or until `ctl` reports cancellation) and
+    /// return the rendered payload.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message; include the word "canceled" when bailing
+    /// out due to `ctl.is_canceled()` so the server meters it as a
+    /// cancellation rather than a failure.
+    fn execute(&self, req: &JobRequest, ctl: &JobCtl) -> Result<ExecOutput, String>;
+}
+
+struct Job {
+    id: u64,
+    req: JobRequest,
+    events: mpsc::Sender<Event>,
+    cancel: Arc<AtomicBool>,
+    enqueued: Instant,
+}
+
+struct Span {
+    name: String,
+    worker: usize,
+    start_us: u64,
+    dur_us: u64,
+    job: u64,
+    store: &'static str,
+}
+
+struct Inner {
+    config: ServerConfig,
+    executor: Arc<dyn Executor>,
+    queue: JobQueue<Job>,
+    metrics: Mutex<MetricSet>,
+    shutting_down: AtomicBool,
+    next_job: AtomicU64,
+    started: Instant,
+    spans: Mutex<Vec<Span>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    addr: SocketAddr,
+}
+
+/// A running job server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] (or send a `shutdown` request and
+/// [`Server::join`]).
+pub struct Server {
+    inner: Arc<Inner>,
+    thread: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind, spawn the worker pool and accept loop, and return a handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    pub fn start(config: ServerConfig, executor: Arc<dyn Executor>) -> std::io::Result<Server> {
+        assert!(config.workers >= 1, "need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            queue: JobQueue::new(config.queue_capacity),
+            config,
+            executor,
+            metrics: Mutex::new(MetricSet::new()),
+            shutting_down: AtomicBool::new(false),
+            next_job: AtomicU64::new(1),
+            started: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+            conns: Mutex::new(Vec::new()),
+            addr,
+        });
+        let workers: Vec<_> = (0..inner.config.workers)
+            .map(|idx| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker_loop(&inner, idx))
+            })
+            .collect();
+        let thread = {
+            let inner = Arc::clone(&inner);
+            std::thread::spawn(move || serve_loop(&inner, &listener, workers))
+        };
+        Ok(Server { inner, thread })
+    }
+
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Begin graceful shutdown and wait for it to complete: queued and
+    /// in-flight jobs run to their terminal events, then everything joins.
+    pub fn shutdown(self) {
+        self.inner.trigger_shutdown();
+        let _ = self.thread.join();
+    }
+
+    /// Wait until some client triggers shutdown.
+    pub fn join(self) {
+        let _ = self.thread.join();
+    }
+
+    /// Snapshot of the server's metric registry (for merging into a
+    /// process-wide set).
+    pub fn metrics(&self) -> MetricSet {
+        self.inner.metrics.lock().unwrap().clone()
+    }
+}
+
+impl Inner {
+    fn trigger_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.queue.close();
+        // Wake the blocking accept() so the serve loop can exit.
+        let _ = TcpStream::connect(self.addr);
+    }
+
+    /// Render the `stats` snapshot body with a fixed key order.
+    fn stats_body(&self) -> String {
+        let m = self.metrics.lock().unwrap();
+        let hist_q = |key, q| m.hist(key).map_or(0, |h| h.quantile(q).round() as u64);
+        format!(
+            "{{\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{},\"shutting_down\":{},\
+             \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\"canceled\":{},\
+             \"store_hits\":{},\"store_misses\":{},\"store_quarantined\":{},\"queue_peak\":{},\
+             \"job_p50_us\":{},\"job_p99_us\":{}}}",
+            self.queue.depth(),
+            self.queue.capacity(),
+            self.config.workers,
+            self.shutting_down.load(Ordering::SeqCst),
+            m.counter(Counter::ServeAccepted),
+            m.counter(Counter::ServeRejected),
+            m.counter(Counter::ServeCompleted),
+            m.counter(Counter::ServeFailed),
+            m.counter(Counter::ServeCanceled),
+            m.counter(Counter::ServeStoreHits),
+            m.counter(Counter::ServeStoreMisses),
+            m.counter(Counter::ServeStoreQuarantined),
+            m.counter(Counter::ServeQueuePeak),
+            hist_q(Hist::ServeJobMicros, 0.50),
+            hist_q(Hist::ServeJobMicros, 0.99),
+        )
+    }
+
+    fn write_trace(&self) {
+        let Some(path) = &self.config.trace_path else {
+            return;
+        };
+        let spans = self.spans.lock().unwrap();
+        let mut out = String::from("[");
+        for (i, s) in spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"name\":{},\"cat\":\"job\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":1,\"tid\":{},\"args\":{{\"job\":{},\"store\":\"{}\"}}}}",
+                escape(&s.name),
+                s.start_us,
+                s.dur_us,
+                s.worker + 1,
+                s.job,
+                s.store,
+            ));
+        }
+        out.push_str("]\n");
+        let write = || -> std::io::Result<()> {
+            if let Some(parent) = path.parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent)?;
+                }
+            }
+            std::fs::write(path, &out)
+        };
+        if let Err(e) = write() {
+            eprintln!("serve: failed to write trace {}: {e}", path.display());
+        }
+    }
+}
+
+fn serve_loop(inner: &Arc<Inner>, listener: &TcpListener, workers: Vec<JoinHandle<()>>) {
+    for stream in listener.incoming() {
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        let conn_inner = Arc::clone(inner);
+        let handle = std::thread::spawn(move || handle_connection(&conn_inner, stream));
+        inner.conns.lock().unwrap().push(handle);
+    }
+    // Drain: admission is already closed; every accepted job reaches its
+    // terminal event before the workers exit.
+    inner.queue.drain_wait();
+    for w in workers {
+        let _ = w.join();
+    }
+    let conns = std::mem::take(&mut *inner.conns.lock().unwrap());
+    for c in conns {
+        let _ = c.join();
+    }
+    inner.write_trace();
+}
+
+fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
+    while let Some(job) = inner.queue.pop() {
+        let queue_wait = job.enqueued.elapsed();
+        let start = Instant::now();
+        let ctl = JobCtl {
+            job: job.id,
+            tag: job.req.tag.clone(),
+            cancel: Arc::clone(&job.cancel),
+            events: Mutex::new(job.events.clone()),
+        };
+        // A panicking executor must not take the worker (and with it the
+        // drain guarantee) down; convert panics into job failures.
+        let outcome = catch_unwind(AssertUnwindSafe(|| inner.executor.execute(&job.req, &ctl)))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(ToString::to_string)
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "executor panicked".to_string());
+                Err(format!("executor panicked: {msg}"))
+            });
+        let dur = start.elapsed();
+        let canceled = job.cancel.load(Ordering::SeqCst);
+        let (terminal, store_name) = match outcome {
+            Ok(out) => {
+                let name = out.store.name();
+                let mut m = inner.metrics.lock().unwrap();
+                m.inc(Counter::ServeCompleted);
+                match out.store {
+                    StoreStatus::Hit => m.inc(Counter::ServeStoreHits),
+                    StoreStatus::Miss => m.inc(Counter::ServeStoreMisses),
+                    StoreStatus::Off => {}
+                }
+                m.add(Counter::ServeStoreQuarantined, out.quarantined);
+                drop(m);
+                (
+                    Event::Done {
+                        job: job.id,
+                        tag: job.req.tag.clone(),
+                        store: out.store,
+                        result: out.result,
+                    },
+                    name,
+                )
+            }
+            Err(message) => {
+                let mut m = inner.metrics.lock().unwrap();
+                m.inc(if canceled {
+                    Counter::ServeCanceled
+                } else {
+                    Counter::ServeFailed
+                });
+                drop(m);
+                (
+                    Event::Error {
+                        job: job.id,
+                        tag: job.req.tag.clone(),
+                        message,
+                    },
+                    "off",
+                )
+            }
+        };
+        {
+            let mut m = inner.metrics.lock().unwrap();
+            m.record_hist(Hist::ServeQueueMicros, queue_wait.as_micros() as u64);
+            m.record_hist(Hist::ServeJobMicros, dur.as_micros() as u64);
+        }
+        if inner.config.trace_path.is_some() {
+            let subject = if job.req.kind == JobKind::Figure {
+                &job.req.target
+            } else {
+                &job.req.kernel
+            };
+            inner.spans.lock().unwrap().push(Span {
+                name: format!("{} {}", job.req.kind.name(), subject),
+                worker: worker_idx,
+                start_us: start.duration_since(inner.started).as_micros() as u64,
+                dur_us: dur.as_micros() as u64,
+                job: job.id,
+                store: store_name,
+            });
+        }
+        let _ = job.events.send(terminal);
+        inner.queue.finish();
+    }
+}
+
+/// Read one `\n`-terminated line, preserving any partial line across read
+/// timeouts (the timeout is what lets idle connections notice shutdown).
+/// `None` means the connection is done (EOF, error, or shutdown).
+fn read_request_line(stream: &mut TcpStream, buf: &mut Vec<u8>, inner: &Inner) -> Option<String> {
+    loop {
+        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = buf.drain(..=pos).collect();
+            let text = String::from_utf8_lossy(&line[..pos]).trim().to_string();
+            if text.is_empty() {
+                continue;
+            }
+            return Some(text);
+        }
+        let mut chunk = [0u8; 4096];
+        match stream.read(&mut chunk) {
+            Ok(0) => return None,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return None;
+                }
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) {
+    // A vanished client must not wedge the server; the worker side never
+    // blocks on this socket, so dropping the write is safe.
+    let _ = stream
+        .write_all(line.as_bytes())
+        .and_then(|()| stream.write_all(b"\n"))
+        .and_then(|()| stream.flush());
+}
+
+fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let _ = stream.set_nodelay(true);
+    let mut buf = Vec::new();
+    while let Some(line) = read_request_line(&mut stream, &mut buf, inner) {
+        match Request::parse(&line) {
+            Err(message) => write_line(
+                &mut stream,
+                &Event::Error {
+                    job: 0,
+                    tag: String::new(),
+                    message,
+                }
+                .to_line(),
+            ),
+            Ok(Request::Stats) => write_line(
+                &mut stream,
+                &Event::Stats {
+                    body: inner.stats_body(),
+                }
+                .to_line(),
+            ),
+            Ok(Request::Shutdown) => {
+                inner.trigger_shutdown();
+                write_line(
+                    &mut stream,
+                    &Event::ShuttingDown { tag: String::new() }.to_line(),
+                );
+                return;
+            }
+            Ok(Request::Job(req)) => handle_job(inner, &mut stream, req),
+        }
+    }
+}
+
+fn handle_job(inner: &Arc<Inner>, stream: &mut TcpStream, req: JobRequest) {
+    let tag = req.tag.clone();
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        write_line(stream, &Event::ShuttingDown { tag }.to_line());
+        return;
+    }
+    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+    let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let job = Job {
+        id,
+        req,
+        events: tx,
+        cancel: Arc::clone(&cancel),
+        enqueued: Instant::now(),
+    };
+    match inner.queue.try_push(job) {
+        Err(PushError::Full(_)) => {
+            inner.metrics.lock().unwrap().inc(Counter::ServeRejected);
+            write_line(
+                stream,
+                &Event::Overloaded {
+                    tag,
+                    retry_after_ms: inner.config.retry_after_ms,
+                }
+                .to_line(),
+            );
+        }
+        Err(PushError::Closed) => {
+            write_line(stream, &Event::ShuttingDown { tag }.to_line());
+        }
+        Ok(depth) => {
+            {
+                let mut m = inner.metrics.lock().unwrap();
+                m.inc(Counter::ServeAccepted);
+                m.record_peak(Counter::ServeQueuePeak, depth as u64);
+            }
+            write_line(
+                stream,
+                &Event::Accepted {
+                    job: id,
+                    tag,
+                    queue_depth: depth,
+                }
+                .to_line(),
+            );
+            forward_events(inner, stream, &rx, &cancel, id);
+        }
+    }
+}
+
+/// Relay events for one accepted job until its terminal event, enforcing
+/// the per-job deadline by raising the cancel flag (then waiting — the
+/// worker always delivers a terminal event, see module docs).
+fn forward_events(
+    inner: &Arc<Inner>,
+    stream: &mut TcpStream,
+    rx: &mpsc::Receiver<Event>,
+    cancel: &AtomicBool,
+    job: u64,
+) {
+    let deadline = Instant::now() + inner.config.job_timeout;
+    loop {
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        let next = if cancel.load(Ordering::SeqCst) {
+            rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected)
+        } else {
+            rx.recv_timeout(remaining)
+        };
+        match next {
+            Ok(ev) => {
+                let terminal = matches!(ev, Event::Done { .. } | Event::Error { .. });
+                write_line(stream, &ev.to_line());
+                if terminal {
+                    return;
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // Deadline passed: ask the job to stop, keep draining.
+                cancel.store(true, Ordering::SeqCst);
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                write_line(
+                    stream,
+                    &Event::Error {
+                        job,
+                        tag: String::new(),
+                        message: "internal: worker dropped the job".to_string(),
+                    }
+                    .to_line(),
+                );
+                return;
+            }
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! Persistent content-addressed artifact store.
+//!
+//! Job results are cached on disk keyed by a canonical description of the
+//! work (kernel + full `CompilerConfig`/`SimConfig` rendering + job
+//! parameters — the executor builds the key so every knob that affects the
+//! output is covered). Entries survive restarts and are shared between the
+//! server and the direct CLI: whichever process computes a result first,
+//! the other gets a byte-identical payload from the store.
+//!
+//! # On-disk format (version 1)
+//!
+//! One entry per file, named `<fnv128-of-key>.art` under a two-level fanout
+//! (`ab/cd/abcd….art`). Each file is:
+//!
+//! ```text
+//! turnpike-art 1 <payload-len> <fnv64-of-payload-hex>\n
+//! <key>\n
+//! <payload bytes>
+//! ```
+//!
+//! The header carries a version so future layouts can coexist; the full
+//! key line makes 128-bit hash collisions detectable (compare, don't
+//! trust); the length + checksum make truncation and bit-rot detectable.
+//! A corrupt or wrong-version entry is **quarantined** (renamed into
+//! `quarantine/` for post-mortem) and reported as a miss — never a panic,
+//! never served.
+//!
+//! Writes create missing parent directories and go through a
+//! temp-file + rename so a concurrent reader sees either the old entry or
+//! the new one, not a torn write.
+
+use std::fs;
+use std::io::{Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Result of a [`Store::get`]: distinguishes "never stored" from "stored
+/// but unusable" so callers can meter quarantines separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lookup {
+    /// The payload, byte-identical to what was `put`.
+    Hit(String),
+    /// No entry under this key.
+    Miss,
+    /// An entry existed but failed validation and was quarantined.
+    Quarantined,
+}
+
+/// A persistent content-addressed artifact store rooted at one directory.
+#[derive(Debug, Clone)]
+pub struct Store {
+    root: PathBuf,
+}
+
+/// Format version written and accepted by this build.
+const VERSION: u32 = 1;
+/// Header magic.
+const MAGIC: &str = "turnpike-art";
+
+/// 64-bit FNV-1a.
+fn fnv64(bytes: &[u8], seed: u64) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// 128 bits of key identity from two independently-seeded FNV-1a passes.
+/// Collisions are detected (the full key is stored), so the hash only
+/// needs to make them vanishingly rare, not impossible.
+fn key_hash(key: &str) -> String {
+    format!(
+        "{:016x}{:016x}",
+        fnv64(key.as_bytes(), 0),
+        fnv64(key.as_bytes(), 0x9e37_79b9_7f4a_7c15)
+    )
+}
+
+impl Store {
+    /// A store rooted at `root`. No I/O happens until the first access;
+    /// directories are created on write.
+    pub fn open(root: impl Into<PathBuf>) -> Store {
+        Store { root: root.into() }
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn entry_path(&self, hash: &str) -> PathBuf {
+        self.root
+            .join(&hash[0..2])
+            .join(&hash[2..4])
+            .join(format!("{hash}.art"))
+    }
+
+    /// Look up `key`. Corrupt entries are moved into `quarantine/` and
+    /// reported as [`Lookup::Quarantined`].
+    pub fn get(&self, key: &str) -> Lookup {
+        let hash = key_hash(key);
+        let path = self.entry_path(&hash);
+        let mut raw = Vec::new();
+        match fs::File::open(&path).and_then(|mut f| f.read_to_end(&mut raw)) {
+            Ok(_) => {}
+            Err(_) => return Lookup::Miss,
+        }
+        match parse_entry(&raw, key) {
+            Some(payload) => Lookup::Hit(payload),
+            None => {
+                self.quarantine(&path, &hash);
+                Lookup::Quarantined
+            }
+        }
+    }
+
+    /// Store `payload` under `key`, creating missing parent directories.
+    /// Concurrent writers race benignly: both write the same bytes for the
+    /// same key (payloads are deterministic), and the rename is atomic.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures (callers treat a failed put as "not cached",
+    /// never as a job failure).
+    pub fn put(&self, key: &str, payload: &str) -> std::io::Result<()> {
+        let hash = key_hash(key);
+        let path = self.entry_path(&hash);
+        let parent = path.parent().expect("entry paths have a fanout parent");
+        fs::create_dir_all(parent)?;
+        // The temp name must be unique per *writer*, not just per process:
+        // two worker threads putting the same key would otherwise share a
+        // temp file, and whichever renames second fails with ENOENT.
+        static SEQ: AtomicU64 = AtomicU64::new(0);
+        let tmp = parent.join(format!(
+            "{hash}.tmp.{}.{}",
+            std::process::id(),
+            SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(render_entry(key, payload).as_bytes())?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)
+    }
+
+    /// Move a bad entry aside for post-mortem instead of deleting or
+    /// serving it. Best-effort: if the move itself fails the entry is
+    /// removed so it cannot be served on the next lookup either.
+    fn quarantine(&self, path: &Path, hash: &str) {
+        let qdir = self.root.join("quarantine");
+        // Repeated corruption of the same key must not overwrite earlier
+        // evidence: probe for a free name.
+        let dest = (0u32..)
+            .map(|n| {
+                if n == 0 {
+                    qdir.join(format!("{hash}.art"))
+                } else {
+                    qdir.join(format!("{hash}.{n}.art"))
+                }
+            })
+            .find(|p| !p.exists())
+            .expect("unbounded probe sequence");
+        let ok = fs::create_dir_all(&qdir)
+            .and_then(|()| fs::rename(path, dest))
+            .is_ok();
+        if !ok {
+            let _ = fs::remove_file(path);
+        }
+    }
+
+    /// Number of quarantined entries currently on disk.
+    pub fn quarantined_count(&self) -> usize {
+        fs::read_dir(self.root.join("quarantine"))
+            .map(|d| d.count())
+            .unwrap_or(0)
+    }
+}
+
+fn render_entry(key: &str, payload: &str) -> String {
+    debug_assert!(!key.contains('\n'), "keys are single-line");
+    format!(
+        "{MAGIC} {VERSION} {} {:016x}\n{key}\n{payload}",
+        payload.len(),
+        fnv64(payload.as_bytes(), 0)
+    )
+}
+
+/// Validate and extract the payload; `None` means quarantine.
+fn parse_entry(raw: &[u8], expect_key: &str) -> Option<String> {
+    let text = std::str::from_utf8(raw).ok()?;
+    let (header, rest) = text.split_once('\n')?;
+    let (key, payload) = rest.split_once('\n')?;
+    let mut fields = header.split(' ');
+    if fields.next() != Some(MAGIC) {
+        return None;
+    }
+    if fields.next()?.parse::<u32>().ok()? != VERSION {
+        return None;
+    }
+    let len: usize = fields.next()?.parse().ok()?;
+    let sum = u64::from_str_radix(fields.next()?, 16).ok()?;
+    if fields.next().is_some() || key != expect_key {
+        return None;
+    }
+    if payload.len() != len || fnv64(payload.as_bytes(), 0) != sum {
+        return None;
+    }
+    Some(payload.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "turnpike-store-{name}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_round_trip_bytes() {
+        let root = scratch("roundtrip");
+        let s = Store::open(&root);
+        assert_eq!(s.get("k1"), Lookup::Miss);
+        s.put("k1", "{\"cycles\":42}").unwrap();
+        assert_eq!(s.get("k1"), Lookup::Hit("{\"cycles\":42}".into()));
+        // Distinct keys do not alias.
+        assert_eq!(s.get("k2"), Lookup::Miss);
+        // Overwrite wins.
+        s.put("k1", "{\"cycles\":43}").unwrap();
+        assert_eq!(s.get("k1"), Lookup::Hit("{\"cycles\":43}".into()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn creates_missing_parent_directories() {
+        let root = scratch("parents").join("deeply/nested/store");
+        let s = Store::open(&root);
+        s.put("key with spaces | and pipes", "payload").unwrap();
+        assert_eq!(
+            s.get("key with spaces | and pipes"),
+            Lookup::Hit("payload".into())
+        );
+        fs::remove_dir_all(root.parent().unwrap().parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn survives_reopen_cross_process_shape() {
+        let root = scratch("reopen");
+        Store::open(&root).put("k", "v").unwrap();
+        // A fresh handle (different "process") sees the entry.
+        assert_eq!(Store::open(&root).get("k"), Lookup::Hit("v".into()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn corrupt_entries_quarantine_instead_of_serving() {
+        let root = scratch("corrupt");
+        let s = Store::open(&root);
+        s.put("k", "payload-bytes").unwrap();
+        // Flip payload bytes on disk (checksum mismatch).
+        let path = s.entry_path(&key_hash("k"));
+        let mut raw = fs::read_to_string(&path).unwrap();
+        raw = raw.replace("payload-bytes", "tampered-byte");
+        fs::write(&path, raw).unwrap();
+        assert_eq!(s.get("k"), Lookup::Quarantined);
+        assert_eq!(s.quarantined_count(), 1);
+        // Quarantine is sticky: the entry is gone, next lookup is a miss...
+        assert_eq!(s.get("k"), Lookup::Miss);
+        // ...and a fresh put repopulates.
+        s.put("k", "payload-bytes").unwrap();
+        assert_eq!(s.get("k"), Lookup::Hit("payload-bytes".into()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn truncated_and_wrong_version_entries_quarantine() {
+        let root = scratch("versions");
+        let s = Store::open(&root);
+        s.put("k", "0123456789").unwrap();
+        let path = s.entry_path(&key_hash("k"));
+        let full = fs::read(&path).unwrap();
+        fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert_eq!(s.get("k"), Lookup::Quarantined, "truncated entry");
+        s.put("k", "0123456789").unwrap();
+        let v2 = String::from_utf8(full)
+            .unwrap()
+            .replacen("turnpike-art 1 ", "turnpike-art 2 ", 1);
+        fs::write(&path, v2).unwrap();
+        assert_eq!(s.get("k"), Lookup::Quarantined, "future version");
+        assert_eq!(s.quarantined_count(), 2);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn hash_collision_on_key_line_is_detected() {
+        // Force a "collision" by writing an entry whose key line differs
+        // from the lookup key but lives at the same path.
+        let root = scratch("collide");
+        let s = Store::open(&root);
+        let hash = key_hash("key-a");
+        let path = s.entry_path(&hash);
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, render_entry("key-b", "other")).unwrap();
+        // Lookup of key-a finds key-b's entry → quarantined, not served.
+        assert_eq!(s.get("key-a"), Lookup::Quarantined);
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn concurrent_puts_of_the_same_key_all_succeed() {
+        let root = scratch("race");
+        let s = Store::open(&root);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..20 {
+                        s.put("hot-key", "same deterministic payload").unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(
+            s.get("hot-key"),
+            Lookup::Hit("same deterministic payload".into())
+        );
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn multiline_payloads_round_trip() {
+        let root = scratch("multiline");
+        let s = Store::open(&root);
+        let payload = "line one\nline two\n";
+        s.put("k", payload).unwrap();
+        assert_eq!(s.get("k"), Lookup::Hit(payload.into()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}
