@@ -44,6 +44,7 @@ fn bench_campaign(c: &mut Criterion) {
                     runs: 5,
                     seed: 1,
                     strikes_per_run: 1,
+                    ..Default::default()
                 },
             )
             .expect("campaign runs")

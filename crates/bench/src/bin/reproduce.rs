@@ -6,6 +6,7 @@
 //! reproduce serve [--addr A] [--workers N] [--queue N] [--store DIR] ...
 //! reproduce submit [--addr A | --direct] [--kind K] [job fields] ...
 //! reproduce loadgen [--addr A] [--clients N] [--jobs N] [job fields] ...
+//! reproduce sim-throughput [--smoke] [--reps N]
 //! reproduce --list
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
@@ -39,25 +40,35 @@
 //! fault-free cycle count, so the export always shows a full
 //! strike→detection→recovery arc.
 //!
-//! Every generating invocation also writes `BENCH_reproduce.json` to the
-//! current directory — target, scale, threads, cache flag, total plus
-//! per-figure wall-clock milliseconds, and a histogram summary block
-//! (p50/p99/max of SB residency, verification latency, detection latency,
-//! recovery penalty, and compile/sim stage times) — so harness performance
-//! is tracked over time. Timing goes there and to stderr, never to stdout.
+//! `sim-throughput` measures fault-free simulator speed (wall-clock
+//! nanoseconds per retired instruction, interpreter vs. superblock
+//! dispatch) over the whole kernel catalog and records the
+//! `sim_throughput` block.
+//!
+//! Every generating invocation also records its perf block — target, scale,
+//! threads, cache flag, total plus per-figure wall-clock milliseconds, and
+//! a histogram summary block (p50/p99/max of SB residency, verification
+//! latency, detection latency, recovery penalty, and compile/sim stage
+//! times) — so harness performance is tracked over time.
+//! `BENCH_reproduce.json` is a single JSON object keyed by block name
+//! (`"all"`, `"fig21"`, `"loadgen"`, `"sim_throughput"`, ...); each writer
+//! merges its block and preserves the others (see `report.rs`). Timing goes
+//! there and to stderr, never to stdout.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 use turnpike_bench::{
     export_trace, fault_probe_metrics, find_kernel, hist_summary_json, json_string, target_by_name,
-    Engine, EngineExecutor, Table, Target, TraceFormat, TARGETS,
+    write_block, Engine, EngineExecutor, Table, Target, TraceFormat, TARGETS,
 };
 use turnpike_metrics::{Hist, MetricSet};
 use turnpike_resilience::{par_map, RunSpec, Scheme};
 use turnpike_serve::{
     loadgen, Client, JobKind, JobRequest, LoadgenConfig, Outcome, Server, ServerConfig, Store,
 };
-use turnpike_workloads::Scale;
+use turnpike_sim::{Core, Translation};
+use turnpike_workloads::{all_kernels, Scale, Suite};
 
 /// The target list rendered from the registry, one aligned line per target.
 fn target_listing() -> String {
@@ -89,6 +100,7 @@ fn usage() -> ExitCode {
          \x20                       [--runs N] [--seed N] [--strikes N] [--target T] [--tag T]\n\
          \x20      reproduce submit [--addr A] --stats|--shutdown\n\
          \x20      reproduce loadgen [--addr A] [--clients N] [--jobs N] [--max-retries N] [job fields]\n\
+         \x20      reproduce sim-throughput [--smoke] [--reps N]\n\
          \x20      reproduce --list\n\
          options:\n\
          \x20 --threads N  evaluation worker threads, N >= 1 (default: all hardware threads)\n\
@@ -526,13 +538,13 @@ fn loadgen_main(args: &[String]) -> ExitCode {
     );
     let record = format!(
         "{{\n  \"target\": \"loadgen\",\n  \"addr\": {},\n  \"clients\": {},\n  \
-         \"jobs_per_client\": {},\n  \"report\": {}\n}}\n",
+         \"jobs_per_client\": {},\n  \"report\": {}\n}}",
         json_string(&addr),
         cfg.clients,
         cfg.jobs_per_client,
         json
     );
-    if let Err(e) = std::fs::write("BENCH_reproduce.json", record) {
+    if let Err(e) = write_block("BENCH_reproduce.json", "loadgen", &record) {
         eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
     if report.lost > 0 || report.duplicated > 0 || report.errors > 0 {
@@ -541,6 +553,131 @@ fn loadgen_main(args: &[String]) -> ExitCode {
             report.lost, report.duplicated, report.errors
         );
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `reproduce sim-throughput [--smoke|--full] [--reps N]` — measure
+/// fault-free ("golden path") simulator throughput over the whole kernel
+/// catalog and record it as the `sim_throughput` block of
+/// `BENCH_reproduce.json`.
+///
+/// Each kernel x scheme cell is timed twice — per-instruction interpreter
+/// and superblock-translated dispatch — as wall-clock nanoseconds per
+/// retired instruction, min over `--reps` runs (the minimum is the right
+/// statistic for a throughput floor: noise on a quiet machine is strictly
+/// additive). Cells run sequentially on one thread so measurements never
+/// contend with each other.
+fn sim_throughput_main(args: &[String]) -> ExitCode {
+    let mut scale = Scale::Full;
+    let mut reps = 5usize;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--reps" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => reps = n,
+                _ => {
+                    eprintln!("reproduce sim-throughput: --reps must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    let scale_name = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    let suite_key = |s: Suite| match s {
+        Suite::Cpu2006 => "cpu2006",
+        Suite::Cpu2017 => "cpu2017",
+        Suite::Splash3 => "splash3",
+    };
+    eprintln!("# sim-throughput: {scale_name} scale, min of {reps} reps per cell");
+    let mut rows = String::new();
+    let (mut interp_ns, mut translated_ns, mut total_insts) = (0.0f64, 0.0f64, 0u64);
+    for k in all_kernels(scale) {
+        for scheme in [Scheme::Baseline, Scheme::Turnpike] {
+            let spec = RunSpec::new(scheme);
+            let compiled = match turnpike_compiler::compile(&k.program, &spec.compiler_config()) {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("reproduce sim-throughput: compile {}: {e}", k.name);
+                    return ExitCode::FAILURE;
+                }
+            };
+            let translation = Arc::new(Translation::new(&compiled.program));
+            // best[0]: interpreter; best[1]: translated.
+            let mut best = [f64::MAX; 2];
+            let (mut insts, mut cycles) = (0u64, 0u64);
+            for (slot, translate) in [(0, false), (1, true)] {
+                for _ in 0..reps {
+                    let mut cfg = spec.sim_config();
+                    cfg.translate = translate;
+                    let mut core = Core::new(&compiled.program, cfg);
+                    if translate {
+                        core.attach_translation(translation.clone());
+                    }
+                    let t0 = Instant::now();
+                    let out = match core.run() {
+                        Ok(o) => o,
+                        Err(e) => {
+                            eprintln!("reproduce sim-throughput: run {}: {e}", k.name);
+                            return ExitCode::FAILURE;
+                        }
+                    };
+                    let wall = t0.elapsed().as_nanos() as f64;
+                    (insts, cycles) = (out.stats.insts, out.stats.cycles);
+                    best[slot] = best[slot].min(wall);
+                }
+            }
+            interp_ns += best[0];
+            translated_ns += best[1];
+            total_insts += insts;
+            let (i_ns, t_ns) = (best[0] / insts as f64, best[1] / insts as f64);
+            println!(
+                "{:9} {:8} {:9} {:>8} insts  interp {:5.1} ns/inst  translated {:5.1} ns/inst",
+                k.name,
+                suite_key(k.suite),
+                scheme.cli_name(),
+                insts,
+                i_ns,
+                t_ns,
+            );
+            if !rows.is_empty() {
+                rows.push_str(",\n");
+            }
+            rows.push_str(&format!(
+                "    {{\"suite\": {}, \"kernel\": {}, \"scheme\": {}, \"insts\": {insts}, \
+                 \"cycles\": {cycles}, \"interp_ns_per_inst\": {i_ns:.1}, \
+                 \"translated_ns_per_inst\": {t_ns:.1}}}",
+                json_string(suite_key(k.suite)),
+                json_string(k.name),
+                json_string(scheme.cli_name()),
+            ));
+        }
+    }
+    // The headline: wall time per retired instruction over every cell's
+    // golden run, insts-weighted — the throughput a campaign's fault-free
+    // path sees across the catalog, not a best-case cherry-pick.
+    let golden = translated_ns / total_insts as f64;
+    let interp = interp_ns / total_insts as f64;
+    println!(
+        "golden path: {golden:.1} ns/inst translated ({interp:.1} interpreted, {:.2}x)",
+        interp / golden
+    );
+    let record = format!(
+        "{{\n  \"scale\": {},\n  \"reps\": {reps},\n  \
+         \"golden_path_ns_per_inst\": {golden:.1},\n  \
+         \"interp_ns_per_inst\": {interp:.1},\n  \"speedup\": {:.2},\n  \
+         \"kernels\": [\n{rows}\n  ]\n}}",
+        json_string(scale_name),
+        interp / golden,
+    );
+    if let Err(e) = write_block("BENCH_reproduce.json", "sim_throughput", &record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
     ExitCode::SUCCESS
 }
@@ -618,10 +755,13 @@ fn bench_json(
         registry.counter(Counter::BenchRunMisses)
     ));
     out.push_str(&format!(
-        "  \"fork\": {{\"hits\": {}, \"misses\": {}, \"prefix_cycles_saved\": {}}},\n",
+        "  \"fork\": {{\"hits\": {}, \"misses\": {}, \"prefix_cycles_saved\": {}, \
+         \"replay_exits\": {}, \"replay_cycles_saved\": {}}},\n",
         registry.counter(Counter::CampaignForkHits),
         registry.counter(Counter::CampaignForkMisses),
-        registry.counter(Counter::CampaignForkCyclesSaved)
+        registry.counter(Counter::CampaignForkCyclesSaved),
+        registry.counter(Counter::CampaignReplayExits),
+        registry.counter(Counter::CampaignReplayCyclesSaved)
     ));
     out.push_str(&format!(
         "  \"histograms\": {},\n",
@@ -659,6 +799,7 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(&args[1..]),
         Some("submit") => return submit_main(&args[1..]),
         Some("loadgen") => return loadgen_main(&args[1..]),
+        Some("sim-throughput") => return sim_throughput_main(&args[1..]),
         _ => {}
     }
     let mut target: Option<String> = None;
@@ -749,7 +890,7 @@ fn main() -> ExitCode {
         Err(e) => eprintln!("# warning: fault probe failed: {e}"),
     }
     let record = bench_json(&target, scale, threads, cache, wall_ms, &tables, &registry);
-    if let Err(e) = std::fs::write("BENCH_reproduce.json", record) {
+    if let Err(e) = write_block("BENCH_reproduce.json", &target, &record) {
         eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
     ExitCode::SUCCESS

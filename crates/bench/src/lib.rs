@@ -12,11 +12,13 @@
 pub mod engine;
 pub mod figures;
 pub mod obs;
+pub mod report;
 pub mod service;
 pub mod table;
 
 pub use engine::Engine;
 pub use figures::*;
 pub use obs::{export_trace, fault_probe_metrics, find_kernel, hist_summary_json, TraceFormat};
+pub use report::{upsert_block, write_block};
 pub use service::EngineExecutor;
 pub use table::{json_number, json_string, Table};

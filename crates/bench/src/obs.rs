@@ -110,6 +110,7 @@ pub fn fault_probe_metrics(threads: usize) -> Result<(MetricSet, ForkStats), Run
         runs: 8,
         seed: 0xB0B5,
         strikes_per_run: 1,
+        ..Default::default()
     };
     let (report, _records, fork) =
         fault_campaign_forked(&kernel.program, &spec, &cfg, threads.max(1))?;

@@ -198,6 +198,7 @@ impl EngineExecutor {
                     runs: req.runs as usize,
                     seed: req.seed,
                     strikes_per_run: req.strikes as usize,
+                    ..Default::default()
                 };
                 let on_run = |done: usize, total: usize| ctl.progress(done as u64, total as u64);
                 let hook = CampaignHook {

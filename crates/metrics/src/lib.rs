@@ -170,6 +170,10 @@ counters! {
     CampaignForkMisses => ("campaign.fork_misses", Sum),
     /// Fault-free prefix cycles skipped by forking (sum over forked runs).
     CampaignForkCyclesSaved => ("campaign.fork_cycles_saved", Sum),
+    /// Strike runs that exited early by reconverging with the golden run.
+    CampaignReplayExits => ("campaign.replay_exits", Sum),
+    /// Post-convergence cycles skipped by early exit (sum over such runs).
+    CampaignReplayCyclesSaved => ("campaign.replay_cycles_saved", Sum),
 
     // — evaluation harness —
     /// Compile requests served from the engine's compile cache.
@@ -450,6 +454,53 @@ impl Histogram {
         d.min = self.min;
         d.max = self.max;
         d
+    }
+
+    /// The histogram a run would hold after recording, on top of `self`,
+    /// exactly the samples `to` gained since `from` — the synthesis step of
+    /// the simulator's early-exit strike replay, where `self` is the strike
+    /// run's histogram at its convergence point and `from`/`to` are the
+    /// golden run's histogram at the matching snapshot and at completion.
+    ///
+    /// Buckets, `count`, and `sum` are exact by construction (the future
+    /// sample population is `to - from`, bucket-wise). The extremes are
+    /// returned only when they are provably exact, else `None` and the
+    /// caller must refuse the shortcut:
+    ///
+    /// * no future samples: the extremes are `self`'s;
+    /// * `self.min <= to.min`: every future sample is `>= to.min`;
+    /// * `to.min < from.min`: the future population attains `to.min`;
+    /// * symmetrically for `max`.
+    pub fn extend_by_delta(&self, from: &Histogram, to: &Histogram) -> Option<Histogram> {
+        let mut out = Histogram::new();
+        for (i, slot) in out.buckets.iter_mut().enumerate() {
+            *slot = self.buckets[i] + (to.buckets[i] - from.buckets[i]);
+        }
+        out.count = self.count + (to.count - from.count);
+        out.sum = self.sum.saturating_add(to.sum - from.sum);
+        if to.count == from.count {
+            out.min = self.min;
+            out.max = self.max;
+        } else {
+            // Raw fields on purpose: the empty sentinel (`min == u64::MAX`)
+            // orders an empty `self` below nothing and an empty `from`
+            // above everything, which is exactly the comparison needed.
+            out.min = if self.min <= to.min {
+                self.min
+            } else if to.min < from.min {
+                to.min
+            } else {
+                return None;
+            };
+            out.max = if self.max >= to.max {
+                self.max
+            } else if to.max > from.max {
+                to.max
+            } else {
+                return None;
+            };
+        }
+        Some(out)
     }
 
     /// Iterate the nonempty buckets as `(lo, hi, count)`.

@@ -8,16 +8,26 @@
 //! the acoustic-sensor guarantee is *zero* silent data corruption.
 
 use crate::driver::{
-    resume_compiled_with_faults, run_compiled_collecting_snapshots, run_compiled_with_faults,
-    RunError, RunSpec,
+    resume_compiled_replay, run_compiled_collecting_snapshots, run_compiled_replay,
+    run_compiled_with_faults, RunError, RunSpec,
 };
 use crate::par::par_map;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
 use turnpike_compiler::compile;
 use turnpike_ir::Program;
 use turnpike_sensor::StrikeSampler;
-use turnpike_sim::{Fault, FaultKind, FaultPlan};
+use turnpike_sim::{Fault, FaultKind, FaultPlan, ReplayGuide, Translation};
+
+/// Process-wide default for [`CampaignConfig::early_exit`]: on unless the
+/// `TURNPIKE_EARLY_EXIT` environment variable is set to `0` (the CI golden
+/// jobs use the kill switch to prove byte-identity against full replay).
+fn early_exit_default() -> bool {
+    use std::sync::OnceLock;
+    static DEFAULT: OnceLock<bool> = OnceLock::new();
+    *DEFAULT.get_or_init(|| std::env::var_os("TURNPIKE_EARLY_EXIT").is_none_or(|v| v != "0"))
+}
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -29,6 +39,14 @@ pub struct CampaignConfig {
     /// Strikes per run (the paper's model is single-event upsets; >1
     /// stresses repeated recovery).
     pub strikes_per_run: usize,
+    /// Let strike runs stop at the first provable reconvergence with the
+    /// golden run instead of simulating to completion (requires prefix
+    /// snapshots, i.e. a `Some` snapshot interval on the spec). Reports,
+    /// records, and metrics are bit-identical either way; only the
+    /// [`ForkStats`] replay accounting observes the difference. Defaults to
+    /// on; the `TURNPIKE_EARLY_EXIT=0` environment kill switch flips the
+    /// default off process-wide.
+    pub early_exit: bool,
 }
 
 impl Default for CampaignConfig {
@@ -37,6 +55,7 @@ impl Default for CampaignConfig {
             runs: 20,
             seed: 0xF00D,
             strikes_per_run: 1,
+            early_exit: early_exit_default(),
         }
     }
 }
@@ -89,18 +108,26 @@ pub struct ForkStats {
     /// Fault-free prefix cycles skipped, summed over forked runs (each
     /// fork's snapshot cycle — execution the from-scratch path would redo).
     pub prefix_cycles_saved: u64,
+    /// Strike runs that exited early by reconverging with the golden run
+    /// ([`CampaignConfig::early_exit`]).
+    pub replay_exits: usize,
+    /// Post-convergence cycles skipped, summed over early-exited runs (the
+    /// simulated suffix the full-replay path would have executed).
+    pub replay_cycles_saved: u64,
 }
 
 impl ForkStats {
-    /// The `campaign.fork_*` counters as a standalone registry, for harness
-    /// observability (merged into the bench registry, never into
-    /// [`CampaignReport::metrics`]).
+    /// The `campaign.fork_*`/`campaign.replay_*` counters as a standalone
+    /// registry, for harness observability (merged into the bench registry,
+    /// never into [`CampaignReport::metrics`]).
     pub fn to_metrics(&self) -> turnpike_metrics::MetricSet {
         use turnpike_metrics::Counter;
         let mut m = turnpike_metrics::MetricSet::new();
         m.add(Counter::CampaignForkHits, self.hits as u64);
         m.add(Counter::CampaignForkMisses, self.misses as u64);
         m.add(Counter::CampaignForkCyclesSaved, self.prefix_cycles_saved);
+        m.add(Counter::CampaignReplayExits, self.replay_exits as u64);
+        m.add(Counter::CampaignReplayCyclesSaved, self.replay_cycles_saved);
         m
     }
 }
@@ -393,6 +420,16 @@ pub fn fault_campaign_hooked(
             Vec::new(),
         ),
     };
+    // Shared accelerations, built once for the whole campaign: the
+    // superblock pre-decode of the compiled program (when the scheme's sim
+    // config enables translation) and the early-exit replay guide over the
+    // golden run's snapshots. Neither changes any simulated outcome.
+    let translation = spec
+        .sim_config()
+        .translate
+        .then(|| Arc::new(Translation::new(&compiled.program)));
+    let guide = (config.early_exit && !snapshots.is_empty())
+        .then(|| ReplayGuide::new(&snapshots, &golden.outcome.stats, golden.outcome.ret));
     let horizon = golden.outcome.stats.cycles.max(2);
     let indices: Vec<usize> = (0..config.runs).collect();
     let completed = AtomicUsize::new(0);
@@ -415,9 +452,13 @@ pub fn fault_campaign_hooked(
             .and_then(|first| snapshots.iter().take_while(|s| s.cycle() < first).last());
         let out = match fork_point {
             Some(snap) => {
-                resume_compiled_with_faults(&compiled, snap, &plan).map(|r| (r, Some(snap.cycle())))
+                resume_compiled_replay(&compiled, snap, &plan, translation.clone(), guide.as_ref())
+                    .map(|r| (r, Some(snap.cycle())))
             }
-            None => run_compiled_with_faults(&compiled, spec, &plan).map(|r| (r, None)),
+            None => {
+                run_compiled_replay(&compiled, spec, &plan, translation.clone(), guide.as_ref())
+                    .map(|r| (r, None))
+            }
         };
         if out.is_ok() {
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -442,6 +483,10 @@ pub fn fault_campaign_hooked(
             }
             None => fork.misses += 1,
         }
+        if let Some(saved) = run.outcome.replay_saved {
+            fork.replay_exits += 1;
+            fork.replay_cycles_saved += saved;
+        }
         report.recoveries += run.outcome.stats.recoveries;
         report.detections += run.outcome.stats.detections;
         report.parity_detections += run.outcome.stats.parity_detections;
@@ -452,8 +497,12 @@ pub fn fault_campaign_hooked(
         report.post_completion += config
             .strikes_per_run
             .saturating_sub(run.outcome.stats.detections as usize);
-        let sdc =
-            run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory;
+        // An early-exited run proved its final state equals the golden
+        // run's (that is what the convergence check establishes), so its
+        // empty memory maps must not be mistaken for a wiped memory.
+        let sdc = run.outcome.replay_saved.is_none()
+            && (run.outcome.ret != golden.outcome.ret
+                || run.outcome.memory != golden.outcome.memory);
         if sdc {
             report.sdc += 1;
         }
@@ -529,6 +578,7 @@ mod tests {
                     runs: 12,
                     seed: 42,
                     strikes_per_run: 1,
+                    ..Default::default()
                 },
             )
             .unwrap();
@@ -547,6 +597,7 @@ mod tests {
                 runs: 12,
                 seed: 7,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -563,6 +614,7 @@ mod tests {
                 runs: 8,
                 seed: 3,
                 strikes_per_run: 3,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -577,6 +629,7 @@ mod tests {
             runs: 5,
             seed: 99,
             strikes_per_run: 1,
+            ..Default::default()
         };
         let a = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
         let b = fault_campaign(&p, &RunSpec::new(Scheme::Turnpike), &cfg).unwrap();
@@ -590,6 +643,7 @@ mod tests {
             runs: 8,
             seed: 1234,
             strikes_per_run: 2,
+            ..Default::default()
         };
         let spec = RunSpec::new(Scheme::Turnpike);
         let serial = fault_campaign(&p, &spec, &cfg).unwrap();
@@ -610,6 +664,7 @@ mod tests {
                 runs: 6,
                 seed: 11,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap();
@@ -633,6 +688,7 @@ mod tests {
             runs: 6,
             seed: 11,
             strikes_per_run: 2,
+            ..Default::default()
         };
         let spec = RunSpec::new(Scheme::Turnpike);
         let (report, records) = fault_campaign_records(&p, &spec, &cfg, 1).unwrap();
@@ -716,6 +772,7 @@ mod tests {
             runs: 6,
             seed: 11,
             strikes_per_run: 1,
+            ..Default::default()
         };
         let spec = RunSpec::new(Scheme::Turnpike);
         let plain = fault_campaign_forked(&p, &spec, &cfg, 2).unwrap();
@@ -743,6 +800,7 @@ mod tests {
             runs: 4,
             seed: 5,
             strikes_per_run: 1,
+            ..Default::default()
         };
         let cancel = AtomicBool::new(true);
         let hook = CampaignHook {

@@ -1,9 +1,13 @@
 //! Compile-and-simulate driver.
 
 use crate::scheme::Scheme;
+use std::sync::Arc;
 use turnpike_compiler::{compile, CompileError, CompileOutput, CompilerConfig, PassStats};
 use turnpike_ir::Program;
-use turnpike_sim::{ClqKind, Core, CoreSnapshot, FaultPlan, SimConfig, SimError, SimOutcome};
+use turnpike_sim::{
+    ClqKind, Core, CoreSnapshot, FaultPlan, ReplayGuide, SimConfig, SimError, SimOutcome,
+    Translation,
+};
 
 /// A fully-specified run: scheme, platform knobs, and optional hardware
 /// overrides for the sensitivity studies.
@@ -267,6 +271,54 @@ pub fn resume_compiled_with_faults(
     faults: &FaultPlan,
 ) -> Result<RunResult, RunError> {
     let outcome = Core::resume(&compiled.program, snap, faults)?;
+    Ok(RunResult::assemble(compiled, outcome))
+}
+
+/// [`run_compiled_with_faults`] with campaign sharing applied: an optional
+/// pre-built [`Translation`] of the compiled program (superblock dispatch
+/// once the run goes quiet) and an optional early-exit [`ReplayGuide`]
+/// (stop at the first provable reconvergence with the golden run). Both are
+/// pure accelerations — the outcome is bit-identical either way, except
+/// that an early-exited outcome reports `replay_saved` and carries empty
+/// memory maps (the convergence proof already matched them).
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn run_compiled_replay(
+    compiled: &CompileOutput,
+    spec: &RunSpec,
+    faults: &FaultPlan,
+    translation: Option<Arc<Translation>>,
+    guide: Option<&ReplayGuide<'_>>,
+) -> Result<RunResult, RunError> {
+    let mut core = Core::new(&compiled.program, spec.sim_config());
+    if let Some(tr) = translation {
+        core.attach_translation(tr);
+    }
+    let outcome = match guide {
+        Some(g) => core.run_with_replay(faults, g)?,
+        None => core.run_with_faults(faults)?,
+    };
+    Ok(RunResult::assemble(compiled, outcome))
+}
+
+/// [`resume_compiled_with_faults`] with the same campaign sharing as
+/// [`run_compiled_replay`]: fault campaigns fork thousands of strike runs
+/// from one compiled program, so the superblock pre-decode happens once and
+/// every run probes the same golden snapshots for an early exit.
+///
+/// # Errors
+///
+/// Propagates simulator failures.
+pub fn resume_compiled_replay(
+    compiled: &CompileOutput,
+    snap: &CoreSnapshot,
+    faults: &FaultPlan,
+    translation: Option<Arc<Translation>>,
+    guide: Option<&ReplayGuide<'_>>,
+) -> Result<RunResult, RunError> {
+    let outcome = Core::resume_replay(&compiled.program, snap, faults, translation, guide)?;
     Ok(RunResult::assemble(compiled, outcome))
 }
 

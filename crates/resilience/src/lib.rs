@@ -20,7 +20,7 @@
 //! let report = fault_campaign(
 //!     &kernel.program,
 //!     &RunSpec::new(Scheme::Turnpike),
-//!     &CampaignConfig { runs: 3, seed: 7, strikes_per_run: 1 },
+//!     &CampaignConfig { runs: 3, seed: 7, strikes_per_run: 1, ..Default::default() },
 //! )?;
 //! assert!(report.sdc_free());
 //! # Ok(())

@@ -16,6 +16,7 @@ fn config() -> CampaignConfig {
         runs: 10,
         seed: 0x51AB,
         strikes_per_run: 1,
+        ..Default::default()
     }
 }
 
@@ -66,6 +67,7 @@ fn fork_equivalence_holds_with_multiple_strikes_per_run() {
         runs: 6,
         seed: 9,
         strikes_per_run: 3,
+        ..Default::default()
     };
     let spec = RunSpec::new(Scheme::Turnpike).with_histograms();
     let (forked_report, forked_records, _) = fault_campaign_forked(

@@ -62,24 +62,37 @@ impl Cache {
 
     /// Access `addr` at logical time `now`; returns `true` on hit.
     /// Misses allocate (write-allocate for stores, fill for loads).
+    ///
+    /// One pass over the set serves both lookups a miss needs: the tag
+    /// probe and the LRU victim. Tracking the running minimum costs a
+    /// compare per line on the (early-returning) hit path but saves the
+    /// second full scan every miss — the case that dominates on
+    /// cache-averse kernels. `<` keeps the first minimum, matching what
+    /// `min_by_key` picked before, so victim choice is bit-identical.
     pub fn access(&mut self, addr: u64, now: u64) -> bool {
         let line = addr >> self.line_shift;
         let set_idx = (line & self.set_mask) as usize;
         let tag = line >> self.set_shift;
         let occ = self.occ[set_idx] as usize;
         let set = &mut self.lines[set_idx * self.ways..set_idx * self.ways + occ];
-        if let Some(l) = set.iter_mut().find(|l| l.tag == tag) {
-            l.lru = now;
-            self.hits += 1;
-            return true;
+        let (mut victim, mut victim_lru) = (0usize, u64::MAX);
+        for (i, l) in set.iter_mut().enumerate() {
+            if l.tag == tag {
+                l.lru = now;
+                self.hits += 1;
+                return true;
+            }
+            if l.lru < victim_lru {
+                victim = i;
+                victim_lru = l.lru;
+            }
         }
         self.misses += 1;
         if occ < self.ways {
             self.lines[set_idx * self.ways + occ] = CacheLine { tag, lru: now };
             self.occ[set_idx] += 1;
         } else {
-            let victim = set.iter_mut().min_by_key(|l| l.lru).expect("nonempty set");
-            *victim = CacheLine { tag, lru: now };
+            set[victim] = CacheLine { tag, lru: now };
         }
         false
     }
@@ -87,6 +100,45 @@ impl Cache {
     /// (hits, misses) counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Replay equivalence against a golden-run cache whose logical clock
+    /// trails this one's by `self_now - golden_now`: identical future
+    /// hit/miss/eviction behavior for any access sequence issued at shifted
+    /// times. Requires (per set): equal occupancy, equal tags in slot
+    /// order, the same `(lru, slot)` rank permutation (eviction picks the
+    /// first minimum, so only relative order matters among stamps that are
+    /// all in the past), and agreement on which lines are stamped *exactly
+    /// now* — a future same-cycle access can tie only with those. The
+    /// hit/miss counters are statistics, synthesized separately.
+    pub(crate) fn replay_equivalent(&self, golden: &Cache, self_now: u64, golden_now: u64) -> bool {
+        if self.occ != golden.occ {
+            return false;
+        }
+        debug_assert_eq!(self.ways, golden.ways);
+        for set_idx in 0..self.occ.len() {
+            let occ = self.occ[set_idx] as usize;
+            let a = &self.lines[set_idx * self.ways..set_idx * self.ways + occ];
+            let b = &golden.lines[set_idx * self.ways..set_idx * self.ways + occ];
+            for (x, y) in a.iter().zip(b) {
+                if x.tag != y.tag || (x.lru == self_now) != (y.lru == golden_now) {
+                    return false;
+                }
+            }
+            for i in 0..occ {
+                let rank = |set: &[CacheLine], i: usize| {
+                    let key = (set[i].lru, i);
+                    set.iter()
+                        .enumerate()
+                        .filter(|&(j, l)| (l.lru, j) < key)
+                        .count()
+                };
+                if rank(a, i) != rank(b, i) {
+                    return false;
+                }
+            }
+        }
+        true
     }
 }
 
@@ -133,6 +185,17 @@ impl Hierarchy {
         let (h1, m1) = self.l1.stats();
         let (h2, m2) = self.l2.stats();
         (h1, m1, h2, m2)
+    }
+
+    /// [`Cache::replay_equivalent`] across both levels.
+    pub(crate) fn replay_equivalent(
+        &self,
+        golden: &Hierarchy,
+        self_now: u64,
+        golden_now: u64,
+    ) -> bool {
+        self.l1.replay_equivalent(&golden.l1, self_now, golden_now)
+            && self.l2.replay_equivalent(&golden.l2, self_now, golden_now)
     }
 }
 

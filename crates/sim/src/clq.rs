@@ -80,6 +80,14 @@ pub trait Clq: std::fmt::Debug + Send + Sync {
     fn stats(&self) -> ClqStats;
     /// Clone the design behind the trait object (snapshot support).
     fn boxed_clone(&self) -> Box<dyn Clq>;
+    /// Append a canonical encoding of every piece of state that affects
+    /// future queries, with region sequence numbers made relative to
+    /// `seq_base`. Two same-design CLQs whose signatures agree answer every
+    /// future call sequence identically (the early-exit replay compares a
+    /// strike run at `seq_base = ds` against a golden snapshot at `0`).
+    /// Statistics counters are deliberately excluded — the replay
+    /// synthesizes them.
+    fn replay_signature(&self, seq_base: u64, out: &mut Vec<u64>);
 }
 
 impl Clone for Box<dyn Clq> {
@@ -109,6 +117,10 @@ impl Clq for NoClq {
 
     fn boxed_clone(&self) -> Box<dyn Clq> {
         Box::new(self.clone())
+    }
+
+    fn replay_signature(&self, _seq_base: u64, _out: &mut Vec<u64>) {
+        // Stateless: every answer is "quarantine".
     }
 }
 
@@ -169,6 +181,14 @@ impl Clq for IdealClq {
 
     fn boxed_clone(&self) -> Box<dyn Clq> {
         Box::new(self.clone())
+    }
+
+    fn replay_signature(&self, seq_base: u64, out: &mut Vec<u64>) {
+        for (seq, addrs) in &self.regions {
+            out.push(seq.wrapping_sub(seq_base));
+            out.push(addrs.len() as u64);
+            out.extend_from_slice(addrs);
+        }
     }
 }
 
@@ -271,6 +291,15 @@ impl Clq for CompactClq {
     fn boxed_clone(&self) -> Box<dyn Clq> {
         Box::new(self.clone())
     }
+
+    fn replay_signature(&self, seq_base: u64, out: &mut Vec<u64>) {
+        out.push(u64::from(self.enabled));
+        for e in &self.entries {
+            out.push(e.region_seq.wrapping_sub(seq_base));
+            out.push(e.min);
+            out.push(e.max);
+        }
+    }
 }
 
 /// Bounded content-addressed CLQ: exact address matching like the ideal
@@ -359,6 +388,14 @@ impl Clq for CamClq {
 
     fn boxed_clone(&self) -> Box<dyn Clq> {
         Box::new(self.clone())
+    }
+
+    fn replay_signature(&self, seq_base: u64, out: &mut Vec<u64>) {
+        out.push(u64::from(self.enabled));
+        for &(seq, addr) in &self.entries {
+            out.push(seq.wrapping_sub(seq_base));
+            out.push(addr);
+        }
     }
 }
 
@@ -492,6 +529,36 @@ mod tests {
         assert!(!c.check_war_free(0x500, 2));
         c.on_region_verified(1);
         assert!(c.check_war_free(0x500, 2));
+    }
+
+    #[test]
+    fn replay_signatures_are_shift_invariant() {
+        // Same load pattern, one run offset by 3 region seqs: signatures
+        // agree once the strike side rebases by its shift.
+        for kind in [
+            crate::ClqKind::Off,
+            crate::ClqKind::Ideal,
+            crate::ClqKind::Compact(2),
+            crate::ClqKind::Cam(4),
+        ] {
+            let mut golden = build_clq(kind);
+            let mut strike = build_clq(kind);
+            for (addr, seq) in [(0x100u64, 0u64), (0x200, 0), (0x140, 1)] {
+                golden.record_load(addr, seq);
+                strike.record_load(addr, seq + 3);
+            }
+            let (mut g, mut s) = (Vec::new(), Vec::new());
+            golden.replay_signature(0, &mut g);
+            strike.replay_signature(3, &mut s);
+            assert_eq!(g, s, "{kind:?}");
+            // A divergent address breaks the match (stateful designs).
+            strike.record_load(0x999, 4);
+            s.clear();
+            strike.replay_signature(3, &mut s);
+            if !matches!(kind, crate::ClqKind::Off) {
+                assert_ne!(g, s, "{kind:?}");
+            }
+        }
     }
 
     #[test]

@@ -144,6 +144,24 @@ impl Coloring {
     pub fn colors(&self) -> u8 {
         self.colors
     }
+
+    /// Replay equivalence against a golden-run pool whose region sequence
+    /// numbers trail this one's by `ds`. AC/VC must match exactly (they are
+    /// per-register state with no time component); UC must match in order
+    /// with shifted sequence numbers — `try_assign`'s reuse scan and the
+    /// verify/squash retains walk UC in order, so order is behavior. The
+    /// `fast_released`/`fallbacks` counters feed no simulation output and
+    /// are not compared.
+    pub(crate) fn replay_equivalent(&self, golden: &Coloring, ds: u64) -> bool {
+        self.ac == golden.ac
+            && self.vc == golden.vc
+            && self.uc.len() == golden.uc.len()
+            && self
+                .uc
+                .iter()
+                .zip(golden.uc.iter())
+                .all(|(&(s, r, c), &(gs, gr, gc))| s == gs.wrapping_add(ds) && r == gr && c == gc)
+    }
 }
 
 #[cfg(test)]

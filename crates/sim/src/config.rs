@@ -1,5 +1,14 @@
 //! Simulator configuration.
 
+/// Preset default for [`SimConfig::translate`]: on, unless the
+/// `TURNPIKE_TRANSLATE=0` environment variable disables it (read once per
+/// process — the CI byte-diff jobs use it to force the per-instruction
+/// reference path without touching any call site).
+fn translate_default() -> bool {
+    static TRANSLATE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *TRANSLATE.get_or_init(|| std::env::var_os("TURNPIKE_TRANSLATE").is_none_or(|v| v != "0"))
+}
+
 /// Which committed-load-queue design the core uses (paper §4.3.1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ClqKind {
@@ -74,6 +83,15 @@ pub struct SimConfig {
     /// default: disabled runs skip every recording site behind one `None`
     /// check, and the timing model is identical either way.
     pub histograms: bool,
+    /// Dispatch through pre-decoded superblocks
+    /// ([`Translation`](crate::Translation)) whenever the core is in a
+    /// quiet state (no pending faults/detections, no trace sink, no
+    /// snapshot capture). Pure execution strategy: results, stats, and
+    /// snapshots are bit-identical with it on or off — `false` forces the
+    /// per-instruction interpreter everywhere (the reference path CI diffs
+    /// against). Defaults to `true`; the `TURNPIKE_TRANSLATE=0`
+    /// environment variable flips the preset default off process-wide.
+    pub translate: bool,
     /// Snapshot cadence (cycles) for fault campaigns: the fault-free golden
     /// run captures a copy-on-write [`CoreSnapshot`](crate::CoreSnapshot)
     /// at this interval and every strike run forks from the latest snapshot
@@ -110,6 +128,7 @@ impl SimConfig {
             cycle_limit: 2_000_000_000,
             recovery_flush_cycles: 5,
             histograms: false,
+            translate: translate_default(),
             snapshot_interval: Some(512),
         }
     }

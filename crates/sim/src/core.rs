@@ -29,9 +29,11 @@ use crate::rbb::Rbb;
 use crate::stats::{SimHists, SimStats};
 use crate::store_buffer::{EntryKind, SbEntry, StoreBuffer};
 use crate::trace::{StallKind, Trace, TraceEvent, TraceSink};
+use crate::translate::{DAddr, DKind, DOperand, Translation};
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
+use std::sync::Arc;
 use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, NUM_PHYS_REGS};
 
 /// Simulation failure.
@@ -67,7 +69,7 @@ impl std::fmt::Display for SimError {
 impl std::error::Error for SimError {}
 
 /// Result of a completed simulation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimOutcome {
     /// Program return value.
     pub ret: Option<i64>,
@@ -77,7 +79,61 @@ pub struct SimOutcome {
     pub ckpt_memory: BTreeMap<u64, i64>,
     /// Statistics.
     pub stats: SimStats,
+    /// `Some(saved)` when the run exited early through [`ReplayGuide`]
+    /// convergence, skipping `saved` simulated cycles. An early-exited
+    /// outcome carries the golden run's return value, fully synthesized
+    /// stats, and **empty** memory maps — the convergence proof already
+    /// established that the final memories equal the golden run's, so they
+    /// are not rematerialized.
+    pub replay_saved: Option<u64>,
 }
+
+/// Divergence-bounded early-exit support for fault-campaign strike runs:
+/// everything a run needs to recognize that its state has *reconverged*
+/// with the fault-free golden run and stop simulating. Holds the golden
+/// run's snapshots (the compare targets), its final stats (the synthesis
+/// deltas), and its return value, plus a PC index over the snapshots so
+/// the per-instruction candidate probe is one hash lookup.
+///
+/// Built once per campaign from the golden run's artifacts and shared
+/// read-only across every strike run (it is `Sync`: all fields are
+/// immutable borrows or plain data).
+#[derive(Debug)]
+pub struct ReplayGuide<'g> {
+    snapshots: &'g [CoreSnapshot],
+    golden_stats: &'g SimStats,
+    golden_ret: Option<i64>,
+    /// Snapshot indices by capture PC.
+    by_pc: std::collections::HashMap<u64, Vec<u32>>,
+}
+
+impl<'g> ReplayGuide<'g> {
+    /// Index `snapshots` (from the golden
+    /// [`Core::run_collecting_snapshots`] run) for early-exit probing.
+    /// `golden_stats`/`golden_ret` come from the same run's outcome.
+    pub fn new(
+        snapshots: &'g [CoreSnapshot],
+        golden_stats: &'g SimStats,
+        golden_ret: Option<i64>,
+    ) -> Self {
+        let mut by_pc: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for (i, s) in snapshots.iter().enumerate() {
+            by_pc.entry(s.pc).or_default().push(i as u32);
+        }
+        ReplayGuide {
+            snapshots,
+            golden_stats,
+            golden_ret,
+            by_pc,
+        }
+    }
+}
+
+/// Failed deep compares (or synthesis refusals) a run tolerates before
+/// dropping its [`ReplayGuide`] for good. Runs that never reconverge (true
+/// SDCs, divergent control flow) stop paying the compare cost after this
+/// many attempts and fall back to the superblock fast path.
+const REPLAY_BUDGET: u32 = 64;
 
 /// The simulated core.
 pub struct Core<'a> {
@@ -136,6 +192,16 @@ pub struct Core<'a> {
     next_snap: u64,
     /// Captured snapshots, in cycle order.
     snapshots: Vec<CoreSnapshot>,
+    /// Pre-decoded superblocks for the fast dispatch path
+    /// ([`SimConfig::translate`]). Built lazily on first entry into a quiet
+    /// state, or shared across runs of one program via
+    /// [`Core::attach_translation`] (fault campaigns translate once).
+    translation: Option<Arc<Translation>>,
+    /// Early-exit replay guide with its remaining deep-compare budget.
+    /// While present, the superblock fast path is suppressed (convergence
+    /// probes happen at the top of the per-instruction loop — the golden
+    /// capture point); dropped permanently once the budget runs out.
+    replay: Option<(&'a ReplayGuide<'a>, u32)>,
 }
 
 /// Full microarchitectural state of a [`Core`] at the top of an issue-loop
@@ -249,7 +315,25 @@ impl<'a> Core<'a> {
             snap_every: 0,
             next_snap: 0,
             snapshots: Vec::new(),
+            translation: None,
+            replay: None,
         }
+    }
+
+    /// Share a pre-built [`Translation`] of this core's program, so callers
+    /// running one program many times (fault campaigns) pay the pre-decode
+    /// cost once instead of once per run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tr` was built from a program of a different length.
+    pub fn attach_translation(&mut self, tr: Arc<Translation>) {
+        assert_eq!(
+            tr.len(),
+            self.program.insts.len(),
+            "translation does not match the program"
+        );
+        self.translation = Some(tr);
     }
 
     /// Attach a trace sink; every resilience event of the run is forwarded
@@ -343,6 +427,60 @@ impl<'a> Core<'a> {
         snap: &CoreSnapshot,
         plan: &FaultPlan,
     ) -> Result<SimOutcome, SimError> {
+        Self::resume_translated(program, snap, plan, None)
+    }
+
+    /// [`Core::resume`] with a shared pre-built [`Translation`] of
+    /// `program` (see [`Core::attach_translation`]): fault campaigns fork
+    /// thousands of runs from one compiled program and pre-decode it once.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `translation` was built from a program of a different
+    /// length.
+    pub fn resume_translated(
+        program: &'a MachProgram,
+        snap: &CoreSnapshot,
+        plan: &FaultPlan,
+        translation: Option<Arc<Translation>>,
+    ) -> Result<SimOutcome, SimError> {
+        Self::resume_replay(program, snap, plan, translation, None)
+    }
+
+    /// [`Core::resume_translated`] with an optional early-exit
+    /// [`ReplayGuide`]: once the forked strike run's detection window has
+    /// closed, its state is probed against the guide's golden snapshots and
+    /// the run stops at the first provable reconvergence (see
+    /// [`SimOutcome::replay_saved`]). Without a guide (or when convergence
+    /// is never established) the outcome is bit-identical to
+    /// [`Core::resume_translated`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `translation` was built from a program of a different
+    /// length.
+    pub fn resume_replay(
+        program: &'a MachProgram,
+        snap: &CoreSnapshot,
+        plan: &FaultPlan,
+        translation: Option<Arc<Translation>>,
+        guide: Option<&'a ReplayGuide<'a>>,
+    ) -> Result<SimOutcome, SimError> {
+        if let Some(tr) = &translation {
+            assert_eq!(
+                tr.len(),
+                program.insts.len(),
+                "translation does not match the program"
+            );
+        }
         debug_assert!(
             plan.faults().iter().all(|f| f.strike_cycle > snap.cycle),
             "fork point must lie strictly before the first strike"
@@ -378,6 +516,8 @@ impl<'a> Core<'a> {
             snap_every: 0,
             next_snap: 0,
             snapshots: Vec::new(),
+            translation,
+            replay: guide.map(|g| (g, REPLAY_BUDGET)),
         };
         if plan
             .faults()
@@ -399,6 +539,22 @@ impl<'a> Core<'a> {
     /// See [`SimError`].
     pub fn run(self) -> Result<SimOutcome, SimError> {
         self.run_with_faults(&FaultPlan::none())
+    }
+
+    /// [`Core::run_with_faults`] with an early-exit [`ReplayGuide`] — the
+    /// from-scratch analog of [`Core::resume_replay`], used by campaigns
+    /// for strike runs that land before the first golden snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_with_replay(
+        mut self,
+        plan: &FaultPlan,
+        guide: &'a ReplayGuide<'a>,
+    ) -> Result<SimOutcome, SimError> {
+        self.replay = Some((guide, REPLAY_BUDGET));
+        self.run_with_faults(plan)
     }
 
     /// Run with fault injection and record resilience events into an
@@ -426,6 +582,34 @@ impl<'a> Core<'a> {
 
     fn run_loop(&mut self) -> Result<SimOutcome, SimError> {
         loop {
+            // Quiet state + translation enabled: dispatch pre-decoded
+            // superblocks until the program returns. The fast path performs
+            // the same per-instruction work as the interpreter below minus
+            // the parts the quiet guard proves are no-ops, so results are
+            // bit-identical (see `fast_path_quiet`).
+            if self.cfg.translate && self.replay.is_none() && self.fast_path_quiet() {
+                let tr = self.ensure_translation();
+                if let Some(ret) = self.run_superblocks(&tr)? {
+                    // Quiet implies no detection can land in the tail
+                    // (`next_detection_bound` is infinite), so completion
+                    // is certifiable immediately.
+                    return self.finish(ret);
+                }
+                // Fast path bailed (PC out of range, or a state change that
+                // ended quiescence): fall through to the interpreter.
+            }
+            // Early-exit replay probe: a quiet state (all strikes fired and
+            // resolved) at a PC the golden run snapshotted may have
+            // reconverged with the golden timeline. Probing happens here —
+            // the top of the loop, before settle — because that is exactly
+            // where the golden run captured its snapshots. While the guide
+            // is held, superblock dispatch stays off (above) so every
+            // golden capture point is actually visited.
+            if self.replay.is_some() && self.fast_path_quiet() {
+                if let Some(out) = self.try_replay_exit() {
+                    return Ok(out);
+                }
+            }
             // Capture before any of the iteration's work so a resumed core
             // entering this loop replays the iteration identically.
             if self.snap_every != 0 && self.cycle >= self.next_snap {
@@ -500,6 +684,424 @@ impl<'a> Core<'a> {
             self.snap_every *= 2;
         }
         self.next_snap = self.cycle + self.snap_every;
+    }
+
+    /// Whether the core is *quiet*: every piece of per-iteration work the
+    /// interpreter loop performs besides issuing the instruction is provably
+    /// a no-op — no snapshot capture is scheduled, no trace sink is
+    /// attached, no strike or detection is pending or future, and no
+    /// corruption flag is set. Quiet states admit the superblock fast path:
+    ///
+    /// * `process_faults` can fire nothing, so no recovery, parity trip, or
+    ///   datapath corruption can occur mid-block;
+    /// * `next_detection_bound` is infinite, so settles are never clamped
+    ///   and the SB/RBB stall loops never take their detection escapes;
+    /// * every access-time parity/taint check is false, and with no pending
+    ///   datapath corruption, `define` can never set a flag — quiescence is
+    ///   invariant until the run ends.
+    fn fast_path_quiet(&self) -> bool {
+        const NO_FLAGS: [bool; NUM_PHYS_REGS as usize] = [false; NUM_PHYS_REGS as usize];
+        self.snap_every == 0
+            && self.sink.is_none()
+            && self.next_fault >= self.faults.len()
+            && self.pending_detect.is_empty()
+            && self.pending_datapath.is_none()
+            && self.parity_bad == NO_FLAGS
+            && self.tainted == NO_FLAGS
+    }
+
+    fn ensure_translation(&mut self) -> Arc<Translation> {
+        self.translation
+            .get_or_insert_with(|| Arc::new(Translation::new(self.program)))
+            .clone()
+    }
+
+    /// Probe the replay guide's snapshots at the current PC for a provable
+    /// reconvergence with the golden run; on success, return the fully
+    /// synthesized outcome. Failed deep compares and synthesis refusals
+    /// burn [`REPLAY_BUDGET`]; exhaustion drops the guide permanently.
+    fn try_replay_exit(&mut self) -> Option<SimOutcome> {
+        debug_assert!(self.fast_path_quiet());
+        let (guide, _) = self.replay?;
+        let cands = guide.by_pc.get(&self.pc)?;
+        for &i in cands {
+            let snap = &guide.snapshots[i as usize];
+            if snap.cycle > self.cycle {
+                continue;
+            }
+            // Cheap prefilter: almost every visit to a snapshotted PC is a
+            // different loop iteration, and the register file says so.
+            if self.regs != snap.regs
+                || self.slots_left != snap.slots_left
+                || self.mem_left != snap.mem_left
+            {
+                continue;
+            }
+            let dc = self.cycle - snap.cycle;
+            if self.replay_converged(snap, dc) {
+                if let Some(out) = self.synthesize_exit(guide, snap, dc) {
+                    return Some(out);
+                }
+            }
+            if let Some((_, budget)) = &mut self.replay {
+                *budget -= 1;
+                if *budget == 0 {
+                    self.replay = None;
+                    return None;
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether the core's state at the top of the issue loop is *future-
+    /// behavior equivalent* to the golden snapshot `snap`, with this run's
+    /// clock ahead by `dc` cycles and its region sequence numbers ahead by
+    /// some `ds >= 0`: from here on, both runs issue the same instructions
+    /// with the same timing (shifted by `dc`), produce the same final
+    /// memories, and accrue the same statistics deltas.
+    ///
+    /// Both sides are quiet (the caller guarantees it for this run and the
+    /// golden run is fault-free), so the comparison is purely structural.
+    /// Timestamps that only matter while they are in the future — register
+    /// and fetch readiness — may instead be stale on both sides (a
+    /// recovery rewound them); everything else must match under the shift.
+    fn replay_converged(&self, snap: &CoreSnapshot, dc: u64) -> bool {
+        debug_assert_eq!(self.cfg, snap.cfg);
+        const NO_FLAGS: [bool; NUM_PHYS_REGS as usize] = [false; NUM_PHYS_REGS as usize];
+        if self.pc != snap.pc
+            || !snap.pending_detect.is_empty()
+            || snap.pending_datapath.is_some()
+            || snap.parity_bad != NO_FLAGS
+            || snap.tainted != NO_FLAGS
+        {
+            return false;
+        }
+        let Some(ds) = self.rbb.current_seq().checked_sub(snap.rbb.current_seq()) else {
+            return false;
+        };
+        // A readiness time is either exactly shifted or already in the past
+        // on both sides — a past time only ever participates in `max` and
+        // `wait_until` computations it cannot win.
+        let ready_equiv = |a: u64, b: u64| a == b + dc || (a <= self.cycle && b <= snap.cycle);
+        if !ready_equiv(self.fetch_ready, snap.fetch_ready) {
+            return false;
+        }
+        for r in 0..NUM_PHYS_REGS as usize {
+            if !ready_equiv(self.reg_ready[r], snap.reg_ready[r]) {
+                return false;
+            }
+        }
+        if !self.rbb.replay_equivalent(&snap.rbb, dc, ds)
+            || !self
+                .sb
+                .replay_equivalent(&snap.sb, dc, ds, self.cycle, snap.cycle)
+            || !self.coloring.replay_equivalent(&snap.coloring, ds)
+        {
+            return false;
+        }
+        let (mut sig_a, mut sig_b) = (Vec::new(), Vec::new());
+        self.clq.replay_signature(ds, &mut sig_a);
+        snap.clq.replay_signature(0, &mut sig_b);
+        if sig_a != sig_b {
+            return false;
+        }
+        self.caches
+            .replay_equivalent(&snap.caches, self.cycle, snap.cycle)
+            && self.memory.content_eq(&snap.memory)
+            && self.ckpt_memory.content_eq(&snap.ckpt_memory)
+    }
+
+    /// Build the final outcome for a run that reconverged with the golden
+    /// snapshot `snap` while `dc` cycles ahead: every additive counter is
+    /// `converged + (golden_final - golden_at_snapshot)`, cycle-valued
+    /// results shift by `dc`, and peak/extreme statistics are synthesized
+    /// only when provably exact — `None` refuses the exit (the run simply
+    /// keeps simulating and the refusal counts against the probe budget).
+    fn synthesize_exit(
+        &mut self,
+        guide: &ReplayGuide<'_>,
+        snap: &CoreSnapshot,
+        dc: u64,
+    ) -> Option<SimOutcome> {
+        let gf = guide.golden_stats;
+        let gs = &snap.stats;
+        // The true run's final clock; past the limit the real execution
+        // would abort with `CycleLimit`, so let it.
+        let cycles = gf.cycles + dc;
+        if cycles > self.cfg.cycle_limit {
+            return None;
+        }
+        // Peaks: a golden future that sets a new peak transfers exactly
+        // (future occupancies are identical on both sides); otherwise the
+        // converged value must already dominate the unknown golden-future
+        // maximum's upper bound.
+        fn peak(conv: u64, at_snap: u64, at_end: u64) -> Option<u64> {
+            if at_end > at_snap {
+                Some(conv.max(at_end))
+            } else if conv >= at_snap {
+                Some(conv)
+            } else {
+                None
+            }
+        }
+        let sb_peak = peak(self.sb.peak as u64, snap.sb.peak as u64, gf.sb_peak as u64)?;
+        let conv_clq = self.clq.stats();
+        let snap_clq = snap.clq.stats();
+        let clq_peak = peak(
+            u64::from(conv_clq.peak_entries),
+            u64::from(snap_clq.peak_entries),
+            u64::from(gf.clq.peak_entries),
+        )?;
+        let hists = match (&self.hists, &snap.hists, &gf.hists) {
+            (Some(conv), Some(at_snap), Some(at_end)) => Some(Box::new(SimHists {
+                sb_residency: conv
+                    .sb_residency
+                    .extend_by_delta(&at_snap.sb_residency, &at_end.sb_residency)?,
+                verify_latency: conv
+                    .verify_latency
+                    .extend_by_delta(&at_snap.verify_latency, &at_end.verify_latency)?,
+                detect_latency: conv
+                    .detect_latency
+                    .extend_by_delta(&at_snap.detect_latency, &at_end.detect_latency)?,
+                recovery_penalty: conv
+                    .recovery_penalty
+                    .extend_by_delta(&at_snap.recovery_penalty, &at_end.recovery_penalty)?,
+            })),
+            (None, None, None) => None,
+            _ => return None, // histogram presence must agree (same config)
+        };
+        let rbb_insts_sum = self.rbb.insts_sum + (gf.rbb_insts_sum - snap.rbb.insts_sum);
+        let rbb_completed = self.rbb.completed + (gf.rbb_completed - snap.rbb.completed);
+        let avg_region_insts = if rbb_completed == 0 {
+            0.0
+        } else {
+            rbb_insts_sum as f64 / rbb_completed as f64
+        };
+        let s = &self.stats;
+        let (l1h, l1m, l2h, l2m) = self.caches.stats();
+        let (g_l1h, g_l1m, g_l2h, g_l2m) = snap.caches.stats();
+        let stats = SimStats {
+            cycles,
+            insts: s.insts + (gf.insts - gs.insts),
+            stall_sb_full: s.stall_sb_full + (gf.stall_sb_full - gs.stall_sb_full),
+            stall_data_hazard: s.stall_data_hazard + (gf.stall_data_hazard - gs.stall_data_hazard),
+            stall_ckpt_hazard: s.stall_ckpt_hazard + (gf.stall_ckpt_hazard - gs.stall_ckpt_hazard),
+            stall_mem_port: s.stall_mem_port + (gf.stall_mem_port - gs.stall_mem_port),
+            stall_rbb_full: s.stall_rbb_full + (gf.stall_rbb_full - gs.stall_rbb_full),
+            recovery_cycles: s.recovery_cycles + (gf.recovery_cycles - gs.recovery_cycles),
+            loads: s.loads + (gf.loads - gs.loads),
+            stores: s.stores + (gf.stores - gs.stores),
+            ckpts: s.ckpts + (gf.ckpts - gs.ckpts),
+            war_free_released: s.war_free_released + (gf.war_free_released - gs.war_free_released),
+            colored_released: s.colored_released + (gf.colored_released - gs.colored_released),
+            quarantined: s.quarantined + (gf.quarantined - gs.quarantined),
+            sb_coalesced: self.sb.coalesced + (gf.sb_coalesced - snap.sb.coalesced),
+            sb_discarded: self.sb.discarded + (gf.sb_discarded - snap.sb.discarded),
+            boundaries: s.boundaries + (gf.boundaries - gs.boundaries),
+            detections: s.detections + (gf.detections - gs.detections),
+            parity_detections: s.parity_detections + (gf.parity_detections - gs.parity_detections),
+            sensor_detections: s.sensor_detections + (gf.sensor_detections - gs.sensor_detections),
+            recoveries: s.recoveries + (gf.recoveries - gs.recoveries),
+            avg_region_insts,
+            clq: crate::clq::ClqStats {
+                stores_checked: conv_clq.stores_checked
+                    + (gf.clq.stores_checked - snap_clq.stores_checked),
+                war_free: conv_clq.war_free + (gf.clq.war_free - snap_clq.war_free),
+                loads_recorded: conv_clq.loads_recorded
+                    + (gf.clq.loads_recorded - snap_clq.loads_recorded),
+                overflows: conv_clq.overflows + (gf.clq.overflows - snap_clq.overflows),
+                occupancy_sum: conv_clq.occupancy_sum
+                    + (gf.clq.occupancy_sum - snap_clq.occupancy_sum),
+                occupancy_samples: conv_clq.occupancy_samples
+                    + (gf.clq.occupancy_samples - snap_clq.occupancy_samples),
+                peak_entries: clq_peak as u32,
+            },
+            cache: (
+                l1h + (gf.cache.0 - g_l1h),
+                l1m + (gf.cache.1 - g_l1m),
+                l2h + (gf.cache.2 - g_l2h),
+                l2m + (gf.cache.3 - g_l2m),
+            ),
+            sb_peak: sb_peak as usize,
+            rbb_insts_sum,
+            rbb_completed,
+            hists,
+        };
+        Some(SimOutcome {
+            ret: guide.golden_ret,
+            memory: BTreeMap::new(),
+            ckpt_memory: BTreeMap::new(),
+            stats,
+            replay_saved: Some(cycles - self.cycle),
+        })
+    }
+
+    /// Execute pre-decoded superblocks until the program returns
+    /// (`Ok(Some(ret))`) or the fast path must hand back to the interpreter
+    /// (`Ok(None)`: the PC left the program, or — defensively — an issue
+    /// helper reported a recovery redirect that cannot happen while quiet).
+    ///
+    /// Per instruction this performs exactly the interpreter's sequence —
+    /// cycle-limit check, settle, fetch-redirect gate, operand wait, issue
+    /// through the same helpers — with the fault, parity, taint, snapshot,
+    /// and trace work elided per the [`Core::fast_path_quiet`] proof, so
+    /// cycles, stats, and architectural state are bit-identical.
+    fn run_superblocks(&mut self, tr: &Translation) -> Result<Option<Option<i64>>, SimError> {
+        debug_assert!(self.cfg.translate && self.fast_path_quiet());
+        'blocks: loop {
+            let pc = self.pc as usize;
+            let Some(&run) = tr.run_len.get(pc) else {
+                return Ok(None); // out of range: the interpreter raises it
+            };
+            let n = (run as usize).max(1);
+            for dop in &tr.ops[pc..pc + n] {
+                if self.cycle > self.cfg.cycle_limit {
+                    return Err(SimError::CycleLimit(self.cfg.cycle_limit));
+                }
+                self.settle(self.cycle);
+                // Fetch redirect gate.
+                self.wait_until(self.fetch_ready, StallCause::None);
+                // Operand readiness over the pre-decoded source slots.
+                let mut ready = 0u64;
+                for &r in &dop.srcs[..dop.nsrcs as usize] {
+                    ready = ready.max(self.reg_ready[r as usize]);
+                }
+                self.wait_until(
+                    ready,
+                    StallCause::Data {
+                        is_ckpt: matches!(dop.kind, DKind::Ckpt { .. }),
+                    },
+                );
+                match dop.kind {
+                    DKind::Bin {
+                        op,
+                        dst,
+                        lhs,
+                        rhs,
+                        lat,
+                    } => {
+                        self.take_slot(false);
+                        let v = op.eval(self.regs[lhs as usize], self.dread(rhs));
+                        self.define_quiet(dst, v, self.cycle + lat);
+                    }
+                    DKind::Cmp { op, dst, lhs, rhs } => {
+                        self.take_slot(false);
+                        let v = op.eval(self.regs[lhs as usize], self.dread(rhs));
+                        self.define_quiet(dst, v, self.cycle + 1);
+                    }
+                    DKind::Mov { dst, src } => {
+                        self.take_slot(false);
+                        let v = self.dread(src);
+                        self.define_quiet(dst, v, self.cycle + 1);
+                    }
+                    DKind::Load {
+                        dst,
+                        addr,
+                        ckpt_slot,
+                    } => {
+                        if self.mem_left == 0 {
+                            self.wait_until(self.cycle + 1, StallCause::MemPort);
+                        }
+                        self.take_slot(true);
+                        let a = self.dresolve(addr);
+                        let (value, latency) = if ckpt_slot {
+                            // Only recovery blocks use this mode; L1 access.
+                            (self.ckpt_memory.get(a).unwrap_or(0), self.cfg.l1_hit)
+                        } else if let Some(v) = self.sb.forward(a) {
+                            (v, 1) // store-to-load forwarding
+                        } else {
+                            let lat = self.caches.access(a, self.cycle);
+                            (self.memory.get(a).unwrap_or(0), lat)
+                        };
+                        self.define_quiet(dst, value, self.cycle + latency);
+                        self.stats.loads += 1;
+                        if self.cfg.resilient && !ckpt_slot {
+                            let seq = self.rbb.current_seq();
+                            self.clq.record_load(a, seq);
+                        }
+                    }
+                    DKind::Store { src, addr } => {
+                        if self.mem_left == 0 {
+                            self.wait_until(self.cycle + 1, StallCause::MemPort);
+                        }
+                        let a = self.dresolve(addr);
+                        let value = self.dread(src);
+                        self.stats.stores += 1;
+                        if !self.do_store(a, value)? {
+                            return Ok(None); // unreachable while quiet
+                        }
+                    }
+                    DKind::Ckpt { reg } => {
+                        if self.mem_left == 0 {
+                            self.wait_until(self.cycle + 1, StallCause::MemPort);
+                        }
+                        let value = self.regs[reg as usize];
+                        self.stats.ckpts += 1;
+                        if !self.do_ckpt(reg, value)? {
+                            return Ok(None); // unreachable while quiet
+                        }
+                    }
+                    DKind::Boundary { id } => {
+                        if self.cfg.resilient && !self.exec_boundary(id)? {
+                            return Ok(None); // unreachable while quiet
+                        }
+                    }
+                    DKind::Jump { target } => {
+                        self.take_slot(false);
+                        self.count_inst();
+                        self.pc = u64::from(target);
+                        self.fetch_ready = self.cycle + 1 + self.cfg.jump_penalty;
+                        continue 'blocks;
+                    }
+                    DKind::BranchNz { cond, target } => {
+                        self.take_slot(false);
+                        self.count_inst();
+                        if self.regs[cond as usize] != 0 {
+                            self.pc = u64::from(target);
+                            self.fetch_ready = self.cycle + 1 + self.cfg.branch_penalty;
+                        } else {
+                            self.pc += 1;
+                        }
+                        continue 'blocks;
+                    }
+                    DKind::Ret { value } => {
+                        self.take_slot(false);
+                        self.count_inst();
+                        return Ok(Some(value.map(|v| self.dread(v))));
+                    }
+                    DKind::Nop => {
+                        self.take_slot(false);
+                    }
+                }
+                self.count_inst();
+                self.pc += 1;
+            }
+        }
+    }
+
+    fn dread(&self, op: DOperand) -> i64 {
+        match op {
+            DOperand::Reg(r) => self.regs[r as usize],
+            DOperand::Imm(v) => v,
+        }
+    }
+
+    fn dresolve(&self, addr: DAddr) -> u64 {
+        match addr {
+            DAddr::RegOff(b, o) => self.regs[b as usize].wrapping_add(o) as u64,
+            DAddr::Abs(a) => a,
+            DAddr::Ckpt(r) => turnpike_ir::ckpt_slot_addr(r, self.coloring.verified_color(r)),
+        }
+    }
+
+    /// [`Core::define`] specialized to the quiet fast path: no datapath
+    /// corruption can be pending and no source is tainted, so the parity
+    /// and taint flags — already false for every register — stay false.
+    fn define_quiet(&mut self, dst: u8, value: i64, ready_at: u64) {
+        debug_assert!(self.pending_datapath.is_none());
+        self.regs[dst as usize] = value;
+        self.reg_ready[dst as usize] = ready_at;
     }
 
     /// Earliest pending or future error-detection instant. Verification and
@@ -947,43 +1549,8 @@ impl<'a> Core<'a> {
                 }
             }
             MachInst::RegionBoundary { id } => {
-                if self.cfg.resilient {
-                    if !self.rbb.has_room() {
-                        // Stall until the oldest region verifies.
-                        let t = self
-                            .rbb
-                            .earliest_verify_time()
-                            .map(|v| v + 1)
-                            .unwrap_or(self.cycle + 1)
-                            .max(self.cycle + 1);
-                        let bound = self.next_detection_bound();
-                        if bound <= t {
-                            self.wait_until(bound.max(self.cycle), StallCause::RbbFull);
-                            self.process_faults();
-                            return Ok(None);
-                        }
-                        self.wait_until(t, StallCause::RbbFull);
-                        self.settle(self.cycle);
-                        if !self.rbb.has_room() {
-                            return Err(SimError::StoreDeadlock { cycle: self.cycle });
-                        }
-                    }
-                    // Boundaries are PC markers, not executed operations:
-                    // the RBB allocates as the marker passes commit, without
-                    // consuming an issue slot (their cost is code size and
-                    // RBB occupancy).
-                    let prior_all_verified = self.rbb.unverified_count() <= 1;
-                    self.rbb.on_boundary(id, self.pc as u32 + 1, self.cycle);
-                    // The ended region gives the RBB front a verification
-                    // point the cached settle time doesn't know about.
-                    self.settle_due = 0;
-                    let seq = self.rbb.current_seq();
-                    self.clq.on_region_start(seq, prior_all_verified);
-                    self.stats.boundaries += 1;
-                    self.emit(TraceEvent::RegionStart {
-                        cycle: self.cycle,
-                        seq,
-                    });
+                if self.cfg.resilient && !self.exec_boundary(id)? {
+                    return Ok(None);
                 }
             }
             MachInst::Jump { target } => {
@@ -1010,6 +1577,50 @@ impl<'a> Core<'a> {
         self.count_inst();
         self.pc = next_pc;
         Ok(None)
+    }
+
+    /// Pass a region boundary (resilient cores only): allocate an RBB
+    /// instance, stalling for room if needed. Returns `Ok(false)` when the
+    /// stall ran into an error detection — the marker is abandoned and
+    /// re-executed after recovery.
+    fn exec_boundary(&mut self, id: turnpike_isa::RegionId) -> Result<bool, SimError> {
+        if !self.rbb.has_room() {
+            // Stall until the oldest region verifies.
+            let t = self
+                .rbb
+                .earliest_verify_time()
+                .map(|v| v + 1)
+                .unwrap_or(self.cycle + 1)
+                .max(self.cycle + 1);
+            let bound = self.next_detection_bound();
+            if bound <= t {
+                self.wait_until(bound.max(self.cycle), StallCause::RbbFull);
+                self.process_faults();
+                return Ok(false);
+            }
+            self.wait_until(t, StallCause::RbbFull);
+            self.settle(self.cycle);
+            if !self.rbb.has_room() {
+                return Err(SimError::StoreDeadlock { cycle: self.cycle });
+            }
+        }
+        // Boundaries are PC markers, not executed operations:
+        // the RBB allocates as the marker passes commit, without
+        // consuming an issue slot (their cost is code size and
+        // RBB occupancy).
+        let prior_all_verified = self.rbb.unverified_count() <= 1;
+        self.rbb.on_boundary(id, self.pc as u32 + 1, self.cycle);
+        // The ended region gives the RBB front a verification
+        // point the cached settle time doesn't know about.
+        self.settle_due = 0;
+        let seq = self.rbb.current_seq();
+        self.clq.on_region_start(seq, prior_all_verified);
+        self.stats.boundaries += 1;
+        self.emit(TraceEvent::RegionStart {
+            cycle: self.cycle,
+            seq,
+        });
+        Ok(true)
     }
 
     fn count_inst(&mut self) {
@@ -1188,12 +1799,15 @@ impl<'a> Core<'a> {
         self.stats.sb_peak = self.sb.peak;
         self.stats.sb_coalesced = self.sb.coalesced;
         self.stats.sb_discarded = self.sb.discarded;
+        self.stats.rbb_insts_sum = self.rbb.insts_sum;
+        self.stats.rbb_completed = self.rbb.completed;
         self.stats.hists = self.hists.take();
         Ok(SimOutcome {
             ret,
             memory: self.memory.to_btree(),
             ckpt_memory: self.ckpt_memory.to_btree(),
             stats: std::mem::take(&mut self.stats),
+            replay_saved: None,
         })
     }
 }

@@ -51,14 +51,16 @@ pub mod rbb;
 pub mod stats;
 pub mod store_buffer;
 pub mod trace;
+pub mod translate;
 
 pub use clq::{CamClq, Clq, ClqStats, CompactClq, IdealClq};
 pub use coloring::Coloring;
 pub use config::{ClqKind, SimConfig};
-pub use core::{Core, CoreSnapshot, SimError, SimOutcome};
+pub use core::{Core, CoreSnapshot, ReplayGuide, SimError, SimOutcome};
 pub use fault::{Fault, FaultKind, FaultPlan};
 pub use mem::PagedMem;
 pub use rbb::Rbb;
 pub use stats::{SimHists, SimStats};
 pub use store_buffer::StoreBuffer;
 pub use trace::{shared_sink, ChromeTrace, JsonlSink, StallKind, Trace, TraceEvent, TraceSink};
+pub use translate::Translation;

@@ -153,6 +153,62 @@ impl PagedMem {
         self.len() == 0
     }
 
+    /// Whether `self` and `other` hold identical content: the same set of
+    /// inserted addresses, each with an equal value. Pages shared through
+    /// the copy-on-write ancestry compare by pointer; a page present in
+    /// only one directory matches only if it is all-absent (which never
+    /// arises in practice — pages are created by `insert` — but keeps the
+    /// predicate exact).
+    pub fn content_eq(&self, other: &PagedMem) -> bool {
+        fn blank(page: &Page) -> bool {
+            page.present.iter().all(|&w| w == 0)
+        }
+        let (mut a, mut b) = (self.pages.iter().peekable(), other.pages.iter().peekable());
+        loop {
+            match (a.peek(), b.peek()) {
+                (None, None) => return true,
+                (Some((_, p)), None) => {
+                    if !blank(p) {
+                        return false;
+                    }
+                    a.next();
+                }
+                (None, Some((_, p))) => {
+                    if !blank(p) {
+                        return false;
+                    }
+                    b.next();
+                }
+                (Some((ia, pa)), Some((ib, pb))) => {
+                    if ia < ib {
+                        if !blank(pa) {
+                            return false;
+                        }
+                        a.next();
+                    } else if ib < ia {
+                        if !blank(pb) {
+                            return false;
+                        }
+                        b.next();
+                    } else {
+                        if !Arc::ptr_eq(pa, pb) {
+                            if pa.present != pb.present {
+                                return false;
+                            }
+                            for slot in 0..PAGE_SLOTS {
+                                if pa.is_present(slot) && pa.words[slot] != pb.words[slot] {
+                                    return false;
+                                }
+                            }
+                        }
+                        a.next();
+                        b.next();
+                    }
+                }
+            }
+        }
+    }
+
     /// The `BTreeMap` view: every inserted `(addr, value)` pair in address
     /// order — byte-identical to what the former map-backed memory held.
     pub fn to_btree(&self) -> BTreeMap<u64, i64> {
@@ -233,6 +289,30 @@ mod tests {
         let m: PagedMem = pairs.iter().copied().collect();
         let reference: BTreeMap<u64, i64> = pairs.iter().copied().collect();
         assert_eq!(m.to_btree(), reference);
+    }
+
+    #[test]
+    fn content_eq_is_structural() {
+        let pairs: Vec<(u64, i64)> = vec![(0x10, 1), (0x1ff, 2), (0x200, 3), (0x9000, 4)];
+        let a: PagedMem = pairs.iter().copied().collect();
+        let mut b: PagedMem = pairs.iter().rev().copied().collect();
+        assert!(a.content_eq(&b));
+        assert!(b.content_eq(&a));
+        // A COW clone shares pages: pointer fast path.
+        let c = a.clone();
+        assert!(a.content_eq(&c));
+        // Divergent value.
+        b.insert(0x1ff, 7);
+        assert!(!a.content_eq(&b));
+        // Divergent presence (extra address on an existing page).
+        let mut d = a.clone();
+        d.insert(0x11, 0);
+        assert!(!a.content_eq(&d));
+        // Extra page on one side.
+        let mut e = a.clone();
+        e.insert(0xdead_0000, 0);
+        assert!(!a.content_eq(&e));
+        assert!(!e.content_eq(&a));
     }
 
     #[test]

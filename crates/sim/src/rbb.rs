@@ -165,6 +165,32 @@ impl Rbb {
         target
     }
 
+    /// Replay equivalence against a golden-run RBB whose timeline trails
+    /// this one by `dc` cycles and `ds` sequence numbers: the running and
+    /// unverified instances must match exactly under the shift, and
+    /// `next_seq` must carry the same shift so every future boundary
+    /// allocates shifted sequence numbers. `verified_count`, `insts_sum`,
+    /// and `completed` are pure statistics (synthesized separately by the
+    /// early-exit replay) and deliberately not compared.
+    pub(crate) fn replay_equivalent(&self, golden: &Rbb, dc: u64, ds: u64) -> bool {
+        fn inst_eq(a: &RegionInstance, b: &RegionInstance, dc: u64, ds: u64) -> bool {
+            a.seq == b.seq.wrapping_add(ds)
+                && a.static_id == b.static_id
+                && a.entry_pc == b.entry_pc
+                && a.start_cycle == b.start_cycle + dc
+                && a.end_cycle == b.end_cycle.map(|e| e + dc)
+                && a.insts == b.insts
+        }
+        self.next_seq == golden.next_seq.wrapping_add(ds)
+            && inst_eq(&self.cur, &golden.cur, dc, ds)
+            && self.live.len() == golden.live.len()
+            && self
+                .live
+                .iter()
+                .zip(golden.live.iter())
+                .all(|(a, b)| inst_eq(a, b, dc, ds))
+    }
+
     /// All unverified instance sequence numbers, oldest first, the running
     /// instance last (used to decide which SB entries / colors to squash).
     pub fn unverified_seqs(&self) -> Vec<u64> {

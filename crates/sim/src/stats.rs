@@ -77,6 +77,16 @@ pub struct SimStats {
     pub cache: (u64, u64, u64, u64),
     /// Peak SB occupancy.
     pub sb_peak: usize,
+    /// Sum of dynamic instruction counts over completed regions — the
+    /// numerator behind [`avg_region_insts`](Self::avg_region_insts),
+    /// carried separately so the campaign early-exit replay can synthesize
+    /// the average exactly. Excluded from [`to_json`](Self::to_json) and
+    /// [`to_metrics`](Self::to_metrics).
+    pub rbb_insts_sum: u64,
+    /// Completed-region count — the denominator behind
+    /// [`avg_region_insts`](Self::avg_region_insts); same carry role and
+    /// exclusions as [`rbb_insts_sum`](Self::rbb_insts_sum).
+    pub rbb_completed: u64,
     /// Latency distributions; `None` unless the run enabled
     /// [`SimConfig::histograms`](crate::SimConfig::histograms).
     pub hists: Option<Box<SimHists>>,

@@ -208,6 +208,50 @@ impl StoreBuffer {
         n
     }
 
+    /// Replay equivalence against a golden-run buffer whose timeline trails
+    /// this one by `dc` cycles and `ds` region sequence numbers: every
+    /// future operation behaves identically on both buffers (with strike
+    /// times/seqs shifted by `dc`/`ds`) iff this returns `true`.
+    ///
+    /// Entries must match exactly under the shift — values and kinds equal,
+    /// `region_seq + ds`, `issued_at + dc` (residency histogram samples
+    /// depend on it), `release_at + dc`. `last_release` may instead be
+    /// *stale* on both sides (no scheduled entry, `<= now`, and agreeing on
+    /// whether it equals `now`): future schedules read it only through
+    /// `max(verify_time, last_release + 1)`, and every future `verify_time`
+    /// is `>= now`, so a stale value only matters through that tie.
+    pub(crate) fn replay_equivalent(
+        &self,
+        golden: &StoreBuffer,
+        dc: u64,
+        ds: u64,
+        self_now: u64,
+        golden_now: u64,
+    ) -> bool {
+        if self.entries.len() != golden.entries.len() {
+            return false;
+        }
+        let mut scheduled = false;
+        for (a, b) in self.entries.iter().zip(golden.entries.iter()) {
+            if a.kind != b.kind
+                || a.value != b.value
+                || a.region_seq != b.region_seq.wrapping_add(ds)
+                || a.issued_at != b.issued_at + dc
+                || a.release_at != b.release_at.map(|t| t + dc)
+            {
+                return false;
+            }
+            scheduled |= a.release_at.is_some();
+        }
+        if self.last_release == golden.last_release + dc {
+            return true;
+        }
+        !scheduled
+            && self.last_release <= self_now
+            && golden.last_release <= golden_now
+            && (self.last_release == self_now) == (golden.last_release == golden_now)
+    }
+
     /// Force-release everything that is scheduled, ignoring time (end of
     /// simulation drain). Returns released entries and the cycle the last
     /// one left.

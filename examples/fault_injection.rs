@@ -18,6 +18,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runs: 25,
         seed: 2021,
         strikes_per_run: 1,
+        ..Default::default()
     };
 
     for scheme in [Scheme::Turnstile, Scheme::Turnpike] {

@@ -57,6 +57,7 @@ fn generated_kernels_survive_fault_campaigns() {
                 runs: 6,
                 seed: seed * 31 + 1,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap_or_else(|e| panic!("seed {seed}: {e}"));

@@ -18,6 +18,7 @@ fn turnpike_is_sdc_free_across_the_catalog() {
                 runs: 6,
                 seed: 0xA11CE + i as u64,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", k.name));
@@ -38,6 +39,7 @@ fn turnstile_is_sdc_free_across_the_catalog() {
                 runs: 5,
                 seed: 0xBEE + i as u64,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap_or_else(|e| panic!("{}: {e}", k.name));
@@ -57,6 +59,7 @@ fn ladder_rungs_are_sdc_free_on_a_sample() {
                 runs: 5,
                 seed: 77,
                 strikes_per_run: 1,
+                ..Default::default()
             },
         )
         .unwrap_or_else(|e| panic!("{scheme:?}: {e}"));
@@ -75,6 +78,7 @@ fn bursts_of_strikes_recover() {
             runs: 4,
             seed: 5,
             strikes_per_run: 4,
+            ..Default::default()
         },
     )
     .unwrap();
