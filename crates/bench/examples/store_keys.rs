@@ -1,0 +1,13 @@
+//! Prints the uniform-scheme store-key material pinned by
+//! `crates/bench/golden/store_keys.txt`.
+//!
+//! Regenerate the golden (only when a key change is intended — it
+//! invalidates every cached uniform-scheme artifact) with:
+//!
+//! ```text
+//! cargo run -p turnpike-bench --example store_keys > crates/bench/golden/store_keys.txt
+//! ```
+
+fn main() {
+    print!("{}", turnpike_bench::uniform_store_key_material());
+}

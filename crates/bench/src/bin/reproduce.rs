@@ -10,7 +10,8 @@
 //! reproduce --list
 //!
 //! targets: fig4 fig14 fig15 fig18 fig19 fig20 fig21 fig22 fig23
-//!          fig24 fig25 fig26 table1 ablation clq colors summary all
+//!          fig24 fig25 fig26 table1 ablation clq colors summary
+//!          adaptive all
 //! ```
 //!
 //! `--list` prints every target with the paper figure/table it reproduces.
@@ -893,5 +894,51 @@ fn main() -> ExitCode {
     if let Err(e) = write_block("BENCH_reproduce.json", &target, &record) {
         eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
+    // The adaptive rung additionally records its per-kernel comparison
+    // against the best uniform scheme (under the "adaptive" key, replacing
+    // the generic perf block when the target itself was `adaptive`).
+    if let Some(f) = tables.iter().find(|f| f.table.id == "adaptive") {
+        let record = adaptive_block_json(&f.table, scale, f.wall_ms);
+        if let Err(e) = write_block("BENCH_reproduce.json", "adaptive", &record) {
+            eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// The `adaptive` block of `BENCH_reproduce.json`: per-kernel normalized
+/// time of the adaptive rung against the best uniform scheme, plus the
+/// figure's wall-clock (columns are pinned by the `adaptive` generator).
+fn adaptive_block_json(table: &Table, scale: Scale, wall_ms: u128) -> String {
+    let scale_name = match scale {
+        Scale::Smoke => "smoke",
+        Scale::Full => "full",
+    };
+    let mut rows = String::new();
+    for (label, v) in &table.rows {
+        if label.starts_with("geomean") {
+            continue;
+        }
+        if !rows.is_empty() {
+            rows.push_str(",\n");
+        }
+        rows.push_str(&format!(
+            "    {{\"kernel\": {}, \"adaptive\": {:.4}, \"best_uniform\": {:.4}, \
+             \"ratio\": {:.4}, \"win\": {}}}",
+            json_string(label),
+            v[0],
+            v[1],
+            v[2],
+            v[3] > 0.0,
+        ));
+    }
+    let g = table.row("geomean.all").unwrap_or(&[0.0; 4]);
+    format!(
+        "{{\n  \"scale\": {},\n  \"wall_ms\": {wall_ms},\n  \
+         \"geomean_ratio_vs_best_uniform\": {:.4},\n  \"win_rate\": {:.4},\n  \
+         \"kernels\": [\n{rows}\n  ]\n}}",
+        json_string(scale_name),
+        g[2],
+        g[3],
+    )
 }

@@ -231,7 +231,8 @@ fn wcdl_sweep(engine: &Engine, id: &str, title: &str, scheme: Scheme, scale: Sca
     t
 }
 
-/// Figure 21: the eight-configuration optimization ladder at WCDL 10.
+/// Figure 21: the optimization ladder at WCDL 10 (the paper's eight
+/// uniform rungs plus the adaptive per-region extension).
 /// Columns and rung order come from `preset::LADDER`, the same table
 /// `Scheme::LADDER` is derived from.
 pub fn fig21(engine: &Engine, scale: Scale) -> Table {
@@ -600,6 +601,56 @@ pub fn clq_designs(engine: &Engine, scale: Scale) -> Table {
     t
 }
 
+/// Ablation figure for per-region adaptive protection: the `Adaptive`
+/// rung versus every uniform scheme of the ladder, per kernel. "Best
+/// uniform" is the lowest normalized time any uniform resilient rung
+/// achieves on that kernel; "Win" is 1 when adaptive strictly beats it
+/// (at equal-or-better coverage of the stores that matter — the
+/// vulnerability pass only sheds verification for regions whose strikes
+/// cannot reach memory or live-outs).
+pub fn adaptive(engine: &Engine, scale: Scale) -> Table {
+    let mut t = Table::new(
+        "adaptive",
+        "Adaptive region protection vs best uniform scheme (WCDL 10)",
+        &["Adaptive", "Best uniform", "Ratio", "Win"],
+    );
+    let ks = kernels(scale);
+    let uniform: Vec<RunSpec> = preset::LADDER
+        .iter()
+        .filter(|r| r.scheme != Scheme::Adaptive)
+        .map(|r| RunSpec::new(r.scheme))
+        .collect();
+    let per: Vec<Vec<f64>> = engine.per_kernel(&ks, |k| {
+        let base = engine.baseline_cycles(k, 4);
+        let norm =
+            |spec: &RunSpec| engine.run(k, spec).metrics.counter(Counter::Cycles) as f64 / base;
+        let adaptive = norm(&RunSpec::new(Scheme::Adaptive));
+        let best = uniform
+            .iter()
+            .map(norm)
+            .fold(f64::INFINITY, f64::min);
+        vec![
+            adaptive,
+            best,
+            adaptive / best,
+            f64::from(u8::from(adaptive < best)),
+        ]
+    });
+    for (k, row) in ks.iter().zip(&per) {
+        t.push(label(k), row.clone());
+    }
+    // Geomeans for the time columns; the Win column reports the win rate.
+    let mut row: Vec<f64> = (0..3)
+        .map(|c| {
+            let xs: Vec<f64> = per.iter().map(|v| v[c]).collect();
+            geomean(&xs)
+        })
+        .collect();
+    row.push(per.iter().map(|v| v[3]).sum::<f64>() / per.len().max(1) as f64);
+    t.push("geomean.all", row);
+    t
+}
+
 /// One reproducible figure/table: its CLI name, the paper artifact it
 /// regenerates, and its generator. This registry is the single source for
 /// the `reproduce` binary's dispatch, `--list`, usage message, and what
@@ -614,7 +665,7 @@ pub struct Target {
 }
 
 /// Every target, in `all` output order.
-pub const TARGETS: [Target; 17] = [
+pub const TARGETS: [Target; 18] = [
     Target {
         name: "ablation",
         paper_ref: "§6 ablation: Turnpike minus one technique at a time",
@@ -652,7 +703,7 @@ pub const TARGETS: [Target; 17] = [
     },
     Target {
         name: "fig21",
-        paper_ref: "Figure 21: eight-configuration optimization ladder",
+        paper_ref: "Figure 21: optimization ladder plus the adaptive rung",
         generate: fig21,
     },
     Target {
@@ -700,6 +751,11 @@ pub const TARGETS: [Target; 17] = [
         paper_ref: "digest: headline geomeans of every scheme",
         generate: summary,
     },
+    Target {
+        name: "adaptive",
+        paper_ref: "extension: per-region adaptive protection vs every uniform rung",
+        generate: adaptive,
+    },
 ];
 
 /// Look up a target by CLI/wire name.
@@ -745,11 +801,31 @@ mod tests {
     fn fig21_ladder_improves_smoke() {
         let t = fig21(&Engine::serial(), Scale::Smoke);
         let g = t.row("geomean.all").unwrap();
-        let (turnstile, turnpike) = (g[0], g[7]);
+        let (turnstile, turnpike, adaptive) = (g[0], g[7], g[8]);
         assert!(
             turnpike <= turnstile,
             "turnpike {turnpike:.3} vs turnstile {turnstile:.3}"
         );
+        assert!(
+            adaptive <= turnpike,
+            "adaptive {adaptive:.3} vs turnpike {turnpike:.3}"
+        );
         assert!(turnstile >= 1.0);
+    }
+
+    #[test]
+    fn adaptive_beats_every_uniform_scheme_somewhere() {
+        let t = adaptive(&Engine::serial(), Scale::Smoke);
+        let g = t.row("geomean.all").unwrap();
+        // Adaptive never loses to the best uniform rung on aggregate...
+        assert!(g[2] <= 1.0, "geomean ratio {:.4} > 1", g[2]);
+        // ...and strictly beats every uniform scheme on >= 1 kernel.
+        let wins: f64 = t
+            .rows
+            .iter()
+            .filter(|(n, _)| !n.starts_with("geomean"))
+            .map(|(_, r)| r[3])
+            .sum();
+        assert!(wins >= 1.0, "adaptive never beats the best uniform scheme");
     }
 }

@@ -20,5 +20,5 @@ pub use engine::Engine;
 pub use figures::*;
 pub use obs::{export_trace, fault_probe_metrics, find_kernel, hist_summary_json, TraceFormat};
 pub use report::{upsert_block, write_block};
-pub use service::EngineExecutor;
+pub use service::{uniform_store_key_material, EngineExecutor};
 pub use table::{json_number, json_string, Table};

@@ -37,6 +37,46 @@ pub struct EngineExecutor {
     store: Option<Store>,
 }
 
+/// The store-key material (the `cc=…|sc=…` Debug renderings) for every
+/// *uniform* scheme at representative knob settings, one line per
+/// configuration.
+///
+/// Pinned byte-for-byte against `crates/bench/golden/store_keys.txt`: a warm
+/// artifact store written by an older build must keep hitting for uniform
+/// schemes, and any drift in these renderings silently invalidates every
+/// cached uniform-scheme artifact. Regenerate (only when a key change is
+/// intended) with:
+///
+/// ```text
+/// cargo run -p turnpike-bench --example store_keys > crates/bench/golden/store_keys.txt
+/// ```
+pub fn uniform_store_key_material() -> String {
+    let uniform = [
+        "baseline",
+        "turnstile",
+        "war-free",
+        "fast-release",
+        "fast-release-prune",
+        "fast-release-prune-licm",
+        "fast-release-prune-licm-sched",
+        "fast-release-prune-licm-sched-ra",
+        "turnpike",
+    ];
+    let mut out = String::new();
+    for name in uniform {
+        let scheme = Scheme::parse(name).expect("uniform scheme name");
+        for (sb, wcdl) in [(4u32, 10u64), (8, 50)] {
+            let spec = RunSpec::new(scheme).with_sb(sb).with_wcdl(wcdl);
+            out.push_str(&format!(
+                "{name}|sb={sb}|wcdl={wcdl}|cc={:?}|sc={:?}\n",
+                spec.compiler_config(),
+                spec.sim_config()
+            ));
+        }
+    }
+    out
+}
+
 /// A request resolved against the catalog: everything validated, nothing
 /// executed yet.
 struct Resolved {
@@ -219,7 +259,7 @@ impl EngineExecutor {
                 Ok(format!(
                     "{},\"runs\":{},\"seed\":{},\"strikes\":{},\"sdc\":{},\"sdc_free\":{},\
                      \"recoveries\":{},\"detections\":{},\"parity_detections\":{},\
-                     \"sensor_detections\":{},\"post_completion\":{}}}",
+                     \"sensor_detections\":{},\"post_completion\":{},\"hangs\":{}}}",
                     head("campaign"),
                     report.runs,
                     req.seed,
@@ -230,7 +270,8 @@ impl EngineExecutor {
                     report.detections,
                     report.parity_detections,
                     report.sensor_detections,
-                    report.post_completion
+                    report.post_completion,
+                    report.hangs
                 ))
             }
             JobKind::Figure => {
@@ -316,6 +357,18 @@ mod tests {
         assert_eq!(a.store, StoreStatus::Off);
         assert!(a.result.starts_with("{\"kind\":\"run\""), "{}", a.result);
         assert!(a.result.contains("\"stats\":{\"cycles\":"), "{}", a.result);
+    }
+
+    #[test]
+    fn uniform_store_keys_match_golden() {
+        // A warm artifact store written by an older build must keep hitting
+        // for every uniform scheme: the config Debug renderings are store-key
+        // material and may never drift for uniform configs.
+        assert_eq!(
+            uniform_store_key_material(),
+            include_str!("../golden/store_keys.txt"),
+            "uniform store-key material drifted; this invalidates warm caches"
+        );
     }
 
     #[test]

@@ -12,9 +12,12 @@
 //! 4. emits the initial register image (program parameters).
 
 use crate::prune::PruneRecipes;
+use crate::vulnerability::RegionModes;
 use std::collections::{BTreeMap, HashMap};
 use turnpike_ir::{BlockId, Cfg, Inst, Liveness, Operand, Program, Reg, Terminator};
-use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, RecoveryBlock, RegionId};
+use turnpike_isa::{
+    MOperand, MachAddr, MachInst, MachProgram, PhysReg, ProtectionMode, RecoveryBlock, RegionId,
+};
 
 /// Codegen failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -111,16 +114,34 @@ fn lower_inst(inst: &Inst) -> Result<Option<MachInst>, CodegenError> {
     }))
 }
 
+/// Lower a function to a machine program with every region at the default
+/// protection mode ([`codegen_with_modes`] with empty modes).
+///
+/// # Errors
+///
+/// See [`CodegenError`].
+pub fn codegen(program: &Program, recipes: &PruneRecipes) -> Result<MachProgram, CodegenError> {
+    codegen_with_modes(program, recipes, &RegionModes::default())
+}
+
 /// Lower a function to a machine program.
 ///
 /// `recipes` carries pruning reconstruction code (empty when pruning is
-/// disabled or the function has no regions).
+/// disabled or the function has no regions). `modes` carries the
+/// vulnerability pass's per-region protection assignment, keyed by stable
+/// boundary id; only non-default modes are attached to the emitted
+/// program, so an all-default assignment produces a byte-identical program
+/// with an empty mode map.
 ///
 /// # Errors
 ///
 /// See [`CodegenError`]; all variants indicate pipeline bugs rather than
 /// user-facing conditions.
-pub fn codegen(program: &Program, recipes: &PruneRecipes) -> Result<MachProgram, CodegenError> {
+pub fn codegen_with_modes(
+    program: &Program,
+    recipes: &PruneRecipes,
+    modes: &RegionModes,
+) -> Result<MachProgram, CodegenError> {
     let f = &program.func;
     let cfg = Cfg::compute(f);
     let live = Liveness::compute(f, &cfg);
@@ -286,12 +307,32 @@ pub fn codegen(program: &Program, recipes: &PruneRecipes) -> Result<MachProgram,
         .map(|(&p, &v)| Ok((phys(p)?, v)))
         .collect::<Result<_, CodegenError>>()?;
 
+    // Per-region protection modes, translated from stable boundary ids to
+    // the final (PC-ordered) region ids. Only deviations from the default
+    // are recorded: uniform programs keep an empty map and stay
+    // byte-identical to pre-policy output.
+    let mut region_modes: BTreeMap<RegionId, ProtectionMode> = BTreeMap::new();
+    if let Some(m) = modes.entry {
+        if m != ProtectionMode::Turnpike {
+            region_modes.insert(RegionId(0), m);
+        }
+    }
+    for (&stable, &m) in &modes.by_stable {
+        if m == ProtectionMode::Turnpike {
+            continue;
+        }
+        if let Some(&rid) = stable_to_region.get(&stable) {
+            region_modes.insert(rid, m);
+        }
+    }
+
     let out = MachProgram {
         name: f.name.clone(),
         insts,
         data: program.data.clone(),
         reg_init,
         recovery,
+        region_modes,
     };
     debug_assert_eq!(out.validate(), Ok(()));
     Ok(out)

@@ -1,6 +1,36 @@
 //! Compiler configuration and per-pass statistics.
 
 use std::fmt;
+use turnpike_isa::ProtectionMode;
+
+/// How the compiler assigns per-region protection modes.
+///
+/// The default, [`Uniform`](ProtectionPolicy::Uniform), keeps the scheme's
+/// single protection level for the whole program and attaches *no*
+/// per-region metadata — programs compiled this way are byte-identical to
+/// programs compiled before region-granular resilience existed. The other
+/// policies enable the vulnerability-analysis pass, which tags every static
+/// region with a [`ProtectionMode`] the simulator honors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum ProtectionPolicy {
+    /// One scheme-wide protection level; no region metadata (the default).
+    #[default]
+    Uniform,
+    /// Tag every region with the same explicit mode. `ForceUniform` with
+    /// [`ProtectionMode::Turnpike`] is the degenerate identity: the tags
+    /// all equal the default, so the emitted program carries an empty mode
+    /// map and matches a [`Uniform`](ProtectionPolicy::Uniform) compile
+    /// byte for byte.
+    ForceUniform(ProtectionMode),
+    /// Vulnerability-scored: regions whose score (store count + live-out
+    /// pressure + loop depth; see `vulnerability::score`) is below
+    /// `threshold` run unprotected, the rest keep full protection.
+    Adaptive {
+        /// Minimum vulnerability score a region must reach to stay
+        /// protected.
+        threshold: u32,
+    },
+}
 
 /// Which passes the compiler runs.
 ///
@@ -8,7 +38,7 @@ use std::fmt;
 /// over this struct: `baseline()` (no resilience), `turnstile(sb)` (regions +
 /// eager checkpointing only), and `turnpike(sb)` (everything on); the
 /// intermediate rungs toggle individual fields.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Clone, PartialEq, Eq, Hash)]
 pub struct CompilerConfig {
     /// Insert verifiable regions and eager checkpoints (Turnstile base).
     /// When `false`, the program compiles without any resilience support.
@@ -28,6 +58,8 @@ pub struct CompilerConfig {
     /// Store-aware register allocation: weight spill-cost writes higher so
     /// frequently-written variables stay in registers (paper §4.1.1).
     pub store_aware_ra: bool,
+    /// Per-region protection mode assignment (see [`ProtectionPolicy`]).
+    pub policy: ProtectionPolicy,
 }
 
 impl CompilerConfig {
@@ -41,6 +73,7 @@ impl CompilerConfig {
             licm: false,
             sched: false,
             store_aware_ra: false,
+            policy: ProtectionPolicy::Uniform,
         }
     }
 
@@ -54,6 +87,7 @@ impl CompilerConfig {
             licm: false,
             sched: false,
             store_aware_ra: false,
+            policy: ProtectionPolicy::Uniform,
         }
     }
 
@@ -67,12 +101,35 @@ impl CompilerConfig {
             licm: true,
             sched: true,
             store_aware_ra: true,
+            policy: ProtectionPolicy::Uniform,
         }
     }
 
     /// The region store budget derived from the SB size.
     pub fn region_budget(&self) -> u32 {
         (self.sb_size / 2).max(1)
+    }
+}
+
+/// Manual `Debug` instead of the derive: the rendering feeds persistent
+/// store/cache keys, so the seven pre-policy fields must keep their exact
+/// derived form and `policy` only appears when it deviates from the
+/// default. Existing uniform configurations therefore render — and key —
+/// exactly as they did before per-region protection existed.
+impl fmt::Debug for CompilerConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("CompilerConfig");
+        d.field("resilient", &self.resilient)
+            .field("sb_size", &self.sb_size)
+            .field("livm", &self.livm)
+            .field("prune", &self.prune)
+            .field("licm", &self.licm)
+            .field("sched", &self.sched)
+            .field("store_aware_ra", &self.store_aware_ra);
+        if self.policy != ProtectionPolicy::Uniform {
+            d.field("policy", &self.policy);
+        }
+        d.finish()
     }
 }
 
@@ -180,6 +237,24 @@ mod tests {
         let p = CompilerConfig::turnpike(4);
         assert!(p.resilient && p.prune && p.licm && p.sched && p.livm && p.store_aware_ra);
         assert_eq!(CompilerConfig::default(), p);
+    }
+
+    #[test]
+    fn debug_rendering_is_stable_for_uniform_configs() {
+        // The Debug form feeds persistent store keys: uniform configs must
+        // render exactly as the pre-policy derive did, and the policy field
+        // must appear only when non-default.
+        assert_eq!(
+            format!("{:?}", CompilerConfig::baseline()),
+            "CompilerConfig { resilient: false, sb_size: 4, livm: false, prune: false, \
+             licm: false, sched: false, store_aware_ra: false }"
+        );
+        let mut c = CompilerConfig::turnstile(8);
+        assert!(!format!("{c:?}").contains("policy"));
+        c.policy = ProtectionPolicy::ForceUniform(ProtectionMode::Turnpike);
+        assert!(format!("{c:?}").contains("policy: ForceUniform(Turnpike)"));
+        c.policy = ProtectionPolicy::Adaptive { threshold: 6 };
+        assert!(format!("{c:?}").contains("policy: Adaptive { threshold: 6 }"));
     }
 
     #[test]

@@ -31,11 +31,13 @@ pub mod prune;
 pub mod regalloc;
 pub mod sched;
 pub mod snapshots;
+pub mod vulnerability;
 
-pub use codegen::{codegen, CodegenError};
-pub use config::{CompilerConfig, PassStats};
+pub use codegen::{codegen, codegen_with_modes, CodegenError};
+pub use config::{CompilerConfig, PassStats, ProtectionPolicy};
 pub use pass::{Pass, PassCx, PassManager, PassObserver, PassRecord};
 pub use pipeline::{compile, CompileError, CompileOutput};
 pub use prune::PruneRecipes;
 pub use regalloc::{AllocError, SPILL_BASE};
 pub use snapshots::{compile_with_snapshots, Snapshot, SnapshotObserver};
+pub use vulnerability::{RegionModes, VulnerabilityPass};

@@ -25,10 +25,11 @@
 
 use std::time::Instant;
 
-use crate::codegen::codegen;
-use crate::config::{CompilerConfig, PassStats};
+use crate::codegen::codegen_with_modes;
+use crate::config::{CompilerConfig, PassStats, ProtectionPolicy};
 use crate::pipeline::{CompileError, CompileOutput};
 use crate::prune::PruneRecipes;
+use crate::vulnerability::RegionModes;
 use turnpike_ir::{interp, Program};
 use turnpike_metrics::{Counter, MetricSet};
 
@@ -42,6 +43,10 @@ pub struct PassCx<'a> {
     /// Checkpoint reconstruction recipes produced by pruning and consumed
     /// by recovery-block codegen.
     pub recipes: &'a mut PruneRecipes,
+    /// Per-region protection modes produced by the vulnerability pass and
+    /// attached to the machine program by codegen (empty under the default
+    /// uniform policy).
+    pub modes: &'a mut RegionModes,
 }
 
 /// One stage of the compile pipeline.
@@ -137,6 +142,12 @@ const PIPELINE: &[PassSpec] = &[
         enabled: |c| c.resilient && c.sched,
         build: || Box::new(crate::sched::SchedPass),
     },
+    // Last: scores the fully-optimized regions, so every transform above
+    // is reflected in the vulnerability inputs.
+    PassSpec {
+        enabled: |c| c.resilient && c.policy != ProtectionPolicy::Uniform,
+        build: || Box::new(crate::vulnerability::VulnerabilityPass),
+    },
 ];
 
 /// Drives a configured pass list over programs. [`crate::compile`] is a
@@ -207,6 +218,7 @@ impl PassManager {
         let mut prog = program.clone();
         let mut metrics = MetricSet::new();
         let mut recipes = PruneRecipes::default();
+        let mut modes = RegionModes::default();
         let mut records: Vec<PassRecord> = Vec::with_capacity(self.passes.len() + 1);
 
         for pass in &self.passes {
@@ -225,6 +237,7 @@ impl PassManager {
                     config: &self.config,
                     metrics: &mut metrics,
                     recipes: &mut recipes,
+                    modes: &mut modes,
                 };
                 pass.run(&mut prog, &mut cx)?;
             }
@@ -258,7 +271,7 @@ impl PassManager {
         if self.config.resilient {
             metrics.add(Counter::Boundaries, prog.func.boundary_count() as u64);
         }
-        let machine = codegen(&prog, &recipes)?;
+        let machine = codegen_with_modes(&prog, &recipes, &modes)?;
         metrics.add(Counter::FinalInsts, machine.insts.len() as u64);
         records.push(PassRecord {
             name: "codegen",

@@ -249,6 +249,7 @@ mod tests {
                 licm: bits & 4 != 0,
                 sched: bits & 8 != 0,
                 store_aware_ra: bits & 16 != 0,
+                policy: crate::config::ProtectionPolicy::Uniform,
             };
             check_equiv(&cfg);
         }

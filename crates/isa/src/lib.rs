@@ -54,7 +54,7 @@ pub mod regions;
 pub use asm::{parse_asm, AsmError};
 pub use encode::{decode_program, encode_program, EncodeError};
 pub use inst::{MachAddr, MachInst};
-pub use program::{MachProgram, RecoveryBlock, RegionId, ValidateError};
+pub use program::{MachProgram, ProtectionMode, RecoveryBlock, RegionId, ValidateError};
 pub use reg::{MOperand, PhysReg, RegParseError, NUM_PHYS_REGS};
 pub use regions::{region_summaries, RegionSummary};
 

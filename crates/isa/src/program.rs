@@ -25,6 +25,42 @@ impl fmt::Display for RegionId {
     }
 }
 
+/// Protection applied to one static region.
+///
+/// Region metadata attached by the compiler's vulnerability policy
+/// ([`MachProgram::region_modes`]); the simulator consults the *running*
+/// region's mode so machinery can be dropped region-by-region. The modes
+/// form a lattice `Unprotected < Turnstile < Turnpike`: each step keeps
+/// every guarantee of the one below it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ProtectionMode {
+    /// No detection and no store gating: strikes inside the region are
+    /// never detected (they may corrupt output), its stores release
+    /// immediately when safe, and its verification window is zero.
+    /// Checkpoints still follow the protected path — recovery of the
+    /// region itself, or of a protected neighbor, must observe correct
+    /// checkpoint slots.
+    Unprotected,
+    /// Detection plus gated stores, but no Turnpike fast-release
+    /// structures (per-region WAR-free release and checkpoint coloring are
+    /// forced off even when the core has the hardware).
+    Turnstile,
+    /// Full protection: detection, gated stores, and whatever fast-release
+    /// hardware the core config enables. On a core without that hardware
+    /// this is identical to [`ProtectionMode::Turnstile`].
+    Turnpike,
+}
+
+impl fmt::Display for ProtectionMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtectionMode::Unprotected => write!(f, "unprotected"),
+            ProtectionMode::Turnstile => write!(f, "turnstile"),
+            ProtectionMode::Turnpike => write!(f, "turnpike"),
+        }
+    }
+}
+
 /// Code executed by the recovery controller before re-running a region.
 ///
 /// A recovery block restores the region's live-in registers from their
@@ -68,6 +104,11 @@ pub enum ValidateError {
         /// PC of the offending boundary.
         pc: u32,
     },
+    /// A protection-mode entry names a region the program does not have.
+    UnknownModeRegion {
+        /// The out-of-range region id.
+        region: RegionId,
+    },
 }
 
 impl fmt::Display for ValidateError {
@@ -82,6 +123,9 @@ impl fmt::Display for ValidateError {
             }
             ValidateError::NonSequentialRegions { pc } => {
                 write!(f, "region boundary at pc {pc} breaks sequential numbering")
+            }
+            ValidateError::UnknownModeRegion { region } => {
+                write!(f, "protection mode attached to unknown region {region}")
             }
         }
     }
@@ -105,6 +149,11 @@ pub struct MachProgram {
     /// Recovery blocks keyed by static region id. Region 0 (function entry)
     /// always has an entry; its block restores the program inputs.
     pub recovery: BTreeMap<RegionId, RecoveryBlock>,
+    /// Per-region protection modes attached by the compiler's vulnerability
+    /// policy. Empty for uniform configurations: every region then follows
+    /// the core configuration, exactly as before this metadata existed.
+    /// Absent ids default to [`ProtectionMode::Turnpike`] (full protection).
+    pub region_modes: BTreeMap<RegionId, ProtectionMode>,
 }
 
 impl MachProgram {
@@ -117,7 +166,17 @@ impl MachProgram {
             data,
             reg_init: Vec::new(),
             recovery: BTreeMap::new(),
+            region_modes: BTreeMap::new(),
         }
+    }
+
+    /// The protection mode of static region `id`: explicit metadata if the
+    /// compiler attached any, full protection otherwise.
+    pub fn region_mode(&self, id: RegionId) -> ProtectionMode {
+        self.region_modes
+            .get(&id)
+            .copied()
+            .unwrap_or(ProtectionMode::Turnpike)
     }
 
     /// Number of static regions (boundary count + the implicit entry region).
@@ -180,6 +239,9 @@ impl MachProgram {
                     return Err(ValidateError::BadRecoveryInst { region });
                 }
             }
+        }
+        if let Some((&region, _)) = self.region_modes.range(RegionId(next_region)..).next() {
+            return Err(ValidateError::UnknownModeRegion { region });
         }
         Ok(())
     }
@@ -262,6 +324,41 @@ mod tests {
             p.validate(),
             Err(ValidateError::NonSequentialRegions { pc: 0 })
         );
+    }
+
+    #[test]
+    fn region_modes_default_and_validate() {
+        let mut p = MachProgram::from_insts(
+            "m",
+            vec![
+                MachInst::Nop,
+                MachInst::RegionBoundary { id: RegionId(1) },
+                ret(),
+            ],
+            DataSegment::zeroed(0, 0),
+        );
+        // Empty metadata: every region defaults to full protection.
+        assert_eq!(p.region_mode(RegionId(0)), ProtectionMode::Turnpike);
+        p.region_modes
+            .insert(RegionId(1), ProtectionMode::Unprotected);
+        assert_eq!(p.region_mode(RegionId(1)), ProtectionMode::Unprotected);
+        assert_eq!(p.region_mode(RegionId(0)), ProtectionMode::Turnpike);
+        assert_eq!(p.validate(), Ok(()));
+        p.region_modes
+            .insert(RegionId(7), ProtectionMode::Turnstile);
+        assert_eq!(
+            p.validate(),
+            Err(ValidateError::UnknownModeRegion {
+                region: RegionId(7)
+            })
+        );
+    }
+
+    #[test]
+    fn protection_modes_form_a_lattice() {
+        assert!(ProtectionMode::Unprotected < ProtectionMode::Turnstile);
+        assert!(ProtectionMode::Turnstile < ProtectionMode::Turnpike);
+        assert_eq!(ProtectionMode::Unprotected.to_string(), "unprotected");
     }
 
     #[test]

@@ -1,30 +1,51 @@
 //! Static region analysis over machine programs.
 //!
 //! Summarizes each static region (the code between consecutive boundary
-//! markers in PC order) — instruction, store, and checkpoint counts — for
-//! tests and tooling that audit the partitioner's output at the machine
-//! level.
+//! markers in PC order) — instruction, store, and checkpoint counts plus
+//! the vulnerability inputs (loop depth, live-out pressure) the adaptive
+//! protection policy scores regions by — for tests and tooling that audit
+//! the partitioner's output at the machine level.
 
 use crate::inst::MachInst;
 use crate::program::{MachProgram, RegionId};
+use crate::reg::NUM_PHYS_REGS;
 
 /// Static summary of one region.
+///
+/// Every field is *static*: computed from the flat instruction stream (and
+/// the program's compile-time metadata) without executing anything. The
+/// dynamic counterpart of a region — the instruction count, stores, and
+/// protection mode the simulator actually observes for a region *instance*
+/// — lives in the sim's RBB, which since the per-region protection refactor
+/// consumes the program's [`region_modes`](MachProgram::region_modes)
+/// metadata; nothing here changes at run time.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RegionSummary {
-    /// Region id (0 = the implicit entry region).
+    /// Region id (0 = the implicit entry region). Static.
     pub id: RegionId,
-    /// First PC of the region's code.
+    /// First PC of the region's code. Static.
     pub start_pc: u32,
-    /// One past the last PC (the next boundary or program end).
+    /// One past the last PC (the next boundary or program end). Static.
     pub end_pc: u32,
-    /// Instructions in the region (boundary markers excluded).
+    /// Instructions in the region (boundary markers excluded). Static: a
+    /// dynamic instance may execute more (loops) or fewer (branches out).
     pub insts: u32,
-    /// Regular stores.
+    /// Regular stores. Static count of store instructions in the range.
     pub stores: u32,
-    /// Checkpoint stores.
+    /// Checkpoint stores. Static.
     pub ckpts: u32,
     /// Whether the compiler supplied a recovery block for this region.
     pub has_recovery: bool,
+    /// Loop-nesting estimate: how many backward-branch spans (a branch at
+    /// `pc` targeting `t <= pc` covers `[t, pc]`) overlap this region's
+    /// range. Static approximation of dynamic loop depth — a vulnerability
+    /// input (deeper regions execute more often, exposing more strikes).
+    pub loop_depth: u32,
+    /// Live-out pressure estimate: distinct registers written in this
+    /// region and read at any later PC in the flat stream. Static
+    /// approximation of the values escaping the region — a vulnerability
+    /// input (corruption of escaping state propagates).
+    pub live_out: u32,
 }
 
 impl RegionSummary {
@@ -40,32 +61,29 @@ impl RegionSummary {
 /// follows branches and may execute instructions from several static
 /// regions' ranges or repeat its own. The per-path store bound is enforced
 /// by the compiler's partitioner dataflow, not recomputable from this
-/// flat view alone.
+/// flat view alone. The sim does consume region *metadata*
+/// ([`MachProgram::region_modes`]) at run time, but none of these summary
+/// fields — they remain purely static audit data.
 pub fn region_summaries(p: &MachProgram) -> Vec<RegionSummary> {
-    let mut out = Vec::new();
-    let mut cur = RegionSummary {
-        id: RegionId(0),
-        start_pc: 0,
-        end_pc: 0,
+    let blank = |id: RegionId, start_pc: u32, p: &MachProgram| RegionSummary {
+        id,
+        start_pc,
+        end_pc: start_pc,
         insts: 0,
         stores: 0,
         ckpts: 0,
-        has_recovery: p.recovery.contains_key(&RegionId(0)),
+        has_recovery: p.recovery.contains_key(&id),
+        loop_depth: 0,
+        live_out: 0,
     };
+    let mut out = Vec::new();
+    let mut cur = blank(RegionId(0), 0, p);
     for (pc, inst) in p.insts.iter().enumerate() {
         match inst {
             MachInst::RegionBoundary { id } => {
                 cur.end_pc = pc as u32;
                 out.push(cur);
-                cur = RegionSummary {
-                    id: *id,
-                    start_pc: pc as u32 + 1,
-                    end_pc: pc as u32 + 1,
-                    insts: 0,
-                    stores: 0,
-                    ckpts: 0,
-                    has_recovery: p.recovery.contains_key(id),
-                };
+                cur = blank(*id, pc as u32 + 1, p);
             }
             MachInst::Ckpt { .. } => {
                 cur.ckpts += 1;
@@ -82,6 +100,47 @@ pub fn region_summaries(p: &MachProgram) -> Vec<RegionSummary> {
     }
     cur.end_pc = p.insts.len() as u32;
     out.push(cur);
+
+    // Backward-branch spans: a branch at `pc` with target `t <= pc` marks
+    // `[t, pc]` as (an approximation of) a loop body.
+    let spans: Vec<(u32, u32)> = p
+        .insts
+        .iter()
+        .enumerate()
+        .filter_map(|(pc, inst)| {
+            let pc = pc as u32;
+            match *inst {
+                MachInst::Jump { target } | MachInst::BranchNz { target, .. } if target <= pc => {
+                    Some((target, pc))
+                }
+                _ => None,
+            }
+        })
+        .collect();
+    // For each register, the last flat PC that reads it (usize::MAX = never).
+    let mut last_read = [0u32; NUM_PHYS_REGS as usize];
+    let mut ever_read = [false; NUM_PHYS_REGS as usize];
+    for (pc, inst) in p.insts.iter().enumerate() {
+        for &r in inst.uses().iter() {
+            last_read[r.index()] = pc as u32;
+            ever_read[r.index()] = true;
+        }
+    }
+    for s in &mut out {
+        s.loop_depth = spans
+            .iter()
+            .filter(|&&(t, b)| t < s.end_pc && b >= s.start_pc)
+            .count() as u32;
+        let mut escapes = [false; NUM_PHYS_REGS as usize];
+        for inst in &p.insts[s.start_pc as usize..s.end_pc as usize] {
+            if let Some(d) = inst.def() {
+                if ever_read[d.index()] && last_read[d.index()] >= s.end_pc {
+                    escapes[d.index()] = true;
+                }
+            }
+        }
+        s.live_out = escapes.iter().filter(|&&e| e).count() as u32;
+    }
     out
 }
 
@@ -127,6 +186,47 @@ mod tests {
         assert_eq!(rs[2].start_pc, 5);
         assert_eq!(rs[2].end_pc, 6);
         assert!(!rs[0].has_recovery);
+        // Straight-line code: no backward branches anywhere.
+        assert!(rs.iter().all(|s| s.loop_depth == 0));
+        // r0 is written in region 0 and read in region 1's checkpoint.
+        assert_eq!(rs[0].live_out, 1);
+        assert_eq!(rs[1].live_out, 0);
+    }
+
+    #[test]
+    fn loop_depth_counts_overlapping_backedges() {
+        // Region 0: a two-deep nest (outer backedge spans the inner one);
+        // region 1: loop-free tail.
+        let insts = vec![
+            MachInst::Mov {
+                dst: r(0),
+                src: MOperand::Imm(4),
+            },
+            MachInst::BranchNz {
+                cond: r(0),
+                target: 1,
+            }, // inner: [1,1]
+            MachInst::BranchNz {
+                cond: r(0),
+                target: 0,
+            }, // outer: [0,2]
+            MachInst::RegionBoundary { id: RegionId(1) },
+            MachInst::Mov {
+                dst: r(1),
+                src: MOperand::Reg(r(0)),
+            },
+            MachInst::Ret {
+                value: Some(MOperand::Reg(r(1))),
+            },
+        ];
+        let p = MachProgram::from_insts("loops", insts, DataSegment::zeroed(0, 0));
+        let rs = region_summaries(&p);
+        assert_eq!(rs[0].loop_depth, 2);
+        assert_eq!(rs[1].loop_depth, 0);
+        // r0 escapes region 0 (read by region 1); r1 is read by the ret
+        // inside its own region, so it does not escape.
+        assert_eq!(rs[0].live_out, 1);
+        assert_eq!(rs[1].live_out, 0);
     }
 
     #[test]

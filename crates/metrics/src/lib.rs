@@ -67,6 +67,9 @@ counters! {
     CkptsPruned => ("compile.ckpts_pruned", Sum),
     /// Net checkpoints removed by LICM loop-exit sinking.
     CkptsLicmRemoved => ("compile.ckpts_licm_removed", Sum),
+    /// Checkpoints shed because no protected region's recovery reads them
+    /// (per-region protection policies only).
+    CkptsShed => ("compile.ckpts_shed", Sum),
     /// Spill stores emitted by register allocation.
     SpillStores => ("compile.spill_stores", Sum),
     /// Spill reload loads emitted by register allocation.
@@ -164,6 +167,7 @@ counters! {
     CampaignSdc => ("campaign.sdc", Sum),
     /// Strikes that landed at or after program completion (no effect).
     CampaignPostCompletion => ("campaign.post_completion", Sum),
+    CampaignHangs => ("campaign.hangs", Sum),
     /// Injected runs forked from a fault-free prefix snapshot.
     CampaignForkHits => ("campaign.fork_hits", Sum),
     /// Injected runs simulated from scratch (no usable snapshot).

@@ -18,7 +18,7 @@ use std::sync::Arc;
 use turnpike_compiler::compile;
 use turnpike_ir::Program;
 use turnpike_sensor::StrikeSampler;
-use turnpike_sim::{Fault, FaultKind, FaultPlan, ReplayGuide, Translation};
+use turnpike_sim::{Fault, FaultKind, FaultPlan, ReplayGuide, SimError, Translation};
 
 /// Process-wide default for [`CampaignConfig::early_exit`]: on unless the
 /// `TURNPIKE_EARLY_EXIT` environment variable is set to `0` (the CI golden
@@ -81,6 +81,13 @@ pub struct CampaignReport {
     /// counted per strike, not per run, so multi-strike runs where only
     /// some strikes land in-run are attributed correctly.
     pub post_completion: usize,
+    /// Runs aborted by the campaign watchdog: the corruption steered
+    /// control flow into a non-terminating loop and nothing detected it
+    /// (possible only when strikes land in unprotected regions — uniform
+    /// resilient schemes detect and roll back every strike). A hang is
+    /// detectable unresponsiveness, not silent corruption, so it is
+    /// counted apart from [`CampaignReport::sdc`].
+    pub hangs: usize,
     /// Every injected run's metrics folded together (`Sum` counters add,
     /// peaks take the campaign-wide max), plus the `campaign.*` counters.
     pub metrics: turnpike_metrics::MetricSet,
@@ -144,6 +151,10 @@ pub enum StrikeOutcome {
     /// The run's final state differed from the fault-free run (silent data
     /// corruption) — attributed to every strike of that run.
     Sdc,
+    /// The run tripped the campaign watchdog (corrupted control flow never
+    /// terminated, and no protection machinery caught it) — attributed to
+    /// every strike of that run.
+    Hang,
 }
 
 impl StrikeOutcome {
@@ -153,6 +164,7 @@ impl StrikeOutcome {
             StrikeOutcome::Recovered => "recovered",
             StrikeOutcome::PostCompletion => "post_completion",
             StrikeOutcome::Sdc => "sdc",
+            StrikeOutcome::Hang => "hang",
         }
     }
 }
@@ -315,7 +327,15 @@ fn plan_for_run(
             kind,
         });
     }
-    FaultPlan::new(faults)
+    FaultPlan::new(faults).with_watchdog(watchdog_for(horizon))
+}
+
+/// Watchdog cycle bound for injected runs: generous headroom over the
+/// fault-free horizon (recoveries re-execute at most a region suffix per
+/// strike, nowhere near 8x the whole run), so no legitimately terminating
+/// run can ever trip it — only a corruption that spins forever does.
+fn watchdog_for(horizon: u64) -> u64 {
+    horizon.saturating_mul(8).saturating_add(65_536)
 }
 
 /// Run a fault-injection campaign serially (equivalent to
@@ -450,15 +470,23 @@ pub fn fault_campaign_hooked(
             .map(|f| f.strike_cycle)
             .min()
             .and_then(|first| snapshots.iter().take_while(|s| s.cycle() < first).last());
+        let forked_at = fork_point.map(|s| s.cycle());
         let out = match fork_point {
             Some(snap) => {
                 resume_compiled_replay(&compiled, snap, &plan, translation.clone(), guide.as_ref())
-                    .map(|r| (r, Some(snap.cycle())))
             }
             None => {
                 run_compiled_replay(&compiled, spec, &plan, translation.clone(), guide.as_ref())
-                    .map(|r| (r, None))
             }
+        };
+        // A watchdog abort is a campaign outcome (the strike hung the
+        // program), not an infrastructure failure. Both the forked and the
+        // from-scratch path clamp to the same absolute cycle bound, so the
+        // classification is identical either way.
+        let out = match out {
+            Ok(r) => Ok((Some(r), forked_at)),
+            Err(RunError::Sim(SimError::CycleLimit(_))) => Ok((None, forked_at)),
+            Err(e) => Err(e),
         };
         if out.is_ok() {
             let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
@@ -483,6 +511,24 @@ pub fn fault_campaign_hooked(
             }
             None => fork.misses += 1,
         }
+        let Some(run) = run else {
+            // Watchdog abort: the run hung. Every strike of the run is
+            // classified as a hang; there is no final state to audit.
+            report.hangs += 1;
+            let plan = plan_for_run(config, spec, i, horizon);
+            for (k, f) in plan.faults().iter().enumerate() {
+                records.push(StrikeRecord {
+                    run: i,
+                    strike: k,
+                    strike_cycle: f.strike_cycle,
+                    detect_latency: f.detect_latency,
+                    recovery_cycles: 0,
+                    detections: 0,
+                    outcome: StrikeOutcome::Hang,
+                });
+            }
+            continue;
+        };
         if let Some(saved) = run.outcome.replay_saved {
             fork.replay_exits += 1;
             fork.replay_cycles_saved += saved;
@@ -491,12 +537,6 @@ pub fn fault_campaign_hooked(
         report.detections += run.outcome.stats.detections;
         report.parity_detections += run.outcome.stats.parity_detections;
         report.sensor_detections += run.outcome.stats.sensor_detections;
-        // Strikes that outnumber detections landed at or past program
-        // completion and had no architectural effect. Counted per strike,
-        // not per run: a 3-strike run with one in-run strike contributes 2.
-        report.post_completion += config
-            .strikes_per_run
-            .saturating_sub(run.outcome.stats.detections as usize);
         // An early-exited run proved its final state equals the golden
         // run's (that is what the convergence check establishes), so its
         // empty memory maps must not be mistaken for a wiped memory.
@@ -506,21 +546,32 @@ pub fn fault_campaign_hooked(
         if sdc {
             report.sdc += 1;
         }
+        // Strikes that outnumber detections landed at or past program
+        // completion and had no architectural effect — unless the run ended
+        // in SDC, where the undetected strikes are precisely the corruption
+        // (a strike in an unprotected region lands in-run with nothing
+        // watching). Counted per strike, not per run: a 3-strike run with
+        // one in-run strike contributes 2.
+        if !sdc {
+            report.post_completion += config
+                .strikes_per_run
+                .saturating_sub(run.outcome.stats.detections as usize);
+        }
         // Re-derive the run's plan (a pure function of seed and index) and
-        // classify each strike. The earliest `detections` strikes by cycle
-        // are the ones that landed in-run; the rest hit after completion.
+        // classify each strike. In a clean run the earliest `detections`
+        // strikes by cycle are the ones that landed in-run and the rest hit
+        // after completion; an SDC verdict is attributed to every strike of
+        // the run, since nothing observed which one corrupted the state.
         let plan = plan_for_run(config, spec, i, horizon);
         let mut order: Vec<usize> = (0..plan.faults().len()).collect();
         order.sort_by_key(|&k| plan.faults()[k].strike_cycle);
         let detections = run.outcome.stats.detections;
         for (rank, &k) in order.iter().enumerate() {
             let f = &plan.faults()[k];
-            let outcome = if (rank as u64) < detections {
-                if sdc {
-                    StrikeOutcome::Sdc
-                } else {
-                    StrikeOutcome::Recovered
-                }
+            let outcome = if sdc {
+                StrikeOutcome::Sdc
+            } else if (rank as u64) < detections {
+                StrikeOutcome::Recovered
             } else {
                 StrikeOutcome::PostCompletion
             };
@@ -546,6 +597,9 @@ pub fn fault_campaign_hooked(
             Counter::CampaignPostCompletion,
             report.post_completion as u64,
         );
+        report
+            .metrics
+            .add(Counter::CampaignHangs, report.hangs as u64);
     }
     Ok((report, records, fork))
 }

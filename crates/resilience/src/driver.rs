@@ -2,7 +2,9 @@
 
 use crate::scheme::Scheme;
 use std::sync::Arc;
-use turnpike_compiler::{compile, CompileError, CompileOutput, CompilerConfig, PassStats};
+use turnpike_compiler::{
+    compile, CompileError, CompileOutput, CompilerConfig, PassStats, ProtectionPolicy,
+};
 use turnpike_ir::Program;
 use turnpike_sim::{
     ClqKind, Core, CoreSnapshot, FaultPlan, ReplayGuide, SimConfig, SimError, SimOutcome,
@@ -33,6 +35,11 @@ pub struct RunSpec {
     /// snapshots; `with_snapshot_interval(None)` forces the from-scratch
     /// path. Snapshots never change any simulated outcome.
     pub snapshot_override: Option<Option<u64>>,
+    /// Override the scheme's per-region protection policy (degenerate
+    /// equivalence tests, custom thresholds); `None` keeps the scheme's
+    /// own policy. Applied in [`RunSpec::compiler_config`], so it rides
+    /// through campaigns and the engine's compile cache untouched.
+    pub policy_override: Option<ProtectionPolicy>,
 }
 
 impl RunSpec {
@@ -45,6 +52,7 @@ impl RunSpec {
             clq_override: None,
             histograms: false,
             snapshot_override: None,
+            policy_override: None,
         }
     }
 
@@ -82,11 +90,21 @@ impl RunSpec {
         self
     }
 
+    /// Same spec with the protection policy overridden.
+    pub fn with_policy(mut self, policy: ProtectionPolicy) -> Self {
+        self.policy_override = Some(policy);
+        self
+    }
+
     /// The compiler configuration this spec compiles under. Two specs with
     /// equal configurations produce identical machine code, which is what
     /// lets the evaluation engine share one compile across run points.
     pub fn compiler_config(&self) -> CompilerConfig {
-        self.scheme.compiler_config(self.sb_size)
+        let mut cc = self.scheme.compiler_config(self.sb_size);
+        if let Some(policy) = self.policy_override {
+            cc.policy = policy;
+        }
+        cc
     }
 
     /// The simulator configuration this spec runs under, with the CLQ

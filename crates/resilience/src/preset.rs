@@ -15,8 +15,16 @@
 //! any future sweep agree by construction instead of by parallel lists.
 
 use crate::scheme::Scheme;
-use turnpike_compiler::CompilerConfig;
+use turnpike_compiler::{CompilerConfig, ProtectionPolicy};
 use turnpike_sim::{ClqKind, SimConfig};
+
+/// Vulnerability threshold of the [`Scheme::Adaptive`] rung: regions
+/// scoring below this (see `turnpike_compiler::vulnerability::score`) run
+/// unprotected and the compiler sheds the checkpoints that only fed their
+/// (never-taken) recoveries. Chosen so the smoke-scale evaluation kernels
+/// keep their hot store-carrying loop bodies fully protected while
+/// low-pressure control/glue regions drop their checkpoint traffic.
+pub const ADAPTIVE_THRESHOLD: u32 = 6;
 
 /// Compiler configuration for a scheme on an `sb_size`-entry store buffer.
 pub fn compiler_config_for(scheme: Scheme, sb_size: u32) -> CompilerConfig {
@@ -43,6 +51,12 @@ pub fn compiler_config_for(scheme: Scheme, sb_size: u32) -> CompilerConfig {
             c.store_aware_ra = true;
         }
         Scheme::Turnpike => c = CompilerConfig::turnpike(sb_size),
+        Scheme::Adaptive => {
+            c = CompilerConfig::turnpike(sb_size);
+            c.policy = ProtectionPolicy::Adaptive {
+                threshold: ADAPTIVE_THRESHOLD,
+            };
+        }
     }
     c.sb_size = sb_size;
     c
@@ -75,9 +89,10 @@ pub struct LadderRung {
 }
 
 /// The Figure-21 ladder in presentation order (baseline excluded), each
-/// rung adding one compiler or hardware technique on top of the previous.
+/// rung adding one compiler or hardware technique on top of the previous;
+/// the final rung layers per-region adaptive protection on full Turnpike.
 /// [`Scheme::LADDER`] and the fig21 column headers both derive from this.
-pub const LADDER: [LadderRung; 8] = [
+pub const LADDER: [LadderRung; 9] = [
     LadderRung {
         scheme: Scheme::Turnstile,
         column: "Turnstile",
@@ -110,12 +125,16 @@ pub const LADDER: [LadderRung; 8] = [
         scheme: Scheme::Turnpike,
         column: "Turnpike",
     },
+    LadderRung {
+        scheme: Scheme::Adaptive,
+        column: "Adaptive",
+    },
 ];
 
 /// The ladder's schemes alone, in rung order (the backing array of
 /// [`Scheme::LADDER`]).
-pub const fn ladder_schemes() -> [Scheme; 8] {
-    let mut out = [Scheme::Turnstile; 8];
+pub const fn ladder_schemes() -> [Scheme; 9] {
+    let mut out = [Scheme::Turnstile; 9];
     let mut i = 0;
     while i < LADDER.len() {
         out[i] = LADDER[i].scheme;
@@ -209,12 +228,33 @@ mod tests {
                 "+LICM",
                 "+Sched",
                 "+RA",
-                "Turnpike"
+                "Turnpike",
+                "Adaptive"
             ]
         );
         assert_eq!(ladder_schemes(), Scheme::LADDER);
         assert_eq!(LADDER[0].scheme, Scheme::Turnstile);
         assert_eq!(LADDER[7].scheme, Scheme::Turnpike);
+        assert_eq!(LADDER[8].scheme, Scheme::Adaptive);
+    }
+
+    #[test]
+    fn adaptive_rung_derives_from_turnpike() {
+        let cc = compiler_config_for(Scheme::Adaptive, 4);
+        let mut tp = compiler_config_for(Scheme::Turnpike, 4);
+        assert_eq!(
+            cc.policy,
+            ProtectionPolicy::Adaptive {
+                threshold: ADAPTIVE_THRESHOLD
+            }
+        );
+        tp.policy = cc.policy;
+        assert_eq!(cc, tp, "adaptive differs from turnpike only in policy");
+        assert_eq!(
+            sim_config_for(Scheme::Adaptive, 4, 10),
+            sim_config_for(Scheme::Turnpike, 4, 10),
+            "adaptive runs on unmodified turnpike hardware"
+        );
     }
 
     #[test]

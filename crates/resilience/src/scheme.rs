@@ -31,13 +31,17 @@ pub enum Scheme {
     FastReleasePruneLicmSchedRa,
     /// Full Turnpike: everything above + loop induction variable merging.
     Turnpike,
+    /// Turnpike with per-region adaptive protection: the vulnerability
+    /// pass leaves low-scoring regions unprotected, trading their (already
+    /// negligible) coverage contribution for uniform-beating runtime.
+    Adaptive,
 }
 
 impl Scheme {
     /// The Figure-21 ladder, in presentation order (baseline excluded).
     /// Derived from [`crate::preset::LADDER`], the one authoritative rung
     /// table.
-    pub const LADDER: [Scheme; 8] = crate::preset::ladder_schemes();
+    pub const LADDER: [Scheme; 9] = crate::preset::ladder_schemes();
 
     /// Human-readable label matching the paper's legend.
     pub fn label(self) -> &'static str {
@@ -53,6 +57,7 @@ impl Scheme {
                 "Fast Release + Pruning + LICM + Inst Sched + RA Trick"
             }
             Scheme::Turnpike => "Turnpike",
+            Scheme::Adaptive => "Turnpike + Adaptive Region Protection",
         }
     }
 
@@ -85,6 +90,7 @@ impl Scheme {
             Scheme::FastReleasePruneLicmSched => "fast-release-prune-licm-sched",
             Scheme::FastReleasePruneLicmSchedRa => "fast-release-prune-licm-sched-ra",
             Scheme::Turnpike => "turnpike",
+            Scheme::Adaptive => "adaptive",
         }
     }
 

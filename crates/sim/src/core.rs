@@ -34,7 +34,9 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 use std::sync::Arc;
-use turnpike_isa::{MOperand, MachAddr, MachInst, MachProgram, PhysReg, NUM_PHYS_REGS};
+use turnpike_isa::{
+    MOperand, MachAddr, MachInst, MachProgram, PhysReg, ProtectionMode, RegionId, NUM_PHYS_REGS,
+};
 
 /// Simulation failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -135,6 +137,72 @@ impl<'g> ReplayGuide<'g> {
 /// many attempts and fall back to the superblock fast path.
 const REPLAY_BUDGET: u32 = 64;
 
+/// Resolved per-static-region protection switches, precomputed from the
+/// program's [`MachProgram::region_modes`] metadata and the core config at
+/// construction. Uniform programs (empty metadata) resolve every region to
+/// exactly the config's own switches, so their behavior is bit-identical to
+/// a core without this table. Derived state: never snapshotted, always
+/// rebuilt from (program, config).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ModeFlags {
+    /// Strikes landing while this region runs are detected (parity flags
+    /// set, sensor detection scheduled). Unprotected regions silently
+    /// absorb the corruption instead.
+    detects: bool,
+    /// Data stores quarantine in the gated SB until region verification.
+    gate_stores: bool,
+    /// Data stores may fast-release through the CLQ WAR check (requires
+    /// the core's `war_free` hardware; Turnstile-mode regions force it off
+    /// even when present).
+    war_free: bool,
+    /// Checkpoints may fast-release through coloring (same hardware note).
+    coloring: bool,
+    /// Sensor window the region's instances must wait out before
+    /// verification (zero for unprotected regions).
+    wcdl: u64,
+}
+
+impl ModeFlags {
+    fn for_mode(mode: ProtectionMode, cfg: &SimConfig) -> ModeFlags {
+        match mode {
+            ProtectionMode::Turnpike => ModeFlags {
+                detects: true,
+                gate_stores: true,
+                war_free: cfg.war_free,
+                coloring: cfg.coloring,
+                wcdl: cfg.wcdl,
+            },
+            ProtectionMode::Turnstile => ModeFlags {
+                detects: true,
+                gate_stores: true,
+                war_free: false,
+                coloring: false,
+                wcdl: cfg.wcdl,
+            },
+            // Unprotected: no detection, no gating, zero window. Checkpoints
+            // keep the protected path (colored or quarantined): a protected
+            // *neighbor's* recovery reads the slots this region writes, so
+            // they must never clobber verified slots out of turn. WAR-free
+            // release stays available as the fallback when the immediate
+            // path is blocked by an older unverified protected region —
+            // gating harder than Turnpike would make "unprotected" slower.
+            ProtectionMode::Unprotected => ModeFlags {
+                detects: false,
+                gate_stores: false,
+                war_free: cfg.war_free,
+                coloring: cfg.coloring,
+                wcdl: 0,
+            },
+        }
+    }
+}
+
+fn build_mode_flags(program: &MachProgram, cfg: &SimConfig) -> Vec<ModeFlags> {
+    (0..program.num_regions())
+        .map(|i| ModeFlags::for_mode(program.region_mode(RegionId(i)), cfg))
+        .collect()
+}
+
 /// The simulated core.
 pub struct Core<'a> {
     cfg: SimConfig,
@@ -170,8 +238,13 @@ pub struct Core<'a> {
     mem_left: u32,
     /// Earliest fetch time (branch redirects).
     fetch_ready: u64,
-    /// A datapath strike waiting to corrupt the next register write.
-    pending_datapath: Option<u8>,
+    /// A datapath strike waiting to corrupt the next register write, as
+    /// `(bit, detectable)`. Strikes in unprotected regions corrupt the
+    /// value without tainting it (no detection hardware there).
+    pending_datapath: Option<(u8, bool)>,
+    /// Per-static-region protection switches, indexed by region id.
+    /// Derived from (program, cfg); rebuilt on resume, never snapshotted.
+    mode_flags: Vec<ModeFlags>,
     /// Attached resilience-event consumer ([`Core::attach_sink`]); the
     /// shared handle lets the caller keep reading the sink after `run`
     /// consumes the core.
@@ -245,7 +318,7 @@ pub struct CoreSnapshot {
     slots_left: u32,
     mem_left: u32,
     fetch_ready: u64,
-    pending_datapath: Option<u8>,
+    pending_datapath: Option<(u8, bool)>,
     hists: Option<Box<SimHists>>,
 }
 
@@ -277,7 +350,9 @@ impl<'a> Core<'a> {
         }
         let caches = Hierarchy::new(&cfg);
         let sb = StoreBuffer::new(cfg.sb_size);
-        let rbb = Rbb::new(cfg.rbb_size, cfg.wcdl);
+        let mode_flags = build_mode_flags(program, &cfg);
+        let region0_wcdl = mode_flags.first().map_or(cfg.wcdl, |f| f.wcdl);
+        let rbb = Rbb::new(cfg.rbb_size, region0_wcdl);
         let clq: Box<dyn Clq> = if cfg.war_free {
             build_clq(cfg.clq)
         } else {
@@ -309,6 +384,7 @@ impl<'a> Core<'a> {
             mem_left: 0,
             fetch_ready: 0,
             pending_datapath: None,
+            mode_flags,
             sink: None,
             hists,
             settle_due: 0,
@@ -380,6 +456,9 @@ impl<'a> Core<'a> {
             .any(|f| f.detect_latency > self.cfg.wcdl)
         {
             return Err(SimError::BadFaultPlan);
+        }
+        if let Some(w) = plan.watchdog() {
+            self.cfg.cycle_limit = self.cfg.cycle_limit.min(w);
         }
         self.faults = plan.faults().to_vec();
         self.slots_left = self.cfg.issue_width;
@@ -510,6 +589,7 @@ impl<'a> Core<'a> {
             mem_left: snap.mem_left,
             fetch_ready: snap.fetch_ready,
             pending_datapath: snap.pending_datapath,
+            mode_flags: build_mode_flags(program, &snap.cfg),
             sink: None,
             hists: snap.hists.clone(),
             settle_due: 0,
@@ -528,6 +608,11 @@ impl<'a> Core<'a> {
         }
         // Unlike `start`, slot budgets come from the snapshot (the capture
         // point sits mid-cycle as far as slot accounting is concerned).
+        // The watchdog clamp matches `start` so forked and from-scratch
+        // runs abort a hang at the same absolute cycle.
+        if let Some(w) = plan.watchdog() {
+            core.cfg.cycle_limit = core.cfg.cycle_limit.min(w);
+        }
         core.faults = plan.faults().to_vec();
         core.run_loop()
     }
@@ -767,7 +852,17 @@ impl<'a> Core<'a> {
     /// and fetch readiness — may instead be stale on both sides (a
     /// recovery rewound them); everything else must match under the shift.
     fn replay_converged(&self, snap: &CoreSnapshot, dc: u64) -> bool {
-        debug_assert_eq!(self.cfg, snap.cfg);
+        // The campaign watchdog clamps a strike run's cycle limit below the
+        // golden run's; the limit is not core state, and `synthesize_exit`
+        // separately refuses any synthesized completion that would overrun
+        // it (matching the from-scratch abort). Everything else must agree.
+        debug_assert_eq!(
+            SimConfig {
+                cycle_limit: snap.cfg.cycle_limit,
+                ..self.cfg.clone()
+            },
+            snap.cfg
+        );
         const NO_FLAGS: [bool; NUM_PHYS_REGS as usize] = [false; NUM_PHYS_REGS as usize];
         if self.pc != snap.pc
             || !snap.pending_detect.is_empty()
@@ -1144,7 +1239,7 @@ impl<'a> Core<'a> {
         }
         let now = now.min(self.next_detection_bound());
         while let Some(inst) = self.rbb.verify_next(now) {
-            let vt = inst.end_cycle.expect("ended") + self.cfg.wcdl;
+            let vt = inst.end_cycle.expect("ended") + inst.wcdl;
             self.sb.mark_verified(inst.seq, vt);
             self.clq.on_region_verified(inst.seq);
             self.coloring.on_region_verified(inst.seq);
@@ -1222,24 +1317,32 @@ impl<'a> Core<'a> {
             self.emit(TraceEvent::Strike {
                 cycle: f.strike_cycle,
             });
+            // A strike lands in whatever region is running. Unprotected
+            // regions have no parity/sensor hardware: the bit still flips,
+            // but nothing is flagged and no detection is scheduled.
+            let detects = self.region_flags().detects;
             match f.kind {
                 FaultKind::RegisterParity { reg, bit } => {
                     let r = (reg % NUM_PHYS_REGS) as usize;
                     self.regs[r] ^= 1i64 << (bit % 64);
-                    self.parity_bad[r] = true;
+                    if detects {
+                        self.parity_bad[r] = true;
+                    }
                 }
                 FaultKind::Datapath { bit } => {
                     // Corrupt the most recently produced value: model as
                     // flipping the destination of the *next* defining
                     // instruction (the one in flight). Recorded as a pending
                     // datapath corruption applied at the next def.
-                    self.pending_datapath = Some(bit % 64);
+                    self.pending_datapath = Some((bit % 64, detects));
                 }
             }
             self.last_strike = Some(f.strike_cycle);
-            self.pending_detect
-                .push((f.strike_cycle + f.detect_latency, f.strike_cycle));
-            self.pending_detect.sort_unstable();
+            if detects {
+                self.pending_detect
+                    .push((f.strike_cycle + f.detect_latency, f.strike_cycle));
+                self.pending_detect.sort_unstable();
+            }
         }
         while let Some(&(d, s)) = self.pending_detect.first() {
             if d <= self.cycle {
@@ -1438,12 +1541,29 @@ impl<'a> Core<'a> {
             .unwrap_or(0)
     }
 
+    /// Protection switches for a static region, defaulting out-of-range ids
+    /// (region 0 of a region-free program, the pseudo-boundary closing the
+    /// final region) to the config's own switches.
+    #[inline]
+    fn flags_for(&self, id: RegionId) -> ModeFlags {
+        self.mode_flags
+            .get(id.index())
+            .copied()
+            .unwrap_or_else(|| ModeFlags::for_mode(ProtectionMode::Turnpike, &self.cfg))
+    }
+
+    /// Protection switches of the running region.
+    #[inline]
+    fn region_flags(&self) -> ModeFlags {
+        self.flags_for(self.rbb.current().static_id)
+    }
+
     fn define(&mut self, dst: PhysReg, value: i64, ready_at: u64, taint: bool) {
         let mut v = value;
         let mut t = taint;
-        if let Some(bit) = self.pending_datapath.take() {
+        if let Some((bit, detectable)) = self.pending_datapath.take() {
             v ^= 1i64 << bit;
-            t = true;
+            t = t || detectable;
         }
         self.regs[dst.index()] = v;
         self.reg_ready[dst.index()] = ready_at;
@@ -1609,7 +1729,9 @@ impl<'a> Core<'a> {
         // consuming an issue slot (their cost is code size and
         // RBB occupancy).
         let prior_all_verified = self.rbb.unverified_count() <= 1;
-        self.rbb.on_boundary(id, self.pc as u32 + 1, self.cycle);
+        let wcdl = self.flags_for(id).wcdl;
+        self.rbb
+            .on_boundary(id, self.pc as u32 + 1, self.cycle, wcdl);
         // The ended region gives the RBB front a verification
         // point the cached settle time doesn't know about.
         self.settle_due = 0;
@@ -1663,10 +1785,25 @@ impl<'a> Core<'a> {
             return Ok(true);
         }
         let seq = self.rbb.current_seq();
+        let flags = self.region_flags();
+        // Unprotected region: release straight to memory when provably
+        // safe — every older region has verified (a verified region's
+        // window already cleared every detection that could roll execution
+        // back before this region, and strikes *inside* this region are
+        // never detected, so no rollback can reach this store again) and
+        // no older gated store to the same address would drain over it.
+        // Otherwise fall through to the quarantine path; the region's
+        // zero-length window releases the entry at region end anyway.
+        if !flags.gate_stores && self.rbb.unverified_count() <= 1 && !self.sb.has_pending_data(a) {
+            self.take_slot(true);
+            self.memory.insert(a, value);
+            self.caches.touch(a, self.cycle);
+            return Ok(true);
+        }
         // WAR-free fast release? Blocked when an older store to the same
         // address is still gated: releasing past it would reorder the
         // store stream (the gated entry drains over the newer value).
-        if self.cfg.war_free && !self.sb.has_pending_data(a) {
+        if flags.war_free && !self.sb.has_pending_data(a) {
             let war_free = self.clq.check_war_free(a, seq);
             self.emit(TraceEvent::ClqCheck {
                 cycle: self.cycle,
@@ -1699,7 +1836,11 @@ impl<'a> Core<'a> {
             return Ok(true);
         }
         let seq = self.rbb.current_seq();
-        if self.cfg.coloring {
+        // Checkpoints keep the protected path in every mode (coloring or
+        // quarantine): releasing a checkpoint straight into the verified
+        // slot would clobber the value a neighboring protected region's
+        // recovery restores from (the unsafe-checkpoint problem).
+        if self.region_flags().coloring {
             if let Some(color) = self.coloring.try_assign(reg, seq) {
                 self.take_slot(true);
                 self.ckpt_memory
@@ -1780,8 +1921,15 @@ impl<'a> Core<'a> {
                     .max(t + 1);
                 self.settle(t);
             }
-            self.rbb
-                .on_boundary(turnpike_isa::RegionId(u32::MAX), self.pc as u32, t);
+            // The pseudo-boundary closing the final region is out of range
+            // for the mode table, so the tail conservatively waits out the
+            // config's full window (an upper bound on any region's WCDL).
+            self.rbb.on_boundary(
+                turnpike_isa::RegionId(u32::MAX),
+                self.pc as u32,
+                t,
+                self.cfg.wcdl,
+            );
             self.settle_due = 0;
             let tail = t + self.cfg.wcdl + 1;
             self.settle(tail + self.sb.len() as u64 + 2);

@@ -51,6 +51,7 @@ pub struct Fault {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
+    watchdog: Option<u64>,
 }
 
 impl FaultPlan {
@@ -62,7 +63,29 @@ impl FaultPlan {
     /// Build from a list (sorted internally).
     pub fn new(mut faults: Vec<Fault>) -> Self {
         faults.sort_by_key(|f| f.strike_cycle);
-        FaultPlan { faults }
+        FaultPlan {
+            faults,
+            watchdog: None,
+        }
+    }
+
+    /// Bound the injected run to `limit` cycles: the core clamps its cycle
+    /// limit to the watchdog, so a strike that corrupts control flow into a
+    /// non-terminating loop aborts with a cycle-limit error instead of
+    /// simulating forever. Campaigns derive the bound from the fault-free
+    /// run's length and classify the abort as a hang — the fault-injection
+    /// analog of detection by timeout. A corruption no scheme machinery
+    /// detects can hang the program only in runs that carry faults, so the
+    /// watchdog lives on the plan, not the core config.
+    #[must_use]
+    pub fn with_watchdog(mut self, limit: u64) -> Self {
+        self.watchdog = Some(limit);
+        self
+    }
+
+    /// The watchdog cycle bound, if any.
+    pub fn watchdog(&self) -> Option<u64> {
+        self.watchdog
     }
 
     /// The strikes in cycle order.

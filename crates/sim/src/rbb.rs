@@ -5,6 +5,12 @@
 //! once `end_cycle + WCDL` passes with no error detected before that point;
 //! verification is processed strictly in order. The oldest verified
 //! boundary's PC is the recovery PC after an error (paper §2.1).
+//!
+//! Each instance carries its *own* WCDL: with per-region protection modes an
+//! unprotected region has no detection to wait out (its window is zero),
+//! while its protected neighbors keep the full sensor window. Uniform
+//! configurations pass the same WCDL for every instance and behave exactly
+//! as before.
 
 use std::collections::VecDeque;
 use turnpike_isa::RegionId;
@@ -24,6 +30,9 @@ pub struct RegionInstance {
     pub end_cycle: Option<u64>,
     /// Dynamic instructions committed by this instance (region size stats).
     pub insts: u64,
+    /// Sensor window this instance must wait out after ending before it
+    /// verifies (zero for unprotected regions).
+    pub wcdl: u64,
 }
 
 /// The region boundary buffer.
@@ -39,7 +48,6 @@ pub struct Rbb {
     /// Ended-but-unverified instances, oldest first.
     live: VecDeque<RegionInstance>,
     capacity: usize,
-    wcdl: u64,
     next_seq: u64,
     /// Total instances verified.
     pub verified_count: u64,
@@ -51,7 +59,7 @@ pub struct Rbb {
 
 impl Rbb {
     /// A new RBB holding at most `capacity` unverified instances, with the
-    /// running region 0 starting at PC 0.
+    /// running region 0 starting at PC 0 under a `wcdl`-cycle window.
     pub fn new(capacity: u32, wcdl: u64) -> Self {
         Rbb {
             cur: RegionInstance {
@@ -61,10 +69,10 @@ impl Rbb {
                 start_cycle: 0,
                 end_cycle: None,
                 insts: 0,
+                wcdl,
             },
             live: VecDeque::new(),
             capacity: capacity as usize,
-            wcdl,
             next_seq: 1,
             verified_count: 0,
             insts_sum: 0,
@@ -99,17 +107,17 @@ impl Rbb {
     pub fn earliest_verify_time(&self) -> Option<u64> {
         self.live
             .front()
-            .and_then(|r| r.end_cycle)
-            .map(|e| e + self.wcdl)
+            .and_then(|r| r.end_cycle.map(|e| e + r.wcdl))
     }
 
     /// Commit a boundary at `cycle`: the running instance ends, a new one
-    /// starts. Caller must have checked [`has_room`](Self::has_room).
+    /// starts under a `wcdl`-cycle sensor window. Caller must have checked
+    /// [`has_room`](Self::has_room).
     ///
     /// # Panics
     ///
     /// Panics on overflow.
-    pub fn on_boundary(&mut self, static_id: RegionId, entry_pc: u32, cycle: u64) {
+    pub fn on_boundary(&mut self, static_id: RegionId, entry_pc: u32, cycle: u64, wcdl: u64) {
         assert!(self.has_room(), "RBB overflow: caller must stall");
         self.cur.end_cycle = Some(cycle);
         self.insts_sum += self.cur.insts;
@@ -124,6 +132,7 @@ impl Rbb {
             start_cycle: cycle,
             end_cycle: None,
             insts: 0,
+            wcdl,
         };
     }
 
@@ -142,8 +151,9 @@ impl Rbb {
     /// `now`, if any — the allocation-free form of [`Rbb::verify_until`]
     /// for the simulator's per-instruction settle loop.
     pub fn verify_next(&mut self, now: u64) -> Option<RegionInstance> {
-        match self.live.front()?.end_cycle {
-            Some(e) if e + self.wcdl < now => {
+        let front = self.live.front()?;
+        match front.end_cycle {
+            Some(e) if e + front.wcdl < now => {
                 self.verified_count += 1;
                 self.live.pop_front()
             }
@@ -180,6 +190,7 @@ impl Rbb {
                 && a.start_cycle == b.start_cycle + dc
                 && a.end_cycle == b.end_cycle.map(|e| e + dc)
                 && a.insts == b.insts
+                && a.wcdl == b.wcdl
         }
         self.next_seq == golden.next_seq.wrapping_add(ds)
             && inst_eq(&self.cur, &golden.cur, dc, ds)
@@ -227,7 +238,7 @@ mod tests {
         assert_eq!(r.current_seq(), 0);
         r.count_inst();
         r.count_inst();
-        r.on_boundary(RegionId(1), 5, 100);
+        r.on_boundary(RegionId(1), 5, 100, 10);
         assert_eq!(r.current_seq(), 1);
         assert_eq!(r.current().entry_pc, 5);
         assert_eq!(r.avg_region_insts(), 2.0);
@@ -236,8 +247,8 @@ mod tests {
     #[test]
     fn verification_is_in_order_and_strict() {
         let mut r = Rbb::new(4, 10);
-        r.on_boundary(RegionId(1), 5, 100); // region 0 ends at 100
-        r.on_boundary(RegionId(2), 9, 120); // region 1 ends at 120
+        r.on_boundary(RegionId(1), 5, 100, 10); // region 0 ends at 100
+        r.on_boundary(RegionId(2), 9, 120, 10); // region 1 ends at 120
         assert!(r.verify_until(110).is_empty()); // 100+10 !< 110
         let v = r.verify_until(111);
         assert_eq!(v.len(), 1);
@@ -253,7 +264,7 @@ mod tests {
     #[test]
     fn capacity_gates_boundaries() {
         let mut r = Rbb::new(2, 10);
-        r.on_boundary(RegionId(1), 1, 50);
+        r.on_boundary(RegionId(1), 1, 50, 10);
         assert!(!r.has_room());
         assert_eq!(r.earliest_verify_time(), Some(60));
         let _ = r.verify_until(61);
@@ -263,8 +274,8 @@ mod tests {
     #[test]
     fn recovery_restarts_oldest_unverified() {
         let mut r = Rbb::new(8, 10);
-        r.on_boundary(RegionId(1), 5, 100);
-        r.on_boundary(RegionId(2), 9, 120);
+        r.on_boundary(RegionId(1), 5, 100, 10);
+        r.on_boundary(RegionId(2), 9, 120, 10);
         // Error detected at 115: region 0 verified (100+10 < 115), others no.
         let _ = r.verify_until(115);
         let target = r.recover(115);
@@ -274,6 +285,22 @@ mod tests {
         assert_eq!(r.current_seq(), 1);
         assert_eq!(r.current().end_cycle, None);
         assert_eq!(r.unverified_seqs(), vec![1]);
+    }
+
+    #[test]
+    fn per_instance_wcdl_drives_verification() {
+        let mut r = Rbb::new(4, 10);
+        // Region 0 (wcdl 10) ends at 100; the unprotected region 1 (wcdl 0)
+        // ends at 120; region 2 is running.
+        r.on_boundary(RegionId(1), 5, 100, 0);
+        r.on_boundary(RegionId(2), 9, 120, 10);
+        // In-order: region 1's zero window cannot overtake region 0.
+        assert!(r.verify_until(105).is_empty());
+        assert_eq!(r.earliest_verify_time(), Some(110));
+        // Once region 0's window passes, region 1 verifies immediately too.
+        let v = r.verify_until(121);
+        assert_eq!(v.len(), 2);
+        assert_eq!(v[1].wcdl, 0);
     }
 
     #[test]

@@ -131,6 +131,7 @@ proptest! {
             licm: bits & 4 != 0,
             sched: bits & 8 != 0,
             store_aware_ra: bits & 16 != 0,
+            policy: turnpike::compiler::ProtectionPolicy::Uniform,
         };
         let out = compile(&program, &config).expect("compiles");
         let sim = Core::new(&out.program, SimConfig::turnpike(4, 10))
