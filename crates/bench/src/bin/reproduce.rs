@@ -3,9 +3,12 @@
 //! ```text
 //! reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]
 //! reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]
-//! reproduce serve [--addr A] [--workers N] [--queue N] [--store DIR] ...
-//! reproduce submit [--addr A | --direct] [--kind K] [job fields] ...
+//! reproduce serve [--addr A] [--workers N] [--queue N] [--store DIR] [--flight-dir DIR] ...
+//! reproduce submit [--addr A | --direct] [--progress] [--kind K] [job fields] ...
 //! reproduce loadgen [--addr A] [--clients N] [--jobs N] [job fields] ...
+//! reproduce watch [--addr A] [--interval-ms N] [--once]
+//! reproduce telemetry [--smoke] [--runs N] [--seed N] [--stop-ci W]
+//!                     [--records FILE [--max-records N]]
 //! reproduce sim-throughput [--smoke] [--reps N]
 //! reproduce --list
 //!
@@ -32,7 +35,27 @@
 //! byte-identical whether served or executed locally via `--direct`.
 //! `loadgen` saturates a server with `--clients` concurrent connections,
 //! proves exactly-once delivery by tag accounting, and records
-//! throughput plus p50/p99 latency into `BENCH_reproduce.json`.
+//! throughput plus p50/p99/p99.9 latency into `BENCH_reproduce.json`.
+//!
+//! `submit --progress` renders a live progress bar for campaign jobs —
+//! run counts, SDC rate with its Wilson interval, windowed strikes/sec,
+//! and an ETA, rewritten in place on a TTY. `watch` polls a running
+//! server's `stats` and `metrics` (Prometheus text exposition) and prints
+//! a queue/outcome/campaign-counter snapshot every `--interval-ms`
+//! (`--once` for a single snapshot). `serve --flight-dir DIR` enables the
+//! per-job flight recorder: failed, deadline-canceled, or
+//! quarantine-tripping jobs dump their lifecycle event ring as
+//! `DIR/job-<id>.jsonl` evidence.
+//!
+//! `telemetry` measures the telemetry spine itself: every Fig-21 ladder
+//! rung's smoke campaign runs once untelemetered and once with streaming
+//! progress snapshots, asserts the two `CampaignReport`s are bit-identical
+//! (stdout shows only the deterministic reports — diffable across thread
+//! counts), and records the wall-clock overhead as the `telemetry` block
+//! of `BENCH_reproduce.json`. `--stop-ci W` additionally runs a
+//! `StopRule::CiWidth` campaign that stops once the SDC-rate Wilson CI
+//! half-width reaches `W`; `--records FILE` writes the ladder's strike
+//! records as JSONL, reservoir-capped to `--max-records N`.
 //!
 //! `trace` exports one kernel's resilience-event timeline under a scheme
 //! (default `turnpike`; see `Scheme::cli_name` for the ladder names) as
@@ -95,16 +118,23 @@ fn usage() -> ExitCode {
         "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
          \x20      reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]\n\
          \x20      reproduce serve [--addr A] [--workers N] [--queue N] [--timeout-secs N]\n\
-         \x20                      [--store DIR] [--threads N] [--trace-out FILE]\n\
-         \x20      reproduce submit [--addr A | --direct [--store DIR] [--threads N]] [--kind K]\n\
-         \x20                       [--kernel K] [--scheme S] [--scale smoke|full] [--sb N] [--wcdl N]\n\
-         \x20                       [--runs N] [--seed N] [--strikes N] [--target T] [--tag T]\n\
+         \x20                      [--store DIR] [--flight-dir DIR] [--threads N] [--trace-out FILE]\n\
+         \x20      reproduce submit [--addr A | --direct [--store DIR] [--threads N]] [--progress]\n\
+         \x20                       [--kind K] [--kernel K] [--scheme S] [--scale smoke|full]\n\
+         \x20                       [--sb N] [--wcdl N] [--runs N] [--seed N] [--strikes N]\n\
+         \x20                       [--target T] [--tag T]\n\
          \x20      reproduce submit [--addr A] --stats|--shutdown\n\
          \x20      reproduce loadgen [--addr A] [--clients N] [--jobs N] [--max-retries N] [job fields]\n\
+         \x20      reproduce watch [--addr A] [--interval-ms N] [--once]\n\
+         \x20      reproduce telemetry [--smoke] [--kernel K] [--runs N] [--seed N] [--threads N]\n\
+         \x20                          [--stop-ci W] [--records FILE [--max-records N]]\n\
          \x20      reproduce sim-throughput [--smoke] [--reps N]\n\
          \x20      reproduce --list\n\
          options:\n\
-         \x20 --threads N  evaluation worker threads, N >= 1 (default: all hardware threads)\n\
+         \x20 --threads N      evaluation worker threads, N >= 1 (default: all hardware threads)\n\
+         \x20 --progress       live progress bar (rate +/- Wilson CI, strikes/s, ETA) for campaigns\n\
+         \x20 --flight-dir D   dump failed/deadlined/quarantined jobs' lifecycle rings to D\n\
+         \x20 --max-records N  reservoir-cap strike-record JSONL output (default: unbounded)\n\
          targets:\n{}",
         target_listing()
     );
@@ -290,6 +320,10 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => store = Some(v.clone()),
                 None => return usage(),
             },
+            "--flight-dir" => match it.next() {
+                Some(v) => config.flight_dir = Some(v.into()),
+                None => return usage(),
+            },
             "--trace-out" => match it.next() {
                 Some(v) => config.trace_path = Some(v.into()),
                 None => return usage(),
@@ -318,12 +352,16 @@ fn serve_main(args: &[String]) -> ExitCode {
     use std::io::Write;
     let _ = std::io::stdout().flush();
     eprintln!(
-        "# serve: {} workers, queue {}, timeout {}s, {} engine threads, store {}",
+        "# serve: {} workers, queue {}, timeout {}s, {} engine threads, store {}, flight {}",
         config.workers,
         config.queue_capacity,
         config.job_timeout.as_secs(),
         threads,
         store.as_deref().unwrap_or("off"),
+        config
+            .flight_dir
+            .as_deref()
+            .map_or("off", |p| p.to_str().unwrap_or("on")),
     );
     server.join();
     eprintln!("# serve: drained and shut down");
@@ -341,6 +379,7 @@ fn submit_main(args: &[String]) -> ExitCode {
     let mut threads = default_threads();
     let mut stats = false;
     let mut shutdown = false;
+    let mut progress = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         let flag = a.as_str();
@@ -350,6 +389,7 @@ fn submit_main(args: &[String]) -> ExitCode {
                 None => return usage(),
             },
             "--direct" => direct = true,
+            "--progress" => progress = true,
             "--store" => match it.next() {
                 Some(v) => store = Some(v.clone()),
                 None => return usage(),
@@ -428,7 +468,29 @@ fn submit_main(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    match client.submit_with(&req, |done, total| eprintln!("# progress: {done}/{total}")) {
+    // --progress rewrites one live line in place on a TTY (bare per-run
+    // ticks included); piped stderr gets only the estimator-bearing
+    // snapshots, one line each, so logs stay bounded.
+    let tty = std::io::IsTerminal::is_terminal(&std::io::stderr());
+    let mut rendered_live = false;
+    let on_progress = |done: u64, total: u64, stats: Option<&turnpike_serve::ProgressStats>| {
+        if !progress {
+            eprintln!("# progress: {done}/{total}");
+            return;
+        }
+        let line = turnpike_bench::progress_line(done, total, stats);
+        if tty {
+            eprint!("\r\x1b[2K{line}");
+            rendered_live = true;
+        } else if stats.is_some() || done == total {
+            eprintln!("# {line}");
+        }
+    };
+    let outcome = client.submit_streaming(&req, on_progress);
+    if rendered_live {
+        eprintln!();
+    }
+    match outcome {
         Ok(Outcome::Done { job, store, result }) => {
             println!("{result}");
             eprintln!("# job {job} done, store: {store}");
@@ -554,6 +616,296 @@ fn loadgen_main(args: &[String]) -> ExitCode {
             report.lost, report.duplicated, report.errors
         );
         return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}
+
+/// `reproduce watch [--addr A] [--interval-ms N] [--once]` — poll a
+/// running server's `stats` snapshot and `metrics` exposition, printing a
+/// compact health summary per tick (see `watch.rs` for the renderer).
+fn watch_main(args: &[String]) -> ExitCode {
+    let mut addr = DEFAULT_ADDR.to_string();
+    let mut interval_ms = 1000u64;
+    let mut once = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => match it.next() {
+                Some(v) => addr = v.clone(),
+                None => return usage(),
+            },
+            "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 50 => interval_ms = n,
+                _ => {
+                    eprintln!("reproduce watch: --interval-ms must be an integer >= 50");
+                    return ExitCode::from(2);
+                }
+            },
+            "--once" => once = true,
+            _ => return usage(),
+        }
+    }
+    loop {
+        let snapshot = Client::connect(&addr).and_then(|mut c| {
+            let stats = c.stats()?;
+            let metrics = c.metrics()?;
+            Ok(turnpike_bench::render_watch(&stats, &metrics))
+        });
+        match snapshot {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("reproduce watch: {addr}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        println!("---");
+        std::thread::sleep(Duration::from_millis(interval_ms));
+    }
+}
+
+/// `reproduce telemetry` — measure the telemetry spine itself. Every
+/// Fig-21 ladder rung's campaign runs twice, untelemetered and with
+/// streaming progress snapshots; the two reports must be bit-identical
+/// (that is the spine's core guarantee) and the wall-clock delta is
+/// recorded as the `telemetry` block of `BENCH_reproduce.json`.
+///
+/// Stdout carries only the deterministic per-rung reports (plus the
+/// deterministic `--stop-ci` outcome), so CI can byte-diff it across
+/// thread counts; timing goes to stderr and the JSON block.
+fn telemetry_main(args: &[String]) -> ExitCode {
+    use turnpike_metrics::RateEstimator;
+    use turnpike_resilience::{
+        fault_campaign_hooked, write_strike_records_capped_to_path, CampaignConfig, CampaignHook,
+        CampaignProgress, StopRule,
+    };
+
+    let mut scale = Scale::Full;
+    let mut kernel_name = "bwaves".to_string();
+    let mut runs = 48usize;
+    let mut seed = 7u64;
+    let mut threads = default_threads();
+    let mut stop_ci: Option<f64> = None;
+    let mut records_path: Option<String> = None;
+    let mut max_records: Option<usize> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => scale = Scale::Smoke,
+            "--full" => scale = Scale::Full,
+            "--kernel" => match it.next() {
+                Some(v) => kernel_name = v.clone(),
+                None => return usage(),
+            },
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => runs = n,
+                _ => {
+                    eprintln!("reproduce telemetry: --runs must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("reproduce telemetry: --seed must be an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => match parse_threads(it.next()) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
+            "--stop-ci" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(w) if w > 0.0 && w < 0.5 => stop_ci = Some(w),
+                _ => {
+                    eprintln!("reproduce telemetry: --stop-ci must be a half-width in (0, 0.5)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--records" => match it.next() {
+                Some(v) => records_path = Some(v.clone()),
+                None => return usage(),
+            },
+            "--max-records" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => max_records = Some(n),
+                _ => {
+                    eprintln!("reproduce telemetry: --max-records must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
+        }
+    }
+    let Some(kernel) = find_kernel(&kernel_name, scale) else {
+        eprintln!("reproduce telemetry: unknown kernel '{kernel_name}'");
+        return ExitCode::from(2);
+    };
+    let config = CampaignConfig {
+        runs,
+        seed,
+        strikes_per_run: 1,
+        ..Default::default()
+    };
+    eprintln!(
+        "# telemetry: {kernel_name}, {} ladder rungs x {runs} runs, seed {seed}, {threads} threads",
+        Scheme::LADDER.len()
+    );
+    let snapshots = std::sync::atomic::AtomicUsize::new(0);
+    let (mut wall_off_us, mut wall_on_us) = (0u128, 0u128);
+    let mut rung_rows = String::new();
+    let mut turnpike_records = Vec::new();
+    for scheme in Scheme::LADDER {
+        let spec = RunSpec::new(scheme);
+        let t0 = Instant::now();
+        let off = fault_campaign_hooked(
+            &kernel.program,
+            &spec,
+            &config,
+            threads,
+            CampaignHook::default(),
+        );
+        let off_us = t0.elapsed().as_micros();
+        let on_progress = |p: &CampaignProgress| {
+            snapshots.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            // Touch the full payload the way a renderer would, so the
+            // measured overhead includes building every estimator field.
+            std::hint::black_box((p.sdc_rate.wilson_bounds(), p.strikes_per_sec, p.eta_ms));
+        };
+        let hook = CampaignHook {
+            on_progress: Some(&on_progress),
+            ..CampaignHook::default()
+        };
+        let t0 = Instant::now();
+        let on = fault_campaign_hooked(&kernel.program, &spec, &config, threads, hook);
+        let on_us = t0.elapsed().as_micros();
+        let ((off_report, off_records, _), (on_report, _, _)) = match (off, on) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                eprintln!("reproduce telemetry: {}: {e}", scheme.cli_name());
+                return ExitCode::FAILURE;
+            }
+        };
+        if off_report != on_report {
+            eprintln!(
+                "reproduce telemetry: {}: progress snapshots changed the report\n  off: {off_report:?}\n  on:  {on_report:?}",
+                scheme.cli_name()
+            );
+            return ExitCode::FAILURE;
+        }
+        wall_off_us += off_us;
+        wall_on_us += on_us;
+        println!(
+            "{:32} runs {:4}  sdc {:3}  recoveries {:6}  detections {:6}  post {:4}  hangs {:3}",
+            scheme.cli_name(),
+            off_report.runs,
+            off_report.sdc,
+            off_report.recoveries,
+            off_report.detections,
+            off_report.post_completion,
+            off_report.hangs,
+        );
+        if !rung_rows.is_empty() {
+            rung_rows.push_str(",\n");
+        }
+        rung_rows.push_str(&format!(
+            "    {{\"scheme\": {}, \"runs\": {}, \"sdc\": {}, \"detections\": {}, \"hangs\": {}}}",
+            json_string(scheme.cli_name()),
+            off_report.runs,
+            off_report.sdc,
+            off_report.detections,
+            off_report.hangs
+        ));
+        if scheme == Scheme::Turnpike {
+            turnpike_records = off_records;
+        }
+    }
+    let snapshots = snapshots.load(std::sync::atomic::Ordering::Relaxed) / 2;
+    let overhead_pct = if wall_off_us > 0 {
+        (wall_on_us as f64 - wall_off_us as f64) * 100.0 / wall_off_us as f64
+    } else {
+        0.0
+    };
+    eprintln!(
+        "# telemetry: untelemetered {} ms, with progress {} ms, overhead {overhead_pct:.2}% \
+         ({snapshots} snapshots per pass)",
+        wall_off_us / 1000,
+        wall_on_us / 1000,
+    );
+
+    let mut stop_json = String::new();
+    if let Some(half_width) = stop_ci {
+        let stop_config = CampaignConfig {
+            stop: StopRule::CiWidth {
+                half_width,
+                cap: runs,
+            },
+            ..config
+        };
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let report = match fault_campaign_hooked(
+            &kernel.program,
+            &spec,
+            &stop_config,
+            threads,
+            CampaignHook::default(),
+        ) {
+            Ok((r, _, _)) => r,
+            Err(e) => {
+                eprintln!("reproduce telemetry: stop-ci campaign: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let est = RateEstimator::from_counts(report.sdc as u64, report.runs as u64);
+        println!(
+            "stop-ci {half_width}: executed {}/{} runs, sdc-rate half-width {:.4}",
+            report.runs,
+            runs,
+            est.half_width()
+        );
+        stop_json = format!(
+            ",\n  \"stop_ci\": {{\"half_width\": {half_width}, \"cap\": {runs}, \
+             \"executed\": {}, \"final_half_width\": {:.4}}}",
+            report.runs,
+            est.half_width()
+        );
+    }
+
+    if let Some(path) = &records_path {
+        match write_strike_records_capped_to_path(&turnpike_records, max_records, seed, path) {
+            Ok(()) => eprintln!(
+                "# wrote {path}: {} strike records{}",
+                turnpike_records
+                    .len()
+                    .min(max_records.unwrap_or(usize::MAX)),
+                match max_records {
+                    Some(cap) => format!(" (reservoir cap {cap} of {})", turnpike_records.len()),
+                    None => String::new(),
+                }
+            ),
+            Err(e) => {
+                eprintln!("reproduce telemetry: write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let record = format!(
+        "{{\n  \"scale\": {},\n  \"kernel\": {},\n  \"runs\": {runs},\n  \"seed\": {seed},\n  \
+         \"threads\": {threads},\n  \"wall_off_ms\": {},\n  \"wall_on_ms\": {},\n  \
+         \"overhead_pct\": {overhead_pct:.2},\n  \"snapshots_per_pass\": {snapshots}{stop_json},\n  \
+         \"rungs\": [\n{rung_rows}\n  ]\n}}",
+        json_string(match scale {
+            Scale::Smoke => "smoke",
+            Scale::Full => "full",
+        }),
+        json_string(&kernel_name),
+        wall_off_us / 1000,
+        wall_on_us / 1000,
+    );
+    if let Err(e) = write_block("BENCH_reproduce.json", "telemetry", &record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
     }
     ExitCode::SUCCESS
 }
@@ -800,6 +1152,8 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(&args[1..]),
         Some("submit") => return submit_main(&args[1..]),
         Some("loadgen") => return loadgen_main(&args[1..]),
+        Some("watch") => return watch_main(&args[1..]),
+        Some("telemetry") => return telemetry_main(&args[1..]),
         Some("sim-throughput") => return sim_throughput_main(&args[1..]),
         _ => {}
     }
@@ -813,6 +1167,16 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--list" => {
                 print!("{}", target_listing());
+                print!(
+                    "subcommands:\n\
+                     \x20 trace           export one kernel's resilience-event timeline\n\
+                     \x20 serve           batch job server (--flight-dir DIR dumps failed-job evidence)\n\
+                     \x20 submit          send one job (--progress: live rate/CI/ETA bar)\n\
+                     \x20 loadgen         saturate a server; p50/p99/p99.9 client latency\n\
+                     \x20 watch           poll a server's stats + metrics exposition\n\
+                     \x20 telemetry       measure progress-snapshot overhead (--max-records caps JSONL)\n\
+                     \x20 sim-throughput  fault-free simulator speed\n"
+                );
                 return ExitCode::SUCCESS;
             }
             "--smoke" => scale = Scale::Smoke,

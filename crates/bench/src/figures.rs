@@ -625,10 +625,7 @@ pub fn adaptive(engine: &Engine, scale: Scale) -> Table {
         let norm =
             |spec: &RunSpec| engine.run(k, spec).metrics.counter(Counter::Cycles) as f64 / base;
         let adaptive = norm(&RunSpec::new(Scheme::Adaptive));
-        let best = uniform
-            .iter()
-            .map(norm)
-            .fold(f64::INFINITY, f64::min);
+        let best = uniform.iter().map(norm).fold(f64::INFINITY, f64::min);
         vec![
             adaptive,
             best,

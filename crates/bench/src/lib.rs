@@ -15,6 +15,7 @@ pub mod obs;
 pub mod report;
 pub mod service;
 pub mod table;
+pub mod watch;
 
 pub use engine::Engine;
 pub use figures::*;
@@ -22,3 +23,4 @@ pub use obs::{export_trace, fault_probe_metrics, find_kernel, hist_summary_json,
 pub use report::{upsert_block, write_block};
 pub use service::{uniform_store_key_material, EngineExecutor};
 pub use table::{json_number, json_string, Table};
+pub use watch::{fmt_eta, progress_line, render_watch};

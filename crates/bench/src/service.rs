@@ -18,10 +18,11 @@
 //! key material.
 
 use turnpike_resilience::{
-    fault_campaign_hooked, CampaignConfig, CampaignHook, RunError, RunSpec, Scheme,
+    fault_campaign_hooked, CampaignConfig, CampaignHook, CampaignProgress, RunError, RunSpec,
+    Scheme,
 };
 use turnpike_serve::{
-    ExecOutput, Executor, JobCtl, JobKind, JobRequest, Lookup, Store, StoreStatus,
+    ExecOutput, Executor, JobCtl, JobKind, JobRequest, Lookup, ProgressStats, Store, StoreStatus,
 };
 use turnpike_workloads::{Kernel, Scale};
 
@@ -75,6 +76,30 @@ pub fn uniform_store_key_material() -> String {
         }
     }
     out
+}
+
+/// Flatten a campaign's streaming-estimator snapshot into the wire-level
+/// progress payload (rates and Wilson bounds expanded to plain floats).
+fn stats_of(p: &CampaignProgress) -> ProgressStats {
+    let (sdc_ci_lo, sdc_ci_hi) = p.sdc_rate.wilson_bounds();
+    let (det_ci_lo, det_ci_hi) = p.detection_rate.wilson_bounds();
+    ProgressStats {
+        recovered: p.recovered as u64,
+        post_completion: p.post_completion as u64,
+        sdc: p.sdc as u64,
+        hangs: p.hangs as u64,
+        detections: p.detections,
+        sdc_rate: p.sdc_rate.rate(),
+        sdc_ci_lo,
+        sdc_ci_hi,
+        det_rate: p.detection_rate.rate(),
+        det_ci_lo,
+        det_ci_hi,
+        strikes_per_sec: p.strikes_per_sec,
+        ns_per_inst: p.ns_per_inst,
+        eta_ms: p.eta_ms,
+        elapsed_ms: p.elapsed_ms,
+    }
 }
 
 /// A request resolved against the catalog: everything validated, nothing
@@ -241,9 +266,14 @@ impl EngineExecutor {
                     ..Default::default()
                 };
                 let on_run = |done: usize, total: usize| ctl.progress(done as u64, total as u64);
+                let on_progress = |p: &CampaignProgress| {
+                    ctl.progress_stats(p.done as u64, p.total as u64, stats_of(p))
+                };
                 let hook = CampaignHook {
                     cancel: Some(ctl.cancel_flag()),
                     on_run: Some(&on_run),
+                    on_progress: Some(&on_progress),
+                    progress_every: 0,
                 };
                 let (report, _records, _fork) = fault_campaign_hooked(
                     &kernel.program,

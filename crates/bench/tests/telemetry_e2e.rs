@@ -1,0 +1,133 @@
+//! End-to-end telemetry spine: a served campaign streams enriched
+//! progress (estimator payload included), the live `metrics` request
+//! returns the pinned Prometheus exposition schema, `watch` rendering
+//! works against a real server, and a failed job leaves flight-recorder
+//! evidence on disk.
+
+use std::sync::Arc;
+
+use turnpike_bench::{render_watch, Engine, EngineExecutor};
+use turnpike_metrics::{prometheus_text, MetricSet};
+use turnpike_serve::{
+    Client, Executor, JobKind, JobRequest, Outcome, ProgressStats, Server, ServerConfig,
+};
+
+fn scratch(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("turnpike-telem-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn exposition_schema_matches_golden() {
+    // The exposition of an *empty* registry is the schema: every key the
+    // workspace can report, in declaration order, at zero. Pinned so
+    // scrape configs and dashboards never silently lose a series.
+    assert_eq!(
+        prometheus_text(&MetricSet::new()),
+        include_str!("../golden/metrics_exposition.txt"),
+        "exposition schema drifted; regenerate the golden only if the metric set change is intended"
+    );
+}
+
+#[test]
+fn served_campaign_streams_estimators_and_watch_renders_the_server() {
+    let exec = EngineExecutor::new(Engine::new(2));
+    let server =
+        Server::start(ServerConfig::default(), Arc::new(exec) as Arc<dyn Executor>).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut req = JobRequest::new(JobKind::Campaign);
+    req.kernel = "bwaves".into();
+    req.runs = 48;
+    let mut enriched: Vec<(u64, u64, ProgressStats)> = Vec::new();
+    let outcome = client
+        .submit_streaming(&req, |done, total, stats| {
+            if let Some(s) = stats {
+                enriched.push((done, total, *s));
+            }
+        })
+        .unwrap();
+    assert!(matches!(outcome, Outcome::Done { .. }), "{outcome:?}");
+
+    // The estimator payload arrives, ends exactly at done == total, and
+    // reconciles: outcome counts partition the completed runs, and the
+    // zero-SDC Wilson interval is tight but never collapsed to a point.
+    assert!(!enriched.is_empty(), "no enriched progress events");
+    let &(done, total, last) = enriched.last().unwrap();
+    assert_eq!((done, total), (48, 48));
+    assert_eq!(
+        last.recovered + last.post_completion + last.sdc + last.hangs,
+        48
+    );
+    assert_eq!(last.sdc, 0, "turnpike must stay SDC-free");
+    assert_eq!(last.sdc_rate, 0.0);
+    assert!(last.sdc_ci_hi > 0.0 && last.sdc_ci_hi < 0.12, "{last:?}");
+    assert!(last.det_rate > 0.0 && last.det_rate <= 1.0, "{last:?}");
+    assert!(
+        enriched.windows(2).all(|w| w[0].0 < w[1].0),
+        "snapshot delivery must be strictly monotone in done"
+    );
+
+    // Live exposition: stable schema with the server's counters filled in.
+    let metrics = client.metrics().unwrap();
+    assert!(
+        metrics.contains("# TYPE turnpike_serve_completed counter"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("\nturnpike_serve_completed 1\n"),
+        "{metrics}"
+    );
+    assert!(
+        metrics.contains("turnpike_serve_hist_job_us_count 1"),
+        "{metrics}"
+    );
+
+    // The watch renderer summarizes the same server end-to-end.
+    let stats = client.stats().unwrap();
+    let text = render_watch(&stats, &metrics);
+    assert!(text.contains("completed 1"), "{text}");
+    assert!(text.contains("turnpike_campaign_"), "{text}");
+
+    server.shutdown();
+}
+
+#[test]
+fn failed_job_dumps_flight_recorder_evidence() {
+    let dir = scratch("flight");
+    let config = ServerConfig {
+        flight_dir: Some(dir.clone()),
+        ..ServerConfig::default()
+    };
+    let exec = EngineExecutor::new(Engine::serial());
+    let server = Server::start(config, Arc::new(exec) as Arc<dyn Executor>).unwrap();
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // A healthy job leaves no evidence behind...
+    let ok = JobRequest::new(JobKind::Run);
+    assert!(matches!(client.submit(&ok).unwrap(), Outcome::Done { .. }));
+
+    // ...a failing one dumps its lifecycle ring.
+    let mut bad = JobRequest::new(JobKind::Run);
+    bad.kernel = "no-such-kernel".into();
+    match client.submit(&bad).unwrap() {
+        Outcome::Error { job, message } => {
+            assert!(message.contains("no-such-kernel"), "{message}");
+            let path = dir.join(format!("job-{job}.jsonl"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            let header = text.lines().next().unwrap();
+            assert!(header.starts_with("{\"flight\":1,"), "{header}");
+            for kind in ["accept", "start", "fail"] {
+                assert!(text.contains(&format!("\"kind\":\"{kind}\"")), "{text}");
+            }
+            assert!(text.contains("no-such-kernel"), "{text}");
+        }
+        other => panic!("expected error, got {other:?}"),
+    }
+    let dumps: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+    assert_eq!(dumps.len(), 1, "only the failed job may dump evidence");
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,19 @@
+//! Print the Prometheus text exposition of an empty registry: every
+//! counter, gauge, and histogram the workspace can ever report, in
+//! declaration order, at zero.
+//!
+//! This is the exposition's *schema* — the set and order of `# TYPE` and
+//! sample lines is independent of what a run recorded — and it is pinned
+//! byte-for-byte against `crates/bench/golden/metrics_exposition.txt`.
+//! Regenerate (only when adding a metric is intended) with:
+//!
+//! ```text
+//! cargo run -p turnpike-metrics --example exposition > crates/bench/golden/metrics_exposition.txt
+//! ```
+
+fn main() {
+    print!(
+        "{}",
+        turnpike_metrics::prometheus_text(&turnpike_metrics::MetricSet::new())
+    );
+}

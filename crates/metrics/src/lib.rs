@@ -20,8 +20,17 @@
 //! 3. **One schema.** The key enums are the single catalogue of everything
 //!    the stack measures; adding a metric means adding a variant here, and
 //!    every consumer can enumerate the catalogue via [`Counter::ALL`].
+//!
+//! The [`telemetry`] module builds the *observer* layer on top: streaming
+//! rate estimation with Wilson confidence bounds, windowed throughput, a
+//! bounded reservoir sampler, and Prometheus-style text exposition of a
+//! [`MetricSet`].
 
 use std::fmt;
+
+pub mod telemetry;
+
+pub use telemetry::{prometheus_text, RateEstimator, Reservoir, ThroughputMeter};
 
 /// How two samples of the same counter combine under [`MetricSet::merge`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -418,11 +427,14 @@ impl Histogram {
                 continue;
             }
             if (seen + c) as f64 >= rank {
+                // Interpolate across the *attainable* values of the bucket
+                // — the closed range `[lo, hi - 1]` clamped to observed
+                // extremes — so single-bucket histograms report the exact
+                // value and `quantile(1.0)` is exactly `max`, never the
+                // bucket's exclusive bound.
                 let (lo, hi) = Self::bucket_range(i);
-                // Clamp the interpolation window to observed extremes so
-                // single-bucket histograms report the exact value.
-                let lo = (lo.max(self.min)) as f64;
-                let hi = (hi.min(self.max.saturating_add(1))) as f64;
+                let lo = lo.max(self.min) as f64;
+                let hi = (hi - 1).min(self.max) as f64;
                 let frac = (rank - seen as f64) / c as f64;
                 return lo + (hi - lo).max(0.0) * frac.clamp(0.0, 1.0);
             }
@@ -952,6 +964,39 @@ mod tests {
         h.record(1 << 20);
         assert!(h.quantile(1.0) > 1e6);
         assert_eq!(Histogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn histogram_extreme_quantiles_stay_within_observed_range() {
+        // A single-value population is exact at every quantile — including
+        // q=1.0, which must be `max`, not the bucket's exclusive bound.
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(8);
+        }
+        for q in [0.0, 0.001, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), 8.0, "q={q}");
+        }
+        // With a tail sample, extreme quantiles interpolate inside the tail
+        // bucket but never exceed the observed max or undershoot the min.
+        h.record(1 << 20);
+        assert_eq!(h.quantile(1.0), (1u64 << 20) as f64);
+        // Low quantiles stay within the min's bucket (factor-of-two
+        // resolution), never below the observed min.
+        let p0 = h.quantile(0.0);
+        assert!((8.0..16.0).contains(&p0), "{p0}");
+        let p999 = h.quantile(0.999);
+        assert!((8.0..=(1u64 << 20) as f64).contains(&p999), "{p999}");
+        // q=1.0 lands on the max even when the top bucket holds a spread,
+        // and no quantile leaves the observed [min, max] envelope.
+        let mut s = Histogram::new();
+        s.record(1000); // bucket [512, 1024)
+        s.record(600);
+        assert_eq!(s.quantile(1.0), 1000.0);
+        for q in [0.0, 0.25, 0.5, 0.75, 0.999] {
+            let v = s.quantile(q);
+            assert!((600.0..=1000.0).contains(&v), "q={q} -> {v}");
+        }
     }
 
     #[test]

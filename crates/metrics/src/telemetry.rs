@@ -1,0 +1,446 @@
+//! Streaming campaign telemetry: rate estimation with confidence bounds,
+//! windowed throughput, bounded sampling, and metrics exposition.
+//!
+//! Everything here is built for the *observer* side of a fault campaign:
+//! the estimators are online (O(1) state, no per-sample allocation),
+//! mergeable across worker threads like [`Histogram`](crate::Histogram),
+//! and deterministic — the reservoir sampler draws from its own seeded
+//! generator so sampled output is reproducible for a given seed, and the
+//! throughput meter consumes caller-supplied timestamps so nothing in this
+//! crate reads the wall clock.
+
+use std::collections::VecDeque;
+
+use crate::{Counter, Gauge, Hist, MergePolicy, MetricSet};
+
+/// z for a two-sided 95% interval (`Φ⁻¹(0.975)`).
+const Z95: f64 = 1.959_963_984_540_054;
+
+/// Online success/total rate with Wilson-score confidence bounds.
+///
+/// The Wilson interval is the standard choice for binomial rates near 0 or
+/// 1 with small n — exactly the regime of SDC rates, where the naive
+/// normal interval collapses to `0 ± 0` after a streak of successes. Like
+/// [`Histogram`](crate::Histogram), estimators from different worker
+/// threads [`merge`](RateEstimator::merge) by simple addition, so a
+/// campaign can keep one per shard and fold them for reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RateEstimator {
+    successes: u64,
+    trials: u64,
+}
+
+impl RateEstimator {
+    /// An empty estimator (no trials observed).
+    pub fn new() -> Self {
+        RateEstimator::default()
+    }
+
+    /// An estimator seeded from already-aggregated counts.
+    pub fn from_counts(successes: u64, trials: u64) -> Self {
+        assert!(successes <= trials, "successes cannot exceed trials");
+        RateEstimator { successes, trials }
+    }
+
+    /// Record one trial.
+    pub fn record(&mut self, success: bool) {
+        self.trials += 1;
+        self.successes += success as u64;
+    }
+
+    /// Fold another estimator's trials into this one.
+    pub fn merge(&mut self, other: &RateEstimator) {
+        self.successes += other.successes;
+        self.trials += other.trials;
+    }
+
+    /// Successes observed so far.
+    pub fn successes(&self) -> u64 {
+        self.successes
+    }
+
+    /// Trials observed so far.
+    pub fn trials(&self) -> u64 {
+        self.trials
+    }
+
+    /// Point estimate `successes / trials`; `0.0` with no trials.
+    pub fn rate(&self) -> f64 {
+        if self.trials == 0 {
+            0.0
+        } else {
+            self.successes as f64 / self.trials as f64
+        }
+    }
+
+    /// 95% Wilson-score interval `(lo, hi)`; the vacuous `(0, 1)` with no
+    /// trials. Always contained in `[0, 1]`.
+    pub fn wilson_bounds(&self) -> (f64, f64) {
+        if self.trials == 0 {
+            return (0.0, 1.0);
+        }
+        let n = self.trials as f64;
+        let p = self.successes as f64 / n;
+        let z2 = Z95 * Z95;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let spread = Z95 / denom * (p * (1.0 - p) / n + z2 / (4.0 * n * n)).sqrt();
+        ((center - spread).max(0.0), (center + spread).min(1.0))
+    }
+
+    /// Half the width of the 95% Wilson interval — the "± x" a campaign
+    /// converges on. `0.5` with no trials (the vacuous interval).
+    pub fn half_width(&self) -> f64 {
+        let (lo, hi) = self.wilson_bounds();
+        (hi - lo) / 2.0
+    }
+}
+
+/// Windowed throughput over caller-supplied `(t_ns, units, insts)`
+/// observations.
+///
+/// Each [`observe`](ThroughputMeter::observe) records cumulative totals at
+/// a timestamp; rates are computed over the last `window` observations, so
+/// a long campaign's ETA tracks the *recent* pace rather than averaging in
+/// a cold start. The meter never reads a clock itself — timestamps come
+/// from the caller, which keeps this crate deterministic and testable.
+#[derive(Debug, Clone)]
+pub struct ThroughputMeter {
+    window: usize,
+    samples: VecDeque<(u64, u64, u64)>,
+}
+
+impl ThroughputMeter {
+    /// A meter averaging over the last `window` observations (min 2).
+    pub fn new(window: usize) -> Self {
+        let window = window.max(2);
+        let mut samples = VecDeque::with_capacity(window);
+        // Origin sample: rates are defined from the first real observation.
+        samples.push_back((0, 0, 0));
+        ThroughputMeter { window, samples }
+    }
+
+    /// Record cumulative totals (`units` done, `insts` simulated) at
+    /// elapsed time `t_ns`.
+    pub fn observe(&mut self, t_ns: u64, units: u64, insts: u64) {
+        if self.samples.len() == self.window {
+            self.samples.pop_front();
+        }
+        self.samples.push_back((t_ns, units, insts));
+    }
+
+    fn span(&self) -> Option<(u64, u64, u64)> {
+        let &(t0, u0, i0) = self.samples.front()?;
+        let &(t1, u1, i1) = self.samples.back()?;
+        if t1 <= t0 {
+            return None;
+        }
+        Some((t1 - t0, u1.saturating_sub(u0), i1.saturating_sub(i0)))
+    }
+
+    /// Units per second over the window; `0.0` before the first
+    /// observation.
+    pub fn units_per_sec(&self) -> f64 {
+        match self.span() {
+            Some((dt, du, _)) => du as f64 / (dt as f64 / 1e9),
+            None => 0.0,
+        }
+    }
+
+    /// Host nanoseconds per simulated instruction over the window; `0.0`
+    /// when no instructions were retired in the window.
+    pub fn ns_per_inst(&self) -> f64 {
+        match self.span() {
+            Some((dt, _, di)) if di > 0 => dt as f64 / di as f64,
+            _ => 0.0,
+        }
+    }
+
+    /// Estimated nanoseconds to finish `remaining` units at the windowed
+    /// pace; `0` when the pace is unknown (no observations yet).
+    pub fn eta_ns(&self, remaining: u64) -> u64 {
+        match self.span() {
+            Some((dt, du, _)) if du > 0 => {
+                (remaining as f64 * dt as f64 / du as f64).round() as u64
+            }
+            _ => 0,
+        }
+    }
+}
+
+/// Uniform bounded sampler (Algorithm R) with a private seeded generator.
+///
+/// Offers stream through in one pass; at any point [`sample`](Reservoir::sample)
+/// holds a uniform random subset of size `min(cap, seen)`. Used to cap
+/// strike-record JSONL output at O(cap) for arbitrarily large campaigns.
+/// The draw sequence depends only on `(cap, seed, offer order)`, so capped
+/// output is reproducible.
+#[derive(Debug, Clone)]
+pub struct Reservoir<T> {
+    cap: usize,
+    seen: u64,
+    rng: u64,
+    items: Vec<T>,
+}
+
+impl<T> Reservoir<T> {
+    /// A reservoir keeping at most `cap` items (min 1).
+    pub fn new(cap: usize, seed: u64) -> Self {
+        let cap = cap.max(1);
+        Reservoir {
+            cap,
+            seen: 0,
+            // Same golden-ratio pre-mix as the campaign's run-seed stream.
+            rng: seed ^ 0x9E37_79B9_7F4A_7C15,
+            items: Vec::with_capacity(cap.min(1024)),
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        // SplitMix64: the workspace's stock allocation-free generator.
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Offer one item from the stream.
+    pub fn offer(&mut self, item: T) {
+        self.seen += 1;
+        if self.items.len() < self.cap {
+            self.items.push(item);
+        } else {
+            let j = self.next_u64() % self.seen;
+            if (j as usize) < self.cap {
+                self.items[j as usize] = item;
+            }
+        }
+    }
+
+    /// Total items offered (kept or not).
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Items currently kept.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing has been kept.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The kept subset, in retention order (not offer order).
+    pub fn sample(&self) -> &[T] {
+        &self.items
+    }
+
+    /// Consume the reservoir, returning the kept subset.
+    pub fn into_sample(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Format an `f64` the way the serve-layer JSON writer does: integral
+/// values as integers, everything else via the shortest round-trippable
+/// decimal form.
+fn fmt_num(out: &mut String, v: f64) {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        out.push_str(&format!("{}", v as i64));
+    } else {
+        out.push_str(&format!("{v}"));
+    }
+}
+
+/// Render a [`MetricSet`] as Prometheus text exposition.
+///
+/// Every registered key is emitted every time — counters and gauges as
+/// scalar samples, histograms as summaries (`{quantile=...}`, `_sum`,
+/// `_count`) — in declaration order, so the line order and the set of
+/// `# TYPE` lines are byte-stable across runs and scrapeable against a
+/// golden. Names are the registry's dotted names with dots and dashes
+/// mapped to underscores under a `turnpike_` prefix. `Max`-policy counters
+/// are exposed as gauges (a peak is not monotone across restarts).
+pub fn prometheus_text(m: &MetricSet) -> String {
+    let mut out = String::new();
+    for &key in Counter::ALL {
+        let name = metric_name(key.name());
+        let kind = match key.merge_policy() {
+            MergePolicy::Sum => "counter",
+            MergePolicy::Max => "gauge",
+        };
+        out.push_str(&format!("# TYPE {name} {kind}\n"));
+        out.push_str(&format!("{name} {}\n", m.counter(key)));
+    }
+    for &key in Gauge::ALL {
+        let name = metric_name(key.name());
+        out.push_str(&format!("# TYPE {name} gauge\n"));
+        out.push_str(&format!("{name} "));
+        fmt_num(&mut out, m.gauge(key));
+        out.push('\n');
+    }
+    for &key in Hist::ALL {
+        let name = metric_name(key.name());
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        let empty = crate::Histogram::new();
+        let h = m.hist(key).unwrap_or(&empty);
+        for q in ["0.5", "0.99", "0.999"] {
+            out.push_str(&format!("{name}{{quantile=\"{q}\"}} "));
+            fmt_num(&mut out, h.quantile(q.parse().expect("literal quantile")));
+            out.push('\n');
+        }
+        out.push_str(&format!("{name}_sum {}\n", h.sum()));
+        out.push_str(&format!("{name}_count {}\n", h.count()));
+    }
+    out
+}
+
+/// `sim.stall.sb_full` → `turnpike_sim_stall_sb_full`.
+fn metric_name(dotted: &str) -> String {
+    let mut s = String::with_capacity(dotted.len() + 9);
+    s.push_str("turnpike_");
+    for c in dotted.chars() {
+        s.push(match c {
+            '.' | '-' => '_',
+            c => c,
+        });
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wilson_bounds_contain_the_rate_and_tighten() {
+        let mut e = RateEstimator::new();
+        assert_eq!(e.wilson_bounds(), (0.0, 1.0));
+        assert_eq!(e.half_width(), 0.5);
+        for i in 0..100 {
+            e.record(i % 4 == 0);
+        }
+        let (lo, hi) = e.wilson_bounds();
+        assert!(lo < 0.25 && 0.25 < hi, "({lo}, {hi})");
+        assert!(e.half_width() < 0.1);
+        let mut big = RateEstimator::from_counts(2500, 10_000);
+        let w100 = e.half_width();
+        assert!(big.half_width() < w100 / 5.0, "CI shrinks ~ sqrt(n)");
+        big.merge(&e);
+        assert_eq!(big.trials(), 10_100);
+        assert_eq!(big.successes(), 2525);
+    }
+
+    #[test]
+    fn wilson_never_collapses_at_zero_rate() {
+        // The regime that motivates Wilson over the normal approximation:
+        // zero observed SDCs must still give a nonzero upper bound.
+        let e = RateEstimator::from_counts(0, 50);
+        let (lo, hi) = e.wilson_bounds();
+        assert_eq!(lo, 0.0);
+        assert!(hi > 0.0 && hi < 0.15, "{hi}");
+        assert_eq!(e.rate(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_pooled_counts() {
+        let mut a = RateEstimator::from_counts(3, 10);
+        let b = RateEstimator::from_counts(7, 30);
+        a.merge(&b);
+        assert_eq!(a, RateEstimator::from_counts(10, 40));
+    }
+
+    #[test]
+    fn throughput_meter_windows_recent_pace() {
+        let mut t = ThroughputMeter::new(3);
+        assert_eq!(t.units_per_sec(), 0.0);
+        assert_eq!(t.eta_ns(10), 0);
+        t.observe(1_000_000_000, 10, 1000);
+        assert!((t.units_per_sec() - 10.0).abs() < 1e-9);
+        // Pace doubles; a window of 3 forgets the slow start.
+        t.observe(2_000_000_000, 30, 3000);
+        t.observe(3_000_000_000, 50, 5000);
+        t.observe(4_000_000_000, 70, 7000);
+        assert!((t.units_per_sec() - 20.0).abs() < 1e-9);
+        assert!((t.ns_per_inst() - 500_000.0).abs() < 1e-6);
+        assert_eq!(t.eta_ns(40), 2_000_000_000);
+    }
+
+    #[test]
+    fn reservoir_is_bounded_uniform_and_deterministic() {
+        let mut r = Reservoir::new(8, 42);
+        for i in 0..1000u32 {
+            r.offer(i);
+        }
+        assert_eq!(r.len(), 8);
+        assert_eq!(r.seen(), 1000);
+        let mut again = Reservoir::new(8, 42);
+        for i in 0..1000u32 {
+            again.offer(i);
+        }
+        assert_eq!(r.sample(), again.sample(), "same seed, same sample");
+        let mut other = Reservoir::new(8, 43);
+        for i in 0..1000u32 {
+            other.offer(i);
+        }
+        assert_ne!(r.sample(), other.sample(), "different seed draws differ");
+        // Under capacity the reservoir is the identity.
+        let mut small = Reservoir::new(8, 7);
+        for i in 0..5u32 {
+            small.offer(i);
+        }
+        assert_eq!(small.into_sample(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn reservoir_sample_is_roughly_uniform() {
+        // Each of 100 items should land in a cap-10 sample ~10% of the
+        // time across seeds; check no item is starved or dominant.
+        let mut hits = [0u32; 100];
+        for seed in 0..200u64 {
+            let mut r = Reservoir::new(10, seed);
+            for i in 0..100usize {
+                r.offer(i);
+            }
+            for &i in r.sample() {
+                hits[i] += 1;
+            }
+        }
+        for (i, &h) in hits.iter().enumerate() {
+            assert!((5..=40).contains(&h), "item {i} kept {h}/200 times");
+        }
+    }
+
+    #[test]
+    fn exposition_is_stable_and_complete() {
+        let mut m = MetricSet::new();
+        m.add(Counter::CampaignRuns, 12);
+        m.record_hist(Hist::ServeJobMicros, 250);
+        m.set_gauge(Gauge::AvgRegionInsts, 11.5);
+        let text = prometheus_text(&m);
+        assert_eq!(text, prometheus_text(&m), "rendering is deterministic");
+        // Every registered key appears exactly once, valued or not.
+        let type_lines = text.lines().filter(|l| l.starts_with("# TYPE ")).count();
+        assert_eq!(
+            type_lines,
+            Counter::ALL.len() + Gauge::ALL.len() + Hist::ALL.len()
+        );
+        assert!(text.contains("turnpike_campaign_runs 12\n"));
+        assert!(text.contains("turnpike_sim_avg_region_insts 11.5\n"));
+        assert!(text.contains("turnpike_serve_hist_job_us_sum 250\n"));
+        assert!(text.contains("turnpike_serve_hist_job_us_count 1\n"));
+        assert!(text.contains("turnpike_serve_hist_job_us{quantile=\"0.999\"} 250\n"));
+        // The TYPE-line set is identical for an empty registry — this is
+        // what lets CI golden-diff the exposition schema.
+        let schema = |t: &str| {
+            t.lines()
+                .filter(|l| l.starts_with("# TYPE "))
+                .map(str::to_string)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(schema(&text), schema(&prometheus_text(&MetricSet::new())));
+    }
+}

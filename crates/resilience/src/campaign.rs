@@ -7,16 +7,19 @@
 //! against the fault-free run. For resilient schemes every run must match —
 //! the acoustic-sensor guarantee is *zero* silent data corruption.
 
+use crate::driver::RunResult;
 use crate::driver::{
     resume_compiled_replay, run_compiled_collecting_snapshots, run_compiled_replay,
     run_compiled_with_faults, RunError, RunSpec,
 };
 use crate::par::par_map;
 use rand::{rngs::StdRng, Rng, SeedableRng};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 use turnpike_compiler::compile;
 use turnpike_ir::Program;
+use turnpike_metrics::{RateEstimator, ThroughputMeter};
 use turnpike_sensor::StrikeSampler;
 use turnpike_sim::{Fault, FaultKind, FaultPlan, ReplayGuide, SimError, Translation};
 
@@ -28,6 +31,35 @@ fn early_exit_default() -> bool {
     static DEFAULT: OnceLock<bool> = OnceLock::new();
     *DEFAULT.get_or_init(|| std::env::var_os("TURNPIKE_EARLY_EXIT").is_none_or(|v| v != "0"))
 }
+
+/// When a campaign stops injecting.
+///
+/// Sequential stopping decisions are made only at fixed chunk boundaries
+/// (every [`STOP_CHUNK`] completed runs, in run-index order), never on a
+/// per-thread whim — so the set of runs a stopped campaign executed is a
+/// pure function of the config, and the report stays identical across
+/// thread counts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StopRule {
+    /// Run exactly [`CampaignConfig::runs`] injected runs.
+    Fixed,
+    /// Stop at the first chunk boundary where the 95% Wilson interval on
+    /// the per-run SDC rate is no wider than `half_width` on each side of
+    /// the point estimate, or after `cap` runs, whichever comes first.
+    /// [`CampaignConfig::runs`] is ignored; the reported statistics are
+    /// exact over the runs actually executed.
+    CiWidth {
+        /// Maximum acceptable half-width of the 95% Wilson interval.
+        half_width: f64,
+        /// Hard upper bound on injected runs.
+        cap: usize,
+    },
+}
+
+/// Runs between sequential-stop decisions (see [`StopRule`]). A constant —
+/// deriving it from the thread count would make the stop point, and with
+/// it the whole report, depend on parallelism.
+pub const STOP_CHUNK: usize = 16;
 
 /// Campaign parameters.
 #[derive(Debug, Clone)]
@@ -47,6 +79,9 @@ pub struct CampaignConfig {
     /// on; the `TURNPIKE_EARLY_EXIT=0` environment kill switch flips the
     /// default off process-wide.
     pub early_exit: bool,
+    /// When to stop injecting. [`StopRule::Fixed`] (the default) keeps the
+    /// historical behavior: exactly [`CampaignConfig::runs`] runs.
+    pub stop: StopRule,
 }
 
 impl Default for CampaignConfig {
@@ -56,6 +91,7 @@ impl Default for CampaignConfig {
             seed: 0xF00D,
             strikes_per_run: 1,
             early_exit: early_exit_default(),
+            stop: StopRule::Fixed,
         }
     }
 }
@@ -247,6 +283,76 @@ pub fn write_strike_records_to_path<P: AsRef<std::path::Path>>(
     std::io::Write::flush(&mut w)
 }
 
+/// Like [`write_strike_records`], but when `cap` is `Some(n)` the output is
+/// bounded at `n` records drawn uniformly by a seeded reservoir sampler
+/// ([`Reservoir`](turnpike_metrics::Reservoir)), so campaign JSONL stays
+/// O(cap) at any campaign size. Capped output is prefixed with one header
+/// line documenting the sampling:
+///
+/// ```json
+/// {"header":"strike_records","sampling":"reservoir","total":1000000,"written":4096,"cap":4096,"seed":61453}
+/// ```
+///
+/// Sampled records keep their original relative order. `cap: None` is
+/// byte-identical to [`write_strike_records`] (no header line) — existing
+/// consumers see no change.
+///
+/// # Errors
+///
+/// Propagates write failures.
+pub fn write_strike_records_capped<W: std::io::Write>(
+    records: &[StrikeRecord],
+    cap: Option<usize>,
+    seed: u64,
+    w: &mut W,
+) -> std::io::Result<()> {
+    let Some(cap) = cap else {
+        return write_strike_records(records, w);
+    };
+    let mut reservoir = turnpike_metrics::Reservoir::new(cap, seed);
+    for i in 0..records.len() {
+        reservoir.offer(i);
+    }
+    let mut kept = reservoir.into_sample();
+    kept.sort_unstable();
+    writeln!(
+        w,
+        "{{\"header\":\"strike_records\",\"sampling\":\"reservoir\",\"total\":{},\
+         \"written\":{},\"cap\":{},\"seed\":{}}}",
+        records.len(),
+        kept.len(),
+        cap,
+        seed
+    )?;
+    for i in kept {
+        writeln!(w, "{}", records[i].to_json())?;
+    }
+    Ok(())
+}
+
+/// [`write_strike_records_capped`] to a file at `path`, creating missing
+/// parent directories like [`write_strike_records_to_path`].
+///
+/// # Errors
+///
+/// Propagates directory-creation and write failures.
+pub fn write_strike_records_capped_to_path<P: AsRef<std::path::Path>>(
+    records: &[StrikeRecord],
+    cap: Option<usize>,
+    seed: u64,
+    path: P,
+) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let mut w = std::io::BufWriter::new(std::fs::File::create(path)?);
+    write_strike_records_capped(records, cap, seed, &mut w)?;
+    std::io::Write::flush(&mut w)
+}
+
 /// Caller hooks into a running campaign: cooperative cancellation plus a
 /// per-run progress callback. The default hook (`CampaignHook::default()`)
 /// is inert, and every non-hooked entry point uses it.
@@ -264,6 +370,15 @@ pub struct CampaignHook<'a> {
     /// `(runs_completed, runs_total)`. Runs execute on worker threads in
     /// any order, so `runs_completed` is a monotone count, not an index.
     pub on_run: Option<&'a (dyn Fn(usize, usize) + Sync)>,
+    /// Called with a [`CampaignProgress`] snapshot every
+    /// [`progress_every`](CampaignHook::progress_every) completed runs and
+    /// on the campaign's final run. Calls are serialized (never
+    /// concurrent) but may arrive from any worker thread. Snapshots are
+    /// observational only: enabling them never changes the report.
+    pub on_progress: Option<&'a (dyn Fn(&CampaignProgress) + Sync)>,
+    /// Snapshot cadence in completed runs; `0` picks a default of one
+    /// snapshot per ~5% of the campaign (min every run).
+    pub progress_every: usize,
 }
 
 impl std::fmt::Debug for CampaignHook<'_> {
@@ -271,6 +386,8 @@ impl std::fmt::Debug for CampaignHook<'_> {
         f.debug_struct("CampaignHook")
             .field("cancel", &self.cancel.map(|c| c.load(Ordering::Relaxed)))
             .field("on_run", &self.on_run.map(|_| "fn"))
+            .field("on_progress", &self.on_progress.map(|_| "fn"))
+            .field("progress_every", &self.progress_every)
             .finish()
     }
 }
@@ -278,6 +395,173 @@ impl std::fmt::Debug for CampaignHook<'_> {
 impl CampaignHook<'_> {
     fn canceled(&self) -> bool {
         self.cancel.is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A point-in-time view of a running campaign, delivered through
+/// [`CampaignHook::on_progress`].
+///
+/// Counts are exact over the `done` completed runs (the emitting run's
+/// own outcome included); rates carry 95% Wilson confidence bounds via
+/// [`RateEstimator`]. Throughput and ETA are windowed over recent
+/// completions, so they track current pace, not the cold start.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignProgress {
+    /// Runs completed so far.
+    pub done: usize,
+    /// Target run count ([`CampaignConfig::runs`], or the stop rule's cap).
+    pub total: usize,
+    /// Completed runs that detected and recovered every in-run strike.
+    pub recovered: usize,
+    /// Completed runs whose strikes all landed at or past completion.
+    pub post_completion: usize,
+    /// Completed runs with silent data corruption.
+    pub sdc: usize,
+    /// Completed runs aborted by the campaign watchdog.
+    pub hangs: usize,
+    /// Total detections across completed runs.
+    pub detections: u64,
+    /// Per-run SDC rate over the completed runs, with Wilson bounds.
+    pub sdc_rate: RateEstimator,
+    /// Per-run detection rate (runs that recovered) with Wilson bounds.
+    pub detection_rate: RateEstimator,
+    /// Injected strikes per second, windowed.
+    pub strikes_per_sec: f64,
+    /// Host nanoseconds per simulated instruction, windowed.
+    pub ns_per_inst: f64,
+    /// Milliseconds since the first injected run started.
+    pub elapsed_ms: u64,
+    /// Estimated milliseconds to finish the remaining runs at the
+    /// windowed pace; `0` when the pace is not yet known.
+    pub eta_ms: u64,
+}
+
+/// Shared observer state behind [`CampaignHook::on_progress`]. Lives
+/// entirely outside the report fold: workers bump outcome counts with
+/// relaxed atomics *before* the release bump of the completion counter, so
+/// when the last worker reports `done == total` every outcome has been
+/// tallied and the final snapshot is exact. Intermediate snapshots derive
+/// `done` from the outcome tallies themselves (a concurrent worker may
+/// have tallied its outcome but not yet bumped the completion counter, so
+/// the caller's `done` can lag the counts) — every snapshot's counts
+/// partition its `done` exactly by construction.
+struct ProgressShared<'a> {
+    started: Instant,
+    total: usize,
+    strikes_per_run: usize,
+    every: usize,
+    recovered: AtomicUsize,
+    post_completion: AtomicUsize,
+    sdc: AtomicUsize,
+    hangs: AtomicUsize,
+    detections: AtomicU64,
+    insts: AtomicU64,
+    /// The throughput meter plus the highest `done` already delivered:
+    /// workers race to the lock, so a staler snapshot can arrive after a
+    /// fresher one — it is dropped, keeping deliveries monotone in `done`.
+    meter: Mutex<(ThroughputMeter, usize)>,
+    emit: &'a (dyn Fn(&CampaignProgress) + Sync),
+}
+
+impl<'a> ProgressShared<'a> {
+    fn new(
+        total: usize,
+        strikes_per_run: usize,
+        every: usize,
+        emit: &'a (dyn Fn(&CampaignProgress) + Sync),
+    ) -> Self {
+        ProgressShared {
+            started: Instant::now(),
+            total,
+            strikes_per_run,
+            every: every.max(1),
+            recovered: AtomicUsize::new(0),
+            post_completion: AtomicUsize::new(0),
+            sdc: AtomicUsize::new(0),
+            hangs: AtomicUsize::new(0),
+            detections: AtomicU64::new(0),
+            insts: AtomicU64::new(0),
+            meter: Mutex::new((ThroughputMeter::new(8), 0)),
+            emit,
+        }
+    }
+
+    /// Classify one completed run into the outcome tallies. Must run
+    /// before the completion counter is bumped for that run.
+    fn count_run(&self, run: Option<&RunResult>, golden: &RunResult) {
+        match run {
+            None => {
+                self.hangs.fetch_add(1, Ordering::Relaxed);
+            }
+            Some(r) => {
+                let sdc = r.outcome.replay_saved.is_none()
+                    && (r.outcome.ret != golden.outcome.ret
+                        || r.outcome.memory != golden.outcome.memory);
+                let detections = r.outcome.stats.detections;
+                if sdc {
+                    self.sdc.fetch_add(1, Ordering::Relaxed);
+                } else if detections > 0 {
+                    self.recovered.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.post_completion.fetch_add(1, Ordering::Relaxed);
+                }
+                self.detections.fetch_add(detections, Ordering::Relaxed);
+                self.insts.fetch_add(
+                    r.metrics.counter(turnpike_metrics::Counter::Insts),
+                    Ordering::Relaxed,
+                );
+            }
+        }
+    }
+
+    /// Emit a snapshot if `done` is on the cadence (or final). Serialized
+    /// under the meter lock so callbacks never observe interleaved state.
+    fn maybe_emit(&self, done: usize) {
+        if !done.is_multiple_of(self.every) && done != self.total {
+            return;
+        }
+        let mut guard = self.meter.lock().expect("progress meter poisoned");
+        let (meter, emitted) = &mut *guard;
+        // The snapshot's `done` is the sum of the outcome tallies read
+        // under the lock, not the caller's completion count: tallies land
+        // before the completion bump, so the caller's `done` can trail
+        // them, and summing the loads is the only way the reported counts
+        // partition the reported `done` exactly. Tallies only grow, so
+        // the `emitted` guard keeps deliveries strictly monotone even
+        // when workers race to the lock out of order.
+        let recovered = self.recovered.load(Ordering::Relaxed);
+        let post_completion = self.post_completion.load(Ordering::Relaxed);
+        let sdc = self.sdc.load(Ordering::Relaxed);
+        let hangs = self.hangs.load(Ordering::Relaxed);
+        let done = recovered + post_completion + sdc + hangs;
+        if done <= *emitted {
+            return;
+        }
+        *emitted = done;
+        let elapsed = self.started.elapsed();
+        let strikes_done = (done * self.strikes_per_run) as u64;
+        meter.observe(
+            elapsed.as_nanos() as u64,
+            strikes_done,
+            self.insts.load(Ordering::Relaxed),
+        );
+        let remaining = (self.total.saturating_sub(done) * self.strikes_per_run) as u64;
+        let snapshot = CampaignProgress {
+            done,
+            total: self.total,
+            recovered,
+            post_completion,
+            sdc,
+            hangs,
+            detections: self.detections.load(Ordering::Relaxed),
+            sdc_rate: RateEstimator::from_counts(sdc as u64, done as u64),
+            detection_rate: RateEstimator::from_counts(recovered as u64, done as u64),
+            strikes_per_sec: meter.units_per_sec(),
+            ns_per_inst: meter.ns_per_inst(),
+            elapsed_ms: elapsed.as_millis() as u64,
+            eta_ms: meter.eta_ns(remaining) / 1_000_000,
+        };
+        (self.emit)(&snapshot);
     }
 }
 
@@ -451,9 +735,26 @@ pub fn fault_campaign_hooked(
     let guide = (config.early_exit && !snapshots.is_empty())
         .then(|| ReplayGuide::new(&snapshots, &golden.outcome.stats, golden.outcome.ret));
     let horizon = golden.outcome.stats.cycles.max(2);
-    let indices: Vec<usize> = (0..config.runs).collect();
+    // The target run count and the granularity at which results are folded
+    // (and, for sequential stopping, at which stop decisions are taken).
+    // Fixed campaigns use one chunk — exactly the historical single
+    // `par_map` over all runs. CI-width campaigns fold every `STOP_CHUNK`
+    // runs; the boundary set is independent of the thread count, so the
+    // executed-run set (and the report) is too.
+    let (target, chunk) = match config.stop {
+        StopRule::Fixed => (config.runs, config.runs.max(1)),
+        StopRule::CiWidth { cap, .. } => (cap.max(1), STOP_CHUNK),
+    };
     let completed = AtomicUsize::new(0);
-    let runs = par_map(&indices, threads, |_, &i| {
+    let progress = hook.on_progress.map(|emit| {
+        let every = if hook.progress_every == 0 {
+            (target / 20).max(1)
+        } else {
+            hook.progress_every
+        };
+        ProgressShared::new(target, config.strikes_per_run, every, emit)
+    });
+    let worker = |_: usize, &i: &usize| {
         // Cooperative cancellation: one check per injected run, so a raised
         // flag abandons the campaign within a single simulation.
         if hook.canceled() {
@@ -488,105 +789,52 @@ pub fn fault_campaign_hooked(
             Err(RunError::Sim(SimError::CycleLimit(_))) => Ok((None, forked_at)),
             Err(e) => Err(e),
         };
-        if out.is_ok() {
-            let done = completed.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Ok((run, _)) = &out {
+            // Outcome tallies land before the release bump so any snapshot
+            // taken at `done == n` has seen all n outcomes.
+            if let Some(p) = progress.as_ref() {
+                p.count_run(run.as_ref(), &golden);
+            }
+            let done = completed.fetch_add(1, Ordering::AcqRel) + 1;
             if let Some(on_run) = hook.on_run {
-                on_run(done, config.runs);
+                on_run(done, target);
+            }
+            if let Some(p) = progress.as_ref() {
+                p.maybe_emit(done);
             }
         }
         out
-    });
-    let mut report = CampaignReport {
-        runs: config.runs,
-        ..CampaignReport::default()
     };
+    let mut report = CampaignReport::default();
     let mut fork = ForkStats::default();
-    let mut records = Vec::with_capacity(config.runs * config.strikes_per_run);
-    for (i, run) in runs.into_iter().enumerate() {
-        let (run, forked_at) = run?;
-        match forked_at {
-            Some(cycle) => {
-                fork.hits += 1;
-                fork.prefix_cycles_saved += cycle;
+    let mut records = Vec::with_capacity(target.min(4096) * config.strikes_per_run);
+    let mut executed = 0usize;
+    while executed < target {
+        let end = target.min(executed + chunk);
+        let indices: Vec<usize> = (executed..end).collect();
+        let runs = par_map(&indices, threads, worker);
+        for (&i, run) in indices.iter().zip(runs) {
+            fold_run(
+                i,
+                run?,
+                &golden,
+                config,
+                spec,
+                horizon,
+                &mut report,
+                &mut fork,
+                &mut records,
+            );
+        }
+        executed = end;
+        if let StopRule::CiWidth { half_width, .. } = config.stop {
+            let est = RateEstimator::from_counts(report.sdc as u64, executed as u64);
+            if est.half_width() <= half_width {
+                break;
             }
-            None => fork.misses += 1,
         }
-        let Some(run) = run else {
-            // Watchdog abort: the run hung. Every strike of the run is
-            // classified as a hang; there is no final state to audit.
-            report.hangs += 1;
-            let plan = plan_for_run(config, spec, i, horizon);
-            for (k, f) in plan.faults().iter().enumerate() {
-                records.push(StrikeRecord {
-                    run: i,
-                    strike: k,
-                    strike_cycle: f.strike_cycle,
-                    detect_latency: f.detect_latency,
-                    recovery_cycles: 0,
-                    detections: 0,
-                    outcome: StrikeOutcome::Hang,
-                });
-            }
-            continue;
-        };
-        if let Some(saved) = run.outcome.replay_saved {
-            fork.replay_exits += 1;
-            fork.replay_cycles_saved += saved;
-        }
-        report.recoveries += run.outcome.stats.recoveries;
-        report.detections += run.outcome.stats.detections;
-        report.parity_detections += run.outcome.stats.parity_detections;
-        report.sensor_detections += run.outcome.stats.sensor_detections;
-        // An early-exited run proved its final state equals the golden
-        // run's (that is what the convergence check establishes), so its
-        // empty memory maps must not be mistaken for a wiped memory.
-        let sdc = run.outcome.replay_saved.is_none()
-            && (run.outcome.ret != golden.outcome.ret
-                || run.outcome.memory != golden.outcome.memory);
-        if sdc {
-            report.sdc += 1;
-        }
-        // Strikes that outnumber detections landed at or past program
-        // completion and had no architectural effect — unless the run ended
-        // in SDC, where the undetected strikes are precisely the corruption
-        // (a strike in an unprotected region lands in-run with nothing
-        // watching). Counted per strike, not per run: a 3-strike run with
-        // one in-run strike contributes 2.
-        if !sdc {
-            report.post_completion += config
-                .strikes_per_run
-                .saturating_sub(run.outcome.stats.detections as usize);
-        }
-        // Re-derive the run's plan (a pure function of seed and index) and
-        // classify each strike. In a clean run the earliest `detections`
-        // strikes by cycle are the ones that landed in-run and the rest hit
-        // after completion; an SDC verdict is attributed to every strike of
-        // the run, since nothing observed which one corrupted the state.
-        let plan = plan_for_run(config, spec, i, horizon);
-        let mut order: Vec<usize> = (0..plan.faults().len()).collect();
-        order.sort_by_key(|&k| plan.faults()[k].strike_cycle);
-        let detections = run.outcome.stats.detections;
-        for (rank, &k) in order.iter().enumerate() {
-            let f = &plan.faults()[k];
-            let outcome = if sdc {
-                StrikeOutcome::Sdc
-            } else if (rank as u64) < detections {
-                StrikeOutcome::Recovered
-            } else {
-                StrikeOutcome::PostCompletion
-            };
-            records.push(StrikeRecord {
-                run: i,
-                strike: k,
-                strike_cycle: f.strike_cycle,
-                detect_latency: f.detect_latency,
-                recovery_cycles: run.outcome.stats.recovery_cycles,
-                detections,
-                outcome,
-            });
-        }
-        report.metrics.merge(&run.metrics);
     }
+    report.runs = executed;
     {
         use turnpike_metrics::Counter;
         report
@@ -602,6 +850,105 @@ pub fn fault_campaign_hooked(
             .add(Counter::CampaignHangs, report.hangs as u64);
     }
     Ok((report, records, fork))
+}
+
+/// Fold one injected run's result into the campaign accumulators: fork
+/// accounting, aggregate report fields, and one [`StrikeRecord`] per
+/// strike. Pure per-run bookkeeping, called in ascending run order.
+#[allow(clippy::too_many_arguments)]
+fn fold_run(
+    i: usize,
+    run: (Option<RunResult>, Option<u64>),
+    golden: &RunResult,
+    config: &CampaignConfig,
+    spec: &RunSpec,
+    horizon: u64,
+    report: &mut CampaignReport,
+    fork: &mut ForkStats,
+    records: &mut Vec<StrikeRecord>,
+) {
+    let (run, forked_at) = run;
+    match forked_at {
+        Some(cycle) => {
+            fork.hits += 1;
+            fork.prefix_cycles_saved += cycle;
+        }
+        None => fork.misses += 1,
+    }
+    let Some(run) = run else {
+        // Watchdog abort: the run hung. Every strike of the run is
+        // classified as a hang; there is no final state to audit.
+        report.hangs += 1;
+        let plan = plan_for_run(config, spec, i, horizon);
+        for (k, f) in plan.faults().iter().enumerate() {
+            records.push(StrikeRecord {
+                run: i,
+                strike: k,
+                strike_cycle: f.strike_cycle,
+                detect_latency: f.detect_latency,
+                recovery_cycles: 0,
+                detections: 0,
+                outcome: StrikeOutcome::Hang,
+            });
+        }
+        return;
+    };
+    if let Some(saved) = run.outcome.replay_saved {
+        fork.replay_exits += 1;
+        fork.replay_cycles_saved += saved;
+    }
+    report.recoveries += run.outcome.stats.recoveries;
+    report.detections += run.outcome.stats.detections;
+    report.parity_detections += run.outcome.stats.parity_detections;
+    report.sensor_detections += run.outcome.stats.sensor_detections;
+    // An early-exited run proved its final state equals the golden
+    // run's (that is what the convergence check establishes), so its
+    // empty memory maps must not be mistaken for a wiped memory.
+    let sdc = run.outcome.replay_saved.is_none()
+        && (run.outcome.ret != golden.outcome.ret || run.outcome.memory != golden.outcome.memory);
+    if sdc {
+        report.sdc += 1;
+    }
+    // Strikes that outnumber detections landed at or past program
+    // completion and had no architectural effect — unless the run ended
+    // in SDC, where the undetected strikes are precisely the corruption
+    // (a strike in an unprotected region lands in-run with nothing
+    // watching). Counted per strike, not per run: a 3-strike run with
+    // one in-run strike contributes 2.
+    if !sdc {
+        report.post_completion += config
+            .strikes_per_run
+            .saturating_sub(run.outcome.stats.detections as usize);
+    }
+    // Re-derive the run's plan (a pure function of seed and index) and
+    // classify each strike. In a clean run the earliest `detections`
+    // strikes by cycle are the ones that landed in-run and the rest hit
+    // after completion; an SDC verdict is attributed to every strike of
+    // the run, since nothing observed which one corrupted the state.
+    let plan = plan_for_run(config, spec, i, horizon);
+    let mut order: Vec<usize> = (0..plan.faults().len()).collect();
+    order.sort_by_key(|&k| plan.faults()[k].strike_cycle);
+    let detections = run.outcome.stats.detections;
+    for (rank, &k) in order.iter().enumerate() {
+        let f = &plan.faults()[k];
+        let outcome = if sdc {
+            StrikeOutcome::Sdc
+        } else if (rank as u64) < detections {
+            StrikeOutcome::Recovered
+        } else {
+            StrikeOutcome::PostCompletion
+        };
+        records.push(StrikeRecord {
+            run: i,
+            strike: k,
+            strike_cycle: f.strike_cycle,
+            detect_latency: f.detect_latency,
+            recovery_cycles: run.outcome.stats.recovery_cycles,
+            detections,
+            outcome,
+        });
+    }
+    report.metrics.merge(&run.metrics);
 }
 
 #[cfg(test)]
@@ -840,6 +1187,7 @@ mod tests {
         let hook = CampaignHook {
             cancel: None,
             on_run: Some(&on_run),
+            ..CampaignHook::default()
         };
         let hooked = fault_campaign_hooked(&p, &spec, &cfg, 2, hook).unwrap();
         assert_eq!(plain, hooked, "hooks must not change the report");
@@ -860,10 +1208,156 @@ mod tests {
         let hook = CampaignHook {
             cancel: Some(&cancel),
             on_run: None,
+            ..CampaignHook::default()
         };
         let err = fault_campaign_hooked(&p, &RunSpec::new(Scheme::Turnpike), &cfg, 1, hook)
             .expect_err("pre-raised cancel flag");
         assert_eq!(err, RunError::Canceled);
+    }
+
+    #[test]
+    fn ci_width_stop_rule_stops_early_with_tight_ci() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let cfg = CampaignConfig {
+            seed: 21,
+            strikes_per_run: 1,
+            stop: StopRule::CiWidth {
+                half_width: 0.06,
+                cap: 64,
+            },
+            ..Default::default()
+        };
+        let report = fault_campaign_par(&p, &spec, &cfg, 2).unwrap();
+        // Turnpike is SDC-free, so the Wilson interval on 0/n tightens
+        // past 0.06 at the second chunk boundary — well before the cap.
+        assert_eq!(report.runs, 2 * STOP_CHUNK, "{report:?}");
+        assert!(report.sdc_free());
+        let est =
+            turnpike_metrics::RateEstimator::from_counts(report.sdc as u64, report.runs as u64);
+        assert!(est.half_width() <= 0.06, "{}", est.half_width());
+        // The executed-run set is a function of the config alone: any
+        // thread count stops at the same boundary with the same report.
+        for threads in [1, 4] {
+            let again = fault_campaign_par(&p, &spec, &cfg, threads).unwrap();
+            assert_eq!(report, again, "threads={threads}");
+        }
+        // The campaign counters reflect the runs actually executed.
+        use turnpike_metrics::Counter;
+        assert_eq!(
+            report.metrics.counter(Counter::CampaignRuns),
+            report.runs as u64
+        );
+        // A hopeless half-width exhausts the cap instead of stopping.
+        let capped = CampaignConfig {
+            stop: StopRule::CiWidth {
+                half_width: 1e-6,
+                cap: 8,
+            },
+            ..cfg
+        };
+        let report = fault_campaign_par(&p, &spec, &capped, 2).unwrap();
+        assert_eq!(report.runs, 8);
+    }
+
+    #[test]
+    fn progress_snapshots_reconcile_and_never_change_the_report() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 6,
+            seed: 11,
+            strikes_per_run: 1,
+            ..Default::default()
+        };
+        let spec = RunSpec::new(Scheme::Turnpike);
+        let plain = fault_campaign_forked(&p, &spec, &cfg, 2).unwrap();
+        let snapshots: Mutex<Vec<CampaignProgress>> = Mutex::new(Vec::new());
+        let on_progress = |s: &CampaignProgress| {
+            snapshots.lock().unwrap().push(*s);
+        };
+        let hook = CampaignHook {
+            on_progress: Some(&on_progress),
+            progress_every: 2,
+            ..CampaignHook::default()
+        };
+        let hooked = fault_campaign_hooked(&p, &spec, &cfg, 2, hook).unwrap();
+        assert_eq!(
+            plain, hooked,
+            "progress snapshots must not change the report"
+        );
+        let snapshots = snapshots.into_inner().unwrap();
+        assert!(!snapshots.is_empty());
+        // The final snapshot is exact: it fires after every run's outcome
+        // has been tallied, so the counts reconcile with the report.
+        let last = snapshots.last().unwrap();
+        assert_eq!(last.done, 6);
+        assert_eq!(last.total, 6);
+        assert_eq!(
+            last.recovered + last.post_completion + last.sdc + last.hangs,
+            6
+        );
+        let report = &hooked.0;
+        assert_eq!(last.sdc, report.sdc);
+        assert_eq!(last.hangs, report.hangs);
+        assert_eq!(last.detections, report.detections);
+        assert_eq!(last.sdc_rate.trials(), 6);
+        assert_eq!(last.sdc_rate.successes(), report.sdc as u64);
+        let (lo, hi) = last.sdc_rate.wilson_bounds();
+        assert!(lo <= last.sdc_rate.rate() && last.sdc_rate.rate() <= hi);
+        // Deliveries are strictly monotone in `done`: a staler snapshot
+        // losing the race to the lock is dropped, never delivered late.
+        for w in snapshots.windows(2) {
+            assert!(w[0].done < w[1].done, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn capped_record_stream_is_bounded_documented_and_deterministic() {
+        let p = kernel(Suite::Cpu2006, "bwaves");
+        let cfg = CampaignConfig {
+            runs: 6,
+            seed: 11,
+            strikes_per_run: 2,
+            ..Default::default()
+        };
+        let (_, records) =
+            fault_campaign_records(&p, &RunSpec::new(Scheme::Turnpike), &cfg, 1).unwrap();
+        assert_eq!(records.len(), 12);
+        // Uncapped via the capped entry point is byte-identical to the
+        // plain writer — no header, no sampling.
+        let mut plain = Vec::new();
+        write_strike_records(&records, &mut plain).unwrap();
+        let mut uncapped = Vec::new();
+        write_strike_records_capped(&records, None, 0, &mut uncapped).unwrap();
+        assert_eq!(plain, uncapped);
+        // Capped output: one header line documenting the sampling, then
+        // `cap` records in original order, reproducible for a seed.
+        let mut capped = Vec::new();
+        write_strike_records_capped(&records, Some(5), 99, &mut capped).unwrap();
+        let text = String::from_utf8(capped.clone()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(
+            lines[0],
+            "{\"header\":\"strike_records\",\"sampling\":\"reservoir\",\"total\":12,\
+             \"written\":5,\"cap\":5,\"seed\":99}"
+        );
+        let full: Vec<String> = records.iter().map(|r| r.to_json()).collect();
+        let mut last_pos = 0;
+        for line in &lines[1..] {
+            let pos = full.iter().position(|l| l == line).expect("sampled record");
+            assert!(pos >= last_pos, "sampled records keep original order");
+            last_pos = pos;
+        }
+        let mut again = Vec::new();
+        write_strike_records_capped(&records, Some(5), 99, &mut again).unwrap();
+        assert_eq!(capped, again);
+        // A cap at or above the population writes everything.
+        let mut all = Vec::new();
+        write_strike_records_capped(&records, Some(64), 99, &mut all).unwrap();
+        let all = String::from_utf8(all).unwrap();
+        assert_eq!(all.lines().count(), 13);
+        assert!(all.contains("\"written\":12,\"cap\":64"));
     }
 
     #[test]

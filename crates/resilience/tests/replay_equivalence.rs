@@ -17,6 +17,7 @@ fn config(early_exit: bool) -> CampaignConfig {
         seed: 0x51AB,
         strikes_per_run: 1,
         early_exit,
+        ..Default::default()
     }
 }
 
@@ -80,6 +81,7 @@ fn early_exit_equivalence_holds_with_multiple_strikes_per_run() {
         seed: 9,
         strikes_per_run: 2,
         early_exit,
+        ..Default::default()
     };
     let (on_report, on_records, on_stats) =
         fault_campaign_forked(&program, &spec, &cfg(true), 2).unwrap();
@@ -109,6 +111,7 @@ fn early_exit_needs_snapshots() {
             seed: 3,
             strikes_per_run: 1,
             early_exit: true,
+            ..Default::default()
         },
         2,
     )

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 use turnpike_metrics::Histogram;
 
 use crate::json::Json;
-use crate::proto::JobRequest;
+use crate::proto::{JobRequest, ProgressStats};
 
 /// Terminal disposition of one submitted job.
 #[derive(Debug, Clone, PartialEq)]
@@ -113,6 +113,23 @@ impl Client {
         req: &JobRequest,
         mut on_progress: impl FnMut(u64, u64),
     ) -> std::io::Result<Outcome> {
+        self.submit_streaming(req, |done, total, _| on_progress(done, total))
+    }
+
+    /// Submit a job and block until its terminal event, invoking
+    /// `on_progress(done, total, stats)` for each progress line. `stats`
+    /// is `Some` when the server attached the streaming-estimator payload
+    /// (older servers and early progress lines send none), decoded
+    /// all-or-nothing so a torn payload reads as absent, never as garbage.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations (unparseable event lines).
+    pub fn submit_streaming(
+        &mut self,
+        req: &JobRequest,
+        mut on_progress: impl FnMut(u64, u64, Option<&ProgressStats>),
+    ) -> std::io::Result<Outcome> {
         let bad = |msg: String| std::io::Error::new(std::io::ErrorKind::InvalidData, msg);
         self.send_line(&req.to_line())?;
         loop {
@@ -128,7 +145,8 @@ impl Client {
                 "progress" => {
                     let done = v.get("done").and_then(Json::as_u64).unwrap_or(0);
                     let total = v.get("total").and_then(Json::as_u64).unwrap_or(0);
-                    on_progress(done, total);
+                    let stats = ProgressStats::from_json(&v);
+                    on_progress(done, total, stats.as_ref());
                 }
                 "done" => {
                     let store = v
@@ -187,6 +205,31 @@ impl Client {
                     format!("unexpected stats reply: {line}"),
                 )
             })
+    }
+
+    /// Fetch Prometheus-style text exposition of the server's live metric
+    /// registry (decoded from its single-line JSON envelope).
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and protocol violations.
+    pub fn metrics(&mut self) -> std::io::Result<String> {
+        self.send_line("{\"type\":\"metrics\"}")?;
+        let line = self.read_line()?;
+        let bad = || {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("unexpected metrics reply: {line}"),
+            )
+        };
+        let v = Json::parse(&line).map_err(|_| bad())?;
+        if v.get("event").and_then(Json::as_str) != Some("metrics") {
+            return Err(bad());
+        }
+        v.get("body")
+            .and_then(Json::as_str)
+            .map(ToString::to_string)
+            .ok_or_else(bad)
     }
 
     /// Ask the server to shut down gracefully (drain, then exit).
@@ -264,7 +307,7 @@ impl LoadgenReport {
             "{{\"jobs\":{},\"completed\":{},\"errors\":{},\"overloaded\":{},\"lost\":{},\
              \"duplicated\":{},\"wall_us\":{},\"throughput_jobs_per_s\":{:.3},\
              \"latency_p50_us\":{},\"latency_p90_us\":{},\"latency_p99_us\":{},\
-             \"latency_max_us\":{},\"server\":{}}}",
+             \"latency_p999_us\":{},\"latency_max_us\":{},\"server\":{}}}",
             self.jobs,
             self.completed,
             self.errors,
@@ -276,6 +319,7 @@ impl LoadgenReport {
             self.latency.quantile(0.50).round() as u64,
             self.latency.quantile(0.90).round() as u64,
             self.latency.quantile(0.99).round() as u64,
+            self.latency.quantile(0.999).round() as u64,
             self.latency.max(),
             self.server_stats,
         )

@@ -19,6 +19,11 @@
 //! - a **persistent content-addressed artifact store** ([`store`]) with a
 //!   versioned on-disk format and corrupt-entry quarantine, shared between
 //!   the server and the direct CLI;
+//! - a **per-job flight recorder** ([`flight`]) — a drop-oldest ring of
+//!   lifecycle events dumped as JSONL evidence when a job fails, hits its
+//!   deadline, or trips the store's quarantine;
+//! - a **`metrics` admin request** returning Prometheus-style text
+//!   exposition of the live registry with a stable line order;
 //! - **graceful shutdown** that drains queued and in-flight jobs;
 //! - a [`Client`] and [`loadgen`] harness measuring throughput and
 //!   latency percentiles into `turnpike-metrics` histograms.
@@ -29,6 +34,7 @@
 //! report into.
 
 pub mod client;
+pub mod flight;
 pub mod json;
 pub mod proto;
 pub mod queue;
@@ -36,8 +42,9 @@ pub mod server;
 pub mod store;
 
 pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, Outcome};
+pub use flight::{FlightEvent, FlightRecorder, FLIGHT_CAP};
 pub use json::Json;
-pub use proto::{Event, JobKind, JobRequest, Request, StoreStatus};
+pub use proto::{Event, JobKind, JobRequest, ProgressStats, Request, StoreStatus};
 pub use queue::{JobQueue, PushError};
 pub use server::{ExecOutput, Executor, JobCtl, Server, ServerConfig};
 pub use store::{Lookup, Store};

@@ -182,6 +182,8 @@ pub enum Request {
     Job(JobRequest),
     /// Ask for a metrics/queue snapshot.
     Stats,
+    /// Ask for a Prometheus-style text exposition of the live registry.
+    Metrics,
     /// Begin graceful shutdown: drain in-flight jobs, then exit.
     Shutdown,
 }
@@ -200,11 +202,12 @@ impl Request {
             .ok_or_else(|| "request needs a string 'type' field".to_string())?;
         match kind {
             "stats" => Ok(Request::Stats),
+            "metrics" => Ok(Request::Metrics),
             "shutdown" => Ok(Request::Shutdown),
             other => match JobKind::parse(other) {
                 Some(k) => Ok(Request::Job(JobRequest::from_json(k, &v)?)),
                 None => Err(format!(
-                    "unknown request type '{other}' (expected compile|run|campaign|figure|stats|shutdown)"
+                    "unknown request type '{other}' (expected compile|run|campaign|figure|stats|metrics|shutdown)"
                 )),
             },
         }
@@ -233,6 +236,111 @@ impl StoreStatus {
     }
 }
 
+/// The campaign estimator payload carried by enriched `progress` events:
+/// exact outcome counts over the completed runs, SDC/detection rates with
+/// 95% Wilson confidence bounds, and windowed throughput/ETA.
+///
+/// All fields are optional on the wire as a unit — a `progress` line
+/// either carries the full payload (new servers running campaign jobs) or
+/// none of it (old servers, or job kinds without estimators). Old clients
+/// ignore the extra keys; new clients parse a bare line as `stats: None`.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ProgressStats {
+    /// Runs that detected and recovered every in-run strike.
+    pub recovered: u64,
+    /// Runs whose strikes all landed at or past completion.
+    pub post_completion: u64,
+    /// Runs with silent data corruption.
+    pub sdc: u64,
+    /// Runs aborted by the campaign watchdog.
+    pub hangs: u64,
+    /// Total detections across completed runs.
+    pub detections: u64,
+    /// Per-run SDC rate point estimate.
+    pub sdc_rate: f64,
+    /// Lower 95% Wilson bound on the SDC rate.
+    pub sdc_ci_lo: f64,
+    /// Upper 95% Wilson bound on the SDC rate.
+    pub sdc_ci_hi: f64,
+    /// Per-run detection (recovery) rate point estimate.
+    pub det_rate: f64,
+    /// Lower 95% Wilson bound on the detection rate.
+    pub det_ci_lo: f64,
+    /// Upper 95% Wilson bound on the detection rate.
+    pub det_ci_hi: f64,
+    /// Injected strikes per second, windowed.
+    pub strikes_per_sec: f64,
+    /// Host nanoseconds per simulated instruction, windowed.
+    pub ns_per_inst: f64,
+    /// Estimated milliseconds to completion; 0 = unknown.
+    pub eta_ms: u64,
+    /// Milliseconds since the campaign started.
+    pub elapsed_ms: u64,
+}
+
+/// Format an `f64` like the [`crate::json`] writer: integral values as
+/// integers, others via the shortest decimal form that round-trips.
+fn fmt_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl ProgressStats {
+    /// Render the payload's key/value pairs (leading comma included), in
+    /// the fixed wire order.
+    fn to_fields(self) -> String {
+        format!(
+            ",\"recovered\":{},\"post_completion\":{},\"sdc\":{},\"hangs\":{},\
+             \"detections\":{},\"sdc_rate\":{},\"sdc_ci_lo\":{},\"sdc_ci_hi\":{},\
+             \"det_rate\":{},\"det_ci_lo\":{},\"det_ci_hi\":{},\"strikes_per_sec\":{},\
+             \"ns_per_inst\":{},\"eta_ms\":{},\"elapsed_ms\":{}",
+            self.recovered,
+            self.post_completion,
+            self.sdc,
+            self.hangs,
+            self.detections,
+            fmt_f64(self.sdc_rate),
+            fmt_f64(self.sdc_ci_lo),
+            fmt_f64(self.sdc_ci_hi),
+            fmt_f64(self.det_rate),
+            fmt_f64(self.det_ci_lo),
+            fmt_f64(self.det_ci_hi),
+            fmt_f64(self.strikes_per_sec),
+            fmt_f64(self.ns_per_inst),
+            self.eta_ms,
+            self.elapsed_ms,
+        )
+    }
+
+    /// Extract the payload from a parsed `progress` object; `None` when
+    /// the line predates the estimator payload (older servers). Unknown
+    /// extra fields are ignored, so newer servers stay readable.
+    pub fn from_json(v: &Json) -> Option<ProgressStats> {
+        let u = |key: &str| v.get(key).and_then(Json::as_u64);
+        let f = |key: &str| v.get(key).and_then(Json::as_f64);
+        Some(ProgressStats {
+            recovered: u("recovered")?,
+            post_completion: u("post_completion")?,
+            sdc: u("sdc")?,
+            hangs: u("hangs")?,
+            detections: u("detections")?,
+            sdc_rate: f("sdc_rate")?,
+            sdc_ci_lo: f("sdc_ci_lo")?,
+            sdc_ci_hi: f("sdc_ci_hi")?,
+            det_rate: f("det_rate")?,
+            det_ci_lo: f("det_ci_lo")?,
+            det_ci_hi: f("det_ci_hi")?,
+            strikes_per_sec: f("strikes_per_sec")?,
+            ns_per_inst: f("ns_per_inst")?,
+            eta_ms: u("eta_ms")?,
+            elapsed_ms: u("elapsed_ms")?,
+        })
+    }
+}
+
 /// Server→client event lines. Each renders as one line via
 /// [`Event::to_line`].
 #[derive(Debug, Clone, PartialEq)]
@@ -258,7 +366,8 @@ pub enum Event {
         /// Echoed client tag (empty = none).
         tag: String,
     },
-    /// Periodic progress for long jobs (campaign runs completed so far).
+    /// Periodic progress for long jobs (campaign runs completed so far),
+    /// optionally enriched with the campaign estimator payload.
     Progress {
         /// Server-assigned job id.
         job: u64,
@@ -268,6 +377,8 @@ pub enum Event {
         done: u64,
         /// Total work units.
         total: u64,
+        /// Estimator payload; `None` renders the historical bare line.
+        stats: Option<ProgressStats>,
     },
     /// The job finished; `result` is the executor's payload (valid
     /// single-line JSON, embedded verbatim).
@@ -294,6 +405,13 @@ pub enum Event {
     /// single-line JSON object.
     Stats {
         /// Pre-rendered JSON object.
+        body: String,
+    },
+    /// Answer to a `metrics` request: the server's live registry as
+    /// Prometheus text exposition, carried as one JSON string (newlines
+    /// escaped on the wire).
+    Metrics {
+        /// Exposition text (multi-line, stable line order).
         body: String,
     },
 }
@@ -332,10 +450,14 @@ impl Event {
                 tag,
                 done,
                 total,
-            } => format!(
-                "{{\"event\":\"progress\",\"job\":{job}{},\"done\":{done},\"total\":{total}}}",
-                tag_field(tag)
-            ),
+                stats,
+            } => {
+                format!(
+                "{{\"event\":\"progress\",\"job\":{job}{},\"done\":{done},\"total\":{total}{}}}",
+                tag_field(tag),
+                stats.map(ProgressStats::to_fields).unwrap_or_default()
+            )
+            }
             Event::Done {
                 job,
                 tag,
@@ -352,6 +474,9 @@ impl Event {
                 escape(message)
             ),
             Event::Stats { body } => format!("{{\"event\":\"stats\",\"server\":{body}}}"),
+            Event::Metrics { body } => {
+                format!("{{\"event\":\"metrics\",\"body\":{}}}", escape(body))
+            }
         }
     }
 }
@@ -398,9 +523,89 @@ mod tests {
             Request::Stats
         );
         assert_eq!(
+            Request::parse("{\"type\":\"metrics\"}").unwrap(),
+            Request::Metrics
+        );
+        assert_eq!(
             Request::parse("{\"type\":\"shutdown\"}").unwrap(),
             Request::Shutdown
         );
+    }
+
+    #[test]
+    fn progress_event_round_trips_with_estimator_payload() {
+        let stats = ProgressStats {
+            recovered: 11,
+            post_completion: 3,
+            sdc: 0,
+            hangs: 1,
+            detections: 14,
+            sdc_rate: 0.0,
+            sdc_ci_lo: 0.0,
+            sdc_ci_hi: 0.204_047_656_259_748_5,
+            det_rate: 0.733_333_333_333_333_4,
+            det_ci_lo: 0.468_353_053_247_329_2,
+            det_ci_hi: 0.895_138_186_807_640_6,
+            strikes_per_sec: 812.5,
+            ns_per_inst: 143.071_6,
+            eta_ms: 1234,
+            elapsed_ms: 567,
+        };
+        let event = Event::Progress {
+            job: 9,
+            tag: "w3".into(),
+            done: 15,
+            total: 64,
+            stats: Some(stats),
+        };
+        let line = event.to_line();
+        assert!(!line.contains('\n'));
+        let v = Json::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Json::as_str), Some("progress"));
+        assert_eq!(v.get("done").and_then(Json::as_u64), Some(15));
+        assert_eq!(v.get("total").and_then(Json::as_u64), Some(64));
+        // The shortest-round-trip float encoding makes decode exact, not
+        // approximate: the parsed payload equals the original bit for bit.
+        let parsed = ProgressStats::from_json(&v).expect("payload present");
+        assert_eq!(parsed, stats);
+    }
+
+    #[test]
+    fn bare_progress_lines_and_unknown_fields_tolerated() {
+        // A line from a pre-estimator server: no payload, not an error.
+        let old = "{\"event\":\"progress\",\"job\":2,\"done\":1,\"total\":8}";
+        let v = Json::parse(old).unwrap();
+        assert_eq!(ProgressStats::from_json(&v), None);
+        assert_eq!(v.get("done").and_then(Json::as_u64), Some(1));
+        // A line from a *newer* server with fields this build never heard
+        // of: lookups are by key, so the known payload still decodes.
+        let newer = Event::Progress {
+            job: 2,
+            tag: String::new(),
+            done: 4,
+            total: 8,
+            stats: Some(ProgressStats {
+                recovered: 4,
+                det_rate: 1.0,
+                det_ci_lo: 0.51,
+                det_ci_hi: 1.0,
+                ..ProgressStats::default()
+            }),
+        }
+        .to_line();
+        let future = format!(
+            "{},\"flux_capacitance\":3.14,\"q\":[1,2]}}",
+            newer.strip_suffix('}').unwrap()
+        );
+        let v = Json::parse(&future).unwrap();
+        let parsed = ProgressStats::from_json(&v).expect("unknown fields are ignored");
+        assert_eq!(parsed.recovered, 4);
+        assert_eq!(parsed.det_ci_lo, 0.51);
+        // A half-present payload (field dropped mid-schema) degrades to
+        // None rather than a partially-zeroed struct.
+        let torn = newer.replace(",\"hangs\":0", "");
+        let parsed = ProgressStats::from_json(&Json::parse(&torn).unwrap());
+        assert_eq!(parsed, None);
     }
 
     #[test]
@@ -453,6 +658,10 @@ mod tests {
                 tag: String::new(),
                 done: 3,
                 total: 8,
+                stats: None,
+            },
+            Event::Metrics {
+                body: "# TYPE turnpike_campaign_runs counter\nturnpike_campaign_runs 4\n".into(),
             },
             Event::Error {
                 job: 0,

@@ -43,8 +43,9 @@ use std::time::{Duration, Instant};
 
 use turnpike_metrics::{Counter, Hist, MetricSet};
 
+use crate::flight::FlightRecorder;
 use crate::json::escape;
-use crate::proto::{Event, JobKind, JobRequest, Request, StoreStatus};
+use crate::proto::{Event, JobKind, JobRequest, ProgressStats, Request, StoreStatus};
 use crate::queue::{JobQueue, PushError};
 
 /// Tuning knobs for a [`Server`].
@@ -66,6 +67,10 @@ pub struct ServerConfig {
     /// If set, write a Chrome trace (one complete-event span per job)
     /// here at shutdown.
     pub trace_path: Option<PathBuf>,
+    /// If set, keep a per-job [`FlightRecorder`] and dump it here
+    /// (`job-<id>.jsonl`) when a job fails, deadlines out, or produces a
+    /// quarantined store entry. `None` disables flight recording entirely.
+    pub flight_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -77,6 +82,7 @@ impl Default for ServerConfig {
             job_timeout: Duration::from_secs(300),
             retry_after_ms: 50,
             trace_path: None,
+            flight_dir: None,
         }
     }
 }
@@ -139,6 +145,20 @@ impl JobCtl {
             tag: self.tag.clone(),
             done,
             total,
+            stats: None,
+        };
+        let _ = self.events.lock().unwrap().send(ev);
+    }
+
+    /// Stream a progress event enriched with the campaign estimator
+    /// payload. Dropped silently if the client is gone.
+    pub fn progress_stats(&self, done: u64, total: u64, stats: ProgressStats) {
+        let ev = Event::Progress {
+            job: self.job,
+            tag: self.tag.clone(),
+            done,
+            total,
+            stats: Some(stats),
         };
         let _ = self.events.lock().unwrap().send(ev);
     }
@@ -185,6 +205,7 @@ struct Inner {
     started: Instant,
     spans: Mutex<Vec<Span>>,
     conns: Mutex<Vec<JoinHandle<()>>>,
+    flights: Mutex<std::collections::HashMap<u64, FlightRecorder>>,
     addr: SocketAddr,
 }
 
@@ -216,6 +237,7 @@ impl Server {
             started: Instant::now(),
             spans: Mutex::new(Vec::new()),
             conns: Mutex::new(Vec::new()),
+            flights: Mutex::new(std::collections::HashMap::new()),
             addr,
         });
         let workers: Vec<_> = (0..inner.config.workers)
@@ -292,6 +314,47 @@ impl Inner {
         )
     }
 
+    /// Record one flight event for `job`. A no-op unless flight recording
+    /// is configured. Only `accept` — recorded *before* the job enters the
+    /// queue, so a worker can never outrun the recorder's creation —
+    /// creates a ring; events for jobs whose recorder was already closed
+    /// (a relay racing the worker's terminal bookkeeping) are dropped
+    /// rather than resurrecting it.
+    fn flight(&self, job: u64, kind: &'static str, detail: String) {
+        if self.config.flight_dir.is_none() {
+            return;
+        }
+        let t_us = self.started.elapsed().as_micros() as u64;
+        let mut map = self.flights.lock().unwrap();
+        match map.entry(job) {
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                e.get_mut().record(t_us, kind, detail);
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                if kind == "accept" {
+                    v.insert(FlightRecorder::new(job))
+                        .record(t_us, kind, detail);
+                }
+            }
+        }
+    }
+
+    /// Close `job`'s flight recorder, dumping the ring as JSONL evidence
+    /// when `dump` is set (failure, deadline cancel, or quarantine).
+    fn flight_close(&self, job: u64, dump: bool) {
+        let Some(dir) = &self.config.flight_dir else {
+            return;
+        };
+        let Some(rec) = self.flights.lock().unwrap().remove(&job) else {
+            return;
+        };
+        if dump {
+            if let Err(e) = rec.dump(dir) {
+                eprintln!("serve: failed to write flight record for job {job}: {e}");
+            }
+        }
+    }
+
     fn write_trace(&self) {
         let Some(path) = &self.config.trace_path else {
             return;
@@ -355,6 +418,14 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
     while let Some(job) = inner.queue.pop() {
         let queue_wait = job.enqueued.elapsed();
         let start = Instant::now();
+        inner.flight(
+            job.id,
+            "start",
+            format!(
+                "worker={worker_idx} queue_wait_us={}",
+                queue_wait.as_micros()
+            ),
+        );
         let ctl = JobCtl {
             job: job.id,
             tag: job.req.tag.clone(),
@@ -374,7 +445,7 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
             });
         let dur = start.elapsed();
         let canceled = job.cancel.load(Ordering::SeqCst);
-        let (terminal, store_name) = match outcome {
+        let (terminal, store_name, dump_flight) = match outcome {
             Ok(out) => {
                 let name = out.store.name();
                 let mut m = inner.metrics.lock().unwrap();
@@ -386,6 +457,21 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
                 }
                 m.add(Counter::ServeStoreQuarantined, out.quarantined);
                 drop(m);
+                // A quarantined store entry is evidence-worthy even though
+                // the job itself succeeded: the dump records what the job
+                // saw when it hit the corrupt artifact.
+                if out.quarantined > 0 {
+                    inner.flight(
+                        job.id,
+                        "quarantine",
+                        format!("quarantined={}", out.quarantined),
+                    );
+                }
+                inner.flight(
+                    job.id,
+                    "done",
+                    format!("store={name} dur_us={}", dur.as_micros()),
+                );
                 (
                     Event::Done {
                         job: job.id,
@@ -394,6 +480,7 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
                         result: out.result,
                     },
                     name,
+                    out.quarantined > 0,
                 )
             }
             Err(message) => {
@@ -404,6 +491,11 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
                     Counter::ServeFailed
                 });
                 drop(m);
+                inner.flight(
+                    job.id,
+                    if canceled { "cancel" } else { "fail" },
+                    message.clone(),
+                );
                 (
                     Event::Error {
                         job: job.id,
@@ -411,9 +503,11 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
                         message,
                     },
                     "off",
+                    true,
                 )
             }
         };
+        inner.flight_close(job.id, dump_flight);
         {
             let mut m = inner.metrics.lock().unwrap();
             m.record_hist(Hist::ServeQueueMicros, queue_wait.as_micros() as u64);
@@ -497,6 +591,10 @@ fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
                 }
                 .to_line(),
             ),
+            Ok(Request::Metrics) => {
+                let body = turnpike_metrics::prometheus_text(&inner.metrics.lock().unwrap());
+                write_line(&mut stream, &Event::Metrics { body }.to_line());
+            }
             Ok(Request::Shutdown) => {
                 inner.trigger_shutdown();
                 write_line(
@@ -526,9 +624,19 @@ fn handle_job(inner: &Arc<Inner>, stream: &mut TcpStream, req: JobRequest) {
         cancel: Arc::clone(&cancel),
         enqueued: Instant::now(),
     };
+    // The recorder must exist before the job is in the queue: a worker can
+    // pop and even finish the job before this thread runs another line. A
+    // rejected job's ring is closed without dumping, so recording `accept`
+    // ahead of the push never leaks evidence for a job that never ran.
+    inner.flight(
+        id,
+        "accept",
+        format!("tag={tag} kind={}", job.req.kind.name()),
+    );
     match inner.queue.try_push(job) {
         Err(PushError::Full(_)) => {
             inner.metrics.lock().unwrap().inc(Counter::ServeRejected);
+            inner.flight_close(id, false);
             write_line(
                 stream,
                 &Event::Overloaded {
@@ -539,6 +647,7 @@ fn handle_job(inner: &Arc<Inner>, stream: &mut TcpStream, req: JobRequest) {
             );
         }
         Err(PushError::Closed) => {
+            inner.flight_close(id, false);
             write_line(stream, &Event::ShuttingDown { tag }.to_line());
         }
         Ok(depth) => {
@@ -547,6 +656,7 @@ fn handle_job(inner: &Arc<Inner>, stream: &mut TcpStream, req: JobRequest) {
                 m.inc(Counter::ServeAccepted);
                 m.record_peak(Counter::ServeQueuePeak, depth as u64);
             }
+            inner.flight(id, "queue", format!("queue_depth={depth}"));
             write_line(
                 stream,
                 &Event::Accepted {
@@ -582,14 +692,28 @@ fn forward_events(
         match next {
             Ok(ev) => {
                 let terminal = matches!(ev, Event::Done { .. } | Event::Error { .. });
+                if let Event::Progress { done, total, .. } = &ev {
+                    // Recorded at relay time: a progress event the client
+                    // never saw (terminal raced it) is also absent from the
+                    // flight record, which is the truthful ordering.
+                    inner.flight(job, "progress", format!("done={done} total={total}"));
+                }
                 write_line(stream, &ev.to_line());
                 if terminal {
                     return;
                 }
             }
             Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Deadline passed: ask the job to stop, keep draining.
-                cancel.store(true, Ordering::SeqCst);
+                // Deadline passed: ask the job to stop, keep draining. The
+                // swap guard records the deadline exactly once even though
+                // the timeout branch can fire on every subsequent recv.
+                if !cancel.swap(true, Ordering::SeqCst) {
+                    inner.flight(
+                        job,
+                        "deadline",
+                        "job timeout elapsed; cancel requested".to_string(),
+                    );
+                }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
                 write_line(
