@@ -6,7 +6,9 @@
 //! reproduce serve [--addr A] [--workers N] [--queue N] [--store DIR] [--flight-dir DIR] ...
 //! reproduce submit [--addr A | --direct] [--progress] [--kind K] [job fields] ...
 //! reproduce loadgen [--addr A] [--clients N] [--jobs N] [job fields] ...
-//! reproduce watch [--addr A] [--interval-ms N] [--once]
+//! reproduce coordinate --workers A,B,... [--shards N] [--progress] [job fields]
+//! reproduce fleet-bench [--runs N] [--shards N] [--jobs N] [--rate R]
+//! reproduce watch [--addr A | --workers A,B,...] [--interval-ms N] [--once]
 //! reproduce telemetry [--smoke] [--runs N] [--seed N] [--stop-ci W]
 //!                     [--records FILE [--max-records N]]
 //! reproduce sim-throughput [--smoke] [--reps N]
@@ -83,13 +85,15 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use turnpike_bench::{
-    export_trace, fault_probe_metrics, find_kernel, hist_summary_json, json_string, target_by_name,
-    write_block, Engine, EngineExecutor, Table, Target, TraceFormat, TARGETS,
+    coordinate, export_trace, fault_probe_metrics, find_kernel, hist_summary_json, json_string,
+    target_by_name, write_block, CoordinateConfig, Engine, EngineExecutor, Table, Target,
+    TraceFormat, TARGETS,
 };
 use turnpike_metrics::{Hist, MetricSet};
 use turnpike_resilience::{par_map, RunSpec, Scheme};
 use turnpike_serve::{
-    loadgen, Client, JobKind, JobRequest, LoadgenConfig, Outcome, Server, ServerConfig, Store,
+    loadgen, loadgen_fleet, Arrival, Client, FleetLoadgenConfig, JobKind, JobRequest,
+    LoadgenConfig, Outcome, Server, ServerConfig, Store,
 };
 use turnpike_sim::{Core, Translation};
 use turnpike_workloads::{all_kernels, Scale, Suite};
@@ -118,14 +122,18 @@ fn usage() -> ExitCode {
         "usage: reproduce <target> [--smoke] [--json] [--threads N] [--no-cache]\n\
          \x20      reproduce trace <kernel> [--scheme S] [--smoke] [--format chrome|jsonl] [--out FILE]\n\
          \x20      reproduce serve [--addr A] [--workers N] [--queue N] [--timeout-secs N]\n\
-         \x20                      [--store DIR] [--flight-dir DIR] [--threads N] [--trace-out FILE]\n\
+         \x20                      [--store DIR [--store-cap BYTES]] [--flight-dir DIR]\n\
+         \x20                      [--threads N] [--trace-out FILE]\n\
          \x20      reproduce submit [--addr A | --direct [--store DIR] [--threads N]] [--progress]\n\
          \x20                       [--kind K] [--kernel K] [--scheme S] [--scale smoke|full]\n\
          \x20                       [--sb N] [--wcdl N] [--runs N] [--seed N] [--strikes N]\n\
          \x20                       [--target T] [--tag T]\n\
          \x20      reproduce submit [--addr A] --stats|--shutdown\n\
          \x20      reproduce loadgen [--addr A] [--clients N] [--jobs N] [--max-retries N] [job fields]\n\
-         \x20      reproduce watch [--addr A] [--interval-ms N] [--once]\n\
+         \x20      reproduce coordinate --workers A,B,... [--shards N] [--max-retries N]\n\
+         \x20                           [--progress] [job fields]\n\
+         \x20      reproduce fleet-bench [--runs N] [--shards N] [--jobs N] [--rate R] [--seed N]\n\
+         \x20      reproduce watch [--addr A | --workers A,B,...] [--interval-ms N] [--once]\n\
          \x20      reproduce telemetry [--smoke] [--kernel K] [--runs N] [--seed N] [--threads N]\n\
          \x20                          [--stop-ci W] [--records FILE [--max-records N]]\n\
          \x20      reproduce sim-throughput [--smoke] [--reps N]\n\
@@ -283,11 +291,30 @@ fn job_flag(req: &mut JobRequest, flag: &str, value: Option<&String>) -> Result<
     Ok(true)
 }
 
+/// Parse a byte budget: a plain integer, optionally suffixed `k`/`m`/`g`
+/// (binary multiples, case-insensitive).
+fn parse_bytes(v: &str) -> Option<u64> {
+    let (digits, unit) = match v.char_indices().last()? {
+        (i, c) if c.is_ascii_alphabetic() => (&v[..i], c.to_ascii_lowercase()),
+        _ => (v, ' '),
+    };
+    let n: u64 = digits.parse().ok()?;
+    let shift = match unit {
+        ' ' => 0,
+        'k' => 10,
+        'm' => 20,
+        'g' => 30,
+        _ => return None,
+    };
+    n.checked_shl(shift)
+}
+
 /// `reproduce serve` — run the job server until a client sends `shutdown`.
 fn serve_main(args: &[String]) -> ExitCode {
     let mut config = ServerConfig::default();
     let mut threads = default_threads();
     let mut store: Option<String> = None;
+    let mut store_cap: Option<u64> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -320,6 +347,16 @@ fn serve_main(args: &[String]) -> ExitCode {
                 Some(v) => store = Some(v.clone()),
                 None => return usage(),
             },
+            "--store-cap" => match it.next().and_then(|v| parse_bytes(v)) {
+                Some(n) if n >= 1 => store_cap = Some(n),
+                _ => {
+                    eprintln!(
+                        "reproduce serve: --store-cap takes a byte budget \
+                         (plain bytes or k/m/g suffix), e.g. 256m"
+                    );
+                    return ExitCode::from(2);
+                }
+            },
             "--flight-dir" => match it.next() {
                 Some(v) => config.flight_dir = Some(v.into()),
                 None => return usage(),
@@ -335,9 +372,16 @@ fn serve_main(args: &[String]) -> ExitCode {
             _ => return usage(),
         }
     }
+    if store_cap.is_some() && store.is_none() {
+        eprintln!("reproduce serve: --store-cap requires --store DIR");
+        return ExitCode::from(2);
+    }
     let mut executor = EngineExecutor::new(Engine::new(threads));
     if let Some(dir) = &store {
         executor = executor.with_store(Store::open(dir));
+    }
+    if let Some(cap) = store_cap {
+        executor = executor.with_store_cap(cap);
     }
     let server = match Server::start(config.clone(), std::sync::Arc::new(executor)) {
         Ok(s) => s,
@@ -357,7 +401,11 @@ fn serve_main(args: &[String]) -> ExitCode {
         config.queue_capacity,
         config.job_timeout.as_secs(),
         threads,
-        store.as_deref().unwrap_or("off"),
+        match (&store, store_cap) {
+            (Some(dir), Some(cap)) => format!("{dir} (cap {cap} bytes)"),
+            (Some(dir), None) => dir.clone(),
+            (None, _) => "off".to_string(),
+        },
         config
             .flight_dir
             .as_deref()
@@ -625,6 +673,7 @@ fn loadgen_main(args: &[String]) -> ExitCode {
 /// compact health summary per tick (see `watch.rs` for the renderer).
 fn watch_main(args: &[String]) -> ExitCode {
     let mut addr = DEFAULT_ADDR.to_string();
+    let mut workers: Option<String> = None;
     let mut interval_ms = 1000u64;
     let mut once = false;
     let mut it = args.iter();
@@ -632,6 +681,10 @@ fn watch_main(args: &[String]) -> ExitCode {
         match a.as_str() {
             "--addr" => match it.next() {
                 Some(v) => addr = v.clone(),
+                None => return usage(),
+            },
+            "--workers" => match it.next() {
+                Some(v) => workers = Some(v.clone()),
                 None => return usage(),
             },
             "--interval-ms" => match it.next().and_then(|v| v.parse().ok()) {
@@ -643,6 +696,29 @@ fn watch_main(args: &[String]) -> ExitCode {
             },
             "--once" => once = true,
             _ => return usage(),
+        }
+    }
+    // Fleet mode: one aggregated view over every worker per tick. A dead
+    // worker is rendered as unreachable instead of failing the watch —
+    // seeing the hole in the fleet is exactly what the operator wants.
+    if let Some(list) = &workers {
+        let addrs: Vec<String> = list.split(',').map(str::to_string).collect();
+        loop {
+            let snapshot: Vec<(String, Result<String, String>)> = addrs
+                .iter()
+                .map(|a| {
+                    let stats = Client::connect(a)
+                        .and_then(|mut c| c.stats())
+                        .map_err(|e| e.to_string());
+                    (a.clone(), stats)
+                })
+                .collect();
+            print!("{}", turnpike_bench::render_fleet_watch(&snapshot));
+            if once {
+                return ExitCode::SUCCESS;
+            }
+            println!("---");
+            std::thread::sleep(Duration::from_millis(interval_ms));
         }
     }
     loop {
@@ -664,6 +740,325 @@ fn watch_main(args: &[String]) -> ExitCode {
         println!("---");
         std::thread::sleep(Duration::from_millis(interval_ms));
     }
+}
+
+/// `reproduce coordinate` — shard one campaign by run-index range across
+/// a fleet of `reproduce serve` workers and print the merged payload,
+/// byte-identical to running the same campaign in a single process. A
+/// worker that dies mid-campaign has its shard re-dispatched to the
+/// survivors; only a fleet-wide failure (or a deterministic job error)
+/// fails the coordination.
+fn coordinate_main(args: &[String]) -> ExitCode {
+    let mut workers_arg: Option<String> = None;
+    let mut cfg = CoordinateConfig::default();
+    let mut progress = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let flag = a.as_str();
+        match flag {
+            "--workers" => match it.next() {
+                Some(v) => workers_arg = Some(v.clone()),
+                None => return usage(),
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => cfg.shards = n,
+                _ => {
+                    eprintln!("reproduce coordinate: --shards must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-retries" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.max_retries = n,
+                None => {
+                    eprintln!("reproduce coordinate: --max-retries must be an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--progress" => progress = true,
+            _ => {
+                let value = if flag.starts_with("--") {
+                    it.clone().next()
+                } else {
+                    None
+                };
+                match job_flag(&mut cfg.request, flag, value) {
+                    Ok(true) => {
+                        it.next();
+                    }
+                    Ok(false) => return usage(),
+                    Err(e) => {
+                        eprintln!("reproduce coordinate: {e}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+        }
+    }
+    let Some(workers_arg) = workers_arg else {
+        eprintln!("reproduce coordinate: --workers host:port[,host:port...] is required");
+        return ExitCode::from(2);
+    };
+    let mut workers = Vec::new();
+    for part in workers_arg.split(',') {
+        match std::net::ToSocketAddrs::to_socket_addrs(&part)
+            .ok()
+            .and_then(|mut a| a.next())
+        {
+            Some(a) => workers.push(a),
+            None => {
+                eprintln!("reproduce coordinate: bad worker address '{part}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    // Live progress only on a TTY: worker threads report concurrently and
+    // a log file full of interleaved bar rewrites helps nobody.
+    let tty = std::io::IsTerminal::is_terminal(&std::io::stderr());
+    let on_progress = move |done: u64, total: u64| {
+        if tty {
+            eprint!(
+                "\r\x1b[2K{}",
+                turnpike_bench::progress_line(done, total, None)
+            );
+        }
+    };
+    let hook: Option<&(dyn Fn(u64, u64) + Sync)> = if progress { Some(&on_progress) } else { None };
+    let report = match coordinate(&workers, &cfg, hook) {
+        Ok(r) => r,
+        Err(e) => {
+            if progress && tty {
+                eprintln!();
+            }
+            eprintln!("reproduce coordinate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if progress && tty {
+        eprintln!();
+    }
+    // Stdout carries only the merged payload so scripts can byte-diff it
+    // against `submit --direct` output.
+    println!("{}", report.payload);
+    eprintln!(
+        "# coordinate: {} workers, {} shards ({} reassigned), {} runs in {} ms ({:.1} runs/s)",
+        report.workers.len(),
+        report.shards,
+        report.reassigned,
+        cfg.request.runs,
+        report.wall_us / 1000,
+        cfg.request.runs as f64 * 1.0e6 / report.wall_us.max(1) as f64,
+    );
+    for w in &report.workers {
+        eprintln!(
+            "#   {}  {} shards, {} runs{}",
+            w.addr,
+            w.shards_done,
+            w.runs_done,
+            if w.alive { "" } else { " (left the fleet)" }
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+/// `reproduce fleet-bench` — the distributed-execution benchmark behind
+/// the `distributed` block of `BENCH_reproduce.json`.
+///
+/// Spins up in-process single-threaded workers so the measurement isolates
+/// the *dispatch layer*: the same campaign is coordinated across 1 and
+/// then 2 workers (the three payloads — direct, 1-worker, 2-worker — must
+/// be byte-identical), and the wall-clock ratio is the fleet speedup. Then
+/// an open-loop load generator (Poisson and bursty arrivals, seeded) drives
+/// the 2-worker fleet and reports p50/p99/p99.9 latency measured from each
+/// job's *scheduled* arrival — coordinated omission is counted, not hidden
+/// — plus per-worker busy-time utilization.
+fn fleet_bench_main(args: &[String]) -> ExitCode {
+    let mut runs = 2048u64;
+    let mut shards = 8usize;
+    let mut jobs = 48usize;
+    let mut rate = 60.0f64;
+    let mut seed = 0xF1EE7u64;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--runs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => runs = n,
+                _ => {
+                    eprintln!("reproduce fleet-bench: --runs must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => shards = n,
+                _ => {
+                    eprintln!("reproduce fleet-bench: --shards must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("reproduce fleet-bench: --jobs must be an integer >= 1");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rate" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(r) if r > 0.0 => rate = r,
+                _ => {
+                    eprintln!("reproduce fleet-bench: --rate must be a positive jobs/s");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seed = n,
+                None => {
+                    eprintln!("reproduce fleet-bench: --seed must be an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            _ => return usage(),
+        }
+    }
+
+    // One engine thread per worker: fleet speedup must come from the
+    // dispatch layer spreading shards, not from intra-worker parallelism.
+    let start_worker = || {
+        let config = ServerConfig {
+            workers: 1,
+            ..ServerConfig::default()
+        };
+        Server::start(config, Arc::new(EngineExecutor::new(Engine::new(1))))
+    };
+    let stop_worker = |server: Server| {
+        if let Ok(mut c) = Client::connect(server.addr()) {
+            let _ = c.shutdown();
+        }
+        server.join();
+    };
+
+    let mut campaign = JobRequest::new(JobKind::Campaign);
+    campaign.runs = runs;
+    let direct = match EngineExecutor::new(Engine::new(1)).execute_direct(&campaign) {
+        Ok(out) => out.result,
+        Err(e) => {
+            eprintln!("reproduce fleet-bench: direct campaign failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    // The same sharded campaign against fleets of 1 and 2 workers.
+    let mut walls = Vec::new();
+    let mut payloads = Vec::new();
+    for fleet_size in [1usize, 2] {
+        let servers: Vec<Server> = match (0..fleet_size).map(|_| start_worker()).collect() {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("reproduce fleet-bench: worker start failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let addrs: Vec<std::net::SocketAddr> = servers.iter().map(Server::addr).collect();
+        let cfg = CoordinateConfig {
+            request: campaign.clone(),
+            shards,
+            ..CoordinateConfig::default()
+        };
+        let report = match coordinate(&addrs, &cfg, None) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("reproduce fleet-bench: coordinate ({fleet_size}w) failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        eprintln!(
+            "# fleet-bench: campaign {runs} runs x {shards} shards on {fleet_size} worker(s): {} ms",
+            report.wall_us / 1000
+        );
+        walls.push(report.wall_us);
+        payloads.push(report.payload);
+        for s in servers {
+            stop_worker(s);
+        }
+    }
+    let identical = payloads.iter().all(|p| *p == direct);
+    if !identical {
+        eprintln!("reproduce fleet-bench: distributed payloads diverged from the direct run");
+        return ExitCode::FAILURE;
+    }
+    let speedup = walls[0] as f64 / walls[1].max(1) as f64;
+    // The speedup is only meaningful with a core per worker: the block
+    // records the host's parallelism so a 1-CPU CI container's ~1.0x is
+    // read as a machine limit, not a dispatch-layer regression.
+    let cpus = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    eprintln!(
+        "# fleet-bench: payloads byte-identical, 2-worker speedup {speedup:.2}x ({cpus} cpus)"
+    );
+    if cpus < 2 {
+        eprintln!("# fleet-bench: single-CPU host; a 2-worker fleet cannot beat one worker here");
+    }
+
+    // Open-loop load across a 2-worker fleet, Poisson then bursty.
+    let servers: Vec<Server> = match (0..2).map(|_| start_worker()).collect() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("reproduce fleet-bench: worker start failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(Server::addr).collect();
+    let mut fleet_reports = Vec::new();
+    for arrival in [
+        Arrival::Poisson { rate_per_s: rate },
+        Arrival::Bursty {
+            burst: 8,
+            idle_ms: 100,
+        },
+    ] {
+        let cfg = FleetLoadgenConfig {
+            jobs,
+            arrival,
+            seed,
+            request: JobRequest::new(JobKind::Run),
+            max_retries: 1000,
+        };
+        match loadgen_fleet(&addrs, &cfg) {
+            Ok(r) => {
+                eprintln!(
+                    "# fleet-bench: {} arrivals: {} jobs, {:.1} jobs/s, p99.9 {} us",
+                    cfg.arrival.name(),
+                    r.completed,
+                    r.throughput(),
+                    r.latency.quantile(0.999).round() as u64,
+                );
+                fleet_reports.push((cfg.arrival.name().to_string(), r.to_json()));
+            }
+            Err(e) => {
+                eprintln!(
+                    "reproduce fleet-bench: loadgen ({}) failed: {}",
+                    cfg.arrival.name(),
+                    e
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    for s in servers {
+        stop_worker(s);
+    }
+
+    let mut record = format!(
+        "{{\n  \"target\": \"fleet-bench\",\n  \"cpus\": {cpus},\n  \"campaign\": \
+         {{\"runs\": {runs}, \"shards\": {shards}, \"wall_us_1w\": {}, \"wall_us_2w\": {}, \
+         \"speedup_2w\": {speedup:.3}, \"identical\": {identical}}}",
+        walls[0], walls[1]
+    );
+    for (name, json) in &fleet_reports {
+        record.push_str(&format!(",\n  \"{name}\": {json}"));
+    }
+    record.push_str("\n}");
+    if let Err(e) = write_block("BENCH_reproduce.json", "distributed", &record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
+    }
+    ExitCode::SUCCESS
 }
 
 /// `reproduce telemetry` — measure the telemetry spine itself. Every
@@ -1152,6 +1547,8 @@ fn main() -> ExitCode {
         Some("serve") => return serve_main(&args[1..]),
         Some("submit") => return submit_main(&args[1..]),
         Some("loadgen") => return loadgen_main(&args[1..]),
+        Some("coordinate") => return coordinate_main(&args[1..]),
+        Some("fleet-bench") => return fleet_bench_main(&args[1..]),
         Some("watch") => return watch_main(&args[1..]),
         Some("telemetry") => return telemetry_main(&args[1..]),
         Some("sim-throughput") => return sim_throughput_main(&args[1..]),
@@ -1173,7 +1570,9 @@ fn main() -> ExitCode {
                      \x20 serve           batch job server (--flight-dir DIR dumps failed-job evidence)\n\
                      \x20 submit          send one job (--progress: live rate/CI/ETA bar)\n\
                      \x20 loadgen         saturate a server; p50/p99/p99.9 client latency\n\
-                     \x20 watch           poll a server's stats + metrics exposition\n\
+                     \x20 coordinate      shard a campaign across a worker fleet; merged payload\n\
+                     \x20 fleet-bench     distributed speedup + open-loop fleet latency block\n\
+                     \x20 watch           poll a server's stats + metrics exposition (--workers: fleet view)\n\
                      \x20 telemetry       measure progress-snapshot overhead (--max-records caps JSONL)\n\
                      \x20 sim-throughput  fault-free simulator speed\n"
                 );

@@ -9,6 +9,7 @@
 //! workloads are synthetic stand-ins, so the claims to check are orderings,
 //! trends, and rough factors (see `EXPERIMENTS.md` for paper-vs-measured).
 
+pub mod coordinate;
 pub mod engine;
 pub mod figures;
 pub mod obs;
@@ -17,10 +18,11 @@ pub mod service;
 pub mod table;
 pub mod watch;
 
+pub use coordinate::{coordinate, CoordinateConfig, CoordinateReport, WorkerShare};
 pub use engine::Engine;
 pub use figures::*;
 pub use obs::{export_trace, fault_probe_metrics, find_kernel, hist_summary_json, TraceFormat};
 pub use report::{upsert_block, write_block};
-pub use service::{uniform_store_key_material, EngineExecutor};
+pub use service::{campaign_payload, uniform_store_key_material, CampaignTotals, EngineExecutor};
 pub use table::{json_number, json_string, Table};
-pub use watch::{fmt_eta, progress_line, render_watch};
+pub use watch::{fmt_eta, progress_line, render_fleet_watch, render_watch};

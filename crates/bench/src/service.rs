@@ -17,12 +17,15 @@
 //! deterministic at any thread count, so thread budget is deliberately not
 //! key material.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use turnpike_resilience::{
-    fault_campaign_hooked, CampaignConfig, CampaignHook, CampaignProgress, RunError, RunSpec,
-    Scheme,
+    fault_campaign_shard_hooked, CampaignConfig, CampaignHook, CampaignProgress, CampaignReport,
+    RunError, RunSpec, Scheme,
 };
 use turnpike_serve::{
-    ExecOutput, Executor, JobCtl, JobKind, JobRequest, Lookup, ProgressStats, Store, StoreStatus,
+    ExecOutput, Executor, JobCtl, JobKind, JobRequest, Json, Lookup, ProgressStats, Store,
+    StoreStatus,
 };
 use turnpike_workloads::{Kernel, Scale};
 
@@ -36,6 +39,116 @@ use crate::table::json_string;
 pub struct EngineExecutor {
     engine: Engine,
     store: Option<Store>,
+    /// LRU byte cap for the store; collected at attach time and then every
+    /// `GC_EVERY_PUTS` puts.
+    store_cap: Option<u64>,
+    puts: AtomicU64,
+}
+
+/// How many store puts between [`Store::gc`] passes when a cap is set.
+/// Collection walks the whole store, so amortize it; the cap is a resource
+/// budget, not an invariant, and brief overshoot between passes is fine.
+const GC_EVERY_PUTS: u64 = 32;
+
+/// The summable campaign counters — exactly the fields the campaign
+/// payload renders. Shard reports merge by plain field-wise addition
+/// (the `CampaignReport::absorb` property), so a coordinator can sum the
+/// totals parsed from shard payloads and re-render the merged payload
+/// byte-identically to a single-process run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CampaignTotals {
+    /// Runs executed.
+    pub runs: u64,
+    /// Silent data corruptions.
+    pub sdc: u64,
+    /// Recoveries.
+    pub recoveries: u64,
+    /// All detections.
+    pub detections: u64,
+    /// Detections via parity.
+    pub parity_detections: u64,
+    /// Detections via the sensor sweep.
+    pub sensor_detections: u64,
+    /// Strikes landing after architectural completion.
+    pub post_completion: u64,
+    /// Watchdog-detected hangs.
+    pub hangs: u64,
+}
+
+impl CampaignTotals {
+    /// Totals of one (shard or whole) campaign report.
+    pub fn from_report(r: &CampaignReport) -> CampaignTotals {
+        CampaignTotals {
+            runs: r.runs as u64,
+            sdc: r.sdc as u64,
+            recoveries: r.recoveries,
+            detections: r.detections,
+            parity_detections: r.parity_detections,
+            sensor_detections: r.sensor_detections,
+            post_completion: r.post_completion as u64,
+            hangs: r.hangs as u64,
+        }
+    }
+
+    /// Parse the totals back out of a rendered campaign payload (the
+    /// coordinator's input: one payload per shard).
+    pub fn from_payload(payload: &str) -> Option<CampaignTotals> {
+        let v = Json::parse(payload).ok()?;
+        let f = |k: &str| v.get(k).and_then(Json::as_u64);
+        Some(CampaignTotals {
+            runs: f("runs")?,
+            sdc: f("sdc")?,
+            recoveries: f("recoveries")?,
+            detections: f("detections")?,
+            parity_detections: f("parity_detections")?,
+            sensor_detections: f("sensor_detections")?,
+            post_completion: f("post_completion")?,
+            hangs: f("hangs")?,
+        })
+    }
+
+    /// Field-wise sum — merging shard totals in any order gives the
+    /// unsharded campaign's totals (every field is a plain count).
+    pub fn absorb(&mut self, o: &CampaignTotals) {
+        self.runs += o.runs;
+        self.sdc += o.sdc;
+        self.recoveries += o.recoveries;
+        self.detections += o.detections;
+        self.parity_detections += o.parity_detections;
+        self.sensor_detections += o.sensor_detections;
+        self.post_completion += o.post_completion;
+        self.hangs += o.hangs;
+    }
+}
+
+/// Render the campaign payload from a request and its totals. The ONE
+/// renderer for campaign results — the executor (single process or shard)
+/// and the distributed coordinator both call it, which is what makes a
+/// merged fleet report byte-identical to the single-process payload.
+/// `scale` is the validated scale label (`"smoke"`/`"full"`).
+pub fn campaign_payload(req: &JobRequest, scale: &str, t: &CampaignTotals) -> String {
+    format!(
+        "{{\"kind\":\"campaign\",\"kernel\":{},\"scheme\":{},\"scale\":{},\"sb\":{},\"wcdl\":{},\
+         \"runs\":{},\"seed\":{},\"strikes\":{},\"sdc\":{},\"sdc_free\":{},\
+         \"recoveries\":{},\"detections\":{},\"parity_detections\":{},\
+         \"sensor_detections\":{},\"post_completion\":{},\"hangs\":{}}}",
+        json_string(&req.kernel),
+        json_string(&req.scheme),
+        json_string(scale),
+        req.sb,
+        req.wcdl,
+        t.runs,
+        req.seed,
+        req.strikes,
+        t.sdc,
+        t.sdc == 0,
+        t.recoveries,
+        t.detections,
+        t.parity_detections,
+        t.sensor_detections,
+        t.post_completion,
+        t.hangs
+    )
 }
 
 /// The store-key material (the `cc=…|sc=…` Debug renderings) for every
@@ -124,6 +237,8 @@ impl EngineExecutor {
         EngineExecutor {
             engine,
             store: None,
+            store_cap: None,
+            puts: AtomicU64::new(0),
         }
     }
 
@@ -132,6 +247,31 @@ impl EngineExecutor {
     pub fn with_store(mut self, store: Store) -> EngineExecutor {
         self.store = Some(store);
         self
+    }
+
+    /// Cap the attached store at `max_bytes` of artifact data: collect
+    /// (LRU) immediately and then every `GC_EVERY_PUTS` puts.
+    #[must_use]
+    pub fn with_store_cap(mut self, max_bytes: u64) -> EngineExecutor {
+        self.store_cap = Some(max_bytes);
+        self.collect_store();
+        self
+    }
+
+    /// Run one GC pass if a cap is configured. Best-effort: a failed
+    /// collection costs disk, not correctness.
+    fn collect_store(&self) {
+        let (Some(store), Some(cap)) = (&self.store, self.store_cap) else {
+            return;
+        };
+        match store.gc(cap) {
+            Ok(stats) if stats.evicted > 0 => eprintln!(
+                "serve: store gc evicted {} of {} entries ({} -> {} bytes, cap {cap})",
+                stats.evicted, stats.entries, stats.bytes_before, stats.bytes_after
+            ),
+            Ok(_) => {}
+            Err(e) => eprintln!("serve: store gc failed: {e}"),
+        }
     }
 
     /// The underlying engine (for metrics snapshots).
@@ -196,15 +336,26 @@ impl EngineExecutor {
                 spec.compiler_config(),
                 spec.sim_config()
             ),
-            JobKind::Campaign => format!(
-                "job-v1|campaign|kernel={:?}|cc={:?}|sc={:?}|runs={}|seed={}|strikes={}",
-                r.kernel.as_ref().expect("non-figure").id(),
-                spec.compiler_config(),
-                spec.sim_config(),
-                req.runs,
-                req.seed,
-                req.strikes
-            ),
+            JobKind::Campaign => {
+                // `|offset=N` appears only for shard jobs so every key an
+                // unsharded build ever wrote stays valid; without it, a
+                // shard and a whole campaign with equal run counts would
+                // alias in the cache and serve each other's results.
+                let offset = if req.run_offset == 0 {
+                    String::new()
+                } else {
+                    format!("|offset={}", req.run_offset)
+                };
+                format!(
+                    "job-v1|campaign|kernel={:?}|cc={:?}|sc={:?}|runs={}|seed={}|strikes={}{offset}",
+                    r.kernel.as_ref().expect("non-figure").id(),
+                    spec.compiler_config(),
+                    spec.sim_config(),
+                    req.runs,
+                    req.seed,
+                    req.strikes
+                )
+            }
         }
     }
 
@@ -275,33 +426,26 @@ impl EngineExecutor {
                     on_progress: Some(&on_progress),
                     progress_every: 0,
                 };
-                let (report, _records, _fork) = fault_campaign_hooked(
+                // Shard-aware execution: runs cover the global index range
+                // [run_offset, run_offset + runs), so a fleet of shard
+                // jobs partitions the exact run set a single process would
+                // execute (offset 0 = the whole campaign, unchanged).
+                let (report, _records, _fork) = fault_campaign_shard_hooked(
                     &kernel.program,
                     &spec,
                     &config,
                     self.engine.threads(),
                     hook,
+                    req.run_offset as usize,
                 )
                 .map_err(|e| match e {
                     RunError::Canceled => "canceled mid-campaign".to_string(),
                     other => other.to_string(),
                 })?;
-                Ok(format!(
-                    "{},\"runs\":{},\"seed\":{},\"strikes\":{},\"sdc\":{},\"sdc_free\":{},\
-                     \"recoveries\":{},\"detections\":{},\"parity_detections\":{},\
-                     \"sensor_detections\":{},\"post_completion\":{},\"hangs\":{}}}",
-                    head("campaign"),
-                    report.runs,
-                    req.seed,
-                    req.strikes,
-                    report.sdc,
-                    report.sdc_free(),
-                    report.recoveries,
-                    report.detections,
-                    report.parity_detections,
-                    report.sensor_detections,
-                    report.post_completion,
-                    report.hangs
+                Ok(campaign_payload(
+                    req,
+                    scale_name(r.scale),
+                    &CampaignTotals::from_report(&report),
                 ))
             }
             JobKind::Figure => {
@@ -343,6 +487,12 @@ impl Executor for EngineExecutor {
                 // job; the payload in hand is still correct.
                 if let Err(e) = store.put(&key, &payload) {
                     eprintln!("serve: artifact store put failed: {e}");
+                }
+                if self.store_cap.is_some()
+                    && self.puts.fetch_add(1, Ordering::Relaxed) % GC_EVERY_PUTS
+                        == GC_EVERY_PUTS - 1
+                {
+                    self.collect_store();
                 }
                 StoreStatus::Miss
             }
@@ -399,6 +549,46 @@ mod tests {
             include_str!("../golden/store_keys.txt"),
             "uniform store-key material drifted; this invalidates warm caches"
         );
+    }
+
+    #[test]
+    fn shard_payloads_merge_to_the_direct_campaign_payload() {
+        // The coordinator's whole correctness claim: executing a campaign
+        // as offset shards and re-rendering the summed totals must
+        // reproduce the single-process payload byte for byte.
+        let exec = EngineExecutor::new(Engine::serial());
+        let mut whole = JobRequest::new(JobKind::Campaign);
+        whole.runs = 24;
+        whole.strikes = 2;
+        whole.seed = 7;
+        let direct = exec.execute_direct(&whole).unwrap().result;
+
+        let mut merged = CampaignTotals::default();
+        for (offset, runs) in [(0u64, 9u64), (9, 9), (18, 6)] {
+            let mut shard = whole.clone();
+            shard.run_offset = offset;
+            shard.runs = runs;
+            let payload = exec.execute_direct(&shard).unwrap().result;
+            merged.absorb(&CampaignTotals::from_payload(&payload).expect("parsable shard"));
+        }
+        assert_eq!(campaign_payload(&whole, "smoke", &merged), direct);
+    }
+
+    #[test]
+    fn campaign_store_keys_distinguish_shards_but_not_offset_zero() {
+        let exec = EngineExecutor::new(Engine::serial());
+        let whole = JobRequest::new(JobKind::Campaign);
+        let r = exec.resolve(&whole).unwrap();
+        let k_whole = EngineExecutor::store_key(&whole, &r);
+        assert!(
+            !k_whole.contains("offset"),
+            "offset 0 must not perturb pre-shard store keys: {k_whole}"
+        );
+        let mut shard = whole.clone();
+        shard.run_offset = 8;
+        let k_shard = EngineExecutor::store_key(&shard, &exec.resolve(&shard).unwrap());
+        assert_ne!(k_whole, k_shard);
+        assert!(k_shard.ends_with("|offset=8"), "{k_shard}");
     }
 
     #[test]

@@ -97,6 +97,60 @@ pub fn render_watch(stats_json: &str, metrics_text: &str) -> String {
     out
 }
 
+/// Render one fleet `watch` snapshot from per-worker stats bodies.
+///
+/// `workers` pairs each address with its `stats` JSON body, or with the
+/// error that kept it from answering — a dead worker stays visible in the
+/// view instead of silently shrinking the fleet. The header aggregates
+/// queue depth and job outcomes across reachable workers; each worker line
+/// adds its busy-time utilization (`busy_us / (uptime_us × workers)`,
+/// the same definition the fleet load generator reports).
+pub fn render_fleet_watch(workers: &[(String, Result<String, String>)]) -> String {
+    let mut depth = 0u64;
+    let mut capacity = 0u64;
+    let mut accepted = 0u64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    let mut rejected = 0u64;
+    let mut alive = 0usize;
+    let mut lines = Vec::with_capacity(workers.len());
+    for (addr, stats) in workers {
+        match stats.as_ref().map(|s| Json::parse(s)) {
+            Ok(Ok(v)) => {
+                let n = |key: &str| v.get(key).and_then(Json::as_u64).unwrap_or(0);
+                alive += 1;
+                depth += n("queue_depth");
+                capacity += n("queue_capacity");
+                accepted += n("accepted");
+                completed += n("completed");
+                failed += n("failed");
+                rejected += n("rejected");
+                let busy = n("busy_us") as f64;
+                let span = (n("uptime_us").max(1) * n("workers").max(1)) as f64;
+                lines.push(format!(
+                    "  {addr}  queue {}/{}  completed {}  failed {}  util {:.2}\n",
+                    n("queue_depth"),
+                    n("queue_capacity"),
+                    n("completed"),
+                    n("failed"),
+                    busy / span,
+                ));
+            }
+            Ok(Err(e)) => lines.push(format!("  {addr}  bad stats: {e}\n")),
+            Err(e) => lines.push(format!("  {addr}  unreachable: {e}\n")),
+        }
+    }
+    let mut out = format!(
+        "fleet {alive}/{} up  queue {depth}/{capacity}  accepted {accepted}  \
+         completed {completed}  failed {failed}  rejected {rejected}\n",
+        workers.len()
+    );
+    for line in lines {
+        out.push_str(&line);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -155,5 +209,44 @@ mod tests {
         assert!(!text.contains("turnpike_serve_accepted"), "{text}");
 
         assert!(render_watch("not json", metrics).contains("stats unavailable"));
+    }
+
+    #[test]
+    fn fleet_watch_aggregates_reachable_workers_and_keeps_dead_ones_visible() {
+        let stats = |depth: u64, completed: u64, busy: u64| {
+            format!(
+                "{{\"queue_depth\":{depth},\"queue_capacity\":64,\"workers\":2,\
+                 \"accepted\":9,\"rejected\":1,\"completed\":{completed},\"failed\":0,\
+                 \"busy_us\":{busy},\"uptime_us\":1000000}}"
+            )
+        };
+        let workers = vec![
+            ("127.0.0.1:8642".to_string(), Ok(stats(1, 4, 1_500_000))),
+            ("127.0.0.1:8643".to_string(), Ok(stats(2, 3, 500_000))),
+            (
+                "127.0.0.1:8644".to_string(),
+                Err("connection refused".to_string()),
+            ),
+        ];
+        let text = render_fleet_watch(&workers);
+        // Header counts only live workers; totals are fleet-wide sums.
+        assert!(
+            text.starts_with("fleet 2/3 up  queue 3/128  accepted 18"),
+            "{text}"
+        );
+        assert!(text.contains("completed 7"), "{text}");
+        // Utilization normalizes busy time by uptime × worker threads.
+        assert!(
+            text.contains("127.0.0.1:8642  queue 1/64  completed 4  failed 0  util 0.75"),
+            "{text}"
+        );
+        assert!(
+            text.contains("127.0.0.1:8643  queue 2/64  completed 3  failed 0  util 0.25"),
+            "{text}"
+        );
+        assert!(
+            text.contains("127.0.0.1:8644  unreachable: connection refused"),
+            "{text}"
+        );
     }
 }

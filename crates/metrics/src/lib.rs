@@ -219,6 +219,10 @@ counters! {
     ServeStoreQuarantined => ("serve.store_quarantined", Sum),
     /// Peak work-queue depth observed at admission.
     ServeQueuePeak => ("serve.queue_peak", Max),
+    /// Microseconds workers spent executing jobs (summed across the
+    /// pool): with the server's uptime this yields worker utilization,
+    /// the per-worker load signal the fleet load generator reports.
+    ServeBusyMicros => ("serve.busy_us", Sum),
 }
 
 /// Floating-point metric keys (point samples, not event counts).

@@ -134,6 +134,30 @@ impl CampaignReport {
     pub fn sdc_free(&self) -> bool {
         self.sdc == 0
     }
+
+    /// Fold another shard's report into this one.
+    ///
+    /// Shards must be absorbed in ascending run-index order for the result
+    /// to be bit-identical to the unsharded campaign: every scalar field
+    /// adds, and the embedded [`MetricSet`](turnpike_metrics::MetricSet)
+    /// merges under the same policies the unsharded fold uses (`Sum`
+    /// counters add, `Max` counters take the high-water mark, histograms
+    /// combine bucket-wise, gauges keep the last shard that set them —
+    /// which in ascending order is exactly the last run that set them).
+    /// The `campaign.*` counters each shard appended over its own totals
+    /// sum to the whole campaign's totals, so no post-merge fixup is
+    /// needed.
+    pub fn absorb(&mut self, other: &CampaignReport) {
+        self.runs += other.runs;
+        self.sdc += other.sdc;
+        self.recoveries += other.recoveries;
+        self.detections += other.detections;
+        self.parity_detections += other.parity_detections;
+        self.sensor_detections += other.sensor_detections;
+        self.post_completion += other.post_completion;
+        self.hangs += other.hangs;
+        self.metrics.merge(&other.metrics);
+    }
 }
 
 /// How much prefix re-execution snapshot forking saved a campaign.
@@ -711,6 +735,39 @@ pub fn fault_campaign_hooked(
     threads: usize,
     hook: CampaignHook<'_>,
 ) -> Result<(CampaignReport, Vec<StrikeRecord>, ForkStats), RunError> {
+    fault_campaign_shard_hooked(program, spec, config, threads, hook, 0)
+}
+
+/// Execute one *shard* of a campaign: the runs at global indices
+/// `offset .. offset + config.runs`.
+///
+/// Each run's fault plan derives from `(config.seed, global run index)`
+/// alone, so a shard computes exactly the runs the unsharded campaign
+/// would at those indices — sharding is a partition of the run-index
+/// space, not an approximation. Concatenating shard records in ascending
+/// range order reproduces the unsharded record stream, and
+/// [`CampaignReport::absorb`]ing shard reports in the same order
+/// reproduces the unsharded report bit for bit. The distributed
+/// coordinator in the bench harness is built on this contract.
+///
+/// `offset == 0` with `config.runs` covering the whole campaign is
+/// exactly [`fault_campaign_hooked`]. Sequential stopping
+/// ([`StopRule::CiWidth`]) is a whole-campaign decision and has no
+/// meaning per shard; sharded callers use [`StopRule::Fixed`].
+///
+/// # Errors
+///
+/// Propagates compile/simulate failures (not SDCs — those are counted), and
+/// returns [`RunError::Canceled`] if the hook's cancel flag is raised before
+/// the last injected run completes.
+pub fn fault_campaign_shard_hooked(
+    program: &Program,
+    spec: &RunSpec,
+    config: &CampaignConfig,
+    threads: usize,
+    hook: CampaignHook<'_>,
+    offset: usize,
+) -> Result<(CampaignReport, Vec<StrikeRecord>, ForkStats), RunError> {
     let compiled = compile(program, &spec.compiler_config())?;
     if hook.canceled() {
         return Err(RunError::Canceled);
@@ -760,6 +817,9 @@ pub fn fault_campaign_hooked(
         if hook.canceled() {
             return Err(RunError::Canceled);
         }
+        // `i` is the *global* run index (shard offset included): the plan,
+        // and with it the run's outcome, must be the one the unsharded
+        // campaign would compute at this index.
         let plan = plan_for_run(config, spec, i, horizon);
         // Fork from the latest snapshot strictly before the run's earliest
         // strike (snapshots are in capture order, i.e. ascending cycles):
@@ -811,7 +871,7 @@ pub fn fault_campaign_hooked(
     let mut executed = 0usize;
     while executed < target {
         let end = target.min(executed + chunk);
-        let indices: Vec<usize> = (executed..end).collect();
+        let indices: Vec<usize> = (offset + executed..offset + end).collect();
         let runs = par_map(&indices, threads, worker);
         for (&i, run) in indices.iter().zip(runs) {
             fold_run(

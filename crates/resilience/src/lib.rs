@@ -35,10 +35,10 @@ pub mod scheme;
 
 pub use campaign::{
     fault_campaign, fault_campaign_forked, fault_campaign_hooked, fault_campaign_par,
-    fault_campaign_records, write_strike_records, write_strike_records_capped,
-    write_strike_records_capped_to_path, write_strike_records_to_path, CampaignConfig,
-    CampaignHook, CampaignProgress, CampaignReport, ForkStats, StopRule, StrikeOutcome,
-    StrikeRecord, STOP_CHUNK,
+    fault_campaign_records, fault_campaign_shard_hooked, write_strike_records,
+    write_strike_records_capped, write_strike_records_capped_to_path, write_strike_records_to_path,
+    CampaignConfig, CampaignHook, CampaignProgress, CampaignReport, ForkStats, StopRule,
+    StrikeOutcome, StrikeRecord, STOP_CHUNK,
 };
 pub use driver::{
     geomean, resume_compiled_with_faults, run_compiled, run_compiled_collecting_snapshots,

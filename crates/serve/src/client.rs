@@ -244,6 +244,74 @@ impl Client {
     }
 }
 
+/// Jittered exponential backoff for `overloaded` retries.
+///
+/// The delay doubles per attempt from `base_ms` up to `cap_ms`, with
+/// "equal jitter" (half deterministic, half uniform-random) so a thundering
+/// herd of rejected clients decorrelates instead of re-arriving in
+/// lockstep. The server's `retry_after_ms` hint is honored as a **floor**:
+/// backing off less than the server asked would waste a round trip on a
+/// guaranteed rejection. The policy is a pure state machine — [`Backoff::next_delay`]
+/// computes durations without sleeping or reading a clock — so tests drive
+/// it with a mock clock and real clients sleep on whatever it returns.
+///
+/// Determinism: the jitter stream is seeded SplitMix64, so a given
+/// `(seed, attempt sequence, hints)` always produces the same delays —
+/// which keeps the load generator's schedule reproducible.
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    attempt: u32,
+    rng: u64,
+}
+
+impl Backoff {
+    /// A policy starting at `base_ms` and never exceeding `cap_ms` per
+    /// delay, with jitter drawn from `seed`.
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        Backoff {
+            base_ms: base_ms.max(1),
+            cap_ms: cap_ms.max(1),
+            attempt: 0,
+            rng: seed,
+        }
+    }
+
+    /// SplitMix64 step: the same tiny generator the resilience crate uses
+    /// for per-run seeds — statistically solid, three lines, no deps.
+    fn next_u64(&mut self) -> u64 {
+        self.rng = self.rng.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.rng;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// The delay to wait before the next retry, advancing the attempt
+    /// counter. `retry_after_ms` is the server's hint (0 when absent).
+    pub fn next_delay(&mut self, retry_after_ms: u64) -> Duration {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64.checked_shl(self.attempt).unwrap_or(u64::MAX))
+            .min(self.cap_ms);
+        self.attempt = self.attempt.saturating_add(1);
+        // Equal jitter: keep half the exponential term, jitter the rest.
+        let half = exp / 2;
+        let jittered = half + self.next_u64() % (exp - half + 1);
+        Duration::from_millis(
+            jittered
+                .max(retry_after_ms)
+                .min(self.cap_ms.max(retry_after_ms)),
+        )
+    }
+
+    /// Forget accumulated attempts (call after a successful submission).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
 /// Load-generator parameters.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -356,6 +424,10 @@ pub fn loadgen(addr: std::net::SocketAddr, cfg: &LoadgenConfig) -> std::io::Resu
             let tally = &tally;
             handles.push(scope.spawn(move || -> std::io::Result<()> {
                 let mut client = Client::connect(addr)?;
+                // Per-client jitter stream: seeded by index so the whole
+                // run's retry schedule is reproducible yet decorrelated
+                // across clients.
+                let mut backoff = Backoff::new(1, 1_000, c as u64);
                 for j in 0..cfg.jobs_per_client {
                     let mut req = cfg.request.clone();
                     req.tag = format!("c{c}-j{j}");
@@ -368,6 +440,7 @@ pub fn loadgen(addr: std::net::SocketAddr, cfg: &LoadgenConfig) -> std::io::Resu
                                 let mut t = tally.lock().unwrap();
                                 t.done_tags.push(req.tag.clone());
                                 t.latency.record(us);
+                                backoff.reset();
                                 break;
                             }
                             Outcome::Overloaded { retry_after_ms } => {
@@ -377,7 +450,7 @@ pub fn loadgen(addr: std::net::SocketAddr, cfg: &LoadgenConfig) -> std::io::Resu
                                     tally.lock().unwrap().error_tags.push(req.tag.clone());
                                     break;
                                 }
-                                std::thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                                std::thread::sleep(backoff.next_delay(retry_after_ms));
                             }
                             Outcome::ShuttingDown | Outcome::Error { .. } => {
                                 tally.lock().unwrap().error_tags.push(req.tag.clone());
@@ -448,5 +521,51 @@ mod tests {
         let line = "{\"event\":\"done\",\"job\":1,\"tag\":\",\\\"store\\\":\\\"x\",\
                     \"store\":\"off\",\"result\":{\"v\":1}}";
         assert_eq!(extract_result(line), Some("{\"v\":1}"));
+    }
+
+    /// Mock-clock walk through the backoff schedule: no sleeping, just the
+    /// pure delay sequence, checked against the policy's contract.
+    #[test]
+    fn backoff_grows_within_envelope_and_honors_the_server_hint() {
+        let mut b = Backoff::new(10, 640, 42);
+        let mut prev_ceiling = 0u64;
+        for attempt in 0..12u32 {
+            let d = b.next_delay(0).as_millis() as u64;
+            let exp = 10u64
+                .saturating_mul(1u64.checked_shl(attempt).unwrap_or(u64::MAX))
+                .min(640);
+            // Equal jitter keeps every delay inside [exp/2, exp].
+            assert!(d >= exp / 2, "attempt {attempt}: {d} < {}", exp / 2);
+            assert!(d <= exp, "attempt {attempt}: {d} > {exp}");
+            assert!(exp >= prev_ceiling, "envelope must not shrink");
+            prev_ceiling = exp;
+        }
+        // Cap reached: delays stay at or under it forever.
+        for _ in 0..4 {
+            assert!(b.next_delay(0).as_millis() as u64 <= 640);
+        }
+
+        // The server's retry-after hint is a floor, even above the cap.
+        let mut b = Backoff::new(10, 640, 42);
+        assert!(b.next_delay(50).as_millis() as u64 >= 50);
+        assert!(b.next_delay(10_000).as_millis() as u64 >= 10_000);
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed_and_resets() {
+        let walk = |seed: u64| {
+            let mut b = Backoff::new(5, 1_000, seed);
+            (0..8).map(|_| b.next_delay(0)).collect::<Vec<_>>()
+        };
+        assert_eq!(walk(7), walk(7), "same seed, same schedule");
+        assert_ne!(walk(7), walk(8), "different seeds decorrelate");
+
+        let mut b = Backoff::new(5, 1_000, 7);
+        for _ in 0..6 {
+            let _ = b.next_delay(0);
+        }
+        b.reset();
+        // After reset the envelope restarts at the base.
+        assert!(b.next_delay(0).as_millis() as u64 <= 5);
     }
 }

@@ -34,17 +34,22 @@
 //! report into.
 
 pub mod client;
+pub mod fleet;
 pub mod flight;
 pub mod json;
+pub mod poll;
 pub mod proto;
 pub mod queue;
 pub mod server;
 pub mod store;
 
-pub use client::{loadgen, Client, LoadgenConfig, LoadgenReport, Outcome};
+pub use client::{loadgen, Backoff, Client, LoadgenConfig, LoadgenReport, Outcome};
+pub use fleet::{loadgen_fleet, Arrival, FleetLoadgenConfig, FleetReport, WorkerLoad};
 pub use flight::{FlightEvent, FlightRecorder, FLIGHT_CAP};
 pub use json::Json;
-pub use proto::{Event, JobKind, JobRequest, ProgressStats, Request, StoreStatus};
+pub use proto::{
+    Event, JobKind, JobRequest, LineReader, ProgressStats, Request, StoreStatus, WriteQueue,
+};
 pub use queue::{JobQueue, PushError};
 pub use server::{ExecOutput, Executor, JobCtl, Server, ServerConfig};
 pub use store::{Lookup, Store};

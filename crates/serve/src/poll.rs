@@ -1,0 +1,247 @@
+//! A thin std-only wrapper over `poll(2)`.
+//!
+//! The readiness loop in [`crate::server`] multiplexes one listener, a
+//! wakeup socket, and every client connection on a single thread; all it
+//! needs from the OS is "which of these sockets can make progress". That
+//! is exactly `poll(2)`, and the libc symbol is already linked into every
+//! Rust binary — so the wrapper is a `#[repr(C)]` struct and one
+//! `extern "C"` declaration, no new dependency. Edge-triggered epoll/kqueue
+//! would scale past tens of thousands of descriptors, but a coordinator
+//! fleet is thousands at most, and `poll`'s level-triggered contract keeps
+//! the loop's state machine trivial (no readiness can ever be "missed").
+//!
+//! On non-Unix hosts the wrapper degrades to a bounded sleep that reports
+//! every registered socket ready: with all sockets nonblocking, spurious
+//! readiness costs one `WouldBlock` syscall each — correct, just not
+//! efficient. The repository's CI targets are all Unix.
+
+use std::time::Duration;
+
+/// One registered socket: which events the caller cares about, and (after
+/// [`poll`]) which are ready.
+#[derive(Debug, Clone, Copy)]
+pub struct PollFd {
+    #[cfg(unix)]
+    fd: std::os::fd::RawFd,
+    read: bool,
+    write: bool,
+    ready: Readiness,
+}
+
+/// What [`poll`] reported for one socket. `hangup`/`error` arrive whether
+/// or not they were asked for (kernel contract); treat either as "read
+/// until EOF, then close".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Readiness {
+    /// A read will make progress (data, EOF, or a pending accept).
+    pub readable: bool,
+    /// A write will make progress.
+    pub writable: bool,
+    /// The peer closed its end.
+    pub hangup: bool,
+    /// The socket is in an error state.
+    pub error: bool,
+}
+
+impl Readiness {
+    /// Any condition the loop should act on.
+    pub fn any(self) -> bool {
+        self.readable || self.writable || self.hangup || self.error
+    }
+}
+
+impl PollFd {
+    /// Register `sock` with read and/or write interest.
+    #[cfg(unix)]
+    pub fn new<S: std::os::fd::AsRawFd>(sock: &S, read: bool, write: bool) -> PollFd {
+        PollFd {
+            fd: sock.as_raw_fd(),
+            read,
+            write,
+            ready: Readiness::default(),
+        }
+    }
+
+    /// Register `sock` with read and/or write interest.
+    #[cfg(not(unix))]
+    pub fn new<S>(_sock: &S, read: bool, write: bool) -> PollFd {
+        PollFd {
+            read,
+            write,
+            ready: Readiness::default(),
+        }
+    }
+
+    /// The readiness the last [`poll`] call reported for this socket.
+    pub fn readiness(&self) -> Readiness {
+        self.ready
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::os::raw::{c_int, c_short};
+
+    #[repr(C)]
+    pub struct pollfd {
+        pub fd: c_int,
+        pub events: c_short,
+        pub revents: c_short,
+    }
+
+    // `nfds_t` is `c_ulong` on Linux and the BSDs' `u32` on macOS. The
+    // lowercase name matches the C type it mirrors.
+    #[cfg(target_os = "macos")]
+    #[allow(non_camel_case_types)]
+    pub type nfds_t = u32;
+    #[cfg(not(target_os = "macos"))]
+    #[allow(non_camel_case_types)]
+    pub type nfds_t = std::os::raw::c_ulong;
+
+    pub const POLLIN: c_short = 0x001;
+    pub const POLLOUT: c_short = 0x004;
+    pub const POLLERR: c_short = 0x008;
+    pub const POLLHUP: c_short = 0x010;
+
+    extern "C" {
+        pub fn poll(fds: *mut pollfd, nfds: nfds_t, timeout: c_int) -> c_int;
+    }
+}
+
+/// Block until at least one registered socket is ready or `timeout`
+/// elapses (`None` = wait indefinitely). Returns the number of ready
+/// sockets (0 on timeout); per-socket results land in each entry's
+/// [`PollFd::readiness`]. `EINTR` retries transparently.
+///
+/// # Errors
+///
+/// Propagates `poll(2)` failures other than `EINTR`.
+#[cfg(unix)]
+pub fn poll(entries: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+    let mut fds: Vec<sys::pollfd> = entries
+        .iter()
+        .map(|e| sys::pollfd {
+            fd: e.fd,
+            events: if e.read { sys::POLLIN } else { 0 } | if e.write { sys::POLLOUT } else { 0 },
+            revents: 0,
+        })
+        .collect();
+    // Round partial milliseconds *up*: rounding down would turn short
+    // deadlines into a zero-timeout busy spin.
+    let timeout_ms: std::os::raw::c_int = match timeout {
+        None => -1,
+        Some(d) => d.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+    };
+    let n = loop {
+        let rc = unsafe { sys::poll(fds.as_mut_ptr(), fds.len() as sys::nfds_t, timeout_ms) };
+        if rc >= 0 {
+            break rc as usize;
+        }
+        let err = std::io::Error::last_os_error();
+        if err.kind() != std::io::ErrorKind::Interrupted {
+            return Err(err);
+        }
+    };
+    for (e, f) in entries.iter_mut().zip(&fds) {
+        e.ready = Readiness {
+            readable: f.revents & sys::POLLIN != 0,
+            writable: f.revents & sys::POLLOUT != 0,
+            hangup: f.revents & sys::POLLHUP != 0,
+            error: f.revents & sys::POLLERR != 0,
+        };
+    }
+    Ok(n)
+}
+
+/// Non-Unix fallback: sleep briefly, then report every registered interest
+/// as ready. Nonblocking sockets turn the spurious readiness into cheap
+/// `WouldBlock`s, so the loop stays correct at the price of a bounded
+/// polling cadence.
+///
+/// # Errors
+///
+/// Never fails on this fallback path.
+#[cfg(not(unix))]
+pub fn poll(entries: &mut [PollFd], timeout: Option<Duration>) -> std::io::Result<usize> {
+    let nap = timeout
+        .unwrap_or(Duration::from_millis(5))
+        .min(Duration::from_millis(5));
+    if !nap.is_zero() {
+        std::thread::sleep(nap);
+    }
+    for e in entries.iter_mut() {
+        e.ready = Readiness {
+            readable: e.read,
+            writable: e.write,
+            hangup: false,
+            error: false,
+        };
+    }
+    Ok(entries.len())
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let a = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (b, _) = listener.accept().unwrap();
+        a.set_nonblocking(true).unwrap();
+        b.set_nonblocking(true).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn quiet_socket_times_out_readable_socket_does_not() {
+        let (a, mut b) = pair();
+        let mut entries = [PollFd::new(&a, true, false)];
+        assert_eq!(
+            poll(&mut entries, Some(Duration::from_millis(10))).unwrap(),
+            0
+        );
+        assert!(!entries[0].readiness().any());
+
+        b.write_all(b"ping").unwrap();
+        let n = poll(&mut entries, Some(Duration::from_secs(5))).unwrap();
+        assert_eq!(n, 1);
+        assert!(entries[0].readiness().readable);
+        assert!(!entries[0].readiness().writable);
+    }
+
+    #[test]
+    fn write_interest_and_hangup_are_reported() {
+        let (a, b) = pair();
+        // An idle socket with buffer space is immediately writable.
+        let mut entries = [PollFd::new(&a, false, true)];
+        assert_eq!(poll(&mut entries, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(entries[0].readiness().writable);
+
+        // Peer closes: readable (EOF pending), possibly with hangup.
+        drop(b);
+        let mut entries = [PollFd::new(&a, true, false)];
+        assert_eq!(poll(&mut entries, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(entries[0].readiness().readable || entries[0].readiness().hangup);
+        let mut buf = [0u8; 8];
+        let mut a = a;
+        assert_eq!(a.read(&mut buf).unwrap(), 0, "EOF");
+    }
+
+    #[test]
+    fn a_pending_accept_reads_as_listener_readiness() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let mut entries = [PollFd::new(&listener, true, false)];
+        assert_eq!(
+            poll(&mut entries, Some(Duration::from_millis(10))).unwrap(),
+            0
+        );
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        assert_eq!(poll(&mut entries, Some(Duration::from_secs(5))).unwrap(), 1);
+        assert!(entries[0].readiness().readable);
+        assert!(listener.accept().is_ok());
+    }
+}

@@ -76,6 +76,12 @@ pub struct JobRequest {
     pub strikes: u64,
     /// Figure: target name (e.g. `"fig19"`).
     pub target: String,
+    /// Campaign: first global run index of this shard. `0` (the default)
+    /// is a whole campaign; a distributed coordinator sets it so a worker
+    /// executes the runs `run_offset .. run_offset + runs` of a larger
+    /// campaign. Omitted from the wire when `0`, so unsharded requests
+    /// render exactly as they always did.
+    pub run_offset: u64,
     /// Opaque client token echoed in every event; empty = none.
     pub tag: String,
 }
@@ -95,6 +101,7 @@ impl JobRequest {
             seed: 0xF00D,
             strikes: 1,
             target: "summary".to_string(),
+            run_offset: 0,
             tag: String::new(),
         }
     }
@@ -135,6 +142,7 @@ impl JobRequest {
         get_u64("runs", &mut req.runs)?;
         get_u64("seed", &mut req.seed)?;
         get_u64("strikes", &mut req.strikes)?;
+        get_u64("run_offset", &mut req.run_offset)?;
         if !matches!(req.scale.as_str(), "smoke" | "full") {
             return Err(format!(
                 "'scale' must be 'smoke' or 'full', got '{}'",
@@ -143,6 +151,9 @@ impl JobRequest {
         }
         if req.kind == JobKind::Campaign && (req.runs == 0 || req.strikes == 0) {
             return Err("'runs' and 'strikes' must be >= 1".to_string());
+        }
+        if req.run_offset.checked_add(req.runs).is_none() {
+            return Err("'run_offset' + 'runs' overflows".to_string());
         }
         if req.sb == 0 {
             return Err("'sb' must be >= 1".to_string());
@@ -167,6 +178,9 @@ impl JobRequest {
             self.strikes,
             escape(&self.target),
         );
+        if self.run_offset != 0 {
+            out.push_str(&format!(",\"run_offset\":{}", self.run_offset));
+        }
         if !self.tag.is_empty() {
             out.push_str(&format!(",\"tag\":{}", escape(&self.tag)));
         }
@@ -481,6 +495,141 @@ impl Event {
     }
 }
 
+/// Default [`LineReader`] line-length cap: longer than any legitimate
+/// request by orders of magnitude, small enough that a garbage peer can't
+/// grow a connection buffer without bound.
+pub const MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Read half of a connection's buffer state machine: raw byte chunks go in
+/// (whatever a nonblocking read returned), complete trimmed request lines
+/// come out. Blank lines are swallowed, exactly like the blocking
+/// `read_line` loop this replaces. Bytes past the last newline stay
+/// buffered across calls, so a request split over any number of TCP
+/// segments reassembles transparently.
+#[derive(Debug, Default)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    overflowed: bool,
+}
+
+impl LineReader {
+    /// An empty reader.
+    pub fn new() -> LineReader {
+        LineReader::default()
+    }
+
+    /// Feed one chunk of raw bytes from the socket.
+    pub fn push(&mut self, bytes: &[u8]) {
+        if self.overflowed {
+            return;
+        }
+        self.buf.extend_from_slice(bytes);
+        if self.buf.len() > MAX_LINE_BYTES && !self.buf.contains(&b'\n') {
+            // A peer streaming an unbounded newline-free line is hostile
+            // or broken either way; stop buffering and let the connection
+            // owner drop it.
+            self.overflowed = true;
+            self.buf.clear();
+        }
+    }
+
+    /// Whether the peer exceeded the line-length cap; the connection
+    /// should be closed.
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// Pop the next complete non-blank line, trimmed, if one is buffered.
+    pub fn next_line(&mut self) -> Option<String> {
+        loop {
+            let pos = self.buf.iter().position(|&b| b == b'\n')?;
+            let line: Vec<u8> = self.buf.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line);
+            let line = line.trim();
+            if !line.is_empty() {
+                return Some(line.to_string());
+            }
+        }
+    }
+}
+
+/// Write half of a connection's buffer state machine: whole event lines go
+/// in, and [`write_to`](WriteQueue::write_to) drains as many bytes as the
+/// nonblocking socket will take, keeping the rest (a partially-written
+/// line included) queued for the next readiness notification. Lines are
+/// therefore never interleaved or torn on the wire regardless of how the
+/// kernel slices the writes.
+#[derive(Debug, Default)]
+pub struct WriteQueue {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already written to the socket.
+    head: usize,
+}
+
+impl WriteQueue {
+    /// An empty queue.
+    pub fn new() -> WriteQueue {
+        WriteQueue::default()
+    }
+
+    /// Queue one event line (newline appended).
+    pub fn push_line(&mut self, line: &str) {
+        self.buf.extend_from_slice(line.as_bytes());
+        self.buf.push(b'\n');
+    }
+
+    /// Whether everything queued has been written.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.buf.len()
+    }
+
+    /// Bytes still waiting to go out.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.head
+    }
+
+    /// Write as much queued output as `w` will take without blocking.
+    /// Returns the bytes written; a `WouldBlock` from the writer is not an
+    /// error, it just leaves the remainder queued (register write
+    /// interest and call again on readiness).
+    ///
+    /// # Errors
+    ///
+    /// Propagates real I/O errors (connection reset, broken pipe, …);
+    /// `WouldBlock` and `Interrupted` are absorbed.
+    pub fn write_to<W: std::io::Write>(&mut self, w: &mut W) -> std::io::Result<usize> {
+        let mut written = 0;
+        while self.head < self.buf.len() {
+            match w.write(&self.buf[self.head..]) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::WriteZero,
+                        "socket accepted zero bytes",
+                    ));
+                }
+                Ok(n) => {
+                    self.head += n;
+                    written += n;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Reclaim drained capacity once the backlog clears (or the dead
+        // prefix dominates) so long-lived connections don't hold peak-size
+        // buffers forever.
+        if self.head == self.buf.len() {
+            self.buf.clear();
+            self.head = 0;
+        } else if self.head > 4096 && self.head * 2 > self.buf.len() {
+            self.buf.drain(..self.head);
+            self.head = 0;
+        }
+        Ok(written)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -606,6 +755,110 @@ mod tests {
         let torn = newer.replace(",\"hangs\":0", "");
         let parsed = ProgressStats::from_json(&Json::parse(&torn).unwrap());
         assert_eq!(parsed, None);
+    }
+
+    #[test]
+    fn run_offset_rides_the_wire_only_when_sharded() {
+        // Unsharded requests render exactly as they always did: no
+        // `run_offset` key, so old servers and golden transcripts are
+        // untouched.
+        let whole = JobRequest::new(JobKind::Campaign);
+        assert!(!whole.to_line().contains("run_offset"));
+        match Request::parse(&whole.to_line()).unwrap() {
+            Request::Job(parsed) => assert_eq!(parsed.run_offset, 0),
+            other => panic!("expected job, got {other:?}"),
+        }
+        // A shard round-trips its offset.
+        let mut shard = JobRequest::new(JobKind::Campaign);
+        shard.runs = 4;
+        shard.run_offset = 12;
+        let line = shard.to_line();
+        assert!(line.contains("\"run_offset\":12"), "{line}");
+        match Request::parse(&line).unwrap() {
+            Request::Job(parsed) => assert_eq!(parsed, shard),
+            other => panic!("expected job, got {other:?}"),
+        }
+        // Offset + runs must stay representable.
+        let err = Request::parse(&format!(
+            "{{\"type\":\"campaign\",\"runs\":2,\"run_offset\":{}}}",
+            u64::MAX
+        ))
+        .expect_err("overflowing shard");
+        assert!(err.contains("run_offset"), "{err}");
+    }
+
+    #[test]
+    fn line_reader_reassembles_split_lines_and_skips_blanks() {
+        let mut r = LineReader::new();
+        r.push(b"{\"type\":\"sta");
+        assert_eq!(r.next_line(), None);
+        r.push(b"ts\"}\r\n\n  \n{\"type\":\"metrics\"}\n{\"par");
+        assert_eq!(r.next_line(), Some("{\"type\":\"stats\"}".to_string()));
+        assert_eq!(r.next_line(), Some("{\"type\":\"metrics\"}".to_string()));
+        assert_eq!(r.next_line(), None, "partial line stays buffered");
+        r.push(b"tial\":1}\n");
+        assert_eq!(r.next_line(), Some("{\"partial\":1}".to_string()));
+        assert_eq!(r.next_line(), None);
+        assert!(!r.overflowed());
+    }
+
+    #[test]
+    fn line_reader_flags_unbounded_newline_free_input() {
+        let mut r = LineReader::new();
+        r.push(&vec![b'x'; MAX_LINE_BYTES + 1]);
+        assert!(r.overflowed());
+        assert_eq!(r.next_line(), None);
+        // Once overflowed the reader stays inert — the connection is dead.
+        r.push(b"{\"type\":\"stats\"}\n");
+        assert_eq!(r.next_line(), None);
+    }
+
+    /// A writer that accepts a fixed number of bytes per call, then
+    /// `WouldBlock`s — the shape of a nonblocking socket with a full
+    /// send buffer.
+    struct Throttle {
+        accepted: Vec<u8>,
+        per_call: usize,
+        calls_before_block: usize,
+    }
+
+    impl std::io::Write for Throttle {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            if self.calls_before_block == 0 {
+                return Err(std::io::ErrorKind::WouldBlock.into());
+            }
+            self.calls_before_block -= 1;
+            let n = buf.len().min(self.per_call);
+            self.accepted.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn write_queue_survives_partial_writes_without_tearing_lines() {
+        let mut q = WriteQueue::new();
+        q.push_line("{\"event\":\"accepted\",\"job\":1}");
+        q.push_line("{\"event\":\"done\",\"job\":1}");
+        let total = q.pending();
+        let mut w = Throttle {
+            accepted: Vec::new(),
+            per_call: 7,
+            calls_before_block: 2,
+        };
+        assert_eq!(q.write_to(&mut w).unwrap(), 14);
+        assert!(!q.is_empty());
+        assert_eq!(q.pending(), total - 14);
+        // Socket drains; the rest goes out on the next readiness pass.
+        w.calls_before_block = usize::MAX;
+        q.write_to(&mut w).unwrap();
+        assert!(q.is_empty());
+        assert_eq!(
+            String::from_utf8(w.accepted).unwrap(),
+            "{\"event\":\"accepted\",\"job\":1}\n{\"event\":\"done\",\"job\":1}\n"
+        );
     }
 
     #[test]

@@ -11,16 +11,28 @@
 //! # Lifecycle
 //!
 //! ```text
-//! accept loop ──> connection thread ──try_push──> JobQueue ──pop──> worker
-//!                      │   ▲                                          │
-//!                      │   └────────── events (mpsc) ─────────────────┘
-//!                      └ forwards accepted/progress/done lines to client
+//!            ┌────────────── readiness loop (one thread) ──────────────┐
+//!            │ poll(2): listener + waker + every client connection     │
+//! clients ──>│ LineReader ─parse─> admission ──try_push──> JobQueue ───┼──pop──> worker
+//!            │ WriteQueue <─ events (mpsc, drained on waker wakeups) <─┼─────────────┘
+//!            └─────────────────────────────────────────────────────────┘
 //! ```
+//!
+//! Connections are **not** threads: one readiness loop holds every client
+//! socket (nonblocking, multiplexed through the std-only `poll(2)` wrapper
+//! in [`crate::poll`]), so a coordinator fanning a campaign across workers
+//! — or thousands of loadgen clients — costs the server one poll entry
+//! each, not a stack each. Per-connection read/write buffering is the
+//! explicit [`LineReader`]/[`WriteQueue`] state machines from
+//! [`crate::proto`]; workers hand results back over per-job mpsc channels
+//! and nudge the loop through a self-pipe-style waker. The worker pool
+//! itself is unchanged from the thread-per-connection design.
 //!
 //! Shutdown (client `shutdown` request or [`Server::shutdown`]) closes the
 //! queue (no new admissions), drains queued + in-flight jobs to their
-//! terminal events, joins workers and connection threads, optionally writes
-//! a Chrome trace of job spans, and returns — nothing accepted is lost.
+//! terminal events, joins workers, flushes remaining client output,
+//! optionally writes a Chrome trace of job spans, and returns — nothing
+//! accepted is lost.
 //!
 //! # Timeouts and cancellation
 //!
@@ -45,7 +57,10 @@ use turnpike_metrics::{Counter, Hist, MetricSet};
 
 use crate::flight::FlightRecorder;
 use crate::json::escape;
-use crate::proto::{Event, JobKind, JobRequest, ProgressStats, Request, StoreStatus};
+use crate::poll::{poll, PollFd};
+use crate::proto::{
+    Event, JobKind, JobRequest, LineReader, ProgressStats, Request, StoreStatus, WriteQueue,
+};
 use crate::queue::{JobQueue, PushError};
 
 /// Tuning knobs for a [`Server`].
@@ -98,6 +113,33 @@ pub struct ExecOutput {
     pub quarantined: u64,
 }
 
+/// Wakes the readiness loop from other threads — workers publishing job
+/// events, shutdown triggers. std has no `pipe(2)`, so the classic
+/// self-pipe trick is built from a loopback TCP socketpair: the loop polls
+/// the receive half; waking writes one byte to the send half. A full
+/// socket buffer means wakeups are already pending, so a `WouldBlock`ed
+/// wake is itself a successful wake.
+struct Waker {
+    tx: Mutex<TcpStream>,
+}
+
+impl Waker {
+    /// Build the socketpair; returns the waker and the receive half for
+    /// the loop to poll.
+    fn new() -> std::io::Result<(Waker, TcpStream)> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let tx = TcpStream::connect(listener.local_addr()?)?;
+        let (rx, _) = listener.accept()?;
+        tx.set_nonblocking(true)?;
+        rx.set_nonblocking(true)?;
+        Ok((Waker { tx: Mutex::new(tx) }, rx))
+    }
+
+    fn wake(&self) {
+        let _ = self.tx.lock().unwrap().write(&[1]);
+    }
+}
+
 /// Per-job control surface handed to the executor: cancellation state and
 /// a progress channel back to the submitting client.
 pub struct JobCtl {
@@ -107,6 +149,9 @@ pub struct JobCtl {
     // mpsc senders are !Sync; executors report progress from worker pools
     // (e.g. the campaign hook fires on par_map threads), so serialize.
     events: Mutex<mpsc::Sender<Event>>,
+    /// Nudges the readiness loop after each send so relays don't wait for
+    /// the next poll timeout. `None` for detached (direct-CLI) handles.
+    waker: Option<Arc<Waker>>,
 }
 
 impl JobCtl {
@@ -121,6 +166,7 @@ impl JobCtl {
             tag: String::new(),
             cancel: Arc::new(AtomicBool::new(false)),
             events: Mutex::new(tx),
+            waker: None,
         }
     }
 
@@ -148,6 +194,9 @@ impl JobCtl {
             stats: None,
         };
         let _ = self.events.lock().unwrap().send(ev);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
     }
 
     /// Stream a progress event enriched with the campaign estimator
@@ -161,6 +210,9 @@ impl JobCtl {
             stats: Some(stats),
         };
         let _ = self.events.lock().unwrap().send(ev);
+        if let Some(w) = &self.waker {
+            w.wake();
+        }
     }
 }
 
@@ -204,9 +256,9 @@ struct Inner {
     next_job: AtomicU64,
     started: Instant,
     spans: Mutex<Vec<Span>>,
-    conns: Mutex<Vec<JoinHandle<()>>>,
     flights: Mutex<std::collections::HashMap<u64, FlightRecorder>>,
     addr: SocketAddr,
+    waker: Arc<Waker>,
 }
 
 /// A running job server. Dropping the handle does **not** stop the server;
@@ -226,7 +278,9 @@ impl Server {
     pub fn start(config: ServerConfig, executor: Arc<dyn Executor>) -> std::io::Result<Server> {
         assert!(config.workers >= 1, "need at least one worker");
         let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
+        let (waker, wake_rx) = Waker::new()?;
         let inner = Arc::new(Inner {
             queue: JobQueue::new(config.queue_capacity),
             config,
@@ -236,9 +290,9 @@ impl Server {
             next_job: AtomicU64::new(1),
             started: Instant::now(),
             spans: Mutex::new(Vec::new()),
-            conns: Mutex::new(Vec::new()),
             flights: Mutex::new(std::collections::HashMap::new()),
             addr,
+            waker: Arc::new(waker),
         });
         let workers: Vec<_> = (0..inner.config.workers)
             .map(|idx| {
@@ -248,7 +302,7 @@ impl Server {
             .collect();
         let thread = {
             let inner = Arc::clone(&inner);
-            std::thread::spawn(move || serve_loop(&inner, &listener, workers))
+            std::thread::spawn(move || serve_loop(&inner, &listener, wake_rx, workers))
         };
         Ok(Server { inner, thread })
     }
@@ -283,8 +337,9 @@ impl Inner {
             return;
         }
         self.queue.close();
-        // Wake the blocking accept() so the serve loop can exit.
-        let _ = TcpStream::connect(self.addr);
+        // Nudge the readiness loop so it stops accepting and starts the
+        // drain immediately instead of at the next poll wakeup.
+        self.waker.wake();
     }
 
     /// Render the `stats` snapshot body with a fixed key order.
@@ -295,7 +350,7 @@ impl Inner {
             "{{\"queue_depth\":{},\"queue_capacity\":{},\"workers\":{},\"shutting_down\":{},\
              \"accepted\":{},\"rejected\":{},\"completed\":{},\"failed\":{},\"canceled\":{},\
              \"store_hits\":{},\"store_misses\":{},\"store_quarantined\":{},\"queue_peak\":{},\
-             \"job_p50_us\":{},\"job_p99_us\":{}}}",
+             \"job_p50_us\":{},\"job_p99_us\":{},\"busy_us\":{},\"uptime_us\":{}}}",
             self.queue.depth(),
             self.queue.capacity(),
             self.config.workers,
@@ -311,6 +366,8 @@ impl Inner {
             m.counter(Counter::ServeQueuePeak),
             hist_q(Hist::ServeJobMicros, 0.50),
             hist_q(Hist::ServeJobMicros, 0.99),
+            m.counter(Counter::ServeBusyMicros),
+            self.started.elapsed().as_micros() as u64,
         )
     }
 
@@ -391,27 +448,343 @@ impl Inner {
     }
 }
 
-fn serve_loop(inner: &Arc<Inner>, listener: &TcpListener, workers: Vec<JoinHandle<()>>) {
-    for stream in listener.incoming() {
-        if inner.shutting_down.load(Ordering::SeqCst) {
+/// One accepted job from this connection's point of view: the receive end
+/// of the worker's event channel plus the deadline/cancellation state the
+/// readiness loop enforces.
+struct ActiveJob {
+    id: u64,
+    rx: mpsc::Receiver<Event>,
+    cancel: Arc<AtomicBool>,
+    deadline: Instant,
+    deadline_raised: bool,
+}
+
+/// One client connection in the readiness loop: a nonblocking socket
+/// bracketed by the protocol's explicit buffer state machines, plus at
+/// most one in-flight job (requests on a connection are sequential, as in
+/// the thread-per-connection design — pipelined bytes wait in the
+/// [`LineReader`] until the current job's terminal event).
+struct Conn {
+    stream: TcpStream,
+    reader: LineReader,
+    out: WriteQueue,
+    job: Option<ActiveJob>,
+    /// Peer is gone (EOF, I/O error, or protocol overflow): stop reading
+    /// and writing, but keep the entry until any in-flight job reaches its
+    /// terminal event so metering and the drain guarantee hold.
+    gone: bool,
+    /// Close once the output buffer flushes (set after answering a
+    /// `shutdown` request, matching the old per-thread handler's return).
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            reader: LineReader::new(),
+            out: WriteQueue::new(),
+            job: None,
+            gone: false,
+            close_after_flush: false,
+        }
+    }
+
+    /// Queue one event line for the client; dropped if the peer is gone
+    /// (a vanished client must not wedge the server — the job still runs
+    /// to completion for the metrics and drain guarantees).
+    fn push_event(&mut self, ev: &Event) {
+        if !self.gone {
+            self.out.push_line(&ev.to_line());
+        }
+    }
+
+    /// Pull whatever the socket has into the line reader. Returns `false`
+    /// when the connection is finished (EOF or error).
+    fn fill(&mut self) -> bool {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return false,
+                Ok(n) => self.reader.push(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return !self.reader.overflowed(),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Flush queued output. Returns `false` on a dead socket.
+    fn flush(&mut self) -> bool {
+        if self.gone || self.out.is_empty() {
+            return true;
+        }
+        self.out.write_to(&mut self.stream).is_ok()
+    }
+}
+
+/// The event-driven heart of the server: one thread, one `poll(2)` set
+/// covering the listener, the waker, and every client connection.
+fn serve_loop(
+    inner: &Arc<Inner>,
+    listener: &TcpListener,
+    wake_rx: TcpStream,
+    workers: Vec<JoinHandle<()>>,
+) {
+    let mut wake_rx = wake_rx;
+    let mut conns: Vec<Conn> = Vec::new();
+    loop {
+        let shutting = inner.shutting_down.load(Ordering::SeqCst);
+        // Exit once the drain is complete: no connection has an in-flight
+        // job (accepted jobs hold their connection entry even if the peer
+        // vanished) and all reachable output is flushed.
+        if shutting
+            && conns
+                .iter()
+                .all(|c| c.job.is_none() && (c.gone || c.out.is_empty()))
+        {
             break;
         }
-        let Ok(stream) = stream else { continue };
-        let conn_inner = Arc::clone(inner);
-        let handle = std::thread::spawn(move || handle_connection(&conn_inner, stream));
-        inner.conns.lock().unwrap().push(handle);
+
+        // Build the poll set. Entry 0 is the waker; entry 1 the listener
+        // (present only while accepting); the rest map 1:1 onto `conns`.
+        let mut entries = Vec::with_capacity(conns.len() + 2);
+        entries.push(PollFd::new(&wake_rx, true, false));
+        let listener_slot = if shutting {
+            None
+        } else {
+            entries.push(PollFd::new(listener, true, false));
+            Some(1)
+        };
+        let conn_base = entries.len();
+        for c in &conns {
+            // Read interest even mid-job: EOF/hangup detection is free and
+            // pipelined bytes are buffered, not processed, until terminal.
+            entries.push(PollFd::new(
+                &c.stream,
+                !c.gone,
+                !c.gone && !c.out.is_empty(),
+            ));
+        }
+        // Sleep until socket activity, a waker nudge, or the nearest job
+        // deadline (already-raised deadlines need no further timer — the
+        // worker's terminal event will wake the loop).
+        let now = Instant::now();
+        let timeout = conns
+            .iter()
+            .filter_map(|c| c.job.as_ref())
+            .filter(|j| !j.deadline_raised)
+            .map(|j| j.deadline.saturating_duration_since(now))
+            .min();
+        if let Err(e) = poll(&mut entries, timeout) {
+            eprintln!("serve: poll failed: {e}");
+            std::thread::sleep(Duration::from_millis(10));
+            continue;
+        }
+
+        // Drain waker bytes *before* job events: a byte written after this
+        // read means its event arrives after this iteration's drain and
+        // the leftover byte re-arms the next poll immediately.
+        if entries[0].readiness().any() {
+            let mut sink = [0u8; 64];
+            while matches!(wake_rx.read(&mut sink), Ok(n) if n > 0) {}
+        }
+
+        // Accept everything pending.
+        if listener_slot.is_some_and(|i| entries[i].readiness().any()) {
+            loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(true);
+                        let _ = stream.set_nodelay(true);
+                        conns.push(Conn::new(stream));
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        let now = Instant::now();
+        for (idx, conn) in conns.iter_mut().enumerate() {
+            let ready = entries
+                .get(conn_base + idx)
+                .map(|e| e.readiness())
+                .unwrap_or_default();
+            if !conn.gone && (ready.readable || ready.hangup || ready.error) && !conn.fill() {
+                conn.gone = true;
+            }
+            relay_job_events(inner, conn);
+            enforce_deadline(inner, conn, now);
+            // Parse buffered requests only while no job is in flight;
+            // each terminal event above may unblock the next one.
+            while conn.job.is_none() && !conn.close_after_flush {
+                let Some(line) = conn.reader.next_line() else {
+                    break;
+                };
+                handle_request(inner, conn, &line);
+            }
+            if !conn.flush() {
+                conn.gone = true;
+            }
+        }
+        conns.retain(|c| {
+            let drained = c.job.is_none();
+            let flushed = c.out.is_empty() || c.gone;
+            !(drained && (c.gone || (c.close_after_flush && flushed)))
+        });
     }
-    // Drain: admission is already closed; every accepted job reaches its
-    // terminal event before the workers exit.
+    // Admission is closed and every accepted job has reached its terminal
+    // event; the workers see the closed, empty queue and exit.
     inner.queue.drain_wait();
     for w in workers {
         let _ = w.join();
     }
-    let conns = std::mem::take(&mut *inner.conns.lock().unwrap());
-    for c in conns {
-        let _ = c.join();
-    }
     inner.write_trace();
+}
+
+/// Drain and relay this connection's in-flight job events; clears
+/// [`Conn::job`] on the terminal event.
+fn relay_job_events(inner: &Arc<Inner>, conn: &mut Conn) {
+    let Some(job) = conn.job.take() else {
+        return;
+    };
+    loop {
+        match job.rx.try_recv() {
+            Ok(ev) => {
+                let terminal = matches!(ev, Event::Done { .. } | Event::Error { .. });
+                if let Event::Progress { done, total, .. } = &ev {
+                    // Recorded at relay time: a progress event the client
+                    // never saw (terminal raced it) is also absent from the
+                    // flight record, which is the truthful ordering.
+                    inner.flight(job.id, "progress", format!("done={done} total={total}"));
+                }
+                conn.push_event(&ev);
+                if terminal {
+                    return;
+                }
+            }
+            Err(mpsc::TryRecvError::Empty) => {
+                conn.job = Some(job);
+                return;
+            }
+            Err(mpsc::TryRecvError::Disconnected) => {
+                conn.push_event(&Event::Error {
+                    job: job.id,
+                    tag: String::new(),
+                    message: "internal: worker dropped the job".to_string(),
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// Raise the cancel flag (once) for a job past its deadline; the worker
+/// still delivers the terminal event — cancellation is cooperative.
+fn enforce_deadline(inner: &Arc<Inner>, conn: &mut Conn, now: Instant) {
+    let Some(job) = conn.job.as_mut() else {
+        return;
+    };
+    if job.deadline_raised || now < job.deadline {
+        return;
+    }
+    job.deadline_raised = true;
+    if !job.cancel.swap(true, Ordering::SeqCst) {
+        inner.flight(
+            job.id,
+            "deadline",
+            "job timeout elapsed; cancel requested".to_string(),
+        );
+    }
+}
+
+/// Handle one parsed request line on a connection with no job in flight.
+fn handle_request(inner: &Arc<Inner>, conn: &mut Conn, line: &str) {
+    match Request::parse(line) {
+        Err(message) => conn.push_event(&Event::Error {
+            job: 0,
+            tag: String::new(),
+            message,
+        }),
+        Ok(Request::Stats) => conn.push_event(&Event::Stats {
+            body: inner.stats_body(),
+        }),
+        Ok(Request::Metrics) => {
+            let body = turnpike_metrics::prometheus_text(&inner.metrics.lock().unwrap());
+            conn.push_event(&Event::Metrics { body });
+        }
+        Ok(Request::Shutdown) => {
+            inner.trigger_shutdown();
+            conn.push_event(&Event::ShuttingDown { tag: String::new() });
+            conn.close_after_flush = true;
+        }
+        Ok(Request::Job(req)) => admit_job(inner, conn, req),
+    }
+}
+
+/// Admission control for one job request: typed rejection when saturated
+/// or shutting down, otherwise enqueue and attach the job to the
+/// connection for event relay.
+fn admit_job(inner: &Arc<Inner>, conn: &mut Conn, req: JobRequest) {
+    let tag = req.tag.clone();
+    if inner.shutting_down.load(Ordering::SeqCst) {
+        conn.push_event(&Event::ShuttingDown { tag });
+        return;
+    }
+    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
+    let (tx, rx) = mpsc::channel();
+    let cancel = Arc::new(AtomicBool::new(false));
+    let job = Job {
+        id,
+        req,
+        events: tx,
+        cancel: Arc::clone(&cancel),
+        enqueued: Instant::now(),
+    };
+    // The recorder must exist before the job is in the queue: a worker can
+    // pop and even finish the job before the loop's next breath. A
+    // rejected job's ring is closed without dumping, so recording `accept`
+    // ahead of the push never leaks evidence for a job that never ran.
+    inner.flight(
+        id,
+        "accept",
+        format!("tag={tag} kind={}", job.req.kind.name()),
+    );
+    match inner.queue.try_push(job) {
+        Err(PushError::Full(_)) => {
+            inner.metrics.lock().unwrap().inc(Counter::ServeRejected);
+            inner.flight_close(id, false);
+            conn.push_event(&Event::Overloaded {
+                tag,
+                retry_after_ms: inner.config.retry_after_ms,
+            });
+        }
+        Err(PushError::Closed) => {
+            inner.flight_close(id, false);
+            conn.push_event(&Event::ShuttingDown { tag });
+        }
+        Ok(depth) => {
+            {
+                let mut m = inner.metrics.lock().unwrap();
+                m.inc(Counter::ServeAccepted);
+                m.record_peak(Counter::ServeQueuePeak, depth as u64);
+            }
+            inner.flight(id, "queue", format!("queue_depth={depth}"));
+            conn.push_event(&Event::Accepted {
+                job: id,
+                tag,
+                queue_depth: depth,
+            });
+            conn.job = Some(ActiveJob {
+                id,
+                rx,
+                cancel,
+                deadline: Instant::now() + inner.config.job_timeout,
+                deadline_raised: false,
+            });
+        }
+    }
 }
 
 fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
@@ -431,6 +804,7 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
             tag: job.req.tag.clone(),
             cancel: Arc::clone(&job.cancel),
             events: Mutex::new(job.events.clone()),
+            waker: Some(Arc::clone(&inner.waker)),
         };
         // A panicking executor must not take the worker (and with it the
         // drain guarantee) down; convert panics into job failures.
@@ -512,6 +886,9 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
             let mut m = inner.metrics.lock().unwrap();
             m.record_hist(Hist::ServeQueueMicros, queue_wait.as_micros() as u64);
             m.record_hist(Hist::ServeJobMicros, dur.as_micros() as u64);
+            // Busy time across the pool: utilization = busy_us delta over
+            // (uptime_us delta × workers). The fleet loadgen reads this.
+            m.add(Counter::ServeBusyMicros, dur.as_micros() as u64);
         }
         if inner.config.trace_path.is_some() {
             let subject = if job.req.kind == JobKind::Figure {
@@ -529,204 +906,10 @@ fn worker_loop(inner: &Arc<Inner>, worker_idx: usize) {
             });
         }
         let _ = job.events.send(terminal);
+        // The terminal event is the one wakeup that must not wait for a
+        // poll timeout: the readiness loop clears the connection's job slot
+        // (and can resume pipelined requests) only after seeing it.
+        inner.waker.wake();
         inner.queue.finish();
-    }
-}
-
-/// Read one `\n`-terminated line, preserving any partial line across read
-/// timeouts (the timeout is what lets idle connections notice shutdown).
-/// `None` means the connection is done (EOF, error, or shutdown).
-fn read_request_line(stream: &mut TcpStream, buf: &mut Vec<u8>, inner: &Inner) -> Option<String> {
-    loop {
-        if let Some(pos) = buf.iter().position(|&b| b == b'\n') {
-            let line: Vec<u8> = buf.drain(..=pos).collect();
-            let text = String::from_utf8_lossy(&line[..pos]).trim().to_string();
-            if text.is_empty() {
-                continue;
-            }
-            return Some(text);
-        }
-        let mut chunk = [0u8; 4096];
-        match stream.read(&mut chunk) {
-            Ok(0) => return None,
-            Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                if inner.shutting_down.load(Ordering::SeqCst) {
-                    return None;
-                }
-            }
-            Err(_) => return None,
-        }
-    }
-}
-
-fn write_line(stream: &mut TcpStream, line: &str) {
-    // A vanished client must not wedge the server; the worker side never
-    // blocks on this socket, so dropping the write is safe.
-    let _ = stream
-        .write_all(line.as_bytes())
-        .and_then(|()| stream.write_all(b"\n"))
-        .and_then(|()| stream.flush());
-}
-
-fn handle_connection(inner: &Arc<Inner>, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let _ = stream.set_nodelay(true);
-    let mut buf = Vec::new();
-    while let Some(line) = read_request_line(&mut stream, &mut buf, inner) {
-        match Request::parse(&line) {
-            Err(message) => write_line(
-                &mut stream,
-                &Event::Error {
-                    job: 0,
-                    tag: String::new(),
-                    message,
-                }
-                .to_line(),
-            ),
-            Ok(Request::Stats) => write_line(
-                &mut stream,
-                &Event::Stats {
-                    body: inner.stats_body(),
-                }
-                .to_line(),
-            ),
-            Ok(Request::Metrics) => {
-                let body = turnpike_metrics::prometheus_text(&inner.metrics.lock().unwrap());
-                write_line(&mut stream, &Event::Metrics { body }.to_line());
-            }
-            Ok(Request::Shutdown) => {
-                inner.trigger_shutdown();
-                write_line(
-                    &mut stream,
-                    &Event::ShuttingDown { tag: String::new() }.to_line(),
-                );
-                return;
-            }
-            Ok(Request::Job(req)) => handle_job(inner, &mut stream, req),
-        }
-    }
-}
-
-fn handle_job(inner: &Arc<Inner>, stream: &mut TcpStream, req: JobRequest) {
-    let tag = req.tag.clone();
-    if inner.shutting_down.load(Ordering::SeqCst) {
-        write_line(stream, &Event::ShuttingDown { tag }.to_line());
-        return;
-    }
-    let id = inner.next_job.fetch_add(1, Ordering::SeqCst);
-    let (tx, rx) = mpsc::channel();
-    let cancel = Arc::new(AtomicBool::new(false));
-    let job = Job {
-        id,
-        req,
-        events: tx,
-        cancel: Arc::clone(&cancel),
-        enqueued: Instant::now(),
-    };
-    // The recorder must exist before the job is in the queue: a worker can
-    // pop and even finish the job before this thread runs another line. A
-    // rejected job's ring is closed without dumping, so recording `accept`
-    // ahead of the push never leaks evidence for a job that never ran.
-    inner.flight(
-        id,
-        "accept",
-        format!("tag={tag} kind={}", job.req.kind.name()),
-    );
-    match inner.queue.try_push(job) {
-        Err(PushError::Full(_)) => {
-            inner.metrics.lock().unwrap().inc(Counter::ServeRejected);
-            inner.flight_close(id, false);
-            write_line(
-                stream,
-                &Event::Overloaded {
-                    tag,
-                    retry_after_ms: inner.config.retry_after_ms,
-                }
-                .to_line(),
-            );
-        }
-        Err(PushError::Closed) => {
-            inner.flight_close(id, false);
-            write_line(stream, &Event::ShuttingDown { tag }.to_line());
-        }
-        Ok(depth) => {
-            {
-                let mut m = inner.metrics.lock().unwrap();
-                m.inc(Counter::ServeAccepted);
-                m.record_peak(Counter::ServeQueuePeak, depth as u64);
-            }
-            inner.flight(id, "queue", format!("queue_depth={depth}"));
-            write_line(
-                stream,
-                &Event::Accepted {
-                    job: id,
-                    tag,
-                    queue_depth: depth,
-                }
-                .to_line(),
-            );
-            forward_events(inner, stream, &rx, &cancel, id);
-        }
-    }
-}
-
-/// Relay events for one accepted job until its terminal event, enforcing
-/// the per-job deadline by raising the cancel flag (then waiting — the
-/// worker always delivers a terminal event, see module docs).
-fn forward_events(
-    inner: &Arc<Inner>,
-    stream: &mut TcpStream,
-    rx: &mpsc::Receiver<Event>,
-    cancel: &AtomicBool,
-    job: u64,
-) {
-    let deadline = Instant::now() + inner.config.job_timeout;
-    loop {
-        let remaining = deadline.saturating_duration_since(Instant::now());
-        let next = if cancel.load(Ordering::SeqCst) {
-            rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected)
-        } else {
-            rx.recv_timeout(remaining)
-        };
-        match next {
-            Ok(ev) => {
-                let terminal = matches!(ev, Event::Done { .. } | Event::Error { .. });
-                if let Event::Progress { done, total, .. } = &ev {
-                    // Recorded at relay time: a progress event the client
-                    // never saw (terminal raced it) is also absent from the
-                    // flight record, which is the truthful ordering.
-                    inner.flight(job, "progress", format!("done={done} total={total}"));
-                }
-                write_line(stream, &ev.to_line());
-                if terminal {
-                    return;
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                // Deadline passed: ask the job to stop, keep draining. The
-                // swap guard records the deadline exactly once even though
-                // the timeout branch can fire on every subsequent recv.
-                if !cancel.swap(true, Ordering::SeqCst) {
-                    inner.flight(
-                        job,
-                        "deadline",
-                        "job timeout elapsed; cancel requested".to_string(),
-                    );
-                }
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                write_line(
-                    stream,
-                    &Event::Error {
-                        job,
-                        tag: String::new(),
-                        message: "internal: worker dropped the job".to_string(),
-                    }
-                    .to_line(),
-                );
-                return;
-            }
-        }
     }
 }

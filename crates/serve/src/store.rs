@@ -28,6 +28,18 @@
 //! Writes create missing parent directories and go through a
 //! temp-file + rename so a concurrent reader sees either the old entry or
 //! the new one, not a torn write.
+//!
+//! # Garbage collection
+//!
+//! The store grows without bound by default; long-running fleets cap it
+//! with [`Store::gc`], which evicts least-recently-*used* entries until the
+//! store fits a byte budget. Recency lives in a sidecar `<hash>.touch`
+//! file next to each entry, refreshed on every hit and put; the sidecar's
+//! *content* is a microsecond timestamp, so LRU order does not depend on
+//! filesystem mtime granularity and tests can fabricate histories by
+//! writing sidecars directly. An entry with no sidecar (e.g. written by an
+//! older build) sorts oldest and is evicted first. The `quarantine/`
+//! directory is evidence, not cache — GC never touches it.
 
 use std::fs;
 use std::io::{Read, Write};
@@ -108,7 +120,10 @@ impl Store {
             Err(_) => return Lookup::Miss,
         }
         match parse_entry(&raw, key) {
-            Some(payload) => Lookup::Hit(payload),
+            Some(payload) => {
+                self.touch(&hash);
+                Lookup::Hit(payload)
+            }
             None => {
                 self.quarantine(&path, &hash);
                 Lookup::Quarantined
@@ -143,7 +158,9 @@ impl Store {
             f.write_all(render_entry(key, payload).as_bytes())?;
             f.sync_all()?;
         }
-        fs::rename(&tmp, &path)
+        fs::rename(&tmp, &path)?;
+        self.touch(&hash);
+        Ok(())
     }
 
     /// Move a bad entry aside for post-mortem instead of deleting or
@@ -177,6 +194,116 @@ impl Store {
             .map(|d| d.count())
             .unwrap_or(0)
     }
+
+    /// Refresh `hash`'s recency sidecar. Best-effort: a failed touch costs
+    /// eviction priority, never correctness.
+    fn touch(&self, hash: &str) {
+        let path = self.entry_path(hash).with_extension("touch");
+        let now_us = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros())
+            .unwrap_or(0);
+        let _ = fs::write(path, format!("{now_us}"));
+    }
+
+    /// Evict least-recently-used entries until the store's `.art` bytes
+    /// fit under `max_bytes`. Returns what happened. Quarantined evidence
+    /// is never collected.
+    ///
+    /// Concurrency: eviction races benignly with readers and writers — a
+    /// reader of an evicted entry sees a plain miss and recomputes; a
+    /// concurrent put of the same key lands after the remove and simply
+    /// repopulates the cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-walk failures; per-entry remove failures are
+    /// skipped (the entry just stays until the next collection).
+    pub fn gc(&self, max_bytes: u64) -> std::io::Result<GcStats> {
+        struct Entry {
+            path: PathBuf,
+            bytes: u64,
+            touched_us: u128,
+        }
+        let mut entries: Vec<Entry> = Vec::new();
+        if !self.root.is_dir() {
+            return Ok(GcStats::default());
+        }
+        // Walk the two-level fanout; anything else at the root (the
+        // quarantine directory, stray temp files) is not GC's business.
+        for level1 in fs::read_dir(&self.root)? {
+            let level1 = level1?.path();
+            if !level1.is_dir() || level1.file_name().is_some_and(|n| n == "quarantine") {
+                continue;
+            }
+            for level2 in fs::read_dir(&level1)? {
+                let level2 = level2?.path();
+                if !level2.is_dir() {
+                    continue;
+                }
+                for file in fs::read_dir(&level2)? {
+                    let path = file?.path();
+                    if path.extension().is_none_or(|e| e != "art") {
+                        continue;
+                    }
+                    let Ok(meta) = fs::metadata(&path) else {
+                        continue;
+                    };
+                    // Sidecar content is the LRU clock; absent or
+                    // unreadable sidecars sort oldest (evict first).
+                    let touched_us = fs::read_to_string(path.with_extension("touch"))
+                        .ok()
+                        .and_then(|s| s.trim().parse::<u128>().ok())
+                        .unwrap_or(0);
+                    entries.push(Entry {
+                        path,
+                        bytes: meta.len(),
+                        touched_us,
+                    });
+                }
+            }
+        }
+        let bytes_before: u64 = entries.iter().map(|e| e.bytes).sum();
+        let mut stats = GcStats {
+            entries: entries.len(),
+            bytes_before,
+            bytes_after: bytes_before,
+            evicted: 0,
+        };
+        if bytes_before <= max_bytes {
+            return Ok(stats);
+        }
+        // Oldest first; ties break by path so collection order is stable.
+        entries.sort_by(|a, b| {
+            a.touched_us
+                .cmp(&b.touched_us)
+                .then_with(|| a.path.cmp(&b.path))
+        });
+        for e in &entries {
+            if stats.bytes_after <= max_bytes {
+                break;
+            }
+            if fs::remove_file(&e.path).is_ok() {
+                let _ = fs::remove_file(e.path.with_extension("touch"));
+                stats.bytes_after -= e.bytes;
+                stats.evicted += 1;
+            }
+        }
+        Ok(stats)
+    }
+}
+
+/// What one [`Store::gc`] pass did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GcStats {
+    /// Entries scanned.
+    pub entries: usize,
+    /// `.art` bytes before collection.
+    pub bytes_before: u64,
+    /// `.art` bytes after collection.
+    pub bytes_after: u64,
+    /// Entries evicted.
+    pub evicted: usize,
 }
 
 fn render_entry(key: &str, payload: &str) -> String {
@@ -342,6 +469,88 @@ mod tests {
         let payload = "line one\nline two\n";
         s.put("k", payload).unwrap();
         assert_eq!(s.get("k"), Lookup::Hit(payload.into()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    /// Fabricate a recency history by writing sidecars directly (their
+    /// content is the LRU clock — no real time needed).
+    fn set_touch(s: &Store, key: &str, when_us: u128) {
+        let side = s.entry_path(&key_hash(key)).with_extension("touch");
+        fs::write(side, format!("{when_us}")).unwrap();
+    }
+
+    #[test]
+    fn gc_evicts_least_recently_used_until_under_budget() {
+        let root = scratch("gc-lru");
+        let s = Store::open(&root);
+        let payload = "x".repeat(100);
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            s.put(key, &payload).unwrap();
+            set_touch(&s, key, 1_000 + i as u128); // a oldest … d newest
+        }
+        let entry_bytes = fs::metadata(s.entry_path(&key_hash("a"))).unwrap().len();
+        let total = entry_bytes * 4;
+
+        // Budget for two entries: the two oldest (a, b) go.
+        let stats = s.gc(entry_bytes * 2).unwrap();
+        assert_eq!(stats.entries, 4);
+        assert_eq!(stats.bytes_before, total);
+        assert_eq!(stats.evicted, 2);
+        assert!(stats.bytes_after <= entry_bytes * 2);
+        assert_eq!(s.get("a"), Lookup::Miss);
+        assert_eq!(s.get("b"), Lookup::Miss);
+        assert_eq!(s.get("c"), Lookup::Hit(payload.clone()));
+        assert_eq!(s.get("d"), Lookup::Hit(payload.clone()));
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_under_budget_is_a_no_op_and_hits_refresh_recency() {
+        let root = scratch("gc-touch");
+        let s = Store::open(&root);
+        s.put("cold", "1234567890").unwrap();
+        s.put("hot", "0987654321").unwrap();
+        set_touch(&s, "cold", 10);
+        set_touch(&s, "hot", 20);
+
+        let stats = s.gc(u64::MAX).unwrap();
+        assert_eq!(stats.evicted, 0);
+        assert_eq!(stats.bytes_after, stats.bytes_before);
+
+        // A hit on `cold` refreshes its sidecar past the fabricated epoch,
+        // flipping the eviction order.
+        assert!(matches!(s.get("cold"), Lookup::Hit(_)));
+        // Budget fits exactly the survivor (entry sizes differ by key
+        // length, so measure the one that should remain).
+        let budget = fs::metadata(s.entry_path(&key_hash("cold"))).unwrap().len();
+        let stats = s.gc(budget).unwrap();
+        assert_eq!(stats.evicted, 1);
+        assert!(
+            matches!(s.get("cold"), Lookup::Hit(_)),
+            "recently used survives"
+        );
+        assert_eq!(s.get("hot"), Lookup::Miss, "stale entry evicted");
+        fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn gc_never_touches_quarantine_and_handles_missing_sidecars() {
+        let root = scratch("gc-quarantine");
+        let s = Store::open(&root);
+        s.put("good", "payload").unwrap();
+        s.put("bad", "payload").unwrap();
+        // Corrupt `bad` and trip quarantine.
+        let bad_path = s.entry_path(&key_hash("bad"));
+        fs::write(&bad_path, "garbage").unwrap();
+        assert_eq!(s.get("bad"), Lookup::Quarantined);
+        assert_eq!(s.quarantined_count(), 1);
+        // Strip `good`'s sidecar: legacy entries still collect (oldest
+        // first) rather than erroring.
+        fs::remove_file(s.entry_path(&key_hash("good")).with_extension("touch")).unwrap();
+
+        let stats = s.gc(0).unwrap();
+        assert_eq!(stats.evicted, 1, "only the live entry is collectable");
+        assert_eq!(s.quarantined_count(), 1, "evidence survives GC");
         fs::remove_dir_all(&root).unwrap();
     }
 }
