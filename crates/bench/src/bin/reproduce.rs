@@ -11,6 +11,8 @@
 //! reproduce watch [--addr A | --workers A,B,...] [--interval-ms N] [--once]
 //! reproduce telemetry [--smoke] [--runs N] [--seed N] [--stop-ci W]
 //!                     [--records FILE [--max-records N]]
+//! reproduce explore [--smoke|--full] [--threads N] [--workers A,B,...]
+//!                   [--store DIR [--resume]] [--seed N] [--epsilon X] [--out FILE]
 //! reproduce sim-throughput [--smoke] [--reps N]
 //! reproduce --list
 //!
@@ -58,6 +60,19 @@
 //! `StopRule::CiWidth` campaign that stops once the SDC-rate Wilson CI
 //! half-width reaches `W`; `--records FILE` writes the ladder's strike
 //! records as JSONL, reservoir-capped to `--max-records N`.
+//!
+//! `explore` sweeps the cross-layer design space (scheme x WCDL x SB size
+//! x CLQ x colors x cache geometry, one declarative grid shared with the
+//! paper's sweeps) through the staged explorer: smoke-scale screening of
+//! every canonical point, epsilon-dominance pruning, then full-scale
+//! promotion with CI-width sequential stopping on the fault-campaign
+//! cells. The Pareto frontier over (runtime overhead, hardware cost, SDC
+//! rate) prints as a figure on stdout and lands as a JSON artifact
+//! (`--out`); both are byte-identical at any `--threads` count and
+//! between direct execution and a `--workers` fleet. `--store DIR`
+//! memoizes every job's payload; `--resume` re-runs a sweep against that
+//! store, skipping everything already evaluated. The run records the
+//! `explore` block (grid/pruning/job counts) in `BENCH_reproduce.json`.
 //!
 //! `trace` exports one kernel's resilience-event timeline under a scheme
 //! (default `turnpike`; see `Scheme::cli_name` for the ladder names) as
@@ -127,7 +142,7 @@ fn usage() -> ExitCode {
          \x20      reproduce submit [--addr A | --direct [--store DIR] [--threads N]] [--progress]\n\
          \x20                       [--kind K] [--kernel K] [--scheme S] [--scale smoke|full]\n\
          \x20                       [--sb N] [--wcdl N] [--runs N] [--seed N] [--strikes N]\n\
-         \x20                       [--target T] [--tag T]\n\
+         \x20                       [--clq C] [--colors N] [--geom G] [--target T] [--tag T]\n\
          \x20      reproduce submit [--addr A] --stats|--shutdown\n\
          \x20      reproduce loadgen [--addr A] [--clients N] [--jobs N] [--max-retries N] [job fields]\n\
          \x20      reproduce coordinate --workers A,B,... [--shards N] [--max-retries N]\n\
@@ -136,6 +151,8 @@ fn usage() -> ExitCode {
          \x20      reproduce watch [--addr A | --workers A,B,...] [--interval-ms N] [--once]\n\
          \x20      reproduce telemetry [--smoke] [--kernel K] [--runs N] [--seed N] [--threads N]\n\
          \x20                          [--stop-ci W] [--records FILE [--max-records N]]\n\
+         \x20      reproduce explore [--smoke|--full] [--threads N] [--workers A,B,...]\n\
+         \x20                        [--store DIR [--resume]] [--seed N] [--epsilon X] [--out FILE]\n\
          \x20      reproduce sim-throughput [--smoke] [--reps N]\n\
          \x20      reproduce --list\n\
          options:\n\
@@ -285,6 +302,15 @@ fn job_flag(req: &mut JobRequest, flag: &str, value: Option<&String>) -> Result<
         "--seed" => req.seed = need_u64(value)?,
         "--strikes" => req.strikes = need_u64(value)?,
         "--target" => req.target = need(value)?,
+        "--clq" => req.clq = need(value)?,
+        "--colors" => {
+            let v = need_u64(value)?;
+            if v > 255 {
+                return Err("--colors must be <= 255".to_string());
+            }
+            req.colors = v;
+        }
+        "--geom" => req.geom = need(value)?,
         "--tag" => req.tag = need(value)?,
         _ => return Ok(false),
     }
@@ -1305,6 +1331,158 @@ fn telemetry_main(args: &[String]) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `reproduce explore [--smoke|--full] [--threads N] [--workers A,B,...]
+/// [--store DIR] [--resume] [--seed N] [--epsilon X] [--out FILE]` — run
+/// the staged cross-layer design-space exploration and emit the Pareto
+/// frontier.
+///
+/// The frontier table goes to stdout (golden-diffable: byte-identical at
+/// any `--threads` count and identical between direct execution and a
+/// `--workers` fleet); the full frontier artifact goes to `--out`
+/// (default `explore_frontier.json`); stage-by-stage progress — grid
+/// size, pruning counts, campaign rounds, store traffic — goes to stderr;
+/// and the run records the `explore` block of `BENCH_reproduce.json`.
+/// `--resume` (requires `--store`) re-runs a sweep against its artifact
+/// store so every already-evaluated job is a store hit instead of a
+/// simulation; the stderr summary reports how many jobs were skipped.
+fn explore_main(args: &[String]) -> ExitCode {
+    use turnpike_bench::explore::{
+        frontier_json, frontier_table, run_explore, ExploreConfig, JobRunner,
+    };
+
+    let mut cfg = ExploreConfig::full();
+    let mut threads = default_threads();
+    let mut workers: Vec<String> = Vec::new();
+    let mut store_dir: Option<String> = None;
+    let mut resume = false;
+    let mut out_path = "explore_frontier.json".to_string();
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--smoke" => cfg = ExploreConfig::smoke(),
+            "--full" => cfg = ExploreConfig::full(),
+            "--threads" => match parse_threads(it.next()) {
+                Ok(n) => threads = n,
+                Err(code) => return code,
+            },
+            "--workers" => match it.next() {
+                Some(v) => workers = v.split(',').map(str::to_string).collect(),
+                None => return usage(),
+            },
+            "--store" => match it.next() {
+                Some(v) => store_dir = Some(v.clone()),
+                None => return usage(),
+            },
+            "--resume" => resume = true,
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => cfg.seed = n,
+                None => {
+                    eprintln!("reproduce explore: --seed must be an integer");
+                    return ExitCode::from(2);
+                }
+            },
+            "--epsilon" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(e) if e > 0.0 => cfg.epsilon = e,
+                _ => {
+                    eprintln!("reproduce explore: --epsilon must be a float > 0");
+                    return ExitCode::from(2);
+                }
+            },
+            "--out" => match it.next() {
+                Some(v) => out_path = v.clone(),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    if resume && store_dir.is_none() {
+        eprintln!("reproduce explore: --resume needs --store DIR (the store holds the artifacts a resumed sweep skips)");
+        return ExitCode::from(2);
+    }
+    if !workers.is_empty() && store_dir.is_some() {
+        eprintln!("reproduce explore: --store is the direct path's; with --workers, give each worker its own (serve --store)");
+        return ExitCode::from(2);
+    }
+    let runner = if workers.is_empty() {
+        // The executor's engine is serial: explore parallelism is
+        // batch-level (whole jobs fan out over `--threads`), which keeps
+        // every payload — including campaign payloads — independent of
+        // the thread count by construction.
+        let mut exec = EngineExecutor::new(Engine::serial());
+        if let Some(dir) = &store_dir {
+            exec = exec.with_store(Store::open(dir));
+        }
+        JobRunner::Direct { exec, threads }
+    } else {
+        JobRunner::Fleet {
+            workers: workers.clone(),
+        }
+    };
+    eprintln!(
+        "# explore: {} scale, seed {:#x}, epsilon {}, {}",
+        cfg.scale_label(),
+        cfg.seed,
+        cfg.epsilon,
+        if workers.is_empty() {
+            format!("{threads} threads")
+        } else {
+            format!("{} workers", workers.len())
+        }
+    );
+    let t0 = Instant::now();
+    let report = match run_explore(&runner, &cfg, &mut |line| eprintln!("# explore: {line}")) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("reproduce explore: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let wall_ms = t0.elapsed().as_millis();
+    if resume {
+        eprintln!(
+            "# explore: resume: {} of {} jobs served from the store",
+            report.counts.store_hits, report.counts.jobs
+        );
+    }
+
+    println!("{}", frontier_table(&report));
+    let artifact = frontier_json(&cfg, &report);
+    if let Err(e) = std::fs::write(&out_path, &artifact) {
+        eprintln!("reproduce explore: write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    eprintln!(
+        "# explore: wrote {out_path} ({} bytes, {} promoted points, {} on the frontier) in {wall_ms} ms",
+        artifact.len(),
+        report.counts.promoted,
+        report.counts.frontier
+    );
+
+    let c = report.counts;
+    let record = format!(
+        "{{\n  \"scale\": {},\n  \"seed\": {},\n  \"epsilon\": {},\n  \"grid_raw\": {},\n  \
+         \"grid_canonical\": {},\n  \"promoted\": {},\n  \"frontier\": {},\n  \"jobs\": {},\n  \
+         \"store_hits\": {},\n  \"campaign_runs\": {},\n  \"threads\": {},\n  \"workers\": {},\n  \
+         \"wall_ms\": {wall_ms}\n}}",
+        json_string(cfg.scale_label()),
+        cfg.seed,
+        cfg.epsilon,
+        c.raw,
+        c.canonical,
+        c.promoted,
+        c.frontier,
+        c.jobs,
+        c.store_hits,
+        c.campaign_runs,
+        threads,
+        workers.len(),
+    );
+    if let Err(e) = write_block("BENCH_reproduce.json", "explore", &record) {
+        eprintln!("# warning: could not write BENCH_reproduce.json: {e}");
+    }
+    ExitCode::SUCCESS
+}
+
 /// `reproduce sim-throughput [--smoke|--full] [--reps N]` — measure
 /// fault-free ("golden path") simulator throughput over the whole kernel
 /// catalog and record it as the `sim_throughput` block of
@@ -1551,6 +1729,7 @@ fn main() -> ExitCode {
         Some("fleet-bench") => return fleet_bench_main(&args[1..]),
         Some("watch") => return watch_main(&args[1..]),
         Some("telemetry") => return telemetry_main(&args[1..]),
+        Some("explore") => return explore_main(&args[1..]),
         Some("sim-throughput") => return sim_throughput_main(&args[1..]),
         _ => {}
     }
@@ -1574,6 +1753,7 @@ fn main() -> ExitCode {
                      \x20 fleet-bench     distributed speedup + open-loop fleet latency block\n\
                      \x20 watch           poll a server's stats + metrics exposition (--workers: fleet view)\n\
                      \x20 telemetry       measure progress-snapshot overhead (--max-records caps JSONL)\n\
+                     \x20 explore         staged design-space exploration; Pareto frontier artifact\n\
                      \x20 sim-throughput  fault-free simulator speed\n"
                 );
                 return ExitCode::SUCCESS;

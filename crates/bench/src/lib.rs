@@ -11,6 +11,7 @@
 
 pub mod coordinate;
 pub mod engine;
+pub mod explore;
 pub mod figures;
 pub mod obs;
 pub mod report;

@@ -19,14 +19,16 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use turnpike_explore::parse_clq;
 use turnpike_resilience::{
-    fault_campaign_shard_hooked, CampaignConfig, CampaignHook, CampaignProgress, CampaignReport,
-    RunError, RunSpec, Scheme,
+    cache_geom, fault_campaign_shard_hooked, CacheGeom, CampaignConfig, CampaignHook,
+    CampaignProgress, CampaignReport, RunError, RunSpec, Scheme,
 };
 use turnpike_serve::{
     ExecOutput, Executor, JobCtl, JobKind, JobRequest, Json, Lookup, ProgressStats, Store,
     StoreStatus,
 };
+use turnpike_sim::ClqKind;
 use turnpike_workloads::{Kernel, Scale};
 
 use crate::engine::Engine;
@@ -222,6 +224,12 @@ struct Resolved {
     scale: Scale,
     /// `None` only for figure jobs (which name a target, not a kernel).
     kernel: Option<Kernel>,
+    /// Explorer overrides, parsed from the request's optional `clq` /
+    /// `colors` / `geom` fields; `None` keeps each scheme default, so a
+    /// pre-explorer request derives exactly the spec it always did.
+    clq: Option<ClqKind>,
+    colors: Option<u8>,
+    geom: Option<CacheGeom>,
 }
 
 fn scale_name(scale: Scale) -> &'static str {
@@ -308,21 +316,53 @@ impl EngineExecutor {
                     .ok_or_else(|| format!("unknown kernel '{}'", req.kernel))?,
             )
         };
+        let clq = if req.clq.is_empty() {
+            None
+        } else {
+            Some(parse_clq(&req.clq).ok_or_else(|| format!("unknown clq '{}'", req.clq))?)
+        };
+        let colors = if req.colors == 0 {
+            None
+        } else {
+            // The protocol already capped it at 255.
+            Some(req.colors as u8)
+        };
+        let geom = if req.geom.is_empty() {
+            None
+        } else {
+            Some(
+                cache_geom(&req.geom)
+                    .ok_or_else(|| format!("unknown cache geometry '{}'", req.geom))?,
+            )
+        };
         Ok(Resolved {
             scheme,
             scale,
             kernel,
+            clq,
+            colors,
+            geom,
         })
     }
 
-    fn spec(req: &JobRequest, scheme: Scheme) -> RunSpec {
-        RunSpec::new(scheme).with_sb(req.sb).with_wcdl(req.wcdl)
+    fn spec(req: &JobRequest, r: &Resolved) -> RunSpec {
+        let mut spec = RunSpec::new(r.scheme).with_sb(req.sb).with_wcdl(req.wcdl);
+        if let Some(clq) = r.clq {
+            spec = spec.with_clq(clq);
+        }
+        if let Some(colors) = r.colors {
+            spec = spec.with_colors(colors);
+        }
+        if let Some(geom) = r.geom {
+            spec = spec.with_geom(geom);
+        }
+        spec
     }
 
     /// Canonical store key: version tag, job kind, kernel/target identity,
     /// and the full derived configs. Single line (the store requires it).
     fn store_key(req: &JobRequest, r: &Resolved) -> String {
-        let spec = Self::spec(req, r.scheme);
+        let spec = Self::spec(req, r);
         match req.kind {
             JobKind::Figure => format!("job-v1|figure|target={}|scale={:?}", req.target, r.scale),
             JobKind::Compile => format!(
@@ -363,7 +403,7 @@ impl EngineExecutor {
         if ctl.is_canceled() {
             return Err("canceled before execution".to_string());
         }
-        let spec = Self::spec(req, r.scheme);
+        let spec = Self::spec(req, r);
         let head = |kind: &str| {
             format!(
                 "{{\"kind\":{},\"kernel\":{},\"scheme\":{},\"scale\":{},\"sb\":{},\"wcdl\":{}",
@@ -613,5 +653,57 @@ mod tests {
         let mut seed = c0.clone();
         seed.seed = 1;
         assert_ne!(ck0, EngineExecutor::store_key(&seed, &rc));
+    }
+
+    /// The explorer's override fields flow into the derived configs (and
+    /// therefore the store keys) without touching default requests: an
+    /// empty override resolves to exactly the spec an older build derived,
+    /// so every pre-explorer store key stays valid.
+    #[test]
+    fn explorer_overrides_flow_into_spec_and_store_keys() {
+        let exec = EngineExecutor::new(Engine::serial());
+        let base = run_req();
+        let k0 = EngineExecutor::store_key(&base, &exec.resolve(&base).unwrap());
+
+        let mut clq = run_req();
+        clq.clq = "cam-4".into();
+        let r = exec.resolve(&clq).unwrap();
+        assert_eq!(
+            EngineExecutor::spec(&clq, &r).sim_config().clq,
+            turnpike_sim::ClqKind::Cam(4)
+        );
+        assert_ne!(k0, EngineExecutor::store_key(&clq, &r));
+
+        let mut colors = run_req();
+        colors.colors = 8;
+        let r = exec.resolve(&colors).unwrap();
+        assert_eq!(EngineExecutor::spec(&colors, &r).sim_config().colors, 8);
+        assert_ne!(k0, EngineExecutor::store_key(&colors, &r));
+
+        let mut geom = run_req();
+        geom.geom = "slim".into();
+        let r = exec.resolve(&geom).unwrap();
+        assert_eq!(
+            EngineExecutor::spec(&geom, &r).sim_config().l1_bytes,
+            32 * 1024
+        );
+        assert_ne!(k0, EngineExecutor::store_key(&geom, &r));
+
+        // Explicitly naming the defaults aliases the default key — the
+        // explorer's canonical points and a plain request share artifacts.
+        let mut a53 = run_req();
+        a53.geom = "a53".into();
+        assert_eq!(
+            k0,
+            EngineExecutor::store_key(&a53, &exec.resolve(&a53).unwrap())
+        );
+
+        // Bad names are resolve-time field errors, not panics.
+        let mut bad = run_req();
+        bad.clq = "compact-x".into();
+        assert!(exec.execute_direct(&bad).unwrap_err().contains("clq"));
+        let mut bad = run_req();
+        bad.geom = "huge".into();
+        assert!(exec.execute_direct(&bad).unwrap_err().contains("geometry"));
     }
 }

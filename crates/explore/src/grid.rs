@@ -1,0 +1,281 @@
+//! Declarative grid enumeration and the design-point type.
+//!
+//! The axes themselves live in `turnpike_resilience::preset`
+//! ([`ExploreAxes`]) so the explorer and the paper's color/WCDL sweeps
+//! share one copy of every knob range. This module turns an axes
+//! definition into the *canonical* point list: the cartesian product with
+//! no-effect axis values collapsed (a color count on a scheme without
+//! coloring, a CLQ design on a scheme without WAR-free release), so the
+//! search never pays to evaluate two configurations the simulator cannot
+//! tell apart.
+
+use turnpike_model::{CostModel, StructureCost};
+use turnpike_resilience::{CacheGeom, ExploreAxes, RunSpec, Scheme};
+use turnpike_sim::ClqKind;
+
+/// Stable wire/CLI name of a CLQ design (`off`, `ideal`, `compact-N`,
+/// `cam-N`). [`parse_clq`] inverts it.
+pub fn clq_name(clq: ClqKind) -> String {
+    match clq {
+        ClqKind::Off => "off".to_string(),
+        ClqKind::Ideal => "ideal".to_string(),
+        ClqKind::Compact(n) => format!("compact-{n}"),
+        ClqKind::Cam(n) => format!("cam-{n}"),
+    }
+}
+
+/// Parse a [`clq_name`] back into a [`ClqKind`].
+pub fn parse_clq(name: &str) -> Option<ClqKind> {
+    match name {
+        "off" => return Some(ClqKind::Off),
+        "ideal" => return Some(ClqKind::Ideal),
+        _ => {}
+    }
+    if let Some(n) = name.strip_prefix("compact-") {
+        return n.parse().ok().map(ClqKind::Compact);
+    }
+    if let Some(n) = name.strip_prefix("cam-") {
+        return n.parse().ok().map(ClqKind::Cam);
+    }
+    None
+}
+
+/// One canonical point of the cross-layer design space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// Protection scheme (compiler + hardware technique set).
+    pub scheme: Scheme,
+    /// Worst-case detection latency in cycles.
+    pub wcdl: u64,
+    /// Store-buffer entries.
+    pub sb_size: u32,
+    /// CLQ design; `None` means the axis has no effect on this scheme
+    /// (no WAR-free release) and was canonicalized away.
+    pub clq: Option<ClqKind>,
+    /// Color-pool size; `None` means the axis has no effect on this
+    /// scheme (no checkpoint coloring) and was canonicalized away.
+    pub colors: Option<u8>,
+    /// Cache geometry.
+    pub geom: CacheGeom,
+}
+
+impl DesignPoint {
+    /// Stable single-line identity, usable as a sort key and a log label.
+    pub fn id(&self) -> String {
+        format!(
+            "{}|wcdl={}|sb={}|clq={}|colors={}|geom={}",
+            self.scheme.cli_name(),
+            self.wcdl,
+            self.sb_size,
+            self.clq.map_or_else(|| "-".to_string(), clq_name),
+            self.colors
+                .map_or_else(|| "-".to_string(), |c| c.to_string()),
+            self.geom.name,
+        )
+    }
+
+    /// The run specification evaluating this point: the scheme preset with
+    /// every swept override applied.
+    pub fn spec(&self) -> RunSpec {
+        let mut spec = RunSpec::new(self.scheme)
+            .with_sb(self.sb_size)
+            .with_wcdl(self.wcdl)
+            .with_geom(self.geom);
+        if let Some(clq) = self.clq {
+            spec = spec.with_clq(clq);
+        }
+        if let Some(colors) = self.colors {
+            spec = spec.with_colors(colors);
+        }
+        spec
+    }
+
+    /// Area and energy of the point's added hardware, via
+    /// [`CostModel::price`] on the fully-derived simulator configuration.
+    pub fn price(&self, model: &CostModel) -> StructureCost {
+        model.price(&self.spec().sim_config())
+    }
+}
+
+/// The enumerated grid: the raw cartesian-product size and the canonical
+/// point list (ordered scheme-outermost, geometry-innermost — the
+/// deterministic enumeration order every downstream stage preserves).
+#[derive(Debug, Clone)]
+pub struct Grid {
+    /// Size of the raw cartesian product, before canonicalization.
+    pub raw: usize,
+    /// The canonical points, in enumeration order.
+    pub points: Vec<DesignPoint>,
+}
+
+/// Enumerate the canonical points of `axes`.
+///
+/// Canonicalization collapses axis values the simulator provably ignores:
+/// a scheme whose configuration has no WAR-free release gets `clq: None`
+/// instead of one point per CLQ design, and a scheme without checkpoint
+/// coloring gets `colors: None`. Whether an axis matters is read off the
+/// scheme's own `SimConfig` (not a hand-maintained list), so a new scheme
+/// is classified correctly by construction.
+pub fn enumerate(axes: &ExploreAxes) -> Grid {
+    let raw = axes.schemes.len()
+        * axes.wcdls.len()
+        * axes.sb_sizes.len()
+        * axes.clqs.len()
+        * axes.colors.len()
+        * axes.geoms.len();
+    let mut points = Vec::new();
+    for &scheme in axes.schemes {
+        // WAR-free/coloring are scheme properties; probe with any knobs.
+        let sc = scheme.sim_config(4, 10);
+        let clqs: Vec<Option<ClqKind>> = if sc.war_free {
+            axes.clqs.iter().map(|&c| Some(c)).collect()
+        } else {
+            vec![None]
+        };
+        let colors: Vec<Option<u8>> = if sc.coloring {
+            axes.colors.iter().map(|&c| Some(c)).collect()
+        } else {
+            vec![None]
+        };
+        for &wcdl in axes.wcdls {
+            for &sb_size in axes.sb_sizes {
+                for &clq in &clqs {
+                    for &color in &colors {
+                        for &geom in axes.geoms {
+                            points.push(DesignPoint {
+                                scheme,
+                                wcdl,
+                                sb_size,
+                                clq,
+                                colors: color,
+                                geom,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Grid { raw, points }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use turnpike_resilience::EXPLORE_AXES;
+
+    #[test]
+    fn clq_names_round_trip() {
+        for clq in [
+            ClqKind::Off,
+            ClqKind::Ideal,
+            ClqKind::Compact(2),
+            ClqKind::Compact(4),
+            ClqKind::Cam(4),
+            ClqKind::Cam(40),
+        ] {
+            assert_eq!(parse_clq(&clq_name(clq)), Some(clq));
+        }
+        assert_eq!(parse_clq("compact-x"), None);
+        assert_eq!(parse_clq("clq"), None);
+        assert_eq!(parse_clq(""), None);
+    }
+
+    /// Pins the default grid's shape: 864 raw combinations collapse to 504
+    /// canonical points (turnstile has neither a CLQ nor colors, WAR-free
+    /// has a CLQ but no colors, turnpike/adaptive sweep everything). The
+    /// explore report's pruning counts build on these numbers.
+    #[test]
+    fn default_grid_shape_is_pinned() {
+        let grid = enumerate(&EXPLORE_AXES);
+        assert_eq!(grid.raw, 864);
+        assert_eq!(grid.points.len(), 504);
+        let count = |s: Scheme| grid.points.iter().filter(|p| p.scheme == s).count();
+        assert_eq!(count(Scheme::Turnstile), 18);
+        assert_eq!(count(Scheme::WarFree), 54);
+        assert_eq!(count(Scheme::Turnpike), 216);
+        assert_eq!(count(Scheme::Adaptive), 216);
+        // Canonical points are unique — collapsing left no duplicates.
+        let mut ids: Vec<String> = grid.points.iter().map(DesignPoint::id).collect();
+        ids.sort();
+        ids.dedup();
+        assert_eq!(ids.len(), grid.points.len());
+    }
+
+    #[test]
+    fn no_effect_axes_are_collapsed_not_duplicated() {
+        let grid = enumerate(&EXPLORE_AXES);
+        for p in &grid.points {
+            let sc = p.scheme.sim_config(4, 10);
+            assert_eq!(p.clq.is_some(), sc.war_free, "{}", p.id());
+            assert_eq!(p.colors.is_some(), sc.coloring, "{}", p.id());
+        }
+    }
+
+    /// Two canonical points must never derive the same (compiler, sim)
+    /// configuration pair with the same kernel-facing identity — otherwise
+    /// the explorer would evaluate one configuration twice under two
+    /// names. (Distinct WCDLs with equal configs cannot happen because
+    /// WCDL is itself a SimConfig field, and so on for every axis.)
+    #[test]
+    fn canonical_points_derive_distinct_configurations() {
+        let grid = enumerate(&EXPLORE_AXES);
+        let mut configs: Vec<String> = grid
+            .points
+            .iter()
+            .map(|p| {
+                let spec = p.spec();
+                format!("{:?}|{:?}", spec.compiler_config(), spec.sim_config())
+            })
+            .collect();
+        let total = configs.len();
+        configs.sort();
+        configs.dedup();
+        assert_eq!(configs.len(), total);
+    }
+
+    #[test]
+    fn point_spec_applies_every_override() {
+        let p = DesignPoint {
+            scheme: Scheme::Turnpike,
+            wcdl: 30,
+            sb_size: 8,
+            clq: Some(ClqKind::Cam(4)),
+            colors: Some(8),
+            geom: turnpike_resilience::cache_geom("slim").unwrap(),
+        };
+        let sc = p.spec().sim_config();
+        assert_eq!(sc.wcdl, 30);
+        assert_eq!(sc.sb_size, 8);
+        assert_eq!(sc.clq, ClqKind::Cam(4));
+        assert_eq!(sc.colors, 8);
+        assert_eq!(sc.l1_bytes, 32 * 1024);
+        assert_eq!(p.id(), "turnpike|wcdl=30|sb=8|clq=cam-4|colors=8|geom=slim");
+    }
+
+    #[test]
+    fn pricing_tracks_the_grid_axes() {
+        let m = CostModel::calibrated();
+        let base = DesignPoint {
+            scheme: Scheme::Turnpike,
+            wcdl: 10,
+            sb_size: 4,
+            clq: Some(ClqKind::Compact(2)),
+            colors: Some(4),
+            geom: turnpike_resilience::cache_geom("a53").unwrap(),
+        };
+        let p0 = base.price(&m);
+        let bigger = DesignPoint {
+            sb_size: 40,
+            ..base
+        };
+        assert!(bigger.price(&m).area_um2 > p0.area_um2);
+        // Geometry is priced as part of the *core* (unchanged baseline
+        // caches), so it never moves the added-hardware cost.
+        let slim = DesignPoint {
+            geom: turnpike_resilience::cache_geom("slim").unwrap(),
+            ..base
+        };
+        assert_eq!(slim.price(&m), p0);
+    }
+}

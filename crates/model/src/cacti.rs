@@ -12,6 +12,12 @@
 //!   (`cost = c · entries^α`), fitted through the paper's 4-entry
 //!   (621.28 µm² / 0.43099 pJ) and 40-entry (3132.50 µm² / 2.11525 pJ)
 //!   store-buffer points.
+//!
+//! [`CostModel::price`] composes these laws over a whole [`SimConfig`] so
+//! the design-space explorer can cost arbitrary configurations, not just
+//! Table 1's fixed points.
+
+use turnpike_sim::{ClqKind, SimConfig};
 
 /// Area (µm²) and dynamic access energy (pJ) of one structure.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -85,6 +91,36 @@ impl CostModel {
     /// The compact CLQ: `entries` × (region tag + min + max) ≈ 8 bytes each.
     pub fn compact_clq(&self, entries: u32) -> StructureCost {
         self.ram(entries as f64 * 8.0)
+    }
+
+    /// Price a full simulator configuration: the cost of every piece of
+    /// *added* hardware the configuration implies, not just Table 1's fixed
+    /// points.
+    ///
+    /// * the store buffer CAM, sized by `sb_size`;
+    /// * the color maps (only when `coloring` is on), sized by the
+    ///   configured color-pool count for a 32-register file;
+    /// * the CLQ, priced by kind: compact entries are RAM
+    ///   ([`Self::compact_clq`]), CAM entries use the CAM law, `Off` is
+    ///   free, and `Ideal` — an unbounded oracle with no physical sizing —
+    ///   is priced as an RBB-sized CAM, the smallest structure that could
+    ///   actually deliver its behavior (the RBB bounds in-flight regions).
+    pub fn price(&self, sc: &SimConfig) -> StructureCost {
+        let mut total = self.cam(sc.sb_size);
+        let mut add = |c: StructureCost| {
+            total.area_um2 += c.area_um2;
+            total.energy_pj += c.energy_pj;
+        };
+        if sc.coloring {
+            add(self.color_maps(32, sc.colors as u32));
+        }
+        match sc.clq {
+            ClqKind::Off => {}
+            ClqKind::Compact(entries) => add(self.compact_clq(entries)),
+            ClqKind::Cam(entries) => add(self.cam(entries)),
+            ClqKind::Ideal => add(self.cam(sc.rbb_size)),
+        }
+        total
     }
 }
 
@@ -254,5 +290,69 @@ mod tests {
         let m = CostModel::calibrated();
         assert!(m.cam(0).area_um2 > 0.0);
         assert_eq!(m.ram(0.0).area_um2, 0.0);
+    }
+
+    /// `price` must reproduce the published Table 1 points exactly when fed
+    /// the paper's configurations, so the calibration can't drift as the
+    /// explorer starts pricing arbitrary grid points.
+    #[test]
+    fn price_is_pinned_to_table1_rows() {
+        let m = CostModel::calibrated();
+        let t = Table1::build();
+
+        // Baseline turnstile on a 4-entry SB: no coloring, no CLQ — the
+        // price is exactly the Table 1 "4-entry SB (CAM)" row.
+        let turnstile4 = SimConfig::turnstile(4, 10);
+        assert!(!turnstile4.coloring);
+        assert_eq!(turnstile4.clq, ClqKind::Off);
+        let p = m.price(&turnstile4);
+        assert!((p.area_um2 - SB4_AREA).abs() < 1e-6);
+        assert!((p.energy_pj - SB4_ENERGY).abs() < 1e-9);
+
+        // Turnstile on a 40-entry SB: the "40-entry SB (CAM)" row.
+        let p = m.price(&SimConfig::turnstile(40, 10));
+        assert!((p.area_um2 - SB40_AREA).abs() < 1e-6);
+        assert!((p.energy_pj - SB40_ENERGY).abs() < 1e-9);
+
+        // Full Turnpike (4 colors, 2-entry compact CLQ) on a 4-entry SB:
+        // the SB row plus the Table 1 Turnpike total (color maps + CLQ).
+        let turnpike4 = SimConfig::turnpike(4, 10);
+        assert_eq!(turnpike4.colors, 4);
+        assert_eq!(turnpike4.clq, ClqKind::Compact(2));
+        let p = m.price(&turnpike4);
+        let total = &t.rows[3].cost;
+        assert!((p.area_um2 - (SB4_AREA + total.area_um2)).abs() < 1e-6);
+        assert!((p.energy_pj - (SB4_ENERGY + total.energy_pj)).abs() < 1e-9);
+    }
+
+    /// Every priced axis must actually move the price: the explorer's cost
+    /// objective is meaningless for a knob `price` ignores.
+    #[test]
+    fn price_responds_to_every_swept_knob() {
+        let m = CostModel::calibrated();
+        let base = SimConfig::turnpike(4, 10);
+        let p0 = m.price(&base);
+
+        let mut bigger_sb = base.clone();
+        bigger_sb.sb_size = 8;
+        assert!(m.price(&bigger_sb).area_um2 > p0.area_um2);
+
+        let mut more_colors = base.clone();
+        more_colors.colors = 8;
+        assert!(m.price(&more_colors).area_um2 > p0.area_um2);
+
+        let mut cam_clq = base.clone();
+        cam_clq.clq = ClqKind::Cam(4);
+        assert!(m.price(&cam_clq).area_um2 > p0.area_um2);
+
+        let mut no_coloring = base.clone();
+        no_coloring.coloring = false;
+        assert!(m.price(&no_coloring).area_um2 < p0.area_um2);
+
+        // Ideal is priced as an RBB-sized CAM: strictly the most expensive
+        // CLQ option, so the oracle never looks free on the frontier.
+        let mut ideal = base.clone();
+        ideal.clq = ClqKind::Ideal;
+        assert!(m.price(&ideal).area_um2 > m.price(&cam_clq).area_um2);
     }
 }

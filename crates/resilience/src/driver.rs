@@ -1,5 +1,6 @@
 //! Compile-and-simulate driver.
 
+use crate::preset::CacheGeom;
 use crate::scheme::Scheme;
 use std::sync::Arc;
 use turnpike_compiler::{
@@ -40,6 +41,13 @@ pub struct RunSpec {
     /// own policy. Applied in [`RunSpec::compiler_config`], so it rides
     /// through campaigns and the engine's compile cache untouched.
     pub policy_override: Option<ProtectionPolicy>,
+    /// Override the color-pool size (the explorer's color axis); `None`
+    /// keeps the scheme's default. Only meaningful when the scheme's
+    /// configuration has coloring on — otherwise the simulator ignores it.
+    pub colors_override: Option<u8>,
+    /// Override the cache geometry (the explorer's cache axis); `None`
+    /// keeps the simulator's Cortex-A53-like default.
+    pub geom_override: Option<CacheGeom>,
 }
 
 impl RunSpec {
@@ -53,6 +61,8 @@ impl RunSpec {
             histograms: false,
             snapshot_override: None,
             policy_override: None,
+            colors_override: None,
+            geom_override: None,
         }
     }
 
@@ -96,6 +106,18 @@ impl RunSpec {
         self
     }
 
+    /// Same spec with the color-pool size overridden.
+    pub fn with_colors(mut self, colors: u8) -> Self {
+        self.colors_override = Some(colors);
+        self
+    }
+
+    /// Same spec with the cache geometry overridden.
+    pub fn with_geom(mut self, geom: CacheGeom) -> Self {
+        self.geom_override = Some(geom);
+        self
+    }
+
     /// The compiler configuration this spec compiles under. Two specs with
     /// equal configurations produce identical machine code, which is what
     /// lets the evaluation engine share one compile across run points.
@@ -118,6 +140,15 @@ impl RunSpec {
         sc.histograms = self.histograms;
         if let Some(interval) = self.snapshot_override {
             sc.snapshot_interval = interval;
+        }
+        if let Some(colors) = self.colors_override {
+            sc.colors = colors;
+        }
+        if let Some(geom) = self.geom_override {
+            sc.l1_bytes = geom.l1_bytes;
+            sc.l1_ways = geom.l1_ways;
+            sc.l2_bytes = geom.l2_bytes;
+            sc.l2_ways = geom.l2_ways;
         }
         sc
     }
@@ -457,5 +488,24 @@ mod tests {
         assert_eq!(s.wcdl, 50);
         assert_eq!(s.sb_size, 8);
         assert_eq!(s.clq_override, Some(ClqKind::Ideal));
+    }
+
+    #[test]
+    fn colors_and_geom_overrides_reach_the_sim_config() {
+        use crate::preset::cache_geom;
+        let slim = cache_geom("slim").unwrap();
+        let s = RunSpec::new(Scheme::Turnpike)
+            .with_colors(8)
+            .with_geom(slim);
+        let sc = s.sim_config();
+        assert_eq!(sc.colors, 8);
+        assert_eq!(sc.l1_bytes, slim.l1_bytes);
+        assert_eq!(sc.l1_ways, slim.l1_ways);
+        assert_eq!(sc.l2_bytes, slim.l2_bytes);
+        assert_eq!(sc.l2_ways, slim.l2_ways);
+        // The default spec leaves both knobs at the scheme's values.
+        let default = RunSpec::new(Scheme::Turnpike).sim_config();
+        assert_eq!(default.colors, 4);
+        assert_eq!(default.l1_bytes, 64 * 1024);
     }
 }

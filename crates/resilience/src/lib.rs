@@ -46,5 +46,8 @@ pub use driver::{
     RunSpec,
 };
 pub use par::par_map;
-pub use preset::{AblationKnob, LadderRung, ABLATION, COLOR_POOLS, COLOR_WCDLS, LADDER};
+pub use preset::{
+    cache_geom, AblationKnob, CacheGeom, ExploreAxes, LadderRung, ABLATION, CACHE_GEOMS,
+    COLOR_POOLS, COLOR_WCDLS, EXPLORE_AXES, LADDER,
+};
 pub use scheme::Scheme;

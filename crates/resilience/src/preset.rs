@@ -208,6 +208,88 @@ pub const COLOR_POOLS: [u8; 4] = [1, 2, 4, 8];
 /// Detection latencies swept by the color-pool experiment.
 pub const COLOR_WCDLS: [u64; 3] = [10, 30, 50];
 
+/// One named first/second-level cache geometry for the explorer's cache
+/// axis. Applied to a [`SimConfig`] via `RunSpec::with_geom`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheGeom {
+    /// Short CLI/wire name ("a53", "slim", ...).
+    pub name: &'static str,
+    /// L1 data cache capacity in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// L2 capacity in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+}
+
+/// The cache geometries the explorer sweeps. `"a53"` is the paper's
+/// Cortex-A53-like default (the values baked into `SimConfig::baseline`);
+/// `"slim"` halves both levels to probe sensitivity of the frontier to a
+/// leaner memory system.
+pub const CACHE_GEOMS: [CacheGeom; 2] = [
+    CacheGeom {
+        name: "a53",
+        l1_bytes: 64 * 1024,
+        l1_ways: 2,
+        l2_bytes: 128 * 1024,
+        l2_ways: 16,
+    },
+    CacheGeom {
+        name: "slim",
+        l1_bytes: 32 * 1024,
+        l1_ways: 2,
+        l2_bytes: 64 * 1024,
+        l2_ways: 8,
+    },
+];
+
+/// Look up a [`CACHE_GEOMS`] entry by its wire name.
+pub fn cache_geom(name: &str) -> Option<CacheGeom> {
+    CACHE_GEOMS.iter().copied().find(|g| g.name == name)
+}
+
+/// The declarative cross-layer explorer grid: one axis list per swept
+/// knob. The color and WCDL axes are *the same arrays* the color-pool
+/// sweep uses ([`COLOR_POOLS`], [`COLOR_WCDLS`]) — there is exactly one
+/// copy of each knob range in the workspace, so the sweeps cannot fall
+/// out of sync. The explorer enumerates the cartesian product of these
+/// axes in this field order (scheme outermost, geometry innermost).
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreAxes {
+    /// Protection schemes to sweep.
+    pub schemes: &'static [Scheme],
+    /// Worst-case detection latencies (shared with the color sweep).
+    pub wcdls: &'static [u64],
+    /// Store-buffer sizes.
+    pub sb_sizes: &'static [u32],
+    /// CLQ designs (kind + entries).
+    pub clqs: &'static [ClqKind],
+    /// Color-pool sizes (shared with the color sweep).
+    pub colors: &'static [u8],
+    /// Cache geometries.
+    pub geoms: &'static [CacheGeom],
+}
+
+/// The default explorer grid: the paper's scheme endpoints (turnstile,
+/// WAR-free turnstile, full turnpike, adaptive turnpike) crossed with the
+/// shared WCDL/color grids, the Table-1 SB sizes plus a midpoint, three
+/// CLQ designs, and both cache geometries.
+pub const EXPLORE_AXES: ExploreAxes = ExploreAxes {
+    schemes: &[
+        Scheme::Turnstile,
+        Scheme::WarFree,
+        Scheme::Turnpike,
+        Scheme::Adaptive,
+    ],
+    wcdls: &COLOR_WCDLS,
+    sb_sizes: &[4, 8, 40],
+    clqs: &[ClqKind::Compact(2), ClqKind::Compact(4), ClqKind::Cam(4)],
+    colors: &COLOR_POOLS,
+    geoms: &CACHE_GEOMS,
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -285,5 +367,50 @@ mod tests {
     fn sweep_grids_are_pinned() {
         assert_eq!(COLOR_POOLS, [1, 2, 4, 8]);
         assert_eq!(COLOR_WCDLS, [10, 30, 50]);
+    }
+
+    /// The explorer axes must *alias* the color-sweep grids (same statics,
+    /// not equal copies) and keep their pinned contents: the whole point of
+    /// the declarative definition is that there is one copy of each knob
+    /// range in the workspace.
+    #[test]
+    fn explore_axes_share_the_sweep_grids_and_are_pinned() {
+        assert!(std::ptr::eq(
+            EXPLORE_AXES.wcdls.as_ptr(),
+            COLOR_WCDLS.as_ptr()
+        ));
+        assert!(std::ptr::eq(
+            EXPLORE_AXES.colors.as_ptr(),
+            COLOR_POOLS.as_ptr()
+        ));
+        assert_eq!(
+            EXPLORE_AXES.schemes,
+            [
+                Scheme::Turnstile,
+                Scheme::WarFree,
+                Scheme::Turnpike,
+                Scheme::Adaptive
+            ]
+        );
+        assert_eq!(EXPLORE_AXES.sb_sizes, [4, 8, 40]);
+        assert_eq!(
+            EXPLORE_AXES.clqs,
+            [ClqKind::Compact(2), ClqKind::Compact(4), ClqKind::Cam(4)]
+        );
+        assert_eq!(EXPLORE_AXES.geoms, CACHE_GEOMS);
+    }
+
+    /// The default geometry must match the values baked into
+    /// `SimConfig::baseline` — "a53" means "leave the caches alone".
+    #[test]
+    fn a53_geometry_matches_the_simulator_default() {
+        let base = SimConfig::baseline();
+        let a53 = cache_geom("a53").unwrap();
+        assert_eq!(a53.l1_bytes, base.l1_bytes);
+        assert_eq!(a53.l1_ways, base.l1_ways);
+        assert_eq!(a53.l2_bytes, base.l2_bytes);
+        assert_eq!(a53.l2_ways, base.l2_ways);
+        assert!(cache_geom("slim").is_some());
+        assert!(cache_geom("nope").is_none());
     }
 }

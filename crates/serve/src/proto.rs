@@ -82,6 +82,18 @@ pub struct JobRequest {
     /// campaign. Omitted from the wire when `0`, so unsharded requests
     /// render exactly as they always did.
     pub run_offset: u64,
+    /// CLQ design override (e.g. `"compact-4"`, `"cam-4"`, `"off"`,
+    /// `"ideal"`); empty (the default) keeps the scheme's own CLQ. The
+    /// design-space explorer sets this; like `run_offset`, it is omitted
+    /// from the wire when default so pre-explorer requests render exactly
+    /// as they always did. The server validates the name at resolve time.
+    pub clq: String,
+    /// Color-pool size override; `0` (the default) keeps the scheme's own
+    /// color count. Omitted from the wire when `0`.
+    pub colors: u64,
+    /// Cache geometry name (e.g. `"slim"`); empty (the default) keeps the
+    /// simulator's default geometry. Omitted from the wire when empty.
+    pub geom: String,
     /// Opaque client token echoed in every event; empty = none.
     pub tag: String,
 }
@@ -102,6 +114,9 @@ impl JobRequest {
             strikes: 1,
             target: "summary".to_string(),
             run_offset: 0,
+            clq: String::new(),
+            colors: 0,
+            geom: String::new(),
             tag: String::new(),
         }
     }
@@ -143,6 +158,12 @@ impl JobRequest {
         get_u64("seed", &mut req.seed)?;
         get_u64("strikes", &mut req.strikes)?;
         get_u64("run_offset", &mut req.run_offset)?;
+        get_str("clq", &mut req.clq)?;
+        get_u64("colors", &mut req.colors)?;
+        get_str("geom", &mut req.geom)?;
+        if req.colors > 255 {
+            return Err("'colors' must be <= 255".to_string());
+        }
         if !matches!(req.scale.as_str(), "smoke" | "full") {
             return Err(format!(
                 "'scale' must be 'smoke' or 'full', got '{}'",
@@ -181,6 +202,15 @@ impl JobRequest {
         if self.run_offset != 0 {
             out.push_str(&format!(",\"run_offset\":{}", self.run_offset));
         }
+        if !self.clq.is_empty() {
+            out.push_str(&format!(",\"clq\":{}", escape(&self.clq)));
+        }
+        if self.colors != 0 {
+            out.push_str(&format!(",\"colors\":{}", self.colors));
+        }
+        if !self.geom.is_empty() {
+            out.push_str(&format!(",\"geom\":{}", escape(&self.geom)));
+        }
         if !self.tag.is_empty() {
             out.push_str(&format!(",\"tag\":{}", escape(&self.tag)));
         }
@@ -190,6 +220,9 @@ impl JobRequest {
 }
 
 /// Any request a connection can carry.
+// One `Request` exists per parsed line and is consumed immediately; the
+// size skew against the dataless control variants buys nothing to box.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// Submit a job.
@@ -785,6 +818,41 @@ mod tests {
         ))
         .expect_err("overflowing shard");
         assert!(err.contains("run_offset"), "{err}");
+    }
+
+    #[test]
+    fn explorer_overrides_ride_the_wire_only_when_set() {
+        // A default request renders without any of the explorer's override
+        // keys — old servers and golden transcripts never see them.
+        let plain = JobRequest::new(JobKind::Run);
+        let line = plain.to_line();
+        for key in ["clq", "colors", "geom"] {
+            assert!(!line.contains(key), "{line}");
+        }
+        match Request::parse(&line).unwrap() {
+            Request::Job(parsed) => {
+                assert!(parsed.clq.is_empty());
+                assert_eq!(parsed.colors, 0);
+                assert!(parsed.geom.is_empty());
+            }
+            other => panic!("expected job, got {other:?}"),
+        }
+        // An explorer point round-trips every override.
+        let mut point = JobRequest::new(JobKind::Campaign);
+        point.clq = "cam-4".into();
+        point.colors = 8;
+        point.geom = "slim".into();
+        let line = point.to_line();
+        assert!(line.contains("\"clq\":\"cam-4\""), "{line}");
+        assert!(line.contains("\"colors\":8"), "{line}");
+        assert!(line.contains("\"geom\":\"slim\""), "{line}");
+        match Request::parse(&line).unwrap() {
+            Request::Job(parsed) => assert_eq!(parsed, point),
+            other => panic!("expected job, got {other:?}"),
+        }
+        // `colors` must fit the simulator's u8 pool size.
+        let err = Request::parse("{\"type\":\"run\",\"colors\":256}").expect_err("overflow");
+        assert!(err.contains("colors"), "{err}");
     }
 
     #[test]
